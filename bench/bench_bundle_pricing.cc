@@ -1,0 +1,120 @@
+// D3.9 — query bundles: the merged min-cut prices a bundle of chain
+// queries in one flow computation; the price is subadditive (Prop 2.8) and
+// shared prefixes/suffixes are paid for once. The series reports the
+// bundle discount and the merged solver's scaling.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "qp/pricing/bundle_solver.h"
+#include "qp/pricing/gchq_solver.h"
+#include "qp/query/analysis.h"
+#include "qp/query/parser.h"
+#include "qp/util/random.h"
+
+namespace {
+
+/// U(x) -> {M1..Mm}(x,y) -> W(y): m chain queries sharing both endpoints.
+struct FanBundle {
+  std::unique_ptr<qp::Catalog> catalog = std::make_unique<qp::Catalog>();
+  std::unique_ptr<qp::Instance> db;
+  qp::SelectionPriceSet prices;
+  std::vector<qp::ConjunctiveQuery> queries;
+
+  FanBundle(int middles, int n, uint64_t seed) {
+    using qp::Value;
+    qp::Rng rng(seed);
+    auto u = catalog->AddRelation("U", {"X"});
+    auto w = catalog->AddRelation("W", {"X"});
+    std::vector<qp::RelationId> mids;
+    for (int m = 1; m <= middles; ++m) {
+      mids.push_back(
+          *catalog->AddRelation("M" + std::to_string(m), {"X", "Y"}));
+    }
+    std::vector<Value> col_x, col_y;
+    for (int i = 0; i < n; ++i) {
+      col_x.push_back(Value::Str("x" + std::to_string(i)));
+      col_y.push_back(Value::Str("y" + std::to_string(i)));
+    }
+    (void)catalog->SetColumn(qp::AttrRef{*u, 0}, col_x);
+    (void)catalog->SetColumn(qp::AttrRef{*w, 0}, col_y);
+    for (auto m : mids) {
+      (void)catalog->SetColumn(qp::AttrRef{m, 0}, col_x);
+      (void)catalog->SetColumn(qp::AttrRef{m, 1}, col_y);
+    }
+    db = std::make_unique<qp::Instance>(catalog.get());
+    for (const Value& x : col_x) {
+      if (rng.NextBool(0.5)) (void)*db->Insert("U", {x});
+      for (auto m : mids) {
+        for (const Value& y : col_y) {
+          if (rng.NextBool(0.35)) {
+            (void)*db->Insert(catalog->schema().relation_name(m), {x, y});
+          }
+        }
+      }
+    }
+    for (const Value& y : col_y) {
+      if (rng.NextBool(0.5)) (void)*db->Insert("W", {y});
+    }
+    for (qp::RelationId rel = 0; rel < catalog->schema().num_relations();
+         ++rel) {
+      for (int p = 0; p < catalog->schema().arity(rel); ++p) {
+        for (qp::ValueId v : catalog->Column(qp::AttrRef{rel, p})) {
+          (void)prices.Set(qp::SelectionView{qp::AttrRef{rel, p}, v},
+                           rng.NextInRange(1, 9));
+        }
+      }
+    }
+    for (int m = 1; m <= middles; ++m) {
+      queries.push_back(*qp::ParseQuery(
+          catalog->schema(), "Q" + std::to_string(m) + "(x,y) :- U(x), M" +
+                                 std::to_string(m) + "(x,y), W(y)"));
+    }
+  }
+};
+
+void PrintSeries() {
+  std::printf("=== D3.9: bundle pricing (merged min-cut) ===\n");
+  std::printf("%-10s %-14s %-14s %-12s\n", "members", "sum of parts",
+              "bundle price", "discount");
+  for (int m : {1, 2, 3, 4, 6, 8}) {
+    FanBundle fan(m, 8, 3);
+    qp::Money sum = 0;
+    for (const auto& q : fan.queries) {
+      auto order = qp::FindGChQOrder(q);
+      auto solo = qp::PriceGChQQuery(*fan.db, fan.prices, q, *order);
+      sum = qp::AddMoney(sum, solo.ok() ? solo->price : 0);
+    }
+    auto bundle =
+        qp::PriceChainBundleByMergedCut(*fan.db, fan.prices, fan.queries);
+    long long bundle_price = bundle.ok() ? bundle->price : -1;
+    std::printf("%-10d %-14lld %-14lld %-12lld\n", m,
+                static_cast<long long>(sum), bundle_price,
+                static_cast<long long>(sum) - bundle_price);
+  }
+  std::printf("\n");
+}
+
+void BM_MergedBundle(benchmark::State& state) {
+  FanBundle fan(static_cast<int>(state.range(0)),
+                static_cast<int>(state.range(1)), 3);
+  for (auto _ : state) {
+    auto bundle =
+        qp::PriceChainBundleByMergedCut(*fan.db, fan.prices, fan.queries);
+    benchmark::DoNotOptimize(bundle);
+  }
+}
+BENCHMARK(BM_MergedBundle)
+    ->ArgsProduct({{2, 4, 8}, {8, 16, 32}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

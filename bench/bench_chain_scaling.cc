@@ -1,0 +1,117 @@
+// T3.7/T3.13 — the main theorem's PTIME claim: chain-query pricing scales
+// polynomially in the column size n and the chain length k. The series
+// below regenerate the "shape" a figure would plot: near-quadratic growth
+// in n (the graph has Θ(k n²) tuple edges), linear-ish in k, and the
+// hub-vs-direct skip-edge ablation (Section 3.1 construction).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qp/pricing/gchq_solver.h"
+#include "qp/query/analysis.h"
+#include "qp/workload/join_workloads.h"
+
+namespace {
+
+qp::Workload MakeChain(int k, int n, uint64_t seed) {
+  qp::JoinWorkloadParams params;
+  params.column_size = n;
+  params.tuple_density = 0.3;
+  params.seed = seed;
+  auto w = qp::MakeChainWorkload(k, params);
+  if (!w.ok()) {
+    std::fprintf(stderr, "workload: %s\n", w.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*w);
+}
+
+void PrintSeries() {
+  std::printf("=== T3.7/T3.13: chain pricing is PTIME ===\n");
+  std::printf("series A: k=2 (three-atom chain), growing column size n\n");
+  std::printf("%-8s %-12s %-12s %-12s %-10s\n", "n", "graph nodes",
+              "graph edges", "view edges", "price");
+  for (int n : {8, 16, 32, 64, 128, 256}) {
+    qp::Workload w = MakeChain(2, n, 1);
+    auto order = qp::FindGChQOrder(w.query);
+    qp::GChQSolveStats stats;
+    auto solution =
+        qp::PriceGChQQuery(*w.db, w.prices, w.query, *order, {}, &stats);
+    std::printf("%-8d %-12lld %-12lld %-12lld %-10lld\n", n,
+                static_cast<long long>(stats.total_nodes),
+                static_cast<long long>(stats.total_edges),
+                static_cast<long long>(stats.total_view_edges),
+                static_cast<long long>(solution.ok() ? solution->price : -1));
+  }
+  std::printf("series B: n=32, growing chain length k\n");
+  std::printf("%-8s %-12s %-12s %-10s\n", "k", "graph nodes", "graph edges",
+              "price");
+  for (int k : {1, 2, 3, 4, 6, 8}) {
+    qp::Workload w = MakeChain(k, 32, 2);
+    auto order = qp::FindGChQOrder(w.query);
+    qp::GChQSolveStats stats;
+    auto solution =
+        qp::PriceGChQQuery(*w.db, w.prices, w.query, *order, {}, &stats);
+    std::printf("%-8d %-12lld %-12lld %-10lld\n", k,
+                static_cast<long long>(stats.total_nodes),
+                static_cast<long long>(stats.total_edges),
+                static_cast<long long>(solution.ok() ? solution->price : -1));
+  }
+  std::printf("\n");
+}
+
+void BM_ChainByColumnSize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qp::Workload w = MakeChain(2, n, 1);
+  auto order = qp::FindGChQOrder(w.query);
+  for (auto _ : state) {
+    auto solution = qp::PriceGChQQuery(*w.db, w.prices, w.query, *order);
+    benchmark::DoNotOptimize(solution);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ChainByColumnSize)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_ChainByLength(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  qp::Workload w = MakeChain(k, 32, 2);
+  auto order = qp::FindGChQOrder(w.query);
+  for (auto _ : state) {
+    auto solution = qp::PriceGChQQuery(*w.db, w.prices, w.query, *order);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_ChainByLength)
+    ->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SkipModeAblation(benchmark::State& state) {
+  const bool direct = state.range(0) != 0;
+  qp::Workload w = MakeChain(3, 48, 3);
+  auto order = qp::FindGChQOrder(w.query);
+  qp::ChainSolverOptions options;
+  options.skip_mode = direct ? qp::ChainSolverOptions::SkipMode::kDirect
+                             : qp::ChainSolverOptions::SkipMode::kHubs;
+  for (auto _ : state) {
+    auto solution =
+        qp::PriceGChQQuery(*w.db, w.prices, w.query, *order, options);
+    benchmark::DoNotOptimize(solution);
+  }
+  state.SetLabel(direct ? "direct-skip-edges(paper-literal)"
+                        : "hub-compressed");
+}
+BENCHMARK(BM_SkipModeAblation)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

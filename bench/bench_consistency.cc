@@ -1,0 +1,61 @@
+// P3.2 — consistency checking of the explicit price points is
+// instance-independent and cheap: it scales with the number of price
+// points (|Σ|), not with the data.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qp/pricing/consistency.h"
+#include "qp/workload/business.h"
+
+namespace {
+
+struct Setup {
+  qp::Seller seller{"bench"};
+
+  explicit Setup(int businesses) {
+    qp::BusinessMarketParams params;
+    params.num_businesses = businesses;
+    params.business_price = qp::Dollars(20);
+    auto status = qp::PopulateBusinessMarket(&seller, params);
+    if (!status.ok()) std::exit(1);
+  }
+};
+
+void PrintSeries() {
+  std::printf("=== P3.2: consistency check scales with |price points| ===\n");
+  std::printf("%-14s %-14s %-12s\n", "businesses", "price points",
+              "consistent");
+  for (int n : {50, 100, 200, 400, 800}) {
+    Setup s(n);
+    auto report =
+        qp::CheckSelectionConsistency(s.seller.catalog(), s.seller.prices());
+    std::printf("%-14d %-14zu %-12s\n", n, s.seller.prices().size(),
+                report.consistent ? "yes" : "no");
+  }
+  std::printf("\n");
+}
+
+void BM_ConsistencyCheck(benchmark::State& state) {
+  Setup s(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto report =
+        qp::CheckSelectionConsistency(s.seller.catalog(), s.seller.prices());
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetLabel(std::to_string(s.seller.prices().size()) + " points");
+}
+BENCHMARK(BM_ConsistencyCheck)
+    ->RangeMultiplier(2)
+    ->Range(50, 800)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// T3.15 — cycle queries Ck. The paper proves PTIME with an algorithm that
+// appears only in its unpublished full version; this library prices cycles
+// *exactly* via the clause formulation (see DESIGN.md, Substitutions).
+// The series records how the exact solver behaves as n grows — the shape
+// to compare against once the full-version algorithm is implemented.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qp/pricing/clause_solver.h"
+#include "qp/workload/join_workloads.h"
+
+namespace {
+
+qp::Workload MakeCycle(int k, int n) {
+  qp::JoinWorkloadParams params;
+  params.column_size = n;
+  params.tuple_density = 0.4;
+  params.seed = 13;
+  auto w = qp::MakeCycleWorkload(k, params);
+  if (!w.ok()) std::exit(1);
+  return std::move(*w);
+}
+
+void PrintSeries() {
+  std::printf("=== T3.15: cycle query pricing (exact solver) ===\n");
+  std::printf("%-6s %-6s %-12s %-14s %-10s\n", "k", "n", "clauses",
+              "B&B nodes", "price");
+  for (int k : {2, 3}) {
+    for (int n : {2, 4, 6, 8, 10}) {
+      if (k == 3 && n > 8) continue;  // n^3 candidates
+      qp::Workload w = MakeCycle(k, n);
+      qp::ClauseSolverStats stats;
+      auto solution =
+          qp::PriceFullQueryByClauses(*w.db, w.prices, w.query, {}, &stats);
+      std::printf("%-6d %-6d %-12lld %-14lld %-10lld\n", k, n,
+                  static_cast<long long>(stats.clauses),
+                  static_cast<long long>(stats.nodes_expanded),
+                  static_cast<long long>(
+                      solution.ok() ? solution->price : -1));
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_CyclePricing(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  qp::Workload w = MakeCycle(k, n);
+  for (auto _ : state) {
+    auto solution = qp::PriceFullQueryByClauses(*w.db, w.prices, w.query);
+    benchmark::DoNotOptimize(solution);
+  }
+  state.SetLabel("C" + std::to_string(k) + "/n=" + std::to_string(n));
+}
+BENCHMARK(BM_CyclePricing)
+    ->ArgsProduct({{2}, {2, 4, 6, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CyclePricing)
+    ->ArgsProduct({{3}, {2, 4, 6}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// DICHO — who wins, by what factor: the PTIME min-cut solver vs the exact
+// exponential solvers (clause B&B, exhaustive oracle search) on identical
+// chain instances. The expected shape: all three agree on the price; the
+// exact solvers are competitive only at toy sizes and fall off a cliff
+// while min-cut keeps scaling.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qp/pricing/clause_solver.h"
+#include "qp/pricing/exhaustive_solver.h"
+#include "qp/pricing/gchq_solver.h"
+#include "qp/query/analysis.h"
+#include "qp/workload/join_workloads.h"
+
+namespace {
+
+qp::Workload MakeChain(int n, uint64_t seed) {
+  qp::JoinWorkloadParams params;
+  params.column_size = n;
+  params.tuple_density = 0.35;
+  params.seed = seed;
+  auto w = qp::MakeChainWorkload(1, params);  // R(x), S(x,y), T(y)
+  if (!w.ok()) std::exit(1);
+  return std::move(*w);
+}
+
+void PrintSeries() {
+  std::printf("=== DICHO: min-cut vs exact solvers on the same chains ===\n");
+  std::printf("%-6s %-14s %-14s %-14s %-8s\n", "n", "min-cut price",
+              "clause price", "exhaustive", "agree");
+  for (int n : {2, 3, 4, 5, 6}) {
+    qp::Workload w = MakeChain(n, 7);
+    auto order = qp::FindGChQOrder(w.query);
+    auto mincut = qp::PriceGChQQuery(*w.db, w.prices, w.query, *order);
+    auto clause = qp::PriceFullQueryByClauses(*w.db, w.prices, w.query);
+    qp::ExhaustiveSolverOptions opts;
+    opts.max_views = 40;
+    auto exhaustive =
+        qp::PriceByExhaustiveSearch(*w.db, w.prices, w.query, opts);
+    bool agree = mincut.ok() && clause.ok() && exhaustive.ok() &&
+                 mincut->price == clause->price &&
+                 clause->price == exhaustive->price;
+    std::printf("%-6d %-14lld %-14lld %-14lld %-8s\n", n,
+                static_cast<long long>(mincut.ok() ? mincut->price : -1),
+                static_cast<long long>(clause.ok() ? clause->price : -1),
+                static_cast<long long>(
+                    exhaustive.ok() ? exhaustive->price : -1),
+                agree ? "yes" : "NO");
+  }
+  std::printf("(timings below show the crossover: exact solvers explode)\n\n");
+}
+
+void BM_MinCut(benchmark::State& state) {
+  qp::Workload w = MakeChain(static_cast<int>(state.range(0)), 7);
+  auto order = qp::FindGChQOrder(w.query);
+  for (auto _ : state) {
+    auto solution = qp::PriceGChQQuery(*w.db, w.prices, w.query, *order);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_MinCut)
+    ->RangeMultiplier(2)
+    ->Range(2, 128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClauseSolver(benchmark::State& state) {
+  qp::Workload w = MakeChain(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto solution = qp::PriceFullQueryByClauses(*w.db, w.prices, w.query);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_ClauseSolver)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExhaustiveOracle(benchmark::State& state) {
+  qp::Workload w = MakeChain(static_cast<int>(state.range(0)), 7);
+  qp::ExhaustiveSolverOptions opts;
+  opts.max_views = 40;
+  for (auto _ : state) {
+    auto solution =
+        qp::PriceByExhaustiveSearch(*w.db, w.prices, w.query, opts);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_ExhaustiveOracle)
+    ->DenseRange(2, 6, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

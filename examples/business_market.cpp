@@ -1,0 +1,111 @@
+// The introduction's motivating scenario: a CustomLists-style US business
+// database sold per state ($199), per county ($79) and per business ($2).
+//
+// Demonstrates:
+//   * arbitrage detection among the seller's explicit price points
+//     (Prop 3.2): when businesses are cheap enough, buying them one by one
+//     undercuts the state view — the inconsistency the paper warns about;
+//   * automatic pricing of ad-hoc queries no explicit view covers
+//     ("businesses with an e-mail address in Washington");
+//   * bundle discounts.
+
+#include <cstdio>
+
+#include "qp/market/marketplace.h"
+#include "qp/workload/business.h"
+
+namespace {
+
+void Die(const qp::Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // ---- An inconsistent offering ---------------------------------------
+  {
+    qp::Seller sloppy("sloppy-lists");
+    qp::BusinessMarketParams params;
+    params.num_businesses = 50;
+    params.business_price = qp::Dollars(2);  // 50 x $2 = $100 < $199 !
+    Die(PopulateBusinessMarket(&sloppy, params));
+    auto report = sloppy.Publish();
+    Die(report.status());
+    std::printf("sloppy-lists consistent: %s\n",
+                report->consistent ? "yes" : "no");
+    for (const auto& v : report->violations) {
+      std::printf("  arbitrage: %s\n", v.ToString(sloppy.catalog()).c_str());
+    }
+  }
+
+  // ---- A consistent offering ------------------------------------------
+  qp::Seller seller("custom-lists");
+  qp::BusinessMarketParams params;
+  params.num_businesses = 50;
+  params.business_price = qp::Dollars(20);
+  Die(PopulateBusinessMarket(&seller, params));
+  auto report = seller.Publish();
+  Die(report.status());
+  std::printf("\ncustom-lists consistent: %s (%zu price points)\n",
+              report->consistent ? "yes" : "no", seller.prices().size());
+
+  qp::Marketplace market(&seller);
+
+  // The catalog views buyers know about.
+  struct Ask {
+    const char* label;
+    const char* query;
+  };
+  const Ask asks[] = {
+      {"all WA businesses (the $199 view)", "Q(b) :- InState(b, 'WA')"},
+      {"one WA county", "Q(b) :- InCounty(b, 'WA/c0')"},
+      {"WA businesses with e-mail",
+       "Q(b) :- Email(b), InState(b, 'WA')"},
+      {"is biz0 in Washington?", "Q() :- InState('biz0', 'WA')"},
+      {"e-mail businesses per state (full map)",
+       "Q(b,s) :- Email(b), InState(b,s)"},
+  };
+  std::printf("\n%-42s %12s  %s\n", "query", "price", "solver");
+  for (const Ask& ask : asks) {
+    auto quote = market.Quote(ask.query);
+    Die(quote.status());
+    std::printf("%-42s %12s  %s\n", ask.label,
+                qp::MoneyToString(quote->solution.price).c_str(),
+                quote->solver.c_str());
+  }
+
+  // Bundle discount: all four WA counties together vs separately.
+  std::vector<std::string> counties;
+  qp::Money separately = 0;
+  for (int c = 0; c < params.counties_per_state; ++c) {
+    std::string q = "Qc" + std::to_string(c) + "(b) :- InCounty(b, 'WA/c" +
+                    std::to_string(c) + "')";
+    auto quote = market.Quote(q);
+    Die(quote.status());
+    separately = qp::AddMoney(separately, quote->solution.price);
+    counties.push_back(q);
+  }
+  auto bundle = market.QuoteBundle(counties);
+  Die(bundle.status());
+  std::printf("\nall WA counties separately: %s, as a bundle: %s\n",
+              qp::MoneyToString(separately).c_str(),
+              qp::MoneyToString(bundle->solution.price).c_str());
+
+  // A purchase with its receipt.
+  auto purchase =
+      market.Purchase("bob", "Q(b) :- Email(b), InState(b, 'WA')");
+  Die(purchase.status());
+  std::printf("\nbob bought \"%s\" for %s (%zu rows); support: %zu views\n",
+              purchase->receipt.query_text.c_str(),
+              qp::MoneyToString(purchase->receipt.price).c_str(),
+              purchase->receipt.answer_rows,
+              purchase->receipt.support.size());
+  std::printf("marketplace revenue: %s over %zu order(s)\n",
+              qp::MoneyToString(market.total_revenue()).c_str(),
+              market.ledger().size());
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Infochimps-style API pricing (Section 3 "The Views"): a sports-data
+// seller exposes three selection-query APIs —
+//   Team API:   given a team id   -> its games           (Plays)
+//   Game API:   given a game id   -> attendance/boxscore (Box)
+//   Roster API: the list of teams                        (Team)
+// Each API call is a selection view with a per-key price. A buyer who
+// wants a *join* across APIs ("box scores of every game played by any
+// team") gets an automatically derived, arbitrage-free price for the whole
+// chain query instead of overpaying for full API dumps.
+
+#include <cstdio>
+#include <string>
+
+#include "qp/market/marketplace.h"
+#include "qp/util/random.h"
+
+namespace {
+
+void Die(const qp::Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using qp::Value;
+  qp::Rng rng(2012);
+
+  const int kTeams = 12;
+  const int kGames = 40;
+
+  std::vector<Value> team_col, game_col;
+  for (int t = 0; t < kTeams; ++t) {
+    team_col.push_back(Value::Str("team" + std::to_string(t)));
+  }
+  for (int g = 0; g < kGames; ++g) {
+    game_col.push_back(Value::Str("game" + std::to_string(g)));
+  }
+
+  qp::Seller seller("mlb-data");
+  Die(seller.DeclareRelation("Team", {"tid"}, {team_col}));
+  Die(seller.DeclareRelation("Plays", {"tid", "gid"}, {team_col, game_col}));
+  Die(seller.DeclareRelation("Box", {"gid"}, {game_col}));
+
+  // Data: ~70% of teams active; each game played by two teams; boxscores
+  // exist for most games.
+  std::vector<int> active;
+  for (int t = 0; t < kTeams; ++t) {
+    if (rng.NextBool(0.7)) {
+      Die(seller.Load("Team", {{team_col[t]}}));
+      active.push_back(t);
+    }
+  }
+  for (int g = 0; g < kGames; ++g) {
+    if (active.size() < 2) break;
+    int home = active[rng.NextBelow(active.size())];
+    int away = active[rng.NextBelow(active.size())];
+    Die(seller.Load("Plays", {{team_col[home], game_col[g]}}));
+    if (away != home) {
+      Die(seller.Load("Plays", {{team_col[away], game_col[g]}}));
+    }
+    if (rng.NextBool(0.85)) Die(seller.Load("Box", {{game_col[g]}}));
+  }
+
+  // API prices: roster entries $1, team->games lookups $3 per team id,
+  // per-game reverse lookups $2, boxscores $4 per game id.
+  Die(seller.SetUniformPrice("Team", "tid", qp::Dollars(1)));
+  Die(seller.SetUniformPrice("Plays", "tid", qp::Dollars(3)));
+  Die(seller.SetUniformPrice("Plays", "gid", qp::Dollars(2)));
+  Die(seller.SetUniformPrice("Box", "gid", qp::Dollars(4)));
+
+  auto report = seller.Publish();
+  Die(report.status());
+  std::printf("mlb-data consistent: %s\n", report->consistent ? "yes" : "no");
+
+  qp::Marketplace market(&seller);
+
+  // Single-API calls are priced at their explicit price points.
+  auto one_team = market.Quote("Q(g) :- Plays('team0', g)");
+  Die(one_team.status());
+  std::printf("Team API, one team's games:      %s\n",
+              qp::MoneyToString(one_team->solution.price).c_str());
+
+  // The cross-API chain query the paper's framework makes sellable:
+  //   Q(t,g) :- Team(t), Plays(t,g), Box(g)
+  auto chain = market.Quote("Q(t,g) :- Team(t), Plays(t,g), Box(g)");
+  Die(chain.status());
+  std::printf("cross-API chain join:            %s  [%s]\n",
+              qp::MoneyToString(chain->solution.price).c_str(),
+              chain->solver.c_str());
+
+  // Compare with the naive alternative: buying all three full APIs.
+  qp::Money full_dump = 0;
+  for (const auto& [view, price] : seller.prices().Sorted()) {
+    // Buying every Team roster entry + every per-team Plays dump + every
+    // boxscore replicates the dataset.
+    if (view.attr.pos == 0) full_dump = qp::AddMoney(full_dump, price);
+  }
+  std::printf("naive full-API dump would cost:  %s\n",
+              qp::MoneyToString(full_dump).c_str());
+
+  // A boolean question ("did team0 ever play a game with a boxscore?") is
+  // cheaper still: one witness suffices.
+  auto boolean_q =
+      market.Quote("Q() :- Team('team0'), Plays('team0', g), Box(g)");
+  Die(boolean_q.status());
+  std::printf("boolean existence question:      %s  [%s]\n",
+              qp::MoneyToString(boolean_q->solution.price).c_str(),
+              boolean_q->solver.c_str());
+
+  auto purchase =
+      market.Purchase("carol", "Q(t,g) :- Team(t), Plays(t,g), Box(g)");
+  Die(purchase.status());
+  std::printf("carol paid %s for %zu rows; support has %zu API calls\n",
+              qp::MoneyToString(purchase->receipt.price).c_str(),
+              purchase->receipt.answer_rows,
+              purchase->receipt.support.size());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: the paper's running example (Example 3.8 / Figure 1),
+// end to end through the public API.
+//
+//   Q(x,y) :- R(x), S(x,y), T(y)
+//
+// The seller prices all 14 selection views at $1; the engine derives the
+// unique arbitrage-free, discount-free price of Q — $6 — together with the
+// support: the cheapest set of explicit views a savvy buyer could have
+// bought instead.
+
+#include <cstdio>
+
+#include "qp/market/marketplace.h"
+#include "qp/pricing/money.h"
+
+int main() {
+  using qp::Value;
+
+  // 1. The seller declares the schema, the columns (the finite value sets
+  //    known to both sides, Section 3), and loads the data of Figure 1(a).
+  qp::Seller seller("figure1");
+  std::vector<Value> col_x = {Value::Str("a1"), Value::Str("a2"),
+                              Value::Str("a3"), Value::Str("a4")};
+  std::vector<Value> col_y = {Value::Str("b1"), Value::Str("b2"),
+                              Value::Str("b3")};
+  auto die = [](const qp::Status& s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  die(seller.DeclareRelation("R", {"X"}, {col_x}));
+  die(seller.DeclareRelation("S", {"X", "Y"}, {col_x, col_y}));
+  die(seller.DeclareRelation("T", {"Y"}, {col_y}));
+  die(seller.Load("R", {{Value::Str("a1")}, {Value::Str("a2")}}));
+  die(seller.Load("S", {{Value::Str("a1"), Value::Str("b1")},
+                        {Value::Str("a1"), Value::Str("b2")},
+                        {Value::Str("a2"), Value::Str("b2")},
+                        {Value::Str("a4"), Value::Str("b1")}}));
+  die(seller.Load("T", {{Value::Str("b1")}, {Value::Str("b3")}}));
+
+  // 2. Explicit price points: every selection view at $1.
+  for (const char* attr : {"X"}) {
+    die(seller.SetUniformPrice("R", attr, qp::Dollars(1)));
+  }
+  die(seller.SetUniformPrice("S", "X", qp::Dollars(1)));
+  die(seller.SetUniformPrice("S", "Y", qp::Dollars(1)));
+  die(seller.SetUniformPrice("T", "Y", qp::Dollars(1)));
+
+  // 3. Validate the offering: consistent (Prop 3.2) and sells the whole
+  //    database (Lemma 3.1).
+  auto report = seller.Publish();
+  die(report.status());
+  std::printf("offering consistent: %s\n",
+              report->consistent ? "yes" : "no");
+
+  // 4. Quote and buy an ad-hoc query.
+  qp::Marketplace market(&seller);
+  auto quote = market.Quote("Q(x,y) :- R(x), S(x,y), T(y)");
+  die(quote.status());
+  std::printf("price of Q(x,y) :- R(x), S(x,y), T(y):  %s  [%s]\n",
+              qp::MoneyToString(quote->solution.price).c_str(),
+              quote->solver.c_str());
+
+  auto purchase = market.Purchase("alice", "Q(x,y) :- R(x), S(x,y), T(y)");
+  die(purchase.status());
+  std::printf("alice paid %s for %zu answer row(s)\n",
+              qp::MoneyToString(purchase->receipt.price).c_str(),
+              purchase->receipt.answer_rows);
+  std::printf("support (what a savvy buyer would buy instead):\n");
+  for (const std::string& view : purchase->receipt.support) {
+    std::printf("  %s\n", view.c_str());
+  }
+
+  // 5. Bundles are subadditive (Prop 2.8): two sub-queries bought together
+  //    cost at most the sum of their individual prices.
+  auto q1 = market.Quote("Q1(x,y) :- R(x), S(x,y)");
+  auto q2 = market.Quote("Q2(x,y) :- S(x,y), T(y)");
+  auto both = market.QuoteBundle(
+      {"Q1(x,y) :- R(x), S(x,y)", "Q2(x,y) :- S(x,y), T(y)"});
+  die(q1.status());
+  die(q2.status());
+  die(both.status());
+  std::printf("p(Q1)=%s  p(Q2)=%s  p(Q1,Q2)=%s  (bundle discount: %s)\n",
+              qp::MoneyToString(q1->solution.price).c_str(),
+              qp::MoneyToString(q2->solution.price).c_str(),
+              qp::MoneyToString(both->solution.price).c_str(),
+              qp::MoneyToString(q1->solution.price + q2->solution.price -
+                                both->solution.price)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,200 @@
+#include "qp/determinacy/selection_determinacy.h"
+
+#include <algorithm>
+#include <set>
+
+#include "qp/eval/evaluator.h"
+
+namespace qp {
+
+CoverageIndex::CoverageIndex(const std::vector<SelectionView>& views) {
+  for (const SelectionView& v : views) covered_.insert(v);
+}
+
+Instance BuildDmin(const Instance& db, const CoverageIndex& coverage,
+                   const std::vector<RelationId>& relations) {
+  Instance dmin(&db.catalog());
+  for (RelationId rel : relations) {
+    for (const Tuple& t : db.Relation(rel)) {
+      if (coverage.CoversTuple(rel, t)) {
+        auto inserted = dmin.Insert(rel, t);
+        (void)inserted;  // cannot fail: t satisfied the constraints in db
+      }
+    }
+  }
+  return dmin;
+}
+
+namespace {
+
+/// Enumerates the cross product of the columns of `rel`, invoking `fn` on
+/// each candidate tuple. Returns false if `fn` returns false (abort).
+template <typename Fn>
+bool ForEachCandidateTuple(const Catalog& catalog, RelationId rel, Fn fn) {
+  const int arity = catalog.schema().arity(rel);
+  std::vector<const std::vector<ValueId>*> cols(arity);
+  for (int p = 0; p < arity; ++p) {
+    cols[p] = &catalog.Column(AttrRef{rel, p});
+    if (cols[p]->empty()) return true;  // empty column: no candidates
+  }
+  Tuple tuple(arity);
+  std::vector<size_t> idx(arity, 0);
+  while (true) {
+    for (int p = 0; p < arity; ++p) tuple[p] = (*cols[p])[idx[p]];
+    if (!fn(tuple)) return false;
+    int p = arity - 1;
+    while (p >= 0 && ++idx[p] == cols[p]->size()) idx[p--] = 0;
+    if (p < 0) return true;
+  }
+}
+
+}  // namespace
+
+Result<Instance> BuildDmax(const Instance& db, const CoverageIndex& coverage,
+                           const std::vector<RelationId>& relations,
+                           size_t max_tuples) {
+  const Catalog& catalog = db.catalog();
+  // Size guard.
+  size_t total = 0;
+  for (RelationId rel : relations) {
+    size_t count = 1;
+    for (int p = 0; p < catalog.schema().arity(rel); ++p) {
+      AttrRef attr{rel, p};
+      if (!catalog.HasColumn(attr)) {
+        return Status::FailedPrecondition(
+            "BuildDmax requires a column on " +
+            catalog.schema().AttrToString(attr));
+      }
+      count *= catalog.Column(attr).size();
+      if (count > max_tuples) break;
+    }
+    total += count;
+    if (total > max_tuples) {
+      return Status::ResourceExhausted(
+          "candidate tuple space too large for Dmax construction");
+    }
+  }
+
+  Instance dmax = BuildDmin(db, coverage, relations);
+  for (RelationId rel : relations) {
+    ForEachCandidateTuple(catalog, rel, [&](const Tuple& t) {
+      if (!coverage.CoversTuple(rel, t)) {
+        auto inserted = dmax.Insert(rel, t);
+        (void)inserted;
+      }
+      return true;
+    });
+  }
+  return dmax;
+}
+
+std::vector<RelationId> RelationsOf(const ConjunctiveQuery& q) {
+  std::set<RelationId> rels;
+  for (const Atom& a : q.atoms()) rels.insert(a.rel);
+  return std::vector<RelationId>(rels.begin(), rels.end());
+}
+
+std::vector<RelationId> RelationsOf(const std::vector<ConjunctiveQuery>& qs) {
+  std::set<RelationId> rels;
+  for (const ConjunctiveQuery& q : qs) {
+    for (const Atom& a : q.atoms()) rels.insert(a.rel);
+  }
+  return std::vector<RelationId>(rels.begin(), rels.end());
+}
+
+Result<bool> SelectionViewsDetermine(const Instance& db,
+                                     const std::vector<SelectionView>& views,
+                                     const std::vector<ConjunctiveQuery>& qs) {
+  std::vector<RelationId> relations = RelationsOf(qs);
+  CoverageIndex coverage(views);
+  Instance dmin = BuildDmin(db, coverage, relations);
+  auto dmax = BuildDmax(db, coverage, relations);
+  if (!dmax.ok()) return dmax.status();
+  Evaluator min_eval(&dmin);
+  Evaluator max_eval(&*dmax);
+  for (const ConjunctiveQuery& q : qs) {
+    auto lo = min_eval.EvalToSet(q);
+    if (!lo.ok()) return lo.status();
+    auto hi = max_eval.EvalToSet(q);
+    if (!hi.ok()) return hi.status();
+    if (*lo != *hi) return false;
+  }
+  return true;
+}
+
+Result<bool> SelectionViewsDetermine(const Instance& db,
+                                     const std::vector<SelectionView>& views,
+                                     const ConjunctiveQuery& q) {
+  return SelectionViewsDetermine(db, views,
+                                 std::vector<ConjunctiveQuery>{q});
+}
+
+Result<bool> SelectionViewsDetermine(const Instance& db,
+                                     const std::vector<SelectionView>& views,
+                                     const UnionQuery& q) {
+  std::vector<RelationId> relations = RelationsOf(q.disjuncts);
+  CoverageIndex coverage(views);
+  Instance dmin = BuildDmin(db, coverage, relations);
+  auto dmax = BuildDmax(db, coverage, relations);
+  if (!dmax.ok()) return dmax.status();
+  Evaluator min_eval(&dmin);
+  Evaluator max_eval(&*dmax);
+  auto lo = min_eval.EvalUnion(q);
+  if (!lo.ok()) return lo.status();
+  auto hi = max_eval.EvalUnion(q);
+  if (!hi.ok()) return hi.status();
+  return *lo == *hi;
+}
+
+Result<DeterminacyExplanation> ExplainSelectionDeterminacy(
+    const Instance& db, const std::vector<SelectionView>& views,
+    const ConjunctiveQuery& q, size_t max_examples) {
+  std::vector<RelationId> relations = RelationsOf({q});
+  CoverageIndex coverage(views);
+  Instance dmin = BuildDmin(db, coverage, relations);
+  auto dmax = BuildDmax(db, coverage, relations);
+  if (!dmax.ok()) return dmax.status();
+  Evaluator min_eval(&dmin);
+  Evaluator max_eval(&*dmax);
+  auto lo = min_eval.EvalToSet(q);
+  if (!lo.ok()) return lo.status();
+  auto hi = max_eval.Eval(q);  // sorted
+  if (!hi.ok()) return hi.status();
+  DeterminacyExplanation out;
+  for (const Tuple& t : *hi) {
+    if (lo->count(t) == 0) {
+      if (out.uncertain_answers.size() < max_examples) {
+        out.uncertain_answers.push_back(t);
+      }
+    }
+  }
+  // Monotone query: Q(Dmin) ⊆ Q(Dmax), so the difference being empty is
+  // exactly determinacy.
+  out.determined = out.uncertain_answers.empty();
+  return out;
+}
+
+bool SelectionViewsDetermineSelection(const Catalog& catalog,
+                                      const std::vector<SelectionView>& views,
+                                      const SelectionView& target) {
+  for (const SelectionView& v : views) {
+    if (v == target) return true;
+  }
+  const int arity = catalog.schema().arity(target.attr.rel);
+  CoverageIndex coverage(views);
+  for (int p = 0; p < arity; ++p) {
+    AttrRef attr{target.attr.rel, p};
+    if (!catalog.HasColumn(attr)) continue;
+    bool full = true;
+    for (ValueId v : catalog.Column(attr)) {
+      if (!coverage.CoversValue(attr, v)) {
+        full = false;
+        break;
+      }
+    }
+    if (full && !catalog.Column(attr).empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace qp

@@ -1,0 +1,97 @@
+#ifndef QP_DETERMINACY_SELECTION_DETERMINACY_H_
+#define QP_DETERMINACY_SELECTION_DETERMINACY_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "qp/pricing/price_points.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Fast membership structure over a set of selection views: answers "is
+/// tuple t of relation R covered by some view?" (a view σ_{R.X=a} covers t
+/// iff t.X = a).
+class CoverageIndex {
+ public:
+  explicit CoverageIndex(const std::vector<SelectionView>& views);
+
+  bool CoversValue(AttrRef attr, ValueId value) const {
+    return covered_.count(SelectionView{attr, value}) > 0;
+  }
+
+  bool CoversTuple(RelationId rel, const Tuple& tuple) const {
+    for (int p = 0; p < static_cast<int>(tuple.size()); ++p) {
+      if (CoversValue(AttrRef{rel, p}, tuple[p])) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::unordered_set<SelectionView, SelectionViewHasher> covered_;
+};
+
+/// The certain world Dmin: exactly the tuples of D covered by the views
+/// (tuples every possible world must contain). Restricted to `relations`.
+Instance BuildDmin(const Instance& db, const CoverageIndex& coverage,
+                   const std::vector<RelationId>& relations);
+
+/// The maximal world Dmax: Dmin plus every uncovered candidate tuple from
+/// the column cross product (tuples some possible world may contain).
+/// Restricted to `relations`; requires columns on all their attributes.
+/// Fails with ResourceExhausted if the candidate space exceeds
+/// `max_tuples`.
+Result<Instance> BuildDmax(const Instance& db, const CoverageIndex& coverage,
+                           const std::vector<RelationId>& relations,
+                           size_t max_tuples = 50'000'000);
+
+/// Relations mentioned by a query / bundle (sorted, deduplicated).
+std::vector<RelationId> RelationsOf(const ConjunctiveQuery& q);
+std::vector<RelationId> RelationsOf(const std::vector<ConjunctiveQuery>& qs);
+
+/// Decides instance-based determinacy D ⊢ V ։ Q for a set of *selection*
+/// views and a bundle of monotone CQs (Theorem 3.3): every possible world
+/// D' with V(D') = V(D) satisfies Dmin ⊆ D' ⊆ Dmax, so for monotone Q
+/// determinacy holds iff Q(Dmin) = Q(Dmax). PTIME data complexity.
+Result<bool> SelectionViewsDetermine(const Instance& db,
+                                     const std::vector<SelectionView>& views,
+                                     const std::vector<ConjunctiveQuery>& qs);
+
+/// Single-query convenience overload.
+Result<bool> SelectionViewsDetermine(const Instance& db,
+                                     const std::vector<SelectionView>& views,
+                                     const ConjunctiveQuery& q);
+
+/// Union-of-CQs overload (UCQs are monotone, so Theorem 3.3 applies: the
+/// union is determined iff it agrees on Dmin and Dmax).
+Result<bool> SelectionViewsDetermine(const Instance& db,
+                                     const std::vector<SelectionView>& views,
+                                     const UnionQuery& q);
+
+/// Diagnostic form of the Theorem 3.3 check: when the views do *not*
+/// determine the query, reports the uncertain answers — tuples in
+/// Q(Dmax) \ Q(Dmin), i.e. answers whose membership varies across
+/// possible worlds. Useful for explaining quotes to sellers ("you must
+/// price these views because these answers are still open").
+struct DeterminacyExplanation {
+  bool determined = false;
+  /// Answers present in some possible world but not all (sorted; capped
+  /// at `max_examples`).
+  std::vector<Tuple> uncertain_answers;
+};
+
+Result<DeterminacyExplanation> ExplainSelectionDeterminacy(
+    const Instance& db, const std::vector<SelectionView>& views,
+    const ConjunctiveQuery& q, size_t max_examples = 10);
+
+/// Lemma 3.1: D ⊢ V ։ σ_{R.X=a} iff σ_{R.X=a} ∈ V or V fully covers some
+/// attribute Y of R. (Exposed for tests and the consistency check.)
+bool SelectionViewsDetermineSelection(const Catalog& catalog,
+                                      const std::vector<SelectionView>& views,
+                                      const SelectionView& target);
+
+}  // namespace qp
+
+#endif  // QP_DETERMINACY_SELECTION_DETERMINACY_H_

@@ -1,0 +1,213 @@
+#include "qp/determinacy/world_enumeration.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "qp/eval/evaluator.h"
+
+namespace qp {
+namespace {
+
+/// Relations mentioned by a bundle.
+void CollectRelations(const QueryBundle& bundle, std::set<RelationId>* out) {
+  for (const UnionQuery& uq : bundle.queries) {
+    for (const ConjunctiveQuery& cq : uq.disjuncts) {
+      for (const Atom& a : cq.atoms()) out->insert(a.rel);
+    }
+  }
+}
+
+/// The answer of a bundle on an instance: one sorted answer list per
+/// member query.
+Result<std::vector<std::vector<Tuple>>> EvalBundle(const Instance& db,
+                                                   const QueryBundle& bundle) {
+  Evaluator eval(&db);
+  std::vector<std::vector<Tuple>> out;
+  out.reserve(bundle.queries.size());
+  for (const UnionQuery& uq : bundle.queries) {
+    auto answers = eval.EvalUnion(uq);
+    if (!answers.ok()) return answers.status();
+    out.push_back(std::move(*answers));
+  }
+  return out;
+}
+
+/// Componentwise subset test on bundle images (answer lists are sorted).
+bool BundleImageSubset(const std::vector<std::vector<Tuple>>& a,
+                       const std::vector<std::vector<Tuple>>& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!std::includes(b[i].begin(), b[i].end(), a[i].begin(),
+                       a[i].end())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Flattens a bundle image into a comparable key.
+std::vector<uint32_t> ImageKey(const std::vector<std::vector<Tuple>>& image) {
+  std::vector<uint32_t> key;
+  for (const auto& answers : image) {
+    key.push_back(0xfffffffeu);  // query separator
+    for (const Tuple& t : answers) {
+      key.push_back(0xffffffffu);  // tuple separator
+      key.insert(key.end(), t.begin(), t.end());
+    }
+  }
+  return key;
+}
+
+struct CandidateSpace {
+  std::vector<std::pair<RelationId, Tuple>> tuples;
+};
+
+/// All candidate tuples (column cross products) of the given relations.
+Result<CandidateSpace> BuildCandidateSpace(const Catalog& catalog,
+                                           const std::set<RelationId>& rels,
+                                           size_t max_tuples) {
+  CandidateSpace space;
+  for (RelationId rel : rels) {
+    const int arity = catalog.schema().arity(rel);
+    std::vector<const std::vector<ValueId>*> cols(arity);
+    size_t count = 1;
+    for (int p = 0; p < arity; ++p) {
+      AttrRef attr{rel, p};
+      if (!catalog.HasColumn(attr)) {
+        return Status::FailedPrecondition(
+            "world enumeration requires a column on " +
+            catalog.schema().AttrToString(attr));
+      }
+      cols[p] = &catalog.Column(attr);
+      count *= cols[p]->size();
+    }
+    if (count == 0) continue;
+    if (space.tuples.size() + count > max_tuples) {
+      return Status::ResourceExhausted(
+          "candidate tuple space exceeds max_candidate_tuples (" +
+          std::to_string(max_tuples) + "); world enumeration would need 2^" +
+          std::to_string(space.tuples.size() + count) + " worlds");
+    }
+    Tuple tuple(arity);
+    std::vector<size_t> idx(arity, 0);
+    while (true) {
+      for (int p = 0; p < arity; ++p) tuple[p] = (*cols[p])[idx[p]];
+      space.tuples.emplace_back(rel, tuple);
+      int p = arity - 1;
+      while (p >= 0 && ++idx[p] == cols[p]->size()) idx[p--] = 0;
+      if (p < 0) break;
+    }
+  }
+  return space;
+}
+
+/// Invokes `fn(world)` for every world over the candidate space, visiting
+/// worlds in Gray-code order so consecutive worlds differ by one tuple.
+/// `fn` returns false to abort the enumeration.
+template <typename Fn>
+Status ForEachWorld(const Instance& db, const CandidateSpace& space, Fn fn) {
+  Instance world(&db.catalog());
+  const size_t n = space.tuples.size();
+  if (!fn(world)) return Status::Ok();
+  for (uint64_t i = 1; i < (uint64_t{1} << n); ++i) {
+    int bit = __builtin_ctzll(i);
+    const auto& [rel, tuple] = space.tuples[bit];
+    if (world.Contains(rel, tuple)) {
+      world.Erase(rel, tuple);
+    } else {
+      auto inserted = world.Insert(rel, tuple);
+      if (!inserted.ok()) return inserted.status();
+    }
+    if (!fn(world)) return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<bool> EnumerationDetermines(const Instance& db,
+                                   const QueryBundle& views,
+                                   const QueryBundle& query,
+                                   const WorldEnumerationOptions& options) {
+  std::set<RelationId> rels;
+  CollectRelations(views, &rels);
+  CollectRelations(query, &rels);
+
+  auto space = BuildCandidateSpace(db.catalog(), rels,
+                                   options.max_candidate_tuples);
+  if (!space.ok()) return space.status();
+
+  auto v_image = EvalBundle(db, views);
+  if (!v_image.ok()) return v_image.status();
+  auto q_image = EvalBundle(db, query);
+  if (!q_image.ok()) return q_image.status();
+
+  bool determined = true;
+  Status inner = Status::Ok();
+  Status loop = ForEachWorld(db, *space, [&](const Instance& world) {
+    auto v = EvalBundle(world, views);
+    if (!v.ok()) {
+      inner = v.status();
+      return false;
+    }
+    if (*v != *v_image) return true;  // not a possible world
+    auto q = EvalBundle(world, query);
+    if (!q.ok()) {
+      inner = q.status();
+      return false;
+    }
+    if (*q != *q_image) {
+      determined = false;
+      return false;
+    }
+    return true;
+  });
+  QP_RETURN_IF_ERROR(loop);
+  QP_RETURN_IF_ERROR(inner);
+  return determined;
+}
+
+Result<bool> RestrictedEnumerationDetermines(
+    const Instance& db, const QueryBundle& views, const QueryBundle& query,
+    const WorldEnumerationOptions& options) {
+  std::set<RelationId> rels;
+  CollectRelations(views, &rels);
+  CollectRelations(query, &rels);
+
+  auto space = BuildCandidateSpace(db.catalog(), rels,
+                                   options.max_candidate_tuples);
+  if (!space.ok()) return space.status();
+
+  auto v_image = EvalBundle(db, views);
+  if (!v_image.ok()) return v_image.status();
+
+  // Group worlds by their view image. For every group whose image is
+  // contained in V(D), all members must agree on Q.
+  std::map<std::vector<uint32_t>, std::vector<std::vector<Tuple>>> groups;
+  bool determined = true;
+  Status inner = Status::Ok();
+  Status loop = ForEachWorld(db, *space, [&](const Instance& world) {
+    auto v = EvalBundle(world, views);
+    if (!v.ok()) {
+      inner = v.status();
+      return false;
+    }
+    if (!BundleImageSubset(*v, *v_image)) return true;
+    auto q = EvalBundle(world, query);
+    if (!q.ok()) {
+      inner = q.status();
+      return false;
+    }
+    auto [it, fresh] = groups.emplace(ImageKey(*v), *q);
+    if (!fresh && it->second != *q) {
+      determined = false;
+      return false;
+    }
+    return true;
+  });
+  QP_RETURN_IF_ERROR(loop);
+  QP_RETURN_IF_ERROR(inner);
+  return determined;
+}
+
+}  // namespace qp

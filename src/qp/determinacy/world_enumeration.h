@@ -1,0 +1,42 @@
+#ifndef QP_DETERMINACY_WORLD_ENUMERATION_H_
+#define QP_DETERMINACY_WORLD_ENUMERATION_H_
+
+#include <cstddef>
+
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+struct WorldEnumerationOptions {
+  /// Maximum number of candidate tuples (the world space is 2^candidates).
+  /// The generic check mirrors the coNP data complexity of Theorem 2.3, so
+  /// it is exponential by nature; this guard keeps it usable for testing
+  /// and for the Section 2 generic pricing framework on small instances.
+  size_t max_candidate_tuples = 18;
+};
+
+/// Decides instance-based determinacy D ⊢ V ։ Q (Definition 2.2) for
+/// arbitrary bundles of UCQ views and queries, by enumerating every
+/// possible world D' over the column space and checking that
+/// V(D') = V(D) implies Q(D') = Q(D). Exact but exponential; use
+/// SelectionViewsDetermine for the PTIME selection-view case.
+///
+/// Requires columns on all attributes of the relations mentioned by V or Q.
+Result<bool> EnumerationDetermines(
+    const Instance& db, const QueryBundle& views, const QueryBundle& query,
+    const WorldEnumerationOptions& options = {});
+
+/// Decides the restricted determinacy relation D ⊢ V ։* Q of
+/// Proposition 2.24: for every D0 with V(D0) ⊆ V(D), D0 ⊢ V ։ Q.
+/// The restriction is itself a determinacy relation, and is *monotone* for
+/// monotone views, which makes the dynamic arbitrage-price monotone under
+/// insertions. Exponential (world enumeration), same guard as above.
+Result<bool> RestrictedEnumerationDetermines(
+    const Instance& db, const QueryBundle& views, const QueryBundle& query,
+    const WorldEnumerationOptions& options = {});
+
+}  // namespace qp
+
+#endif  // QP_DETERMINACY_WORLD_ENUMERATION_H_

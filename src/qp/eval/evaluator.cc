@@ -1,0 +1,261 @@
+#include "qp/eval/evaluator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace qp {
+namespace {
+
+constexpr ValueId kUnbound = 0xffffffffu;
+
+/// Execution plan for one atom: which argument positions are bound (by
+/// earlier atoms or constants) at the time the atom runs.
+struct AtomPlan {
+  int atom_idx = -1;
+  std::vector<int> bound_positions;    // probe key positions
+  std::vector<int> binding_positions;  // positions that bind new variables
+  // Hash index from packed probe key to tuples, built per evaluation.
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHasher> index;
+};
+
+}  // namespace
+
+Result<TupleSet> Evaluator::Run(const ConjunctiveQuery& q,
+                                bool stop_at_first) const {
+  const Schema& schema = db_->catalog().schema();
+
+  // Validate the query against the schema.
+  for (const Atom& a : q.atoms()) {
+    if (a.rel < 0 || a.rel >= schema.num_relations()) {
+      return Status::InvalidArgument("query references unknown relation");
+    }
+    if (static_cast<int>(a.args.size()) != schema.arity(a.rel)) {
+      return Status::InvalidArgument("query atom arity mismatch");
+    }
+  }
+
+  // Every head and predicate variable must occur in some atom, otherwise
+  // the query is unsafe (its answer would be unbounded).
+  std::set<VarId> body_vars = q.BodyVars();
+  for (VarId v : q.head()) {
+    if (body_vars.count(v) == 0) {
+      return Status::InvalidArgument("head variable '" + q.var_name(v) +
+                                     "' does not occur in the body");
+    }
+  }
+  for (const UnaryPredicate& p : q.predicates()) {
+    if (body_vars.count(p.var) == 0) {
+      return Status::InvalidArgument("predicate variable '" +
+                                     q.var_name(p.var) +
+                                     "' does not occur in the body");
+    }
+  }
+
+  // Resolve constants to value ids once. A constant that was never interned
+  // cannot match any tuple; remember that and answer with the empty set.
+  const int num_atoms = static_cast<int>(q.atoms().size());
+  std::vector<std::vector<ValueId>> const_ids(num_atoms);
+  for (int a = 0; a < num_atoms; ++a) {
+    const Atom& atom = q.atoms()[a];
+    const_ids[a].assign(atom.args.size(), kUnbound);
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      if (!atom.args[p].is_var()) {
+        auto id = db_->catalog().dict().Find(atom.args[p].constant);
+        if (!id.has_value()) return TupleSet{};  // unmatchable constant
+        const_ids[a][p] = *id;
+      }
+    }
+  }
+
+  // Predicates indexed by variable.
+  std::vector<std::vector<const UnaryPredicate*>> preds_by_var(q.num_vars());
+  for (const UnaryPredicate& p : q.predicates()) {
+    preds_by_var[p.var].push_back(&p);
+  }
+
+  // Greedy join order: repeatedly pick the atom with the most bound
+  // variables, breaking ties by smaller relation cardinality.
+  std::vector<bool> picked(num_atoms, false);
+  std::vector<bool> var_bound(q.num_vars(), false);
+  std::vector<AtomPlan> plans;
+  for (int step = 0; step < num_atoms; ++step) {
+    int best = -1;
+    int best_bound = -1;
+    size_t best_size = 0;
+    for (int a = 0; a < num_atoms; ++a) {
+      if (picked[a]) continue;
+      int bound = 0;
+      for (const Term& t : q.atoms()[a].args) {
+        if (!t.is_var() || var_bound[t.var]) ++bound;
+      }
+      size_t size = db_->NumTuples(q.atoms()[a].rel);
+      if (best < 0 || bound > best_bound ||
+          (bound == best_bound && size < best_size)) {
+        best = a;
+        best_bound = bound;
+        best_size = size;
+      }
+    }
+    picked[best] = true;
+    AtomPlan plan;
+    plan.atom_idx = best;
+    const Atom& atom = q.atoms()[best];
+    // Snapshot which variables were bound *before* this atom: a variable
+    // repeated within the atom must bind on its first occurrence and be
+    // equality-checked on later ones, never used as a probe key.
+    const std::vector<bool> bound_before = var_bound;
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      const Term& t = atom.args[p];
+      if (!t.is_var() || bound_before[t.var]) {
+        plan.bound_positions.push_back(static_cast<int>(p));
+      } else {
+        plan.binding_positions.push_back(static_cast<int>(p));
+        var_bound[t.var] = true;
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Build hash indexes on the probe keys.
+  for (AtomPlan& plan : plans) {
+    const Atom& atom = q.atoms()[plan.atom_idx];
+    for (const Tuple& t : db_->Relation(atom.rel)) {
+      Tuple key;
+      key.reserve(plan.bound_positions.size());
+      for (int p : plan.bound_positions) key.push_back(t[p]);
+      plan.index[std::move(key)].push_back(&t);
+    }
+  }
+
+  TupleSet answers;
+  std::vector<ValueId> binding(q.num_vars(), kUnbound);
+
+  // Depth-first join over the plan.
+  auto check_preds = [&](VarId v, ValueId id) {
+    for (const UnaryPredicate* p : preds_by_var[v]) {
+      if (!p->Eval(db_->catalog().dict().Get(id))) return false;
+    }
+    return true;
+  };
+
+  std::vector<size_t> cursor(plans.size());
+  std::vector<const std::vector<const Tuple*>*> matches(plans.size());
+  std::vector<std::vector<std::pair<VarId, ValueId>>> bound_here(plans.size());
+
+  int depth = 0;
+  bool done = false;
+  while (depth >= 0 && !done) {
+    if (depth == static_cast<int>(plans.size())) {
+      // Full assignment: emit the head projection.
+      Tuple answer;
+      answer.reserve(q.head().size());
+      for (VarId v : q.head()) answer.push_back(binding[v]);
+      answers.insert(std::move(answer));
+      if (stop_at_first) break;
+      --depth;
+      continue;
+    }
+    AtomPlan& plan = plans[depth];
+    const Atom& atom = q.atoms()[plan.atom_idx];
+    if (matches[depth] == nullptr) {
+      // Entering this depth: probe the index.
+      Tuple key;
+      key.reserve(plan.bound_positions.size());
+      for (int p : plan.bound_positions) {
+        const Term& t = atom.args[p];
+        key.push_back(t.is_var() ? binding[t.var]
+                                 : const_ids[plan.atom_idx][p]);
+      }
+      auto it = plan.index.find(key);
+      static const std::vector<const Tuple*> kNoMatches;
+      matches[depth] = (it == plan.index.end()) ? &kNoMatches : &it->second;
+      cursor[depth] = 0;
+    } else {
+      // Re-entering: undo bindings from the previous match.
+      for (auto& [v, old] : bound_here[depth]) binding[v] = old;
+      bound_here[depth].clear();
+    }
+
+    bool advanced = false;
+    while (cursor[depth] < matches[depth]->size()) {
+      const Tuple& t = *(*matches[depth])[cursor[depth]++];
+      // Bind new variables, checking intra-atom repeats and predicates.
+      bool ok = true;
+      bound_here[depth].clear();
+      for (int p : plan.binding_positions) {
+        VarId v = atom.args[p].var;
+        if (binding[v] != kUnbound) {
+          if (binding[v] != t[p]) {
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        if (!check_preds(v, t[p])) {
+          ok = false;
+          break;
+        }
+        bound_here[depth].push_back({v, binding[v]});
+        binding[v] = t[p];
+      }
+      if (!ok) {
+        for (auto& [v, old] : bound_here[depth]) binding[v] = old;
+        bound_here[depth].clear();
+        continue;
+      }
+      advanced = true;
+      break;
+    }
+    if (advanced) {
+      ++depth;
+      if (depth < static_cast<int>(plans.size())) matches[depth] = nullptr;
+    } else {
+      // Exhausted this depth.
+      for (auto& [v, old] : bound_here[depth]) binding[v] = old;
+      bound_here[depth].clear();
+      matches[depth] = nullptr;
+      --depth;
+    }
+  }
+  return answers;
+}
+
+Result<TupleSet> Evaluator::EvalToSet(const ConjunctiveQuery& q) const {
+  return Run(q, /*stop_at_first=*/false);
+}
+
+Result<std::vector<Tuple>> Evaluator::Eval(const ConjunctiveQuery& q) const {
+  auto set = Run(q, /*stop_at_first=*/false);
+  if (!set.ok()) return set.status();
+  std::vector<Tuple> out(set->begin(), set->end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<Tuple>> Evaluator::EvalUnion(const UnionQuery& q) const {
+  if (q.disjuncts.empty()) {
+    return Status::InvalidArgument("union query has no disjuncts");
+  }
+  size_t arity = q.disjuncts[0].head().size();
+  TupleSet all;
+  for (const ConjunctiveQuery& cq : q.disjuncts) {
+    if (cq.head().size() != arity) {
+      return Status::InvalidArgument(
+          "union disjuncts must share head arity");
+    }
+    auto set = Run(cq, /*stop_at_first=*/false);
+    if (!set.ok()) return set.status();
+    all.insert(set->begin(), set->end());
+  }
+  std::vector<Tuple> out(all.begin(), all.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<bool> Evaluator::IsSatisfied(const ConjunctiveQuery& q) const {
+  auto set = Run(q, /*stop_at_first=*/true);
+  if (!set.ok()) return set.status();
+  return !set->empty();
+}
+
+}  // namespace qp

@@ -1,0 +1,41 @@
+#ifndef QP_EVAL_EVALUATOR_H_
+#define QP_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Evaluates conjunctive queries and unions of conjunctive queries on a
+/// database instance. Uses index nested-loop joins with a greedy
+/// most-bound-first atom ordering; answers are deduplicated and returned in
+/// a deterministic (sorted) order.
+class Evaluator {
+ public:
+  explicit Evaluator(const Instance* db) : db_(db) {}
+
+  /// All answers of `q` (projections onto the head), sorted, deduplicated.
+  /// A boolean query returns zero or one empty tuple.
+  Result<std::vector<Tuple>> Eval(const ConjunctiveQuery& q) const;
+
+  /// Answers of `q` as a hash set (for equality comparisons).
+  Result<TupleSet> EvalToSet(const ConjunctiveQuery& q) const;
+
+  /// Union of the disjuncts' answers. All disjuncts must share head arity.
+  Result<std::vector<Tuple>> EvalUnion(const UnionQuery& q) const;
+
+  /// True if `q` has at least one answer (early-exit evaluation).
+  Result<bool> IsSatisfied(const ConjunctiveQuery& q) const;
+
+ private:
+  Result<TupleSet> Run(const ConjunctiveQuery& q, bool stop_at_first) const;
+
+  const Instance* db_;
+};
+
+}  // namespace qp
+
+#endif  // QP_EVAL_EVALUATOR_H_

@@ -1,0 +1,113 @@
+#include "qp/flow/max_flow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace qp {
+
+FlowNetwork::NodeId FlowNetwork::AddNode() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+FlowNetwork::NodeId FlowNetwork::AddNodes(int count) {
+  NodeId first = static_cast<NodeId>(adjacency_.size());
+  adjacency_.resize(adjacency_.size() + count);
+  return first;
+}
+
+FlowNetwork::EdgeId FlowNetwork::AddEdge(NodeId from, NodeId to,
+                                         int64_t capacity) {
+  assert(from >= 0 && from < num_nodes());
+  assert(to >= 0 && to < num_nodes());
+  if (capacity > kInfiniteCapacity) capacity = kInfiniteCapacity;
+  if (capacity < 0) capacity = 0;
+  EdgeId id = static_cast<EdgeId>(edges_.size() / 2);
+  original_capacity_.push_back(capacity);
+  adjacency_[from].push_back(static_cast<int32_t>(edges_.size()));
+  edges_.push_back(HalfEdge{to, capacity});
+  adjacency_[to].push_back(static_cast<int32_t>(edges_.size()));
+  edges_.push_back(HalfEdge{from, 0});
+  return id;
+}
+
+bool FlowNetwork::Bfs() {
+  level_.assign(num_nodes(), -1);
+  std::deque<NodeId> queue;
+  level_[source_] = 0;
+  queue.push_back(source_);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (int32_t half : adjacency_[u]) {
+      const HalfEdge& e = edges_[half];
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[u] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[sink_] >= 0;
+}
+
+int64_t FlowNetwork::Dfs(NodeId node, int64_t limit) {
+  if (node == sink_) return limit;
+  for (size_t& i = iter_[node]; i < adjacency_[node].size(); ++i) {
+    int32_t half = adjacency_[node][i];
+    HalfEdge& e = edges_[half];
+    if (e.capacity <= 0 || level_[e.to] != level_[node] + 1) continue;
+    int64_t pushed = Dfs(e.to, std::min(limit, e.capacity));
+    if (pushed > 0) {
+      e.capacity -= pushed;
+      edges_[half ^ 1].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+int64_t FlowNetwork::MaxFlow(NodeId source, NodeId sink) {
+  assert(source != sink);
+  source_ = source;
+  sink_ = sink;
+  int64_t total = 0;
+  while (Bfs()) {
+    iter_.assign(num_nodes(), 0);
+    while (int64_t pushed = Dfs(source_, kInfiniteCapacity)) {
+      total = SaturatingAddCapacity(total, pushed);
+      if (total >= kInfiniteCapacity) return kInfiniteCapacity;
+    }
+  }
+  return total;
+}
+
+std::vector<FlowNetwork::EdgeId> FlowNetwork::MinCutEdges() const {
+  // Nodes reachable from the source in the residual graph.
+  std::vector<bool> reachable(num_nodes(), false);
+  std::deque<NodeId> queue;
+  reachable[source_] = true;
+  queue.push_back(source_);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (int32_t half : adjacency_[u]) {
+      const HalfEdge& e = edges_[half];
+      if (e.capacity > 0 && !reachable[e.to]) {
+        reachable[e.to] = true;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  std::vector<EdgeId> cut;
+  for (size_t half = 0; half < edges_.size(); half += 2) {
+    NodeId from = edges_[half + 1].to;
+    NodeId to = edges_[half].to;
+    if (reachable[from] && !reachable[to]) {
+      cut.push_back(static_cast<EdgeId>(half / 2));
+    }
+  }
+  return cut;
+}
+
+}  // namespace qp

@@ -1,0 +1,80 @@
+#ifndef QP_FLOW_MAX_FLOW_H_
+#define QP_FLOW_MAX_FLOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace qp {
+
+/// Capacity value treated as "infinite" (not purchasable / uncuttable).
+/// Chosen far below the int64 maximum so sums of a few infinities do not
+/// overflow.
+inline constexpr int64_t kInfiniteCapacity =
+    std::numeric_limits<int64_t>::max() / 8;
+
+/// Adds capacities, saturating at kInfiniteCapacity.
+inline int64_t SaturatingAddCapacity(int64_t a, int64_t b) {
+  int64_t sum = a + b;  // safe: operands are <= kInfiniteCapacity = max/8
+  return sum >= kInfiniteCapacity ? kInfiniteCapacity : sum;
+}
+
+/// A directed flow network with integer capacities and Dinic max-flow.
+/// The min s-t cut (the dual used by Theorem 3.13 of the paper) can be
+/// extracted after running MaxFlow.
+class FlowNetwork {
+ public:
+  using NodeId = int32_t;
+  using EdgeId = int32_t;
+
+  /// Adds a node and returns its id.
+  NodeId AddNode();
+
+  /// Adds `count` nodes, returning the id of the first.
+  NodeId AddNodes(int count);
+
+  /// Adds a directed edge with the given capacity (clamped to
+  /// kInfiniteCapacity) and returns its id.
+  EdgeId AddEdge(NodeId from, NodeId to, int64_t capacity);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()) / 2; }
+
+  /// The capacity the edge was created with (MaxFlow mutates residuals,
+  /// not this).
+  int64_t EdgeCapacity(EdgeId e) const { return original_capacity_[e]; }
+  NodeId EdgeFrom(EdgeId e) const { return edges_[2 * e + 1].to; }
+  NodeId EdgeTo(EdgeId e) const { return edges_[2 * e].to; }
+
+  /// Computes the maximum s-t flow. Returns kInfiniteCapacity if the flow
+  /// is unbounded (no finite cut separates s from t). Resets any previous
+  /// flow.
+  int64_t MaxFlow(NodeId source, NodeId sink);
+
+  /// After MaxFlow: the edges of a minimum cut (source side -> sink side in
+  /// the residual graph). Only meaningful when MaxFlow returned a finite
+  /// value.
+  std::vector<EdgeId> MinCutEdges() const;
+
+ private:
+  struct HalfEdge {
+    NodeId to;
+    int64_t capacity;  // residual capacity
+  };
+
+  bool Bfs();
+  int64_t Dfs(NodeId node, int64_t limit);
+
+  std::vector<HalfEdge> edges_;  // pairs: forward at 2e, backward at 2e+1
+  std::vector<int64_t> original_capacity_;
+  std::vector<std::vector<int32_t>> adjacency_;  // indexes into edges_
+  std::vector<int32_t> level_;
+  std::vector<std::size_t> iter_;
+  NodeId source_ = -1;
+  NodeId sink_ = -1;
+};
+
+}  // namespace qp
+
+#endif  // QP_FLOW_MAX_FLOW_H_

@@ -1,0 +1,263 @@
+#include "qp/market/catalog_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "qp/util/strings.h"
+
+namespace qp {
+namespace {
+
+Status LineError(size_t line_no, std::string_view message) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                 std::string(message));
+}
+
+/// Parses `'abc'` or `"abc"` or `-123` into a Value.
+Result<Value> ParseValueToken(std::string_view token) {
+  token = Trim(token);
+  if (token.empty()) return Status::InvalidArgument("empty value");
+  if (token.front() == '\'' || token.front() == '"') {
+    if (token.size() < 2 || token.back() != token.front()) {
+      return Status::InvalidArgument("unterminated quoted value");
+    }
+    return Value::Str(std::string(token.substr(1, token.size() - 2)));
+  }
+  errno = 0;
+  char* end = nullptr;
+  std::string buf(token);
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad value token '" + buf + "'");
+  }
+  return Value::Int(v);
+}
+
+/// Parses `$12.34` (or `12.34`, or `$12`) into Money.
+Result<Money> ParseMoneyToken(std::string_view token) {
+  token = Trim(token);
+  if (!token.empty() && token.front() == '$') token.remove_prefix(1);
+  std::string buf(token);
+  size_t dot = buf.find('.');
+  std::string dollars = dot == std::string::npos ? buf : buf.substr(0, dot);
+  std::string cents = dot == std::string::npos ? "0" : buf.substr(dot + 1);
+  if (dollars.empty() || cents.empty() || cents.size() > 2) {
+    return Status::InvalidArgument("bad price '" + buf + "'");
+  }
+  for (char c : dollars) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("bad price '" + buf + "'");
+    }
+  }
+  for (char c : cents) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("bad price '" + buf + "'");
+    }
+  }
+  if (cents.size() == 1) cents += "0";
+  return Money{std::stoll(dollars) * 100 + std::stoll(cents)};
+}
+
+/// Splits a comma-separated argument list, respecting quotes.
+Result<std::vector<std::string>> SplitArgs(std::string_view text,
+                                           size_t line_no) {
+  std::vector<std::string> out;
+  std::string current;
+  char quote = 0;
+  for (char c : text) {
+    if (quote != 0) {
+      current += c;
+      if (c == quote) quote = 0;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      current += c;
+    } else if (c == ',') {
+      out.push_back(std::string(Trim(current)));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (quote != 0) return LineError(line_no, "unterminated quote");
+  if (!Trim(current).empty() || !out.empty()) {
+    out.push_back(std::string(Trim(current)));
+  }
+  return out;
+}
+
+/// "Rel.attr" -> (rel, attr).
+Result<std::pair<std::string, std::string>> ParseAttrRefText(
+    std::string_view text, size_t line_no) {
+  size_t dot = text.find('.');
+  if (dot == std::string_view::npos) {
+    return LineError(line_no, "expected Relation.attribute");
+  }
+  return std::make_pair(std::string(Trim(text.substr(0, dot))),
+                        std::string(Trim(text.substr(dot + 1))));
+}
+
+}  // namespace
+
+Status LoadSellerFromString(Seller* seller, std::string_view text) {
+  std::vector<std::string> lines = SplitAndTrim(text, '\n');
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const size_t line_no = i + 1;
+    std::string_view line = Trim(lines[i]);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (StartsWith(line, "relation ")) {
+      line.remove_prefix(9);
+      size_t open = line.find('(');
+      size_t close = line.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close < open) {
+        return LineError(line_no, "expected relation Name(attr, ...)");
+      }
+      std::string name(Trim(line.substr(0, open)));
+      std::vector<std::string> attrs =
+          SplitAndTrim(line.substr(open + 1, close - open - 1), ',');
+      // Columns are declared separately; declare with empty columns and
+      // fill them on `column` lines.
+      auto rel = seller->catalog().AddRelation(name, attrs);
+      if (!rel.ok()) return LineError(line_no, rel.status().message());
+      continue;
+    }
+
+    if (StartsWith(line, "column ")) {
+      line.remove_prefix(7);
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        return LineError(line_no, "expected column Rel.attr: values");
+      }
+      auto ref = ParseAttrRefText(line.substr(0, colon), line_no);
+      if (!ref.ok()) return ref.status();
+      auto args = SplitArgs(line.substr(colon + 1), line_no);
+      if (!args.ok()) return args.status();
+      std::vector<Value> values;
+      for (const std::string& token : *args) {
+        auto value = ParseValueToken(token);
+        if (!value.ok()) return LineError(line_no, value.status().message());
+        values.push_back(std::move(*value));
+      }
+      Status status =
+          seller->catalog().SetColumn(ref->first, ref->second, values);
+      if (!status.ok()) return LineError(line_no, status.message());
+      continue;
+    }
+
+    if (StartsWith(line, "row ")) {
+      line.remove_prefix(4);
+      size_t open = line.find('(');
+      size_t close = line.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos) {
+        return LineError(line_no, "expected row Rel(v1, ...)");
+      }
+      std::string rel(Trim(line.substr(0, open)));
+      auto args = SplitArgs(line.substr(open + 1, close - open - 1), line_no);
+      if (!args.ok()) return args.status();
+      std::vector<Value> values;
+      for (const std::string& token : *args) {
+        auto value = ParseValueToken(token);
+        if (!value.ok()) return LineError(line_no, value.status().message());
+        values.push_back(std::move(*value));
+      }
+      Status status = seller->Load(rel, {values});
+      if (!status.ok()) return LineError(line_no, status.message());
+      continue;
+    }
+
+    if (StartsWith(line, "price ")) {
+      line.remove_prefix(6);
+      size_t eq = line.find('=');
+      size_t colon = line.rfind(':');
+      if (eq == std::string_view::npos || colon == std::string_view::npos ||
+          colon < eq) {
+        return LineError(line_no, "expected price Rel.attr=value: $p");
+      }
+      auto ref = ParseAttrRefText(line.substr(0, eq), line_no);
+      if (!ref.ok()) return ref.status();
+      auto value = ParseValueToken(line.substr(eq + 1, colon - eq - 1));
+      if (!value.ok()) return LineError(line_no, value.status().message());
+      auto price = ParseMoneyToken(line.substr(colon + 1));
+      if (!price.ok()) return LineError(line_no, price.status().message());
+      Status status =
+          seller->SetPrice(ref->first, ref->second, *value, *price);
+      if (!status.ok()) return LineError(line_no, status.message());
+      continue;
+    }
+
+    return LineError(line_no, "unknown directive");
+  }
+  return Status::Ok();
+}
+
+Status LoadSellerFromFile(Seller* seller, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return LoadSellerFromString(seller, buffer.str());
+}
+
+std::string SaveSellerToString(const Seller& seller) {
+  const Catalog& catalog = seller.catalog();
+  const Schema& schema = catalog.schema();
+  std::string out = "# qpricer market file: " + seller.name() + "\n";
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    out += "relation " + schema.relation_name(r) + "(";
+    for (int p = 0; p < schema.arity(r); ++p) {
+      if (p > 0) out += ", ";
+      out += schema.attr_name(AttrRef{r, p});
+    }
+    out += ")\n";
+  }
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    for (int p = 0; p < schema.arity(r); ++p) {
+      AttrRef attr{r, p};
+      if (!catalog.HasColumn(attr)) continue;
+      out += "column " + schema.AttrToString(attr) + ":";
+      bool first = true;
+      for (ValueId v : catalog.Column(attr)) {
+        out += first ? " " : ", ";
+        first = false;
+        out += catalog.dict().Get(v).ToString();
+      }
+      out += "\n";
+    }
+  }
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    // Deterministic order: collect and sort decoded tuples.
+    std::vector<Tuple> tuples(seller.db().Relation(r).begin(),
+                              seller.db().Relation(r).end());
+    std::sort(tuples.begin(), tuples.end());
+    for (const Tuple& t : tuples) {
+      out += "row " + schema.relation_name(r) + "(";
+      for (size_t p = 0; p < t.size(); ++p) {
+        if (p > 0) out += ", ";
+        out += catalog.dict().Get(t[p]).ToString();
+      }
+      out += ")\n";
+    }
+  }
+  for (const auto& [view, price] : seller.prices().Sorted()) {
+    out += "price " + schema.AttrToString(view.attr) + "=" +
+           catalog.dict().Get(view.value).ToString() + ": " +
+           MoneyToString(price) + "\n";
+  }
+  return out;
+}
+
+Status SaveSellerToFile(const Seller& seller, const std::string& path) {
+  std::ofstream out_file(path);
+  if (!out_file) return Status::InvalidArgument("cannot write '" + path + "'");
+  out_file << SaveSellerToString(seller);
+  return Status::Ok();
+}
+
+}  // namespace qp

@@ -1,0 +1,33 @@
+#ifndef QP_MARKET_CATALOG_IO_H_
+#define QP_MARKET_CATALOG_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "qp/market/seller.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Plain-text serialization of a seller's offering (schema, columns, data,
+/// price points). The format is line-based:
+///
+///   # comment
+///   relation Business(bid, state)
+///   column Business.bid: 'biz0', 'biz1', 'biz2'
+///   column Business.state: 'WA', 'OR'
+///   row Business('biz0', 'WA')
+///   price Business.state='WA': $199.00
+///
+/// Values are quoted strings or integers; prices are `$dollars.cents`.
+/// Relations must be declared before their columns, columns before rows
+/// and prices.
+Status LoadSellerFromString(Seller* seller, std::string_view text);
+Status LoadSellerFromFile(Seller* seller, const std::string& path);
+
+std::string SaveSellerToString(const Seller& seller);
+Status SaveSellerToFile(const Seller& seller, const std::string& path);
+
+}  // namespace qp
+
+#endif  // QP_MARKET_CATALOG_IO_H_

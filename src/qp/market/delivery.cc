@@ -1,0 +1,71 @@
+#include "qp/market/delivery.h"
+
+#include <algorithm>
+
+#include "qp/determinacy/selection_determinacy.h"
+#include "qp/eval/evaluator.h"
+
+namespace qp {
+
+std::vector<ViewExtension> MaterializeViews(
+    const Instance& db, const std::vector<SelectionView>& views) {
+  std::vector<ViewExtension> out;
+  out.reserve(views.size());
+  for (const SelectionView& view : views) {
+    ViewExtension extension;
+    extension.view = view;
+    for (const Tuple& t : db.Relation(view.attr.rel)) {
+      if (t[view.attr.pos] == view.value) extension.tuples.push_back(t);
+    }
+    std::sort(extension.tuples.begin(), extension.tuples.end());
+    out.push_back(std::move(extension));
+  }
+  return out;
+}
+
+BuyerClient::BuyerClient(const Catalog* catalog)
+    : catalog_(catalog), known_(catalog) {}
+
+Status BuyerClient::AddPurchase(const ViewExtension& extension) {
+  const SelectionView& view = extension.view;
+  if (view.attr.rel < 0 ||
+      view.attr.rel >= catalog_->schema().num_relations()) {
+    return Status::InvalidArgument("unknown relation in view extension");
+  }
+  for (const Tuple& t : extension.tuples) {
+    if (static_cast<int>(t.size()) !=
+        catalog_->schema().arity(view.attr.rel)) {
+      return Status::InvalidArgument("arity mismatch in view extension");
+    }
+    if (t[view.attr.pos] != view.value) {
+      return Status::InvalidArgument(
+          "tuple in view extension does not satisfy the selection");
+    }
+    auto inserted = known_.Insert(view.attr.rel, t);
+    if (!inserted.ok()) return inserted.status();
+  }
+  views_.push_back(view);
+  return Status::Ok();
+}
+
+Result<bool> BuyerClient::CanAnswer(const ConjunctiveQuery& q) const {
+  // The buyer's knowledge is exactly: covered positions are fully known
+  // (their tuples are in `known_`), everything else is open. That makes
+  // `known_` the buyer's Dmin, and the Theorem 3.3 test applies verbatim —
+  // note it never touches the seller's D.
+  return SelectionViewsDetermine(known_, views_, q);
+}
+
+Result<std::vector<Tuple>> BuyerClient::Answer(
+    const ConjunctiveQuery& q) const {
+  auto can = CanAnswer(q);
+  if (!can.ok()) return can.status();
+  if (!*can) {
+    return Status::FailedPrecondition(
+        "the purchased views do not determine this query; buy more views");
+  }
+  Evaluator eval(&known_);
+  return eval.Eval(q);
+}
+
+}  // namespace qp

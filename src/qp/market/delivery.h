@@ -1,0 +1,62 @@
+#ifndef QP_MARKET_DELIVERY_H_
+#define QP_MARKET_DELIVERY_H_
+
+#include <vector>
+
+#include "qp/pricing/price_points.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// A purchased view with its extension: the full tuples of the relation
+/// matching the selection. This is what the seller ships; together with
+/// the public catalog (columns), it is *all* the buyer knows.
+struct ViewExtension {
+  SelectionView view;
+  std::vector<Tuple> tuples;
+};
+
+/// Seller side: materializes the extensions of the given views on D.
+std::vector<ViewExtension> MaterializeViews(
+    const Instance& db, const std::vector<SelectionView>& views);
+
+/// Buyer side: the paper's determinacy story made operational. The buyer
+/// holds only the public catalog and purchased view extensions; from them
+/// she can (a) decide whether a query is answerable — instance-based
+/// determinacy, Definition 2.2, computed with the same Dmin/Dmax test as
+/// Theorem 3.3, which needs no access to D — and (b) compute the answer,
+/// which then provably equals Q(D).
+class BuyerClient {
+ public:
+  /// The catalog (schema + columns) is public market knowledge.
+  explicit BuyerClient(const Catalog* catalog);
+
+  /// Ingests a purchased view. Tuples must match the view's selection and
+  /// the catalog's columns.
+  Status AddPurchase(const ViewExtension& extension);
+
+  /// True if the purchased views determine `q`: the buyer can compute the
+  /// exact answer without further purchases.
+  Result<bool> CanAnswer(const ConjunctiveQuery& q) const;
+
+  /// Computes Q(D) from the purchases. Fails with FailedPrecondition if
+  /// the views do not determine `q`.
+  Result<std::vector<Tuple>> Answer(const ConjunctiveQuery& q) const;
+
+  /// The certain world reconstructed so far (tuples known present).
+  const Instance& known_world() const { return known_; }
+  const std::vector<SelectionView>& purchased_views() const {
+    return views_;
+  }
+
+ private:
+  const Catalog* catalog_;
+  Instance known_;
+  std::vector<SelectionView> views_;
+};
+
+}  // namespace qp
+
+#endif  // QP_MARKET_DELIVERY_H_

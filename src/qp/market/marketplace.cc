@@ -1,0 +1,62 @@
+#include "qp/market/marketplace.h"
+
+#include "qp/eval/evaluator.h"
+#include "qp/query/parser.h"
+
+namespace qp {
+
+Marketplace::Marketplace(Seller* seller)
+    : seller_(seller), engine_(&seller->db(), &seller->prices()) {}
+
+Result<PriceQuote> Marketplace::Quote(std::string_view query_text) const {
+  auto query = ParseQuery(seller_->catalog().schema(), query_text);
+  if (!query.ok()) return query.status();
+  return engine_.Price(*query);
+}
+
+Result<Marketplace::PurchaseResult> Marketplace::Purchase(
+    const std::string& buyer, const std::string& query_text) {
+  auto query = ParseQuery(seller_->catalog().schema(), query_text);
+  if (!query.ok()) return query.status();
+  auto quote = engine_.Price(*query);
+  if (!quote.ok()) return quote.status();
+  if (IsInfinite(quote->solution.price)) {
+    return Status::FailedPrecondition(
+        "query is not for sale: no affordable view set determines it");
+  }
+  Evaluator eval(&seller_->db());
+  auto answers = eval.Eval(*query);
+  if (!answers.ok()) return answers.status();
+
+  PurchaseResult result;
+  result.receipt.order_id = next_order_id_++;
+  result.receipt.buyer = buyer;
+  result.receipt.query_text = query_text;
+  result.receipt.price = quote->solution.price;
+  result.receipt.query_class = quote->query_class;
+  result.receipt.solver = quote->solver;
+  for (const SelectionView& v : quote->solution.support) {
+    result.receipt.support.push_back(
+        SelectionViewToString(seller_->catalog(), v));
+  }
+  result.receipt.answer_rows = answers->size();
+  result.answers = std::move(*answers);
+  result.delivered = MaterializeViews(seller_->db(), quote->solution.support);
+
+  revenue_ = AddMoney(revenue_, result.receipt.price);
+  ledger_.push_back(result.receipt);
+  return result;
+}
+
+Result<PriceQuote> Marketplace::QuoteBundle(
+    const std::vector<std::string>& query_texts) const {
+  std::vector<ConjunctiveQuery> queries;
+  for (const std::string& text : query_texts) {
+    auto query = ParseQuery(seller_->catalog().schema(), text);
+    if (!query.ok()) return query.status();
+    queries.push_back(std::move(*query));
+  }
+  return engine_.PriceBundle(queries);
+}
+
+}  // namespace qp

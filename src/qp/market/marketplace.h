@@ -1,0 +1,74 @@
+#ifndef QP_MARKET_MARKETPLACE_H_
+#define QP_MARKET_MARKETPLACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qp/market/delivery.h"
+#include "qp/market/seller.h"
+#include "qp/pricing/engine.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// A completed purchase: what the buyer asked, what they paid, what they
+/// received, and the support — the explicit views whose prices justify the
+/// charge (the savvy buyer's alternative purchase, Equation 2).
+struct Receipt {
+  int64_t order_id = 0;
+  std::string buyer;
+  std::string query_text;
+  Money price = 0;
+  PricingClass query_class = PricingClass::kNPHardFull;
+  std::string solver;
+  std::vector<std::string> support;  // display form of the support views
+  size_t answer_rows = 0;
+};
+
+/// The marketplace: fronts one seller's offering, quotes arbitrage-free
+/// prices for ad-hoc queries (the capability current marketplaces lack,
+/// per Section 1), executes purchases and keeps a ledger.
+class Marketplace {
+ public:
+  /// The seller must outlive the marketplace and should be published
+  /// (validated) first.
+  explicit Marketplace(Seller* seller);
+
+  /// Parses and prices a query without buying (users "may just inquire
+  /// about the price, then decide not to buy", Section 2.6).
+  Result<PriceQuote> Quote(std::string_view query_text) const;
+
+  struct PurchaseResult {
+    Receipt receipt;
+    std::vector<Tuple> answers;
+    /// The materialized support views (what actually ships to the buyer;
+    /// by determinacy they reconstruct exactly `answers` — see
+    /// BuyerClient).
+    std::vector<ViewExtension> delivered;
+  };
+
+  /// Prices the query, evaluates it, charges the buyer and records the
+  /// sale.
+  Result<PurchaseResult> Purchase(const std::string& buyer,
+                                  const std::string& query_text);
+
+  /// Prices a bundle of queries purchased together (subadditive:
+  /// never more than the sum of the individual prices, Prop 2.8).
+  Result<PriceQuote> QuoteBundle(
+      const std::vector<std::string>& query_texts) const;
+
+  Money total_revenue() const { return revenue_; }
+  const std::vector<Receipt>& ledger() const { return ledger_; }
+
+ private:
+  Seller* seller_;
+  PricingEngine engine_;
+  std::vector<Receipt> ledger_;
+  Money revenue_ = 0;
+  int64_t next_order_id_ = 1;
+};
+
+}  // namespace qp
+
+#endif  // QP_MARKET_MARKETPLACE_H_

@@ -1,0 +1,60 @@
+#include "qp/market/seller.h"
+
+namespace qp {
+
+Seller::Seller(std::string name)
+    : name_(std::move(name)),
+      catalog_(std::make_unique<Catalog>()),
+      db_(std::make_unique<Instance>(catalog_.get())) {}
+
+Status Seller::DeclareRelation(const std::string& rel,
+                               const std::vector<std::string>& attrs,
+                               const std::vector<std::vector<Value>>& columns) {
+  if (columns.size() != attrs.size()) {
+    return Status::InvalidArgument(
+        "DeclareRelation needs one column per attribute");
+  }
+  auto rel_id = catalog_->AddRelation(rel, attrs);
+  if (!rel_id.ok()) return rel_id.status();
+  for (size_t p = 0; p < columns.size(); ++p) {
+    QP_RETURN_IF_ERROR(catalog_->SetColumn(
+        AttrRef{*rel_id, static_cast<int>(p)}, columns[p]));
+  }
+  return Status::Ok();
+}
+
+Status Seller::Load(std::string_view rel,
+                    const std::vector<std::vector<Value>>& rows) {
+  for (const auto& row : rows) {
+    auto inserted = db_->Insert(rel, row);
+    if (!inserted.ok()) return inserted.status();
+  }
+  return Status::Ok();
+}
+
+Status Seller::SetPrice(std::string_view rel, std::string_view attr,
+                        const Value& value, Money price) {
+  return prices_.Set(*catalog_, rel, attr, value, price);
+}
+
+Status Seller::SetUniformPrice(std::string_view rel, std::string_view attr,
+                               Money price) {
+  return prices_.SetUniform(*catalog_, rel, attr, price);
+}
+
+Result<ConsistencyReport> Seller::Publish() const {
+  ConsistencyReport report = CheckSelectionConsistency(*catalog_, prices_);
+  if (!report.consistent) return report;  // caller inspects violations
+  std::vector<RelationId> all;
+  for (RelationId r = 0; r < catalog_->schema().num_relations(); ++r) {
+    all.push_back(r);
+  }
+  if (!prices_.SellsWholeDatabase(*catalog_, all)) {
+    return Status::FailedPrecondition(
+        "price points do not determine the whole database: every relation "
+        "needs a fully covered attribute (Lemma 3.1)");
+  }
+  return report;
+}
+
+}  // namespace qp

@@ -1,0 +1,64 @@
+#ifndef QP_MARKET_SELLER_H_
+#define QP_MARKET_SELLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qp/pricing/consistency.h"
+#include "qp/pricing/price_points.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// The data seller's side of a marketplace: owns the catalog, the dataset
+/// and the explicit price points. Publishing validates the two standing
+/// assumptions of the paper — the price points are consistent
+/// (Proposition 3.2, no arbitrage among the explicit views) and the whole
+/// dataset is (indirectly) for sale (Section 2.4 / Lemma 3.1).
+class Seller {
+ public:
+  explicit Seller(std::string name);
+
+  const std::string& name() const { return name_; }
+  Catalog& catalog() { return *catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+  Instance& db() { return *db_; }
+  const Instance& db() const { return *db_; }
+  SelectionPriceSet& prices() { return prices_; }
+  const SelectionPriceSet& prices() const { return prices_; }
+
+  /// Declares a relation with its columns. Must be called before loading
+  /// data.
+  Status DeclareRelation(const std::string& rel,
+                         const std::vector<std::string>& attrs,
+                         const std::vector<std::vector<Value>>& columns);
+
+  /// Loads rows into a relation.
+  Status Load(std::string_view rel,
+              const std::vector<std::vector<Value>>& rows);
+
+  /// Sets the price of one selection view σ_{rel.attr=value}.
+  Status SetPrice(std::string_view rel, std::string_view attr,
+                  const Value& value, Money price);
+
+  /// Prices every value of an attribute's column uniformly (the
+  /// "$199 per state" pattern of the introduction).
+  Status SetUniformPrice(std::string_view rel, std::string_view attr,
+                         Money price);
+
+  /// Validates the offering: consistency and whole-database coverage.
+  /// Returns the consistency report; `ok()` iff publishable.
+  Result<ConsistencyReport> Publish() const;
+
+ private:
+  std::string name_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<Instance> db_;
+  SelectionPriceSet prices_;
+};
+
+}  // namespace qp
+
+#endif  // QP_MARKET_SELLER_H_

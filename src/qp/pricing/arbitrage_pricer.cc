@@ -1,0 +1,73 @@
+#include "qp/pricing/arbitrage_pricer.h"
+
+#include <algorithm>
+
+namespace qp {
+
+ArbitragePricer::ArbitragePricer(const Instance* db,
+                                 std::vector<GeneralPricePoint> points,
+                                 DeterminacyMode mode,
+                                 WorldEnumerationOptions options)
+    : db_(db), points_(std::move(points)), mode_(mode), options_(options) {}
+
+Result<bool> ArbitragePricer::Determines(const QueryBundle& views,
+                                         const QueryBundle& query) const {
+  if (mode_ == DeterminacyMode::kInstanceBased) {
+    return EnumerationDetermines(*db_, views, query, options_);
+  }
+  return RestrictedEnumerationDetermines(*db_, views, query, options_);
+}
+
+Result<ArbitrageQuote> ArbitragePricer::Price(const QueryBundle& query) const {
+  const size_t n = points_.size();
+  if (n > 20) {
+    return Status::ResourceExhausted(
+        "too many explicit price points for subset enumeration");
+  }
+  ArbitrageQuote best;
+  // Iterate subsets cheapest-first is not easy; enumerate all with price
+  // pruning. The empty subset handles trivially-determined queries.
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    Money cost = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        cost = AddMoney(cost, points_[i].price);
+      }
+    }
+    if (cost >= best.price) continue;
+    QueryBundle views;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        views = QueryBundle::Union(views, points_[i].views);
+      }
+    }
+    auto determines = Determines(views, query);
+    if (!determines.ok()) return determines.status();
+    if (*determines) {
+      best.price = cost;
+      best.support.clear();
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (uint64_t{1} << i)) {
+          best.support.push_back(points_[i].name);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+Result<GeneralConsistencyReport> ArbitragePricer::CheckConsistency() const {
+  GeneralConsistencyReport report;
+  for (const GeneralPricePoint& point : points_) {
+    auto quote = Price(point.views);
+    if (!quote.ok()) return quote.status();
+    if (quote->price < point.price) {
+      report.consistent = false;
+      report.violations.push_back(GeneralInconsistency{
+          point.name, point.price, quote->price, quote->support});
+    }
+  }
+  return report;
+}
+
+}  // namespace qp

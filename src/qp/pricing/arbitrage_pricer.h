@@ -1,0 +1,90 @@
+#ifndef QP_PRICING_ARBITRAGE_PRICER_H_
+#define QP_PRICING_ARBITRAGE_PRICER_H_
+
+#include <string>
+#include <vector>
+
+#include "qp/determinacy/world_enumeration.h"
+#include "qp/pricing/money.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// An explicit price point (V, p) of Section 2.4: a query bundle sold at a
+/// fixed price.
+struct GeneralPricePoint {
+  std::string name;
+  QueryBundle views;
+  Money price = 0;
+};
+
+/// Which determinacy relation backs the pricing function.
+enum class DeterminacyMode {
+  /// Instance-based determinacy ։ (Definition 2.2).
+  kInstanceBased,
+  /// Its restriction ։* (Proposition 2.24): monotone for monotone views,
+  /// so prices never decrease under insertions.
+  kRestricted,
+};
+
+/// The outcome of Equation 2 on one query bundle.
+struct ArbitrageQuote {
+  Money price = kInfiniteMoney;
+  /// Names of the price points in the cheapest support.
+  std::vector<std::string> support;
+};
+
+/// One violation of Theorem 2.15's consistency criterion.
+struct GeneralInconsistency {
+  std::string point_name;
+  Money explicit_price = 0;
+  Money arbitrage_price = 0;
+  std::vector<std::string> cheaper_support;
+};
+
+struct GeneralConsistencyReport {
+  bool consistent = true;
+  std::vector<GeneralInconsistency> violations;
+};
+
+/// The Section 2 pricing framework in full generality: explicit price
+/// points on arbitrary UCQ bundles, the fundamental arbitrage-price
+/// formula (Equation 2), and the consistency test of Theorem 2.15.
+///
+/// Determinacy is decided exactly by possible-world enumeration, which is
+/// exponential in the candidate-tuple space (the generic problem is
+/// Σp2-hard, Corollary 2.16) — intended for small schemas: demos, tests,
+/// and validating the tractable Section 3 machinery.
+class ArbitragePricer {
+ public:
+  /// `db` must outlive the pricer.
+  ArbitragePricer(const Instance* db, std::vector<GeneralPricePoint> points,
+                  DeterminacyMode mode = DeterminacyMode::kInstanceBased,
+                  WorldEnumerationOptions options = {});
+
+  /// The arbitrage-price p_S_D(Q) (Equation 2): the cheapest subset of
+  /// price points whose union determines Q. kInfiniteMoney if no subset
+  /// does (then S does not determine Q, e.g. ID is not for sale).
+  Result<ArbitrageQuote> Price(const QueryBundle& query) const;
+
+  /// Theorem 2.15(1): S is consistent iff no explicit price point can be
+  /// answered more cheaply from the other points.
+  Result<GeneralConsistencyReport> CheckConsistency() const;
+
+  const std::vector<GeneralPricePoint>& points() const { return points_; }
+
+ private:
+  Result<bool> Determines(const QueryBundle& views,
+                          const QueryBundle& query) const;
+
+  const Instance* db_;
+  std::vector<GeneralPricePoint> points_;
+  DeterminacyMode mode_;
+  WorldEnumerationOptions options_;
+};
+
+}  // namespace qp
+
+#endif  // QP_PRICING_ARBITRAGE_PRICER_H_

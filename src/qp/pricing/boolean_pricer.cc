@@ -1,0 +1,129 @@
+#include "qp/pricing/boolean_pricer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "qp/eval/evaluator.h"
+
+namespace qp {
+
+ConjunctiveQuery FullVersionOf(const ConjunctiveQuery& q) {
+  ConjunctiveQuery full(q.name() + "_full");
+  for (VarId v = 0; v < q.num_vars(); ++v) full.AddVar(q.var_name(v));
+  for (VarId v : q.BodyVars()) full.AddHeadVar(v);
+  for (const Atom& a : q.atoms()) full.AddAtom(a.rel, a.args);
+  for (const UnaryPredicate& p : q.predicates()) full.AddPredicate(p);
+  return full;
+}
+
+Result<PricingSolution> PriceTrueBooleanQuery(const Instance& db,
+                                              const SelectionPriceSet& prices,
+                                              const ConjunctiveQuery& query) {
+  const Catalog& catalog = db.catalog();
+  ConjunctiveQuery full = FullVersionOf(query);
+  Evaluator eval(&db);
+  auto witnesses = eval.Eval(full);
+  if (!witnesses.ok()) return witnesses.status();
+  if (witnesses->empty()) {
+    return Status::InvalidArgument(
+        "PriceTrueBooleanQuery requires Q(D) = true");
+  }
+
+  PricingSolution best;
+  best.price = kInfiniteMoney;
+
+  for (const Tuple& witness : *witnesses) {
+    // The witness's distinct base tuples.
+    std::map<std::pair<RelationId, Tuple>, int> tuple_index;
+    std::vector<std::pair<RelationId, Tuple>> tuples;
+    for (const Atom& atom : full.atoms()) {
+      Tuple t(atom.args.size());
+      bool resolvable = true;
+      for (size_t p = 0; p < atom.args.size(); ++p) {
+        if (atom.args[p].is_var()) {
+          // Head order of `full` equals its BodyVars() order.
+          auto head_pos = std::find(full.head().begin(), full.head().end(),
+                                    atom.args[p].var);
+          t[p] = witness[head_pos - full.head().begin()];
+        } else {
+          auto id = catalog.dict().Find(atom.args[p].constant);
+          if (!id.has_value()) {
+            resolvable = false;
+            break;
+          }
+          t[p] = *id;
+        }
+      }
+      if (!resolvable) continue;  // cannot happen for a real witness
+      auto key = std::make_pair(atom.rel, std::move(t));
+      if (tuple_index.count(key) == 0) {
+        tuple_index.emplace(key, static_cast<int>(tuples.size()));
+        tuples.push_back(key);
+      }
+    }
+    const int m = static_cast<int>(tuples.size());
+    if (m > 20) {
+      return Status::ResourceExhausted("witness has too many base tuples");
+    }
+
+    // Candidate views and the subset of witness tuples each covers.
+    std::vector<SelectionView> views;
+    std::vector<uint32_t> covers;
+    std::map<SelectionView, int> view_idx;
+    for (int i = 0; i < m; ++i) {
+      const auto& [rel, t] = tuples[i];
+      for (size_t p = 0; p < t.size(); ++p) {
+        SelectionView view{AttrRef{rel, static_cast<int>(p)}, t[p]};
+        if (!prices.Has(view)) continue;
+        auto it = view_idx.find(view);
+        int id;
+        if (it == view_idx.end()) {
+          id = static_cast<int>(views.size());
+          view_idx.emplace(view, id);
+          views.push_back(view);
+          covers.push_back(0);
+        } else {
+          id = it->second;
+        }
+        covers[id] |= (1u << i);
+      }
+    }
+
+    // Exact weighted set cover over at most 2^m masks.
+    const uint32_t full_mask = (m == 32) ? 0xffffffffu : ((1u << m) - 1);
+    std::vector<Money> dp(full_mask + 1, kInfiniteMoney);
+    std::vector<int> choice(full_mask + 1, -1);
+    std::vector<uint32_t> pred(full_mask + 1, 0);
+    dp[0] = 0;
+    for (uint32_t mask = 0; mask <= full_mask; ++mask) {
+      if (IsInfinite(dp[mask])) continue;
+      if (mask == full_mask) break;
+      // Cover the lowest uncovered tuple.
+      int bit = __builtin_ctz(~mask & full_mask);
+      for (size_t vi = 0; vi < views.size(); ++vi) {
+        if (!(covers[vi] & (1u << bit))) continue;
+        uint32_t next = mask | covers[vi];
+        Money cost = AddMoney(dp[mask], prices.Get(views[vi]));
+        if (cost < dp[next]) {
+          dp[next] = cost;
+          choice[next] = static_cast<int>(vi);
+          pred[next] = mask;
+        }
+      }
+    }
+    if (dp[full_mask] < best.price) {
+      best.price = dp[full_mask];
+      best.support.clear();
+      // Reconstruct by walking stored predecessors.
+      uint32_t mask = full_mask;
+      while (mask != 0 && choice[mask] >= 0) {
+        best.support.push_back(views[choice[mask]]);
+        mask = pred[mask];
+      }
+      std::sort(best.support.begin(), best.support.end());
+    }
+  }
+  return best;
+}
+
+}  // namespace qp

@@ -1,0 +1,31 @@
+#ifndef QP_PRICING_BOOLEAN_PRICER_H_
+#define QP_PRICING_BOOLEAN_PRICER_H_
+
+#include "qp/pricing/solution.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Builds the full version Qf of a query: same body, head = all body
+/// variables (Theorem 3.16: the complexity of a boolean query is that of
+/// its full version).
+ConjunctiveQuery FullVersionOf(const ConjunctiveQuery& q);
+
+/// Prices a boolean query Q with Q(D) = true. By Theorem 3.3, Q stays true
+/// in every possible world iff Q(Dmin) is true, i.e. some witness is
+/// entirely covered by the purchased views. The arbitrage-price is thus the
+/// cheapest full cover of any single witness (a small exact set-cover per
+/// witness, minimized over all witnesses of Qf(D)).
+///
+/// The false case is not handled here: when Q(D) = false the price equals
+/// the price of Qf (every candidate must be blocked — condition (B) alone),
+/// which the engine routes through the regular solvers.
+Result<PricingSolution> PriceTrueBooleanQuery(const Instance& db,
+                                              const SelectionPriceSet& prices,
+                                              const ConjunctiveQuery& query);
+
+}  // namespace qp
+
+#endif  // QP_PRICING_BOOLEAN_PRICER_H_

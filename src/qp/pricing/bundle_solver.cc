@@ -1,0 +1,281 @@
+#include "qp/pricing/bundle_solver.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "qp/flow/max_flow.h"
+#include "qp/query/analysis.h"
+#include "qp/util/hash.h"
+
+namespace qp {
+namespace {
+
+struct MemberChain {
+  const ConjunctiveQuery* query;
+  std::vector<ChainLink> links;
+  /// Attribute at each link's entry/exit position.
+  std::vector<AttrRef> entry_attr;
+  std::vector<AttrRef> exit_attr;
+  /// Harmonized domain of each slot (0..K).
+  std::vector<std::vector<ValueId>> slot_domain;
+};
+
+}  // namespace
+
+Result<PricingSolution> PriceChainBundleByMergedCut(
+    const Instance& db, const SelectionPriceSet& prices,
+    const std::vector<ConjunctiveQuery>& queries,
+    const ChainSolverOptions& options, ChainGraphStats* stats) {
+  (void)options;  // the merged construction always uses hubs
+  if (queries.empty()) {
+    PricingSolution empty;
+    empty.price = 0;
+    return empty;
+  }
+  const Catalog& catalog = db.catalog();
+
+  // ---- Validate members and build chain structures -------------------------
+  std::vector<MemberChain> members;
+  std::map<RelationId, int> orientation;  // entry position of binary atoms
+  for (const ConjunctiveQuery& q : queries) {
+    if (!q.IsFull() || q.HasSelfJoin() || !q.predicates().empty()) {
+      return Status::InvalidArgument(
+          "merged bundle solver requires full, predicate-free, "
+          "self-join-free chain queries");
+    }
+    auto order = FindGChQOrder(q);
+    if (!order.has_value()) {
+      return Status::InvalidArgument("bundle member is not a chain query");
+    }
+    auto links = BuildChainLinks(q, *order);
+    if (!links.ok()) return links.status();
+
+    MemberChain member;
+    member.query = &q;
+    member.links = std::move(*links);
+    for (const ChainLink& link : member.links) {
+      const Atom& atom = q.atoms()[link.atom_idx];
+      member.entry_attr.push_back(AttrRef{atom.rel, link.entry_pos});
+      member.exit_attr.push_back(AttrRef{atom.rel, link.exit_pos});
+      if (!link.unary) {
+        auto [it, fresh] = orientation.emplace(atom.rel, link.entry_pos);
+        if (!fresh && it->second != link.entry_pos) {
+          return Status::InvalidArgument(
+              "bundle members traverse relation '" +
+              catalog.schema().relation_name(atom.rel) +
+              "' in opposite directions");
+        }
+      }
+    }
+
+    // Slot domains: intersection of the columns of every position a slot's
+    // variable occupies in this member.
+    const int num_links = static_cast<int>(member.links.size());
+    std::vector<VarId> slot_var(num_links + 1);
+    slot_var[0] = member.links[0].entry_var;
+    for (int i = 0; i < num_links; ++i) {
+      slot_var[i + 1] = member.links[i].exit_var;
+    }
+    std::map<VarId, std::vector<AttrRef>> var_positions;
+    for (int i = 0; i < num_links; ++i) {
+      var_positions[member.links[i].entry_var].push_back(
+          member.entry_attr[i]);
+      if (!member.links[i].unary) {
+        var_positions[member.links[i].exit_var].push_back(
+            member.exit_attr[i]);
+      }
+    }
+    for (int i = 0; i <= num_links; ++i) {
+      const auto& positions = var_positions[slot_var[i]];
+      if (positions.empty() || !catalog.HasColumn(positions[0])) {
+        return Status::FailedPrecondition("missing column");
+      }
+      std::vector<ValueId> domain;
+      for (ValueId v : catalog.Column(positions[0])) {
+        bool in_all = true;
+        for (size_t j = 1; j < positions.size() && in_all; ++j) {
+          in_all = catalog.InColumn(positions[j], v);
+        }
+        if (in_all) domain.push_back(v);
+      }
+      member.slot_domain.push_back(std::move(domain));
+    }
+    members.push_back(std::move(member));
+  }
+
+  // ---- Shared nodes ---------------------------------------------------------
+  FlowNetwork net;
+  const auto s = net.AddNode();
+  const auto t = net.AddNode();
+
+  struct NodePair {
+    int32_t v = -1;
+    int32_t w = -1;
+  };
+  std::unordered_map<SelectionView, NodePair, SelectionViewHasher> nodes;
+  std::unordered_map<int32_t, SelectionView> view_edge_to_view;
+  int64_t view_edge_count = 0;
+  auto node_pair = [&](AttrRef attr, ValueId value) -> NodePair {
+    SelectionView key{attr, value};
+    auto it = nodes.find(key);
+    if (it != nodes.end()) return it->second;
+    NodePair pair{net.AddNode(), net.AddNode()};
+    Money capacity = prices.Get(key);
+    auto e = net.AddEdge(pair.v, pair.w, capacity);
+    if (!IsInfinite(capacity)) {
+      view_edge_to_view.emplace(e, key);
+      ++view_edge_count;
+    }
+    nodes.emplace(key, pair);
+    return pair;
+  };
+
+  // Tuple edges once per binary relation over the full column product.
+  std::set<RelationId> tuple_edges_done;
+  for (const MemberChain& member : members) {
+    for (size_t i = 0; i < member.links.size(); ++i) {
+      if (member.links[i].unary) continue;
+      RelationId rel = member.query->atoms()[member.links[i].atom_idx].rel;
+      if (!tuple_edges_done.insert(rel).second) continue;
+      AttrRef entry = member.entry_attr[i];
+      AttrRef exit = member.exit_attr[i];
+      for (ValueId a : catalog.Column(entry)) {
+        for (ValueId b : catalog.Column(exit)) {
+          net.AddEdge(node_pair(entry, a).w, node_pair(exit, b).v,
+                      kInfiniteCapacity);
+        }
+      }
+    }
+  }
+
+  // ---- Per-member skip structure (hub construction) -------------------------
+  for (const MemberChain& member : members) {
+    const int num_links = static_cast<int>(member.links.size());
+    // Dense indexes per slot.
+    std::vector<std::unordered_map<ValueId, int>> slot_index(num_links + 1);
+    for (int i = 0; i <= num_links; ++i) {
+      for (size_t j = 0; j < member.slot_domain[i].size(); ++j) {
+        slot_index[i].emplace(member.slot_domain[i][j],
+                              static_cast<int>(j));
+      }
+    }
+    // Present pairs per link, as dense indexes.
+    std::vector<std::vector<std::pair<int, int>>> present(num_links);
+    for (int i = 0; i < num_links; ++i) {
+      const ChainLink& link = member.links[i];
+      const Atom& atom = member.query->atoms()[link.atom_idx];
+      std::unordered_set<uint64_t> seen;
+      for (const Tuple& tuple : db.Relation(atom.rel)) {
+        auto ia = slot_index[i].find(tuple[link.entry_pos]);
+        auto ib = slot_index[i + 1].find(tuple[link.exit_pos]);
+        if (ia == slot_index[i].end() || ib == slot_index[i + 1].end()) {
+          continue;
+        }
+        if (seen.insert(PackPair(ia->second, ib->second)).second) {
+          present[i].emplace_back(ia->second, ib->second);
+        }
+      }
+    }
+
+    // Hub nodes.
+    std::vector<int32_t> src_hub(num_links), dst_hub(num_links + 1),
+        mid_hub(num_links + 1, -1);
+    for (int i = 0; i < num_links; ++i) {
+      src_hub[i] =
+          net.AddNodes(static_cast<int>(member.slot_domain[i].size()));
+    }
+    for (int i = 1; i <= num_links; ++i) {
+      dst_hub[i] =
+          net.AddNodes(static_cast<int>(member.slot_domain[i].size()));
+    }
+    for (int i = 1; i < num_links; ++i) {
+      mid_hub[i] =
+          net.AddNodes(static_cast<int>(member.slot_domain[i].size()));
+    }
+    auto entry_v = [&](int link, int idx) {
+      return node_pair(member.entry_attr[link],
+                       member.slot_domain[link][idx])
+          .v;
+    };
+    auto exit_w = [&](int link, int idx) {
+      const ChainLink& l = member.links[link];
+      AttrRef attr = l.unary ? member.entry_attr[link]
+                             : member.exit_attr[link];
+      return node_pair(attr, member.slot_domain[link + 1][idx]).w;
+    };
+
+    for (size_t a = 0; a < member.slot_domain[0].size(); ++a) {
+      net.AddEdge(s, src_hub[0] + static_cast<int>(a), kInfiniteCapacity);
+    }
+    for (int i = 0; i + 1 < num_links; ++i) {
+      for (const auto& [a, b] : present[i]) {
+        net.AddEdge(src_hub[i] + a, src_hub[i + 1] + b, kInfiniteCapacity);
+      }
+    }
+    for (int m = 0; m < num_links; ++m) {
+      for (size_t a = 0; a < member.slot_domain[m].size(); ++a) {
+        net.AddEdge(src_hub[m] + static_cast<int>(a),
+                    entry_v(m, static_cast<int>(a)), kInfiniteCapacity);
+      }
+    }
+    for (size_t b = 0; b < member.slot_domain[num_links].size(); ++b) {
+      net.AddEdge(dst_hub[num_links] + static_cast<int>(b), t,
+                  kInfiniteCapacity);
+    }
+    for (int i = 1; i < num_links; ++i) {
+      for (const auto& [a, b] : present[i]) {
+        net.AddEdge(dst_hub[i] + a, dst_hub[i + 1] + b, kInfiniteCapacity);
+      }
+    }
+    for (int l = 0; l < num_links; ++l) {
+      for (size_t b = 0; b < member.slot_domain[l + 1].size(); ++b) {
+        net.AddEdge(exit_w(l, static_cast<int>(b)),
+                    dst_hub[l + 1] + static_cast<int>(b),
+                    kInfiniteCapacity);
+      }
+    }
+    for (int l = 0; l + 1 < num_links; ++l) {
+      for (size_t b = 0; b < member.slot_domain[l + 1].size(); ++b) {
+        net.AddEdge(exit_w(l, static_cast<int>(b)),
+                    mid_hub[l + 1] + static_cast<int>(b),
+                    kInfiniteCapacity);
+      }
+    }
+    for (int i = 1; i + 1 < num_links; ++i) {
+      for (const auto& [a, b] : present[i]) {
+        net.AddEdge(mid_hub[i] + a, mid_hub[i + 1] + b, kInfiniteCapacity);
+      }
+    }
+    for (int m = 1; m < num_links; ++m) {
+      for (size_t a = 0; a < member.slot_domain[m].size(); ++a) {
+        net.AddEdge(mid_hub[m] + static_cast<int>(a),
+                    entry_v(m, static_cast<int>(a)), kInfiniteCapacity);
+      }
+    }
+  }
+
+  // ---- Solve ----------------------------------------------------------------
+  int64_t flow = net.MaxFlow(s, t);
+  if (stats != nullptr) {
+    stats->nodes = net.num_nodes();
+    stats->edges = net.num_edges();
+    stats->view_edges = view_edge_count;
+    stats->max_flow = flow;
+  }
+  PricingSolution solution;
+  solution.price = flow >= kInfiniteCapacity ? kInfiniteMoney : flow;
+  if (!IsInfinite(solution.price)) {
+    std::set<SelectionView> support;
+    for (auto e : net.MinCutEdges()) {
+      auto it = view_edge_to_view.find(e);
+      if (it != view_edge_to_view.end()) support.insert(it->second);
+    }
+    solution.support.assign(support.begin(), support.end());
+  }
+  return solution;
+}
+
+}  // namespace qp

@@ -1,0 +1,34 @@
+#ifndef QP_PRICING_BUNDLE_SOLVER_H_
+#define QP_PRICING_BUNDLE_SOLVER_H_
+
+#include <vector>
+
+#include "qp/pricing/chain_solver.h"
+#include "qp/pricing/solution.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Prices a GChQ query bundle (Definition 3.9) in PTIME by a *merged*
+/// min-cut: all member queries share one flow network in which the view
+/// and tuple edges of common relations appear once, while each member
+/// contributes its own skip structure. A view set determines the bundle
+/// iff it determines every member (Lemma 2.6(b)), i.e. iff it cuts every
+/// member's s-t paths — a single min-cut on the merged graph.
+///
+/// Scope: members must be chain queries (Definition 3.12 — unary/binary
+/// atoms, no constants, predicates or repeated variables) and every shared
+/// binary relation must be traversed in the same direction by all members
+/// (guaranteed by Definition 3.9's shared-prefix/suffix discipline).
+/// Returns InvalidArgument outside this scope; the engine then falls back
+/// to the exact clause solver.
+Result<PricingSolution> PriceChainBundleByMergedCut(
+    const Instance& db, const SelectionPriceSet& prices,
+    const std::vector<ConjunctiveQuery>& queries,
+    const ChainSolverOptions& options = {}, ChainGraphStats* stats = nullptr);
+
+}  // namespace qp
+
+#endif  // QP_PRICING_BUNDLE_SOLVER_H_

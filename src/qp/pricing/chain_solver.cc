@@ -1,0 +1,366 @@
+#include "qp/pricing/chain_solver.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "qp/flow/max_flow.h"
+#include "qp/util/hash.h"
+
+namespace qp {
+namespace {
+
+/// Dense value indexing per variable domain.
+struct DomainIndex {
+  std::vector<ValueId> values;                     // sorted
+  std::unordered_map<ValueId, int> index_of;
+
+  explicit DomainIndex(const std::vector<ValueId>& domain) : values(domain) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      index_of.emplace(values[i], static_cast<int>(i));
+    }
+  }
+  int size() const { return static_cast<int>(values.size()); }
+};
+
+/// Present tuples of one link as dense index pairs (entry_idx, exit_idx).
+struct PresentPairs {
+  std::vector<std::pair<int, int>> pairs;
+  std::unordered_set<uint64_t> member;
+
+  void Add(int a, int b) {
+    if (member.insert(PackPair(static_cast<uint32_t>(a),
+                               static_cast<uint32_t>(b)))
+            .second) {
+      pairs.emplace_back(a, b);
+    }
+  }
+  bool Has(int a, int b) const {
+    return member.count(PackPair(static_cast<uint32_t>(a),
+                                 static_cast<uint32_t>(b))) > 0;
+  }
+};
+
+}  // namespace
+
+Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
+                                         const std::vector<WorkLink>& links,
+                                         const ChainSolverOptions& options,
+                                         ChainGraphStats* stats,
+                                         const PairPriceFn* pair_prices,
+                                         std::vector<CutPairEdge>* cut_pairs) {
+  const int num_links = static_cast<int>(links.size());
+  if (num_links == 0) return Status::InvalidArgument("empty chain");
+
+  // Slot variables: slot i sits between link i-1 and link i.
+  // slot_var[0] = entry var of link 0; slot_var[i+1] = exit var of link i.
+  std::vector<VarId> slot_var(num_links + 1);
+  slot_var[0] =
+      problem.atoms[links[0].atom].positions[links[0].entry_pos].var;
+  for (int i = 0; i < num_links; ++i) {
+    slot_var[i + 1] =
+        problem.atoms[links[i].atom].positions[links[i].exit_pos].var;
+  }
+
+  // Empty domain anywhere: no candidate answers exist in any possible
+  // world, so the query is trivially determined — price 0.
+  for (int i = 0; i <= num_links; ++i) {
+    if (problem.var_domain[slot_var[i]].empty()) {
+      PricingSolution trivial;
+      trivial.price = 0;
+      return trivial;
+    }
+  }
+
+  std::vector<DomainIndex> slot_domain;
+  slot_domain.reserve(num_links + 1);
+  for (int i = 0; i <= num_links; ++i) {
+    slot_domain.emplace_back(problem.var_domain[slot_var[i]]);
+  }
+
+  // Present pairs per link, as dense (entry slot index, exit slot index).
+  std::vector<PresentPairs> present(num_links);
+  for (int i = 0; i < num_links; ++i) {
+    const WorkLink& link = links[i];
+    const WorkAtom& atom = problem.atoms[link.atom];
+    for (const Tuple& t : atom.tuples) {
+      ValueId a = t[link.entry_pos];
+      ValueId b = t[link.exit_pos];
+      auto ia = slot_domain[i].index_of.find(a);
+      auto ib = slot_domain[i + 1].index_of.find(b);
+      if (ia == slot_domain[i].index_of.end() ||
+          ib == slot_domain[i + 1].index_of.end()) {
+        continue;  // outside the harmonized domains
+      }
+      present[i].Add(ia->second, ib->second);
+    }
+  }
+
+  // Left partial answers Lt[i] ⊆ dom(slot i): values reachable through an
+  // all-present prefix of links 0..i-1 (Lt[0] = the whole column).
+  std::vector<std::vector<char>> lt(num_links + 1);
+  lt[0].assign(slot_domain[0].size(), 1);
+  for (int i = 0; i < num_links; ++i) {
+    lt[i + 1].assign(slot_domain[i + 1].size(), 0);
+    for (const auto& [a, b] : present[i].pairs) {
+      if (lt[i][a]) lt[i + 1][b] = 1;
+    }
+  }
+  // Right partial answers Rt[i] ⊆ dom(slot i): values from which links
+  // i..K-1 can be completed all-present (Rt[K] = the whole column).
+  std::vector<std::vector<char>> rt(num_links + 1);
+  rt[num_links].assign(slot_domain[num_links].size(), 1);
+  for (int i = num_links - 1; i >= 0; --i) {
+    rt[i].assign(slot_domain[i].size(), 0);
+    for (const auto& [a, b] : present[i].pairs) {
+      if (rt[i + 1][b]) rt[i][a] = 1;
+    }
+  }
+
+  // ---- Graph construction -------------------------------------------------
+  FlowNetwork net;
+  const auto s = net.AddNode();
+  const auto t = net.AddNode();
+
+  // v/w node pairs per (link, side, value). Unary links have one side.
+  // side 0 = entry position, side 1 = exit position (binary only).
+  struct SideNodes {
+    int32_t v_base = -1;
+    int32_t w_base = -1;
+  };
+  std::vector<std::array<SideNodes, 2>> side_nodes(num_links);
+  for (int i = 0; i < num_links; ++i) {
+    int entry_n = slot_domain[i].size();
+    side_nodes[i][0].v_base = net.AddNodes(entry_n);
+    side_nodes[i][0].w_base = net.AddNodes(entry_n);
+    if (!links[i].unary) {
+      int exit_n = slot_domain[i + 1].size();
+      side_nodes[i][1].v_base = net.AddNodes(exit_n);
+      side_nodes[i][1].w_base = net.AddNodes(exit_n);
+    }
+  }
+  auto v_node = [&](int link, int side, int idx) {
+    return side_nodes[link][side].v_base + idx;
+  };
+  auto w_node = [&](int link, int side, int idx) {
+    return side_nodes[link][side].w_base + idx;
+  };
+  // Entry node of a link traversal and exit node.
+  auto entry_v = [&](int link, int idx) { return v_node(link, 0, idx); };
+  auto exit_w = [&](int link, int idx) {
+    return w_node(link, links[link].unary ? 0 : 1, idx);
+  };
+
+  // View edges: finite capacity = explicit price; mapping for support.
+  struct ViewEdgeInfo {
+    int link;
+    int side;
+    ValueId value;
+  };
+  std::unordered_map<int32_t, ViewEdgeInfo> view_edge_info;
+  int64_t view_edge_count = 0;
+  auto add_view_edges = [&](int link, int side, int pos, int slot) {
+    const WorkPosition& position =
+        problem.atoms[links[link].atom].positions[pos];
+    for (int idx = 0; idx < slot_domain[slot].size(); ++idx) {
+      ValueId value = slot_domain[slot].values[idx];
+      auto it = position.cost.find(value);
+      Money capacity = (it == position.cost.end()) ? kInfiniteMoney
+                                                   : it->second;
+      auto e = net.AddEdge(v_node(link, side, idx), w_node(link, side, idx),
+                           capacity);
+      if (!IsInfinite(capacity)) {
+        view_edge_info.emplace(e, ViewEdgeInfo{link, side, value});
+        ++view_edge_count;
+      }
+    }
+  };
+  for (int i = 0; i < num_links; ++i) {
+    add_view_edges(i, 0, links[i].entry_pos, i);
+    if (!links[i].unary) add_view_edges(i, 1, links[i].exit_pos, i + 1);
+  }
+
+  // Tuple edges (binary links): w(entry) -> v(exit), one per potential
+  // tuple. Capacity is infinite unless a multi-attribute price exists.
+  struct TupleEdgeInfo {
+    int link;
+    ValueId entry;
+    ValueId exit;
+  };
+  std::unordered_map<int32_t, TupleEdgeInfo> tuple_edge_info;
+  for (int i = 0; i < num_links; ++i) {
+    if (links[i].unary) continue;
+    for (int a = 0; a < slot_domain[i].size(); ++a) {
+      for (int b = 0; b < slot_domain[i + 1].size(); ++b) {
+        Money capacity = kInfiniteMoney;
+        if (pair_prices != nullptr) {
+          capacity = (*pair_prices)(i, slot_domain[i].values[a],
+                                    slot_domain[i + 1].values[b]);
+        }
+        auto e = net.AddEdge(w_node(i, 0, a), v_node(i, 1, b), capacity);
+        if (!IsInfinite(capacity)) {
+          tuple_edge_info.emplace(
+              e, TupleEdgeInfo{i, slot_domain[i].values[a],
+                               slot_domain[i + 1].values[b]});
+        }
+      }
+    }
+  }
+
+  // ---- Skip edges ----------------------------------------------------------
+  if (options.skip_mode == ChainSolverOptions::SkipMode::kDirect) {
+    // Literal construction: Md[i][j] = pairs (a at slot i, b at slot j)
+    // connected by an all-present run of links i..j-1.
+    // s -> v(entry m, a)            iff a ∈ Lt[m]
+    // exit_w(l, b) -> v(entry m, a) iff (b,a) ∈ Md[l+1][m], l < m
+    // exit_w(l, b) -> t             iff b ∈ Rt[l+1]
+    for (int m = 0; m < num_links; ++m) {
+      for (int a = 0; a < slot_domain[m].size(); ++a) {
+        if (lt[m][a]) net.AddEdge(s, entry_v(m, a), kInfiniteCapacity);
+      }
+    }
+    for (int l = 0; l < num_links; ++l) {
+      for (int b = 0; b < slot_domain[l + 1].size(); ++b) {
+        if (rt[l + 1][b]) {
+          net.AddEdge(exit_w(l, b), t, kInfiniteCapacity);
+        }
+      }
+    }
+    // Md via DP from each start slot.
+    for (int start = 1; start < num_links; ++start) {
+      // reach[b] at the current slot; start with the diagonal.
+      std::vector<std::vector<char>> reach(num_links + 1);
+      reach[start].assign(slot_domain[start].size(), 0);
+      // Md[start][start]: diagonal (empty middle run).
+      // Skip edges exit_w(start-1, b) -> entry_v(start, b).
+      for (int b = 0; b < slot_domain[start].size(); ++b) {
+        net.AddEdge(exit_w(start - 1, b), entry_v(start, b),
+                    kInfiniteCapacity);
+      }
+      // For longer runs we need per-source reachability; do a DP per
+      // source value at slot `start`.
+      for (int src = 0; src < slot_domain[start].size(); ++src) {
+        std::vector<char> cur(slot_domain[start].size(), 0);
+        cur[src] = 1;
+        for (int j = start; j < num_links; ++j) {
+          std::vector<char> next(slot_domain[j + 1].size(), 0);
+          for (const auto& [a, b] : present[j].pairs) {
+            if (cur[a]) next[b] = 1;
+          }
+          // Md[start][j+1] pairs (src, b): skip edges into link j+1.
+          if (j + 1 < num_links) {
+            for (int b = 0; b < slot_domain[j + 1].size(); ++b) {
+              if (next[b]) {
+                net.AddEdge(exit_w(start - 1, src), entry_v(j + 1, b),
+                            kInfiniteCapacity);
+              }
+            }
+          }
+          cur = std::move(next);
+        }
+      }
+    }
+  } else {
+    // Hub construction. Three disjoint hub families so no all-infinite
+    // s-t path can bypass the view edges:
+    //  * SrcHub(slot, a): reachable from s through an all-present prefix.
+    //  * DstHub(slot, b): reaches t through an all-present suffix.
+    //  * MidHub(slot, a): connects two absent-atom traversals through an
+    //    all-present middle run.
+    std::vector<int32_t> src_hub(num_links), dst_hub(num_links + 1),
+        mid_hub(num_links + 1, -1);
+    for (int i = 0; i < num_links; ++i) {
+      src_hub[i] = net.AddNodes(slot_domain[i].size());
+    }
+    for (int i = 1; i <= num_links; ++i) {
+      dst_hub[i] = net.AddNodes(slot_domain[i].size());
+    }
+    for (int i = 1; i < num_links; ++i) {
+      mid_hub[i] = net.AddNodes(slot_domain[i].size());
+    }
+    // Source side.
+    for (int a = 0; a < slot_domain[0].size(); ++a) {
+      net.AddEdge(s, src_hub[0] + a, kInfiniteCapacity);
+    }
+    for (int i = 0; i + 1 < num_links; ++i) {
+      for (const auto& [a, b] : present[i].pairs) {
+        net.AddEdge(src_hub[i] + a, src_hub[i + 1] + b, kInfiniteCapacity);
+      }
+    }
+    for (int m = 0; m < num_links; ++m) {
+      for (int a = 0; a < slot_domain[m].size(); ++a) {
+        net.AddEdge(src_hub[m] + a, entry_v(m, a), kInfiniteCapacity);
+      }
+    }
+    // Sink side.
+    for (int b = 0; b < slot_domain[num_links].size(); ++b) {
+      net.AddEdge(dst_hub[num_links] + b, t, kInfiniteCapacity);
+    }
+    for (int i = 1; i < num_links; ++i) {
+      for (const auto& [a, b] : present[i].pairs) {
+        net.AddEdge(dst_hub[i] + a, dst_hub[i + 1] + b, kInfiniteCapacity);
+      }
+    }
+    for (int l = 0; l < num_links; ++l) {
+      for (int b = 0; b < slot_domain[l + 1].size(); ++b) {
+        net.AddEdge(exit_w(l, b), dst_hub[l + 1] + b, kInfiniteCapacity);
+      }
+    }
+    // Middle runs.
+    for (int l = 0; l + 1 < num_links; ++l) {
+      for (int b = 0; b < slot_domain[l + 1].size(); ++b) {
+        net.AddEdge(exit_w(l, b), mid_hub[l + 1] + b, kInfiniteCapacity);
+      }
+    }
+    for (int i = 1; i + 1 < num_links; ++i) {
+      for (const auto& [a, b] : present[i].pairs) {
+        net.AddEdge(mid_hub[i] + a, mid_hub[i + 1] + b, kInfiniteCapacity);
+      }
+    }
+    for (int m = 1; m < num_links; ++m) {
+      for (int a = 0; a < slot_domain[m].size(); ++a) {
+        net.AddEdge(mid_hub[m] + a, entry_v(m, a), kInfiniteCapacity);
+      }
+    }
+  }
+
+  // ---- Solve ----------------------------------------------------------------
+  int64_t flow = net.MaxFlow(s, t);
+  if (stats != nullptr) {
+    stats->nodes = net.num_nodes();
+    stats->edges = net.num_edges();
+    stats->view_edges = view_edge_count;
+    stats->max_flow = flow;
+  }
+
+  PricingSolution solution;
+  solution.price = flow;
+  if (IsInfinite(solution.price)) {
+    solution.price = kInfiniteMoney;
+    return solution;
+  }
+  // Support: views on the min cut.
+  std::set<SelectionView> support;
+  for (auto e : net.MinCutEdges()) {
+    auto view_it = view_edge_info.find(e);
+    if (view_it != view_edge_info.end()) {
+      const ViewEdgeInfo& info = view_it->second;
+      const WorkLink& link = links[info.link];
+      int pos = info.side == 0 ? link.entry_pos : link.exit_pos;
+      const WorkPosition& position =
+          problem.atoms[link.atom].positions[pos];
+      auto origin = position.origin.find(info.value);
+      if (origin != position.origin.end()) support.insert(origin->second);
+      continue;
+    }
+    auto tuple_it = tuple_edge_info.find(e);
+    if (tuple_it != tuple_edge_info.end() && cut_pairs != nullptr) {
+      const TupleEdgeInfo& info = tuple_it->second;
+      cut_pairs->push_back(CutPairEdge{info.link, info.entry, info.exit});
+    }
+  }
+  solution.support.assign(support.begin(), support.end());
+  return solution;
+}
+
+}  // namespace qp

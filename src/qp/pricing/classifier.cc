@@ -1,0 +1,138 @@
+#include "qp/pricing/classifier.h"
+
+#include <algorithm>
+#include <set>
+
+#include "qp/pricing/boolean_pricer.h"
+#include "qp/query/analysis.h"
+
+namespace qp {
+
+std::string_view PricingClassName(PricingClass cls) {
+  switch (cls) {
+    case PricingClass::kGChQ:
+      return "GChQ (PTIME, min-cut)";
+    case PricingClass::kCycle:
+      return "cycle (PTIME per Thm 3.15; exact solver)";
+    case PricingClass::kNPHardFull:
+      return "NP-complete (full CQ)";
+    case PricingClass::kNonFull:
+      return "NP-complete (projection)";
+    case PricingClass::kBoolean:
+      return "boolean (priced via full version)";
+    case PricingClass::kOutsideDichotomy:
+      return "self-join (outside dichotomy)";
+    case PricingClass::kDisconnected:
+      return "disconnected (Prop 3.14 composition)";
+    case PricingClass::kUnion:
+      return "union of CQs (exact search, Cor 3.4)";
+  }
+  return "unknown";
+}
+
+ConjunctiveQuery StructurallyNormalize(const ConjunctiveQuery& q) {
+  // Work on argument lists of variables only.
+  std::vector<std::vector<VarId>> args(q.atoms().size());
+  for (size_t a = 0; a < q.atoms().size(); ++a) {
+    std::set<VarId> seen;
+    for (const Term& t : q.atoms()[a].args) {
+      if (!t.is_var()) continue;             // drop constants
+      if (!seen.insert(t.var).second) continue;  // merge repeats
+      args[a].push_back(t.var);
+    }
+  }
+  // Drop hanging variables while their atom keeps >= 1 argument.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<int> occurrences(q.num_vars(), 0);
+    for (const auto& atom_args : args) {
+      for (VarId v : atom_args) ++occurrences[v];
+    }
+    for (auto& atom_args : args) {
+      if (atom_args.size() < 2) continue;
+      for (size_t i = 0; i < atom_args.size();) {
+        if (occurrences[atom_args[i]] == 1 && atom_args.size() > 1) {
+          atom_args.erase(atom_args.begin() + i);
+          changed = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  // Rebuild as a query over fresh relations of matching arity. Relation
+  // identity is preserved through atom order; the normalized query is used
+  // only for shape tests (GChQ order / cycle detection), which depend on
+  // relation ids solely through self-join detection, so we keep them.
+  ConjunctiveQuery out(q.name() + "_norm");
+  for (VarId v = 0; v < q.num_vars(); ++v) out.AddVar(q.var_name(v));
+  for (size_t a = 0; a < q.atoms().size(); ++a) {
+    std::vector<Term> terms;
+    for (VarId v : args[a]) terms.push_back(Term::MakeVar(v));
+    out.AddAtom(q.atoms()[a].rel, std::move(terms));
+  }
+  std::set<VarId> head_vars;
+  for (const auto& atom_args : args) {
+    for (VarId v : atom_args) head_vars.insert(v);
+  }
+  for (VarId v : head_vars) out.AddHeadVar(v);
+  return out;
+}
+
+QueryClassification ClassifyConnectedQuery(const ConjunctiveQuery& q) {
+  QueryClassification result;
+  if (q.IsBoolean() && q.BodyVars().empty()) {
+    // Ground query (constants only): determined by covering / blocking a
+    // fixed set of tuples — trivially PTIME.
+    result.cls = PricingClass::kBoolean;
+    result.ptime = true;
+    result.reason = "ground boolean query";
+    return result;
+  }
+  if (q.IsBoolean()) {
+    QueryClassification full = ClassifyConnectedQuery(FullVersionOf(q));
+    result.cls = PricingClass::kBoolean;
+    result.ptime = full.ptime;
+    result.gchq_order = full.gchq_order;
+    result.reason = "boolean query; full version is " +
+                    std::string(PricingClassName(full.cls));
+    return result;
+  }
+  if (q.HasSelfJoin()) {
+    result.cls = PricingClass::kOutsideDichotomy;
+    result.ptime = false;
+    result.reason = "query has a self-join; the dichotomy of Theorem 3.16 "
+                    "does not apply";
+    return result;
+  }
+  if (!q.IsFull()) {
+    result.cls = PricingClass::kNonFull;
+    result.ptime = false;
+    result.reason = "query is neither full nor boolean: NP-complete "
+                    "(Theorem 3.16)";
+    return result;
+  }
+  ConjunctiveQuery normalized = StructurallyNormalize(q);
+  if (auto order = FindGChQOrder(normalized); order.has_value()) {
+    result.cls = PricingClass::kGChQ;
+    result.ptime = true;
+    result.gchq_order = *order;
+    result.reason = "generalized chain query: PTIME via min-cut "
+                    "(Theorem 3.7)";
+    return result;
+  }
+  if (FindCycleOrder(normalized).has_value() && q.predicates().empty()) {
+    result.cls = PricingClass::kCycle;
+    result.ptime = true;
+    result.reason = "cycle query: PTIME per Theorem 3.15";
+    return result;
+  }
+  result.cls = PricingClass::kNPHardFull;
+  result.ptime = false;
+  result.reason = "full CQ that is neither GChQ nor a cycle: NP-complete "
+                  "(Theorem 3.16)";
+  return result;
+}
+
+}  // namespace qp

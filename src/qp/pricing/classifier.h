@@ -1,0 +1,64 @@
+#ifndef QP_PRICING_CLASSIFIER_H_
+#define QP_PRICING_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "qp/query/query.h"
+
+namespace qp {
+
+/// The pricing-complexity class of a query per the dichotomy theorem
+/// (Theorem 3.16), which also selects the solver the engine dispatches to.
+enum class PricingClass {
+  /// Generalized chain query: PTIME via the min-cut pipeline (Thm 3.7).
+  kGChQ,
+  /// Cycle query Ck: PTIME per Theorem 3.15. The concrete algorithm lives
+  /// only in the paper's unpublished full version; we price cycles exactly
+  /// with the clause solver (see DESIGN.md, Substitutions).
+  kCycle,
+  /// Full CQ without self-joins that is neither: NP-complete (Thm 3.16).
+  kNPHardFull,
+  /// Non-full, non-boolean: NP-complete (Thm 3.16).
+  kNonFull,
+  /// Boolean query: same complexity as its full version (Thm 3.16).
+  kBoolean,
+  /// Has self-joins: outside the dichotomy; priced exactly, complexity
+  /// label unknown (H3 of Theorem 3.5 shows some are NP-complete).
+  kOutsideDichotomy,
+  /// Multiple connected components, composed via Proposition 3.14.
+  kDisconnected,
+  /// Union of conjunctive queries: NP upper bound (Corollary 3.4), priced
+  /// exactly by branch-and-bound over view subsets.
+  kUnion,
+};
+
+std::string_view PricingClassName(PricingClass cls);
+
+struct QueryClassification {
+  PricingClass cls = PricingClass::kNPHardFull;
+  /// Whether the dichotomy places the query in PTIME.
+  bool ptime = false;
+  /// Valid GChQ atom order when cls == kGChQ.
+  std::vector<int> gchq_order;
+  /// Human-readable explanation of the classification.
+  std::string reason;
+};
+
+/// Classifies a *connected* query per Theorem 3.16:
+///  1. boolean → class of its full version;
+///  2. neither full nor boolean → NP-complete;
+///  3. full: normalize (drop constants, merge repeated variables within an
+///     atom, drop hanging variables) and test GChQ, then cycle;
+///     otherwise NP-complete.
+/// Queries with self-joins are reported kOutsideDichotomy.
+QueryClassification ClassifyConnectedQuery(const ConjunctiveQuery& q);
+
+/// Structural normalization used by the classifier: removes constants,
+/// repeated variables within an atom, and hanging variables (keeping at
+/// least one argument per atom). Atom count and order are preserved.
+ConjunctiveQuery StructurallyNormalize(const ConjunctiveQuery& q);
+
+}  // namespace qp
+
+#endif  // QP_PRICING_CLASSIFIER_H_

@@ -1,0 +1,246 @@
+#include "qp/pricing/clause_solver.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "qp/pricing/hitting_set.h"
+
+namespace qp {
+namespace {
+
+/// Shared view universe across the bundle's members.
+struct ViewUniverse {
+  const SelectionPriceSet& prices;
+  std::vector<SelectionView> views;
+  std::unordered_map<SelectionView, int, SelectionViewHasher> index;
+
+  /// Index of a priced view, or -1 if the view is not for sale.
+  int IdOf(AttrRef attr, ValueId value) {
+    SelectionView view{attr, value};
+    if (!prices.Has(view)) return -1;
+    auto it = index.find(view);
+    if (it != index.end()) return it->second;
+    int id = static_cast<int>(views.size());
+    views.push_back(view);
+    index.emplace(view, id);
+    return id;
+  }
+};
+
+enum class ClauseBuildOutcome {
+  kOk,          // clauses appended
+  kInfeasible,  // some clause is empty: no view set determines the query
+  kTrivial,     // no candidates exist: trivially determined (price 0)
+};
+
+/// Builds the determinacy clauses of one full query (see header) into
+/// `clause_set`, sharing `universe` across the bundle.
+Result<ClauseBuildOutcome> BuildClauses(const Instance& db,
+                                        const ConjunctiveQuery& query,
+                                        const ClauseSolverOptions& options,
+                                        ViewUniverse* universe,
+                                        std::set<std::vector<int>>* clause_set,
+                                        int64_t* candidates_out) {
+  const Catalog& catalog = db.catalog();
+
+  // Variable domains: column intersection filtered by predicates (the
+  // Step 1 argument applies to any full query).
+  std::vector<std::vector<AttrRef>> var_attrs(query.num_vars());
+  for (const Atom& atom : query.atoms()) {
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      AttrRef attr{atom.rel, static_cast<int>(p)};
+      if (!catalog.HasColumn(attr)) {
+        return Status::FailedPrecondition(
+            "pricing requires a declared column on " +
+            catalog.schema().AttrToString(attr));
+      }
+      if (atom.args[p].is_var()) var_attrs[atom.args[p].var].push_back(attr);
+    }
+  }
+  std::vector<std::vector<ValueId>> domain(query.num_vars());
+  size_t candidate_count = 1;
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    if (var_attrs[v].empty()) {
+      return Status::InvalidArgument("variable does not occur in the body");
+    }
+    for (ValueId value : catalog.Column(var_attrs[v][0])) {
+      bool ok = true;
+      for (size_t i = 1; i < var_attrs[v].size() && ok; ++i) {
+        ok = catalog.InColumn(var_attrs[v][i], value);
+      }
+      for (const UnaryPredicate& pred : query.predicates()) {
+        if (!ok) break;
+        if (pred.var == v) ok = pred.Eval(catalog.dict().Get(value));
+      }
+      if (ok) domain[v].push_back(value);
+    }
+    if (domain[v].empty()) return ClauseBuildOutcome::kTrivial;
+    candidate_count *= domain[v].size();
+    if (candidate_count > options.max_candidates) {
+      return Status::ResourceExhausted(
+          "candidate space exceeds max_candidates");
+    }
+  }
+
+  // Constants: a constant outside its column kills every candidate of the
+  // query, making it empty in all worlds.
+  std::vector<std::vector<ValueId>> const_ids(query.atoms().size());
+  for (size_t a = 0; a < query.atoms().size(); ++a) {
+    const Atom& atom = query.atoms()[a];
+    const_ids[a].assign(atom.args.size(), 0);
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      if (atom.args[p].is_var()) continue;
+      AttrRef attr{atom.rel, static_cast<int>(p)};
+      auto id = catalog.dict().Find(atom.args[p].constant);
+      if (!id.has_value() || !catalog.InColumn(attr, *id)) {
+        return ClauseBuildOutcome::kTrivial;
+      }
+      const_ids[a][p] = *id;
+    }
+  }
+
+  auto add_clause = [&](std::vector<int> clause) -> bool {
+    if (clause.empty()) return false;
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+    clause_set->insert(std::move(clause));
+    return true;
+  };
+
+  std::vector<size_t> idx(query.num_vars(), 0);
+  Tuple assignment(query.num_vars());
+  while (true) {
+    ++*candidates_out;
+    for (VarId v = 0; v < query.num_vars(); ++v) {
+      assignment[v] = domain[v][idx[v]];
+    }
+    // Witness tuples of this candidate (deduplicated for self-joins).
+    std::map<std::pair<RelationId, Tuple>, bool> witness;  // -> present
+    for (size_t a = 0; a < query.atoms().size(); ++a) {
+      const Atom& atom = query.atoms()[a];
+      Tuple t(atom.args.size());
+      for (size_t p = 0; p < atom.args.size(); ++p) {
+        t[p] = atom.args[p].is_var() ? assignment[atom.args[p].var]
+                                     : const_ids[a][p];
+      }
+      bool present = db.Contains(atom.rel, t);
+      witness.emplace(std::make_pair(atom.rel, std::move(t)), present);
+    }
+    bool is_answer =
+        std::all_of(witness.begin(), witness.end(),
+                    [](const auto& kv) { return kv.second; });
+    if (is_answer) {
+      // (A): every witness tuple individually covered.
+      for (const auto& [key, present] : witness) {
+        std::vector<int> clause;
+        const auto& [rel, t] = key;
+        for (size_t p = 0; p < t.size(); ++p) {
+          int id = universe->IdOf(AttrRef{rel, static_cast<int>(p)}, t[p]);
+          if (id >= 0) clause.push_back(id);
+        }
+        if (!add_clause(std::move(clause))) {
+          return ClauseBuildOutcome::kInfeasible;
+        }
+      }
+    } else {
+      // (B): some absent witness tuple covered.
+      std::vector<int> clause;
+      for (const auto& [key, present] : witness) {
+        if (present) continue;
+        const auto& [rel, t] = key;
+        for (size_t p = 0; p < t.size(); ++p) {
+          int id = universe->IdOf(AttrRef{rel, static_cast<int>(p)}, t[p]);
+          if (id >= 0) clause.push_back(id);
+        }
+      }
+      if (!add_clause(std::move(clause))) {
+        return ClauseBuildOutcome::kInfeasible;
+      }
+    }
+
+    int v = query.num_vars() - 1;
+    while (v >= 0 && ++idx[v] == domain[v].size()) idx[v--] = 0;
+    if (v < 0) break;
+  }
+  return ClauseBuildOutcome::kOk;
+}
+
+}  // namespace
+
+Result<PricingSolution> PriceFullBundleByClauses(
+    const Instance& db, const SelectionPriceSet& prices,
+    const std::vector<ConjunctiveQuery>& queries,
+    const ClauseSolverOptions& options, ClauseSolverStats* stats) {
+  if (queries.empty()) {
+    // The empty bundle is free (Proposition 2.8, "not asking is free").
+    PricingSolution empty;
+    empty.price = 0;
+    return empty;
+  }
+  for (const ConjunctiveQuery& q : queries) {
+    if (!q.IsFull()) {
+      return Status::InvalidArgument(
+          "the clause solver prices full queries only");
+    }
+  }
+
+  ViewUniverse universe{prices, {}, {}};
+  std::set<std::vector<int>> clause_set;
+  int64_t candidates = 0;
+  bool infeasible = false;
+  for (const ConjunctiveQuery& q : queries) {
+    auto outcome = BuildClauses(db, q, options, &universe, &clause_set,
+                                &candidates);
+    if (!outcome.ok()) return outcome.status();
+    if (*outcome == ClauseBuildOutcome::kInfeasible) {
+      infeasible = true;
+      break;
+    }
+    // kTrivial members impose no clauses.
+  }
+
+  PricingSolution solution;
+  if (infeasible) {
+    solution.price = kInfiniteMoney;
+    if (stats != nullptr) stats->candidates = candidates;
+    return solution;
+  }
+
+  HittingSetInstance hs;
+  hs.weights.reserve(universe.views.size());
+  for (const SelectionView& v : universe.views) {
+    hs.weights.push_back(prices.Get(v));
+  }
+  hs.clauses.assign(clause_set.begin(), clause_set.end());
+
+  HittingSetResult hs_result =
+      SolveMinWeightHittingSet(hs, options.node_limit);
+  if (!hs_result.optimal) {
+    return Status::ResourceExhausted(
+        "clause solver hit its node limit (price upper bound: " +
+        MoneyToString(hs_result.cost) + ")");
+  }
+  if (stats != nullptr) {
+    stats->candidates = candidates;
+    stats->clauses = static_cast<int64_t>(hs.clauses.size());
+    stats->views = static_cast<int64_t>(universe.views.size());
+    stats->nodes_expanded = hs_result.nodes_expanded;
+  }
+  solution.price = hs_result.cost;
+  for (int item : hs_result.chosen) {
+    solution.support.push_back(universe.views[item]);
+  }
+  std::sort(solution.support.begin(), solution.support.end());
+  return solution;
+}
+
+Result<PricingSolution> PriceFullQueryByClauses(
+    const Instance& db, const SelectionPriceSet& prices,
+    const ConjunctiveQuery& query, const ClauseSolverOptions& options,
+    ClauseSolverStats* stats) {
+  return PriceFullBundleByClauses(db, prices, {query}, options, stats);
+}
+
+}  // namespace qp

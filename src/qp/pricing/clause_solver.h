@@ -1,0 +1,57 @@
+#ifndef QP_PRICING_CLAUSE_SOLVER_H_
+#define QP_PRICING_CLAUSE_SOLVER_H_
+
+#include "qp/pricing/solution.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+struct ClauseSolverOptions {
+  /// Cap on the candidate-assignment space (product of variable domains).
+  size_t max_candidates = 4'000'000;
+  /// Branch-and-bound node cap (< 0 = unlimited).
+  int64_t node_limit = -1;
+};
+
+struct ClauseSolverStats {
+  int64_t candidates = 0;
+  int64_t clauses = 0;
+  int64_t views = 0;
+  int64_t nodes_expanded = 0;
+};
+
+/// Exact pricing of a *full* conjunctive query (self-joins and interpreted
+/// predicates allowed) under selection-view price points, by reduction to
+/// minimum-weight hitting set:
+///
+/// By Theorem 3.3, V determines Q iff Q(Dmin) = Q(Dmax), which for a full
+/// query decomposes per candidate assignment ā of the variables:
+///  (A) ā is an answer  → every witness tuple of ā must be covered by a
+///      purchased view (one clause per witness tuple);
+///  (B) ā is not an answer → some *absent* witness tuple of ā must be
+///      covered (one clause over the union of their covering views).
+/// The arbitrage-price is the min-weight set of explicit views hitting all
+/// clauses. Worst-case exponential (this is the NP-complete frontier of
+/// Theorem 3.5); it is the exact baseline the PTIME solvers are verified
+/// against, and the solver used for NP-hard and cycle queries.
+Result<PricingSolution> PriceFullQueryByClauses(
+    const Instance& db, const SelectionPriceSet& prices,
+    const ConjunctiveQuery& query, const ClauseSolverOptions& options = {},
+    ClauseSolverStats* stats = nullptr);
+
+/// Exact pricing of a bundle of full CQs: by Lemma 2.6(b) a view set
+/// determines a bundle iff it determines every member, so the bundle's
+/// clauses are the union of the members' clauses over a shared view
+/// universe. This is how bundling produces subadditive prices: shared views
+/// are paid for once.
+Result<PricingSolution> PriceFullBundleByClauses(
+    const Instance& db, const SelectionPriceSet& prices,
+    const std::vector<ConjunctiveQuery>& queries,
+    const ClauseSolverOptions& options = {}, ClauseSolverStats* stats =
+        nullptr);
+
+}  // namespace qp
+
+#endif  // QP_PRICING_CLAUSE_SOLVER_H_

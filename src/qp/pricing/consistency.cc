@@ -1,0 +1,40 @@
+#include "qp/pricing/consistency.h"
+
+namespace qp {
+
+std::string ConsistencyViolation::ToString(const Catalog& catalog) const {
+  return SelectionViewToString(catalog, view) + " priced " +
+         MoneyToString(view_price) + " but the full cover of " +
+         catalog.schema().AttrToString(cheaper_cover_attr) + " costs only " +
+         MoneyToString(cover_price);
+}
+
+ConsistencyReport CheckSelectionConsistency(const Catalog& catalog,
+                                            const SelectionPriceSet& prices) {
+  ConsistencyReport report;
+  const Schema& schema = catalog.schema();
+  // Precompute full-cover costs per attribute.
+  std::unordered_map<AttrRef, Money, AttrRefHasher> cover_cost;
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    for (int p = 0; p < schema.arity(r); ++p) {
+      AttrRef attr{r, p};
+      cover_cost[attr] = prices.FullCoverCost(catalog, attr);
+    }
+  }
+  for (const auto& [view, price] : prices.Sorted()) {
+    const RelationId r = view.attr.rel;
+    for (int p = 0; p < schema.arity(r); ++p) {
+      AttrRef other{r, p};
+      if (other == view.attr) continue;
+      Money cover = cover_cost[other];
+      if (cover < price) {
+        report.consistent = false;
+        report.violations.push_back(
+            ConsistencyViolation{view, price, other, cover});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace qp

@@ -1,0 +1,38 @@
+#ifndef QP_PRICING_CONSISTENCY_H_
+#define QP_PRICING_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "qp/pricing/price_points.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// One arbitrage opportunity among the explicit price points: the view can
+/// be answered from the full cover of another attribute of the same
+/// relation for less than its explicit price.
+struct ConsistencyViolation {
+  SelectionView view;
+  Money view_price = 0;
+  AttrRef cheaper_cover_attr;
+  Money cover_price = 0;
+
+  std::string ToString(const Catalog& catalog) const;
+};
+
+struct ConsistencyReport {
+  bool consistent = true;
+  std::vector<ConsistencyViolation> violations;
+};
+
+/// Checks consistency of a selection-view price set (Proposition 3.2):
+/// S is consistent iff for every relation R, attributes X, Y and constant
+/// a ∈ Col R.X:  p(σ_{R.X=a}) ≤ Σ_{b ∈ Col R.Y} p(σ_{R.Y=b}).
+/// Instance-independent (unlike general price points, Section 2.7).
+ConsistencyReport CheckSelectionConsistency(const Catalog& catalog,
+                                            const SelectionPriceSet& prices);
+
+}  // namespace qp
+
+#endif  // QP_PRICING_CONSISTENCY_H_

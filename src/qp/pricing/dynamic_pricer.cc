@@ -1,0 +1,42 @@
+#include "qp/pricing/dynamic_pricer.h"
+
+namespace qp {
+
+DynamicPricer::DynamicPricer(Instance* db, const SelectionPriceSet* prices,
+                             PricingEngine::Options options)
+    : db_(db), engine_(db, prices, options) {}
+
+Result<PriceQuote> DynamicPricer::Watch(const std::string& name,
+                                        const ConjunctiveQuery& query) {
+  auto quote = engine_.Price(query);
+  if (!quote.ok()) return quote.status();
+  watched_[name] = Watched{query, *quote};
+  return *quote;
+}
+
+Result<PriceQuote> DynamicPricer::CurrentQuote(const std::string& name) const {
+  auto it = watched_.find(name);
+  if (it == watched_.end()) {
+    return Status::NotFound("no watched query named '" + name + "'");
+  }
+  return it->second.last_quote;
+}
+
+Result<std::vector<DynamicPricer::PriceChange>> DynamicPricer::Insert(
+    std::string_view rel, const std::vector<std::vector<Value>>& rows) {
+  for (const auto& row : rows) {
+    auto inserted = db_->Insert(rel, row);
+    if (!inserted.ok()) return inserted.status();
+  }
+  std::vector<PriceChange> changes;
+  for (auto& [name, watched] : watched_) {
+    auto quote = engine_.Price(watched.query);
+    if (!quote.ok()) return quote.status();
+    changes.push_back(PriceChange{name, watched.last_quote.solution.price,
+                                  quote->solution.price});
+    watched.last_quote = std::move(*quote);
+  }
+  return changes;
+}
+
+}  // namespace qp

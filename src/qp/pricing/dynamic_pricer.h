@@ -1,0 +1,76 @@
+#ifndef QP_PRICING_DYNAMIC_PRICER_H_
+#define QP_PRICING_DYNAMIC_PRICER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qp/pricing/engine.h"
+
+namespace qp {
+
+/// Dynamic pricing (Section 2.7): the explicit price points stay fixed
+/// while the database grows by insertions; watched queries are repriced
+/// after every batch.
+///
+/// When all views are selection queries and a watched query is a full CQ,
+/// instance-based determinacy is monotone (Proposition 2.20), hence the
+/// dynamic arbitrage-price never decreases under insertions
+/// (Proposition 2.22) and consistency, once established, is preserved
+/// (Proposition 2.23). `MonotonicityGuaranteed` reports whether the
+/// guarantee applies to a given query.
+class DynamicPricer {
+ public:
+  /// `db` and `prices` must outlive the pricer. The pricer mutates `db`
+  /// through Insert.
+  DynamicPricer(Instance* db, const SelectionPriceSet* prices,
+                PricingEngine::Options options = {});
+
+  /// Registers a query for repricing. Returns its initial quote.
+  Result<PriceQuote> Watch(const std::string& name,
+                           const ConjunctiveQuery& query);
+
+  /// The most recent quote of a watched query.
+  Result<PriceQuote> CurrentQuote(const std::string& name) const;
+
+  struct PriceChange {
+    std::string query;
+    Money before = 0;
+    Money after = 0;
+  };
+
+  /// Inserts tuples, then reprices every watched query. Returns the price
+  /// movements (after - before is >= 0 whenever MonotonicityGuaranteed).
+  Result<std::vector<PriceChange>> Insert(
+      std::string_view rel, const std::vector<std::vector<Value>>& rows);
+
+  /// True if Proposition 2.20 applies: the query is a full CQ (and all
+  /// explicit prices are on selection views by construction), so its price
+  /// is monotone under insertions.
+  static bool MonotonicityGuaranteed(const ConjunctiveQuery& query) {
+    return query.IsFull();
+  }
+
+  /// Price-point consistency; with selection views this is
+  /// instance-independent (Proposition 3.2), so insertions cannot break
+  /// it.
+  ConsistencyReport CheckConsistency() const {
+    return engine_.CheckConsistency();
+  }
+
+  const PricingEngine& engine() const { return engine_; }
+
+ private:
+  struct Watched {
+    ConjunctiveQuery query;
+    PriceQuote last_quote;
+  };
+
+  Instance* db_;
+  PricingEngine engine_;
+  std::map<std::string, Watched> watched_;
+};
+
+}  // namespace qp
+
+#endif  // QP_PRICING_DYNAMIC_PRICER_H_

@@ -1,0 +1,274 @@
+#include "qp/pricing/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "qp/eval/evaluator.h"
+#include "qp/pricing/boolean_pricer.h"
+#include "qp/pricing/bundle_solver.h"
+#include "qp/pricing/gchq_solver.h"
+
+namespace qp {
+namespace {
+
+/// The sub-query induced by a set of atom indexes: head restricted to the
+/// component's variables.
+ConjunctiveQuery ComponentQuery(const ConjunctiveQuery& q,
+                                const std::vector<int>& atom_idxs,
+                                int component_number) {
+  ConjunctiveQuery sub(q.name() + "_c" + std::to_string(component_number));
+  // Remap the component's variables to a compact id range.
+  std::map<VarId, VarId> remap;
+  auto mapped = [&](VarId v) {
+    auto it = remap.find(v);
+    if (it != remap.end()) return it->second;
+    VarId nv = sub.AddVar(q.var_name(v));
+    remap.emplace(v, nv);
+    return nv;
+  };
+  for (int a : atom_idxs) {
+    std::vector<Term> args;
+    for (const Term& t : q.atoms()[a].args) {
+      args.push_back(t.is_var() ? Term::MakeVar(mapped(t.var)) : t);
+    }
+    sub.AddAtom(q.atoms()[a].rel, std::move(args));
+  }
+  for (VarId v : q.head()) {
+    if (remap.count(v) > 0) sub.AddHeadVar(remap.at(v));
+  }
+  for (const UnaryPredicate& p : q.predicates()) {
+    if (remap.count(p.var) > 0) {
+      sub.AddPredicate(UnaryPredicate{remap.at(p.var), p.op, p.rhs});
+    }
+  }
+  return sub;
+}
+
+void MergeSupport(PricingSolution* into, const PricingSolution& from) {
+  std::set<SelectionView> merged(into->support.begin(),
+                                 into->support.end());
+  merged.insert(from.support.begin(), from.support.end());
+  into->support.assign(merged.begin(), merged.end());
+}
+
+}  // namespace
+
+PricingEngine::PricingEngine(const Instance* db,
+                             const SelectionPriceSet* prices,
+                             Options options)
+    : db_(db), prices_(prices), options_(options) {}
+
+ConsistencyReport PricingEngine::CheckConsistency() const {
+  return CheckSelectionConsistency(db_->catalog(), *prices_);
+}
+
+bool PricingEngine::SellsWholeDatabase() const {
+  std::vector<RelationId> all;
+  for (RelationId r = 0; r < db_->catalog().schema().num_relations(); ++r) {
+    all.push_back(r);
+  }
+  return prices_->SellsWholeDatabase(db_->catalog(), all);
+}
+
+Result<PriceQuote> PricingEngine::Price(const ConjunctiveQuery& query) const {
+  std::vector<std::vector<int>> components = query.ConnectedComponents();
+  if (components.size() <= 1) return PriceConnected(query);
+
+  // Proposition 3.14: compose the component prices based on emptiness.
+  Evaluator eval(db_);
+  std::vector<PriceQuote> quotes;
+  std::vector<bool> empty;
+  for (size_t c = 0; c < components.size(); ++c) {
+    ConjunctiveQuery sub = ComponentQuery(query, components[c],
+                                          static_cast<int>(c));
+    auto quote = Price(sub);
+    if (!quote.ok()) return quote.status();
+    auto satisfied = eval.IsSatisfied(sub);
+    if (!satisfied.ok()) return satisfied.status();
+    quotes.push_back(std::move(*quote));
+    empty.push_back(!*satisfied);
+  }
+
+  PriceQuote out;
+  out.query_class = PricingClass::kDisconnected;
+  out.solver = "component-composition";
+  out.ptime = std::all_of(quotes.begin(), quotes.end(),
+                          [](const PriceQuote& q) { return q.ptime; });
+  if (std::find(empty.begin(), empty.end(), true) == empty.end()) {
+    // All components non-empty: the buyer needs every component's answer.
+    out.solution.price = 0;
+    for (const PriceQuote& q : quotes) {
+      out.solution.price = AddMoney(out.solution.price, q.solution.price);
+      MergeSupport(&out.solution, q.solution);
+    }
+    out.explanation = "disconnected, all components non-empty: price is "
+                      "the sum of component prices (Prop 3.14)";
+  } else {
+    // Some component is empty: keeping the cheapest empty component
+    // provably empty determines the (empty) product.
+    out.solution.price = kInfiniteMoney;
+    for (size_t c = 0; c < quotes.size(); ++c) {
+      if (empty[c] && quotes[c].solution.price < out.solution.price) {
+        out.solution = quotes[c].solution;
+      }
+    }
+    out.explanation = "disconnected with an empty component: price is the "
+                      "cheapest empty component (Prop 3.14)";
+  }
+  return out;
+}
+
+Result<PriceQuote> PricingEngine::PriceBoolean(
+    const ConjunctiveQuery& query) const {
+  Evaluator eval(db_);
+  auto satisfied = eval.IsSatisfied(query);
+  if (!satisfied.ok()) return satisfied.status();
+
+  PriceQuote out;
+  out.query_class = PricingClass::kBoolean;
+  if (*satisfied) {
+    auto solution = PriceTrueBooleanQuery(*db_, *prices_, query);
+    if (!solution.ok()) return solution.status();
+    out.solution = std::move(*solution);
+    out.solver = "boolean-witness-cover";
+    out.explanation = "Q(D) is true: price of the cheapest fully covered "
+                      "witness";
+    out.ptime = true;  // witness cover is always PTIME
+    return out;
+  }
+  // Q(D) = false: the price equals the price of the full version (blocking
+  // every candidate), Theorem 3.16.
+  ConjunctiveQuery full = FullVersionOf(query);
+  if (full.IsBoolean()) {
+    // Ground query: one candidate; the clause solver handles it directly.
+    auto solution = PriceFullQueryByClauses(*db_, *prices_, query,
+                                            options_.clause);
+    if (!solution.ok()) return solution.status();
+    out.solution = std::move(*solution);
+    out.solver = "clause-solver(ground)";
+    out.ptime = true;
+    out.explanation = "ground boolean query, Q(D) false";
+    return out;
+  }
+  auto quote = Price(full);
+  if (!quote.ok()) return quote.status();
+  out = std::move(*quote);
+  out.query_class = PricingClass::kBoolean;
+  out.explanation = "Q(D) is false: priced as the full version (" +
+                    out.explanation + ")";
+  return out;
+}
+
+Result<PriceQuote> PricingEngine::PriceConnected(
+    const ConjunctiveQuery& query) const {
+  if (query.IsBoolean()) return PriceBoolean(query);
+
+  QueryClassification cls = ClassifyConnectedQuery(query);
+  PriceQuote out;
+  out.query_class = cls.cls;
+  out.ptime = cls.ptime;
+  out.explanation = cls.reason;
+
+  switch (cls.cls) {
+    case PricingClass::kGChQ: {
+      auto solution = PriceGChQQuery(*db_, *prices_, query, cls.gchq_order,
+                                     options_.chain);
+      if (!solution.ok()) return solution.status();
+      out.solution = std::move(*solution);
+      out.solver = "gchq-min-cut";
+      return out;
+    }
+    case PricingClass::kCycle:
+    case PricingClass::kNPHardFull:
+    case PricingClass::kOutsideDichotomy: {
+      auto solution = PriceFullQueryByClauses(*db_, *prices_, query,
+                                              options_.clause);
+      if (!solution.ok()) return solution.status();
+      out.solution = std::move(*solution);
+      out.solver = "clause-solver";
+      return out;
+    }
+    case PricingClass::kNonFull: {
+      auto solution = PriceByExhaustiveSearch(*db_, *prices_, query,
+                                              options_.exhaustive);
+      if (!solution.ok()) return solution.status();
+      out.solution = std::move(*solution);
+      out.solver = "exhaustive-search";
+      return out;
+    }
+    case PricingClass::kBoolean:
+    case PricingClass::kDisconnected:
+    case PricingClass::kUnion:
+      break;
+  }
+  return Status::Internal("unexpected classification");
+}
+
+Result<PriceQuote> PricingEngine::PriceUnion(const UnionQuery& query) const {
+  if (query.disjuncts.size() == 1) return Price(query.disjuncts[0]);
+  auto solution = PriceUnionByExhaustiveSearch(*db_, *prices_, query,
+                                               options_.exhaustive);
+  if (!solution.ok()) return solution.status();
+  PriceQuote out;
+  out.solution = std::move(*solution);
+  out.query_class = PricingClass::kUnion;
+  out.ptime = false;
+  out.solver = "exhaustive-search(ucq)";
+  out.explanation = "union of CQs priced by exact search (Cor 3.4)";
+  return out;
+}
+
+Result<PriceQuote> PricingEngine::PriceBundle(
+    const std::vector<ConjunctiveQuery>& queries) const {
+  PriceQuote out;
+  if (queries.empty()) {
+    out.solution.price = 0;
+    out.solver = "empty-bundle";
+    out.ptime = true;
+    out.explanation = "the empty bundle is free (Prop 2.8)";
+    return out;
+  }
+  if (queries.size() == 1) return Price(queries[0]);
+
+  // Chain-query bundles (Definition 3.9): merged min-cut in PTIME.
+  {
+    auto merged = PriceChainBundleByMergedCut(*db_, *prices_, queries,
+                                              options_.chain);
+    if (merged.ok()) {
+      out.solution = std::move(*merged);
+      out.ptime = true;
+      out.solver = "merged-min-cut(bundle)";
+      out.explanation = "chain-query bundle priced by a merged min-cut "
+                        "(Def 3.9)";
+      return out;
+    }
+    if (merged.status().code() != StatusCode::kInvalidArgument) {
+      return merged.status();
+    }
+    // Not a chain bundle: fall through to the exact solvers.
+  }
+
+  bool all_full = std::all_of(
+      queries.begin(), queries.end(),
+      [](const ConjunctiveQuery& q) { return q.IsFull(); });
+  if (all_full) {
+    auto solution = PriceFullBundleByClauses(*db_, *prices_, queries,
+                                             options_.clause);
+    if (!solution.ok()) return solution.status();
+    out.solution = std::move(*solution);
+    out.solver = "clause-solver(bundle)";
+    out.explanation = "bundle of full CQs: union of determinacy clauses";
+    return out;
+  }
+  auto solution = PriceByExhaustiveSearch(*db_, *prices_, queries,
+                                          options_.exhaustive);
+  if (!solution.ok()) return solution.status();
+  out.solution = std::move(*solution);
+  out.solver = "exhaustive-search(bundle)";
+  out.explanation = "general bundle: branch-and-bound with the Thm 3.3 "
+                    "determinacy oracle";
+  return out;
+}
+
+}  // namespace qp

@@ -1,0 +1,86 @@
+#ifndef QP_PRICING_ENGINE_H_
+#define QP_PRICING_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "qp/pricing/chain_solver.h"
+#include "qp/pricing/classifier.h"
+#include "qp/pricing/clause_solver.h"
+#include "qp/pricing/consistency.h"
+#include "qp/pricing/exhaustive_solver.h"
+#include "qp/pricing/solution.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// A priced query: the arbitrage-price, its optimal support, and how the
+/// engine derived it.
+struct PriceQuote {
+  PricingSolution solution;
+  PricingClass query_class = PricingClass::kNPHardFull;
+  /// Whether the dichotomy (Theorem 3.16) guarantees PTIME for this query.
+  bool ptime = false;
+  std::string solver;
+  std::string explanation;
+};
+
+/// The query-pricing engine (the paper's main deliverable): given a
+/// database, its columns, and the seller's explicit selection-view prices,
+/// computes the unique arbitrage-free, discount-free price of any
+/// conjunctive query (Equation 2) by dispatching on the dichotomy theorem:
+///   * disconnected queries  → Proposition 3.14 composition;
+///   * boolean queries       → witness cover / full-version reduction;
+///   * generalized chain     → PTIME min-cut pipeline (Theorem 3.7);
+///   * cycle queries         → exact clause solver (Theorem 3.15 class);
+///   * everything else       → exact exponential solvers (Theorem 3.5/3.16
+///                             say nothing faster exists unless P = NP).
+class PricingEngine {
+ public:
+  struct Options {
+    ChainSolverOptions chain;
+    ClauseSolverOptions clause;
+    ExhaustiveSolverOptions exhaustive;
+  };
+
+  /// `db` and `prices` must outlive the engine.
+  PricingEngine(const Instance* db, const SelectionPriceSet* prices,
+                Options options = {});
+
+  /// Prices a single conjunctive query.
+  Result<PriceQuote> Price(const ConjunctiveQuery& query) const;
+
+  /// Prices a bundle: the cheapest view set determining *every* member
+  /// (Section 2.2; always subadditive by Proposition 2.8).
+  Result<PriceQuote> PriceBundle(
+      const std::vector<ConjunctiveQuery>& queries) const;
+
+  /// Prices a union of conjunctive queries (the paper's B(UCQ) language).
+  /// A UCQ carries *less* information than the bundle of its disjuncts, so
+  /// its price is at most the bundle price.
+  Result<PriceQuote> PriceUnion(const UnionQuery& query) const;
+
+  /// Checks the seller's price points for arbitrage (Proposition 3.2).
+  ConsistencyReport CheckConsistency() const;
+
+  /// True if the price points determine the whole database (the standing
+  /// assumption of Section 2.4, via Lemma 3.1).
+  bool SellsWholeDatabase() const;
+
+  const Instance& db() const { return *db_; }
+  const SelectionPriceSet& prices() const { return *prices_; }
+
+ private:
+  Result<PriceQuote> PriceConnected(const ConjunctiveQuery& query) const;
+  Result<PriceQuote> PriceBoolean(const ConjunctiveQuery& query) const;
+
+  const Instance* db_;
+  const SelectionPriceSet* prices_;
+  Options options_;
+};
+
+}  // namespace qp
+
+#endif  // QP_PRICING_ENGINE_H_

@@ -1,0 +1,144 @@
+#include "qp/pricing/exhaustive_solver.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "qp/determinacy/selection_determinacy.h"
+
+namespace qp {
+namespace {
+
+using DeterminacyOracle =
+    std::function<Result<bool>(const std::vector<SelectionView>&)>;
+
+struct Searcher {
+  DeterminacyOracle oracle;
+  std::vector<SelectionView> views;
+  std::vector<Money> weights;
+  int64_t node_limit = -1;
+
+  Money best_cost = kInfiniteMoney;
+  std::vector<SelectionView> best_set;
+  std::vector<SelectionView> current;
+  int64_t nodes = 0;
+  bool aborted = false;
+  Status error = Status::Ok();
+
+  bool Determines(const std::vector<SelectionView>& subset) {
+    auto r = oracle(subset);
+    if (!r.ok()) {
+      error = r.status();
+      aborted = true;
+      return false;
+    }
+    return *r;
+  }
+
+  void Search(size_t idx, Money cost) {
+    if (aborted) return;
+    if (node_limit >= 0 && ++nodes > node_limit) {
+      aborted = true;
+      error = Status::ResourceExhausted("exhaustive solver node limit hit");
+      return;
+    }
+    if (cost >= best_cost) return;
+    if (Determines(current)) {
+      best_cost = cost;
+      best_set = current;
+      return;  // supersets only cost more
+    }
+    if (aborted || idx == views.size()) return;
+
+    // Feasibility: with everything remaining included, is it determined?
+    std::vector<SelectionView> all = current;
+    all.insert(all.end(), views.begin() + idx, views.end());
+    if (!Determines(all) || aborted) return;
+
+    // Include views[idx].
+    current.push_back(views[idx]);
+    Search(idx + 1, AddMoney(cost, weights[idx]));
+    current.pop_back();
+    // Exclude views[idx].
+    Search(idx + 1, cost);
+  }
+};
+
+Result<PricingSolution> RunSearch(const Instance& db,
+                                  const SelectionPriceSet& prices,
+                                  const std::vector<RelationId>& relations,
+                                  DeterminacyOracle oracle,
+                                  const ExhaustiveSolverOptions& options) {
+  const Catalog& catalog = db.catalog();
+  std::set<RelationId> relation_set(relations.begin(), relations.end());
+
+  // Relevant views: priced, on a query relation, value in the column.
+  std::vector<std::pair<SelectionView, Money>> relevant;
+  for (const auto& [view, price] : prices.Sorted()) {
+    if (relation_set.count(view.attr.rel) == 0) continue;
+    if (!catalog.InColumn(view.attr, view.value)) continue;
+    relevant.emplace_back(view, price);
+  }
+  if (relevant.size() > options.max_views) {
+    return Status::ResourceExhausted(
+        "too many relevant views for exhaustive search (" +
+        std::to_string(relevant.size()) + " > " +
+        std::to_string(options.max_views) + ")");
+  }
+  // Decide expensive views first: earlier pruning.
+  std::sort(relevant.begin(), relevant.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  Searcher searcher;
+  searcher.oracle = std::move(oracle);
+  searcher.node_limit = options.node_limit;
+  for (const auto& [view, price] : relevant) {
+    searcher.views.push_back(view);
+    searcher.weights.push_back(price);
+  }
+  searcher.Search(0, 0);
+  if (!searcher.error.ok()) return searcher.error;
+
+  PricingSolution solution;
+  solution.price = searcher.best_cost;
+  solution.support = searcher.best_set;
+  std::sort(solution.support.begin(), solution.support.end());
+  return solution;
+}
+
+}  // namespace
+
+Result<PricingSolution> PriceByExhaustiveSearch(
+    const Instance& db, const SelectionPriceSet& prices,
+    const std::vector<ConjunctiveQuery>& bundle,
+    const ExhaustiveSolverOptions& options) {
+  return RunSearch(
+      db, prices, RelationsOf(bundle),
+      [&db, &bundle](const std::vector<SelectionView>& subset) {
+        return SelectionViewsDetermine(db, subset, bundle);
+      },
+      options);
+}
+
+Result<PricingSolution> PriceByExhaustiveSearch(
+    const Instance& db, const SelectionPriceSet& prices,
+    const ConjunctiveQuery& query, const ExhaustiveSolverOptions& options) {
+  return PriceByExhaustiveSearch(
+      db, prices, std::vector<ConjunctiveQuery>{query}, options);
+}
+
+Result<PricingSolution> PriceUnionByExhaustiveSearch(
+    const Instance& db, const SelectionPriceSet& prices,
+    const UnionQuery& query, const ExhaustiveSolverOptions& options) {
+  if (query.disjuncts.empty()) {
+    return Status::InvalidArgument("union query has no disjuncts");
+  }
+  return RunSearch(
+      db, prices, RelationsOf(query.disjuncts),
+      [&db, &query](const std::vector<SelectionView>& subset) {
+        return SelectionViewsDetermine(db, subset, query);
+      },
+      options);
+}
+
+}  // namespace qp

@@ -1,0 +1,43 @@
+#ifndef QP_PRICING_EXHAUSTIVE_SOLVER_H_
+#define QP_PRICING_EXHAUSTIVE_SOLVER_H_
+
+#include "qp/pricing/solution.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+struct ExhaustiveSolverOptions {
+  /// Cap on the number of relevant explicit views (the search space is
+  /// 2^views). The exhaustive solver embodies Corollary 3.4's NP upper
+  /// bound: guess a view subset, verify determinacy in PTIME.
+  size_t max_views = 30;
+  /// Cap on search nodes (< 0 = unlimited).
+  int64_t node_limit = -1;
+};
+
+/// Exact arbitrage-price of a bundle of monotone CQs under selection-view
+/// price points, by branch-and-bound over subsets of the relevant explicit
+/// views with the Theorem 3.3 determinacy oracle. Handles any CQ shape
+/// (projections, self-joins, boolean) — the fully general, slow baseline.
+Result<PricingSolution> PriceByExhaustiveSearch(
+    const Instance& db, const SelectionPriceSet& prices,
+    const std::vector<ConjunctiveQuery>& bundle,
+    const ExhaustiveSolverOptions& options = {});
+
+/// Single-query convenience overload.
+Result<PricingSolution> PriceByExhaustiveSearch(
+    const Instance& db, const SelectionPriceSet& prices,
+    const ConjunctiveQuery& query, const ExhaustiveSolverOptions& options = {});
+
+/// Union-of-CQs pricing (the paper's B(UCQ) setting, Corollary 3.4): UCQs
+/// are monotone, so the Theorem 3.3 oracle applies; the price computation
+/// is exact branch-and-bound (NP in general).
+Result<PricingSolution> PriceUnionByExhaustiveSearch(
+    const Instance& db, const SelectionPriceSet& prices,
+    const UnionQuery& query, const ExhaustiveSolverOptions& options = {});
+
+}  // namespace qp
+
+#endif  // QP_PRICING_EXHAUSTIVE_SOLVER_H_

@@ -1,0 +1,183 @@
+#include "qp/pricing/gchq_solver.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qp {
+namespace {
+
+/// Projects position `pos` out of atom `atom_idx`: drops the position and
+/// its prices, projects and deduplicates the data.
+void ProjectOutPosition(WorkProblem* problem, int atom_idx, int pos) {
+  WorkAtom& atom = problem->atoms[atom_idx];
+  atom.positions.erase(atom.positions.begin() + pos);
+  std::vector<Tuple> projected;
+  projected.reserve(atom.tuples.size());
+  for (const Tuple& t : atom.tuples) {
+    Tuple out;
+    out.reserve(t.size() - 1);
+    for (size_t p = 0; p < t.size(); ++p) {
+      if (static_cast<int>(p) != pos) out.push_back(t[p]);
+    }
+    projected.push_back(std::move(out));
+  }
+  std::sort(projected.begin(), projected.end());
+  projected.erase(std::unique(projected.begin(), projected.end()),
+                  projected.end());
+  atom.tuples = std::move(projected);
+}
+
+/// Finds the (atom, position) of a hanging variable.
+bool FindVarPosition(const WorkProblem& problem, VarId var, int* atom_idx,
+                     int* pos) {
+  for (size_t a = 0; a < problem.atoms.size(); ++a) {
+    const WorkAtom& atom = problem.atoms[a];
+    for (size_t p = 0; p < atom.positions.size(); ++p) {
+      if (atom.positions[p].var == var) {
+        *atom_idx = static_cast<int>(a);
+        *pos = static_cast<int>(p);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Result<PricingSolution> SolveNormalized(const WorkProblem& problem,
+                                        const ChainSolverOptions& options,
+                                        GChQSolveStats* stats) {
+  // Trivial determinacy: a used variable with an empty domain means no
+  // candidate answer can exist in any possible world.
+  for (const WorkAtom& atom : problem.atoms) {
+    for (const WorkPosition& pos : atom.positions) {
+      if (problem.var_domain[pos.var].empty()) {
+        PricingSolution trivial;
+        trivial.price = 0;
+        return trivial;
+      }
+    }
+  }
+
+  std::vector<VarId> hanging = WorkHangingVars(problem);
+  if (hanging.empty()) {
+    // Step 4: the normalized problem is a chain; price it by min-cut.
+    auto links = BuildWorkChain(problem);
+    if (!links.ok()) return links.status();
+    ChainGraphStats graph_stats;
+    auto solution = SolveChainMinCut(problem, *links, options, &graph_stats);
+    if (stats != nullptr) {
+      ++stats->chain_solves;
+      stats->total_nodes += graph_stats.nodes;
+      stats->total_edges += graph_stats.edges;
+      stats->total_view_edges += graph_stats.view_edges;
+    }
+    return solution;
+  }
+
+  // Step 3 on the first hanging variable (Lemma 3.10/3.11): the optimal
+  // view set either fully covers the hanging attribute or ignores it.
+  VarId h = hanging[0];
+  int atom_idx = -1;
+  int pos = -1;
+  FindVarPosition(problem, h, &atom_idx, &pos);
+  const WorkPosition& hanging_pos = problem.atoms[atom_idx].positions[pos];
+
+  // Case (a): fully cover the hanging attribute. Its full-cover cost is the
+  // sum of the explicit prices over the variable's domain; the projected
+  // relation is then known, so one remaining attribute is given out free.
+  Money cover_cost = 0;
+  std::vector<SelectionView> cover_views;
+  bool cover_feasible = true;
+  for (ValueId value : problem.var_domain[h]) {
+    auto it = hanging_pos.cost.find(value);
+    if (it == hanging_pos.cost.end()) {
+      cover_feasible = false;
+      break;
+    }
+    cover_cost = AddMoney(cover_cost, it->second);
+    auto origin = hanging_pos.origin.find(value);
+    if (origin != hanging_pos.origin.end()) {
+      cover_views.push_back(origin->second);
+    }
+  }
+
+  PricingSolution best;
+  best.price = kInfiniteMoney;
+
+  if (cover_feasible && !IsInfinite(cover_cost)) {
+    WorkProblem covered = problem;
+    ProjectOutPosition(&covered, atom_idx, pos);
+    // Give the projected relation out for free through its first remaining
+    // position (Lemma 3.11 allows any).
+    WorkAtom& atom = covered.atoms[atom_idx];
+    if (!atom.positions.empty()) {
+      WorkPosition& free_pos = atom.positions[0];
+      free_pos.cost.clear();
+      free_pos.origin.clear();
+      for (ValueId value : covered.var_domain[free_pos.var]) {
+        free_pos.cost[value] = 0;
+      }
+    }
+    auto sub = SolveNormalized(covered, options, stats);
+    if (!sub.ok()) return sub.status();
+    Money total = AddMoney(cover_cost, sub->price);
+    if (total < best.price) {
+      best = *sub;
+      best.price = total;
+      std::set<SelectionView> merged(best.support.begin(),
+                                     best.support.end());
+      merged.insert(cover_views.begin(), cover_views.end());
+      best.support.assign(merged.begin(), merged.end());
+    }
+  }
+
+  // Case (b): do not cover the hanging attribute at all — drop its views
+  // and project it out.
+  {
+    WorkProblem uncovered = problem;
+    WorkPosition& p = uncovered.atoms[atom_idx].positions[pos];
+    p.cost.clear();
+    p.origin.clear();
+    ProjectOutPosition(&uncovered, atom_idx, pos);
+    auto sub = SolveNormalized(uncovered, options, stats);
+    if (!sub.ok()) return sub.status();
+    if (sub->price < best.price) best = *sub;
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<PricingSolution> PriceGChQQuery(const Instance& db,
+                                       const SelectionPriceSet& prices,
+                                       const ConjunctiveQuery& query,
+                                       const std::vector<int>& gchq_order,
+                                       const ChainSolverOptions& options,
+                                       GChQSolveStats* stats) {
+  if (!query.IsFull()) {
+    return Status::InvalidArgument(
+        "the GChQ pipeline prices full queries only");
+  }
+  if (gchq_order.size() != query.atoms().size()) {
+    return Status::InvalidArgument("gchq_order size mismatch");
+  }
+  // Reorder atoms into GChQ order.
+  ConjunctiveQuery ordered(query.name());
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    ordered.AddVar(query.var_name(v));
+  }
+  for (VarId v : query.head()) ordered.AddHeadVar(v);
+  for (int idx : gchq_order) {
+    ordered.AddAtom(query.atoms()[idx].rel, query.atoms()[idx].args);
+  }
+  for (const UnaryPredicate& p : query.predicates()) {
+    ordered.AddPredicate(p);
+  }
+
+  auto problem = BuildWorkProblem(db, prices, ordered);  // Step 1
+  if (!problem.ok()) return problem.status();
+  MergeRepeatedVarsInAtoms(&*problem);  // Step 2
+  return SolveNormalized(*problem, options, stats);  // Steps 3 + 4
+}
+
+}  // namespace qp

@@ -1,0 +1,48 @@
+#ifndef QP_PRICING_GCHQ_SOLVER_H_
+#define QP_PRICING_GCHQ_SOLVER_H_
+
+#include <vector>
+
+#include "qp/pricing/chain_solver.h"
+#include "qp/pricing/solution.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Aggregate statistics over the (possibly many) chain solves performed by
+/// the GChQ pipeline: Step 3 prices 2^h subproblems for h hanging
+/// attributes.
+struct GChQSolveStats {
+  int64_t chain_solves = 0;
+  int64_t total_nodes = 0;
+  int64_t total_edges = 0;
+  int64_t total_view_edges = 0;
+  /// Stats of the final (top-level winning) chain graph are not tracked
+  /// separately; use SolveChainMinCut directly for per-graph numbers.
+};
+
+/// Prices a Generalized Chain Query (Theorem 3.7, the paper's main result)
+/// in PTIME data complexity:
+///   Step 1  interpreted predicates shrink variable domains;
+///           constants become singleton-domain hanging variables;
+///   Step 2  repeated variables within an atom are merged (min prices);
+///   Step 3  each hanging attribute is either fully covered (buy its full
+///           cover, give the projected relation out for free) or not
+///           covered at all — 2^h subproblems, take the min;
+///   Step 4  the remaining chain query is priced by Min-Cut
+///           (SolveChainMinCut).
+///
+/// `gchq_order` must be a valid GChQ atom ordering (FindGChQOrder).
+/// The query must be full and self-join-free.
+Result<PricingSolution> PriceGChQQuery(const Instance& db,
+                                       const SelectionPriceSet& prices,
+                                       const ConjunctiveQuery& query,
+                                       const std::vector<int>& gchq_order,
+                                       const ChainSolverOptions& options = {},
+                                       GChQSolveStats* stats = nullptr);
+
+}  // namespace qp
+
+#endif  // QP_PRICING_GCHQ_SOLVER_H_

@@ -1,0 +1,174 @@
+#include "qp/pricing/hitting_set.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qp {
+namespace {
+
+struct Searcher {
+  const std::vector<Money>& weights;
+  std::vector<std::vector<int>> clauses;        // preprocessed
+  std::vector<std::vector<int>> item_clauses;   // item -> clause indexes
+
+  std::vector<char> chosen;
+  std::vector<char> banned;
+  std::vector<int> satisfied_by;  // clause -> count of chosen items
+  Money best_cost = kInfiniteMoney;
+  std::vector<int> best_set;
+  Money current_cost = 0;
+  std::vector<int> current_set;
+  int64_t nodes = 0;
+  int64_t node_limit = -1;
+  bool aborted = false;
+
+  explicit Searcher(const HittingSetInstance& instance)
+      : weights(instance.weights) {}
+
+  /// Lower bound: greedily pack item-disjoint unsatisfied clauses; each
+  /// contributes the min weight among its available items.
+  Money LowerBound() const {
+    Money bound = 0;
+    std::vector<char> used(weights.size(), 0);
+    for (const auto& clause : clauses) {
+      bool satisfied = false;
+      bool disjoint = true;
+      Money min_w = kInfiniteMoney;
+      for (int item : clause) {
+        if (chosen[item]) {
+          satisfied = true;
+          break;
+        }
+        if (banned[item]) continue;
+        if (used[item]) disjoint = false;
+        if (weights[item] < min_w) min_w = weights[item];
+      }
+      if (satisfied || !disjoint) continue;
+      if (IsInfinite(min_w)) continue;  // dead clause handled elsewhere
+      bound = AddMoney(bound, min_w);
+      for (int item : clause) {
+        if (!banned[item]) used[item] = 1;
+      }
+    }
+    return bound;
+  }
+
+  void Search() {
+    ++nodes;
+    if (node_limit >= 0 && nodes > node_limit) {
+      aborted = true;
+      return;
+    }
+    if (AddMoney(current_cost, LowerBound()) >= best_cost) return;
+
+    // Pick the unsatisfied clause with the fewest available items.
+    int pick = -1;
+    size_t pick_avail = SIZE_MAX;
+    for (size_t c = 0; c < clauses.size(); ++c) {
+      if (satisfied_by[c] > 0) continue;
+      size_t avail = 0;
+      for (int item : clauses[c]) {
+        if (!banned[item]) ++avail;
+      }
+      if (avail < pick_avail) {
+        pick_avail = avail;
+        pick = static_cast<int>(c);
+        if (avail <= 1) break;
+      }
+    }
+    if (pick < 0) {
+      // All clauses satisfied.
+      if (current_cost < best_cost) {
+        best_cost = current_cost;
+        best_set = current_set;
+      }
+      return;
+    }
+    if (pick_avail == 0) return;  // dead branch
+
+    // Branch over the clause's available items; ban each after exploring
+    // its inclusion so branches are disjoint.
+    std::vector<int> branch_items;
+    for (int item : clauses[pick]) {
+      if (!banned[item]) branch_items.push_back(item);
+    }
+    std::sort(branch_items.begin(), branch_items.end(),
+              [&](int a, int b) { return weights[a] < weights[b]; });
+
+    std::vector<int> newly_banned;
+    for (int item : branch_items) {
+      // Include `item`.
+      chosen[item] = 1;
+      current_cost = AddMoney(current_cost, weights[item]);
+      current_set.push_back(item);
+      for (int c : item_clauses[item]) ++satisfied_by[c];
+
+      Search();
+
+      for (int c : item_clauses[item]) --satisfied_by[c];
+      current_set.pop_back();
+      current_cost -= weights[item];
+      chosen[item] = 0;
+      if (aborted) break;
+
+      banned[item] = 1;
+      newly_banned.push_back(item);
+    }
+    for (int item : newly_banned) banned[item] = 0;
+  }
+};
+
+}  // namespace
+
+HittingSetResult SolveMinWeightHittingSet(const HittingSetInstance& instance,
+                                          int64_t node_limit) {
+  HittingSetResult result;
+
+  // Preprocess: dedupe and subsume clauses (c1 ⊆ c2 ⇒ drop c2).
+  std::set<std::vector<int>> unique(instance.clauses.begin(),
+                                    instance.clauses.end());
+  std::vector<std::vector<int>> clauses(unique.begin(), unique.end());
+  std::sort(clauses.begin(), clauses.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  std::vector<std::vector<int>> kept;
+  for (const auto& clause : clauses) {
+    if (clause.empty()) {
+      // Unsatisfiable clause: no hitting set exists.
+      result.cost = kInfiniteMoney;
+      result.optimal = true;
+      return result;
+    }
+    bool subsumed = false;
+    for (const auto& small : kept) {
+      if (std::includes(clause.begin(), clause.end(), small.begin(),
+                        small.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(clause);
+  }
+
+  Searcher searcher(instance);
+  searcher.clauses = std::move(kept);
+  searcher.item_clauses.resize(instance.weights.size());
+  for (size_t c = 0; c < searcher.clauses.size(); ++c) {
+    for (int item : searcher.clauses[c]) {
+      searcher.item_clauses[item].push_back(static_cast<int>(c));
+    }
+  }
+  searcher.chosen.assign(instance.weights.size(), 0);
+  searcher.banned.assign(instance.weights.size(), 0);
+  searcher.satisfied_by.assign(searcher.clauses.size(), 0);
+  searcher.node_limit = node_limit;
+  searcher.Search();
+
+  result.cost = searcher.best_cost;
+  result.chosen = searcher.best_set;
+  result.optimal = !searcher.aborted;
+  result.nodes_expanded = searcher.nodes;
+  std::sort(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+}  // namespace qp

@@ -1,0 +1,36 @@
+#ifndef QP_PRICING_HITTING_SET_H_
+#define QP_PRICING_HITTING_SET_H_
+
+#include <vector>
+
+#include "qp/pricing/money.h"
+
+namespace qp {
+
+/// A minimum-weight hitting set instance: choose a subset of items (each
+/// with a non-negative weight) hitting every clause (at least one chosen
+/// item per clause). This is the combinatorial core of exact query pricing:
+/// the determinacy conditions of Theorem 3.3 translate into clauses over
+/// explicit views, and Theorem 3.5's NP-hardness lives exactly here.
+struct HittingSetInstance {
+  std::vector<Money> weights;
+  /// Clauses as sorted, deduplicated item-index lists.
+  std::vector<std::vector<int>> clauses;
+};
+
+struct HittingSetResult {
+  Money cost = kInfiniteMoney;
+  std::vector<int> chosen;
+  /// False when the node limit was hit; `cost` is then an upper bound.
+  bool optimal = true;
+  int64_t nodes_expanded = 0;
+};
+
+/// Exact branch-and-bound solver with clause subsumption and a
+/// disjoint-clause lower bound. `node_limit < 0` means unlimited.
+HittingSetResult SolveMinWeightHittingSet(const HittingSetInstance& instance,
+                                          int64_t node_limit = -1);
+
+}  // namespace qp
+
+#endif  // QP_PRICING_HITTING_SET_H_

@@ -1,0 +1,14 @@
+#include "qp/pricing/money.h"
+
+namespace qp {
+
+std::string MoneyToString(Money m) {
+  if (IsInfinite(m)) return "unpriced";
+  std::string sign = m < 0 ? "-" : "";
+  if (m < 0) m = -m;
+  std::string cents = std::to_string(m % 100);
+  if (cents.size() < 2) cents = "0" + cents;
+  return sign + "$" + std::to_string(m / 100) + "." + cents;
+}
+
+}  // namespace qp

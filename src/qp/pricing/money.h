@@ -1,0 +1,38 @@
+#ifndef QP_PRICING_MONEY_H_
+#define QP_PRICING_MONEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "qp/flow/max_flow.h"
+
+namespace qp {
+
+/// Prices are exact integers in the smallest currency unit (cents). Using
+/// integers keeps min-cut capacities, branch-and-bound comparisons and
+/// consistency checks exact.
+using Money = int64_t;
+
+/// Sentinel "not for sale" / unbounded price. Identical to the flow
+/// module's infinite capacity so prices map directly onto edge capacities.
+inline constexpr Money kInfiniteMoney = kInfiniteCapacity;
+
+/// Adds prices, saturating at kInfiniteMoney.
+inline Money AddMoney(Money a, Money b) { return SaturatingAddCapacity(a, b); }
+
+inline bool IsInfinite(Money m) { return m >= kInfiniteMoney; }
+
+/// Converts whole dollars to Money (cents).
+inline Money Dollars(int64_t dollars) { return dollars * 100; }
+
+/// Converts dollars + cents to Money.
+inline Money DollarsCents(int64_t dollars, int64_t cents) {
+  return dollars * 100 + cents;
+}
+
+/// "$12.34" or "unpriced" display form.
+std::string MoneyToString(Money m);
+
+}  // namespace qp
+
+#endif  // QP_PRICING_MONEY_H_

@@ -1,0 +1,79 @@
+#include "qp/pricing/pair_views.h"
+
+#include "qp/query/analysis.h"
+#include "qp/pricing/work_problem.h"
+
+namespace qp {
+
+Status PairPriceSet::Set(Catalog& catalog, std::string_view rel,
+                         const Value& a, const Value& b, Money price) {
+  if (price < 0) {
+    return Status::InvalidArgument("pair prices must be non-negative");
+  }
+  auto rel_id = catalog.schema().FindRelation(rel);
+  if (!rel_id.ok()) return rel_id.status();
+  if (catalog.schema().arity(*rel_id) != 2) {
+    return Status::InvalidArgument(
+        "pair prices are defined on binary relations only");
+  }
+  ValueId ia = catalog.Intern(a);
+  ValueId ib = catalog.Intern(b);
+  if (!catalog.InColumn(AttrRef{*rel_id, 0}, ia) ||
+      !catalog.InColumn(AttrRef{*rel_id, 1}, ib)) {
+    return Status::InvalidArgument(
+        "pair-priced values must belong to the relation's columns");
+  }
+  prices_[Key{*rel_id, ia, ib}] = price;
+  return Status::Ok();
+}
+
+Money PairPriceSet::Get(RelationId rel, ValueId a, ValueId b) const {
+  auto it = prices_.find(Key{rel, a, b});
+  return it == prices_.end() ? kInfiniteMoney : it->second;
+}
+
+Result<PricingSolution> PriceChainQueryWithPairPrices(
+    const Instance& db, const SelectionPriceSet& prices,
+    const PairPriceSet& pair_prices, const ConjunctiveQuery& query,
+    const ChainSolverOptions& options) {
+  if (!query.IsFull() || query.HasSelfJoin() || !query.predicates().empty()) {
+    return Status::InvalidArgument(
+        "pair-priced pricing supports full, predicate-free chain queries");
+  }
+  auto problem = BuildWorkProblem(db, prices, query);
+  if (!problem.ok()) return problem.status();
+  auto links = BuildWorkChain(*problem);
+  if (!links.ok()) {
+    return Status::InvalidArgument(
+        "pair-priced pricing requires a chain query in chain atom order: " +
+        links.status().message());
+  }
+  // Map link index -> relation, respecting the link's orientation: the
+  // flow tuple edge runs entry -> exit, and σ_{R.X=a,R.Y=b} is keyed by
+  // attribute position, so swap when the link enters through position 1.
+  std::vector<RelationId> link_rel(links->size());
+  std::vector<bool> swapped(links->size());
+  for (size_t i = 0; i < links->size(); ++i) {
+    link_rel[i] = query.atoms()[(*links)[i].atom].rel;
+    swapped[i] = (*links)[i].entry_pos == 1;
+  }
+  PairPriceFn fn = [&](int link, ValueId entry, ValueId exit) -> Money {
+    if (swapped[link]) return pair_prices.Get(link_rel[link], exit, entry);
+    return pair_prices.Get(link_rel[link], entry, exit);
+  };
+  std::vector<CutPairEdge> cut_pairs;
+  auto solution =
+      SolveChainMinCut(*problem, *links, options, nullptr, &fn, &cut_pairs);
+  if (!solution.ok()) return solution.status();
+  for (const CutPairEdge& edge : cut_pairs) {
+    PairSelectionView pair;
+    pair.x = AttrRef{link_rel[edge.link], 0};
+    pair.y = AttrRef{link_rel[edge.link], 1};
+    pair.a = swapped[edge.link] ? edge.exit : edge.entry;
+    pair.b = swapped[edge.link] ? edge.entry : edge.exit;
+    solution->pair_support.push_back(pair);
+  }
+  return solution;
+}
+
+}  // namespace qp

@@ -1,0 +1,57 @@
+#ifndef QP_PRICING_PAIR_VIEWS_H_
+#define QP_PRICING_PAIR_VIEWS_H_
+
+#include <unordered_map>
+
+#include "qp/pricing/chain_solver.h"
+#include "qp/pricing/solution.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Explicit prices on multi-attribute selections σ_{R.X=a, R.Y=b} over
+/// binary relations (Section 4, "Selections on Multiple Attributes").
+/// For *chain queries* these integrate into the min-cut reduction by
+/// giving the corresponding tuple edge a finite capacity; the paper shows
+/// the same is NP-hard already for a single ternary atom, so this price
+/// type is supported for chain queries only.
+class PairPriceSet {
+ public:
+  /// Sets the price of σ_{rel.0=a, rel.1=b}. The relation must be binary.
+  Status Set(Catalog& catalog, std::string_view rel, const Value& a,
+             const Value& b, Money price);
+
+  Money Get(RelationId rel, ValueId a, ValueId b) const;
+  size_t size() const { return prices_.size(); }
+
+ private:
+  struct Key {
+    RelationId rel;
+    ValueId a;
+    ValueId b;
+    bool operator==(const Key& other) const {
+      return rel == other.rel && a == other.a && b == other.b;
+    }
+  };
+  struct KeyHasher {
+    size_t operator()(const Key& k) const {
+      return HashCombine(HashCombine(k.rel, k.a), k.b);
+    }
+  };
+  std::unordered_map<Key, Money, KeyHasher> prices_;
+};
+
+/// Prices a chain query under single-attribute prices plus pair prices:
+/// the Section 4 extension of Theorem 3.13. The query must be a chain
+/// (Definition 3.12) — unary/binary atoms, no constants, predicates or
+/// repeated variables, no hanging variables.
+Result<PricingSolution> PriceChainQueryWithPairPrices(
+    const Instance& db, const SelectionPriceSet& prices,
+    const PairPriceSet& pair_prices, const ConjunctiveQuery& query,
+    const ChainSolverOptions& options = {});
+
+}  // namespace qp
+
+#endif  // QP_PRICING_PAIR_VIEWS_H_

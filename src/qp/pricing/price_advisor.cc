@@ -1,0 +1,46 @@
+#include "qp/pricing/price_advisor.h"
+
+#include <map>
+
+namespace qp {
+
+RepairResult RepairConsistency(const Catalog& catalog,
+                               const SelectionPriceSet& prices) {
+  RepairResult result;
+  result.repaired = prices;
+  std::map<SelectionView, Money> original;
+  for (const auto& [view, price] : prices.Sorted()) {
+    original.emplace(view, price);
+  }
+
+  const Schema& schema = catalog.schema();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [view, price] : result.repaired.Sorted()) {
+      const RelationId rel = view.attr.rel;
+      Money bound = price;
+      for (int p = 0; p < schema.arity(rel); ++p) {
+        AttrRef other{rel, p};
+        if (other == view.attr) continue;
+        Money cover = result.repaired.FullCoverCost(catalog, other);
+        if (cover < bound) bound = cover;
+      }
+      if (bound < price) {
+        // Lower the price to the cheapest alternative cover.
+        (void)result.repaired.Set(view, bound);
+        changed = true;
+      }
+    }
+  }
+
+  for (const auto& [view, price] : result.repaired.Sorted()) {
+    Money before = original.at(view);
+    if (price != before) {
+      result.adjustments.push_back(PriceAdjustment{view, before, price});
+    }
+  }
+  return result;
+}
+
+}  // namespace qp

@@ -1,0 +1,36 @@
+#ifndef QP_PRICING_PRICE_ADVISOR_H_
+#define QP_PRICING_PRICE_ADVISOR_H_
+
+#include <vector>
+
+#include "qp/pricing/consistency.h"
+#include "qp/pricing/price_points.h"
+
+namespace qp {
+
+/// One price the advisor lowered while repairing an inconsistent offering.
+struct PriceAdjustment {
+  SelectionView view;
+  Money old_price = 0;
+  Money new_price = 0;
+};
+
+struct RepairResult {
+  SelectionPriceSet repaired;
+  std::vector<PriceAdjustment> adjustments;
+};
+
+/// Repairs an inconsistent selection price set by lowering every explicit
+/// price to the consistency bound of Proposition 3.2:
+///   p(σ_{R.X=a})  <-  min(p, min_Y Σ_b p(σ_{R.Y=b}))
+/// iterated to a fixpoint (capping one price shrinks other attributes'
+/// full-cover sums). Prices only go *down*, matching the paper's "price
+/// updates" discussion (Section 4): additions to S can only introduce
+/// discounts, never raise prices. The result is consistent and dominates
+/// every other consistent price set that is pointwise ≤ the input.
+RepairResult RepairConsistency(const Catalog& catalog,
+                               const SelectionPriceSet& prices);
+
+}  // namespace qp
+
+#endif  // QP_PRICING_PRICE_ADVISOR_H_

@@ -1,0 +1,102 @@
+#include "qp/pricing/price_points.h"
+
+#include <algorithm>
+
+namespace qp {
+
+std::string SelectionViewToString(const Catalog& catalog,
+                                  const SelectionView& view) {
+  return "σ" + catalog.schema().AttrToString(view.attr) + "=" +
+         catalog.dict().Get(view.value).ToString();
+}
+
+Status SelectionPriceSet::Set(SelectionView view, Money price) {
+  if (price < 0) {
+    return Status::InvalidArgument("price points must be non-negative");
+  }
+  prices_[view] = price;
+  return Status::Ok();
+}
+
+Status SelectionPriceSet::Set(Catalog& catalog, std::string_view rel,
+                              std::string_view attr, const Value& value,
+                              Money price) {
+  auto rel_id = catalog.schema().FindRelation(rel);
+  if (!rel_id.ok()) return rel_id.status();
+  auto pos = catalog.schema().FindAttr(*rel_id, attr);
+  if (!pos.ok()) return pos.status();
+  AttrRef a{*rel_id, *pos};
+  ValueId id = catalog.Intern(value);
+  if (catalog.HasColumn(a) && !catalog.InColumn(a, id)) {
+    return Status::InvalidArgument(
+        "priced value " + value.ToString() + " is not in the column of " +
+        catalog.schema().AttrToString(a));
+  }
+  return Set(SelectionView{a, id}, price);
+}
+
+Status SelectionPriceSet::SetUniform(Catalog& catalog, std::string_view rel,
+                                     std::string_view attr, Money price) {
+  auto rel_id = catalog.schema().FindRelation(rel);
+  if (!rel_id.ok()) return rel_id.status();
+  auto pos = catalog.schema().FindAttr(*rel_id, attr);
+  if (!pos.ok()) return pos.status();
+  AttrRef a{*rel_id, *pos};
+  if (!catalog.HasColumn(a)) {
+    return Status::FailedPrecondition(
+        "SetUniform requires a declared column on " +
+        catalog.schema().AttrToString(a));
+  }
+  for (ValueId v : catalog.Column(a)) {
+    QP_RETURN_IF_ERROR(Set(SelectionView{a, v}, price));
+  }
+  return Status::Ok();
+}
+
+Money SelectionPriceSet::Get(const SelectionView& view) const {
+  auto it = prices_.find(view);
+  return it == prices_.end() ? kInfiniteMoney : it->second;
+}
+
+bool SelectionPriceSet::FullyCovers(const Catalog& catalog,
+                                    AttrRef attr) const {
+  if (!catalog.HasColumn(attr)) return false;
+  for (ValueId v : catalog.Column(attr)) {
+    if (!Has(SelectionView{attr, v})) return false;
+  }
+  return true;
+}
+
+Money SelectionPriceSet::FullCoverCost(const Catalog& catalog,
+                                       AttrRef attr) const {
+  if (!catalog.HasColumn(attr)) return kInfiniteMoney;
+  Money total = 0;
+  for (ValueId v : catalog.Column(attr)) {
+    total = AddMoney(total, Get(SelectionView{attr, v}));
+    if (IsInfinite(total)) return kInfiniteMoney;
+  }
+  return total;
+}
+
+bool SelectionPriceSet::SellsWholeDatabase(
+    const Catalog& catalog, const std::vector<RelationId>& relations) const {
+  for (RelationId r : relations) {
+    bool covered = false;
+    for (int p = 0; p < catalog.schema().arity(r) && !covered; ++p) {
+      covered = FullyCovers(catalog, AttrRef{r, p});
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<SelectionView, Money>> SelectionPriceSet::Sorted()
+    const {
+  std::vector<std::pair<SelectionView, Money>> out(prices_.begin(),
+                                                   prices_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace qp

@@ -1,0 +1,101 @@
+#ifndef QP_PRICING_PRICE_POINTS_H_
+#define QP_PRICING_PRICE_POINTS_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "qp/pricing/money.h"
+#include "qp/query/query.h"
+#include "qp/relational/catalog.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// A selection view σ_{R.X=a} (Section 3 "The Views"): all tuples of
+/// relation R whose attribute X equals the constant a.
+struct SelectionView {
+  AttrRef attr;
+  ValueId value = 0;
+
+  bool operator==(const SelectionView& other) const {
+    return attr == other.attr && value == other.value;
+  }
+  bool operator<(const SelectionView& other) const {
+    if (!(attr == other.attr)) return attr < other.attr;
+    return value < other.value;
+  }
+};
+
+struct SelectionViewHasher {
+  size_t operator()(const SelectionView& v) const {
+    return HashCombine(AttrRefHasher{}(v.attr),
+                       static_cast<size_t>(v.value));
+  }
+};
+
+/// "σR.X='WA'" display form.
+std::string SelectionViewToString(const Catalog& catalog,
+                                  const SelectionView& view);
+
+/// The seller's explicit price points restricted to selection views:
+/// a partial function p : Σ -> Money (Section 3). Views without an explicit
+/// price are not for sale (infinite price).
+class SelectionPriceSet {
+ public:
+  SelectionPriceSet() = default;
+
+  /// Sets the price of σ_{attr=value}. Prices must be >= 0.
+  Status Set(SelectionView view, Money price);
+
+  /// Convenience: resolves names and interns the value via the catalog's
+  /// dictionary. The value must belong to the attribute's column.
+  Status Set(Catalog& catalog, std::string_view rel, std::string_view attr,
+             const Value& value, Money price);
+
+  /// Prices every value of the attribute's column at `price` (the
+  /// "$199 per state" pattern of the introduction).
+  Status SetUniform(Catalog& catalog, std::string_view rel,
+                    std::string_view attr, Money price);
+
+  /// Removes an explicit price (the view becomes not-for-sale).
+  void Unset(const SelectionView& view) { prices_.erase(view); }
+
+  bool Has(const SelectionView& view) const {
+    return prices_.count(view) > 0;
+  }
+
+  /// The explicit price, or kInfiniteMoney if not for sale.
+  Money Get(const SelectionView& view) const;
+
+  /// True if every value of Col attr has an explicit price (a purchasable
+  /// full cover Σ_{R.X}, Lemma 3.1).
+  bool FullyCovers(const Catalog& catalog, AttrRef attr) const;
+
+  /// Σ_a p(σ_{attr=a}) over the column, or kInfiniteMoney if some value is
+  /// unpriced.
+  Money FullCoverCost(const Catalog& catalog, AttrRef attr) const;
+
+  /// True if, for every relation, some attribute is fully covered — i.e.
+  /// the price points determine ID, the standing assumption of Section 2.4
+  /// (via Lemma 3.1). Relations in `relations` only; pass all relations to
+  /// check the whole schema.
+  bool SellsWholeDatabase(const Catalog& catalog,
+                          const std::vector<RelationId>& relations) const;
+
+  size_t size() const { return prices_.size(); }
+  const std::unordered_map<SelectionView, Money, SelectionViewHasher>&
+  entries() const {
+    return prices_;
+  }
+
+  /// Deterministic (sorted) listing, for display and tests.
+  std::vector<std::pair<SelectionView, Money>> Sorted() const;
+
+ private:
+  std::unordered_map<SelectionView, Money, SelectionViewHasher> prices_;
+};
+
+}  // namespace qp
+
+#endif  // QP_PRICING_PRICE_POINTS_H_

@@ -1,0 +1,44 @@
+#ifndef QP_PRICING_SOLUTION_H_
+#define QP_PRICING_SOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "qp/pricing/money.h"
+#include "qp/pricing/price_points.h"
+
+namespace qp {
+
+/// A multi-attribute selection view σ_{R.X=a, R.Y=b} on a binary relation
+/// (Section 4 "Selections on Multiple Attributes"). Supported by the chain
+/// solver as finite-capacity tuple edges.
+struct PairSelectionView {
+  AttrRef x;
+  ValueId a = 0;
+  AttrRef y;
+  ValueId b = 0;
+
+  bool operator==(const PairSelectionView& other) const {
+    return x == other.x && a == other.a && y == other.y && b == other.b;
+  }
+};
+
+/// The outcome of pricing one query: the arbitrage-price (Equation 2) and,
+/// when the solver tracks it, the optimal support — the cheapest set of
+/// explicit views whose purchase determines the query (what a savvy buyer
+/// would buy instead).
+struct PricingSolution {
+  Money price = kInfiniteMoney;
+
+  /// Optimal support views. Valid when `support_tracked`.
+  std::vector<SelectionView> support;
+  /// Multi-attribute views in the support (chain queries with pair prices).
+  std::vector<PairSelectionView> pair_support;
+  bool support_tracked = true;
+
+  bool IsSellable() const { return !IsInfinite(price); }
+};
+
+}  // namespace qp
+
+#endif  // QP_PRICING_SOLUTION_H_

@@ -1,0 +1,256 @@
+#include "qp/pricing/work_problem.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qp {
+
+Result<WorkProblem> BuildWorkProblem(const Instance& db,
+                                     const SelectionPriceSet& prices,
+                                     const ConjunctiveQuery& query) {
+  if (query.HasSelfJoin()) {
+    return Status::InvalidArgument(
+        "the GChQ pipeline requires a query without self-joins");
+  }
+  const Catalog& catalog = db.catalog();
+  const Schema& schema = catalog.schema();
+
+  WorkProblem problem;
+  problem.num_vars = query.num_vars();
+
+  // Positions of each original variable (for column intersections), plus
+  // fresh singleton-domain variables for constants.
+  struct PosRef {
+    int atom;
+    int pos;
+    AttrRef attr;
+  };
+  std::vector<std::vector<PosRef>> var_positions(query.num_vars());
+
+  for (size_t a = 0; a < query.atoms().size(); ++a) {
+    const Atom& atom = query.atoms()[a];
+    WorkAtom work_atom;
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      AttrRef attr{atom.rel, static_cast<int>(p)};
+      if (!catalog.HasColumn(attr)) {
+        return Status::FailedPrecondition(
+            "pricing requires a declared column on " +
+            schema.AttrToString(attr));
+      }
+      WorkPosition pos;
+      const Term& t = atom.args[p];
+      if (t.is_var()) {
+        pos.var = t.var;
+        var_positions[t.var].push_back(
+            {static_cast<int>(a), static_cast<int>(p), attr});
+      } else {
+        // Constant: fresh variable whose domain is {constant} ∩ column
+        // (Theorem 3.16 removes constants via hanging-variable elimination).
+        pos.var = problem.num_vars++;
+        var_positions.push_back(
+            {{static_cast<int>(a), static_cast<int>(p), attr}});
+        std::vector<ValueId> domain;
+        auto id = catalog.dict().Find(t.constant);
+        if (id.has_value() && catalog.InColumn(attr, *id)) {
+          domain.push_back(*id);
+        }
+        problem.var_domain.resize(problem.num_vars);
+        problem.var_domain[pos.var] = std::move(domain);
+      }
+      work_atom.positions.push_back(std::move(pos));
+    }
+    problem.atoms.push_back(std::move(work_atom));
+  }
+  problem.var_domain.resize(problem.num_vars);
+
+  // Domains of original variables: column intersection filtered by the
+  // interpreted predicates (Step 1).
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    if (var_positions[v].empty()) {
+      return Status::InvalidArgument("variable '" + query.var_name(v) +
+                                     "' does not occur in the body");
+    }
+    std::vector<ValueId> domain;
+    const auto& first_col = catalog.Column(var_positions[v][0].attr);
+    for (ValueId value : first_col) {
+      bool in_all = true;
+      for (size_t i = 1; i < var_positions[v].size() && in_all; ++i) {
+        in_all = catalog.InColumn(var_positions[v][i].attr, value);
+      }
+      if (!in_all) continue;
+      bool passes = true;
+      for (const UnaryPredicate& pred : query.predicates()) {
+        if (pred.var == v && !pred.Eval(catalog.dict().Get(value))) {
+          passes = false;
+          break;
+        }
+      }
+      if (passes) domain.push_back(value);
+    }
+    std::sort(domain.begin(), domain.end());
+    problem.var_domain[v] = std::move(domain);
+  }
+
+  // Materialize per-position prices over the variable domains.
+  for (size_t a = 0; a < problem.atoms.size(); ++a) {
+    WorkAtom& work_atom = problem.atoms[a];
+    for (size_t p = 0; p < work_atom.positions.size(); ++p) {
+      WorkPosition& pos = work_atom.positions[p];
+      AttrRef attr{query.atoms()[a].rel, static_cast<int>(p)};
+      for (ValueId value : problem.var_domain[pos.var]) {
+        SelectionView view{attr, value};
+        Money price = prices.Get(view);
+        if (!IsInfinite(price)) {
+          pos.cost[value] = price;
+          pos.origin.emplace(value, view);
+        }
+      }
+    }
+  }
+
+  // Data: tuples filtered to the (harmonized) domains.
+  for (size_t a = 0; a < problem.atoms.size(); ++a) {
+    WorkAtom& work_atom = problem.atoms[a];
+    std::vector<std::set<ValueId>> domain_sets(work_atom.positions.size());
+    for (size_t p = 0; p < work_atom.positions.size(); ++p) {
+      const auto& d = problem.var_domain[work_atom.positions[p].var];
+      domain_sets[p] = std::set<ValueId>(d.begin(), d.end());
+    }
+    for (const Tuple& t : db.Relation(query.atoms()[a].rel)) {
+      bool keep = true;
+      for (size_t p = 0; p < t.size() && keep; ++p) {
+        keep = domain_sets[p].count(t[p]) > 0;
+      }
+      if (keep) work_atom.tuples.push_back(t);
+    }
+  }
+  return problem;
+}
+
+void MergeRepeatedVarsInAtoms(WorkProblem* problem) {
+  for (WorkAtom& atom : problem->atoms) {
+    // Map var -> first position index.
+    std::vector<int> keep;
+    std::vector<int> merged_into(atom.positions.size());
+    std::vector<VarId> seen_vars;
+    for (size_t p = 0; p < atom.positions.size(); ++p) {
+      VarId v = atom.positions[p].var;
+      auto it = std::find(seen_vars.begin(), seen_vars.end(), v);
+      if (it == seen_vars.end()) {
+        seen_vars.push_back(v);
+        merged_into[p] = static_cast<int>(keep.size());
+        keep.push_back(static_cast<int>(p));
+      } else {
+        int target = static_cast<int>(it - seen_vars.begin());
+        merged_into[p] = target;
+        // Merge prices: min of the two positions per value (Step 2).
+        WorkPosition& dst = atom.positions[keep[target]];
+        const WorkPosition& src = atom.positions[p];
+        for (const auto& [value, price] : src.cost) {
+          auto existing = dst.cost.find(value);
+          if (existing == dst.cost.end() || price < existing->second) {
+            dst.cost[value] = price;
+            dst.origin[value] = src.origin.at(value);
+          }
+        }
+      }
+    }
+    if (keep.size() == atom.positions.size()) continue;
+
+    // Filter tuples: merged positions must agree; then project.
+    std::vector<Tuple> new_tuples;
+    for (const Tuple& t : atom.tuples) {
+      bool agree = true;
+      for (size_t p = 0; p < t.size() && agree; ++p) {
+        agree = (t[keep[merged_into[p]]] == t[p]);
+      }
+      if (!agree) continue;
+      Tuple projected;
+      projected.reserve(keep.size());
+      for (int p : keep) projected.push_back(t[p]);
+      new_tuples.push_back(std::move(projected));
+    }
+    std::sort(new_tuples.begin(), new_tuples.end());
+    new_tuples.erase(std::unique(new_tuples.begin(), new_tuples.end()),
+                     new_tuples.end());
+    atom.tuples = std::move(new_tuples);
+
+    std::vector<WorkPosition> new_positions;
+    new_positions.reserve(keep.size());
+    for (int p : keep) new_positions.push_back(std::move(atom.positions[p]));
+    atom.positions = std::move(new_positions);
+  }
+}
+
+std::vector<VarId> WorkHangingVars(const WorkProblem& problem) {
+  std::vector<int> occurrences(problem.num_vars, 0);
+  for (const WorkAtom& atom : problem.atoms) {
+    for (const WorkPosition& pos : atom.positions) ++occurrences[pos.var];
+  }
+  std::vector<VarId> hanging;
+  for (const WorkAtom& atom : problem.atoms) {
+    if (atom.positions.size() < 2) continue;
+    for (const WorkPosition& pos : atom.positions) {
+      if (occurrences[pos.var] == 1) hanging.push_back(pos.var);
+    }
+  }
+  return hanging;
+}
+
+Result<std::vector<WorkLink>> BuildWorkChain(const WorkProblem& problem) {
+  const int num_atoms = static_cast<int>(problem.atoms.size());
+  if (num_atoms == 0) return Status::InvalidArgument("no atoms");
+  std::vector<WorkLink> links;
+  links.reserve(num_atoms);
+
+  const WorkAtom& first = problem.atoms[0];
+  if (first.positions.size() > 2) {
+    return Status::InvalidArgument("work atom has more than two positions");
+  }
+  if (first.positions.size() != 1) {
+    return Status::InvalidArgument(
+        "first atom of a normalized chain must be unary");
+  }
+  links.push_back(WorkLink{0, true, 0, 0});
+  VarId current = first.positions[0].var;
+
+  for (int a = 1; a < num_atoms; ++a) {
+    const WorkAtom& atom = problem.atoms[a];
+    WorkLink link;
+    link.atom = a;
+    if (atom.positions.size() == 1) {
+      if (atom.positions[0].var != current) {
+        return Status::InvalidArgument(
+            "unary atom does not continue the chain");
+      }
+      link.unary = true;
+      link.entry_pos = link.exit_pos = 0;
+    } else if (atom.positions.size() == 2) {
+      link.unary = false;
+      if (atom.positions[0].var == current &&
+          atom.positions[1].var != current) {
+        link.entry_pos = 0;
+        link.exit_pos = 1;
+      } else if (atom.positions[1].var == current &&
+                 atom.positions[0].var != current) {
+        link.entry_pos = 1;
+        link.exit_pos = 0;
+      } else {
+        return Status::InvalidArgument(
+            "binary atom does not continue the chain");
+      }
+      current = atom.positions[link.exit_pos].var;
+    } else {
+      return Status::InvalidArgument(
+          "work atom has more than two positions");
+    }
+    links.push_back(link);
+  }
+  if (!links.back().unary) {
+    return Status::InvalidArgument(
+        "last atom of a normalized chain must be unary");
+  }
+  return links;
+}
+
+}  // namespace qp

@@ -1,0 +1,91 @@
+#ifndef QP_PRICING_WORK_PROBLEM_H_
+#define QP_PRICING_WORK_PROBLEM_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "qp/pricing/price_points.h"
+#include "qp/pricing/solution.h"
+#include "qp/query/analysis.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// The internal, normalized form a pricing problem takes while running the
+/// GChQ pipeline (Section 3.1, Steps 1-4). A work problem is
+/// self-contained: the transformation steps rewrite atoms, domains, data
+/// and prices together, so the PTIME invariant p(problem') = p(problem) of
+/// Lemmas in Steps 1-3 holds by construction.
+///
+/// Compared to (Catalog, Instance, SelectionPriceSet, ConjunctiveQuery):
+///  * variable domains already incorporate column intersections (footnote 5)
+///    and interpreted predicates (Step 1);
+///  * per-position view prices are materialized and carry the *originating*
+///    explicit view, so optimal supports can be reported even after Step 2
+///    replaces two attributes by their min-priced merger and Step 3 zeroes
+///    an attribute that is given out for free.
+struct WorkPosition {
+  /// Variable bound at this position.
+  VarId var = -1;
+  /// Price of the selection view on this position at each domain value
+  /// (absent entry = not for sale).
+  std::unordered_map<ValueId, Money> cost;
+  /// The explicit view a finite cost stands for. Zero-cost positions
+  /// created by Step 3 ("give the projected relation out for free") have
+  /// cost 0 and no origin.
+  std::unordered_map<ValueId, SelectionView> origin;
+};
+
+struct WorkAtom {
+  /// Positions (after Step 2 every position binds a distinct variable).
+  std::vector<WorkPosition> positions;
+  /// Current (projected) data of this atom, aligned with `positions`.
+  std::vector<Tuple> tuples;
+};
+
+struct WorkProblem {
+  int num_vars = 0;
+  /// Allowed values per variable (intersection of the columns of all its
+  /// positions, filtered by interpreted predicates). Sorted.
+  std::vector<std::vector<ValueId>> var_domain;
+  std::vector<WorkAtom> atoms;
+};
+
+/// Builds a work problem from a full conjunctive query (Step 1 + constant
+/// elimination): variable domains are column intersections filtered by the
+/// query's interpreted predicates, constants become fresh singleton-domain
+/// variables (they are later removed as hanging variables, as prescribed by
+/// Theorem 3.16), data is filtered to the domains, and per-position prices
+/// are materialized from the explicit price set.
+Result<WorkProblem> BuildWorkProblem(const Instance& db,
+                                     const SelectionPriceSet& prices,
+                                     const ConjunctiveQuery& query);
+
+/// Step 2: merges repeated variables within an atom. The merged position's
+/// price is the min of the originals (with the argmin recorded as origin).
+/// Tuples that disagree on the merged positions are dropped.
+void MergeRepeatedVarsInAtoms(WorkProblem* problem);
+
+/// Variables that occur at exactly one position across all atoms of the
+/// work problem, excluding atoms that would drop below one position.
+std::vector<VarId> WorkHangingVars(const WorkProblem& problem);
+
+/// Chain structure of a normalized work problem (all atoms unary/binary).
+struct WorkLink {
+  int atom = -1;
+  bool unary = false;
+  int entry_pos = -1;
+  int exit_pos = -1;
+};
+
+/// Orders the atoms of a normalized (hanging-free) work problem into a
+/// chain: first/last unary, consecutive atoms share exactly one variable.
+/// Fails if the problem is not a chain.
+Result<std::vector<WorkLink>> BuildWorkChain(const WorkProblem& problem);
+
+}  // namespace qp
+
+#endif  // QP_PRICING_WORK_PROBLEM_H_

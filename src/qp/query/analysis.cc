@@ -1,0 +1,244 @@
+#include "qp/query/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qp {
+namespace {
+
+/// Distinct variables of each atom.
+std::vector<std::set<VarId>> AtomVarSets(const ConjunctiveQuery& q) {
+  std::vector<std::set<VarId>> out;
+  out.reserve(q.atoms().size());
+  for (size_t i = 0; i < q.atoms().size(); ++i) {
+    std::vector<VarId> vars = q.VarsOfAtom(static_cast<int>(i));
+    out.emplace_back(vars.begin(), vars.end());
+  }
+  return out;
+}
+
+/// |vars(subset) ∩ vars(complement)| == 1, where subsets are bitmasks.
+bool BoundaryIsOne(const std::vector<std::set<VarId>>& atom_vars,
+                   uint32_t subset, int m) {
+  std::set<VarId> in_vars, out_vars;
+  for (int a = 0; a < m; ++a) {
+    const auto& vars = atom_vars[a];
+    if (subset & (1u << a)) {
+      in_vars.insert(vars.begin(), vars.end());
+    } else {
+      out_vars.insert(vars.begin(), vars.end());
+    }
+  }
+  int shared = 0;
+  for (VarId v : in_vars) {
+    if (out_vars.count(v) > 0 && ++shared > 1) return false;
+  }
+  return shared == 1;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindGChQOrder(const ConjunctiveQuery& q) {
+  const int m = static_cast<int>(q.atoms().size());
+  if (m == 0 || m > 20) return std::nullopt;
+  if (q.HasSelfJoin()) return std::nullopt;  // Definition 3.6 excludes them
+  if (m == 1) return std::vector<int>{0};
+
+  std::vector<std::set<VarId>> atom_vars = AtomVarSets(q);
+  const uint32_t full = (1u << m) - 1;
+
+  // feasible[S]: atoms in S can form a valid order prefix; parent[S] is the
+  // last atom of one such prefix.
+  std::vector<int8_t> feasible(full + 1, 0);
+  std::vector<int8_t> parent(full + 1, -1);
+  // Precompute which proper subsets have a size-1 boundary.
+  std::vector<int8_t> boundary_ok(full + 1, 0);
+  for (uint32_t s = 1; s < full; ++s) {
+    boundary_ok[s] = BoundaryIsOne(atom_vars, s, m) ? 1 : 0;
+  }
+
+  feasible[0] = 1;
+  for (uint32_t s = 1; s <= full; ++s) {
+    if (s != full && !boundary_ok[s]) continue;
+    for (int a = 0; a < m; ++a) {
+      if (!(s & (1u << a))) continue;
+      if (feasible[s & ~(1u << a)]) {
+        feasible[s] = 1;
+        parent[s] = static_cast<int8_t>(a);
+        break;
+      }
+    }
+  }
+  if (!feasible[full]) return std::nullopt;
+
+  std::vector<int> order(m);
+  uint32_t s = full;
+  for (int i = m - 1; i >= 0; --i) {
+    int a = parent[s];
+    order[i] = a;
+    s &= ~(1u << a);
+  }
+  return order;
+}
+
+Result<std::vector<ChainLink>> BuildChainLinks(const ConjunctiveQuery& q,
+                                               const std::vector<int>& order) {
+  if (order.empty()) return Status::InvalidArgument("empty chain order");
+  std::vector<ChainLink> links;
+  links.reserve(order.size());
+
+  auto make_link = [&](int atom_idx) -> Result<ChainLink> {
+    const Atom& atom = q.atoms()[atom_idx];
+    ChainLink link;
+    link.atom_idx = atom_idx;
+    std::vector<VarId> vars;
+    std::vector<int> first_pos;
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      const Term& t = atom.args[p];
+      if (!t.is_var()) {
+        return Status::InvalidArgument(
+            "chain atoms must not contain constants (run normalization "
+            "first)");
+      }
+      auto it = std::find(vars.begin(), vars.end(), t.var);
+      if (it == vars.end()) {
+        vars.push_back(t.var);
+        first_pos.push_back(static_cast<int>(p));
+      } else {
+        return Status::InvalidArgument(
+            "chain atoms must not repeat a variable (run normalization "
+            "first)");
+      }
+    }
+    if (vars.size() == 1) {
+      link.unary = true;
+      link.entry_var = link.exit_var = vars[0];
+      link.entry_pos = link.exit_pos = first_pos[0];
+    } else if (vars.size() == 2) {
+      link.unary = false;
+      link.entry_var = vars[0];
+      link.entry_pos = first_pos[0];
+      link.exit_var = vars[1];
+      link.exit_pos = first_pos[1];
+    } else {
+      return Status::InvalidArgument(
+          "chain atoms must have at most two distinct variables");
+    }
+    return link;
+  };
+
+  for (int idx : order) {
+    auto link = make_link(idx);
+    if (!link.ok()) return link.status();
+    links.push_back(*link);
+  }
+
+  // Orient links so that consecutive atoms connect on one shared variable.
+  if (!links.front().unary) {
+    return Status::InvalidArgument("first chain atom must be unary");
+  }
+  if (!links.back().unary) {
+    return Status::InvalidArgument("last chain atom must be unary");
+  }
+  for (size_t i = 1; i < links.size(); ++i) {
+    ChainLink& prev = links[i - 1];
+    ChainLink& cur = links[i];
+    if (cur.entry_var == prev.exit_var) {
+      // Already oriented.
+    } else if (cur.exit_var == prev.exit_var && !cur.unary) {
+      std::swap(cur.entry_var, cur.exit_var);
+      std::swap(cur.entry_pos, cur.exit_pos);
+    } else {
+      return Status::InvalidArgument(
+          "consecutive chain atoms must share exactly one variable");
+    }
+    // Exactly one shared variable: the other endpoint must differ.
+    if (!cur.unary && cur.exit_var == prev.entry_var &&
+        links.size() == 2) {
+      // Two binary atoms sharing both variables: not a chain (this is C2).
+      return Status::InvalidArgument("atoms share two variables");
+    }
+  }
+  return links;
+}
+
+std::optional<std::vector<ChainLink>> FindCycleOrder(
+    const ConjunctiveQuery& q) {
+  const int m = static_cast<int>(q.atoms().size());
+  if (m < 2 || q.HasSelfJoin() || !q.predicates().empty()) {
+    return std::nullopt;
+  }
+  // Every atom must have exactly two distinct variables and no constants.
+  std::vector<std::pair<VarId, VarId>> atom_vars(m);
+  for (int a = 0; a < m; ++a) {
+    const Atom& atom = q.atoms()[a];
+    std::vector<VarId> vars;
+    std::vector<int> pos;
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      const Term& t = atom.args[p];
+      if (!t.is_var()) return std::nullopt;
+      if (std::find(vars.begin(), vars.end(), t.var) == vars.end()) {
+        vars.push_back(t.var);
+        pos.push_back(static_cast<int>(p));
+      } else {
+        return std::nullopt;  // repeated variable within an atom
+      }
+    }
+    if (vars.size() != 2) return std::nullopt;
+    atom_vars[a] = {vars[0], vars[1]};
+  }
+  // Every variable must occur in exactly two atoms; #vars == #atoms.
+  std::set<VarId> body_vars = q.BodyVars();
+  if (static_cast<int>(body_vars.size()) != m) return std::nullopt;
+  std::vector<int> var_count(q.num_vars(), 0);
+  for (const auto& [u, v] : atom_vars) {
+    ++var_count[u];
+    ++var_count[v];
+  }
+  for (VarId v : body_vars) {
+    if (var_count[v] != 2) return std::nullopt;
+  }
+  // Walk the cycle: start at atom 0, leave through its second variable.
+  std::vector<bool> used(m, false);
+  std::vector<ChainLink> links;
+  int cur_atom = 0;
+  VarId entry = atom_vars[0].first;
+  for (int step = 0; step < m; ++step) {
+    used[cur_atom] = true;
+    const Atom& atom = q.atoms()[cur_atom];
+    ChainLink link;
+    link.atom_idx = cur_atom;
+    link.unary = false;
+    link.entry_var = entry;
+    link.exit_var =
+        atom_vars[cur_atom].first == entry ? atom_vars[cur_atom].second
+                                           : atom_vars[cur_atom].first;
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      if (atom.args[p].var == link.entry_var) {
+        link.entry_pos = static_cast<int>(p);
+      } else {
+        link.exit_pos = static_cast<int>(p);
+      }
+    }
+    links.push_back(link);
+    if (step == m - 1) break;
+    // Find the unused atom containing exit_var.
+    int next = -1;
+    for (int a = 0; a < m; ++a) {
+      if (used[a]) continue;
+      if (atom_vars[a].first == link.exit_var ||
+          atom_vars[a].second == link.exit_var) {
+        next = a;
+        break;
+      }
+    }
+    if (next < 0) return std::nullopt;  // disconnected
+    entry = link.exit_var;
+    cur_atom = next;
+  }
+  // Close the cycle: last exit must equal first entry.
+  if (links.back().exit_var != links.front().entry_var) return std::nullopt;
+  return links;
+}
+
+}  // namespace qp

@@ -1,0 +1,55 @@
+#ifndef QP_QUERY_ANALYSIS_H_
+#define QP_QUERY_ANALYSIS_H_
+
+#include <optional>
+#include <vector>
+
+#include "qp/query/query.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Finds an atom ordering witnessing that `q` is a Generalized Chain Query
+/// (Definition 3.6): full CQ without self-joins whose atoms can be ordered
+/// so that every proper prefix and its suffix share exactly one variable.
+/// Interpreted unary predicates are ignored, as in the paper. Returns
+/// std::nullopt if no ordering exists. Queries with more than 20 atoms are
+/// rejected (the subset DP is exponential in the atom count, which is part
+/// of the *query*, not the data).
+///
+/// Note: this checks only the ordering property; callers should separately
+/// check IsFull() / HasSelfJoin() as required by the definition.
+std::optional<std::vector<int>> FindGChQOrder(const ConjunctiveQuery& q);
+
+/// One atom of a chain query in chain order (Definition 3.12), with its
+/// entry variable x_i and exit variable x_{i+1}. For unary atoms the entry
+/// and exit coincide.
+struct ChainLink {
+  int atom_idx = -1;
+  bool unary = false;
+  VarId entry_var = -1;
+  VarId exit_var = -1;
+  /// Argument position of the entry/exit variable within the atom.
+  int entry_pos = -1;
+  int exit_pos = -1;
+};
+
+/// Validates that `order` arranges the atoms of `q` into a chain query
+/// (Definition 3.12): every atom has at most two distinct variables and no
+/// constants, consecutive atoms share exactly one variable, and the first
+/// and last atoms are unary (have one distinct variable). Returns the links
+/// in chain order.
+Result<std::vector<ChainLink>> BuildChainLinks(const ConjunctiveQuery& q,
+                                               const std::vector<int>& order);
+
+/// Recognizes a cycle query Ck (Theorem 3.15):
+/// R1(x1,x2), ..., Rk(xk,x1), k >= 2, without self-joins, constants,
+/// interpreted predicates or unary atoms. On success returns the links in
+/// cycle order: link i exits into link i+1's entry, and the last link exits
+/// into the first link's entry variable.
+std::optional<std::vector<ChainLink>> FindCycleOrder(
+    const ConjunctiveQuery& q);
+
+}  // namespace qp
+
+#endif  // QP_QUERY_ANALYSIS_H_

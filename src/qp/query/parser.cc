@@ -1,0 +1,330 @@
+#include "qp/query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qp {
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kTurnstile,  // :-
+  kOp,         // = != < <= > >=
+  kDot,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t offset;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        out.push_back({TokKind::kEnd, "", pos_});
+        return out;
+      }
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        out.push_back(LexNumber());
+      } else if (c == '\'' || c == '"') {
+        auto tok = LexString();
+        if (!tok.ok()) return tok.status();
+        out.push_back(*tok);
+      } else if (c == '(') {
+        out.push_back({TokKind::kLParen, "(", pos_++});
+      } else if (c == ')') {
+        out.push_back({TokKind::kRParen, ")", pos_++});
+      } else if (c == ',') {
+        out.push_back({TokKind::kComma, ",", pos_++});
+      } else if (c == '.') {
+        out.push_back({TokKind::kDot, ".", pos_++});
+      } else if (c == ':' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '-') {
+        out.push_back({TokKind::kTurnstile, ":-", pos_});
+        pos_ += 2;
+      } else if (c == '=' || c == '<' || c == '>' || c == '!') {
+        out.push_back(LexOp());
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(pos_));
+      }
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token LexIdent() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return {TokKind::kIdent, std::string(text_.substr(start, pos_ - start)),
+            start};
+  }
+
+  Token LexNumber() {
+    size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return {TokKind::kNumber, std::string(text_.substr(start, pos_ - start)),
+            start};
+  }
+
+  Result<Token> LexString() {
+    char quote = text_[pos_];
+    size_t start = ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated string literal");
+    }
+    Token tok{TokKind::kString,
+              std::string(text_.substr(start, pos_ - start)), start - 1};
+    ++pos_;  // closing quote
+    return tok;
+  }
+
+  Token LexOp() {
+    size_t start = pos_;
+    char c = text_[pos_++];
+    std::string op(1, c);
+    if (pos_ < text_.size() && text_[pos_] == '=' &&
+        (c == '<' || c == '>' || c == '!')) {
+      op += '=';
+      ++pos_;
+    }
+    return {TokKind::kOp, op, start};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(const Schema& schema, std::vector<Token> tokens)
+      : schema_(schema), tokens_(std::move(tokens)) {}
+
+  Result<ConjunctiveQuery> Parse() {
+    // Head.
+    if (Peek().kind != TokKind::kIdent) return Err("expected query name");
+    query_.set_name(Take().text);
+    QP_RETURN_IF_ERROR(Expect(TokKind::kLParen, "("));
+    std::vector<std::string> head_names;
+    if (Peek().kind != TokKind::kRParen) {
+      while (true) {
+        if (Peek().kind != TokKind::kIdent) {
+          return Err("expected head variable");
+        }
+        head_names.push_back(Take().text);
+        if (Peek().kind != TokKind::kComma) break;
+        Take();
+      }
+    }
+    QP_RETURN_IF_ERROR(Expect(TokKind::kRParen, ")"));
+    QP_RETURN_IF_ERROR(Expect(TokKind::kTurnstile, ":-"));
+
+    // Body.
+    while (true) {
+      QP_RETURN_IF_ERROR(ParseBodyItem());
+      if (Peek().kind == TokKind::kComma) {
+        Take();
+        continue;
+      }
+      break;
+    }
+    if (Peek().kind == TokKind::kDot) Take();
+    if (Peek().kind != TokKind::kEnd) return Err("trailing input");
+
+    // Resolve head variables (they must occur in the body).
+    for (const std::string& name : head_names) {
+      VarId v = query_.FindVar(name);
+      if (v < 0) {
+        return Status::InvalidArgument("head variable '" + name +
+                                       "' does not occur in the body");
+      }
+      query_.AddHeadVar(v);
+    }
+    if (query_.atoms().empty()) {
+      return Status::InvalidArgument("query has no relational atoms");
+    }
+    QP_RETURN_IF_ERROR(ResolvePredicates());
+    return std::move(query_);
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+
+  Status Expect(TokKind kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument("expected '" + std::string(what) +
+                                     "' at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    Take();
+    return Status::Ok();
+  }
+
+  Status Err(std::string_view msg) const {
+    return Status::InvalidArgument(std::string(msg) + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  VarId GetOrAddVar(const std::string& name) {
+    VarId v = query_.FindVar(name);
+    if (v >= 0) return v;
+    return query_.AddVar(name);
+  }
+
+  Status ParseBodyItem() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Err("expected atom or comparison");
+    }
+    Token name = Take();
+    if (Peek().kind == TokKind::kLParen) return ParseAtom(name.text);
+    if (Peek().kind == TokKind::kOp) return ParseComparison(name.text);
+    return Err("expected '(' or comparison operator");
+  }
+
+  Status ParseAtom(const std::string& rel_name) {
+    auto rel = schema_.FindRelation(rel_name);
+    if (!rel.ok()) return rel.status();
+    Take();  // (
+    std::vector<Term> args;
+    if (Peek().kind != TokKind::kRParen) {
+      while (true) {
+        Token t = Take();
+        if (t.kind == TokKind::kIdent) {
+          args.push_back(Term::MakeVar(GetOrAddVar(t.text)));
+        } else if (t.kind == TokKind::kNumber) {
+          args.push_back(Term::MakeConst(Value::Int(std::atoll(t.text.c_str()))));
+        } else if (t.kind == TokKind::kString) {
+          args.push_back(Term::MakeConst(Value::Str(t.text)));
+        } else {
+          return Status::InvalidArgument("expected term at offset " +
+                                         std::to_string(t.offset));
+        }
+        if (Peek().kind != TokKind::kComma) break;
+        Take();
+      }
+    }
+    QP_RETURN_IF_ERROR(Expect(TokKind::kRParen, ")"));
+    if (static_cast<int>(args.size()) != schema_.arity(*rel)) {
+      return Status::InvalidArgument(
+          "atom " + rel_name + " has " + std::to_string(args.size()) +
+          " arguments, relation has arity " +
+          std::to_string(schema_.arity(*rel)));
+    }
+    query_.AddAtom(*rel, std::move(args));
+    return Status::Ok();
+  }
+
+  Status ParseComparison(const std::string& var_name) {
+    Token op_tok = Take();
+    CmpOp op;
+    if (op_tok.text == "=") {
+      op = CmpOp::kEq;
+    } else if (op_tok.text == "!=") {
+      op = CmpOp::kNe;
+    } else if (op_tok.text == "<") {
+      op = CmpOp::kLt;
+    } else if (op_tok.text == "<=") {
+      op = CmpOp::kLe;
+    } else if (op_tok.text == ">") {
+      op = CmpOp::kGt;
+    } else if (op_tok.text == ">=") {
+      op = CmpOp::kGe;
+    } else {
+      return Status::InvalidArgument("unknown operator '" + op_tok.text + "'");
+    }
+    Token rhs = Take();
+    Value constant;
+    if (rhs.kind == TokKind::kNumber) {
+      constant = Value::Int(std::atoll(rhs.text.c_str()));
+    } else if (rhs.kind == TokKind::kString) {
+      constant = Value::Str(rhs.text);
+    } else {
+      return Status::InvalidArgument(
+          "comparison right-hand side must be a constant");
+    }
+    // Note: the variable must occur in some atom; checked after parsing in
+    // ParseQuery via FindVar during head resolution is not enough, so check
+    // lazily here by requiring that the variable already exists or will be
+    // introduced by a later atom; we defer validation to the end.
+    pending_predicates_.push_back({var_name, op, std::move(constant)});
+    return Status::Ok();
+  }
+
+  /// Resolves comparisons after all atoms are parsed (the variable may be
+  /// introduced by an atom that appears after the comparison).
+  Status ResolvePredicates() {
+    for (auto& [name, op, constant] : pending_predicates_) {
+      VarId v = query_.FindVar(name);
+      if (v < 0) {
+        return Status::InvalidArgument(
+            "comparison variable '" + name + "' does not occur in any atom");
+      }
+      query_.AddPredicate(UnaryPredicate{v, op, constant});
+    }
+    return Status::Ok();
+  }
+
+ private:
+  struct PendingPredicate {
+    std::string var_name;
+    CmpOp op;
+    Value rhs;
+  };
+
+  const Schema& schema_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  ConjunctiveQuery query_;
+  std::vector<PendingPredicate> pending_predicates_;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(const Schema& schema,
+                                    std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(schema, std::move(*tokens));
+  return parser.Parse();
+}
+
+}  // namespace qp

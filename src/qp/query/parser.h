@@ -1,0 +1,33 @@
+#ifndef QP_QUERY_PARSER_H_
+#define QP_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "qp/query/query.h"
+#include "qp/relational/schema.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Parses a datalog-style conjunctive query against `schema`.
+///
+/// Grammar:
+///   query      := head ":-" body_item ("," body_item)* "."?
+///   head       := NAME "(" [ var ("," var)* ] ")"
+///   body_item  := atom | comparison
+///   atom       := NAME "(" term ("," term)* ")"
+///   term       := IDENT | NUMBER | STRING
+///   comparison := IDENT op (NUMBER | STRING)
+///   op         := "=" | "!=" | "<" | "<=" | ">" | ">="
+///
+/// Identifiers in argument positions are variables; numbers and quoted
+/// strings ('WA' or "WA") are constants. Examples:
+///   Q(x,y) :- R(x), S(x,y), T(y)
+///   Boolean() :- R(x,y), x > 10
+///   County(n) :- Business(n, 'WA', c), c = 'King'
+Result<ConjunctiveQuery> ParseQuery(const Schema& schema,
+                                    std::string_view text);
+
+}  // namespace qp
+
+#endif  // QP_QUERY_PARSER_H_

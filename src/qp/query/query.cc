@@ -1,0 +1,193 @@
+#include "qp/query/query.h"
+
+#include <algorithm>
+
+namespace qp {
+
+std::string_view CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool UnaryPredicate::Eval(const Value& lhs) const {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return !(lhs == rhs);
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs < rhs || lhs == rhs;
+    case CmpOp::kGt:
+      return rhs < lhs;
+    case CmpOp::kGe:
+      return rhs < lhs || lhs == rhs;
+  }
+  return false;
+}
+
+VarId ConjunctiveQuery::AddVar(std::string name) {
+  VarId id = static_cast<VarId>(var_names_.size());
+  var_names_.push_back(std::move(name));
+  return id;
+}
+
+VarId ConjunctiveQuery::FindVar(std::string_view name) const {
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    if (var_names_[i] == name) return static_cast<VarId>(i);
+  }
+  return -1;
+}
+
+bool ConjunctiveQuery::IsFull() const {
+  std::set<VarId> head_vars(head_.begin(), head_.end());
+  for (VarId v : BodyVars()) {
+    if (head_vars.count(v) == 0) return false;
+  }
+  return true;
+}
+
+bool ConjunctiveQuery::HasSelfJoin() const {
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    for (size_t j = i + 1; j < atoms_.size(); ++j) {
+      if (atoms_[i].rel == atoms_[j].rel) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<VarId> ConjunctiveQuery::VarsOfAtom(int idx) const {
+  std::vector<VarId> out;
+  for (const Term& t : atoms_[idx].args) {
+    if (t.is_var() && std::find(out.begin(), out.end(), t.var) == out.end()) {
+      out.push_back(t.var);
+    }
+  }
+  return out;
+}
+
+std::set<VarId> ConjunctiveQuery::BodyVars() const {
+  std::set<VarId> out;
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.args) {
+      if (t.is_var()) out.insert(t.var);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> ConjunctiveQuery::ConnectedComponents() const {
+  int n = static_cast<int>(atoms_.size());
+  std::vector<int> comp(n, -1);
+  std::vector<std::vector<int>> out;
+  for (int start = 0; start < n; ++start) {
+    if (comp[start] != -1) continue;
+    int id = static_cast<int>(out.size());
+    out.emplace_back();
+    std::vector<int> stack{start};
+    comp[start] = id;
+    while (!stack.empty()) {
+      int a = stack.back();
+      stack.pop_back();
+      out[id].push_back(a);
+      std::vector<VarId> vars_a = VarsOfAtom(a);
+      for (int b = 0; b < n; ++b) {
+        if (comp[b] != -1) continue;
+        std::vector<VarId> vars_b = VarsOfAtom(b);
+        bool shares = false;
+        for (VarId v : vars_a) {
+          if (std::find(vars_b.begin(), vars_b.end(), v) != vars_b.end()) {
+            shares = true;
+            break;
+          }
+        }
+        if (shares) {
+          comp[b] = id;
+          stack.push_back(b);
+        }
+      }
+    }
+    std::sort(out[id].begin(), out[id].end());
+  }
+  return out;
+}
+
+std::set<VarId> ConjunctiveQuery::HangingVars() const {
+  // Count occurrences of each variable across all atom argument positions.
+  std::vector<int> occurrences(var_names_.size(), 0);
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.args) {
+      if (t.is_var()) ++occurrences[t.var];
+    }
+  }
+  std::set<VarId> out;
+  for (VarId v = 0; v < static_cast<VarId>(var_names_.size()); ++v) {
+    if (occurrences[v] == 1) out.insert(v);
+  }
+  return out;
+}
+
+std::string ConjunctiveQuery::ToString(const Schema& schema) const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += var_names_[head_[i]];
+  }
+  out += ") :- ";
+  bool first = true;
+  for (const Atom& a : atoms_) {
+    if (!first) out += ", ";
+    first = false;
+    out += schema.relation_name(a.rel) + "(";
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      if (i > 0) out += ",";
+      const Term& t = a.args[i];
+      out += t.is_var() ? var_names_[t.var] : t.constant.ToString();
+    }
+    out += ")";
+  }
+  for (const UnaryPredicate& p : predicates_) {
+    if (!first) out += ", ";
+    first = false;
+    out += var_names_[p.var] + " " + std::string(CmpOpName(p.op)) + " " +
+           p.rhs.ToString();
+  }
+  return out;
+}
+
+ConjunctiveQuery IdentityQuery(const Schema& schema, RelationId rel) {
+  ConjunctiveQuery q(schema.relation_name(rel) + "_all");
+  std::vector<Term> args;
+  for (int p = 0; p < schema.arity(rel); ++p) {
+    VarId v = q.AddVar("x" + std::to_string(p));
+    q.AddHeadVar(v);
+    args.push_back(Term::MakeVar(v));
+  }
+  q.AddAtom(rel, std::move(args));
+  return q;
+}
+
+QueryBundle IdentityBundle(const Schema& schema) {
+  QueryBundle b;
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    ConjunctiveQuery q = IdentityQuery(schema, r);
+    b.queries.push_back(UnionQuery{q.name(), {q}});
+  }
+  return b;
+}
+
+}  // namespace qp

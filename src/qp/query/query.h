@@ -1,0 +1,182 @@
+#ifndef QP_QUERY_QUERY_H_
+#define QP_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qp/relational/schema.h"
+#include "qp/relational/value.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Index of a variable within one `ConjunctiveQuery`.
+using VarId = int32_t;
+
+/// An argument of an atom: a variable or a constant.
+struct Term {
+  enum class Kind { kVar, kConst };
+
+  static Term MakeVar(VarId v) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = v;
+    return t;
+  }
+  static Term MakeConst(Value v) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.constant = std::move(v);
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVar; }
+
+  Kind kind = Kind::kVar;
+  VarId var = -1;
+  Value constant;
+};
+
+/// A relational atom R(t1, ..., tm) in a query body.
+struct Atom {
+  RelationId rel = -1;
+  std::vector<Term> args;
+};
+
+/// Comparison operators for interpreted unary predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CmpOpName(CmpOp op);
+
+/// An interpreted unary predicate C(x): compares a variable with a constant
+/// (the paper allows any PTIME-computable unary predicate; comparisons with
+/// constants cover the paper's examples like `x > 10`).
+struct UnaryPredicate {
+  VarId var = -1;
+  CmpOp op = CmpOp::kEq;
+  Value rhs;
+
+  /// Applies the predicate to a concrete value.
+  bool Eval(const Value& lhs) const;
+};
+
+/// A conjunctive query: head variables, relational atoms, and interpreted
+/// unary predicates. Supports full/boolean queries, self-joins and
+/// constants in atom arguments.
+///
+/// Build programmatically:
+///   ConjunctiveQuery q("Q");
+///   VarId x = q.AddVar("x"), y = q.AddVar("y");
+///   q.AddHeadVar(x); q.AddHeadVar(y);
+///   q.AddAtom(r_id, {Term::MakeVar(x), Term::MakeVar(y)});
+/// or parse with `ParseQuery` (see parser.h).
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  explicit ConjunctiveQuery(std::string name) : name_(std::move(name)) {}
+
+  // -- construction --------------------------------------------------------
+
+  /// Adds a variable with the given display name (must be unique).
+  VarId AddVar(std::string name);
+
+  /// Returns the variable with the given name, or -1.
+  VarId FindVar(std::string_view name) const;
+
+  void AddHeadVar(VarId v) { head_.push_back(v); }
+  void AddAtom(RelationId rel, std::vector<Term> args) {
+    atoms_.push_back(Atom{rel, std::move(args)});
+  }
+  void AddPredicate(UnaryPredicate pred) {
+    predicates_.push_back(std::move(pred));
+  }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // -- accessors ------------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  int num_vars() const { return static_cast<int>(var_names_.size()); }
+  const std::string& var_name(VarId v) const { return var_names_[v]; }
+  const std::vector<VarId>& head() const { return head_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<UnaryPredicate>& predicates() const { return predicates_; }
+
+  // -- structural properties (Section 3 of the paper) -----------------------
+
+  /// True if every body variable appears in the head (no projections).
+  bool IsFull() const;
+
+  /// True if the head is empty.
+  bool IsBoolean() const { return head_.empty(); }
+
+  /// True if some relation name occurs in two or more atoms.
+  bool HasSelfJoin() const;
+
+  /// Distinct variables of atom `idx`, in first-occurrence order.
+  std::vector<VarId> VarsOfAtom(int idx) const;
+
+  /// All variables occurring in the body.
+  std::set<VarId> BodyVars() const;
+
+  /// Groups atom indexes into connected components of the join graph
+  /// (two atoms are connected if they share a variable).
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+  /// Variables that occur in exactly one atom and exactly once there
+  /// ("hanging variables", Definition 3.6).
+  std::set<VarId> HangingVars() const;
+
+  /// Datalog-style display: "Q(x,y) :- R(x,y), S(y,'a'), x > 5".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::string name_ = "Q";
+  std::vector<std::string> var_names_;
+  std::vector<VarId> head_;
+  std::vector<Atom> atoms_;
+  std::vector<UnaryPredicate> predicates_;
+};
+
+/// A union of conjunctive queries (all disjuncts must share head arity).
+struct UnionQuery {
+  std::string name = "U";
+  std::vector<ConjunctiveQuery> disjuncts;
+};
+
+/// A query bundle (Section 2.1): a finite set of queries, priced and
+/// purchased together. Each member is a UCQ (a CQ is a singleton UCQ).
+struct QueryBundle {
+  std::vector<UnionQuery> queries;
+
+  static QueryBundle Of(const ConjunctiveQuery& q) {
+    QueryBundle b;
+    b.queries.push_back(UnionQuery{q.name(), {q}});
+    return b;
+  }
+  static QueryBundle OfAll(const std::vector<ConjunctiveQuery>& qs) {
+    QueryBundle b;
+    for (const auto& q : qs) b.queries.push_back(UnionQuery{q.name(), {q}});
+    return b;
+  }
+  /// Bundle union Q1,Q2 (concatenation of the two query lists).
+  static QueryBundle Union(const QueryBundle& a, const QueryBundle& b) {
+    QueryBundle out = a;
+    out.queries.insert(out.queries.end(), b.queries.begin(),
+                       b.queries.end());
+    return out;
+  }
+  bool empty() const { return queries.empty(); }
+};
+
+/// Builds the identity query for one relation: R_full(x1..xm) :- R(x1..xm).
+ConjunctiveQuery IdentityQuery(const Schema& schema, RelationId rel);
+
+/// The identity bundle ID (Section 2.1): one identity query per relation.
+QueryBundle IdentityBundle(const Schema& schema);
+
+}  // namespace qp
+
+#endif  // QP_QUERY_QUERY_H_

@@ -1,0 +1,50 @@
+#include "qp/relational/catalog.h"
+
+namespace qp {
+
+Status Catalog::SetColumn(AttrRef attr, const std::vector<Value>& values) {
+  if (attr.rel < 0 || attr.rel >= schema_.num_relations()) {
+    return Status::InvalidArgument("bad relation id in SetColumn");
+  }
+  if (attr.pos < 0 || attr.pos >= schema_.arity(attr.rel)) {
+    return Status::InvalidArgument("bad attribute position in SetColumn");
+  }
+  ColumnData data;
+  for (const Value& v : values) {
+    ValueId id = dict_.Intern(v);
+    if (data.members.insert(id).second) data.values.push_back(id);
+  }
+  columns_[attr] = std::move(data);
+  return Status::Ok();
+}
+
+Status Catalog::SetColumn(std::string_view rel, std::string_view attr,
+                          const std::vector<Value>& values) {
+  auto rel_id = schema_.FindRelation(rel);
+  if (!rel_id.ok()) return rel_id.status();
+  auto pos = schema_.FindAttr(*rel_id, attr);
+  if (!pos.ok()) return pos.status();
+  return SetColumn(AttrRef{*rel_id, *pos}, values);
+}
+
+const std::vector<ValueId>& Catalog::Column(AttrRef attr) const {
+  static const std::vector<ValueId> kEmpty;
+  auto it = columns_.find(attr);
+  return it == columns_.end() ? kEmpty : it->second.values;
+}
+
+bool Catalog::InColumn(AttrRef attr, ValueId value) const {
+  auto it = columns_.find(attr);
+  return it != columns_.end() && it->second.members.count(value) > 0;
+}
+
+bool Catalog::AllColumnsSet() const {
+  for (RelationId r = 0; r < schema_.num_relations(); ++r) {
+    for (int p = 0; p < schema_.arity(r); ++p) {
+      if (!HasColumn(AttrRef{r, p})) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qp

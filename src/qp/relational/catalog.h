@@ -1,0 +1,71 @@
+#ifndef QP_RELATIONAL_CATALOG_H_
+#define QP_RELATIONAL_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "qp/relational/schema.h"
+#include "qp/relational/value.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// The seller's data dictionary: a schema, a value dictionary, and the
+/// *columns* of Section 3 of the paper. A column Col R.X is the finite set
+/// of values an attribute may take; it is known to both seller and buyer,
+/// is part of the input to the pricing algorithms, and bounds the database
+/// through the inclusion constraint R^D.X ⊆ Col R.X. Columns stay fixed
+/// under database updates.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Adds a relation to the schema.
+  Result<RelationId> AddRelation(std::string name,
+                                 std::vector<std::string> attrs) {
+    return schema_.AddRelation(std::move(name), std::move(attrs));
+  }
+
+  const Schema& schema() const { return schema_; }
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Sets the column of `attr` to `values` (interning them). Replaces any
+  /// previous column. Duplicate values are collapsed.
+  Status SetColumn(AttrRef attr, const std::vector<Value>& values);
+
+  /// Convenience overload resolving relation and attribute by name.
+  Status SetColumn(std::string_view rel, std::string_view attr,
+                   const std::vector<Value>& values);
+
+  bool HasColumn(AttrRef attr) const { return columns_.count(attr) > 0; }
+
+  /// The column's values in insertion order. Requires HasColumn(attr).
+  const std::vector<ValueId>& Column(AttrRef attr) const;
+
+  bool InColumn(AttrRef attr, ValueId value) const;
+
+  /// True if every attribute of every relation has a column. The PTIME
+  /// pricing algorithms require this.
+  bool AllColumnsSet() const;
+
+  /// Interns a value (columns are unaffected).
+  ValueId Intern(const Value& v) { return dict_.Intern(v); }
+
+ private:
+  struct ColumnData {
+    std::vector<ValueId> values;
+    std::unordered_set<ValueId> members;
+  };
+
+  Schema schema_;
+  Dictionary dict_;
+  std::unordered_map<AttrRef, ColumnData, AttrRefHasher> columns_;
+};
+
+}  // namespace qp
+
+#endif  // QP_RELATIONAL_CATALOG_H_

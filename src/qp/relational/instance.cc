@@ -1,0 +1,82 @@
+#include "qp/relational/instance.h"
+
+namespace qp {
+
+Instance::Instance(const Catalog* catalog) : catalog_(catalog) {
+  relations_.resize(catalog->schema().num_relations());
+}
+
+Result<bool> Instance::Insert(RelationId rel, Tuple tuple) {
+  const Schema& schema = catalog_->schema();
+  if (rel < 0 || rel >= schema.num_relations()) {
+    return Status::InvalidArgument("bad relation id in Insert");
+  }
+  // New relations may have been added to the catalog since construction.
+  if (static_cast<size_t>(schema.num_relations()) > relations_.size()) {
+    relations_.resize(schema.num_relations());
+  }
+  if (static_cast<int>(tuple.size()) != schema.arity(rel)) {
+    return Status::InvalidArgument(
+        "arity mismatch inserting into '" + schema.relation_name(rel) +
+        "': got " + std::to_string(tuple.size()) + ", want " +
+        std::to_string(schema.arity(rel)));
+  }
+  for (int p = 0; p < static_cast<int>(tuple.size()); ++p) {
+    AttrRef attr{rel, p};
+    if (catalog_->HasColumn(attr) && !catalog_->InColumn(attr, tuple[p])) {
+      return Status::FailedPrecondition(
+          "value " + catalog_->dict().Get(tuple[p]).ToString() +
+          " violates column constraint on " +
+          schema.AttrToString(attr));
+    }
+  }
+  return relations_[rel].insert(std::move(tuple)).second;
+}
+
+Result<bool> Instance::Insert(std::string_view rel,
+                              const std::vector<Value>& values) {
+  auto rel_id = catalog_->schema().FindRelation(rel);
+  if (!rel_id.ok()) return rel_id.status();
+  Tuple tuple;
+  tuple.reserve(values.size());
+  // Note: interning requires a mutable catalog; we require values to be
+  // already interned via the column declarations. Unknown values violate
+  // the column constraint anyway, so Find is enough.
+  for (const Value& v : values) {
+    auto id = catalog_->dict().Find(v);
+    if (!id.has_value()) {
+      return Status::FailedPrecondition(
+          "value " + v.ToString() +
+          " is not in any declared column (columns must be declared before "
+          "inserting data)");
+    }
+    tuple.push_back(*id);
+  }
+  return Insert(*rel_id, std::move(tuple));
+}
+
+bool Instance::Erase(RelationId rel, const Tuple& tuple) {
+  return relations_[rel].erase(tuple) > 0;
+}
+
+bool Instance::Contains(RelationId rel, const Tuple& tuple) const {
+  return relations_[rel].count(tuple) > 0;
+}
+
+size_t Instance::TotalTuples() const {
+  size_t total = 0;
+  for (const TupleSet& r : relations_) total += r.size();
+  return total;
+}
+
+bool Instance::IsSubsetOf(const Instance& other) const {
+  if (relations_.size() != other.relations_.size()) return false;
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    for (const Tuple& t : relations_[r]) {
+      if (other.relations_[r].count(t) == 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qp

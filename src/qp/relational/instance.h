@@ -1,0 +1,65 @@
+#ifndef QP_RELATIONAL_INSTANCE_H_
+#define QP_RELATIONAL_INSTANCE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "qp/relational/catalog.h"
+#include "qp/relational/value.h"
+#include "qp/util/hash.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// A tuple of dictionary-encoded values.
+using Tuple = std::vector<ValueId>;
+
+struct TupleHasher {
+  size_t operator()(const Tuple& t) const { return HashRange(t); }
+};
+
+/// Hash set of tuples of one relation.
+using TupleSet = std::unordered_set<Tuple, TupleHasher>;
+
+/// A database instance D over a catalog's schema. Enforces the inclusion
+/// constraint R^D.X ⊆ Col R.X for attributes with a declared column.
+/// Copyable (the determinacy check builds the Dmin/Dmax worlds as copies).
+class Instance {
+ public:
+  explicit Instance(const Catalog* catalog);
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Inserts a tuple. Returns true if newly inserted, false if present.
+  /// Fails on arity mismatch or column-constraint violation.
+  Result<bool> Insert(RelationId rel, Tuple tuple);
+
+  /// Convenience: interns `values` and inserts into relation `rel`.
+  Result<bool> Insert(std::string_view rel, const std::vector<Value>& values);
+
+  /// Removes a tuple; returns true if it was present.
+  bool Erase(RelationId rel, const Tuple& tuple);
+
+  bool Contains(RelationId rel, const Tuple& tuple) const;
+
+  const TupleSet& Relation(RelationId rel) const { return relations_[rel]; }
+
+  size_t NumTuples(RelationId rel) const { return relations_[rel].size(); }
+  size_t TotalTuples() const;
+
+  /// True if every tuple of *this is also in `other` (D1 ⊆ D2 in the
+  /// paper's dynamic-pricing sense). Instances must share the catalog.
+  bool IsSubsetOf(const Instance& other) const;
+
+  bool operator==(const Instance& other) const {
+    return relations_ == other.relations_;
+  }
+
+ private:
+  const Catalog* catalog_;
+  std::vector<TupleSet> relations_;
+};
+
+}  // namespace qp
+
+#endif  // QP_RELATIONAL_INSTANCE_H_

@@ -1,0 +1,56 @@
+#include "qp/relational/schema.h"
+
+namespace qp {
+
+Result<RelationId> Schema::AddRelation(std::string name,
+                                       std::vector<std::string> attrs) {
+  if (name.empty()) return Status::InvalidArgument("empty relation name");
+  if (attrs.empty()) {
+    return Status::InvalidArgument("relation '" + name +
+                                   "' must have at least one attribute");
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("relation '" + name + "' already defined");
+  }
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      if (attrs[i] == attrs[j]) {
+        return Status::InvalidArgument("relation '" + name +
+                                       "' has duplicate attribute '" +
+                                       attrs[i] + "'");
+      }
+    }
+  }
+  RelationId id = static_cast<RelationId>(relations_.size());
+  by_name_.emplace(name, id);
+  relations_.push_back(Relation{std::move(name), std::move(attrs)});
+  return id;
+}
+
+Result<RelationId> Schema::FindRelation(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown relation '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool Schema::HasRelation(std::string_view name) const {
+  return by_name_.count(std::string(name)) > 0;
+}
+
+Result<int> Schema::FindAttr(RelationId rel, std::string_view name) const {
+  const auto& attrs = relations_[rel].attrs;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i] == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("relation '" + relations_[rel].name +
+                          "' has no attribute '" + std::string(name) + "'");
+}
+
+std::string Schema::AttrToString(AttrRef attr) const {
+  return relations_[attr.rel].name + "." +
+         relations_[attr.rel].attrs[attr.pos];
+}
+
+}  // namespace qp

@@ -1,0 +1,80 @@
+#ifndef QP_RELATIONAL_SCHEMA_H_
+#define QP_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "qp/util/hash.h"
+#include "qp/util/result.h"
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// Index of a relation within a `Schema`.
+using RelationId = int32_t;
+
+/// A (relation, attribute-position) pair, e.g. R.X in the paper.
+struct AttrRef {
+  RelationId rel = -1;
+  int pos = -1;
+
+  bool operator==(const AttrRef& other) const {
+    return rel == other.rel && pos == other.pos;
+  }
+  bool operator<(const AttrRef& other) const {
+    if (rel != other.rel) return rel < other.rel;
+    return pos < other.pos;
+  }
+};
+
+struct AttrRefHasher {
+  size_t operator()(const AttrRef& a) const {
+    return HashCombine(static_cast<size_t>(a.rel),
+                       static_cast<size_t>(a.pos));
+  }
+};
+
+/// A fixed relational schema R = (R1, ..., Rk): relation names with named
+/// attributes. Immutable once relations are added; shared by catalog,
+/// instances and queries.
+class Schema {
+ public:
+  /// Adds a relation. Fails if the name already exists or `attrs` is empty.
+  Result<RelationId> AddRelation(std::string name,
+                                 std::vector<std::string> attrs);
+
+  Result<RelationId> FindRelation(std::string_view name) const;
+  bool HasRelation(std::string_view name) const;
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  const std::string& relation_name(RelationId rel) const {
+    return relations_[rel].name;
+  }
+  int arity(RelationId rel) const {
+    return static_cast<int>(relations_[rel].attrs.size());
+  }
+  const std::string& attr_name(AttrRef attr) const {
+    return relations_[attr.rel].attrs[attr.pos];
+  }
+
+  /// Position of attribute `name` in relation `rel`, or NotFound.
+  Result<int> FindAttr(RelationId rel, std::string_view name) const;
+
+  /// "R.X" display form.
+  std::string AttrToString(AttrRef attr) const;
+
+ private:
+  struct Relation {
+    std::string name;
+    std::vector<std::string> attrs;
+  };
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+}  // namespace qp
+
+#endif  // QP_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,38 @@
+#include "qp/relational/value.h"
+
+#include <functional>
+
+namespace qp {
+
+bool Value::operator<(const Value& other) const {
+  if (is_int() != other.is_int()) return is_int();
+  if (is_int()) return as_int() < other.as_int();
+  return as_str() < other.as_str();
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(as_int());
+  return "'" + as_str() + "'";
+}
+
+size_t Value::Hash() const {
+  if (is_int()) return std::hash<int64_t>{}(as_int()) * 3u + 1u;
+  return std::hash<std::string>{}(as_str()) * 3u + 2u;
+}
+
+ValueId Dictionary::Intern(const Value& v) {
+  auto it = index_.find(v);
+  if (it != index_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(values_.size());
+  values_.push_back(v);
+  index_.emplace(v, id);
+  return id;
+}
+
+std::optional<ValueId> Dictionary::Find(const Value& v) const {
+  auto it = index_.find(v);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace qp

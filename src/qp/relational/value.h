@@ -1,0 +1,79 @@
+#ifndef QP_RELATIONAL_VALUE_H_
+#define QP_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace qp {
+
+/// A database value: a 64-bit integer or a string. Values are
+/// dictionary-encoded by `Dictionary` into dense `ValueId`s; all algorithms
+/// operate on ids and only decode for display.
+class Value {
+ public:
+  /// Default-constructed value is the integer 0.
+  Value() : data_(int64_t{0}) {}
+
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Str(std::string s) { return Value(std::move(s)); }
+
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_str() const { return !is_int(); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  const std::string& as_str() const { return std::get<std::string>(data_); }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  /// Total order: integers before strings, then by value. Used by
+  /// interpreted comparison predicates and for deterministic output.
+  bool operator<(const Value& other) const;
+
+  /// Display form: `42` or `'abc'`.
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+
+  std::variant<int64_t, std::string> data_;
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Dense id of an interned value. Ids are assigned in interning order and
+/// are only meaningful relative to one `Dictionary`.
+using ValueId = uint32_t;
+
+/// Interns `Value`s into dense `ValueId`s (append-only).
+class Dictionary {
+ public:
+  Dictionary() = default;
+  Dictionary(const Dictionary&) = default;
+  Dictionary& operator=(const Dictionary&) = default;
+
+  /// Returns the id for `v`, interning it if new.
+  ValueId Intern(const Value& v);
+
+  /// Returns the id for `v` if already interned.
+  std::optional<ValueId> Find(const Value& v) const;
+
+  /// Decodes an id. `id` must have been produced by this dictionary.
+  const Value& Get(ValueId id) const { return values_[id]; }
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, ValueId, ValueHasher> index_;
+};
+
+}  // namespace qp
+
+#endif  // QP_RELATIONAL_VALUE_H_

@@ -1,0 +1,32 @@
+#ifndef QP_UTIL_HASH_H_
+#define QP_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qp {
+
+/// Combines a hash value into a seed (boost::hash_combine style, 64-bit).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename T>
+size_t HashRange(const std::vector<T>& values) {
+  size_t seed = 0x12345678;
+  for (const T& v : values) {
+    seed = HashCombine(seed, static_cast<size_t>(v));
+  }
+  return seed;
+}
+
+/// Packs two 32-bit ids into one 64-bit key (for pair sets).
+inline uint64_t PackPair(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace qp
+
+#endif  // QP_UTIL_HASH_H_

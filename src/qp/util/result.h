@@ -1,0 +1,68 @@
+#ifndef QP_UTIL_RESULT_H_
+#define QP_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "qp/util/status.h"
+
+namespace qp {
+
+/// A value-or-error holder, analogous to absl::StatusOr<T>.
+///
+/// Usage:
+///   Result<int> r = Parse(...);
+///   if (!r.ok()) return r.status();
+///   Use(*r);
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from an error status. The status must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+  /// Implicit construction from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qp
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define QP_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto QP_CONCAT_(qp_result_, __LINE__) = (expr);   \
+  if (!QP_CONCAT_(qp_result_, __LINE__).ok())       \
+    return QP_CONCAT_(qp_result_, __LINE__).status(); \
+  lhs = std::move(QP_CONCAT_(qp_result_, __LINE__)).value()
+
+#define QP_CONCAT_(a, b) QP_CONCAT_IMPL_(a, b)
+#define QP_CONCAT_IMPL_(a, b) a##b
+
+#endif  // QP_UTIL_RESULT_H_

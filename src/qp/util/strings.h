@@ -1,0 +1,25 @@
+#ifndef QP_UTIL_STRINGS_H_
+#define QP_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qp {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, trimming ASCII whitespace from each piece.
+/// Empty pieces are kept.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace qp
+
+#endif  // QP_UTIL_STRINGS_H_

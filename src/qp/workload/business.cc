@@ -1,0 +1,78 @@
+#include "qp/workload/business.h"
+
+namespace qp {
+
+std::vector<std::string> BusinessStates(const BusinessMarketParams& params) {
+  std::vector<std::string> states;
+  for (int i = 0; i < params.num_states; ++i) {
+    if (i == 0) {
+      states.push_back("WA");
+    } else if (i == 1) {
+      states.push_back("OR");
+    } else {
+      states.push_back("S" + std::to_string(i));
+    }
+  }
+  return states;
+}
+
+Status PopulateBusinessMarket(Seller* seller,
+                              const BusinessMarketParams& params) {
+  Rng rng(params.seed);
+  std::vector<std::string> states = BusinessStates(params);
+
+  std::vector<Value> bid_col;
+  for (int b = 0; b < params.num_businesses; ++b) {
+    bid_col.push_back(Value::Str("biz" + std::to_string(b)));
+  }
+  std::vector<Value> state_col;
+  for (const std::string& s : states) state_col.push_back(Value::Str(s));
+  std::vector<Value> county_col;
+  for (const std::string& s : states) {
+    for (int c = 0; c < params.counties_per_state; ++c) {
+      county_col.push_back(Value::Str(s + "/c" + std::to_string(c)));
+    }
+  }
+
+  QP_RETURN_IF_ERROR(
+      seller->DeclareRelation("Business", {"bid"}, {bid_col}));
+  QP_RETURN_IF_ERROR(seller->DeclareRelation("Email", {"bid"}, {bid_col}));
+  QP_RETURN_IF_ERROR(seller->DeclareRelation("InState", {"bid", "state"},
+                                             {bid_col, state_col}));
+  QP_RETURN_IF_ERROR(seller->DeclareRelation("InCounty", {"bid", "county"},
+                                             {bid_col, county_col}));
+
+  // Data: every business sits in one state and one of its counties.
+  for (int b = 0; b < params.num_businesses; ++b) {
+    Value bid = bid_col[b];
+    int s = static_cast<int>(rng.NextBelow(states.size()));
+    int c = static_cast<int>(rng.NextBelow(params.counties_per_state));
+    QP_RETURN_IF_ERROR(seller->Load("Business", {{bid}}));
+    QP_RETURN_IF_ERROR(
+        seller->Load("InState", {{bid, Value::Str(states[s])}}));
+    QP_RETURN_IF_ERROR(seller->Load(
+        "InCounty",
+        {{bid, Value::Str(states[s] + "/c" + std::to_string(c))}}));
+    if (rng.NextBool(params.email_fraction)) {
+      QP_RETURN_IF_ERROR(seller->Load("Email", {{bid}}));
+    }
+  }
+
+  // Prices. Per-business granularity everywhere (sells the whole DB).
+  QP_RETURN_IF_ERROR(
+      seller->SetUniformPrice("Business", "bid", params.business_price));
+  QP_RETURN_IF_ERROR(
+      seller->SetUniformPrice("Email", "bid", params.business_price));
+  QP_RETURN_IF_ERROR(
+      seller->SetUniformPrice("InState", "bid", params.business_price));
+  QP_RETURN_IF_ERROR(
+      seller->SetUniformPrice("InCounty", "bid", params.business_price));
+  // The marketed granularities: per state and per county.
+  QP_RETURN_IF_ERROR(
+      seller->SetUniformPrice("InState", "state", params.state_price));
+  QP_RETURN_IF_ERROR(
+      seller->SetUniformPrice("InCounty", "county", params.county_price));
+  return Status::Ok();
+}
+
+}  // namespace qp

@@ -1,0 +1,48 @@
+#ifndef QP_WORKLOAD_BUSINESS_H_
+#define QP_WORKLOAD_BUSINESS_H_
+
+#include <string>
+#include <vector>
+
+#include "qp/market/seller.h"
+#include "qp/util/random.h"
+
+namespace qp {
+
+/// Parameters of the US-business dataset the paper's introduction
+/// motivates (CustomLists' American Business Database: per-state views at
+/// $199, the whole set at $399, an email subset at $299).
+struct BusinessMarketParams {
+  int num_states = 8;
+  int counties_per_state = 4;
+  int num_businesses = 120;
+  /// Fraction of businesses with a known e-mail address.
+  double email_fraction = 0.6;
+  /// Price of σ_{InState.state=s} — "all businesses in one state".
+  Money state_price = Dollars(199);
+  /// Price of σ_{InCounty.county=c} — "all businesses in one county".
+  Money county_price = Dollars(79);
+  /// Price of the per-business selection views (the atomic granularity).
+  Money business_price = Dollars(2);
+  uint64_t seed = 7;
+};
+
+/// Relations created:
+///   Business(bid)          — the business registry (unary)
+///   Email(bid)             — businesses with an e-mail address (unary)
+///   InState(bid, state)    — location by state
+///   InCounty(bid, county)  — location by county (counties are nested in
+///                            states; county names are "<state>/c<i>")
+/// Explicit prices: per-state and per-county selections plus per-business
+/// selections on every relation (so the whole database is for sale,
+/// Lemma 3.1).
+Status PopulateBusinessMarket(Seller* seller,
+                              const BusinessMarketParams& params);
+
+/// The state codes used by the generator, in column order ("S0".."S{n-1}"
+/// with the first two renamed "WA" and "OR" for readable examples).
+std::vector<std::string> BusinessStates(const BusinessMarketParams& params);
+
+}  // namespace qp
+
+#endif  // QP_WORKLOAD_BUSINESS_H_

@@ -1,0 +1,312 @@
+#include "qp/workload/join_workloads.h"
+
+#include <string>
+
+#include "qp/query/parser.h"
+
+namespace qp {
+namespace {
+
+/// Column values v0..v{n-1}.
+std::vector<Value> MakeColumn(int n, const std::string& prefix) {
+  std::vector<Value> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Value::Str(prefix + std::to_string(i)));
+  }
+  return out;
+}
+
+/// Prices every view of `attr` with probability `priced_fraction`
+/// (probability 1 when `force_full_cover`).
+Status PriceAttr(Catalog& catalog, SelectionPriceSet* prices, AttrRef attr,
+                 const JoinWorkloadParams& params, bool force_full_cover,
+                 Rng* rng) {
+  for (ValueId v : catalog.Column(attr)) {
+    bool priced = force_full_cover || rng->NextBool(params.priced_fraction);
+    // Draw the price even when unused so the stream is stable across
+    // force_full_cover settings.
+    Money price = rng->NextInRange(params.min_price, params.max_price);
+    if (priced) {
+      QP_RETURN_IF_ERROR(prices->Set(SelectionView{attr, v}, price));
+    }
+  }
+  return Status::Ok();
+}
+
+/// Fills a relation with random tuples at the given density.
+Status FillRelation(Instance* db, const Catalog& catalog, RelationId rel,
+                    double density, Rng* rng) {
+  const int arity = catalog.schema().arity(rel);
+  std::vector<const std::vector<ValueId>*> cols(arity);
+  for (int p = 0; p < arity; ++p) {
+    cols[p] = &catalog.Column(AttrRef{rel, p});
+  }
+  std::vector<size_t> idx(arity, 0);
+  while (true) {
+    if (rng->NextBool(density)) {
+      Tuple t(arity);
+      for (int p = 0; p < arity; ++p) t[p] = (*cols[p])[idx[p]];
+      auto inserted = db->Insert(rel, std::move(t));
+      if (!inserted.ok()) return inserted.status();
+    }
+    int p = arity - 1;
+    while (p >= 0 && ++idx[p] == cols[p]->size()) idx[p--] = 0;
+    if (p < 0) return Status::Ok();
+  }
+}
+
+}  // namespace
+
+Result<Workload> MakeChainWorkload(int middle_binary_atoms,
+                                   const JoinWorkloadParams& params) {
+  if (middle_binary_atoms < 0) {
+    return Status::InvalidArgument("negative atom count");
+  }
+  Workload w;
+  w.catalog = std::make_unique<Catalog>();
+  Rng rng(params.seed);
+
+  const int k = middle_binary_atoms;
+  // Relations: U0(X), B1(X,Y), ..., Bk(X,Y), Uk(X).
+  auto u0 = w.catalog->AddRelation("U0", {"X"});
+  if (!u0.ok()) return u0.status();
+  std::vector<RelationId> binaries;
+  for (int i = 1; i <= k; ++i) {
+    auto b = w.catalog->AddRelation("B" + std::to_string(i), {"X", "Y"});
+    if (!b.ok()) return b.status();
+    binaries.push_back(*b);
+  }
+  auto uk = w.catalog->AddRelation("U" + std::to_string(k + 1), {"X"});
+  if (!uk.ok()) return uk.status();
+
+  // One shared column per chain variable x0..xk.
+  std::vector<std::vector<Value>> var_cols;
+  for (int i = 0; i <= k; ++i) {
+    var_cols.push_back(
+        MakeColumn(params.column_size, "v" + std::to_string(i) + "_"));
+  }
+  QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*u0, 0}, var_cols[0]));
+  for (int i = 0; i < k; ++i) {
+    QP_RETURN_IF_ERROR(
+        w.catalog->SetColumn(AttrRef{binaries[i], 0}, var_cols[i]));
+    QP_RETURN_IF_ERROR(
+        w.catalog->SetColumn(AttrRef{binaries[i], 1}, var_cols[i + 1]));
+  }
+  QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*uk, 0}, var_cols[k]));
+
+  w.db = std::make_unique<Instance>(w.catalog.get());
+  QP_RETURN_IF_ERROR(
+      FillRelation(w.db.get(), *w.catalog, *u0, params.tuple_density, &rng));
+  for (RelationId b : binaries) {
+    QP_RETURN_IF_ERROR(
+        FillRelation(w.db.get(), *w.catalog, b, params.tuple_density, &rng));
+  }
+  QP_RETURN_IF_ERROR(
+      FillRelation(w.db.get(), *w.catalog, *uk, params.tuple_density, &rng));
+
+  // Prices: unary attributes always fully covered (so ID is for sale).
+  QP_RETURN_IF_ERROR(PriceAttr(*w.catalog, &w.prices, AttrRef{*u0, 0},
+                               params, /*force_full_cover=*/true, &rng));
+  for (RelationId b : binaries) {
+    QP_RETURN_IF_ERROR(PriceAttr(*w.catalog, &w.prices, AttrRef{b, 0},
+                                 params, /*force_full_cover=*/true, &rng));
+    QP_RETURN_IF_ERROR(PriceAttr(*w.catalog, &w.prices, AttrRef{b, 1},
+                                 params, /*force_full_cover=*/false, &rng));
+  }
+  QP_RETURN_IF_ERROR(PriceAttr(*w.catalog, &w.prices, AttrRef{*uk, 0},
+                               params, /*force_full_cover=*/true, &rng));
+
+  // Query text: Q(x0..xk) :- U0(x0), B1(x0,x1), ..., Uk(xk).
+  std::string head = "Q(";
+  std::string body;
+  for (int i = 0; i <= k; ++i) {
+    if (i > 0) head += ",";
+    head += "x" + std::to_string(i);
+  }
+  body += "U0(x0)";
+  for (int i = 1; i <= k; ++i) {
+    body += ", B" + std::to_string(i) + "(x" + std::to_string(i - 1) +
+            ",x" + std::to_string(i) + ")";
+  }
+  body += ", U" + std::to_string(k + 1) + "(x" + std::to_string(k) + ")";
+  auto query = ParseQuery(w.catalog->schema(), head + ") :- " + body);
+  if (!query.ok()) return query.status();
+  w.query = std::move(*query);
+  return w;
+}
+
+Result<Workload> MakeStarWorkload(int branches,
+                                  const JoinWorkloadParams& params) {
+  if (branches < 1) return Status::InvalidArgument("need >= 1 branch");
+  Workload w;
+  w.catalog = std::make_unique<Catalog>();
+  Rng rng(params.seed);
+
+  auto hub = w.catalog->AddRelation("Hub", {"X"});
+  if (!hub.ok()) return hub.status();
+  std::vector<RelationId> petals;
+  for (int i = 1; i <= branches; ++i) {
+    auto p = w.catalog->AddRelation("P" + std::to_string(i), {"X", "Y"});
+    if (!p.ok()) return p.status();
+    petals.push_back(*p);
+  }
+
+  std::vector<Value> hub_col = MakeColumn(params.column_size, "h");
+  QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*hub, 0}, hub_col));
+  for (int i = 0; i < branches; ++i) {
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{petals[i], 0}, hub_col));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(
+        AttrRef{petals[i], 1},
+        MakeColumn(params.column_size, "p" + std::to_string(i) + "_")));
+  }
+
+  w.db = std::make_unique<Instance>(w.catalog.get());
+  QP_RETURN_IF_ERROR(
+      FillRelation(w.db.get(), *w.catalog, *hub, params.tuple_density, &rng));
+  for (RelationId p : petals) {
+    QP_RETURN_IF_ERROR(
+        FillRelation(w.db.get(), *w.catalog, p, params.tuple_density, &rng));
+  }
+
+  QP_RETURN_IF_ERROR(PriceAttr(*w.catalog, &w.prices, AttrRef{*hub, 0},
+                               params, /*force_full_cover=*/true, &rng));
+  for (RelationId p : petals) {
+    QP_RETURN_IF_ERROR(PriceAttr(*w.catalog, &w.prices, AttrRef{p, 0},
+                                 params, /*force_full_cover=*/true, &rng));
+    QP_RETURN_IF_ERROR(PriceAttr(*w.catalog, &w.prices, AttrRef{p, 1},
+                                 params, /*force_full_cover=*/false, &rng));
+  }
+
+  std::string head = "Q(x";
+  std::string body = "Hub(x)";
+  for (int i = 1; i <= branches; ++i) {
+    head += ",y" + std::to_string(i);
+    body += ", P" + std::to_string(i) + "(x,y" + std::to_string(i) + ")";
+  }
+  auto query = ParseQuery(w.catalog->schema(), head + ") :- " + body);
+  if (!query.ok()) return query.status();
+  w.query = std::move(*query);
+  return w;
+}
+
+Result<Workload> MakeCycleWorkload(int k, const JoinWorkloadParams& params) {
+  if (k < 2) return Status::InvalidArgument("cycles need k >= 2");
+  Workload w;
+  w.catalog = std::make_unique<Catalog>();
+  Rng rng(params.seed);
+
+  std::vector<RelationId> rels;
+  for (int i = 1; i <= k; ++i) {
+    auto r = w.catalog->AddRelation("R" + std::to_string(i), {"X", "Y"});
+    if (!r.ok()) return r.status();
+    rels.push_back(*r);
+  }
+  std::vector<std::vector<Value>> var_cols;
+  for (int i = 1; i <= k; ++i) {
+    var_cols.push_back(
+        MakeColumn(params.column_size, "c" + std::to_string(i) + "_"));
+  }
+  for (int i = 0; i < k; ++i) {
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{rels[i], 0},
+                                            var_cols[i]));
+    QP_RETURN_IF_ERROR(
+        w.catalog->SetColumn(AttrRef{rels[i], 1}, var_cols[(i + 1) % k]));
+  }
+
+  w.db = std::make_unique<Instance>(w.catalog.get());
+  for (RelationId r : rels) {
+    QP_RETURN_IF_ERROR(
+        FillRelation(w.db.get(), *w.catalog, r, params.tuple_density, &rng));
+  }
+  for (RelationId r : rels) {
+    QP_RETURN_IF_ERROR(PriceAttr(*w.catalog, &w.prices, AttrRef{r, 0},
+                                 params, /*force_full_cover=*/true, &rng));
+    QP_RETURN_IF_ERROR(PriceAttr(*w.catalog, &w.prices, AttrRef{r, 1},
+                                 params, /*force_full_cover=*/false, &rng));
+  }
+
+  std::string head = "Q(";
+  std::string body;
+  for (int i = 1; i <= k; ++i) {
+    if (i > 1) {
+      head += ",";
+      body += ", ";
+    }
+    head += "x" + std::to_string(i);
+    body += "R" + std::to_string(i) + "(x" + std::to_string(i) + ",x" +
+            std::to_string(i % k + 1) + ")";
+  }
+  auto query = ParseQuery(w.catalog->schema(), head + ") :- " + body);
+  if (!query.ok()) return query.status();
+  w.query = std::move(*query);
+  return w;
+}
+
+Result<Workload> MakeHardQueryWorkload(HardQuery which,
+                                       const JoinWorkloadParams& params) {
+  Workload w;
+  w.catalog = std::make_unique<Catalog>();
+  Rng rng(params.seed);
+  std::vector<Value> col_x = MakeColumn(params.column_size, "a");
+  std::vector<Value> col_y = MakeColumn(params.column_size, "b");
+  std::vector<Value> col_z = MakeColumn(params.column_size, "c");
+
+  std::string query_text;
+  if (which == HardQuery::kH1) {
+    auto r = w.catalog->AddRelation("R", {"X", "Y", "Z"});
+    auto s = w.catalog->AddRelation("S", {"X"});
+    auto t = w.catalog->AddRelation("T", {"X"});
+    auto u = w.catalog->AddRelation("U", {"X"});
+    if (!r.ok() || !s.ok() || !t.ok() || !u.ok()) {
+      return Status::Internal("schema");
+    }
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*r, 0}, col_x));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*r, 1}, col_y));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*r, 2}, col_z));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*s, 0}, col_x));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*t, 0}, col_y));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*u, 0}, col_z));
+    query_text = "H1(x,y,z) :- R(x,y,z), S(x), T(y), U(z)";
+  } else if (which == HardQuery::kH2) {
+    auto r = w.catalog->AddRelation("R", {"X"});
+    auto s = w.catalog->AddRelation("S", {"X", "Y"});
+    auto t = w.catalog->AddRelation("T", {"X", "Y"});
+    if (!r.ok() || !s.ok() || !t.ok()) return Status::Internal("schema");
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*r, 0}, col_x));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*s, 0}, col_x));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*s, 1}, col_y));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*t, 0}, col_x));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*t, 1}, col_y));
+    query_text = "H2(x,y) :- R(x), S(x,y), T(x,y)";
+  } else {
+    auto r = w.catalog->AddRelation("R", {"X"});
+    auto s = w.catalog->AddRelation("S", {"X", "Y"});
+    if (!r.ok() || !s.ok()) return Status::Internal("schema");
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*r, 0}, col_x));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*s, 0}, col_x));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*s, 1}, col_x));
+    query_text = "H3(x,y) :- R(x), S(x,y), R(y)";
+  }
+
+  w.db = std::make_unique<Instance>(w.catalog.get());
+  for (RelationId rel = 0; rel < w.catalog->schema().num_relations();
+       ++rel) {
+    QP_RETURN_IF_ERROR(FillRelation(w.db.get(), *w.catalog, rel,
+                                    params.tuple_density, &rng));
+  }
+  for (RelationId rel = 0; rel < w.catalog->schema().num_relations();
+       ++rel) {
+    for (int p = 0; p < w.catalog->schema().arity(rel); ++p) {
+      QP_RETURN_IF_ERROR(PriceAttr(*w.catalog, &w.prices, AttrRef{rel, p},
+                                   params, /*force_full_cover=*/p == 0,
+                                   &rng));
+    }
+  }
+  auto query = ParseQuery(w.catalog->schema(), query_text);
+  if (!query.ok()) return query.status();
+  w.query = std::move(*query);
+  return w;
+}
+
+}  // namespace qp

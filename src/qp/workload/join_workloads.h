@@ -1,0 +1,69 @@
+#ifndef QP_WORKLOAD_JOIN_WORKLOADS_H_
+#define QP_WORKLOAD_JOIN_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qp/pricing/price_points.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/random.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// A self-contained synthetic pricing problem: catalog + data + explicit
+/// prices + the query to price. All generators are deterministic in the
+/// seed.
+struct Workload {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<Instance> db;
+  SelectionPriceSet prices;
+  ConjunctiveQuery query;
+};
+
+/// Parameters shared by the join workload generators.
+struct JoinWorkloadParams {
+  /// Column size of every attribute.
+  int column_size = 8;
+  /// Probability that a potential tuple is present in the database.
+  double tuple_density = 0.4;
+  /// Explicit view prices are drawn uniformly from [min_price, max_price].
+  Money min_price = 100;
+  Money max_price = 1000;
+  /// Fraction of views that get an explicit price (the rest are not for
+  /// sale). Full covers needed to sell ID are always priced.
+  double priced_fraction = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Chain workload (the paper's flagship PTIME class): the query
+///   Q(x0..xk) :- U0(x0), B1(x0,x1), ..., Bk(x_{k-1},xk), Uk(xk)
+/// with `middle_binary_atoms` binary atoms between two unary endpoint
+/// atoms. `middle_binary_atoms = 1` reproduces the Example 3.8 shape
+/// R(x), S(x,y), T(y).
+Result<Workload> MakeChainWorkload(int middle_binary_atoms,
+                                   const JoinWorkloadParams& params);
+
+/// Star-join workload: Q(x, y1..yh) :- Hub(x), P1(x,y1), ..., Ph(x,yh).
+/// The yi are hanging variables, so the GChQ pipeline prices 2^h chain
+/// subproblems (Step 3).
+Result<Workload> MakeStarWorkload(int branches,
+                                  const JoinWorkloadParams& params);
+
+/// Cycle workload Ck (Theorem 3.15):
+///   Q(x1..xk) :- R1(x1,x2), ..., Rk(xk,x1).
+Result<Workload> MakeCycleWorkload(int k, const JoinWorkloadParams& params);
+
+/// NP-complete queries of Theorem 3.5 over random data:
+///   H1(x,y,z) = R(x,y,z), S(x), T(y), U(z)
+///   H2(x,y)   = R(x), S(x,y), T(x,y)
+///   H3(x,y)   = R(x), S(x,y), R(y)      (self-join)
+enum class HardQuery { kH1, kH2, kH3 };
+Result<Workload> MakeHardQueryWorkload(HardQuery which,
+                                       const JoinWorkloadParams& params);
+
+}  // namespace qp
+
+#endif  // QP_WORKLOAD_JOIN_WORKLOADS_H_

@@ -1,0 +1,124 @@
+// Market-file serialization: parse, round-trip, and error reporting.
+
+#include "gtest/gtest.h"
+#include "qp/market/catalog_io.h"
+#include "qp/market/marketplace.h"
+#include "qp/workload/business.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+constexpr char kFig1[] = R"(
+# the running example
+relation R(X)
+relation S(X, Y)
+relation T(Y)
+column R.X: 'a1', 'a2', 'a3', 'a4'
+column S.X: 'a1', 'a2', 'a3', 'a4'
+column S.Y: 'b1', 'b2', 'b3'
+column T.Y: 'b1', 'b2', 'b3'
+row R('a1')
+row R('a2')
+row S('a1', 'b1')
+row S('a1', 'b2')
+row S('a2', 'b2')
+row S('a4', 'b1')
+row T('b1')
+row T('b3')
+price R.X='a1': $1.00
+price R.X='a2': $1.00
+price R.X='a3': $1.00
+price R.X='a4': $1.00
+price S.X='a1': $1.00
+price S.X='a2': $1.00
+price S.X='a3': $1.00
+price S.X='a4': $1.00
+price S.Y='b1': $1.00
+price S.Y='b2': $1.00
+price S.Y='b3': $1.00
+price T.Y='b1': $1.00
+price T.Y='b2': $1.00
+price T.Y='b3': $1.00
+)";
+
+TEST(CatalogIo, LoadsFig1AndPricesIt) {
+  Seller seller("io");
+  QP_ASSERT_OK(LoadSellerFromString(&seller, kFig1));
+  EXPECT_EQ(seller.prices().size(), 14u);
+  EXPECT_EQ(seller.db().TotalTuples(), 8u);
+  Marketplace market(&seller);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote,
+                          market.Quote("Q(x,y) :- R(x), S(x,y), T(y)"));
+  EXPECT_EQ(quote.solution.price, Dollars(6));
+}
+
+TEST(CatalogIo, RoundTripsThroughSaveAndLoad) {
+  Seller original("io");
+  BusinessMarketParams params;
+  params.num_businesses = 12;
+  params.business_price = Dollars(20);
+  QP_ASSERT_OK(PopulateBusinessMarket(&original, params));
+
+  std::string text = SaveSellerToString(original);
+  Seller reloaded("io");  // same name: the save header embeds it
+  QP_ASSERT_OK(LoadSellerFromString(&reloaded, text));
+  EXPECT_EQ(reloaded.prices().size(), original.prices().size());
+  EXPECT_EQ(reloaded.db().TotalTuples(), original.db().TotalTuples());
+
+  // Prices must quote identically after the round trip.
+  Marketplace m1(&original), m2(&reloaded);
+  const char* query = "Q(b) :- Email(b), InState(b, 'WA')";
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote q1, m1.Quote(query));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote q2, m2.Quote(query));
+  EXPECT_EQ(q1.solution.price, q2.solution.price);
+
+  // And the save is stable (deterministic ordering).
+  EXPECT_EQ(SaveSellerToString(reloaded), text);
+}
+
+TEST(CatalogIo, IntegerValues) {
+  Seller seller("io");
+  QP_ASSERT_OK(LoadSellerFromString(&seller, R"(
+relation N(A)
+column N.A: 1, 2, -3
+row N(1)
+price N.A=1: $0.50
+price N.A=2: $2
+price N.A=-3: $1.25
+)"));
+  EXPECT_EQ(seller.prices().size(), 3u);
+  RelationId n = *seller.catalog().schema().FindRelation("N");
+  ValueId two = *seller.catalog().dict().Find(Value::Int(2));
+  EXPECT_EQ(seller.prices().Get(SelectionView{AttrRef{n, 0}, two}), 200);
+}
+
+TEST(CatalogIo, ErrorsCarryLineNumbers) {
+  Seller s1("io");
+  Status bad_directive = LoadSellerFromString(&s1, "relation R(X)\nnope");
+  EXPECT_FALSE(bad_directive.ok());
+  EXPECT_NE(bad_directive.message().find("line 2"), std::string::npos);
+
+  Seller s2("io");
+  Status bad_row = LoadSellerFromString(&s2, R"(
+relation R(X)
+column R.X: 'a'
+row R('zz')
+)");
+  EXPECT_FALSE(bad_row.ok());
+
+  Seller s3("io");
+  Status bad_price = LoadSellerFromString(&s3, R"(
+relation R(X)
+column R.X: 'a'
+price R.X='a': oops
+)");
+  EXPECT_FALSE(bad_price.ok());
+
+  Seller s4("io");
+  Status missing_rel = LoadSellerFromString(&s4, "column R.X: 'a'");
+  EXPECT_FALSE(missing_rel.ok());
+}
+
+}  // namespace
+}  // namespace qp

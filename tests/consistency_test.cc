@@ -1,0 +1,108 @@
+// Consistency tests: Proposition 3.2 (selection-view criterion), its
+// agreement with Theorem 2.15 (a set is consistent iff no explicit view can
+// be bought more cheaply through the pricing function itself), and the
+// instance independence of selection-view consistency.
+
+#include "gtest/gtest.h"
+#include "qp/pricing/consistency.h"
+#include "qp/pricing/engine.h"
+#include "qp/query/parser.h"
+#include "qp/workload/join_workloads.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(Consistency, UniformPricesAreConsistent) {
+  Example38 e = Example38::Make();
+  ConsistencyReport report = CheckSelectionConsistency(*e.catalog, e.prices);
+  EXPECT_TRUE(report.consistent);
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(Consistency, OverpricedViewIsDetected) {
+  Example38 e = Example38::Make();
+  // Col S.Y has 3 values at price 1 each, so any σS.X=a priced above 3
+  // can be answered more cheaply via the full cover of S.Y.
+  RelationId s = *e.catalog->schema().FindRelation("S");
+  ValueId a1 = *e.catalog->dict().Find(Value::Str("a1"));
+  QP_ASSERT_OK(e.prices.Set(SelectionView{AttrRef{s, 0}, a1}, 5));
+
+  ConsistencyReport report = CheckSelectionConsistency(*e.catalog, e.prices);
+  ASSERT_FALSE(report.consistent);
+  ASSERT_EQ(report.violations.size(), 1u);
+  const ConsistencyViolation& v = report.violations[0];
+  EXPECT_EQ(v.view_price, 5);
+  EXPECT_EQ(v.cover_price, 3);
+  EXPECT_EQ(v.cheaper_cover_attr.rel, s);
+  EXPECT_EQ(v.cheaper_cover_attr.pos, 1);
+  EXPECT_FALSE(v.ToString(*e.catalog).empty());
+}
+
+TEST(Consistency, BoundaryPriceIsStillConsistent) {
+  Example38 e = Example38::Make();
+  RelationId s = *e.catalog->schema().FindRelation("S");
+  ValueId a1 = *e.catalog->dict().Find(Value::Str("a1"));
+  // Exactly the cover price: p ≤ Σ holds with equality — consistent.
+  QP_ASSERT_OK(e.prices.Set(SelectionView{AttrRef{s, 0}, a1}, 3));
+  EXPECT_TRUE(CheckSelectionConsistency(*e.catalog, e.prices).consistent);
+}
+
+// Theorem 2.15 cross-check: S is consistent iff for every explicit view,
+// the arbitrage-price of the view (computed by the engine on the view
+// expressed as a query) is not below its explicit price.
+TEST(Consistency, AgreesWithArbitragePriceCriterion) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    JoinWorkloadParams params;
+    params.column_size = 3;
+    params.tuple_density = 0.5;
+    params.seed = seed;
+    params.min_price = 1;
+    params.max_price = 6;
+    QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(1, params));
+    PricingEngine engine(w.db.get(), &w.prices);
+
+    bool fast = engine.CheckConsistency().consistent;
+
+    bool by_definition = true;
+    for (const auto& [view, price] : w.prices.Sorted()) {
+      // σR.X=a as a query: head = all non-selected positions... the full
+      // tuple with the constant in place.
+      const Schema& schema = w.catalog->schema();
+      ConjunctiveQuery vq("V");
+      std::vector<Term> args;
+      for (int p = 0; p < schema.arity(view.attr.rel); ++p) {
+        if (p == view.attr.pos) {
+          args.push_back(
+              Term::MakeConst(w.catalog->dict().Get(view.value)));
+        } else {
+          VarId var = vq.AddVar("v" + std::to_string(p));
+          vq.AddHeadVar(var);
+          args.push_back(Term::MakeVar(var));
+        }
+      }
+      vq.AddAtom(view.attr.rel, std::move(args));
+      QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(vq));
+      if (quote.solution.price < price) {
+        by_definition = false;
+        break;
+      }
+    }
+    EXPECT_EQ(fast, by_definition) << "seed=" << seed;
+  }
+}
+
+TEST(Consistency, IndependentOfTheInstance) {
+  // Prop 3.2's criterion only reads the catalog and prices (its signature
+  // takes no instance); inserting data cannot change the verdict.
+  Example38 e = Example38::Make();
+  ConsistencyReport before = CheckSelectionConsistency(*e.catalog, e.prices);
+  QP_ASSERT_OK(e.db->Insert("R", {Value::Str("a3")}).status());
+  QP_ASSERT_OK(e.db->Insert("T", {Value::Str("b2")}).status());
+  ConsistencyReport after = CheckSelectionConsistency(*e.catalog, e.prices);
+  EXPECT_EQ(before.consistent, after.consistent);
+  EXPECT_EQ(before.violations.size(), after.violations.size());
+}
+
+}  // namespace
+}  // namespace qp

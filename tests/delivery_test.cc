@@ -1,0 +1,119 @@
+// Delivery / answerability tests: the buyer, holding only the public
+// catalog and the purchased view extensions, reconstructs exactly the
+// seller's answer whenever the support determines the query — the
+// operational content of instance-based determinacy (Section 2.3).
+
+#include "gtest/gtest.h"
+#include "qp/eval/evaluator.h"
+#include "qp/market/delivery.h"
+#include "qp/market/marketplace.h"
+#include "qp/pricing/engine.h"
+#include "qp/workload/business.h"
+#include "qp/workload/join_workloads.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(Delivery, BuyerReconstructsTheExampleAnswer) {
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(e.query));
+  ASSERT_TRUE(quote.solution.IsSellable());
+
+  // Seller ships the support extensions; buyer rebuilds the answer.
+  std::vector<ViewExtension> shipped =
+      MaterializeViews(*e.db, quote.solution.support);
+  BuyerClient buyer(e.catalog.get());
+  for (const ViewExtension& extension : shipped) {
+    QP_ASSERT_OK(buyer.AddPurchase(extension));
+  }
+  QP_ASSERT_OK_AND_ASSIGN(bool can, buyer.CanAnswer(e.query));
+  EXPECT_TRUE(can);
+
+  Evaluator seller_eval(e.db.get());
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> truth,
+                          seller_eval.Eval(e.query));
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> reconstructed,
+                          buyer.Answer(e.query));
+  EXPECT_EQ(truth, reconstructed);
+}
+
+TEST(Delivery, InsufficientPurchasesAreRefused) {
+  Example38 e = Example38::Make();
+  BuyerClient buyer(e.catalog.get());
+  // Buy a single view; the chain query is not determined.
+  RelationId r = *e.catalog->schema().FindRelation("R");
+  SelectionView v{AttrRef{r, 0}, *e.catalog->dict().Find(Value::Str("a1"))};
+  auto shipped = MaterializeViews(*e.db, {v});
+  QP_ASSERT_OK(buyer.AddPurchase(shipped[0]));
+  QP_ASSERT_OK_AND_ASSIGN(bool can, buyer.CanAnswer(e.query));
+  EXPECT_FALSE(can);
+  auto answer = buyer.Answer(e.query);
+  EXPECT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Delivery, TamperedExtensionIsRejected) {
+  Example38 e = Example38::Make();
+  BuyerClient buyer(e.catalog.get());
+  RelationId t = *e.catalog->schema().FindRelation("T");
+  ViewExtension bogus;
+  bogus.view = SelectionView{AttrRef{t, 0},
+                             *e.catalog->dict().Find(Value::Str("b1"))};
+  // Tuple does not satisfy the selection.
+  bogus.tuples.push_back({*e.catalog->dict().Find(Value::Str("b2"))});
+  EXPECT_FALSE(buyer.AddPurchase(bogus).ok());
+}
+
+TEST(Delivery, MarketplacePurchaseShipsAWorkingBundle) {
+  Seller seller("shipper");
+  BusinessMarketParams params;
+  params.num_businesses = 25;
+  params.business_price = Dollars(20);
+  QP_ASSERT_OK(PopulateBusinessMarket(&seller, params));
+  Marketplace market(&seller);
+
+  const std::string query = "Q(b) :- Email(b), InState(b, 'WA')";
+  QP_ASSERT_OK_AND_ASSIGN(Marketplace::PurchaseResult purchase,
+                          market.Purchase("dana", query));
+  BuyerClient buyer(&seller.catalog());
+  for (const ViewExtension& extension : purchase.delivered) {
+    QP_ASSERT_OK(buyer.AddPurchase(extension));
+  }
+  auto parsed = ParseQuery(seller.catalog().schema(), query);
+  ASSERT_TRUE(parsed.ok());
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> reconstructed,
+                          buyer.Answer(*parsed));
+  EXPECT_EQ(reconstructed, purchase.answers);
+}
+
+TEST(Delivery, RandomChainPurchasesRoundTrip) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    JoinWorkloadParams params;
+    params.column_size = 4;
+    params.tuple_density = 0.5;
+    params.seed = seed;
+    params.min_price = 1;
+    params.max_price = 9;
+    QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(2, params));
+    PricingEngine engine(w.db.get(), &w.prices);
+    QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(w.query));
+    if (!quote.solution.IsSellable()) continue;
+
+    BuyerClient buyer(w.catalog.get());
+    for (const ViewExtension& extension :
+         MaterializeViews(*w.db, quote.solution.support)) {
+      QP_ASSERT_OK(buyer.AddPurchase(extension));
+    }
+    Evaluator seller_eval(w.db.get());
+    QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> truth,
+                            seller_eval.Eval(w.query));
+    QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> reconstructed,
+                            buyer.Answer(w.query));
+    EXPECT_EQ(truth, reconstructed) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,374 @@
+// Determinacy tests: instance-based determinacy (Definition 2.2) via both
+// the generic world-enumeration checker and the PTIME Dmin/Dmax check of
+// Theorem 3.3, the determinacy-relation axioms (Definition 2.5), Lemma 3.1,
+// and the paper's Examples 2.4 and 2.18.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "qp/determinacy/selection_determinacy.h"
+#include "qp/determinacy/world_enumeration.h"
+#include "qp/query/parser.h"
+#include "qp/util/random.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+// ---- Example 2.4 ----------------------------------------------------------
+// Q1(x,y,z) = R(x,y),S(y,z); Q2(y,z,u) = S(y,z),T(z,u);
+// Q(x,y,z,u) = R(x,y),S(y,z),T(z,u).
+// (Q1,Q2) ։ Q always; Q1 alone does not determine Q in general, but does
+// on an instance where Q1(D) = ∅.
+struct Example24 {
+  std::unique_ptr<Catalog> catalog = std::make_unique<Catalog>();
+  std::unique_ptr<Instance> db;
+  ConjunctiveQuery q1, q2, q;
+
+  explicit Example24(bool q1_empty) {
+    auto r = catalog->AddRelation("R", {"X", "Y"});
+    auto s = catalog->AddRelation("S", {"X", "Y"});
+    auto t = catalog->AddRelation("T", {"X", "Y"});
+    EXPECT_TRUE(r.ok() && s.ok() && t.ok());
+    std::vector<Value> col = {Value::Str("0"), Value::Str("1")};
+    for (RelationId rel : {*r, *s, *t}) {
+      EXPECT_TRUE(catalog->SetColumn(AttrRef{rel, 0}, col).ok());
+      EXPECT_TRUE(catalog->SetColumn(AttrRef{rel, 1}, col).ok());
+    }
+    db = std::make_unique<Instance>(catalog.get());
+    EXPECT_TRUE(db->Insert("R", {Value::Str("0"), Value::Str("1")}).ok());
+    if (!q1_empty) {
+      EXPECT_TRUE(db->Insert("S", {Value::Str("1"), Value::Str("0")}).ok());
+    }
+    EXPECT_TRUE(db->Insert("T", {Value::Str("0"), Value::Str("0")}).ok());
+    q1 = *ParseQuery(catalog->schema(), "Q1(x,y,z) :- R(x,y), S(y,z)");
+    q2 = *ParseQuery(catalog->schema(), "Q2(y,z,u) :- S(y,z), T(z,u)");
+    q = *ParseQuery(catalog->schema(), "Q(x,y,z,u) :- R(x,y), S(y,z), T(z,u)");
+  }
+};
+
+TEST(Example24, BothViewsDetermineTheJoin) {
+  for (bool q1_empty : {false, true}) {
+    Example24 e(q1_empty);
+    QP_ASSERT_OK_AND_ASSIGN(
+        bool determines,
+        EnumerationDetermines(*e.db,
+                              QueryBundle::OfAll({e.q1, e.q2}),
+                              QueryBundle::Of(e.q)));
+    EXPECT_TRUE(determines) << "q1_empty=" << q1_empty;
+  }
+}
+
+TEST(Example24, Q1AloneDoesNotDetermineInGeneral) {
+  Example24 e(/*q1_empty=*/false);
+  QP_ASSERT_OK_AND_ASSIGN(
+      bool determines,
+      EnumerationDetermines(*e.db, QueryBundle::Of(e.q1),
+                            QueryBundle::Of(e.q)));
+  EXPECT_FALSE(determines);
+}
+
+TEST(Example24, Q1DeterminesWhenItsAnswerIsEmpty) {
+  Example24 e(/*q1_empty=*/true);
+  QP_ASSERT_OK_AND_ASSIGN(
+      bool determines,
+      EnumerationDetermines(*e.db, QueryBundle::Of(e.q1),
+                            QueryBundle::Of(e.q)));
+  EXPECT_TRUE(determines);
+}
+
+// ---- Example 2.18 ----------------------------------------------------------
+// V(x,y) = R(x),S(x,y); Q() = ∃x R(x). On D1 = ∅, V does not determine Q;
+// on D2 = {R(a), S(a,b)} it does. The restricted relation ։* rejects both.
+struct Example218 {
+  std::unique_ptr<Catalog> catalog = std::make_unique<Catalog>();
+  std::unique_ptr<Instance> db;
+  ConjunctiveQuery v, q;
+
+  explicit Example218(bool populated) {
+    auto r = catalog->AddRelation("R", {"X"});
+    auto s = catalog->AddRelation("S", {"X", "Y"});
+    EXPECT_TRUE(r.ok() && s.ok());
+    std::vector<Value> col_a = {Value::Str("a")};
+    std::vector<Value> col_b = {Value::Str("b")};
+    EXPECT_TRUE(catalog->SetColumn(AttrRef{*r, 0}, col_a).ok());
+    EXPECT_TRUE(catalog->SetColumn(AttrRef{*s, 0}, col_a).ok());
+    EXPECT_TRUE(catalog->SetColumn(AttrRef{*s, 1}, col_b).ok());
+    db = std::make_unique<Instance>(catalog.get());
+    if (populated) {
+      EXPECT_TRUE(db->Insert("R", {Value::Str("a")}).ok());
+      EXPECT_TRUE(db->Insert("S", {Value::Str("a"), Value::Str("b")}).ok());
+    }
+    v = *ParseQuery(catalog->schema(), "V(x,y) :- R(x), S(x,y)");
+    q = *ParseQuery(catalog->schema(), "Q() :- R(x)");
+  }
+};
+
+TEST(Example218, DeterminacyIsNotMonotoneUnderInsertions) {
+  Example218 d1(/*populated=*/false);
+  QP_ASSERT_OK_AND_ASSIGN(
+      bool determines1,
+      EnumerationDetermines(*d1.db, QueryBundle::Of(d1.v),
+                            QueryBundle::Of(d1.q)));
+  EXPECT_FALSE(determines1) << "D1 ⊢ V ։ Q should fail";
+
+  Example218 d2(/*populated=*/true);
+  QP_ASSERT_OK_AND_ASSIGN(
+      bool determines2,
+      EnumerationDetermines(*d2.db, QueryBundle::Of(d2.v),
+                            QueryBundle::Of(d2.q)));
+  EXPECT_TRUE(determines2) << "D2 ⊢ V ։ Q should hold";
+}
+
+TEST(Example218, RestrictedRelationRejectsBothStates) {
+  // Prop 2.24: ։* is monotone, so it must reject on D2 as well (since it
+  // rejects on the sub-instance D1).
+  for (bool populated : {false, true}) {
+    Example218 e(populated);
+    QP_ASSERT_OK_AND_ASSIGN(
+        bool determines,
+        RestrictedEnumerationDetermines(*e.db, QueryBundle::Of(e.v),
+                                        QueryBundle::Of(e.q)));
+    EXPECT_FALSE(determines) << "populated=" << populated;
+  }
+}
+
+TEST(Example218, RestrictedImpliesAtMostInstanceBased) {
+  // Prop 2.24(c): ։* ⊆ ։, i.e. whenever ։* holds so does ։ — checked on
+  // the identity views, which determine everything.
+  Example218 e(/*populated=*/true);
+  QueryBundle id = IdentityBundle(e.catalog->schema());
+  QP_ASSERT_OK_AND_ASSIGN(
+      bool restricted,
+      RestrictedEnumerationDetermines(*e.db, id, QueryBundle::Of(e.q)));
+  QP_ASSERT_OK_AND_ASSIGN(
+      bool instance,
+      EnumerationDetermines(*e.db, id, QueryBundle::Of(e.q)));
+  EXPECT_TRUE(restricted);
+  EXPECT_TRUE(instance);
+}
+
+// ---- Theorem 3.3 vs world enumeration --------------------------------------
+// On random small instances, the PTIME Dmin/Dmax check must agree with the
+// generic definition for selection views.
+class SelectionDeterminacyAgreement : public testing::TestWithParam<int> {};
+
+TEST_P(SelectionDeterminacyAgreement, MatchesWorldEnumeration) {
+  Rng rng(GetParam());
+  // Schema: R(X), S(X,Y) with 2-value columns; query: full join.
+  Catalog catalog;
+  RelationId r = *catalog.AddRelation("R", {"X"});
+  RelationId s = *catalog.AddRelation("S", {"X", "Y"});
+  std::vector<Value> col = {Value::Str("0"), Value::Str("1")};
+  QP_ASSERT_OK(catalog.SetColumn(AttrRef{r, 0}, col));
+  QP_ASSERT_OK(catalog.SetColumn(AttrRef{s, 0}, col));
+  QP_ASSERT_OK(catalog.SetColumn(AttrRef{s, 1}, col));
+  Instance db(&catalog);
+  for (const Value& a : col) {
+    if (rng.NextBool(0.5)) QP_ASSERT_OK(db.Insert("R", {a}).status());
+    for (const Value& b : col) {
+      if (rng.NextBool(0.5)) QP_ASSERT_OK(db.Insert("S", {a, b}).status());
+    }
+  }
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(catalog.schema(), "Q(x,y) :- R(x), S(x,y)"));
+
+  // Random subset of the 6 possible selection views.
+  std::vector<SelectionView> all_views;
+  for (ValueId v : catalog.Column(AttrRef{r, 0})) {
+    all_views.push_back(SelectionView{AttrRef{r, 0}, v});
+  }
+  for (int p = 0; p < 2; ++p) {
+    for (ValueId v : catalog.Column(AttrRef{s, p})) {
+      all_views.push_back(SelectionView{AttrRef{s, p}, v});
+    }
+  }
+  for (uint64_t mask = 0; mask < (1u << all_views.size()); ++mask) {
+    std::vector<SelectionView> subset;
+    QueryBundle view_bundle;
+    for (size_t i = 0; i < all_views.size(); ++i) {
+      if (!(mask & (1u << i))) continue;
+      subset.push_back(all_views[i]);
+      // Express the selection view as a query for the generic checker.
+      const SelectionView& view = all_views[i];
+      ConjunctiveQuery vq("V" + std::to_string(i));
+      std::vector<Term> args;
+      int arity = catalog.schema().arity(view.attr.rel);
+      for (int p = 0; p < arity; ++p) {
+        if (p == view.attr.pos) {
+          args.push_back(Term::MakeConst(catalog.dict().Get(view.value)));
+        } else {
+          VarId var = vq.AddVar("v" + std::to_string(p));
+          vq.AddHeadVar(var);
+          args.push_back(Term::MakeVar(var));
+        }
+      }
+      // Selection views return the whole tuple: add the selected position
+      // as a constant column is enough information-wise, since the
+      // constant is fixed by the view definition.
+      vq.AddAtom(view.attr.rel, std::move(args));
+      view_bundle.queries.push_back(UnionQuery{vq.name(), {vq}});
+    }
+    QP_ASSERT_OK_AND_ASSIGN(bool fast,
+                            SelectionViewsDetermine(db, subset, q));
+    QP_ASSERT_OK_AND_ASSIGN(
+        bool generic,
+        EnumerationDetermines(db, view_bundle, QueryBundle::Of(q)));
+    EXPECT_EQ(fast, generic) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionDeterminacyAgreement,
+                         testing::Range(1, 9));
+
+// Ternary relation: the Dmin/Dmax construction over higher-arity column
+// products, validated against world enumeration.
+TEST(SelectionDeterminacyTernary, MatchesWorldEnumeration) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    Catalog catalog;
+    RelationId r = *catalog.AddRelation("R", {"X", "Y", "Z"});
+    RelationId s = *catalog.AddRelation("S", {"X"});
+    std::vector<Value> col = {Value::Str("0"), Value::Str("1")};
+    for (int p = 0; p < 3; ++p) {
+      QP_ASSERT_OK(catalog.SetColumn(AttrRef{r, p}, col));
+    }
+    QP_ASSERT_OK(catalog.SetColumn(AttrRef{s, 0}, col));
+    Instance db(&catalog);
+    for (const Value& a : col) {
+      if (rng.NextBool(0.5)) QP_ASSERT_OK(db.Insert("S", {a}).status());
+      for (const Value& b : col) {
+        for (const Value& c : col) {
+          if (rng.NextBool(0.4)) {
+            QP_ASSERT_OK(db.Insert("R", {a, b, c}).status());
+          }
+        }
+      }
+    }
+    QP_ASSERT_OK_AND_ASSIGN(
+        ConjunctiveQuery q,
+        ParseQuery(catalog.schema(), "Q(x,y,z) :- R(x,y,z), S(x)"));
+
+    // A handful of random view subsets.
+    std::vector<SelectionView> all_views;
+    for (int p = 0; p < 3; ++p) {
+      for (ValueId v : catalog.Column(AttrRef{r, p})) {
+        all_views.push_back(SelectionView{AttrRef{r, p}, v});
+      }
+    }
+    for (ValueId v : catalog.Column(AttrRef{s, 0})) {
+      all_views.push_back(SelectionView{AttrRef{s, 0}, v});
+    }
+    for (int trial = 0; trial < 12; ++trial) {
+      std::vector<SelectionView> subset;
+      QueryBundle view_bundle;
+      for (size_t i = 0; i < all_views.size(); ++i) {
+        if (!rng.NextBool(0.5)) continue;
+        const SelectionView& view = all_views[i];
+        subset.push_back(view);
+        ConjunctiveQuery vq("V" + std::to_string(i));
+        std::vector<Term> args;
+        int arity = catalog.schema().arity(view.attr.rel);
+        for (int p = 0; p < arity; ++p) {
+          if (p == view.attr.pos) {
+            args.push_back(
+                Term::MakeConst(catalog.dict().Get(view.value)));
+          } else {
+            VarId var = vq.AddVar("v" + std::to_string(p));
+            vq.AddHeadVar(var);
+            args.push_back(Term::MakeVar(var));
+          }
+        }
+        vq.AddAtom(view.attr.rel, std::move(args));
+        view_bundle.queries.push_back(UnionQuery{vq.name(), {vq}});
+      }
+      QP_ASSERT_OK_AND_ASSIGN(bool fast,
+                              SelectionViewsDetermine(db, subset, q));
+      QP_ASSERT_OK_AND_ASSIGN(
+          bool generic,
+          EnumerationDetermines(db, view_bundle, QueryBundle::Of(q)));
+      EXPECT_EQ(fast, generic) << "seed=" << seed << " trial=" << trial;
+    }
+  }
+}
+
+// ---- Lemma 3.1 --------------------------------------------------------------
+TEST(Lemma31, SelectionDeterminedIffTrivialOrFullCover) {
+  Example38 e = Example38::Make();
+  RelationId s = *e.catalog->schema().FindRelation("S");
+  ValueId a1 = *e.catalog->dict().Find(Value::Str("a1"));
+
+  SelectionView target{AttrRef{s, 0}, a1};
+  // Trivial: the view itself.
+  EXPECT_TRUE(
+      SelectionViewsDetermineSelection(*e.catalog, {target}, target));
+  // Full cover of S.Y determines every selection on S.
+  std::vector<SelectionView> cover_y;
+  for (ValueId v : e.catalog->Column(AttrRef{s, 1})) {
+    cover_y.push_back(SelectionView{AttrRef{s, 1}, v});
+  }
+  EXPECT_TRUE(
+      SelectionViewsDetermineSelection(*e.catalog, cover_y, target));
+  // A partial cover does not.
+  cover_y.pop_back();
+  EXPECT_FALSE(
+      SelectionViewsDetermineSelection(*e.catalog, cover_y, target));
+  // Views on another relation do not.
+  RelationId r = *e.catalog->schema().FindRelation("R");
+  std::vector<SelectionView> cover_r;
+  for (ValueId v : e.catalog->Column(AttrRef{r, 0})) {
+    cover_r.push_back(SelectionView{AttrRef{r, 0}, v});
+  }
+  EXPECT_FALSE(
+      SelectionViewsDetermineSelection(*e.catalog, cover_r, target));
+}
+
+// ---- Determinacy axioms (Definition 2.5) ------------------------------------
+TEST(DeterminacyAxioms, HoldOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Example24 e(seed % 2 == 0);
+    QueryBundle v1 = QueryBundle::Of(e.q1);
+    QueryBundle v2 = QueryBundle::Of(e.q2);
+    QueryBundle both = QueryBundle::Union(v1, v2);
+
+    // Reflexivity: D ⊢ V1,V2 ։ V1.
+    QP_ASSERT_OK_AND_ASSIGN(bool reflexive,
+                            EnumerationDetermines(*e.db, both, v1));
+    EXPECT_TRUE(reflexive);
+
+    // Boundedness: D ⊢ ID ։ V for every bundle V.
+    QueryBundle id = IdentityBundle(e.catalog->schema());
+    QP_ASSERT_OK_AND_ASSIGN(bool bounded,
+                            EnumerationDetermines(*e.db, id, both));
+    EXPECT_TRUE(bounded);
+
+    // Transitivity on a chain that holds: (Q1,Q2) ։ Q and ID ։ (Q1,Q2)
+    // imply ID ։ Q.
+    QP_ASSERT_OK_AND_ASSIGN(
+        bool first, EnumerationDetermines(*e.db, id, both));
+    QP_ASSERT_OK_AND_ASSIGN(
+        bool second,
+        EnumerationDetermines(*e.db, both, QueryBundle::Of(e.q)));
+    if (first && second) {
+      QP_ASSERT_OK_AND_ASSIGN(
+          bool third,
+          EnumerationDetermines(*e.db, id, QueryBundle::Of(e.q)));
+      EXPECT_TRUE(third);
+    }
+
+    // Augmentation: V1 ։ V1 implies V1,V2 ։ V1,V2... checked in the
+    // upward-closure form: if V1 ։ Q then V1,V2 ։ Q.
+    QP_ASSERT_OK_AND_ASSIGN(
+        bool v1_q, EnumerationDetermines(*e.db, v1, QueryBundle::Of(e.q)));
+    if (v1_q) {
+      QP_ASSERT_OK_AND_ASSIGN(
+          bool both_q,
+          EnumerationDetermines(*e.db, both, QueryBundle::Of(e.q)));
+      EXPECT_TRUE(both_q);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qp

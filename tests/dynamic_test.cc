@@ -1,0 +1,169 @@
+// Dynamic pricing (Section 2.7): price monotonicity under insertions for
+// selection views + full CQs (Propositions 2.20/2.22), consistency
+// preservation (Proposition 2.23 via the instance-independent criterion),
+// the Example 2.18 inconsistency scenario, and the general-framework
+// arbitrage pricer with the restricted relation ։* (Proposition 2.24).
+
+#include "gtest/gtest.h"
+#include "qp/pricing/arbitrage_pricer.h"
+#include "qp/pricing/dynamic_pricer.h"
+#include "qp/query/parser.h"
+#include "qp/util/random.h"
+#include "qp/workload/join_workloads.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(DynamicPricing, FullQueriesAreMonotoneUnderInsertions) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    JoinWorkloadParams params;
+    params.column_size = 3;
+    params.tuple_density = 0.3;
+    params.seed = seed;
+    params.min_price = 1;
+    params.max_price = 9;
+    QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(1, params));
+
+    DynamicPricer pricer(w.db.get(), &w.prices);
+    ASSERT_TRUE(DynamicPricer::MonotonicityGuaranteed(w.query));
+    QP_ASSERT_OK_AND_ASSIGN(PriceQuote initial, pricer.Watch("q", w.query));
+    Money last = initial.solution.price;
+
+    // Insert every still-missing tuple of B1 one by one; prices must never
+    // decrease (Prop 2.22).
+    RelationId b1 = *w.catalog->schema().FindRelation("B1");
+    std::vector<std::vector<Value>> missing;
+    for (ValueId a : w.catalog->Column(AttrRef{b1, 0})) {
+      for (ValueId b : w.catalog->Column(AttrRef{b1, 1})) {
+        if (!w.db->Contains(b1, {a, b})) {
+          missing.push_back(
+              {w.catalog->dict().Get(a), w.catalog->dict().Get(b)});
+        }
+      }
+    }
+    for (const auto& row : missing) {
+      QP_ASSERT_OK_AND_ASSIGN(auto changes, pricer.Insert("B1", {row}));
+      ASSERT_EQ(changes.size(), 1u);
+      EXPECT_GE(changes[0].after, changes[0].before)
+          << "price decreased after insertion (seed " << seed << ")";
+      EXPECT_EQ(changes[0].before, last);
+      last = changes[0].after;
+    }
+    // Consistency is instance-independent for selection views, so it still
+    // holds after all insertions (Prop 2.23 / Prop 3.2).
+    EXPECT_EQ(pricer.CheckConsistency().consistent,
+              CheckSelectionConsistency(*w.catalog, w.prices).consistent);
+  }
+}
+
+// ---- Example 2.18 in the general framework ---------------------------------
+// S1 = {(V,$1), (Q,$10), (ID,$100)} is consistent on D1 = ∅ but becomes
+// inconsistent on D2 = {R(a), S(a,b)}; replacing ։ with ։* repairs this.
+struct GeneralMarket {
+  std::unique_ptr<Catalog> catalog = std::make_unique<Catalog>();
+  std::unique_ptr<Instance> db;
+  std::vector<GeneralPricePoint> points;
+
+  explicit GeneralMarket(bool populated) {
+    auto r = catalog->AddRelation("R", {"X"});
+    auto s = catalog->AddRelation("S", {"X", "Y"});
+    EXPECT_TRUE(r.ok() && s.ok());
+    EXPECT_TRUE(
+        catalog->SetColumn(AttrRef{*r, 0}, {Value::Str("a")}).ok());
+    EXPECT_TRUE(
+        catalog->SetColumn(AttrRef{*s, 0}, {Value::Str("a")}).ok());
+    EXPECT_TRUE(
+        catalog->SetColumn(AttrRef{*s, 1}, {Value::Str("b")}).ok());
+    db = std::make_unique<Instance>(catalog.get());
+    if (populated) {
+      EXPECT_TRUE(db->Insert("R", {Value::Str("a")}).ok());
+      EXPECT_TRUE(db->Insert("S", {Value::Str("a"), Value::Str("b")}).ok());
+    }
+    ConjunctiveQuery v = *ParseQuery(catalog->schema(),
+                                     "V(x,y) :- R(x), S(x,y)");
+    ConjunctiveQuery q = *ParseQuery(catalog->schema(), "Q() :- R(x)");
+    points.push_back({"V", QueryBundle::Of(v), Dollars(1)});
+    points.push_back({"Q", QueryBundle::Of(q), Dollars(10)});
+    points.push_back({"ID", IdentityBundle(catalog->schema()),
+                      Dollars(100)});
+  }
+};
+
+TEST(Example218Dynamic, ConsistencyBreaksUnderInstanceBasedDeterminacy) {
+  GeneralMarket d1(/*populated=*/false);
+  ArbitragePricer pricer1(d1.db.get(), d1.points,
+                          DeterminacyMode::kInstanceBased);
+  QP_ASSERT_OK_AND_ASSIGN(GeneralConsistencyReport r1,
+                          pricer1.CheckConsistency());
+  EXPECT_TRUE(r1.consistent) << "S1 should be consistent on D1 = ∅";
+
+  GeneralMarket d2(/*populated=*/true);
+  ArbitragePricer pricer2(d2.db.get(), d2.points,
+                          DeterminacyMode::kInstanceBased);
+  QP_ASSERT_OK_AND_ASSIGN(GeneralConsistencyReport r2,
+                          pricer2.CheckConsistency());
+  ASSERT_FALSE(r2.consistent)
+      << "on D2 the buyer gets Q for $1 via V — arbitrage";
+  // On D2 the single view V pins down the whole (one-tuple-per-relation)
+  // database, so both Q and ID are undercut by it.
+  ASSERT_EQ(r2.violations.size(), 2u);
+  EXPECT_EQ(r2.violations[0].point_name, "Q");
+  EXPECT_EQ(r2.violations[0].arbitrage_price, Dollars(1));
+  EXPECT_EQ(r2.violations[1].point_name, "ID");
+}
+
+TEST(Example218Dynamic, RestrictedDeterminacyKeepsConsistency) {
+  // Prop 2.24: with ։*, S1 stays consistent in both database states.
+  for (bool populated : {false, true}) {
+    GeneralMarket m(populated);
+    ArbitragePricer pricer(m.db.get(), m.points,
+                           DeterminacyMode::kRestricted);
+    QP_ASSERT_OK_AND_ASSIGN(GeneralConsistencyReport report,
+                            pricer.CheckConsistency());
+    EXPECT_TRUE(report.consistent) << "populated=" << populated;
+  }
+}
+
+TEST(Example218Dynamic, S2PriceDropsWithoutRestriction) {
+  // S2 = {(V,$1), (ID,$100)}: consistent in both states, but the price of
+  // Q drops from $100 to $1 when D grows — the second undesired effect.
+  GeneralMarket d1(/*populated=*/false);
+  d1.points.erase(d1.points.begin() + 1);  // drop the Q point
+  ArbitragePricer p1(d1.db.get(), d1.points);
+  ConjunctiveQuery q = *ParseQuery(d1.catalog->schema(), "Q() :- R(x)");
+  QP_ASSERT_OK_AND_ASSIGN(ArbitrageQuote quote1,
+                          p1.Price(QueryBundle::Of(q)));
+  EXPECT_EQ(quote1.price, Dollars(100));
+
+  GeneralMarket d2(/*populated=*/true);
+  d2.points.erase(d2.points.begin() + 1);
+  ArbitragePricer p2(d2.db.get(), d2.points);
+  ConjunctiveQuery q2 = *ParseQuery(d2.catalog->schema(), "Q() :- R(x)");
+  QP_ASSERT_OK_AND_ASSIGN(ArbitrageQuote quote2,
+                          p2.Price(QueryBundle::Of(q2)));
+  EXPECT_EQ(quote2.price, Dollars(1));
+
+  // With ։* the price stays at $100 in both states (monotone, Prop 2.24).
+  ArbitragePricer p1r(d1.db.get(), d1.points, DeterminacyMode::kRestricted);
+  ArbitragePricer p2r(d2.db.get(), d2.points, DeterminacyMode::kRestricted);
+  QP_ASSERT_OK_AND_ASSIGN(ArbitrageQuote r1, p1r.Price(QueryBundle::Of(q)));
+  QP_ASSERT_OK_AND_ASSIGN(ArbitrageQuote r2, p2r.Price(QueryBundle::Of(q2)));
+  EXPECT_EQ(r1.price, Dollars(100));
+  EXPECT_EQ(r2.price, Dollars(100));
+}
+
+TEST(ArbitragePricer, SupportNamesTheCheapestPoints) {
+  GeneralMarket m(/*populated=*/true);
+  ArbitragePricer pricer(m.db.get(), m.points);
+  ConjunctiveQuery v = *ParseQuery(m.catalog->schema(),
+                                   "V(x,y) :- R(x), S(x,y)");
+  QP_ASSERT_OK_AND_ASSIGN(ArbitrageQuote quote,
+                          pricer.Price(QueryBundle::Of(v)));
+  EXPECT_EQ(quote.price, Dollars(1));
+  ASSERT_EQ(quote.support.size(), 1u);
+  EXPECT_EQ(quote.support[0], "V");
+}
+
+}  // namespace
+}  // namespace qp

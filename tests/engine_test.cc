@@ -1,0 +1,164 @@
+// Engine tests: disconnected-query composition (Proposition 3.14), boolean
+// pricing, classification routing, and failure modes (unsellable data).
+
+#include "gtest/gtest.h"
+#include "qp/pricing/engine.h"
+#include "qp/pricing/exhaustive_solver.h"
+#include "qp/query/parser.h"
+#include "qp/workload/join_workloads.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+/// Two independent unary relations A, B with 2-value columns and unit
+/// prices; used to exercise Prop 3.14.
+struct TwoIslands {
+  std::unique_ptr<Catalog> catalog = std::make_unique<Catalog>();
+  std::unique_ptr<Instance> db;
+  SelectionPriceSet prices;
+
+  TwoIslands(bool a_nonempty, bool b_nonempty) {
+    auto a = catalog->AddRelation("A", {"X"});
+    auto b = catalog->AddRelation("B", {"X"});
+    EXPECT_TRUE(a.ok() && b.ok());
+    std::vector<Value> col = {Value::Str("0"), Value::Str("1")};
+    EXPECT_TRUE(catalog->SetColumn(AttrRef{*a, 0}, col).ok());
+    EXPECT_TRUE(catalog->SetColumn(AttrRef{*b, 0}, col).ok());
+    db = std::make_unique<Instance>(catalog.get());
+    if (a_nonempty) {
+        EXPECT_TRUE(db->Insert("A", {Value::Str("0")}).ok());
+      }
+    if (b_nonempty) {
+        EXPECT_TRUE(db->Insert("B", {Value::Str("1")}).ok());
+      }
+    EXPECT_TRUE(prices.SetUniform(*catalog, "A", "X", 10).ok());
+    EXPECT_TRUE(prices.SetUniform(*catalog, "B", "X", 25).ok());
+  }
+};
+
+TEST(Disconnected, BothNonEmptyPricesSum) {
+  TwoIslands t(true, true);
+  PricingEngine engine(t.db.get(), &t.prices);
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(t.catalog->schema(), "Q(x,y) :- A(x), B(y)"));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(q));
+  EXPECT_EQ(quote.query_class, PricingClass::kDisconnected);
+  // Each unary relation costs its full cover: 2*10 + 2*25 = 70.
+  EXPECT_EQ(quote.solution.price, 70);
+
+  // Cross-check against the exhaustive baseline.
+  QP_ASSERT_OK_AND_ASSIGN(PricingSolution exact,
+                          PriceByExhaustiveSearch(*t.db, t.prices, q));
+  EXPECT_EQ(exact.price, quote.solution.price);
+}
+
+TEST(Disconnected, EmptyComponentGivesTheMin) {
+  // A empty, B non-empty: keeping A provably empty is enough, and A is the
+  // only empty component.
+  TwoIslands t(false, true);
+  PricingEngine engine(t.db.get(), &t.prices);
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(t.catalog->schema(), "Q(x,y) :- A(x), B(y)"));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(q));
+  EXPECT_EQ(quote.solution.price, 20);  // full cover of A
+
+  QP_ASSERT_OK_AND_ASSIGN(PricingSolution exact,
+                          PriceByExhaustiveSearch(*t.db, t.prices, q));
+  EXPECT_EQ(exact.price, quote.solution.price);
+}
+
+TEST(Disconnected, BothEmptyTakesTheCheaperComponent) {
+  TwoIslands t(false, false);
+  PricingEngine engine(t.db.get(), &t.prices);
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(t.catalog->schema(), "Q(x,y) :- A(x), B(y)"));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(q));
+  EXPECT_EQ(quote.solution.price, 20);  // cover A (20) beats cover B (50)
+
+  QP_ASSERT_OK_AND_ASSIGN(PricingSolution exact,
+                          PriceByExhaustiveSearch(*t.db, t.prices, q));
+  EXPECT_EQ(exact.price, quote.solution.price);
+}
+
+TEST(Boolean, TrueCaseBuysTheCheapestWitness) {
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(e.catalog->schema(), "B() :- R(x), S(x,y), T(y)"));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(q));
+  EXPECT_EQ(quote.query_class, PricingClass::kBoolean);
+  // Single witness (a1,b1): cover R(a1), S(a1,b1), T(b1) — three $1 views
+  // (σS covers S(a1,b1) via either attribute).
+  EXPECT_EQ(quote.solution.price, 3);
+
+  QP_ASSERT_OK_AND_ASSIGN(PricingSolution exact,
+                          PriceByExhaustiveSearch(*e.db, e.prices, q));
+  EXPECT_EQ(exact.price, 3);
+}
+
+TEST(Boolean, FalseCasePricesTheFullVersion) {
+  // Make the boolean query false: query for a y that never joins.
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery boolean_q,
+      ParseQuery(e.catalog->schema(), "B() :- R(x), S(x,y), T(y), y = 'b3'"));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(boolean_q));
+  EXPECT_EQ(quote.query_class, PricingClass::kBoolean);
+
+  QP_ASSERT_OK_AND_ASSIGN(PricingSolution exact,
+                          PriceByExhaustiveSearch(*e.db, e.prices, boolean_q));
+  EXPECT_EQ(quote.solution.price, exact.price);
+}
+
+TEST(Boolean, GroundQueryBothOutcomes) {
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  // R('a1') is present: cheapest cover is the single view σR.X=a1.
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery present,
+      ParseQuery(e.catalog->schema(), "B() :- R('a1')"));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote1, engine.Price(present));
+  EXPECT_EQ(quote1.solution.price, 1);
+
+  // R('a3') is absent: blocking it needs σR.X=a3, also price 1.
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery absent,
+      ParseQuery(e.catalog->schema(), "B() :- R('a3')"));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote2, engine.Price(absent));
+  EXPECT_EQ(quote2.solution.price, 1);
+}
+
+TEST(Engine, UnsellableQueryReportsInfinitePrice) {
+  Example38 e = Example38::Make();
+  // Remove all prices on R: R can no longer be determined.
+  RelationId r = *e.catalog->schema().FindRelation("R");
+  for (ValueId v : e.catalog->Column(AttrRef{r, 0})) {
+    e.prices.Unset(SelectionView{AttrRef{r, 0}, v});
+  }
+  PricingEngine engine(e.db.get(), &e.prices);
+  EXPECT_FALSE(engine.SellsWholeDatabase());
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(e.query));
+  EXPECT_FALSE(quote.solution.IsSellable());
+}
+
+TEST(Engine, ProjectionRouteMatchesExhaustive) {
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  // H4-style projection: Q(x) :- S(x,y).
+  QP_ASSERT_OK_AND_ASSIGN(ConjunctiveQuery q,
+                          ParseQuery(e.catalog->schema(), "Q(x) :- S(x,y)"));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(q));
+  EXPECT_EQ(quote.query_class, PricingClass::kNonFull);
+  QP_ASSERT_OK_AND_ASSIGN(PricingSolution exact,
+                          PriceByExhaustiveSearch(*e.db, e.prices, q));
+  EXPECT_EQ(quote.solution.price, exact.price);
+}
+
+}  // namespace
+}  // namespace qp

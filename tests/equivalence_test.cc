@@ -1,0 +1,127 @@
+// Cross-solver equivalence property tests: on randomized workloads the
+// PTIME solvers (min-cut pipeline), the exact clause solver and the
+// exhaustive oracle-based search must all report the same arbitrage-price.
+// These sweeps empirically validate Theorem 3.13 (the min-cut reduction),
+// Steps 1-3 of the GChQ pipeline, and the clause formulation of
+// Theorem 3.3 against one another.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "qp/determinacy/selection_determinacy.h"
+#include "qp/pricing/clause_solver.h"
+#include "qp/pricing/engine.h"
+#include "qp/pricing/exhaustive_solver.h"
+#include "qp/pricing/gchq_solver.h"
+#include "qp/query/analysis.h"
+#include "qp/workload/join_workloads.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+struct SweepCase {
+  std::string shape;  // "chain1", "chain2", "star2", "cycle2", "cycle3",
+                      // "h1", "h2", "h3"
+  double density;
+  double priced_fraction;
+  uint64_t seed;
+};
+
+std::string CaseName(const testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  return c.shape + "_d" + std::to_string(int(c.density * 100)) + "_p" +
+         std::to_string(int(c.priced_fraction * 100)) + "_s" +
+         std::to_string(c.seed);
+}
+
+Result<Workload> MakeCase(const SweepCase& c) {
+  JoinWorkloadParams params;
+  params.column_size = 3;
+  params.tuple_density = c.density;
+  params.priced_fraction = c.priced_fraction;
+  params.seed = c.seed;
+  params.min_price = 1;
+  params.max_price = 9;
+  if (c.shape == "chain1") return MakeChainWorkload(1, params);
+  if (c.shape == "chain2") return MakeChainWorkload(2, params);
+  if (c.shape == "star2") return MakeStarWorkload(2, params);
+  if (c.shape == "star3") return MakeStarWorkload(3, params);
+  if (c.shape == "cycle2") return MakeCycleWorkload(2, params);
+  if (c.shape == "cycle3") return MakeCycleWorkload(3, params);
+  if (c.shape == "h1") return MakeHardQueryWorkload(HardQuery::kH1, params);
+  if (c.shape == "h2") return MakeHardQueryWorkload(HardQuery::kH2, params);
+  if (c.shape == "h3") return MakeHardQueryWorkload(HardQuery::kH3, params);
+  return Status::InvalidArgument("unknown shape " + c.shape);
+}
+
+class SolverEquivalence : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(SolverEquivalence, AllSolversAgree) {
+  QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeCase(GetParam()));
+
+  // Exhaustive oracle search: ground truth by construction (it directly
+  // minimizes Equation 2 with the Theorem 3.3 determinacy oracle).
+  ExhaustiveSolverOptions ex_options;
+  ex_options.max_views = 40;
+  QP_ASSERT_OK_AND_ASSIGN(
+      PricingSolution exhaustive,
+      PriceByExhaustiveSearch(*w.db, w.prices, w.query, ex_options));
+
+  // Engine (dispatches by the dichotomy: min-cut for chains/stars, clause
+  // solver for cycles and NP-hard shapes).
+  PricingEngine engine(w.db.get(), &w.prices);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(w.query));
+  EXPECT_EQ(quote.solution.price, exhaustive.price)
+      << "engine (" << quote.solver << ") disagrees with exhaustive search";
+
+  // The engine's support must really determine the query and cost its
+  // price.
+  if (!IsInfinite(quote.solution.price)) {
+    QP_ASSERT_OK_AND_ASSIGN(
+        bool determines,
+        SelectionViewsDetermine(*w.db, quote.solution.support, w.query));
+    EXPECT_TRUE(determines);
+    Money total = 0;
+    for (const SelectionView& v : quote.solution.support) {
+      total = AddMoney(total, w.prices.Get(v));
+    }
+    EXPECT_EQ(total, quote.solution.price);
+  }
+
+  // Clause solver agrees on full queries.
+  QP_ASSERT_OK_AND_ASSIGN(PricingSolution clause,
+                          PriceFullQueryByClauses(*w.db, w.prices, w.query));
+  EXPECT_EQ(clause.price, exhaustive.price);
+
+  // For GChQ shapes, both skip modes agree.
+  if (auto order = FindGChQOrder(w.query); order.has_value()) {
+    ChainSolverOptions direct;
+    direct.skip_mode = ChainSolverOptions::SkipMode::kDirect;
+    QP_ASSERT_OK_AND_ASSIGN(
+        PricingSolution dir,
+        PriceGChQQuery(*w.db, w.prices, w.query, *order, direct));
+    EXPECT_EQ(dir.price, exhaustive.price);
+  }
+}
+
+std::vector<SweepCase> MakeSweep() {
+  std::vector<SweepCase> cases;
+  for (const char* shape : {"chain1", "chain2", "star2", "star3", "cycle2",
+                            "cycle3", "h1", "h2", "h3"}) {
+    for (double density : {0.2, 0.5, 0.8}) {
+      for (double priced : {0.4, 0.7, 1.0}) {
+        for (uint64_t seed = 1; seed <= 5; ++seed) {
+          cases.push_back(SweepCase{shape, density, priced, seed});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SolverEquivalence,
+                         testing::ValuesIn(MakeSweep()), CaseName);
+
+}  // namespace
+}  // namespace qp

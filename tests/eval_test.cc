@@ -1,0 +1,115 @@
+// Unit tests for the CQ/UCQ evaluator: joins, constants, predicates,
+// self-joins, repeated variables, boolean early exit, unions.
+
+#include "gtest/gtest.h"
+#include "qp/eval/evaluator.h"
+#include "qp/query/parser.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(Evaluator, ChainJoin) {
+  Example38 e = Example38::Make();
+  Evaluator eval(e.db.get());
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> answers, eval.Eval(e.query));
+  ASSERT_EQ(answers.size(), 1u);
+}
+
+TEST(Evaluator, ConstantsFilter) {
+  Example38 e = Example38::Make();
+  Evaluator eval(e.db.get());
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(e.catalog->schema(), "Q(y) :- S('a1', y)"));
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> answers, eval.Eval(q));
+  EXPECT_EQ(answers.size(), 2u);  // b1, b2
+
+  // Constant never interned: empty result, not an error.
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q2,
+      ParseQuery(e.catalog->schema(), "Q(y) :- S('zzz', y)"));
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> none, eval.Eval(q2));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(Evaluator, PredicatesFilter) {
+  Example38 e = Example38::Make();
+  Evaluator eval(e.db.get());
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(e.catalog->schema(), "Q(x,y) :- S(x,y), y = 'b2'"));
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> answers, eval.Eval(q));
+  EXPECT_EQ(answers.size(), 2u);  // (a1,b2), (a2,b2)
+}
+
+TEST(Evaluator, SelfJoinAndRepeatedVars) {
+  Catalog catalog;
+  RelationId s = *catalog.AddRelation("S", {"X", "Y"});
+  std::vector<Value> col = {Value::Str("a"), Value::Str("b")};
+  QP_ASSERT_OK(catalog.SetColumn(AttrRef{s, 0}, col));
+  QP_ASSERT_OK(catalog.SetColumn(AttrRef{s, 1}, col));
+  Instance db(&catalog);
+  QP_ASSERT_OK(db.Insert("S", {Value::Str("a"), Value::Str("b")}).status());
+  QP_ASSERT_OK(db.Insert("S", {Value::Str("b"), Value::Str("b")}).status());
+  Evaluator eval(&db);
+
+  // Repeated variable within an atom: S(x,x).
+  QP_ASSERT_OK_AND_ASSIGN(ConjunctiveQuery diag,
+                          ParseQuery(catalog.schema(), "Q(x) :- S(x,x)"));
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> diag_answers, eval.Eval(diag));
+  ASSERT_EQ(diag_answers.size(), 1u);
+  EXPECT_EQ(catalog.dict().Get(diag_answers[0][0]).as_str(), "b");
+
+  // Self-join: S(x,y), S(y,z).
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery path,
+      ParseQuery(catalog.schema(), "Q(x,y,z) :- S(x,y), S(y,z)"));
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> path_answers, eval.Eval(path));
+  EXPECT_EQ(path_answers.size(), 2u);  // a-b-b and b-b-b
+}
+
+TEST(Evaluator, BooleanEarlyExit) {
+  Example38 e = Example38::Make();
+  Evaluator eval(e.db.get());
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery sat,
+      ParseQuery(e.catalog->schema(), "B() :- R(x), S(x,y)"));
+  QP_ASSERT_OK_AND_ASSIGN(bool yes, eval.IsSatisfied(sat));
+  EXPECT_TRUE(yes);
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery unsat,
+      ParseQuery(e.catalog->schema(), "B() :- R(x), S(x,'b3')"));
+  QP_ASSERT_OK_AND_ASSIGN(bool no, eval.IsSatisfied(unsat));
+  EXPECT_FALSE(no);
+}
+
+TEST(Evaluator, UnionQueries) {
+  Example38 e = Example38::Make();
+  Evaluator eval(e.db.get());
+  UnionQuery u;
+  u.disjuncts.push_back(
+      *ParseQuery(e.catalog->schema(), "Q(x) :- S(x,'b1')"));
+  u.disjuncts.push_back(
+      *ParseQuery(e.catalog->schema(), "Q(x) :- S(x,'b2')"));
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> answers, eval.EvalUnion(u));
+  EXPECT_EQ(answers.size(), 3u);  // a1 (twice, deduped), a2, a4
+
+  // Mismatched arities rejected.
+  u.disjuncts.push_back(
+      *ParseQuery(e.catalog->schema(), "Q(x,y) :- S(x,y)"));
+  EXPECT_FALSE(eval.EvalUnion(u).ok());
+}
+
+TEST(Evaluator, CartesianProduct) {
+  Example38 e = Example38::Make();
+  Evaluator eval(e.db.get());
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(e.catalog->schema(), "Q(x,y) :- R(x), T(y)"));
+  QP_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> answers, eval.Eval(q));
+  EXPECT_EQ(answers.size(), 4u);  // 2 R-values x 2 T-values
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,106 @@
+// Unit tests for the Dinic max-flow / min-cut substrate.
+
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "qp/flow/max_flow.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  FlowNetwork net;
+  auto s = net.AddNode();
+  auto t = net.AddNode();
+  net.AddEdge(s, t, 7);
+  EXPECT_EQ(net.MaxFlow(s, t), 7);
+  auto cut = net.MinCutEdges();
+  ASSERT_EQ(cut.size(), 1u);
+}
+
+TEST(MaxFlow, ClassicDiamond) {
+  // s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (5).
+  FlowNetwork net;
+  auto s = net.AddNode();
+  auto a = net.AddNode();
+  auto b = net.AddNode();
+  auto t = net.AddNode();
+  net.AddEdge(s, a, 3);
+  net.AddEdge(s, b, 2);
+  net.AddEdge(a, t, 2);
+  net.AddEdge(b, t, 3);
+  net.AddEdge(a, b, 5);
+  EXPECT_EQ(net.MaxFlow(s, t), 5);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  FlowNetwork net;
+  auto s = net.AddNode();
+  auto t = net.AddNode();
+  net.AddNode();  // isolated
+  EXPECT_EQ(net.MaxFlow(s, t), 0);
+  EXPECT_TRUE(net.MinCutEdges().empty());
+}
+
+TEST(MaxFlow, InfinitePathIsReportedInfinite) {
+  FlowNetwork net;
+  auto s = net.AddNode();
+  auto m = net.AddNode();
+  auto t = net.AddNode();
+  net.AddEdge(s, m, kInfiniteCapacity);
+  net.AddEdge(m, t, kInfiniteCapacity);
+  EXPECT_EQ(net.MaxFlow(s, t), kInfiniteCapacity);
+}
+
+TEST(MaxFlow, MixedFiniteInfinite) {
+  // Infinite edge into a finite bottleneck.
+  FlowNetwork net;
+  auto s = net.AddNode();
+  auto m = net.AddNode();
+  auto t = net.AddNode();
+  net.AddEdge(s, m, kInfiniteCapacity);
+  auto bottleneck = net.AddEdge(m, t, 11);
+  EXPECT_EQ(net.MaxFlow(s, t), 11);
+  auto cut = net.MinCutEdges();
+  ASSERT_EQ(cut.size(), 1u);
+  EXPECT_EQ(cut[0], bottleneck);
+}
+
+TEST(MaxFlow, MinCutCapacityEqualsFlowOnRandomGraphs) {
+  // Max-flow/min-cut duality checked on random layered graphs.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    FlowNetwork net;
+    auto s = net.AddNode();
+    auto t = net.AddNode();
+    const int layers = 3;
+    const int width = 4;
+    std::vector<std::vector<FlowNetwork::NodeId>> layer(layers);
+    for (int l = 0; l < layers; ++l) {
+      for (int i = 0; i < width; ++i) layer[l].push_back(net.AddNode());
+    }
+    std::vector<int64_t> capacities;
+    for (auto n : layer[0]) net.AddEdge(s, n, rng.NextInRange(1, 10));
+    for (int l = 0; l + 1 < layers; ++l) {
+      for (auto u : layer[l]) {
+        for (auto v : layer[l + 1]) {
+          if (rng.NextBool(0.6)) net.AddEdge(u, v, rng.NextInRange(1, 10));
+        }
+      }
+    }
+    for (auto n : layer[layers - 1]) {
+      net.AddEdge(n, t, rng.NextInRange(1, 10));
+    }
+    int64_t flow = net.MaxFlow(s, t);
+    // Duality: the reported min cut's original capacity equals the flow.
+    auto cut = net.MinCutEdges();
+    int64_t cut_capacity = 0;
+    for (auto e : cut) cut_capacity += net.EdgeCapacity(e);
+    EXPECT_EQ(cut_capacity, flow) << "seed=" << seed;
+    EXPECT_EQ(cut.empty(), flow == 0);
+  }
+}
+
+}  // namespace
+}  // namespace qp

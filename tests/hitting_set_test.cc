@@ -1,0 +1,135 @@
+// Unit tests for the exact minimum-weight hitting-set solver.
+
+#include "gtest/gtest.h"
+#include "qp/pricing/hitting_set.h"
+#include "qp/util/random.h"
+
+namespace qp {
+namespace {
+
+TEST(HittingSet, EmptyInstanceIsFree) {
+  HittingSetInstance instance;
+  instance.weights = {1, 2, 3};
+  HittingSetResult r = SolveMinWeightHittingSet(instance);
+  EXPECT_EQ(r.cost, 0);
+  EXPECT_TRUE(r.chosen.empty());
+  EXPECT_TRUE(r.optimal);
+}
+
+TEST(HittingSet, EmptyClauseIsInfeasible) {
+  HittingSetInstance instance;
+  instance.weights = {1};
+  instance.clauses = {{}};
+  HittingSetResult r = SolveMinWeightHittingSet(instance);
+  EXPECT_TRUE(IsInfinite(r.cost));
+}
+
+TEST(HittingSet, UnitClausesForceItems) {
+  HittingSetInstance instance;
+  instance.weights = {5, 3, 9};
+  instance.clauses = {{0}, {2}};
+  HittingSetResult r = SolveMinWeightHittingSet(instance);
+  EXPECT_EQ(r.cost, 14);
+  EXPECT_EQ(r.chosen, (std::vector<int>{0, 2}));
+}
+
+TEST(HittingSet, PrefersCheaperCover) {
+  // Clause {0,1} with weights 10, 2: pick 1.
+  HittingSetInstance instance;
+  instance.weights = {10, 2};
+  instance.clauses = {{0, 1}};
+  HittingSetResult r = SolveMinWeightHittingSet(instance);
+  EXPECT_EQ(r.cost, 2);
+  EXPECT_EQ(r.chosen, (std::vector<int>{1}));
+}
+
+TEST(HittingSet, SharedItemBeatsTwoSingles) {
+  // Clauses {0,2}, {1,2}: item 2 (weight 3) hits both; items 0,1 cost 2
+  // each. min(3, 4) = 3.
+  HittingSetInstance instance;
+  instance.weights = {2, 2, 3};
+  instance.clauses = {{0, 2}, {1, 2}};
+  HittingSetResult r = SolveMinWeightHittingSet(instance);
+  EXPECT_EQ(r.cost, 3);
+  EXPECT_EQ(r.chosen, (std::vector<int>{2}));
+}
+
+TEST(HittingSet, SubsumedClausesDoNotChangeTheAnswer) {
+  HittingSetInstance a;
+  a.weights = {4, 5, 6};
+  a.clauses = {{0, 1}, {0, 1, 2}};  // second subsumed
+  HittingSetInstance b;
+  b.weights = a.weights;
+  b.clauses = {{0, 1}};
+  EXPECT_EQ(SolveMinWeightHittingSet(a).cost,
+            SolveMinWeightHittingSet(b).cost);
+}
+
+TEST(HittingSet, NodeLimitReportsNonOptimal) {
+  // A dense instance with an absurdly low node limit.
+  HittingSetInstance instance;
+  Rng rng(5);
+  const int items = 12;
+  for (int i = 0; i < items; ++i) {
+    instance.weights.push_back(rng.NextInRange(1, 9));
+  }
+  for (int c = 0; c < 20; ++c) {
+    std::vector<int> clause;
+    for (int i = 0; i < items; ++i) {
+      if (rng.NextBool(0.3)) clause.push_back(i);
+    }
+    if (!clause.empty()) instance.clauses.push_back(clause);
+  }
+  HittingSetResult r = SolveMinWeightHittingSet(instance, /*node_limit=*/1);
+  EXPECT_FALSE(r.optimal);
+}
+
+TEST(HittingSet, MatchesBruteForceOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    HittingSetInstance instance;
+    const int items = 10;
+    for (int i = 0; i < items; ++i) {
+      instance.weights.push_back(rng.NextInRange(1, 15));
+    }
+    const int clauses = static_cast<int>(rng.NextInRange(1, 12));
+    for (int c = 0; c < clauses; ++c) {
+      std::vector<int> clause;
+      for (int i = 0; i < items; ++i) {
+        if (rng.NextBool(0.35)) clause.push_back(i);
+      }
+      instance.clauses.push_back(clause);  // may be empty: infeasible
+    }
+
+    // Brute force over all item subsets.
+    Money best = kInfiniteMoney;
+    for (uint32_t mask = 0; mask < (1u << items); ++mask) {
+      bool hits_all = true;
+      for (const auto& clause : instance.clauses) {
+        bool hit = false;
+        for (int i : clause) {
+          if (mask & (1u << i)) {
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) {
+          hits_all = false;
+          break;
+        }
+      }
+      if (!hits_all) continue;
+      Money cost = 0;
+      for (int i = 0; i < items; ++i) {
+        if (mask & (1u << i)) cost += instance.weights[i];
+      }
+      best = std::min(best, cost);
+    }
+
+    HittingSetResult r = SolveMinWeightHittingSet(instance);
+    EXPECT_EQ(r.cost, best) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,141 @@
+// Failure injection and resource-limit behaviour: every solver must fail
+// *cleanly* (typed Status, no crash) when its guards trip — missing
+// columns, oversized candidate spaces, view caps, node limits.
+
+#include "gtest/gtest.h"
+#include "qp/determinacy/selection_determinacy.h"
+#include "qp/determinacy/world_enumeration.h"
+#include "qp/pricing/clause_solver.h"
+#include "qp/pricing/engine.h"
+#include "qp/pricing/exhaustive_solver.h"
+#include "qp/query/analysis.h"
+#include "qp/query/parser.h"
+#include "qp/workload/join_workloads.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(Limits, MissingColumnIsFailedPrecondition) {
+  Catalog catalog;
+  RelationId r = *catalog.AddRelation("R", {"X"});
+  // No column declared.
+  Instance db(&catalog);
+  QP_ASSERT_OK_AND_ASSIGN(ConjunctiveQuery q,
+                          ParseQuery(catalog.schema(), "Q(x) :- R(x)"));
+  SelectionPriceSet prices;
+  PricingEngine engine(&db, &prices);
+  auto quote = engine.Price(q);
+  EXPECT_FALSE(quote.ok());
+  EXPECT_EQ(quote.status().code(), StatusCode::kFailedPrecondition);
+
+  auto determines = SelectionViewsDetermine(db, {}, q);
+  EXPECT_FALSE(determines.ok());
+  EXPECT_EQ(determines.status().code(), StatusCode::kFailedPrecondition);
+  (void)r;
+}
+
+TEST(Limits, WorldEnumerationGuardsItsCandidateSpace) {
+  JoinWorkloadParams params;
+  params.column_size = 8;  // 8*8 + 16 = 80 candidate tuples >> 18
+  params.seed = 1;
+  QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(1, params));
+  auto result = EnumerationDetermines(
+      *w.db, QueryBundle::Of(w.query), QueryBundle::Of(w.query));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Limits, ClauseSolverCandidateCap) {
+  JoinWorkloadParams params;
+  params.column_size = 6;
+  params.seed = 2;
+  QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(2, params));
+  ClauseSolverOptions options;
+  options.max_candidates = 10;  // 6^3 = 216 candidates
+  auto result = PriceFullQueryByClauses(*w.db, w.prices, w.query, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Limits, ClauseSolverNodeLimitReportsUpperBound) {
+  JoinWorkloadParams params;
+  params.column_size = 5;
+  params.tuple_density = 0.5;
+  params.seed = 3;
+  QP_ASSERT_OK_AND_ASSIGN(Workload w,
+                          MakeHardQueryWorkload(HardQuery::kH1, params));
+  ClauseSolverOptions options;
+  options.node_limit = 1;
+  auto result = PriceFullQueryByClauses(*w.db, w.prices, w.query, options);
+  // Either it solved within one node (tiny instances) or it reports the
+  // limit with an upper bound embedded in the message.
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(result.status().message().find("upper bound"),
+              std::string::npos);
+  }
+}
+
+TEST(Limits, ExhaustiveSolverViewCap) {
+  JoinWorkloadParams params;
+  params.column_size = 6;
+  params.seed = 4;
+  QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(2, params));
+  ExhaustiveSolverOptions options;
+  options.max_views = 5;
+  auto result = PriceByExhaustiveSearch(*w.db, w.prices, w.query, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Limits, ExhaustiveSolverNodeLimit) {
+  JoinWorkloadParams params;
+  params.column_size = 4;
+  params.seed = 5;
+  QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(1, params));
+  ExhaustiveSolverOptions options;
+  options.max_views = 40;
+  options.node_limit = 2;
+  auto result = PriceByExhaustiveSearch(*w.db, w.prices, w.query, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Limits, NegativePricesRejected) {
+  SelectionPriceSet prices;
+  EXPECT_FALSE(prices.Set(SelectionView{AttrRef{0, 0}, 0}, -5).ok());
+}
+
+TEST(Limits, GChQOrderCapsAtTwentyAtoms) {
+  // 21 unary atoms on the same variable: structurally a GChQ, but beyond
+  // the subset-DP cap (the DP is exponential in the atom count).
+  Catalog catalog;
+  ConjunctiveQuery q("Wide");
+  VarId x = q.AddVar("x");
+  q.AddHeadVar(x);
+  for (int i = 0; i < 21; ++i) {
+    RelationId r = *catalog.AddRelation("R" + std::to_string(i), {"X"});
+    q.AddAtom(r, {Term::MakeVar(x)});
+  }
+  EXPECT_FALSE(FindGChQOrder(q).has_value());
+}
+
+TEST(Limits, DmaxGuardsHugeCandidateSpaces) {
+  // Ternary relation with 1000-value columns: 10^9 candidates > cap.
+  Catalog catalog;
+  RelationId r = *catalog.AddRelation("R", {"X", "Y", "Z"});
+  std::vector<Value> col;
+  for (int i = 0; i < 1000; ++i) col.push_back(Value::Int(i));
+  for (int p = 0; p < 3; ++p) {
+    QP_ASSERT_OK(catalog.SetColumn(AttrRef{r, p}, col));
+  }
+  Instance db(&catalog);
+  CoverageIndex coverage({});
+  auto dmax = BuildDmax(db, coverage, {r});
+  EXPECT_FALSE(dmax.ok());
+  EXPECT_EQ(dmax.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,90 @@
+// Marketplace-layer tests: seller validation, quotes, purchases, ledger,
+// bundle quotes, and the business workload of the introduction.
+
+#include "gtest/gtest.h"
+#include "qp/market/marketplace.h"
+#include "qp/workload/business.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(Market, BusinessSellerPublishes) {
+  Seller seller("CustomLists");
+  BusinessMarketParams params;
+  params.num_businesses = 40;
+  params.business_price = Dollars(20);  // 40 x $20 > $199: no arbitrage
+  QP_ASSERT_OK(PopulateBusinessMarket(&seller, params));
+  QP_ASSERT_OK_AND_ASSIGN(ConsistencyReport report, seller.Publish());
+  EXPECT_TRUE(report.consistent);
+}
+
+TEST(Market, InconsistentOfferingIsReported) {
+  Seller seller("Sloppy");
+  BusinessMarketParams params;
+  params.num_businesses = 10;
+  params.state_price = Dollars(199);
+  // Per-business prices so low that buying every business undercuts the
+  // state view: 10 businesses x $2 = $20 < $199.
+  params.business_price = Dollars(2);
+  QP_ASSERT_OK(PopulateBusinessMarket(&seller, params));
+  auto report = seller.Publish();
+  ASSERT_TRUE(report.ok());  // Publish returns the report either way
+  EXPECT_FALSE(report->consistent);
+  EXPECT_FALSE(report->violations.empty());
+}
+
+TEST(Market, QuoteAndPurchaseFlow) {
+  Seller seller("CustomLists");
+  BusinessMarketParams params;
+  params.num_businesses = 40;
+  params.business_price = Dollars(20);  // keep the offering consistent
+  QP_ASSERT_OK(PopulateBusinessMarket(&seller, params));
+  QP_ASSERT_OK_AND_ASSIGN(ConsistencyReport report, seller.Publish());
+  ASSERT_TRUE(report.consistent);
+
+  Marketplace market(&seller);
+  // "All businesses in Washington State" — the introduction's $199 view.
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote,
+                          market.Quote("Q(b) :- InState(b, 'WA')"));
+  EXPECT_TRUE(quote.solution.IsSellable());
+  EXPECT_LE(quote.solution.price, Dollars(199));
+
+  QP_ASSERT_OK_AND_ASSIGN(
+      Marketplace::PurchaseResult purchase,
+      market.Purchase("alice", "Q(b) :- InState(b, 'WA')"));
+  EXPECT_EQ(purchase.receipt.price, quote.solution.price);
+  EXPECT_EQ(market.total_revenue(), quote.solution.price);
+  EXPECT_EQ(market.ledger().size(), 1u);
+  EXPECT_EQ(market.ledger()[0].buyer, "alice");
+  EXPECT_FALSE(purchase.receipt.support.empty());
+}
+
+TEST(Market, BundleQuoteIsSubadditive) {
+  Seller seller("CustomLists");
+  BusinessMarketParams params;
+  params.num_businesses = 30;
+  params.business_price = Dollars(20);
+  QP_ASSERT_OK(PopulateBusinessMarket(&seller, params));
+  Marketplace market(&seller);
+
+  const std::string wa = "Qwa(b) :- InState(b, 'WA')";
+  const std::string odd = "Qor(b) :- InState(b, 'OR')";
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote p1, market.Quote(wa));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote p2, market.Quote(odd));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote both, market.QuoteBundle({wa, odd}));
+  EXPECT_LE(both.solution.price,
+            AddMoney(p1.solution.price, p2.solution.price));
+}
+
+TEST(Market, UnknownRelationFailsCleanly) {
+  Seller seller("CustomLists");
+  QP_ASSERT_OK(PopulateBusinessMarket(&seller, BusinessMarketParams{}));
+  Marketplace market(&seller);
+  auto quote = market.Quote("Q(x) :- Nope(x)");
+  EXPECT_FALSE(quote.ok());
+  EXPECT_EQ(quote.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,105 @@
+// Unit tests for the datalog-style query parser.
+
+#include "gtest/gtest.h"
+#include "qp/query/parser.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+Schema MakeSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddRelation("R", {"X"}).ok());
+  EXPECT_TRUE(schema.AddRelation("S", {"X", "Y"}).ok());
+  EXPECT_TRUE(schema.AddRelation("T", {"Y"}).ok());
+  return schema;
+}
+
+TEST(Parser, ParsesChainQuery) {
+  Schema schema = MakeSchema();
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(schema, "Q(x,y) :- R(x), S(x,y), T(y)"));
+  EXPECT_EQ(q.name(), "Q");
+  EXPECT_EQ(q.num_vars(), 2);
+  EXPECT_EQ(q.head().size(), 2u);
+  EXPECT_EQ(q.atoms().size(), 3u);
+  EXPECT_TRUE(q.IsFull());
+  EXPECT_FALSE(q.IsBoolean());
+  EXPECT_FALSE(q.HasSelfJoin());
+  EXPECT_EQ(q.ToString(schema), "Q(x,y) :- R(x), S(x,y), T(y)");
+}
+
+TEST(Parser, ParsesConstantsAndPredicates) {
+  Schema schema = MakeSchema();
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(schema, "Q(y) :- S('wa', y), y != 'b', T(y)."));
+  EXPECT_EQ(q.atoms().size(), 2u);
+  EXPECT_FALSE(q.atoms()[0].args[0].is_var());
+  EXPECT_EQ(q.atoms()[0].args[0].constant, Value::Str("wa"));
+  ASSERT_EQ(q.predicates().size(), 1u);
+  EXPECT_EQ(q.predicates()[0].op, CmpOp::kNe);
+}
+
+TEST(Parser, ParsesIntegerConstantsAndComparisons) {
+  Schema schema;
+  QP_ASSERT_OK(schema.AddRelation("N", {"A", "B"}).status());
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(schema, "Q(a,b) :- N(a,b), a > 10, b <= -2"));
+  ASSERT_EQ(q.predicates().size(), 2u);
+  EXPECT_EQ(q.predicates()[0].op, CmpOp::kGt);
+  EXPECT_EQ(q.predicates()[0].rhs, Value::Int(10));
+  EXPECT_EQ(q.predicates()[1].op, CmpOp::kLe);
+  EXPECT_EQ(q.predicates()[1].rhs, Value::Int(-2));
+}
+
+TEST(Parser, ParsesBooleanQuery) {
+  Schema schema = MakeSchema();
+  QP_ASSERT_OK_AND_ASSIGN(ConjunctiveQuery q,
+                          ParseQuery(schema, "B() :- R(x)"));
+  EXPECT_TRUE(q.IsBoolean());
+  EXPECT_FALSE(q.IsFull() && !q.BodyVars().empty());
+}
+
+TEST(Parser, PredicateBeforeBindingAtomIsAllowed) {
+  Schema schema = MakeSchema();
+  QP_ASSERT_OK_AND_ASSIGN(ConjunctiveQuery q,
+                          ParseQuery(schema, "Q(x) :- x = 'a', R(x)"));
+  EXPECT_EQ(q.predicates().size(), 1u);
+  EXPECT_EQ(q.atoms().size(), 1u);
+}
+
+TEST(Parser, Errors) {
+  Schema schema = MakeSchema();
+  // Unknown relation.
+  EXPECT_FALSE(ParseQuery(schema, "Q(x) :- Nope(x)").ok());
+  // Arity mismatch.
+  EXPECT_FALSE(ParseQuery(schema, "Q(x) :- R(x,x)").ok());
+  // Head variable not in body.
+  EXPECT_FALSE(ParseQuery(schema, "Q(z) :- R(x)").ok());
+  // Comparison variable not in any atom.
+  EXPECT_FALSE(ParseQuery(schema, "Q(x) :- R(x), z > 1").ok());
+  // Missing body.
+  EXPECT_FALSE(ParseQuery(schema, "Q(x) :-").ok());
+  // No atoms at all.
+  EXPECT_FALSE(ParseQuery(schema, "Q() :- x > 1").ok());
+  // Trailing garbage.
+  EXPECT_FALSE(ParseQuery(schema, "Q(x) :- R(x) extra").ok());
+  // Unterminated string.
+  EXPECT_FALSE(ParseQuery(schema, "Q(x) :- S('a, x)").ok());
+  // Bad character.
+  EXPECT_FALSE(ParseQuery(schema, "Q(x) :- R(x) % T(y)").ok());
+}
+
+TEST(Parser, SelfJoinDetected) {
+  Schema schema = MakeSchema();
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q,
+      ParseQuery(schema, "H3(x,y) :- R(x), S(x,y), R(y)"));
+  EXPECT_TRUE(q.HasSelfJoin());
+}
+
+}  // namespace
+}  // namespace qp

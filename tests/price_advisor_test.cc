@@ -1,0 +1,84 @@
+// Price-repair advisor tests: the fixpoint of Proposition 3.2.
+
+#include "gtest/gtest.h"
+#include "qp/market/seller.h"
+#include "qp/pricing/price_advisor.h"
+#include "qp/workload/business.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(PriceAdvisor, ConsistentSetsAreUntouched) {
+  Example38 e = Example38::Make();
+  RepairResult repaired = RepairConsistency(*e.catalog, e.prices);
+  EXPECT_TRUE(repaired.adjustments.empty());
+  EXPECT_TRUE(
+      CheckSelectionConsistency(*e.catalog, repaired.repaired).consistent);
+}
+
+TEST(PriceAdvisor, LowersOverpricedViewsToTheBound) {
+  Example38 e = Example38::Make();
+  RelationId s = *e.catalog->schema().FindRelation("S");
+  ValueId a1 = *e.catalog->dict().Find(Value::Str("a1"));
+  SelectionView overpriced{AttrRef{s, 0}, a1};
+  QP_ASSERT_OK(e.prices.Set(overpriced, 50));  // cover of S.Y costs 3
+
+  RepairResult repaired = RepairConsistency(*e.catalog, e.prices);
+  ASSERT_EQ(repaired.adjustments.size(), 1u);
+  EXPECT_EQ(repaired.adjustments[0].old_price, 50);
+  EXPECT_EQ(repaired.adjustments[0].new_price, 3);
+  EXPECT_TRUE(
+      CheckSelectionConsistency(*e.catalog, repaired.repaired).consistent);
+}
+
+TEST(PriceAdvisor, CascadingRepairsReachAFixpoint) {
+  // Lowering one price can shrink a cover another price depends on:
+  // R(X, Y) with ColX = {a}, ColY = {b}: the 1-value covers interlock.
+  Catalog catalog;
+  RelationId r = *catalog.AddRelation("R", {"X", "Y"});
+  QP_ASSERT_OK(catalog.SetColumn(AttrRef{r, 0}, {Value::Str("a")}));
+  QP_ASSERT_OK(catalog.SetColumn(AttrRef{r, 1}, {Value::Str("b")}));
+  SelectionPriceSet prices;
+  ValueId a = *catalog.dict().Find(Value::Str("a"));
+  ValueId b = *catalog.dict().Find(Value::Str("b"));
+  QP_ASSERT_OK(prices.Set(SelectionView{AttrRef{r, 0}, a}, 10));
+  QP_ASSERT_OK(prices.Set(SelectionView{AttrRef{r, 1}, b}, 4));
+
+  RepairResult repaired = RepairConsistency(catalog, prices);
+  // σX=a must come down to 4 (the Y cover); then both covers cost 4 and
+  // the set is consistent.
+  EXPECT_EQ(repaired.repaired.Get(SelectionView{AttrRef{r, 0}, a}), 4);
+  EXPECT_EQ(repaired.repaired.Get(SelectionView{AttrRef{r, 1}, b}), 4);
+  EXPECT_TRUE(
+      CheckSelectionConsistency(catalog, repaired.repaired).consistent);
+
+  // Idempotent.
+  RepairResult again = RepairConsistency(catalog, repaired.repaired);
+  EXPECT_TRUE(again.adjustments.empty());
+}
+
+TEST(PriceAdvisor, RepairsTheSloppyBusinessMarket) {
+  Seller seller("sloppy");
+  BusinessMarketParams params;
+  params.num_businesses = 10;
+  params.business_price = Dollars(2);  // undercuts the $199 state view
+  QP_ASSERT_OK(PopulateBusinessMarket(&seller, params));
+  ASSERT_FALSE(
+      CheckSelectionConsistency(seller.catalog(), seller.prices())
+          .consistent);
+
+  RepairResult repaired =
+      RepairConsistency(seller.catalog(), seller.prices());
+  EXPECT_FALSE(repaired.adjustments.empty());
+  EXPECT_TRUE(
+      CheckSelectionConsistency(seller.catalog(), repaired.repaired)
+          .consistent);
+  // Prices never increase.
+  for (const PriceAdjustment& adj : repaired.adjustments) {
+    EXPECT_LT(adj.new_price, adj.old_price);
+  }
+}
+
+}  // namespace
+}  // namespace qp

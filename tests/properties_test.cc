@@ -1,0 +1,100 @@
+// Arbitrage-free pricing-function properties (Proposition 2.8), checked on
+// randomized workloads through the engine:
+//   1. subadditive:  p(Q1,Q2) <= p(Q1) + p(Q2)
+//   2. non-negative: p(Q) >= 0
+//   3. the empty bundle is free
+//   4. upper-bounded by the price of ID
+// plus Lemma 2.14(a): the arbitrage-price of an explicit view never
+// exceeds its explicit price.
+
+#include "gtest/gtest.h"
+#include "qp/pricing/engine.h"
+#include "qp/query/parser.h"
+#include "qp/workload/join_workloads.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+class ArbitrageProperties : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArbitrageProperties, HoldOnChainWorkloads) {
+  JoinWorkloadParams params;
+  params.column_size = 3;
+  params.tuple_density = 0.5;
+  params.seed = GetParam();
+  params.min_price = 1;
+  params.max_price = 9;
+  QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(2, params));
+  PricingEngine engine(w.db.get(), &w.prices);
+
+  // Two overlapping sub-queries of the chain.
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q1,
+      ParseQuery(w.catalog->schema(), "Q1(x0,x1) :- U0(x0), B1(x0,x1)"));
+  QP_ASSERT_OK_AND_ASSIGN(
+      ConjunctiveQuery q2,
+      ParseQuery(w.catalog->schema(), "Q2(x1,x2) :- B2(x1,x2), U3(x2)"));
+
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote p1, engine.Price(q1));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote p2, engine.Price(q2));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote bundle, engine.PriceBundle({q1, q2}));
+
+  // Non-negative.
+  EXPECT_GE(p1.solution.price, 0);
+  EXPECT_GE(p2.solution.price, 0);
+  // Subadditive.
+  EXPECT_LE(bundle.solution.price,
+            AddMoney(p1.solution.price, p2.solution.price));
+  // Empty bundle is free.
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote empty, engine.PriceBundle({}));
+  EXPECT_EQ(empty.solution.price, 0);
+
+  // Upper-bounded by ID: price of the identity bundle (all relations).
+  std::vector<ConjunctiveQuery> id_queries;
+  for (RelationId r = 0; r < w.catalog->schema().num_relations(); ++r) {
+    id_queries.push_back(IdentityQuery(w.catalog->schema(), r));
+  }
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote id, engine.PriceBundle(id_queries));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote whole, engine.Price(w.query));
+  EXPECT_LE(whole.solution.price, id.solution.price);
+  EXPECT_LE(p1.solution.price, id.solution.price);
+  EXPECT_LE(bundle.solution.price, id.solution.price);
+}
+
+TEST_P(ArbitrageProperties, ExplicitViewsNeverCostMoreThanListed) {
+  // Lemma 2.14(a): p_S(V) <= p for every (V, p) in S.
+  JoinWorkloadParams params;
+  params.column_size = 3;
+  params.tuple_density = 0.4;
+  params.seed = GetParam() + 100;
+  params.min_price = 1;
+  params.max_price = 9;
+  QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(1, params));
+  PricingEngine engine(w.db.get(), &w.prices);
+
+  for (const auto& [view, price] : w.prices.Sorted()) {
+    const Schema& schema = w.catalog->schema();
+    ConjunctiveQuery vq("V");
+    std::vector<Term> args;
+    for (int p = 0; p < schema.arity(view.attr.rel); ++p) {
+      if (p == view.attr.pos) {
+        args.push_back(Term::MakeConst(w.catalog->dict().Get(view.value)));
+      } else {
+        VarId var = vq.AddVar("v" + std::to_string(p));
+        vq.AddHeadVar(var);
+        args.push_back(Term::MakeVar(var));
+      }
+    }
+    vq.AddAtom(view.attr.rel, std::move(args));
+    QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(vq));
+    EXPECT_LE(quote.solution.price, price)
+        << SelectionViewToString(*w.catalog, view);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArbitrageProperties,
+                         testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace qp

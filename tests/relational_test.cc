@@ -1,0 +1,110 @@
+// Unit tests for qp/relational: values, dictionary, schema, catalog
+// columns, instance constraints.
+
+#include "gtest/gtest.h"
+#include "qp/relational/instance.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(Value, OrderingAndDisplay) {
+  Value i = Value::Int(42);
+  Value s = Value::Str("a");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(s.is_str());
+  EXPECT_EQ(i.ToString(), "42");
+  EXPECT_EQ(s.ToString(), "'a'");
+  EXPECT_TRUE(i < s);  // ints order before strings
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::Str("a") < Value::Str("b"));
+  EXPECT_FALSE(Value::Int(7) == Value::Str("7"));
+}
+
+TEST(Dictionary, InterningIsStable) {
+  Dictionary dict;
+  ValueId a = dict.Intern(Value::Str("x"));
+  ValueId b = dict.Intern(Value::Int(5));
+  EXPECT_EQ(dict.Intern(Value::Str("x")), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Get(a), Value::Str("x"));
+  EXPECT_EQ(dict.Find(Value::Int(5)).value(), b);
+  EXPECT_FALSE(dict.Find(Value::Int(6)).has_value());
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(Schema, RelationsAndAttributes) {
+  Schema schema;
+  QP_ASSERT_OK_AND_ASSIGN(RelationId r,
+                          schema.AddRelation("R", {"X", "Y"}));
+  EXPECT_EQ(schema.arity(r), 2);
+  EXPECT_EQ(schema.relation_name(r), "R");
+  EXPECT_EQ(schema.AttrToString(AttrRef{r, 1}), "R.Y");
+  QP_ASSERT_OK_AND_ASSIGN(int pos, schema.FindAttr(r, "Y"));
+  EXPECT_EQ(pos, 1);
+  EXPECT_FALSE(schema.FindAttr(r, "Z").ok());
+  EXPECT_FALSE(schema.AddRelation("R", {"A"}).ok());         // duplicate
+  EXPECT_FALSE(schema.AddRelation("S", {}).ok());            // no attrs
+  EXPECT_FALSE(schema.AddRelation("T", {"A", "A"}).ok());    // dup attr
+  EXPECT_FALSE(schema.FindRelation("Missing").ok());
+}
+
+TEST(Catalog, ColumnsDedupAndMembership) {
+  Catalog catalog;
+  QP_ASSERT_OK_AND_ASSIGN(RelationId r, catalog.AddRelation("R", {"X"}));
+  QP_ASSERT_OK(catalog.SetColumn(AttrRef{r, 0},
+                                 {Value::Str("a"), Value::Str("b"),
+                                  Value::Str("a")}));
+  EXPECT_EQ(catalog.Column(AttrRef{r, 0}).size(), 2u);
+  ValueId a = *catalog.dict().Find(Value::Str("a"));
+  EXPECT_TRUE(catalog.InColumn(AttrRef{r, 0}, a));
+  EXPECT_TRUE(catalog.AllColumnsSet());
+  EXPECT_FALSE(catalog.SetColumn("R", "Nope", {}).ok());
+}
+
+TEST(Instance, EnforcesArityAndColumns) {
+  Catalog catalog;
+  QP_ASSERT_OK_AND_ASSIGN(RelationId r,
+                          catalog.AddRelation("R", {"X", "Y"}));
+  QP_ASSERT_OK(catalog.SetColumn(AttrRef{r, 0}, {Value::Str("a")}));
+  QP_ASSERT_OK(catalog.SetColumn(AttrRef{r, 1}, {Value::Str("b")}));
+  Instance db(&catalog);
+
+  QP_ASSERT_OK_AND_ASSIGN(
+      bool inserted, db.Insert("R", {Value::Str("a"), Value::Str("b")}));
+  EXPECT_TRUE(inserted);
+  QP_ASSERT_OK_AND_ASSIGN(
+      bool again, db.Insert("R", {Value::Str("a"), Value::Str("b")}));
+  EXPECT_FALSE(again);  // duplicate
+  EXPECT_EQ(db.NumTuples(r), 1u);
+  EXPECT_EQ(db.TotalTuples(), 1u);
+
+  // Column violation.
+  auto bad = db.Insert("R", {Value::Str("zz"), Value::Str("b")});
+  EXPECT_FALSE(bad.ok());
+  // Arity violation.
+  auto short_tuple = db.Insert(r, Tuple{0});
+  EXPECT_FALSE(short_tuple.ok());
+}
+
+TEST(Instance, SubsetAndErase) {
+  Catalog catalog;
+  QP_ASSERT_OK_AND_ASSIGN(RelationId r, catalog.AddRelation("R", {"X"}));
+  QP_ASSERT_OK(catalog.SetColumn(AttrRef{r, 0},
+                                 {Value::Str("a"), Value::Str("b")}));
+  Instance d1(&catalog), d2(&catalog);
+  QP_ASSERT_OK(d1.Insert("R", {Value::Str("a")}).status());
+  QP_ASSERT_OK(d2.Insert("R", {Value::Str("a")}).status());
+  QP_ASSERT_OK(d2.Insert("R", {Value::Str("b")}).status());
+  EXPECT_TRUE(d1.IsSubsetOf(d2));
+  EXPECT_FALSE(d2.IsSubsetOf(d1));
+  EXPECT_FALSE(d1 == d2);
+
+  ValueId b = *catalog.dict().Find(Value::Str("b"));
+  EXPECT_TRUE(d2.Erase(r, {b}));
+  EXPECT_FALSE(d2.Erase(r, {b}));
+  EXPECT_TRUE(d1 == d2);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,86 @@
+#ifndef QP_TESTS_TEST_FIXTURES_H_
+#define QP_TESTS_TEST_FIXTURES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/pricing/price_points.h"
+#include "qp/query/parser.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// gtest helper: unwraps a Result<T> or fails the test.
+#define QP_ASSERT_OK_AND_ASSIGN(lhs, expr)                        \
+  auto QP_CONCAT_(result_, __LINE__) = (expr);                    \
+  ASSERT_TRUE(QP_CONCAT_(result_, __LINE__).ok())                 \
+      << QP_CONCAT_(result_, __LINE__).status().ToString();      \
+  lhs = std::move(QP_CONCAT_(result_, __LINE__)).value()
+
+#define QP_ASSERT_OK(expr)                         \
+  do {                                             \
+    auto qp_st_ = (expr);                          \
+    ASSERT_TRUE(qp_st_.ok()) << qp_st_.ToString(); \
+  } while (0)
+
+/// The running example of the paper (Example 3.8 / Figure 1):
+///   Q(x,y) :- R(x), S(x,y), T(y)
+///   Col x = {a1,a2,a3,a4}, Col y = {b1,b2,b3}
+///   R = {a1,a2}, S = {(a1,b1),(a1,b2),(a2,b2),(a4,b1)}, T = {b1,b3}
+///   every one of the 14 selection views priced at 1.
+/// Q(D) = {(a1,b1)} and the arbitrage-price of Q is 6.
+struct Example38 {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<Instance> db;
+  SelectionPriceSet prices;
+  ConjunctiveQuery query;
+
+  static Example38 Make() {
+    Example38 e;
+    e.catalog = std::make_unique<Catalog>();
+    auto r = e.catalog->AddRelation("R", {"X"});
+    auto s = e.catalog->AddRelation("S", {"X", "Y"});
+    auto t = e.catalog->AddRelation("T", {"Y"});
+    EXPECT_TRUE(r.ok() && s.ok() && t.ok());
+    std::vector<Value> col_x = {Value::Str("a1"), Value::Str("a2"),
+                                Value::Str("a3"), Value::Str("a4")};
+    std::vector<Value> col_y = {Value::Str("b1"), Value::Str("b2"),
+                                Value::Str("b3")};
+    EXPECT_TRUE(e.catalog->SetColumn("R", "X", col_x).ok());
+    EXPECT_TRUE(e.catalog->SetColumn("S", "X", col_x).ok());
+    EXPECT_TRUE(e.catalog->SetColumn("S", "Y", col_y).ok());
+    EXPECT_TRUE(e.catalog->SetColumn("T", "Y", col_y).ok());
+
+    e.db = std::make_unique<Instance>(e.catalog.get());
+    EXPECT_TRUE(e.db->Insert("R", {Value::Str("a1")}).ok());
+    EXPECT_TRUE(e.db->Insert("R", {Value::Str("a2")}).ok());
+    EXPECT_TRUE(
+        e.db->Insert("S", {Value::Str("a1"), Value::Str("b1")}).ok());
+    EXPECT_TRUE(
+        e.db->Insert("S", {Value::Str("a1"), Value::Str("b2")}).ok());
+    EXPECT_TRUE(
+        e.db->Insert("S", {Value::Str("a2"), Value::Str("b2")}).ok());
+    EXPECT_TRUE(
+        e.db->Insert("S", {Value::Str("a4"), Value::Str("b1")}).ok());
+    EXPECT_TRUE(e.db->Insert("T", {Value::Str("b1")}).ok());
+    EXPECT_TRUE(e.db->Insert("T", {Value::Str("b3")}).ok());
+
+    EXPECT_TRUE(e.prices.SetUniform(*e.catalog, "R", "X", 1).ok());
+    EXPECT_TRUE(e.prices.SetUniform(*e.catalog, "S", "X", 1).ok());
+    EXPECT_TRUE(e.prices.SetUniform(*e.catalog, "S", "Y", 1).ok());
+    EXPECT_TRUE(e.prices.SetUniform(*e.catalog, "T", "Y", 1).ok());
+
+    auto q = ParseQuery(e.catalog->schema(), "Q(x,y) :- R(x), S(x,y), T(y)");
+    EXPECT_TRUE(q.ok());
+    e.query = std::move(*q);
+    return e;
+  }
+};
+
+}  // namespace qp
+
+#endif  // QP_TESTS_TEST_FIXTURES_H_

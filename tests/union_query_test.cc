@@ -1,0 +1,119 @@
+// UCQ pricing and determinacy diagnostics: a union carries less
+// information than the bundle of its disjuncts, so it can be strictly
+// cheaper; ExplainSelectionDeterminacy names the still-open answers.
+
+#include "gtest/gtest.h"
+#include "qp/determinacy/selection_determinacy.h"
+#include "qp/determinacy/world_enumeration.h"
+#include "qp/pricing/engine.h"
+#include "qp/query/parser.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(UnionQueries, UnionDeterminacyAgreesWithWorldEnumeration) {
+  Example38 e = Example38::Make();
+  UnionQuery u;
+  u.disjuncts.push_back(*ParseQuery(e.catalog->schema(),
+                                    "Q(x) :- S(x,'b1')"));
+  u.disjuncts.push_back(*ParseQuery(e.catalog->schema(),
+                                    "Q(x) :- S(x,'b2')"));
+
+  // All views on S.Y determine the union (they determine all of S).
+  std::vector<SelectionView> views;
+  RelationId s = *e.catalog->schema().FindRelation("S");
+  for (ValueId v : e.catalog->Column(AttrRef{s, 1})) {
+    views.push_back(SelectionView{AttrRef{s, 1}, v});
+  }
+  QP_ASSERT_OK_AND_ASSIGN(bool full,
+                          SelectionViewsDetermine(*e.db, views, u));
+  EXPECT_TRUE(full);
+
+  // Only σS.Y=b1: the b2 disjunct stays open.
+  std::vector<SelectionView> partial = {views[0]};
+  QP_ASSERT_OK_AND_ASSIGN(bool part,
+                          SelectionViewsDetermine(*e.db, partial, u));
+  EXPECT_FALSE(part);
+
+  // Cross-check the positive case with the generic definition.
+  QueryBundle view_bundle;
+  {
+    ConjunctiveQuery vq("Vy");
+    VarId x = vq.AddVar("x");
+    VarId y = vq.AddVar("y");
+    vq.AddHeadVar(x);
+    vq.AddHeadVar(y);
+    vq.AddAtom(s, {Term::MakeVar(x), Term::MakeVar(y)});
+    view_bundle.queries.push_back(UnionQuery{"Vy", {vq}});
+  }
+  QueryBundle union_bundle;
+  union_bundle.queries.push_back(u);
+  QP_ASSERT_OK_AND_ASSIGN(
+      bool generic, EnumerationDetermines(*e.db, view_bundle, union_bundle));
+  EXPECT_TRUE(generic);
+}
+
+TEST(UnionQueries, UnionIsAtMostTheBundlePrice) {
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  UnionQuery u;
+  u.name = "U";
+  u.disjuncts.push_back(*ParseQuery(e.catalog->schema(),
+                                    "Q(x) :- S(x,'b1')"));
+  u.disjuncts.push_back(*ParseQuery(e.catalog->schema(),
+                                    "Q(x) :- S(x,'b2')"));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote union_quote, engine.PriceUnion(u));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote bundle_quote,
+                          engine.PriceBundle(u.disjuncts));
+  EXPECT_LE(union_quote.solution.price, bundle_quote.solution.price);
+  EXPECT_EQ(union_quote.query_class, PricingClass::kUnion);
+  EXPECT_TRUE(union_quote.solution.IsSellable());
+
+  // Single-disjunct unions route through the regular engine.
+  UnionQuery single;
+  single.disjuncts.push_back(e.query);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote sq, engine.PriceUnion(single));
+  EXPECT_EQ(sq.solution.price, 6);
+}
+
+TEST(Explain, NamesUncertainAnswers) {
+  Example38 e = Example38::Make();
+  // V0 from Example 3.8 does not determine Q; the uncertain answers are
+  // exactly the candidate tuples whose membership is still open.
+  RelationId r = *e.catalog->schema().FindRelation("R");
+  RelationId s = *e.catalog->schema().FindRelation("S");
+  RelationId t = *e.catalog->schema().FindRelation("T");
+  auto view = [&](RelationId rel, int pos, const char* value) {
+    return SelectionView{AttrRef{rel, pos},
+                         *e.catalog->dict().Find(Value::Str(value))};
+  };
+  std::vector<SelectionView> v0 = {view(r, 0, "a1"), view(s, 1, "b1"),
+                                   view(t, 0, "b1")};
+  QP_ASSERT_OK_AND_ASSIGN(
+      DeterminacyExplanation explanation,
+      ExplainSelectionDeterminacy(*e.db, v0, e.query));
+  EXPECT_FALSE(explanation.determined);
+  EXPECT_FALSE(explanation.uncertain_answers.empty());
+  // The paper's own counterexample (a3, b2) must be among them: D' adds
+  // R(a3) and T(b2), both unobserved by V0.
+  Tuple a3b2 = {*e.catalog->dict().Find(Value::Str("a3")),
+                *e.catalog->dict().Find(Value::Str("b2"))};
+  bool found = false;
+  for (const Tuple& t2 : explanation.uncertain_answers) {
+    if (t2 == a3b2) found = true;
+  }
+  EXPECT_TRUE(found);
+
+  // The engine's optimal support leaves nothing uncertain.
+  PricingEngine engine(e.db.get(), &e.prices);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(e.query));
+  QP_ASSERT_OK_AND_ASSIGN(
+      DeterminacyExplanation after,
+      ExplainSelectionDeterminacy(*e.db, quote.solution.support, e.query));
+  EXPECT_TRUE(after.determined);
+  EXPECT_TRUE(after.uncertain_answers.empty());
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,117 @@
+// Unit tests for qp/util: Status/Result, strings, RNG, hashing, money.
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "qp/pricing/money.h"
+#include "qp/util/hash.h"
+#include "qp/util/random.h"
+#include "qp/util/result.h"
+#include "qp/util/status.h"
+#include "qp/util/strings.h"
+
+namespace qp {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad column");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad column");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad column");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kResourceExhausted, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeName(code).empty());
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubler(int x) {
+  QP_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> ok = Doubler(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  Result<int> err = Doubler(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Strings, JoinSplitTrim) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Trim("  x \t"), "x");
+  EXPECT_EQ(Trim(""), "");
+  std::vector<std::string> parts = SplitAndTrim(" a , b ,c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(StartsWith("sigma_R", "sigma"));
+  EXPECT_FALSE(StartsWith("sig", "sigma"));
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = a.NextBelow(7);
+    EXPECT_LT(v, 7u);
+    int64_t r = a.NextInRange(-3, 3);
+    EXPECT_GE(r, -3);
+    EXPECT_LE(r, 3);
+    double d = a.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  rng.Shuffle(v);
+  std::multiset<int> s(v.begin(), v.end());
+  EXPECT_EQ(s, (std::multiset<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Money, FormattingAndSaturation) {
+  EXPECT_EQ(MoneyToString(Dollars(199)), "$199.00");
+  EXPECT_EQ(MoneyToString(DollarsCents(3, 7)), "$3.07");
+  EXPECT_EQ(MoneyToString(kInfiniteMoney), "unpriced");
+  EXPECT_TRUE(IsInfinite(AddMoney(kInfiniteMoney, 1)));
+  EXPECT_TRUE(IsInfinite(AddMoney(kInfiniteMoney, kInfiniteMoney)));
+  EXPECT_EQ(AddMoney(2, 3), 5);
+}
+
+TEST(Hash, PackPairIsInjectiveOnSmallValues) {
+  std::set<uint64_t> seen;
+  for (uint32_t a = 0; a < 30; ++a) {
+    for (uint32_t b = 0; b < 30; ++b) {
+      EXPECT_TRUE(seen.insert(PackPair(a, b)).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,200 @@
+// qpricer_cli — command-line front end for the query-pricing marketplace.
+//
+// Usage:
+//   qpricer_cli <market-file> [command args...]
+//   qpricer_cli <market-file>            # interactive (reads stdin)
+//
+// Commands:
+//   price <datalog query>      quote the arbitrage-free price
+//   buy <buyer> <query>        purchase: price + answers + receipt
+//   explain <query>            show uncertain answers for the empty view
+//                              set (why the query costs money at all)
+//   consistency                check the price points for arbitrage
+//   catalog                    list relations, columns and price points
+//   save <path>                write the offering back to a file
+//   help, quit
+//
+// The market file format is documented in qp/market/catalog_io.h; see
+// examples/data/fig1.market for the paper's running example.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "qp/determinacy/selection_determinacy.h"
+#include "qp/market/catalog_io.h"
+#include "qp/market/marketplace.h"
+#include "qp/query/parser.h"
+#include "qp/util/strings.h"
+
+namespace {
+
+void PrintCatalog(const qp::Seller& seller) {
+  const qp::Schema& schema = seller.catalog().schema();
+  for (qp::RelationId r = 0; r < schema.num_relations(); ++r) {
+    std::printf("relation %s(", schema.relation_name(r).c_str());
+    for (int p = 0; p < schema.arity(r); ++p) {
+      std::printf("%s%s", p > 0 ? ", " : "",
+                  schema.attr_name(qp::AttrRef{r, p}).c_str());
+    }
+    std::printf(")  [%zu rows]\n", seller.db().NumTuples(r));
+  }
+  std::printf("%zu explicit price points\n", seller.prices().size());
+}
+
+int RunCommand(qp::Seller& seller, qp::Marketplace& market,
+               const std::string& command, const std::string& args) {
+  if (command == "price") {
+    auto quote = market.Quote(args);
+    if (!quote.ok()) {
+      std::printf("error: %s\n", quote.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("price: %s  [%s: %s]\n",
+                qp::MoneyToString(quote->solution.price).c_str(),
+                quote->solver.c_str(), quote->explanation.c_str());
+    for (const qp::SelectionView& v : quote->solution.support) {
+      std::printf("  support %s @ %s\n",
+                  SelectionViewToString(seller.catalog(), v).c_str(),
+                  qp::MoneyToString(seller.prices().Get(v)).c_str());
+    }
+    return 0;
+  }
+  if (command == "buy") {
+    std::istringstream in(args);
+    std::string buyer;
+    in >> buyer;
+    std::string query;
+    std::getline(in, query);
+    auto purchase = market.Purchase(buyer, std::string(qp::Trim(query)));
+    if (!purchase.ok()) {
+      std::printf("error: %s\n", purchase.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("order #%lld: %s paid %s for %zu row(s)\n",
+                static_cast<long long>(purchase->receipt.order_id),
+                purchase->receipt.buyer.c_str(),
+                qp::MoneyToString(purchase->receipt.price).c_str(),
+                purchase->receipt.answer_rows);
+    for (const qp::Tuple& t : purchase->answers) {
+      std::printf(" ");
+      for (qp::ValueId v : t) {
+        std::printf(" %s",
+                    seller.catalog().dict().Get(v).ToString().c_str());
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
+  if (command == "explain") {
+    auto query = qp::ParseQuery(seller.catalog().schema(), args);
+    if (!query.ok()) {
+      std::printf("error: %s\n", query.status().ToString().c_str());
+      return 1;
+    }
+    auto explanation =
+        qp::ExplainSelectionDeterminacy(seller.db(), {}, *query);
+    if (!explanation.ok()) {
+      std::printf("error: %s\n", explanation.status().ToString().c_str());
+      return 1;
+    }
+    if (explanation->determined) {
+      std::printf("the empty view set already determines this query "
+                  "(price 0)\n");
+      return 0;
+    }
+    std::printf("open answers without purchasing any views:\n");
+    for (const qp::Tuple& t : explanation->uncertain_answers) {
+      std::printf(" ");
+      for (qp::ValueId v : t) {
+        std::printf(" %s",
+                    seller.catalog().dict().Get(v).ToString().c_str());
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
+  if (command == "consistency") {
+    auto report = qp::CheckSelectionConsistency(seller.catalog(),
+                                                seller.prices());
+    std::printf("consistent: %s\n", report.consistent ? "yes" : "no");
+    for (const auto& v : report.violations) {
+      std::printf("  %s\n", v.ToString(seller.catalog()).c_str());
+    }
+    return report.consistent ? 0 : 1;
+  }
+  if (command == "catalog") {
+    PrintCatalog(seller);
+    return 0;
+  }
+  if (command == "ledger") {
+    for (const qp::Receipt& r : market.ledger()) {
+      std::printf("#%lld %s %s \"%s\"\n",
+                  static_cast<long long>(r.order_id), r.buyer.c_str(),
+                  qp::MoneyToString(r.price).c_str(), r.query_text.c_str());
+    }
+    std::printf("revenue: %s\n",
+                qp::MoneyToString(market.total_revenue()).c_str());
+    return 0;
+  }
+  if (command == "save") {
+    auto status = qp::SaveSellerToFile(seller, args);
+    std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
+    return status.ok() ? 0 : 1;
+  }
+  if (command == "help") {
+    std::printf(
+        "commands: price <q> | buy <buyer> <q> | explain <q> | consistency "
+        "| catalog | ledger | save <path> | quit\n");
+    return 0;
+  }
+  std::printf("unknown command '%s' (try: help)\n", command.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <market-file> [command args...]\n",
+                 argv[0]);
+    return 2;
+  }
+  qp::Seller seller("cli");
+  qp::Status loaded = qp::LoadSellerFromFile(&seller, argv[1]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+                 loaded.ToString().c_str());
+    return 2;
+  }
+  qp::Marketplace market(&seller);
+
+  if (argc > 2) {
+    std::string command = argv[2];
+    std::string args;
+    for (int i = 3; i < argc; ++i) {
+      if (i > 3) args += " ";
+      args += argv[i];
+    }
+    return RunCommand(seller, market, command, args);
+  }
+
+  std::printf("qpricer marketplace (%zu price points). Type 'help'.\n",
+              seller.prices().size());
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string trimmed(qp::Trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == "quit" || trimmed == "exit") break;
+    size_t space = trimmed.find(' ');
+    std::string command = trimmed.substr(0, space);
+    std::string args =
+        space == std::string::npos
+            ? ""
+            : std::string(qp::Trim(trimmed.substr(space + 1)));
+    RunCommand(seller, market, command, args);
+  }
+  return 0;
+}
