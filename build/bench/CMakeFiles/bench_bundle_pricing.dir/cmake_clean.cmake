@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bundle_pricing.dir/bench_bundle_pricing.cc.o"
+  "CMakeFiles/bench_bundle_pricing.dir/bench_bundle_pricing.cc.o.d"
+  "bench_bundle_pricing"
+  "bench_bundle_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bundle_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cycle_pricing.dir/bench_cycle_pricing.cc.o"
+  "CMakeFiles/bench_cycle_pricing.dir/bench_cycle_pricing.cc.o.d"
+  "bench_cycle_pricing"
+  "bench_cycle_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cycle_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hanging_vars.dir/bench_hanging_vars.cc.o"
+  "CMakeFiles/bench_hanging_vars.dir/bench_hanging_vars.cc.o.d"
+  "bench_hanging_vars"
+  "bench_hanging_vars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hanging_vars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/business_market.dir/business_market.cpp.o"
+  "CMakeFiles/business_market.dir/business_market.cpp.o.d"
+  "business_market"
+  "business_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/business_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlb_api.dir/mlb_api.cpp.o"
+  "CMakeFiles/mlb_api.dir/mlb_api.cpp.o.d"
+  "mlb_api"
+  "mlb_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlb_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

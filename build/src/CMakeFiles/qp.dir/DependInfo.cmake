@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/determinacy/selection_determinacy.cc" "src/CMakeFiles/qp.dir/qp/determinacy/selection_determinacy.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/determinacy/selection_determinacy.cc.o.d"
+  "/root/repo/src/qp/determinacy/world_enumeration.cc" "src/CMakeFiles/qp.dir/qp/determinacy/world_enumeration.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/determinacy/world_enumeration.cc.o.d"
+  "/root/repo/src/qp/eval/evaluator.cc" "src/CMakeFiles/qp.dir/qp/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/eval/evaluator.cc.o.d"
+  "/root/repo/src/qp/flow/max_flow.cc" "src/CMakeFiles/qp.dir/qp/flow/max_flow.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/flow/max_flow.cc.o.d"
+  "/root/repo/src/qp/market/catalog_io.cc" "src/CMakeFiles/qp.dir/qp/market/catalog_io.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/market/catalog_io.cc.o.d"
+  "/root/repo/src/qp/market/delivery.cc" "src/CMakeFiles/qp.dir/qp/market/delivery.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/market/delivery.cc.o.d"
+  "/root/repo/src/qp/market/marketplace.cc" "src/CMakeFiles/qp.dir/qp/market/marketplace.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/market/marketplace.cc.o.d"
+  "/root/repo/src/qp/market/seller.cc" "src/CMakeFiles/qp.dir/qp/market/seller.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/market/seller.cc.o.d"
+  "/root/repo/src/qp/pricing/arbitrage_pricer.cc" "src/CMakeFiles/qp.dir/qp/pricing/arbitrage_pricer.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/arbitrage_pricer.cc.o.d"
+  "/root/repo/src/qp/pricing/boolean_pricer.cc" "src/CMakeFiles/qp.dir/qp/pricing/boolean_pricer.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/boolean_pricer.cc.o.d"
+  "/root/repo/src/qp/pricing/bundle_solver.cc" "src/CMakeFiles/qp.dir/qp/pricing/bundle_solver.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/bundle_solver.cc.o.d"
+  "/root/repo/src/qp/pricing/chain_solver.cc" "src/CMakeFiles/qp.dir/qp/pricing/chain_solver.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/chain_solver.cc.o.d"
+  "/root/repo/src/qp/pricing/classifier.cc" "src/CMakeFiles/qp.dir/qp/pricing/classifier.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/classifier.cc.o.d"
+  "/root/repo/src/qp/pricing/clause_solver.cc" "src/CMakeFiles/qp.dir/qp/pricing/clause_solver.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/clause_solver.cc.o.d"
+  "/root/repo/src/qp/pricing/consistency.cc" "src/CMakeFiles/qp.dir/qp/pricing/consistency.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/consistency.cc.o.d"
+  "/root/repo/src/qp/pricing/dynamic_pricer.cc" "src/CMakeFiles/qp.dir/qp/pricing/dynamic_pricer.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/dynamic_pricer.cc.o.d"
+  "/root/repo/src/qp/pricing/engine.cc" "src/CMakeFiles/qp.dir/qp/pricing/engine.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/engine.cc.o.d"
+  "/root/repo/src/qp/pricing/exhaustive_solver.cc" "src/CMakeFiles/qp.dir/qp/pricing/exhaustive_solver.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/exhaustive_solver.cc.o.d"
+  "/root/repo/src/qp/pricing/gchq_solver.cc" "src/CMakeFiles/qp.dir/qp/pricing/gchq_solver.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/gchq_solver.cc.o.d"
+  "/root/repo/src/qp/pricing/hitting_set.cc" "src/CMakeFiles/qp.dir/qp/pricing/hitting_set.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/hitting_set.cc.o.d"
+  "/root/repo/src/qp/pricing/money.cc" "src/CMakeFiles/qp.dir/qp/pricing/money.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/money.cc.o.d"
+  "/root/repo/src/qp/pricing/pair_views.cc" "src/CMakeFiles/qp.dir/qp/pricing/pair_views.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/pair_views.cc.o.d"
+  "/root/repo/src/qp/pricing/price_advisor.cc" "src/CMakeFiles/qp.dir/qp/pricing/price_advisor.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/price_advisor.cc.o.d"
+  "/root/repo/src/qp/pricing/price_points.cc" "src/CMakeFiles/qp.dir/qp/pricing/price_points.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/price_points.cc.o.d"
+  "/root/repo/src/qp/pricing/work_problem.cc" "src/CMakeFiles/qp.dir/qp/pricing/work_problem.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/pricing/work_problem.cc.o.d"
+  "/root/repo/src/qp/query/analysis.cc" "src/CMakeFiles/qp.dir/qp/query/analysis.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/query/analysis.cc.o.d"
+  "/root/repo/src/qp/query/parser.cc" "src/CMakeFiles/qp.dir/qp/query/parser.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/query/parser.cc.o.d"
+  "/root/repo/src/qp/query/query.cc" "src/CMakeFiles/qp.dir/qp/query/query.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/query/query.cc.o.d"
+  "/root/repo/src/qp/relational/catalog.cc" "src/CMakeFiles/qp.dir/qp/relational/catalog.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/relational/catalog.cc.o.d"
+  "/root/repo/src/qp/relational/instance.cc" "src/CMakeFiles/qp.dir/qp/relational/instance.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/relational/instance.cc.o.d"
+  "/root/repo/src/qp/relational/schema.cc" "src/CMakeFiles/qp.dir/qp/relational/schema.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/relational/schema.cc.o.d"
+  "/root/repo/src/qp/relational/value.cc" "src/CMakeFiles/qp.dir/qp/relational/value.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/relational/value.cc.o.d"
+  "/root/repo/src/qp/util/random.cc" "src/CMakeFiles/qp.dir/qp/util/random.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/util/random.cc.o.d"
+  "/root/repo/src/qp/util/status.cc" "src/CMakeFiles/qp.dir/qp/util/status.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/util/status.cc.o.d"
+  "/root/repo/src/qp/util/strings.cc" "src/CMakeFiles/qp.dir/qp/util/strings.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/util/strings.cc.o.d"
+  "/root/repo/src/qp/workload/business.cc" "src/CMakeFiles/qp.dir/qp/workload/business.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/workload/business.cc.o.d"
+  "/root/repo/src/qp/workload/join_workloads.cc" "src/CMakeFiles/qp.dir/qp/workload/join_workloads.cc.o" "gcc" "src/CMakeFiles/qp.dir/qp/workload/join_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example38_test.dir/example38_test.cc.o"
+  "CMakeFiles/example38_test.dir/example38_test.cc.o.d"
+  "example38_test"
+  "example38_test.pdb"
+  "example38_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example38_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gchq_pipeline_test.dir/gchq_pipeline_test.cc.o"
+  "CMakeFiles/gchq_pipeline_test.dir/gchq_pipeline_test.cc.o.d"
+  "gchq_pipeline_test"
+  "gchq_pipeline_test.pdb"
+  "gchq_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gchq_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

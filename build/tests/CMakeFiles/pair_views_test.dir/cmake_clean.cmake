@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_views_test.dir/pair_views_test.cc.o"
+  "CMakeFiles/pair_views_test.dir/pair_views_test.cc.o.d"
+  "pair_views_test"
+  "pair_views_test.pdb"
+  "pair_views_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_advisor_test.dir/price_advisor_test.cc.o"
+  "CMakeFiles/price_advisor_test.dir/price_advisor_test.cc.o.d"
+  "price_advisor_test"
+  "price_advisor_test.pdb"
+  "price_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_query_test.dir/union_query_test.cc.o"
+  "CMakeFiles/union_query_test.dir/union_query_test.cc.o.d"
+  "union_query_test"
+  "union_query_test.pdb"
+  "union_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/hitting_set_test[1]_include.cmake")
+include("/root/repo/build/tests/determinacy_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/classifier_test[1]_include.cmake")
+include("/root/repo/build/tests/example38_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/gchq_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_test[1]_include.cmake")
+include("/root/repo/build/tests/bundle_test[1]_include.cmake")
+include("/root/repo/build/tests/market_test[1]_include.cmake")
+include("/root/repo/build/tests/pair_views_test[1]_include.cmake")
+include("/root/repo/build/tests/union_query_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_io_test[1]_include.cmake")
+include("/root/repo/build/tests/delivery_test[1]_include.cmake")
+include("/root/repo/build/tests/price_advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/limits_test[1]_include.cmake")

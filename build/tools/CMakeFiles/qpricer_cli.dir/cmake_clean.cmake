@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpricer_cli.dir/qpricer_cli.cc.o"
+  "CMakeFiles/qpricer_cli.dir/qpricer_cli.cc.o.d"
+  "qpricer_cli"
+  "qpricer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpricer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
