@@ -1,0 +1,187 @@
+// BATCH — concurrent quote serving throughput (the production serving
+// path): sequential vs. thread-pool batch pricing over a mixed business
+// workload, with a bit-identical cross-check, plus cold-vs-warm quote
+// cache latency and the incremental repricing hit rate under insertions.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "qp/pricing/batch_pricer.h"
+#include "qp/pricing/dynamic_pricer.h"
+#include "qp/query/parser.h"
+#include "qp/workload/business.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+qp::BusinessMarketParams BenchParams() {
+  qp::BusinessMarketParams params;
+  params.num_states = 8;
+  params.counties_per_state = 4;
+  params.num_businesses = 150;
+  return params;
+}
+
+/// The quote mix of a marketplace front page: per-state and per-county
+/// inquiries over every combination the catalog offers.
+std::vector<std::string> QuoteMix(const qp::BusinessMarketParams& params) {
+  std::vector<std::string> texts;
+  for (const std::string& state : qp::BusinessStates(params)) {
+    texts.push_back("QE(b) :- Email(b), InState(b,'" + state + "')");
+    texts.push_back("QB(b) :- Business(b), InState(b,'" + state + "')");
+    texts.push_back("QX() :- Email(b), InState(b,'" + state + "')");
+    for (int c = 0; c < params.counties_per_state; ++c) {
+      texts.push_back("QC(b) :- InState(b,'" + state + "'), InCounty(b,'" +
+                      state + "/c" + std::to_string(c) + "')");
+    }
+  }
+  return texts;
+}
+
+std::vector<qp::ConjunctiveQuery> ParseAll(
+    const qp::Schema& schema, const std::vector<std::string>& texts) {
+  std::vector<qp::ConjunctiveQuery> queries;
+  for (const std::string& text : texts) {
+    auto q = qp::ParseQuery(schema, text);
+    if (!q.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n", q.status().ToString().c_str());
+      std::exit(1);
+    }
+    queries.push_back(std::move(*q));
+  }
+  return queries;
+}
+
+bool SameQuotes(const std::vector<qp::Result<qp::PriceQuote>>& a,
+                const std::vector<qp::Result<qp::PriceQuote>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].ok() || !b[i].ok()) return false;
+    if (a[i]->solution.price != b[i]->solution.price) return false;
+    if (!(a[i]->solution.support == b[i]->solution.support)) return false;
+  }
+  return true;
+}
+
+void PrintSeries() {
+  qp::BusinessMarketParams params = BenchParams();
+  qp::Seller seller("batch");
+  if (!qp::PopulateBusinessMarket(&seller, params).ok()) std::exit(1);
+  qp::PricingEngine engine(&seller.db(), &seller.prices());
+  std::vector<qp::ConjunctiveQuery> queries =
+      ParseAll(seller.catalog().schema(), QuoteMix(params));
+  const int n = static_cast<int>(queries.size());
+
+  std::printf("=== BATCH: parallel quote throughput (%d queries) ===\n", n);
+  std::printf("%-10s %-12s %-14s %-10s %-10s\n", "threads", "secs",
+              "quotes/sec", "speedup", "identical");
+  std::vector<qp::Result<qp::PriceQuote>> baseline;
+  double base_secs = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    qp::BatchPricer pricer(&engine,
+                           qp::BatchPricerOptions{threads, nullptr});
+    // Warm up once so thread spawn and allocator noise stay out of the
+    // measured pass, then time a few repetitions.
+    auto quotes = pricer.PriceAll(queries);
+    const int reps = 3;
+    auto start = Clock::now();
+    for (int r = 0; r < reps; ++r) quotes = pricer.PriceAll(queries);
+    double secs = SecondsSince(start) / reps;
+    bool identical = true;
+    if (threads == 1) {
+      baseline = quotes;
+      base_secs = secs;
+    } else {
+      identical = SameQuotes(baseline, quotes);
+    }
+    std::printf("%-10d %-12.4f %-14.0f %-10.2f %-10s\n", threads, secs,
+                n / secs, base_secs / secs, identical ? "yes" : "NO");
+    if (!identical) std::exit(1);
+  }
+
+  std::printf("\n=== BATCH: cold vs warm quote cache (8 threads) ===\n");
+  qp::QuoteCache cache;
+  qp::BatchPricer cached(&engine, qp::BatchPricerOptions{8, &cache});
+  auto cold_start = Clock::now();
+  auto cold = cached.PriceAll(queries);
+  double cold_secs = SecondsSince(cold_start);
+  auto warm_start = Clock::now();
+  auto warm = cached.PriceAll(queries);
+  double warm_secs = SecondsSince(warm_start);
+  qp::QuoteCacheStats stats = cache.stats();
+  std::printf("%-10s %-12s %-14s %-12s\n", "pass", "secs", "quotes/sec",
+              "us/quote");
+  std::printf("%-10s %-12.4f %-14.0f %-12.2f\n", "cold", cold_secs,
+              n / cold_secs, 1e6 * cold_secs / n);
+  std::printf("%-10s %-12.4f %-14.0f %-12.2f\n", "warm", warm_secs,
+              n / warm_secs, 1e6 * warm_secs / n);
+  std::printf("cache: %llu hits, %llu misses, identical: %s\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              SameQuotes(cold, warm) ? "yes" : "NO");
+
+  std::printf("\n=== BATCH: incremental repricing under insertions ===\n");
+  qp::Seller dyn_seller("batch-dyn");
+  if (!qp::PopulateBusinessMarket(&dyn_seller, params).ok()) std::exit(1);
+  qp::DynamicPricer pricer(&dyn_seller.db(), &dyn_seller.prices(), {},
+                           /*reprice_threads=*/8);
+  std::vector<qp::ConjunctiveQuery> watched =
+      ParseAll(dyn_seller.catalog().schema(), QuoteMix(params));
+  for (size_t i = 0; i < watched.size(); ++i) {
+    if (!pricer.Watch("q" + std::to_string(i), watched[i]).ok()) {
+      std::exit(1);
+    }
+  }
+  // A new business registers an e-mail address: only the Email-reading
+  // queries must be re-solved; state/county joins stay cached.
+  auto insert_start = Clock::now();
+  auto changes = pricer.Insert("Email", {{qp::Value::Str("biz0")}});
+  double insert_secs = SecondsSince(insert_start);
+  if (!changes.ok()) std::exit(1);
+  int from_cache = 0;
+  for (const auto& change : *changes) from_cache += change.from_cache;
+  std::printf("watched=%zu  reprice-batch=%.4fs  served-from-cache=%d  "
+              "re-solved=%zu\n\n",
+              changes->size(), insert_secs, from_cache,
+              changes->size() - from_cache);
+}
+
+void BM_QuoteBatch(benchmark::State& state) {
+  qp::BusinessMarketParams params = BenchParams();
+  qp::Seller seller("batch");
+  if (!qp::PopulateBusinessMarket(&seller, params).ok()) std::exit(1);
+  qp::PricingEngine engine(&seller.db(), &seller.prices());
+  std::vector<qp::ConjunctiveQuery> queries =
+      ParseAll(seller.catalog().schema(), QuoteMix(params));
+  qp::BatchPricer pricer(
+      &engine,
+      qp::BatchPricerOptions{static_cast<int>(state.range(0)), nullptr});
+  for (auto _ : state) {
+    auto quotes = pricer.PriceAll(queries);
+    benchmark::DoNotOptimize(quotes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+  state.SetLabel(std::to_string(state.range(0)) + " threads");
+}
+BENCHMARK(BM_QuoteBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -6,15 +6,25 @@
 
 namespace qp {
 
-FlowNetwork::NodeId FlowNetwork::AddNode() {
-  adjacency_.emplace_back();
-  return static_cast<NodeId>(adjacency_.size() - 1);
-}
+FlowNetwork::NodeId FlowNetwork::AddNode() { return AddNodes(1); }
 
 FlowNetwork::NodeId FlowNetwork::AddNodes(int count) {
-  NodeId first = static_cast<NodeId>(adjacency_.size());
-  adjacency_.resize(adjacency_.size() + count);
+  NodeId first = num_nodes_;
+  num_nodes_ += count;
+  if (static_cast<size_t>(num_nodes_) > adjacency_.size()) {
+    adjacency_.resize(num_nodes_);
+  }
+  // Slots recycled from a previous build keep their buffer capacity.
+  for (NodeId n = first; n < num_nodes_; ++n) adjacency_[n].clear();
   return first;
+}
+
+void FlowNetwork::Reset() {
+  num_nodes_ = 0;
+  edges_.clear();
+  original_capacity_.clear();
+  source_ = -1;
+  sink_ = -1;
 }
 
 FlowNetwork::EdgeId FlowNetwork::AddEdge(NodeId from, NodeId to,

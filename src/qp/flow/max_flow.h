@@ -34,11 +34,18 @@ class FlowNetwork {
   /// Adds `count` nodes, returning the id of the first.
   NodeId AddNodes(int count);
 
+  /// Empties the network but keeps every allocated buffer (adjacency
+  /// lists, edge arrays, BFS/DFS scratch) for the next build. Solvers that
+  /// construct many flow graphs in a row (the GChQ pipeline solves one per
+  /// hanging-variable case split) reuse one network via Reset instead of
+  /// reallocating per graph.
+  void Reset();
+
   /// Adds a directed edge with the given capacity (clamped to
   /// kInfiniteCapacity) and returns its id.
   EdgeId AddEdge(NodeId from, NodeId to, int64_t capacity);
 
-  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  int num_nodes() const { return num_nodes_; }
   int num_edges() const { return static_cast<int>(edges_.size()) / 2; }
 
   /// The capacity the edge was created with (MaxFlow mutates residuals,
@@ -68,7 +75,10 @@ class FlowNetwork {
 
   std::vector<HalfEdge> edges_;  // pairs: forward at 2e, backward at 2e+1
   std::vector<int64_t> original_capacity_;
+  /// Slots [0, num_nodes_) are live; slots beyond are kept (with their
+  /// heap buffers) for reuse after Reset and cleared lazily on re-add.
   std::vector<std::vector<int32_t>> adjacency_;  // indexes into edges_
+  NodeId num_nodes_ = 0;
   std::vector<int32_t> level_;
   std::vector<std::size_t> iter_;
   NodeId source_ = -1;

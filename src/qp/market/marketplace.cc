@@ -1,6 +1,7 @@
 #include "qp/market/marketplace.h"
 
 #include "qp/eval/evaluator.h"
+#include "qp/pricing/batch_pricer.h"
 #include "qp/query/parser.h"
 
 namespace qp {
@@ -11,14 +12,38 @@ Marketplace::Marketplace(Seller* seller)
 Result<PriceQuote> Marketplace::Quote(std::string_view query_text) const {
   auto query = ParseQuery(seller_->catalog().schema(), query_text);
   if (!query.ok()) return query.status();
-  return engine_.Price(*query);
+  BatchPricer pricer(&engine_,
+                     BatchPricerOptions{/*num_threads=*/1, &quote_cache_});
+  return pricer.Price(*query);
+}
+
+Result<std::vector<PriceQuote>> Marketplace::QuoteBatch(
+    const std::vector<std::string>& query_texts, int num_threads) const {
+  std::vector<ConjunctiveQuery> queries;
+  queries.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    auto query = ParseQuery(seller_->catalog().schema(), text);
+    if (!query.ok()) return query.status();
+    queries.push_back(std::move(*query));
+  }
+  BatchPricer pricer(&engine_, BatchPricerOptions{num_threads, &quote_cache_});
+  std::vector<Result<PriceQuote>> priced = pricer.PriceAll(queries);
+  std::vector<PriceQuote> out;
+  out.reserve(priced.size());
+  for (Result<PriceQuote>& quote : priced) {
+    if (!quote.ok()) return quote.status();
+    out.push_back(std::move(*quote));
+  }
+  return out;
 }
 
 Result<Marketplace::PurchaseResult> Marketplace::Purchase(
     const std::string& buyer, const std::string& query_text) {
   auto query = ParseQuery(seller_->catalog().schema(), query_text);
   if (!query.ok()) return query.status();
-  auto quote = engine_.Price(*query);
+  BatchPricer pricer(&engine_,
+                     BatchPricerOptions{/*num_threads=*/1, &quote_cache_});
+  auto quote = pricer.Price(*query);
   if (!quote.ok()) return quote.status();
   if (IsInfinite(quote->solution.price)) {
     return Status::FailedPrecondition(

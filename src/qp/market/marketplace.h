@@ -8,6 +8,7 @@
 #include "qp/market/delivery.h"
 #include "qp/market/seller.h"
 #include "qp/pricing/engine.h"
+#include "qp/pricing/quote_cache.h"
 #include "qp/util/result.h"
 
 namespace qp {
@@ -36,8 +37,18 @@ class Marketplace {
   explicit Marketplace(Seller* seller);
 
   /// Parses and prices a query without buying (users "may just inquire
-  /// about the price, then decide not to buy", Section 2.6).
+  /// about the price, then decide not to buy", Section 2.6). Served from
+  /// the quote cache when the same query (up to variable renaming and atom
+  /// order) was priced before and its relations have not mutated.
   Result<PriceQuote> Quote(std::string_view query_text) const;
+
+  /// Prices a batch of independent quote requests concurrently (the
+  /// high-traffic serving path: many buyers inquiring at once).
+  /// `num_threads` = 0 uses the hardware concurrency. Results are
+  /// bit-identical to issuing the Quote calls sequentially; the whole
+  /// batch fails on the first query that fails to parse or price.
+  Result<std::vector<PriceQuote>> QuoteBatch(
+      const std::vector<std::string>& query_texts, int num_threads = 0) const;
 
   struct PurchaseResult {
     Receipt receipt;
@@ -60,10 +71,13 @@ class Marketplace {
 
   Money total_revenue() const { return revenue_; }
   const std::vector<Receipt>& ledger() const { return ledger_; }
+  const QuoteCache& quote_cache() const { return quote_cache_; }
 
  private:
   Seller* seller_;
   PricingEngine engine_;
+  /// Mutable: caching is an implementation detail of the const Quote path.
+  mutable QuoteCache quote_cache_;
   std::vector<Receipt> ledger_;
   Money revenue_ = 0;
   int64_t next_order_id_ = 1;

@@ -1,0 +1,46 @@
+#include "qp/pricing/batch_pricer.h"
+
+#include <algorithm>
+#include <string>
+
+#include "qp/util/thread_pool.h"
+
+namespace qp {
+
+BatchPricer::BatchPricer(const PricingEngine* engine,
+                         BatchPricerOptions options)
+    : engine_(engine),
+      cache_(options.cache),
+      num_threads_(options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                            : options.num_threads) {}
+
+Result<PriceQuote> BatchPricer::Price(const ConjunctiveQuery& query) const {
+  if (cache_ == nullptr) return engine_->Price(query);
+  std::string fingerprint = query.Fingerprint();
+  if (auto cached = cache_->Lookup(fingerprint, engine_->db())) {
+    return *std::move(cached);
+  }
+  auto quote = engine_->Price(query);
+  if (quote.ok()) {
+    cache_->Store(fingerprint, query, engine_->db(), *quote);
+  }
+  return quote;
+}
+
+std::vector<Result<PriceQuote>> BatchPricer::PriceAll(
+    const std::vector<ConjunctiveQuery>& queries) const {
+  const int n = static_cast<int>(queries.size());
+  std::vector<Result<PriceQuote>> out(
+      n, Result<PriceQuote>(Status::Internal("not priced")));
+  if (n == 0) return out;
+  if (num_threads_ <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) out[i] = Price(queries[i]);
+    return out;
+  }
+  // No point spawning more workers than queries.
+  ThreadPool pool(std::min(num_threads_, n));
+  pool.ParallelFor(n, [&](int i) { out[i] = Price(queries[i]); });
+  return out;
+}
+
+}  // namespace qp

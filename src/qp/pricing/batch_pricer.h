@@ -1,0 +1,51 @@
+#ifndef QP_PRICING_BATCH_PRICER_H_
+#define QP_PRICING_BATCH_PRICER_H_
+
+#include <vector>
+
+#include "qp/pricing/engine.h"
+#include "qp/pricing/quote_cache.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+struct BatchPricerOptions {
+  /// Worker threads for PriceAll. 0 = hardware concurrency; 1 = price on
+  /// the calling thread (no pool is created).
+  int num_threads = 0;
+  /// Optional shared quote cache consulted before and populated after each
+  /// solver run. May be shared across pricers; must outlive this object.
+  QuoteCache* cache = nullptr;
+};
+
+/// Prices many queries against one engine concurrently. Pricing is a pure
+/// read of the (immutable during the batch) instance and price points, so
+/// queries are embarrassingly parallel; each query's quote is computed by
+/// exactly the same solver path as PricingEngine::Price, which keeps
+/// parallel results bit-identical to sequential ones.
+class BatchPricer {
+ public:
+  /// `engine` must outlive the pricer. The engine's instance and prices
+  /// must not mutate during a PriceAll call.
+  explicit BatchPricer(const PricingEngine* engine,
+                       BatchPricerOptions options = {});
+
+  /// Prices queries[i] into result i, in parallel across the pool.
+  std::vector<Result<PriceQuote>> PriceAll(
+      const std::vector<ConjunctiveQuery>& queries) const;
+
+  /// Cache-aware single-query pricing on the calling thread.
+  Result<PriceQuote> Price(const ConjunctiveQuery& query) const;
+
+  const PricingEngine& engine() const { return *engine_; }
+  int num_threads() const { return num_threads_; }
+
+ private:
+  const PricingEngine* engine_;
+  QuoteCache* cache_;
+  int num_threads_;
+};
+
+}  // namespace qp
+
+#endif  // QP_PRICING_BATCH_PRICER_H_

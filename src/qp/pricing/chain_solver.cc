@@ -48,7 +48,8 @@ Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
                                          const ChainSolverOptions& options,
                                          ChainGraphStats* stats,
                                          const PairPriceFn* pair_prices,
-                                         std::vector<CutPairEdge>* cut_pairs) {
+                                         std::vector<CutPairEdge>* cut_pairs,
+                                         FlowNetwork* scratch) {
   const int num_links = static_cast<int>(links.size());
   if (num_links == 0) return Status::InvalidArgument("empty chain");
 
@@ -118,7 +119,9 @@ Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
   }
 
   // ---- Graph construction -------------------------------------------------
-  FlowNetwork net;
+  FlowNetwork local_net;
+  FlowNetwork& net = scratch != nullptr ? *scratch : local_net;
+  net.Reset();
   const auto s = net.AddNode();
   const auto t = net.AddNode();
 

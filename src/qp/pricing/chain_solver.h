@@ -50,6 +50,10 @@ struct CutPairEdge {
 /// and reports the cut's views as the optimal support.
 ///
 /// `links` must come from BuildWorkChain on the same problem.
+///
+/// `scratch`, when given, is the flow network to build into (Reset is
+/// called first): callers that solve many chains in a row reuse one
+/// network's buffers instead of reallocating per solve.
 Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
                                          const std::vector<WorkLink>& links,
                                          const ChainSolverOptions& options = {},
@@ -57,7 +61,8 @@ Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
                                          const PairPriceFn* pair_prices =
                                              nullptr,
                                          std::vector<CutPairEdge>* cut_pairs =
-                                             nullptr);
+                                             nullptr,
+                                         FlowNetwork* scratch = nullptr);
 
 }  // namespace qp
 

@@ -1,16 +1,25 @@
 #include "qp/pricing/dynamic_pricer.h"
 
+#include <algorithm>
+
+#include "qp/pricing/batch_pricer.h"
+
 namespace qp {
 
 DynamicPricer::DynamicPricer(Instance* db, const SelectionPriceSet* prices,
-                             PricingEngine::Options options)
-    : db_(db), engine_(db, prices, options) {}
+                             PricingEngine::Options options,
+                             int reprice_threads)
+    : db_(db),
+      engine_(db, prices, options),
+      reprice_threads_(std::max(1, reprice_threads)) {}
 
 Result<PriceQuote> DynamicPricer::Watch(const std::string& name,
                                         const ConjunctiveQuery& query) {
   auto quote = engine_.Price(query);
   if (!quote.ok()) return quote.status();
-  watched_[name] = Watched{query, *quote};
+  std::string fingerprint = query.Fingerprint();
+  cache_.Store(fingerprint, query, *db_, *quote);
+  watched_[name] = Watched{query, std::move(fingerprint), *quote};
   return *quote;
 }
 
@@ -28,13 +37,39 @@ Result<std::vector<DynamicPricer::PriceChange>> DynamicPricer::Insert(
     auto inserted = db_->Insert(rel, row);
     if (!inserted.ok()) return inserted.status();
   }
+  // Serve watched queries whose relations did not mutate straight from the
+  // cache; collect the stale ones for (possibly parallel) re-solving.
   std::vector<PriceChange> changes;
+  std::vector<Watched*> stale;
+  std::vector<size_t> stale_change_idx;
   for (auto& [name, watched] : watched_) {
-    auto quote = engine_.Price(watched.query);
-    if (!quote.ok()) return quote.status();
-    changes.push_back(PriceChange{name, watched.last_quote.solution.price,
-                                  quote->solution.price});
-    watched.last_quote = std::move(*quote);
+    PriceChange change;
+    change.query = name;
+    change.before = watched.last_quote.solution.price;
+    if (auto cached = cache_.Lookup(watched.fingerprint, *db_)) {
+      watched.last_quote = *std::move(cached);
+      change.after = watched.last_quote.solution.price;
+      change.from_cache = true;
+    } else {
+      stale.push_back(&watched);
+      stale_change_idx.push_back(changes.size());
+    }
+    changes.push_back(std::move(change));
+  }
+  if (!stale.empty()) {
+    std::vector<ConjunctiveQuery> queries;
+    queries.reserve(stale.size());
+    for (const Watched* w : stale) queries.push_back(w->query);
+    BatchPricer pricer(&engine_,
+                       BatchPricerOptions{reprice_threads_, nullptr});
+    std::vector<Result<PriceQuote>> quotes = pricer.PriceAll(queries);
+    for (size_t i = 0; i < stale.size(); ++i) {
+      if (!quotes[i].ok()) return quotes[i].status();
+      cache_.Store(stale[i]->fingerprint, stale[i]->query, *db_, *quotes[i]);
+      stale[i]->last_quote = std::move(*quotes[i]);
+      changes[stale_change_idx[i]].after =
+          stale[i]->last_quote.solution.price;
+    }
   }
   return changes;
 }

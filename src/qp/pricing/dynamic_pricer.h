@@ -6,12 +6,22 @@
 #include <vector>
 
 #include "qp/pricing/engine.h"
+#include "qp/pricing/quote_cache.h"
 
 namespace qp {
 
 /// Dynamic pricing (Section 2.7): the explicit price points stay fixed
 /// while the database grows by insertions; watched queries are repriced
 /// after every batch.
+///
+/// Repricing is incremental: every quote is stored in a versioned
+/// QuoteCache keyed by the query fingerprint, and Instance bumps a
+/// per-relation generation counter on every insert. After a batch, only
+/// watched queries that read a mutated relation are re-solved; the rest
+/// are served from the cache with no solver work (observable through
+/// `cache().stats()`). Stale queries can be re-solved in parallel by
+/// passing `reprice_threads > 1` — results stay bit-identical because
+/// every query runs the exact sequential solver path.
 ///
 /// When all views are selection queries and a watched query is a full CQ,
 /// instance-based determinacy is monotone (Proposition 2.20), hence the
@@ -22,9 +32,10 @@ namespace qp {
 class DynamicPricer {
  public:
   /// `db` and `prices` must outlive the pricer. The pricer mutates `db`
-  /// through Insert.
+  /// through Insert. `reprice_threads` is the worker count for repricing
+  /// stale watched queries after an insert batch (1 = on the caller).
   DynamicPricer(Instance* db, const SelectionPriceSet* prices,
-                PricingEngine::Options options = {});
+                PricingEngine::Options options = {}, int reprice_threads = 1);
 
   /// Registers a query for repricing. Returns its initial quote.
   Result<PriceQuote> Watch(const std::string& name,
@@ -37,6 +48,9 @@ class DynamicPricer {
     std::string query;
     Money before = 0;
     Money after = 0;
+    /// True if the quote survived the batch untouched (no relation of the
+    /// query mutated) and was served from the cache without solver work.
+    bool from_cache = false;
   };
 
   /// Inserts tuples, then reprices every watched query. Returns the price
@@ -60,14 +74,21 @@ class DynamicPricer {
 
   const PricingEngine& engine() const { return engine_; }
 
+  /// The quote cache backing incremental repricing; `stats().hits` counts
+  /// quotes served with no solver work.
+  const QuoteCache& cache() const { return cache_; }
+
  private:
   struct Watched {
     ConjunctiveQuery query;
+    std::string fingerprint;
     PriceQuote last_quote;
   };
 
   Instance* db_;
   PricingEngine engine_;
+  QuoteCache cache_;
+  int reprice_threads_;
   std::map<std::string, Watched> watched_;
 };
 

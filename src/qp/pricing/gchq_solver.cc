@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "qp/flow/max_flow.h"
+
 namespace qp {
 namespace {
 
@@ -45,7 +47,8 @@ bool FindVarPosition(const WorkProblem& problem, VarId var, int* atom_idx,
 
 Result<PricingSolution> SolveNormalized(const WorkProblem& problem,
                                         const ChainSolverOptions& options,
-                                        GChQSolveStats* stats) {
+                                        GChQSolveStats* stats,
+                                        FlowNetwork* scratch) {
   // Trivial determinacy: a used variable with an empty domain means no
   // candidate answer can exist in any possible world.
   for (const WorkAtom& atom : problem.atoms) {
@@ -64,7 +67,9 @@ Result<PricingSolution> SolveNormalized(const WorkProblem& problem,
     auto links = BuildWorkChain(problem);
     if (!links.ok()) return links.status();
     ChainGraphStats graph_stats;
-    auto solution = SolveChainMinCut(problem, *links, options, &graph_stats);
+    auto solution = SolveChainMinCut(problem, *links, options, &graph_stats,
+                                     /*pair_prices=*/nullptr,
+                                     /*cut_pairs=*/nullptr, scratch);
     if (stats != nullptr) {
       ++stats->chain_solves;
       stats->total_nodes += graph_stats.nodes;
@@ -118,7 +123,7 @@ Result<PricingSolution> SolveNormalized(const WorkProblem& problem,
         free_pos.cost[value] = 0;
       }
     }
-    auto sub = SolveNormalized(covered, options, stats);
+    auto sub = SolveNormalized(covered, options, stats, scratch);
     if (!sub.ok()) return sub.status();
     Money total = AddMoney(cover_cost, sub->price);
     if (total < best.price) {
@@ -139,7 +144,7 @@ Result<PricingSolution> SolveNormalized(const WorkProblem& problem,
     p.cost.clear();
     p.origin.clear();
     ProjectOutPosition(&uncovered, atom_idx, pos);
-    auto sub = SolveNormalized(uncovered, options, stats);
+    auto sub = SolveNormalized(uncovered, options, stats, scratch);
     if (!sub.ok()) return sub.status();
     if (sub->price < best.price) best = *sub;
   }
@@ -177,7 +182,10 @@ Result<PricingSolution> PriceGChQQuery(const Instance& db,
   auto problem = BuildWorkProblem(db, prices, ordered);  // Step 1
   if (!problem.ok()) return problem.status();
   MergeRepeatedVarsInAtoms(&*problem);  // Step 2
-  return SolveNormalized(*problem, options, stats);  // Steps 3 + 4
+  // One flow network reused across every chain solved by the
+  // hanging-variable case splits of Step 3 (up to 2^h of them).
+  FlowNetwork scratch;
+  return SolveNormalized(*problem, options, stats, &scratch);  // Steps 3 + 4
 }
 
 }  // namespace qp

@@ -1,0 +1,52 @@
+#include "qp/pricing/quote_cache.h"
+
+namespace qp {
+
+std::optional<PriceQuote> QuoteCache::Lookup(const std::string& fingerprint,
+                                             const Instance& db) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  for (const auto& [rel, generation] : it->second.deps) {
+    if (db.generation(rel) != generation) {
+      entries_.erase(it);
+      ++stats_.invalidations;
+      return std::nullopt;
+    }
+  }
+  ++stats_.hits;
+  return it->second.quote;
+}
+
+void QuoteCache::Store(const std::string& fingerprint,
+                       const ConjunctiveQuery& query, const Instance& db,
+                       const PriceQuote& quote) {
+  Entry entry;
+  entry.quote = quote;
+  for (RelationId rel : query.ReferencedRelations()) {
+    entry.deps.emplace_back(rel, db.generation(rel));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[fingerprint] = std::move(entry);
+  ++stats_.insertions;
+}
+
+void QuoteCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t QuoteCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+QuoteCacheStats QuoteCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace qp

@@ -1,0 +1,72 @@
+#ifndef QP_PRICING_QUOTE_CACHE_H_
+#define QP_PRICING_QUOTE_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "qp/pricing/engine.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+
+namespace qp {
+
+/// Counters exposed for tests and benchmarks. `hits` in particular proves
+/// that a served quote ran no solver work.
+struct QuoteCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;          // lookups with no entry
+  uint64_t invalidations = 0;   // lookups that found a stale entry
+  uint64_t insertions = 0;
+};
+
+/// A versioned memo of priced quotes. The arbitrage-price (Equation 2) is
+/// a pure function of (query, price points, instance restricted to the
+/// query's relations), so a quote keyed by the query's canonical
+/// fingerprint (ConjunctiveQuery::Fingerprint) stays valid until one of
+/// the relations the query reads mutates. Each entry records the
+/// Instance::generation of those relations at compute time; a lookup whose
+/// recorded generations no longer match is treated as stale and evicted.
+///
+/// The cache assumes the price points it serves under are fixed (the
+/// standing setup of Section 2.7 dynamic pricing); call Clear() if they
+/// change. Thread-safe: BatchPricer workers share one instance.
+class QuoteCache {
+ public:
+  QuoteCache() = default;
+  QuoteCache(const QuoteCache&) = delete;
+  QuoteCache& operator=(const QuoteCache&) = delete;
+
+  /// Returns the cached quote if present and no dependency relation of the
+  /// entry has mutated since it was stored. Stale entries are evicted.
+  std::optional<PriceQuote> Lookup(const std::string& fingerprint,
+                                   const Instance& db);
+
+  /// Stores a quote computed for `query` against the current state of
+  /// `db`, recording the generations of the query's relations.
+  void Store(const std::string& fingerprint, const ConjunctiveQuery& query,
+             const Instance& db, const PriceQuote& quote);
+
+  void Clear();
+  size_t size() const;
+  QuoteCacheStats stats() const;
+
+ private:
+  struct Entry {
+    PriceQuote quote;
+    /// (relation, generation at compute time), one per referenced relation.
+    std::vector<std::pair<RelationId, uint64_t>> deps;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  QuoteCacheStats stats_;
+};
+
+}  // namespace qp
+
+#endif  // QP_PRICING_QUOTE_CACHE_H_

@@ -141,6 +141,130 @@ std::set<VarId> ConjunctiveQuery::HangingVars() const {
   return out;
 }
 
+std::vector<RelationId> ConjunctiveQuery::ReferencedRelations() const {
+  std::vector<RelationId> out;
+  for (const Atom& a : atoms_) out.push_back(a.rel);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string ConjunctiveQuery::Fingerprint() const {
+  const int n = num_vars();
+  // Initial signature of each variable: where it sits in the head, the
+  // multiset of (relation, argument position) occurrences, and its
+  // interpreted predicates. All of these survive alpha-renaming.
+  std::vector<std::string> sig(n);
+  for (VarId v = 0; v < n; ++v) {
+    std::string s = "h";
+    for (size_t i = 0; i < head_.size(); ++i) {
+      if (head_[i] == v) s += std::to_string(i) + ",";
+    }
+    std::vector<std::string> occ;
+    for (const Atom& a : atoms_) {
+      for (size_t p = 0; p < a.args.size(); ++p) {
+        if (a.args[p].is_var() && a.args[p].var == v) {
+          occ.push_back(std::to_string(a.rel) + "." + std::to_string(p));
+        }
+      }
+    }
+    std::sort(occ.begin(), occ.end());
+    s += "|o";
+    for (const std::string& o : occ) s += o + ",";
+    std::vector<std::string> preds;
+    for (const UnaryPredicate& p : predicates_) {
+      if (p.var == v) {
+        preds.push_back(std::string(CmpOpName(p.op)) + p.rhs.ToString());
+      }
+    }
+    std::sort(preds.begin(), preds.end());
+    s += "|p";
+    for (const std::string& p : preds) s += p + ",";
+    sig[v] = std::move(s);
+  }
+
+  // Rank = index of the signature among the sorted distinct signatures.
+  std::vector<int> rank(n, 0);
+  auto rerank = [&] {
+    std::vector<std::string> sorted = sig;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    int distinct = static_cast<int>(sorted.size());
+    for (VarId v = 0; v < n; ++v) {
+      rank[v] = static_cast<int>(
+          std::lower_bound(sorted.begin(), sorted.end(), sig[v]) -
+          sorted.begin());
+    }
+    return distinct;
+  };
+  int distinct = rerank();
+
+  // Refine with co-occurrence context until the partition stabilizes: a
+  // variable's new signature appends, per occurrence, the ranks of the
+  // terms it shares an atom with. At most n rounds can split anything.
+  for (int round = 0; round < n && distinct < n; ++round) {
+    std::vector<std::string> next(n);
+    for (VarId v = 0; v < n; ++v) {
+      std::vector<std::string> ctx;
+      for (const Atom& a : atoms_) {
+        for (size_t p = 0; p < a.args.size(); ++p) {
+          if (!a.args[p].is_var() || a.args[p].var != v) continue;
+          std::string c = std::to_string(a.rel) + "." + std::to_string(p) +
+                          ":";
+          for (const Term& t : a.args) {
+            c += t.is_var() ? "r" + std::to_string(rank[t.var])
+                            : "c" + t.constant.ToString();
+            c += ",";
+          }
+          ctx.push_back(std::move(c));
+        }
+      }
+      std::sort(ctx.begin(), ctx.end());
+      next[v] = std::to_string(rank[v]) + "#";
+      for (const std::string& c : ctx) next[v] += c + ";";
+    }
+    sig = std::move(next);
+    int refined = rerank();
+    if (refined == distinct) break;
+    distinct = refined;
+  }
+
+  // Canonical ids: by final rank, declaration order as the tie-break for
+  // variables refinement could not distinguish (see header comment).
+  std::vector<VarId> order(n);
+  for (VarId v = 0; v < n; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](VarId a, VarId b) { return rank[a] < rank[b]; });
+  std::vector<int> canonical(n, 0);
+  for (int i = 0; i < n; ++i) canonical[order[i]] = i;
+
+  auto term_str = [&](const Term& t) {
+    return t.is_var() ? "v" + std::to_string(canonical[t.var])
+                      : "c" + t.constant.ToString();
+  };
+  std::string out = "H:";
+  for (VarId v : head_) out += "v" + std::to_string(canonical[v]) + ",";
+  std::vector<std::string> atom_strs;
+  for (const Atom& a : atoms_) {
+    std::string s = std::to_string(a.rel) + "(";
+    for (const Term& t : a.args) s += term_str(t) + ",";
+    s += ")";
+    atom_strs.push_back(std::move(s));
+  }
+  std::sort(atom_strs.begin(), atom_strs.end());
+  out += "|B:";
+  for (const std::string& s : atom_strs) out += s + ";";
+  std::vector<std::string> pred_strs;
+  for (const UnaryPredicate& p : predicates_) {
+    pred_strs.push_back("v" + std::to_string(canonical[p.var]) +
+                        std::string(CmpOpName(p.op)) + p.rhs.ToString());
+  }
+  std::sort(pred_strs.begin(), pred_strs.end());
+  out += "|P:";
+  for (const std::string& s : pred_strs) out += s + ";";
+  return out;
+}
+
 std::string ConjunctiveQuery::ToString(const Schema& schema) const {
   std::string out = name_ + "(";
   for (size_t i = 0; i < head_.size(); ++i) {

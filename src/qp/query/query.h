@@ -129,6 +129,24 @@ class ConjunctiveQuery {
   /// ("hanging variables", Definition 3.6).
   std::set<VarId> HangingVars() const;
 
+  /// Relations referenced by the body, sorted and deduplicated. These are
+  /// exactly the relations whose contents the arbitrage-price depends on
+  /// (explicit views on other relations never constrain this query's
+  /// possible worlds), so they are the invalidation set for quote caching.
+  std::vector<RelationId> ReferencedRelations() const;
+
+  /// Canonical fingerprint of the query, used as a memoization key for
+  /// priced quotes. Two queries that differ only by variable renaming, by
+  /// the order of body atoms, or by the order of predicates produce the
+  /// same fingerprint; equal fingerprints imply isomorphic queries (and
+  /// hence equal arbitrage-prices over the same instance and price
+  /// points). Variables are numbered by an iteratively refined structural
+  /// signature (head positions, atom occurrences, predicates, then
+  /// co-occurrence context); symmetric variables that refinement cannot
+  /// split fall back to declaration order, which can only cause a spurious
+  /// cache miss, never a false hit. The query display name is ignored.
+  std::string Fingerprint() const;
+
   /// Datalog-style display: "Q(x,y) :- R(x,y), S(y,'a'), x > 5".
   std::string ToString(const Schema& schema) const;
 

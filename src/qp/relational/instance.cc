@@ -4,6 +4,7 @@ namespace qp {
 
 Instance::Instance(const Catalog* catalog) : catalog_(catalog) {
   relations_.resize(catalog->schema().num_relations());
+  generations_.resize(relations_.size(), 0);
 }
 
 Result<bool> Instance::Insert(RelationId rel, Tuple tuple) {
@@ -14,6 +15,7 @@ Result<bool> Instance::Insert(RelationId rel, Tuple tuple) {
   // New relations may have been added to the catalog since construction.
   if (static_cast<size_t>(schema.num_relations()) > relations_.size()) {
     relations_.resize(schema.num_relations());
+    generations_.resize(relations_.size(), 0);
   }
   if (static_cast<int>(tuple.size()) != schema.arity(rel)) {
     return Status::InvalidArgument(
@@ -30,7 +32,9 @@ Result<bool> Instance::Insert(RelationId rel, Tuple tuple) {
           schema.AttrToString(attr));
     }
   }
-  return relations_[rel].insert(std::move(tuple)).second;
+  bool inserted = relations_[rel].insert(std::move(tuple)).second;
+  if (inserted) ++generations_[rel];
+  return inserted;
 }
 
 Result<bool> Instance::Insert(std::string_view rel,
@@ -56,7 +60,9 @@ Result<bool> Instance::Insert(std::string_view rel,
 }
 
 bool Instance::Erase(RelationId rel, const Tuple& tuple) {
-  return relations_[rel].erase(tuple) > 0;
+  bool erased = relations_[rel].erase(tuple) > 0;
+  if (erased) ++generations_[rel];
+  return erased;
 }
 
 bool Instance::Contains(RelationId rel, const Tuple& tuple) const {

@@ -1,6 +1,7 @@
 #ifndef QP_RELATIONAL_INSTANCE_H_
 #define QP_RELATIONAL_INSTANCE_H_
 
+#include <cstdint>
 #include <unordered_set>
 #include <vector>
 
@@ -47,6 +48,17 @@ class Instance {
   size_t NumTuples(RelationId rel) const { return relations_[rel].size(); }
   size_t TotalTuples() const;
 
+  /// Monotonic mutation counter of one relation: bumped by every
+  /// successful Insert or Erase that changes the relation's contents.
+  /// Quote caches record the generations a price was computed against and
+  /// treat a mismatch as invalidation, so mutating one relation only
+  /// invalidates quotes whose query reads it.
+  uint64_t generation(RelationId rel) const {
+    return static_cast<size_t>(rel) < generations_.size()
+               ? generations_[rel]
+               : 0;
+  }
+
   /// True if every tuple of *this is also in `other` (D1 ⊆ D2 in the
   /// paper's dynamic-pricing sense). Instances must share the catalog.
   bool IsSubsetOf(const Instance& other) const;
@@ -58,6 +70,7 @@ class Instance {
  private:
   const Catalog* catalog_;
   std::vector<TupleSet> relations_;
+  std::vector<uint64_t> generations_;
 };
 
 }  // namespace qp

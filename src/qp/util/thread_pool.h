@@ -1,0 +1,60 @@
+#ifndef QP_UTIL_THREAD_POOL_H_
+#define QP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qp {
+
+/// A fixed-size thread pool with a single shared FIFO queue (no work
+/// stealing: pricing tasks are coarse enough that a shared queue never
+/// becomes the bottleneck). Tasks must not throw.
+///
+/// Usage:
+///   ThreadPool pool(8);
+///   pool.ParallelFor(n, [&](int i) { out[i] = Price(queries[i]); });
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  /// Runs fn(0) .. fn(count - 1) across the pool and blocks until all
+  /// calls return. The caller must not touch the pool from inside `fn`.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// The hardware concurrency, with a sane floor of 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;  // queued + currently running tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qp
+
+#endif  // QP_UTIL_THREAD_POOL_H_

@@ -1,0 +1,207 @@
+// Concurrency tests for BatchPricer: a mixed GChQ / cycle / NP-hard /
+// boolean / disconnected workload priced in parallel must be bit-identical
+// to sequential PricingEngine::Price, across 1, 2 and 8 threads, with and
+// without a shared quote cache.
+
+#include "qp/pricing/batch_pricer.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/util/thread_pool.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+/// A catalog hosting queries of every dichotomy class: a chain (GChQ), a
+/// 3-cycle, the NP-hard H2 shape, plus relations for boolean /
+/// disconnected / projected variants.
+struct MixedMarket {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<Instance> db;
+  SelectionPriceSet prices;
+
+  static MixedMarket Make() {
+    MixedMarket m;
+    m.catalog = std::make_unique<Catalog>();
+    EXPECT_TRUE(m.catalog->AddRelation("R", {"X"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("S", {"X", "Y"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("T", {"Y"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("E1", {"A", "B"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("E2", {"A", "B"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("E3", {"A", "B"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("U", {"X"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("V", {"X", "Y"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("W", {"X", "Y"}).ok());
+
+    std::vector<Value> col3 = {Value::Int(1), Value::Int(2), Value::Int(3)};
+    std::vector<Value> col4 = {Value::Int(1), Value::Int(2), Value::Int(3),
+                               Value::Int(4)};
+    EXPECT_TRUE(m.catalog->SetColumn("R", "X", col4).ok());
+    EXPECT_TRUE(m.catalog->SetColumn("S", "X", col4).ok());
+    EXPECT_TRUE(m.catalog->SetColumn("S", "Y", col3).ok());
+    EXPECT_TRUE(m.catalog->SetColumn("T", "Y", col3).ok());
+    for (const char* rel : {"E1", "E2", "E3"}) {
+      EXPECT_TRUE(m.catalog->SetColumn(rel, "A", col3).ok());
+      EXPECT_TRUE(m.catalog->SetColumn(rel, "B", col3).ok());
+    }
+    EXPECT_TRUE(m.catalog->SetColumn("U", "X", col3).ok());
+    for (const char* rel : {"V", "W"}) {
+      EXPECT_TRUE(m.catalog->SetColumn(rel, "X", col3).ok());
+      EXPECT_TRUE(m.catalog->SetColumn(rel, "Y", col3).ok());
+    }
+
+    m.db = std::make_unique<Instance>(m.catalog.get());
+    auto ins = [&](std::string_view rel, std::vector<std::vector<int64_t>>
+                                             rows) {
+      for (const auto& row : rows) {
+        std::vector<Value> values;
+        for (int64_t v : row) values.push_back(Value::Int(v));
+        EXPECT_TRUE(m.db->Insert(rel, values).ok()) << rel;
+      }
+    };
+    ins("R", {{1}, {2}, {4}});
+    ins("S", {{1, 1}, {1, 2}, {2, 2}, {4, 1}});
+    ins("T", {{1}, {3}});
+    ins("E1", {{1, 2}, {2, 3}});
+    ins("E2", {{2, 3}, {3, 1}});
+    ins("E3", {{3, 1}, {1, 2}});
+    ins("U", {{1}, {2}});
+    ins("V", {{1, 1}, {2, 2}, {1, 3}});
+    ins("W", {{1, 1}, {2, 2}, {3, 3}});
+
+    auto price = [&](std::string_view rel, std::string_view attr, Money p) {
+      EXPECT_TRUE(m.prices.SetUniform(*m.catalog, rel, attr, p).ok());
+    };
+    price("R", "X", 3);
+    price("S", "X", 2);
+    price("S", "Y", 2);
+    price("T", "Y", 1);
+    for (const char* rel : {"E1", "E2", "E3"}) {
+      price(rel, "A", 2);
+      price(rel, "B", 2);
+    }
+    price("U", "X", 1);
+    price("V", "X", 2);
+    price("V", "Y", 2);
+    price("W", "X", 2);
+    price("W", "Y", 3);
+    return m;
+  }
+};
+
+std::vector<std::string> MixedQueryTexts() {
+  std::vector<std::string> texts = {
+      "Qchain(x,y) :- R(x), S(x,y), T(y)",
+      "Qpred(x,y) :- R(x), S(x,y), T(y), x > 1",
+      "Qproj(x) :- R(x), S(x,y)",
+      "Qbool() :- S(x,y), T(y)",
+      "Qcyc(x,y,z) :- E1(x,y), E2(y,z), E3(z,x)",
+      "Qhard(x,y) :- U(x), V(x,y), W(x,y)",
+      "Qdisc(x,y) :- R(x), T(y)",
+      "Qr(x) :- R(x)",
+  };
+  // Predicate variants make the batch wide enough that 8 workers all get
+  // work, while keeping every query distinct (distinct fingerprints).
+  for (int lo = 0; lo < 4; ++lo) {
+    for (int hi = 1; hi <= 3; ++hi) {
+      texts.push_back("Qg(x,y) :- R(x), S(x,y), T(y), x > " +
+                      std::to_string(lo) + ", y <= " + std::to_string(hi));
+    }
+  }
+  return texts;
+}
+
+void ExpectSameQuote(const PriceQuote& got, const PriceQuote& want,
+                     const std::string& label) {
+  EXPECT_EQ(got.solution.price, want.solution.price) << label;
+  EXPECT_EQ(got.solution.support, want.solution.support) << label;
+  EXPECT_EQ(got.query_class, want.query_class) << label;
+  EXPECT_EQ(got.ptime, want.ptime) << label;
+  EXPECT_EQ(got.solver, want.solver) << label;
+  EXPECT_EQ(got.explanation, want.explanation) << label;
+}
+
+class BatchPricerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchPricerTest, ParallelMatchesSequential) {
+  const int threads = GetParam();
+  MixedMarket m = MixedMarket::Make();
+  PricingEngine engine(m.db.get(), &m.prices);
+
+  std::vector<ConjunctiveQuery> queries;
+  std::vector<PriceQuote> expected;
+  for (const std::string& text : MixedQueryTexts()) {
+    QP_ASSERT_OK_AND_ASSIGN(ConjunctiveQuery q,
+                            ParseQuery(m.catalog->schema(), text));
+    QP_ASSERT_OK_AND_ASSIGN(PriceQuote want, engine.Price(q));
+    queries.push_back(std::move(q));
+    expected.push_back(std::move(want));
+  }
+
+  BatchPricer pricer(&engine, BatchPricerOptions{threads, nullptr});
+  std::vector<Result<PriceQuote>> got = pricer.PriceAll(queries);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].ok()) << got[i].status().ToString();
+    ExpectSameQuote(*got[i], expected[i], queries[i].name());
+  }
+}
+
+TEST_P(BatchPricerTest, SharedCacheStaysConsistentAndWarmsUp) {
+  const int threads = GetParam();
+  MixedMarket m = MixedMarket::Make();
+  PricingEngine engine(m.db.get(), &m.prices);
+  QuoteCache cache;
+  BatchPricer pricer(&engine, BatchPricerOptions{threads, &cache});
+
+  std::vector<ConjunctiveQuery> queries;
+  for (const std::string& text : MixedQueryTexts()) {
+    QP_ASSERT_OK_AND_ASSIGN(ConjunctiveQuery q,
+                            ParseQuery(m.catalog->schema(), text));
+    queries.push_back(std::move(q));
+  }
+
+  std::vector<Result<PriceQuote>> cold = pricer.PriceAll(queries);
+  std::vector<Result<PriceQuote>> warm = pricer.PriceAll(queries);
+  ASSERT_EQ(cold.size(), warm.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    ASSERT_TRUE(cold[i].ok()) << cold[i].status().ToString();
+    ASSERT_TRUE(warm[i].ok()) << warm[i].status().ToString();
+    ExpectSameQuote(*warm[i], *cold[i], queries[i].name());
+  }
+  // The second pass was served entirely from the cache.
+  QuoteCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, queries.size());
+  EXPECT_EQ(stats.misses, queries.size());
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(cache.size(), queries.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BatchPricerTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<int> counts(1000, 0);
+  pool.ParallelFor(static_cast<int>(counts.size()),
+                   [&](int i) { counts[i]++; });
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ThreadPool, WaitDrainsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 64);
+}
+
+}  // namespace
+}  // namespace qp

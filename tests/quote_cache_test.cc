@@ -1,0 +1,192 @@
+// Tests for the versioned quote cache and the canonical query fingerprint
+// that keys it: fingerprint invariance under alpha-renaming and atom
+// permutation, inequality for structurally distinct queries, and
+// generation-based invalidation after DynamicPricer::Insert.
+
+#include "qp/pricing/quote_cache.h"
+
+#include "gtest/gtest.h"
+#include "qp/pricing/dynamic_pricer.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+ConjunctiveQuery Parse(const Schema& schema, std::string_view text) {
+  auto q = ParseQuery(schema, text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+TEST(Fingerprint, InvariantUnderAlphaRenaming) {
+  Example38 e = Example38::Make();
+  const Schema& s = e.catalog->schema();
+  ConjunctiveQuery q1 = Parse(s, "Q(x,y) :- R(x), S(x,y), T(y)");
+  ConjunctiveQuery q2 = Parse(s, "Other(u,v) :- R(u), S(u,v), T(v)");
+  EXPECT_EQ(q1.Fingerprint(), q2.Fingerprint());
+}
+
+TEST(Fingerprint, InvariantUnderAtomPermutation) {
+  Example38 e = Example38::Make();
+  const Schema& s = e.catalog->schema();
+  ConjunctiveQuery q1 = Parse(s, "Q(x,y) :- R(x), S(x,y), T(y)");
+  ConjunctiveQuery q2 = Parse(s, "Q(x,y) :- T(y), S(x,y), R(x)");
+  EXPECT_EQ(q1.Fingerprint(), q2.Fingerprint());
+}
+
+TEST(Fingerprint, InvariantUnderRenamingPlusPermutation) {
+  Example38 e = Example38::Make();
+  const Schema& s = e.catalog->schema();
+  ConjunctiveQuery q1 = Parse(s, "Q(x,y) :- R(x), S(x,y), T(y)");
+  ConjunctiveQuery q2 = Parse(s, "Z(a,b) :- T(b), R(a), S(a,b)");
+  EXPECT_EQ(q1.Fingerprint(), q2.Fingerprint());
+}
+
+TEST(Fingerprint, DistinctQueriesDiffer) {
+  Example38 e = Example38::Make();
+  const Schema& s = e.catalog->schema();
+  ConjunctiveQuery chain = Parse(s, "Q(x,y) :- R(x), S(x,y), T(y)");
+  // Fewer atoms.
+  EXPECT_NE(chain.Fingerprint(),
+            Parse(s, "Q(x,y) :- R(x), S(x,y)").Fingerprint());
+  // Different head order is a different query.
+  EXPECT_NE(chain.Fingerprint(),
+            Parse(s, "Q(y,x) :- R(x), S(x,y), T(y)").Fingerprint());
+  // Projection vs full query.
+  EXPECT_NE(chain.Fingerprint(),
+            Parse(s, "Q(x) :- R(x), S(x,y), T(y)").Fingerprint());
+  // Boolean version.
+  EXPECT_NE(chain.Fingerprint(),
+            Parse(s, "Q() :- R(x), S(x,y), T(y)").Fingerprint());
+  // An added interpreted predicate changes the query.
+  EXPECT_NE(chain.Fingerprint(),
+            Parse(s, "Q(x,y) :- R(x), S(x,y), T(y), x = 'a1'").Fingerprint());
+  // Same shape over different relations.
+  EXPECT_NE(Parse(s, "Q(x) :- R(x)").Fingerprint(),
+            Parse(s, "Q(y) :- T(y)").Fingerprint());
+  // A constant in an argument position vs a variable.
+  EXPECT_NE(Parse(s, "Q(y) :- S('a1',y)").Fingerprint(),
+            Parse(s, "Q(y) :- S(x,y)").Fingerprint());
+}
+
+TEST(Fingerprint, PredicateOrderDoesNotMatter) {
+  Example38 e = Example38::Make();
+  const Schema& s = e.catalog->schema();
+  ConjunctiveQuery q1 =
+      Parse(s, "Q(x,y) :- S(x,y), x != 'a3', y != 'b3'");
+  ConjunctiveQuery q2 =
+      Parse(s, "Q(u,v) :- S(u,v), v != 'b3', u != 'a3'");
+  EXPECT_EQ(q1.Fingerprint(), q2.Fingerprint());
+}
+
+TEST(QuoteCache, HitUntilDependencyMutates) {
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  ConjunctiveQuery r_only =
+      Parse(e.catalog->schema(), "Qr(x) :- R(x)");
+
+  QuoteCache cache;
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(r_only));
+  cache.Store(r_only.Fingerprint(), r_only, *e.db, quote);
+
+  auto hit = cache.Lookup(r_only.Fingerprint(), *e.db);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->solution.price, quote.solution.price);
+
+  // Mutating a relation the query does not read keeps the entry valid.
+  QP_ASSERT_OK_AND_ASSIGN(bool t_inserted,
+                          e.db->Insert("T", {Value::Str("b2")}));
+  EXPECT_TRUE(t_inserted);
+  EXPECT_TRUE(cache.Lookup(r_only.Fingerprint(), *e.db).has_value());
+
+  // Mutating R invalidates and evicts.
+  QP_ASSERT_OK_AND_ASSIGN(bool r_inserted,
+                          e.db->Insert("R", {Value::Str("a3")}));
+  EXPECT_TRUE(r_inserted);
+  EXPECT_FALSE(cache.Lookup(r_only.Fingerprint(), *e.db).has_value());
+
+  QuoteCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  // A stale entry counts as an invalidation, not a miss.
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(QuoteCache, ServesAlphaRenamedQuery) {
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  const Schema& s = e.catalog->schema();
+  ConjunctiveQuery q1 = Parse(s, "Q(x,y) :- R(x), S(x,y), T(y)");
+  ConjunctiveQuery q2 = Parse(s, "Z(a,b) :- T(b), R(a), S(a,b)");
+
+  QuoteCache cache;
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(q1));
+  cache.Store(q1.Fingerprint(), q1, *e.db, quote);
+  auto hit = cache.Lookup(q2.Fingerprint(), *e.db);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->solution.price, 6);  // the Example 3.8 price
+}
+
+TEST(DynamicPricer, InsertInvalidatesOnlyTouchedQueries) {
+  Example38 e = Example38::Make();
+  DynamicPricer pricer(e.db.get(), &e.prices);
+  const Schema& s = e.catalog->schema();
+  ConjunctiveQuery chain = Parse(s, "Qc(x,y) :- R(x), S(x,y), T(y)");
+  ConjunctiveQuery r_only = Parse(s, "Qr(x) :- R(x)");
+
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote chain_quote,
+                          pricer.Watch("chain", chain));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote r_quote, pricer.Watch("r", r_only));
+  (void)chain_quote;
+
+  QuoteCacheStats before = pricer.cache().stats();
+
+  // Insert into T: the chain query reads T, the R-only query does not.
+  QP_ASSERT_OK_AND_ASSIGN(
+      auto changes, pricer.Insert("T", {{Value::Str("b2")}}));
+  ASSERT_EQ(changes.size(), 2u);
+  // Changes are keyed by watch name (map order: "chain" < "r").
+  EXPECT_EQ(changes[0].query, "chain");
+  EXPECT_FALSE(changes[0].from_cache);
+  EXPECT_EQ(changes[1].query, "r");
+  EXPECT_TRUE(changes[1].from_cache);
+  EXPECT_EQ(changes[1].before, changes[1].after);
+  EXPECT_EQ(changes[1].after, r_quote.solution.price);
+
+  // The unaffected query was served with zero solver work: exactly one
+  // cache hit and one invalidation, no extra solve recorded.
+  QuoteCacheStats after = pricer.cache().stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.invalidations, before.invalidations + 1);
+
+  // The repriced chain quote matches a from-scratch engine price.
+  PricingEngine fresh(e.db.get(), &e.prices);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote expected, fresh.Price(chain));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote current, pricer.CurrentQuote("chain"));
+  EXPECT_EQ(current.solution.price, expected.solution.price);
+  EXPECT_EQ(current.solution.support, expected.solution.support);
+}
+
+TEST(DynamicPricer, SecondInsertIntoUntouchedRelationIsAllHits) {
+  Example38 e = Example38::Make();
+  DynamicPricer pricer(e.db.get(), &e.prices);
+  const Schema& s = e.catalog->schema();
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote initial,
+                          pricer.Watch("r", Parse(s, "Qr(x) :- R(x)")));
+  (void)initial;
+
+  QP_ASSERT_OK_AND_ASSIGN(auto first,
+                          pricer.Insert("T", {{Value::Str("b2")}}));
+  QP_ASSERT_OK_AND_ASSIGN(auto second,
+                          pricer.Insert("S", {{Value::Str("a3"),
+                                               Value::Str("b3")}}));
+  EXPECT_TRUE(first[0].from_cache);
+  EXPECT_TRUE(second[0].from_cache);
+  QuoteCacheStats stats = pricer.cache().stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace qp
