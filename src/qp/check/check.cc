@@ -1,0 +1,95 @@
+#include "qp/check/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace qp {
+namespace {
+
+constexpr int kUninitialized = -1;
+
+/// The process-wide level. -1 until first read; then the CheckLevel value.
+std::atomic<int> g_level{kUninitialized};
+std::atomic<uint64_t> g_failures{0};
+
+std::mutex g_last_failure_mu;
+std::string& LastFailureStorage() {
+  static std::string* storage = new std::string();
+  return *storage;
+}
+
+int LevelFromEnv() {
+  const char* env = std::getenv("QP_CHECK_LEVEL");
+  if (env == nullptr) return static_cast<int>(CheckLevel::kAbort);
+  std::string value(env);
+  if (value == "off") return static_cast<int>(CheckLevel::kOff);
+  if (value == "log") return static_cast<int>(CheckLevel::kLog);
+  if (value == "abort") return static_cast<int>(CheckLevel::kAbort);
+  std::fprintf(stderr,
+               "qp/check: unknown QP_CHECK_LEVEL '%s', using 'abort'\n", env);
+  return static_cast<int>(CheckLevel::kAbort);
+}
+
+}  // namespace
+
+CheckLevel GetCheckLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kUninitialized) {
+    // Benign race: concurrent first calls compute the same env-derived value.
+    level = LevelFromEnv();
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<CheckLevel>(level);
+}
+
+void SetCheckLevel(CheckLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+uint64_t CheckFailureCount() {
+  return g_failures.load(std::memory_order_relaxed);
+}
+
+std::string LastCheckFailure() {
+  std::lock_guard<std::mutex> lock(g_last_failure_mu);
+  return LastFailureStorage();
+}
+
+void ResetCheckFailures() {
+  g_failures.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_last_failure_mu);
+  LastFailureStorage().clear();
+}
+
+ScopedCheckLevel::ScopedCheckLevel(CheckLevel level)
+    : previous_(GetCheckLevel()), previous_failures_(CheckFailureCount()) {
+  SetCheckLevel(level);
+}
+
+ScopedCheckLevel::~ScopedCheckLevel() {
+  SetCheckLevel(previous_);
+  g_failures.store(previous_failures_, std::memory_order_relaxed);
+}
+
+namespace check_internal {
+
+bool CheckEnabled() { return GetCheckLevel() != CheckLevel::kOff; }
+
+void ReportFailure(const char* kind, const char* condition, const char* file,
+                   int line, const std::string& detail) {
+  std::string message = std::string(kind) + " failed at " + file + ":" +
+                        std::to_string(line) + ": (" + condition + ") — " +
+                        detail;
+  g_failures.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g_last_failure_mu);
+    LastFailureStorage() = message;
+  }
+  std::fprintf(stderr, "%s\n", message.c_str());
+  if (GetCheckLevel() == CheckLevel::kAbort) std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace qp

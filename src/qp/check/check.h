@@ -1,0 +1,91 @@
+#ifndef QP_CHECK_CHECK_H_
+#define QP_CHECK_CHECK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qp {
+
+/// Enforcement level of `QP_ASSERT` / `QP_INVARIANT`, selectable at runtime
+/// via the `QP_CHECK_LEVEL` environment variable (`off`, `log`, `abort`) or
+/// programmatically with `SetCheckLevel`.
+///
+///  * kOff   — checks are skipped entirely (the condition is not evaluated).
+///  * kLog   — a failed check is logged to stderr and counted; execution
+///             continues. Tests use this level to prove a checker fires.
+///  * kAbort — a failed check is logged and the process aborts (the
+///             default: a violated paper invariant means every price the
+///             process serves from then on is suspect).
+enum class CheckLevel { kOff = 0, kLog = 1, kAbort = 2 };
+
+/// The current enforcement level. First call reads `QP_CHECK_LEVEL` from
+/// the environment (unknown values fall back to kAbort).
+CheckLevel GetCheckLevel();
+
+/// Overrides the enforcement level for the whole process.
+void SetCheckLevel(CheckLevel level);
+
+/// Number of check failures observed since start / the last Reset. Only
+/// meaningful at kLog (kAbort never returns after the first failure).
+uint64_t CheckFailureCount();
+
+/// The message of the most recent failure ("" if none).
+std::string LastCheckFailure();
+
+/// Resets the failure counter and last-failure message (test isolation).
+void ResetCheckFailures();
+
+/// Restores the previous level and failure counters on destruction, so a
+/// test can drop to kLog, trip checkers deliberately, and leave no trace.
+class ScopedCheckLevel {
+ public:
+  explicit ScopedCheckLevel(CheckLevel level);
+  ~ScopedCheckLevel();
+  ScopedCheckLevel(const ScopedCheckLevel&) = delete;
+  ScopedCheckLevel& operator=(const ScopedCheckLevel&) = delete;
+
+ private:
+  CheckLevel previous_;
+  uint64_t previous_failures_;
+};
+
+namespace check_internal {
+
+/// True when checks should run (level != kOff). Cheap: one relaxed atomic
+/// load, safe to call on hot paths.
+bool CheckEnabled();
+
+/// Records one failed check: logs to stderr, bumps the failure counter and,
+/// at kAbort, terminates the process. `kind` is "QP_ASSERT" or
+/// "QP_INVARIANT"; `detail` is the caller's human-readable message.
+void ReportFailure(const char* kind, const char* condition, const char* file,
+                   int line, const std::string& detail);
+
+}  // namespace check_internal
+}  // namespace qp
+
+/// Programming-contract check, the project's replacement for `assert`:
+/// unlike `assert` it survives NDEBUG builds and obeys QP_CHECK_LEVEL.
+/// `detail` may be any expression convertible to std::string; it is only
+/// evaluated on failure. The condition must be side-effect free (it is not
+/// evaluated at kOff).
+#define QP_ASSERT(cond, detail)                                            \
+  do {                                                                     \
+    if (::qp::check_internal::CheckEnabled() && !(cond)) {                 \
+      ::qp::check_internal::ReportFailure("QP_ASSERT", #cond, __FILE__,    \
+                                          __LINE__, (detail));             \
+    }                                                                      \
+  } while (0)
+
+/// Paper-contract check: identical machinery to QP_ASSERT but tagged as an
+/// invariant of the pricing theory (Prop 2.8, Thm 2.15, Prop 2.20, ...) so
+/// a violation in logs points at the paper, not at a coding slip.
+#define QP_INVARIANT(cond, detail)                                         \
+  do {                                                                     \
+    if (::qp::check_internal::CheckEnabled() && !(cond)) {                 \
+      ::qp::check_internal::ReportFailure("QP_INVARIANT", #cond, __FILE__, \
+                                          __LINE__, (detail));             \
+    }                                                                      \
+  } while (0)
+
+#endif  // QP_CHECK_CHECK_H_

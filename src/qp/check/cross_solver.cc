@@ -1,0 +1,244 @@
+#include "qp/check/cross_solver.h"
+
+#include <map>
+#include <utility>
+
+#include "qp/check/invariants.h"
+#include "qp/determinacy/selection_determinacy.h"
+#include "qp/util/random.h"
+#include "qp/workload/join_workloads.h"
+
+namespace qp {
+namespace {
+
+void RecordMismatch(CrossSolverReport* report,
+                    const CrossSolverOptions& options,
+                    CrossSolverMismatch mismatch) {
+  if (report->mismatches.size() < options.max_recorded_mismatches) {
+    report->mismatches.push_back(std::move(mismatch));
+  } else {
+    // Keep counting past the cap so ok() still reflects the run.
+    report->mismatches.back().query += " (+more)";
+  }
+}
+
+/// Prop 2.8 and Equation 2 audits on one engine quote. Any violation fires
+/// the QP_INVARIANT machinery (level-dependent) in addition to being a
+/// cross-validation failure upstream when prices disagree.
+Status AuditQuote(const Instance& db, const SelectionPriceSet& prices,
+                  const ConjunctiveQuery& query, const PriceQuote& quote,
+                  const char* context) {
+  CheckPriceNonNegative(quote.solution.price, context);
+  Money bound = DeterminingCoverCost(db.catalog(), prices,
+                                     query.ReferencedRelations());
+  CheckPriceUpperBound(quote.solution.price, bound, context);
+  // The reported optimal support must really determine the query and cost
+  // exactly the quoted price (Equation 2).
+  if (!IsInfinite(quote.solution.price) && quote.solution.support_tracked &&
+      quote.solution.pair_support.empty()) {
+    CheckSupportCost(quote.solution, prices, context);
+    auto determines =
+        SelectionViewsDetermine(db, quote.solution.support, query);
+    if (!determines.ok()) return determines.status();
+    QP_INVARIANT(*determines,
+                 std::string(context) +
+                     ": quoted support does not determine the query "
+                     "(Equation 2 minimizes over determining sets only)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string CrossSolverMismatch::ToString() const {
+  return instance + " / " + query + " [" + solver +
+         "]: engine=" + MoneyToString(engine_price) +
+         " oracle=" + MoneyToString(oracle_price);
+}
+
+std::string CrossSolverReport::Summary() const {
+  std::string out = std::to_string(instances) + " instances, " +
+                    std::to_string(queries_checked) + " queries, " +
+                    std::to_string(bundles_checked) + " bundles, " +
+                    std::to_string(pairs_checked) +
+                    " subadditivity pairs, " + std::to_string(skipped) +
+                    " skipped: " +
+                    (ok() ? "all solvers agree"
+                          : std::to_string(mismatches.size()) +
+                                " MISMATCHES");
+  for (const CrossSolverMismatch& m : mismatches) {
+    out += "\n  " + m.ToString();
+  }
+  return out;
+}
+
+Status CrossValidateQueries(const Instance& db,
+                            const SelectionPriceSet& prices,
+                            const std::vector<ConjunctiveQuery>& queries,
+                            const CrossSolverOptions& options,
+                            const std::string& label,
+                            CrossSolverReport* report) {
+  PricingEngine engine(&db, &prices);
+  ++report->instances;
+  std::vector<Money> member_prices;
+
+  for (const ConjunctiveQuery& query : queries) {
+    auto oracle =
+        PriceByExhaustiveSearch(db, prices, query, options.exhaustive);
+    if (!oracle.ok()) {
+      if (oracle.status().code() == StatusCode::kResourceExhausted) {
+        ++report->skipped;
+        continue;
+      }
+      return oracle.status();
+    }
+    auto quote = engine.Price(query);
+    if (!quote.ok()) return quote.status();
+    ++report->queries_checked;
+    member_prices.push_back(quote->solution.price);
+    if (quote->solution.price != oracle->price) {
+      RecordMismatch(report, options,
+                     CrossSolverMismatch{label, query.name(), quote->solver,
+                                         quote->solution.price,
+                                         oracle->price});
+    }
+    if (options.audit_invariants) {
+      QP_RETURN_IF_ERROR(
+          AuditQuote(db, prices, query, *quote, "cross_solver"));
+    }
+  }
+
+  if (options.check_bundles && queries.size() >= 2 &&
+      member_prices.size() == queries.size()) {
+    auto oracle =
+        PriceByExhaustiveSearch(db, prices, queries, options.exhaustive);
+    if (!oracle.ok()) {
+      if (oracle.status().code() == StatusCode::kResourceExhausted) {
+        ++report->skipped;
+        return Status::Ok();
+      }
+      return oracle.status();
+    }
+    auto bundle = engine.PriceBundle(queries);
+    if (!bundle.ok()) return bundle.status();
+    ++report->bundles_checked;
+    if (bundle->solution.price != oracle->price) {
+      RecordMismatch(report, options,
+                     CrossSolverMismatch{label, "bundle", bundle->solver,
+                                         bundle->solution.price,
+                                         oracle->price});
+    }
+    if (options.audit_invariants) {
+      // Prop 2.8 subadditivity on the sampled pair, plus the dual lower
+      // bound: the bundle determines every member, so it cannot be cheaper
+      // than any one of them.
+      Money sum = 0;
+      Money max_member = 0;
+      for (Money p : member_prices) {
+        sum = AddMoney(sum, p);
+        if (p > max_member) max_member = p;
+      }
+      ++report->pairs_checked;
+      CheckSubadditive(bundle->solution.price, sum, "cross_solver bundle");
+      QP_INVARIANT(bundle->solution.price >= max_member,
+                   std::string("cross_solver bundle: bundle priced below "
+                               "one of its members (determinacy is "
+                               "monotone in the bundle, Lemma 2.6)"));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<CrossSolverReport> CrossValidate(
+    const Instance& db, const SelectionPriceSet& prices,
+    const std::vector<ConjunctiveQuery>& queries,
+    const CrossSolverOptions& options) {
+  CrossSolverReport report;
+  QP_RETURN_IF_ERROR(CrossValidateQueries(db, prices, queries, options,
+                                          "instance", &report));
+  return report;
+}
+
+ConjunctiveQuery AtomPrefixQuery(const ConjunctiveQuery& q, int num_atoms) {
+  ConjunctiveQuery out(q.name() + "_prefix" + std::to_string(num_atoms));
+  std::map<VarId, VarId> remap;
+  auto mapped = [&](VarId v) {
+    auto it = remap.find(v);
+    if (it != remap.end()) return it->second;
+    VarId nv = out.AddVar(q.var_name(v));
+    remap.emplace(v, nv);
+    // Full query: every retained variable goes into the head.
+    out.AddHeadVar(nv);
+    return nv;
+  };
+  int keep = num_atoms < static_cast<int>(q.atoms().size())
+                 ? num_atoms
+                 : static_cast<int>(q.atoms().size());
+  for (int a = 0; a < keep; ++a) {
+    std::vector<Term> args;
+    for (const Term& t : q.atoms()[a].args) {
+      args.push_back(t.is_var() ? Term::MakeVar(mapped(t.var)) : t);
+    }
+    out.AddAtom(q.atoms()[a].rel, std::move(args));
+  }
+  for (const UnaryPredicate& p : q.predicates()) {
+    auto it = remap.find(p.var);
+    if (it != remap.end()) {
+      out.AddPredicate(UnaryPredicate{it->second, p.op, p.rhs});
+    }
+  }
+  return out;
+}
+
+Result<CrossSolverReport> CrossValidateRandom(
+    int num_instances, uint64_t seed, const CrossSolverOptions& options) {
+  // Rotate through every solver-relevant shape: chains and stars exercise
+  // the min-cut / GChQ pipeline, cycles and H1–H3 the clause solver, and
+  // the per-instance bundle the merged-min-cut / clause bundle paths.
+  static constexpr const char* kShapes[] = {"chain1", "chain2", "star2",
+                                            "cycle3", "h1", "h2", "h3"};
+  constexpr int kNumShapes = 7;
+  Rng rng(seed);
+  CrossSolverReport report;
+  for (int i = 0; i < num_instances; ++i) {
+    const char* shape = kShapes[i % kNumShapes];
+    JoinWorkloadParams params;
+    params.column_size = static_cast<int>(rng.NextInRange(2, 3));
+    params.tuple_density = 0.2 + 0.6 * rng.NextDouble();
+    params.priced_fraction = rng.NextBool(0.5) ? 1.0 : 0.7;
+    params.min_price = 1;
+    params.max_price = 9;
+    params.seed = rng.Next();
+
+    Result<Workload> w = Status::InvalidArgument("unset");
+    if (std::string(shape) == "chain1") {
+      w = MakeChainWorkload(1, params);
+    } else if (std::string(shape) == "chain2") {
+      w = MakeChainWorkload(2, params);
+    } else if (std::string(shape) == "star2") {
+      w = MakeStarWorkload(2, params);
+    } else if (std::string(shape) == "cycle3") {
+      w = MakeCycleWorkload(3, params);
+    } else if (std::string(shape) == "h1") {
+      w = MakeHardQueryWorkload(HardQuery::kH1, params);
+    } else if (std::string(shape) == "h2") {
+      w = MakeHardQueryWorkload(HardQuery::kH2, params);
+    } else {
+      w = MakeHardQueryWorkload(HardQuery::kH3, params);
+    }
+    if (!w.ok()) return w.status();
+
+    std::vector<ConjunctiveQuery> queries = {w->query};
+    int atoms = static_cast<int>(w->query.atoms().size());
+    if (atoms >= 2) queries.push_back(AtomPrefixQuery(w->query, atoms - 1));
+
+    std::string label =
+        std::string(shape) + "#" + std::to_string(i) + "(c" +
+        std::to_string(params.column_size) + ")";
+    QP_RETURN_IF_ERROR(CrossValidateQueries(*w->db, w->prices, queries,
+                                            options, label, &report));
+  }
+  return report;
+}
+
+}  // namespace qp

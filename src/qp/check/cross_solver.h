@@ -1,0 +1,99 @@
+#ifndef QP_CHECK_CROSS_SOLVER_H_
+#define QP_CHECK_CROSS_SOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "qp/pricing/engine.h"
+#include "qp/pricing/exhaustive_solver.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Differential-oracle validation of the production solvers: every query is
+/// priced twice, once through the engine's dichotomy dispatch (chain /
+/// GChQ / clause / bundle solvers) and once by the exhaustive
+/// branch-and-bound oracle (`PriceByExhaustiveSearch`), which minimizes
+/// Equation 2 directly with the Theorem 3.3 determinacy oracle and is
+/// ground truth by construction. Any price disagreement is a solver bug.
+/// Used by the `qp_selfcheck` tool and the `selfcheck`-labelled tests.
+
+struct CrossSolverOptions {
+  /// Limits of the exhaustive oracle; instances whose view count exceeds
+  /// `exhaustive.max_views` are counted as skipped, not failed.
+  ExhaustiveSolverOptions exhaustive;
+  /// Also cross-validate PriceBundle on the whole query list (covers the
+  /// merged-min-cut and clause bundle solvers) and audit subadditivity.
+  bool check_bundles = true;
+  /// Audit every engine quote against the Prop 2.8 invariants and verify
+  /// its support really determines the query (Theorem 3.3 oracle).
+  bool audit_invariants = true;
+  /// Cap on recorded mismatch details (the counters keep counting).
+  size_t max_recorded_mismatches = 32;
+};
+
+struct CrossSolverMismatch {
+  /// Which workload / instance the disagreement occurred on.
+  std::string instance;
+  /// Display form or name of the query (or "bundle(...)").
+  std::string query;
+  /// The engine-side solver that produced the disagreeing price.
+  std::string solver;
+  Money engine_price = 0;
+  Money oracle_price = 0;
+
+  std::string ToString() const;
+};
+
+struct CrossSolverReport {
+  int instances = 0;
+  int queries_checked = 0;
+  int bundles_checked = 0;
+  /// Subadditivity samples audited (Prop 2.8 on query pairs).
+  int pairs_checked = 0;
+  /// Oracle refused (view-count / node limits); not a failure.
+  int skipped = 0;
+  std::vector<CrossSolverMismatch> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+  /// One-line human summary, e.g. for the selfcheck tool.
+  std::string Summary() const;
+};
+
+/// Cross-validates each query of `queries` (and, when enabled, their
+/// bundle) on one instance, appending to `report`. `label` names the
+/// instance in mismatch records.
+Status CrossValidateQueries(const Instance& db,
+                            const SelectionPriceSet& prices,
+                            const std::vector<ConjunctiveQuery>& queries,
+                            const CrossSolverOptions& options,
+                            const std::string& label,
+                            CrossSolverReport* report);
+
+/// Convenience wrapper over one instance, returning a fresh report.
+Result<CrossSolverReport> CrossValidate(
+    const Instance& db, const SelectionPriceSet& prices,
+    const std::vector<ConjunctiveQuery>& queries,
+    const CrossSolverOptions& options = {});
+
+/// Generates `num_instances` randomized small pricing problems — chains,
+/// stars, cycles and the Theorem 3.5 hard queries H1–H3 over random data,
+/// prices and coverage — and cross-validates each. Every instance checks
+/// the workload query, an atom-prefix subquery, and their two-member
+/// bundle, so the chain, GChQ, clause, bundle and exhaustive solvers all
+/// disagree-or-agree on every instance. Deterministic in `seed`.
+Result<CrossSolverReport> CrossValidateRandom(
+    int num_instances, uint64_t seed, const CrossSolverOptions& options = {});
+
+/// The full sub-query over the first `num_atoms` body atoms of `q`: retained
+/// variables are remapped compactly, every retained variable is in the
+/// head, and predicates on retained variables are kept. Used to derive a
+/// second query (and hence bundles / subadditivity pairs) from one-query
+/// workloads.
+ConjunctiveQuery AtomPrefixQuery(const ConjunctiveQuery& q, int num_atoms);
+
+}  // namespace qp
+
+#endif  // QP_CHECK_CROSS_SOLVER_H_

@@ -1,0 +1,107 @@
+#include "qp/check/invariants.h"
+
+#include <string>
+
+#include "qp/pricing/consistency.h"
+
+namespace qp {
+namespace {
+
+std::string PriceDetail(const char* context, Money a, Money b) {
+  return std::string(context) + ": " + MoneyToString(a) + " vs " +
+         MoneyToString(b);
+}
+
+}  // namespace
+
+bool CheckPriceNonNegative(Money price, const char* context) {
+  bool ok = price >= 0;
+  QP_INVARIANT(ok, std::string(context) +
+                       ": negative arbitrage-price violates Prop 2.8: " +
+                       std::to_string(price));
+  return ok;
+}
+
+bool CheckPriceUpperBound(Money price, Money bound, const char* context) {
+  bool ok = price <= bound;
+  QP_INVARIANT(ok, std::string(context) +
+                       ": price exceeds the determining-cover bound "
+                       "(Lemma 3.1): " +
+                       PriceDetail("price vs bound", price, bound));
+  return ok;
+}
+
+bool CheckSubadditive(Money bundle_price, Money sum_of_member_prices,
+                      const char* context) {
+  bool ok = bundle_price <= sum_of_member_prices;
+  QP_INVARIANT(ok, std::string(context) +
+                       ": bundle priced above the sum of its members "
+                       "violates subadditivity (Prop 2.8): " +
+                       PriceDetail("bundle vs sum", bundle_price,
+                                   sum_of_member_prices));
+  return ok;
+}
+
+bool CheckMonotoneReprice(Money before, Money after, const char* context) {
+  bool ok = after >= before;
+  QP_INVARIANT(ok, std::string(context) +
+                       ": price decreased under insertion despite monotone "
+                       "determinacy (Prop 2.20/2.22): " +
+                       PriceDetail("before vs after", before, after));
+  return ok;
+}
+
+bool CheckSellerConsistency(const Catalog& catalog,
+                            const SelectionPriceSet& prices,
+                            const char* context) {
+  ConsistencyReport report = CheckSelectionConsistency(catalog, prices);
+  for (const ConsistencyViolation& v : report.violations) {
+    QP_INVARIANT(false, std::string(context) +
+                            ": seller price points admit arbitrage "
+                            "(Thm 2.15 / Prop 3.2): " + v.ToString(catalog));
+  }
+  return report.consistent;
+}
+
+bool CheckSupportCost(const PricingSolution& solution,
+                      const SelectionPriceSet& prices, const char* context) {
+  if (!solution.support_tracked || !solution.pair_support.empty() ||
+      IsInfinite(solution.price)) {
+    return true;
+  }
+  Money support_cost = 0;
+  for (const SelectionView& view : solution.support) {
+    support_cost = AddMoney(support_cost, prices.Get(view));
+  }
+  bool ok = support_cost == solution.price;
+  QP_INVARIANT(ok, std::string(context) +
+                       ": optimal support does not cost the quoted price "
+                       "(Equation 2): " +
+                       PriceDetail("support vs price", support_cost,
+                                   solution.price));
+  return ok;
+}
+
+bool CheckSolutionInvariants(const PricingSolution& solution, Money bound,
+                             const char* context) {
+  bool ok = CheckPriceNonNegative(solution.price, context);
+  ok = CheckPriceUpperBound(solution.price, bound, context) && ok;
+  return ok;
+}
+
+Money DeterminingCoverCost(const Catalog& catalog,
+                           const SelectionPriceSet& prices,
+                           const std::vector<RelationId>& relations) {
+  Money total = 0;
+  for (RelationId rel : relations) {
+    Money best = kInfiniteMoney;
+    for (int pos = 0; pos < catalog.schema().arity(rel); ++pos) {
+      Money cover = prices.FullCoverCost(catalog, AttrRef{rel, pos});
+      if (cover < best) best = cover;
+    }
+    total = AddMoney(total, best);
+  }
+  return total;
+}
+
+}  // namespace qp

@@ -1,0 +1,71 @@
+#ifndef QP_CHECK_INVARIANTS_H_
+#define QP_CHECK_INVARIANTS_H_
+
+#include <vector>
+
+#include "qp/check/check.h"
+#include "qp/pricing/money.h"
+#include "qp/pricing/price_points.h"
+#include "qp/pricing/solution.h"
+#include "qp/relational/catalog.h"
+
+namespace qp {
+
+/// Checkers for the paper's pricing contracts. Each returns true when the
+/// contract holds and otherwise fires the QP_INVARIANT machinery (so the
+/// outcome — log line, failure count, abort — follows QP_CHECK_LEVEL).
+/// They are wired into the pricers and solvers at their return boundaries;
+/// tests and `qp_selfcheck` also call them directly.
+
+/// Proposition 2.8(2): arbitrage-prices are non-negative.
+bool CheckPriceNonNegative(Money price, const char* context);
+
+/// Every query is determined by the whole database, so its arbitrage-price
+/// never exceeds the price of a determining cover of the relations it
+/// reads (Lemma 3.1 gives that cover for selection views). `bound` is
+/// typically `DeterminingCoverCost(...)`; kInfiniteMoney bounds trivially.
+bool CheckPriceUpperBound(Money price, Money bound, const char* context);
+
+/// Proposition 2.8(3) subadditivity: the price of a bundle is at most the
+/// sum of its members' prices. Call sites sample query pairs (exhaustively
+/// checking all bundles is the NP-hard pricing problem itself).
+bool CheckSubadditive(Money bundle_price, Money sum_of_member_prices,
+                      const char* context);
+
+/// Propositions 2.20/2.22: for monotone determinacy (full CQs over
+/// selection views) the arbitrage-price never decreases under insertions.
+bool CheckMonotoneReprice(Money before, Money after, const char* context);
+
+/// Theorem 2.15 (Proposition 3.2 for selection views): the seller's price
+/// points admit no internal arbitrage — no explicit view is answerable
+/// more cheaply from the other points. Fires once per violating point.
+bool CheckSellerConsistency(const Catalog& catalog,
+                            const SelectionPriceSet& prices,
+                            const char* context);
+
+/// A solution's support must pay for itself: its total explicit price
+/// equals the quoted price (the support *is* the cheapest determining
+/// purchase of Equation 2). Only valid where each support view is bought
+/// exactly once — a single min-cut solve or subset-enumeration pricer; the
+/// GChQ/component compositions deduplicate merged supports, so their
+/// boundaries skip this check. No-op unless the support is tracked, finite
+/// and free of pair views.
+bool CheckSupportCost(const PricingSolution& solution,
+                      const SelectionPriceSet& prices, const char* context);
+
+/// Composite return-boundary check used by the engine and batch pricers:
+/// non-negativity + determining-cover upper bound in one call.
+bool CheckSolutionInvariants(const PricingSolution& solution, Money bound,
+                             const char* context);
+
+/// The cost of fully covering every relation in `relations` with explicit
+/// selection views: Σ_R min_X FullCoverCost(R.X) (Lemma 3.1), i.e. the
+/// cheapest purchase that provably determines those relations outright.
+/// kInfiniteMoney when some relation has no fully priced attribute.
+Money DeterminingCoverCost(const Catalog& catalog,
+                           const SelectionPriceSet& prices,
+                           const std::vector<RelationId>& relations);
+
+}  // namespace qp
+
+#endif  // QP_CHECK_INVARIANTS_H_

@@ -1,18 +1,22 @@
 #include "qp/flow/max_flow.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
+#include <limits>
+#include <string>
+
+#include "qp/check/check.h"
 
 namespace qp {
 
 FlowNetwork::NodeId FlowNetwork::AddNode() { return AddNodes(1); }
 
 FlowNetwork::NodeId FlowNetwork::AddNodes(int count) {
+  QP_ASSERT(count >= 0, "AddNodes called with negative count");
   NodeId first = num_nodes_;
   num_nodes_ += count;
   if (static_cast<size_t>(num_nodes_) > adjacency_.size()) {
-    adjacency_.resize(num_nodes_);
+    adjacency_.resize(static_cast<size_t>(num_nodes_));
   }
   // Slots recycled from a previous build keep their buffer capacity.
   for (NodeId n = first; n < num_nodes_; ++n) adjacency_[n].clear();
@@ -25,12 +29,20 @@ void FlowNetwork::Reset() {
   original_capacity_.clear();
   source_ = -1;
   sink_ = -1;
+  last_flow_ = -1;
 }
 
 FlowNetwork::EdgeId FlowNetwork::AddEdge(NodeId from, NodeId to,
                                          int64_t capacity) {
-  assert(from >= 0 && from < num_nodes());
-  assert(to >= 0 && to < num_nodes());
+  QP_ASSERT(from >= 0 && from < num_nodes(),
+            "AddEdge: 'from' node out of range");
+  QP_ASSERT(to >= 0 && to < num_nodes(), "AddEdge: 'to' node out of range");
+  // Half-edge indexes are stored as int32_t in the adjacency lists; the
+  // graphs the solvers build are far below this, so an overflow means a
+  // runaway construction, not a legitimate workload.
+  QP_ASSERT(edges_.size() + 2 <
+                static_cast<size_t>(std::numeric_limits<int32_t>::max()),
+            "AddEdge: edge index would overflow int32");
   if (capacity > kInfiniteCapacity) capacity = kInfiniteCapacity;
   if (capacity < 0) capacity = 0;
   EdgeId id = static_cast<EdgeId>(edges_.size() / 2);
@@ -43,7 +55,7 @@ FlowNetwork::EdgeId FlowNetwork::AddEdge(NodeId from, NodeId to,
 }
 
 bool FlowNetwork::Bfs() {
-  level_.assign(num_nodes(), -1);
+  level_.assign(static_cast<size_t>(num_nodes()), -1);
   std::deque<NodeId> queue;
   level_[source_] = 0;
   queue.push_back(source_);
@@ -77,24 +89,61 @@ int64_t FlowNetwork::Dfs(NodeId node, int64_t limit) {
   return 0;
 }
 
+void FlowNetwork::CheckFlowConservation(int64_t total) const {
+  if (!check_internal::CheckEnabled()) return;
+  if (total < 0 || total >= kInfiniteCapacity) return;
+  // Net outflow per node: +f on the tail, -f on the head of each edge.
+  std::vector<int64_t> net(static_cast<size_t>(num_nodes()), 0);
+  for (size_t half = 0; half + 1 < edges_.size(); half += 2) {
+    size_t e = half / 2;
+    int64_t flow = original_capacity_[e] - edges_[half].capacity;
+    QP_ASSERT(flow >= 0 && flow <= original_capacity_[e],
+              "edge flow outside [0, capacity] after MaxFlow");
+    NodeId from = edges_[half + 1].to;
+    NodeId to = edges_[half].to;
+    net[from] += flow;
+    net[to] -= flow;
+  }
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (v == source_) {
+      QP_INVARIANT(net[v] == total,
+                   "flow out of the source differs from the max-flow value");
+    } else if (v == sink_) {
+      QP_INVARIANT(net[v] == -total,
+                   "flow into the sink differs from the max-flow value");
+    } else {
+      QP_INVARIANT(net[v] == 0,
+                   "flow conservation violated at node " + std::to_string(v));
+    }
+  }
+}
+
 int64_t FlowNetwork::MaxFlow(NodeId source, NodeId sink) {
-  assert(source != sink);
+  QP_ASSERT(source >= 0 && source < num_nodes(),
+            "MaxFlow: source out of range");
+  QP_ASSERT(sink >= 0 && sink < num_nodes(), "MaxFlow: sink out of range");
+  QP_ASSERT(source != sink, "MaxFlow: source equals sink");
   source_ = source;
   sink_ = sink;
   int64_t total = 0;
   while (Bfs()) {
-    iter_.assign(num_nodes(), 0);
+    iter_.assign(static_cast<size_t>(num_nodes()), 0);
     while (int64_t pushed = Dfs(source_, kInfiniteCapacity)) {
       total = SaturatingAddCapacity(total, pushed);
-      if (total >= kInfiniteCapacity) return kInfiniteCapacity;
+      if (total >= kInfiniteCapacity) {
+        last_flow_ = kInfiniteCapacity;
+        return kInfiniteCapacity;
+      }
     }
   }
+  CheckFlowConservation(total);
+  last_flow_ = total;
   return total;
 }
 
 std::vector<FlowNetwork::EdgeId> FlowNetwork::MinCutEdges() const {
   // Nodes reachable from the source in the residual graph.
-  std::vector<bool> reachable(num_nodes(), false);
+  std::vector<bool> reachable(static_cast<size_t>(num_nodes()), false);
   std::deque<NodeId> queue;
   reachable[source_] = true;
   queue.push_back(source_);
@@ -116,6 +165,20 @@ std::vector<FlowNetwork::EdgeId> FlowNetwork::MinCutEdges() const {
     if (reachable[from] && !reachable[to]) {
       cut.push_back(static_cast<EdgeId>(half / 2));
     }
+  }
+  // Max-flow/min-cut duality (the exactness of the Theorem 3.13
+  // reduction): the cut's total original capacity equals the flow value
+  // MaxFlow just computed.
+  if (check_internal::CheckEnabled() && last_flow_ >= 0 &&
+      last_flow_ < kInfiniteCapacity) {
+    int64_t cut_capacity = 0;
+    for (EdgeId e : cut) {
+      cut_capacity = SaturatingAddCapacity(cut_capacity, original_capacity_[e]);
+    }
+    QP_INVARIANT(cut_capacity == last_flow_,
+                 "min-cut capacity " + std::to_string(cut_capacity) +
+                     " != max-flow value " + std::to_string(last_flow_) +
+                     " (LP duality violated)");
   }
   return cut;
 }

@@ -61,7 +61,8 @@ class FlowNetwork {
 
   /// After MaxFlow: the edges of a minimum cut (source side -> sink side in
   /// the residual graph). Only meaningful when MaxFlow returned a finite
-  /// value.
+  /// value. Checks max-flow/min-cut duality (the exactness argument of
+  /// Theorem 3.13) when QP_CHECK_LEVEL enables invariants.
   std::vector<EdgeId> MinCutEdges() const;
 
  private:
@@ -73,6 +74,12 @@ class FlowNetwork {
   bool Bfs();
   int64_t Dfs(NodeId node, int64_t limit);
 
+  /// Invariant check after MaxFlow: per-edge flow within capacity and flow
+  /// conservation at every node except source/sink, with net outflow
+  /// `total` at the source. No-op at QP_CHECK_LEVEL=off or on unbounded
+  /// flows.
+  void CheckFlowConservation(int64_t total) const;
+
   std::vector<HalfEdge> edges_;  // pairs: forward at 2e, backward at 2e+1
   std::vector<int64_t> original_capacity_;
   /// Slots [0, num_nodes_) are live; slots beyond are kept (with their
@@ -83,6 +90,9 @@ class FlowNetwork {
   std::vector<std::size_t> iter_;
   NodeId source_ = -1;
   NodeId sink_ = -1;
+  /// Value returned by the most recent MaxFlow (-1 before any run), used
+  /// by MinCutEdges to assert duality.
+  int64_t last_flow_ = -1;
 };
 
 }  // namespace qp

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "qp/check/invariants.h"
+
 namespace qp {
 
 ArbitragePricer::ArbitragePricer(const Instance* db,
@@ -53,6 +55,26 @@ Result<ArbitrageQuote> ArbitragePricer::Price(const QueryBundle& query) const {
       }
     }
   }
+  // Return-boundary invariants: the arbitrage-price is non-negative
+  // (Prop 2.8) and, when finite, its support — a subset of the explicit
+  // points — costs exactly the quoted price (Equation 2).
+  if (check_internal::CheckEnabled()) {
+    CheckPriceNonNegative(best.price, "ArbitragePricer::Price");
+    if (!IsInfinite(best.price)) {
+      Money support_cost = 0;
+      for (const std::string& name : best.support) {
+        for (const GeneralPricePoint& point : points_) {
+          if (point.name == name) {
+            support_cost = AddMoney(support_cost, point.price);
+            break;
+          }
+        }
+      }
+      QP_INVARIANT(support_cost == best.price,
+                   "ArbitragePricer::Price: support does not cost the "
+                   "quoted price (Equation 2)");
+    }
+  }
   return best;
 }
 
@@ -66,6 +88,13 @@ Result<GeneralConsistencyReport> ArbitragePricer::CheckConsistency() const {
       report.violations.push_back(GeneralInconsistency{
           point.name, point.price, quote->price, quote->support});
     }
+  }
+  // Thm 2.15 boundary: every reported violation must be a genuine
+  // arbitrage opportunity (strictly cheaper support).
+  for (const GeneralInconsistency& v : report.violations) {
+    QP_INVARIANT(v.arbitrage_price < v.explicit_price,
+                 "ArbitragePricer::CheckConsistency: violation for '" +
+                     v.point_name + "' is not actually cheaper (Thm 2.15)");
   }
   return report;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "qp/check/invariants.h"
 #include "qp/util/thread_pool.h"
 
 namespace qp {
@@ -18,6 +19,10 @@ Result<PriceQuote> BatchPricer::Price(const ConjunctiveQuery& query) const {
   if (cache_ == nullptr) return engine_->Price(query);
   std::string fingerprint = query.Fingerprint();
   if (auto cached = cache_->Lookup(fingerprint, engine_->db())) {
+    // Cache-served quotes bypass the engine's return-boundary checks, so
+    // re-assert Prop 2.8 non-negativity here (guards against a corrupted
+    // or wrongly-keyed entry).
+    CheckPriceNonNegative(cached->solution.price, "BatchPricer::Price");
     return *std::move(cached);
   }
   auto quote = engine_->Price(query);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "qp/check/invariants.h"
 #include "qp/flow/max_flow.h"
 #include "qp/query/analysis.h"
 #include "qp/util/hash.h"
@@ -275,6 +276,8 @@ Result<PricingSolution> PriceChainBundleByMergedCut(
     }
     solution.support.assign(support.begin(), support.end());
   }
+  // Return-boundary invariant (Prop 2.8) on the merged-cut bundle price.
+  CheckPriceNonNegative(solution.price, "PriceChainBundleByMergedCut");
   return solution;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "qp/check/invariants.h"
 #include "qp/flow/max_flow.h"
 #include "qp/util/hash.h"
 
@@ -363,6 +364,10 @@ Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
     }
   }
   solution.support.assign(support.begin(), support.end());
+  // Return-boundary invariant (Prop 2.8): a min-cut value is a price and
+  // must be non-negative. Duality (cut == flow) is asserted inside
+  // FlowNetwork::MinCutEdges.
+  CheckPriceNonNegative(solution.price, "SolveChainMinCut");
   return solution;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "qp/check/invariants.h"
 #include "qp/pricing/batch_pricer.h"
 
 namespace qp {
@@ -69,6 +70,19 @@ Result<std::vector<DynamicPricer::PriceChange>> DynamicPricer::Insert(
       stale[i]->last_quote = std::move(*quotes[i]);
       changes[stale_change_idx[i]].after =
           stale[i]->last_quote.solution.price;
+    }
+  }
+  // Return-boundary invariant (Prop 2.20 via Prop 2.22): full CQs over
+  // selection views have monotone determinacy, so no watched quote may
+  // move down under insertions — on the re-solved *and* the cache-served
+  // paths.
+  if (check_internal::CheckEnabled()) {
+    for (const PriceChange& change : changes) {
+      auto it = watched_.find(change.query);
+      if (it != watched_.end() && MonotonicityGuaranteed(it->second.query)) {
+        CheckMonotoneReprice(change.before, change.after,
+                             "DynamicPricer::Insert");
+      }
     }
   }
   return changes;

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "qp/check/invariants.h"
+#include "qp/determinacy/selection_determinacy.h"
 #include "qp/eval/evaluator.h"
 #include "qp/pricing/boolean_pricer.h"
 #include "qp/pricing/bundle_solver.h"
@@ -72,6 +74,20 @@ bool PricingEngine::SellsWholeDatabase() const {
 }
 
 Result<PriceQuote> PricingEngine::Price(const ConjunctiveQuery& query) const {
+  auto quote = PriceDispatch(query);
+  // Return-boundary invariants (Prop 2.8 / Lemma 3.1): quoted prices are
+  // non-negative and never exceed the cost of buying full covers of every
+  // relation the query reads. Skipped entirely at QP_CHECK_LEVEL=off.
+  if (quote.ok() && check_internal::CheckEnabled()) {
+    Money bound = DeterminingCoverCost(db_->catalog(), *prices_,
+                                       query.ReferencedRelations());
+    CheckSolutionInvariants(quote->solution, bound, "PricingEngine::Price");
+  }
+  return quote;
+}
+
+Result<PriceQuote> PricingEngine::PriceDispatch(
+    const ConjunctiveQuery& query) const {
   std::vector<std::vector<int>> components = query.ConnectedComponents();
   if (components.size() <= 1) return PriceConnected(query);
 
@@ -216,10 +232,28 @@ Result<PriceQuote> PricingEngine::PriceUnion(const UnionQuery& query) const {
   out.ptime = false;
   out.solver = "exhaustive-search(ucq)";
   out.explanation = "union of CQs priced by exact search (Cor 3.4)";
+  if (check_internal::CheckEnabled()) {
+    Money bound = DeterminingCoverCost(db_->catalog(), *prices_,
+                                       RelationsOf(query.disjuncts));
+    CheckSolutionInvariants(out.solution, bound,
+                            "PricingEngine::PriceUnion");
+  }
   return out;
 }
 
 Result<PriceQuote> PricingEngine::PriceBundle(
+    const std::vector<ConjunctiveQuery>& queries) const {
+  auto quote = PriceBundleDispatch(queries);
+  if (quote.ok() && check_internal::CheckEnabled()) {
+    Money bound =
+        DeterminingCoverCost(db_->catalog(), *prices_, RelationsOf(queries));
+    CheckSolutionInvariants(quote->solution, bound,
+                            "PricingEngine::PriceBundle");
+  }
+  return quote;
+}
+
+Result<PriceQuote> PricingEngine::PriceBundleDispatch(
     const std::vector<ConjunctiveQuery>& queries) const {
   PriceQuote out;
   if (queries.empty()) {

@@ -73,6 +73,9 @@ class PricingEngine {
   const SelectionPriceSet& prices() const { return *prices_; }
 
  private:
+  Result<PriceQuote> PriceDispatch(const ConjunctiveQuery& query) const;
+  Result<PriceQuote> PriceBundleDispatch(
+      const std::vector<ConjunctiveQuery>& queries) const;
   Result<PriceQuote> PriceConnected(const ConjunctiveQuery& query) const;
   Result<PriceQuote> PriceBoolean(const ConjunctiveQuery& query) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "qp/check/invariants.h"
 #include "qp/flow/max_flow.h"
 
 namespace qp {
@@ -185,7 +186,12 @@ Result<PricingSolution> PriceGChQQuery(const Instance& db,
   // One flow network reused across every chain solved by the
   // hanging-variable case splits of Step 3 (up to 2^h of them).
   FlowNetwork scratch;
-  return SolveNormalized(*problem, options, stats, &scratch);  // Steps 3 + 4
+  auto solution = SolveNormalized(*problem, options, stats, &scratch);
+  // Return-boundary invariant (Prop 2.8) on the Steps 3 + 4 result.
+  if (solution.ok()) {
+    CheckPriceNonNegative(solution->price, "PriceGChQQuery");
+  }
+  return solution;
 }
 
 }  // namespace qp

@@ -1,10 +1,10 @@
 #ifndef QP_UTIL_RESULT_H_
 #define QP_UTIL_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "qp/check/check.h"
 #include "qp/util/status.h"
 
 namespace qp {
@@ -20,7 +20,8 @@ class Result {
  public:
   /// Implicit construction from an error status. The status must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    QP_ASSERT(!status_.ok(),
+              "Result constructed from OK status without a value");
   }
   /// Implicit construction from a value.
   Result(T value) : value_(std::move(value)) {}  // NOLINT
@@ -29,15 +30,15 @@ class Result {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    QP_ASSERT(ok(), "value() called on error Result: " + status_.ToString());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    QP_ASSERT(ok(), "value() called on error Result: " + status_.ToString());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    QP_ASSERT(ok(), "value() called on error Result: " + status_.ToString());
     return std::move(*value_);
   }
 

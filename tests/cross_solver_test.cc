@@ -1,0 +1,122 @@
+// Differential-oracle tests (ctest label: selfcheck): every production
+// solver must agree with the exhaustive branch-and-bound oracle on the
+// paper fixtures, the Theorem 3.5 hard queries, and randomized workloads.
+// Excludable in a hurry with `ctest -LE selfcheck`.
+
+#include "qp/check/cross_solver.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/check/check.h"
+#include "qp/workload/join_workloads.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(CrossSolverTest, Example38QueryAndPrefixBundleAgree) {
+  ScopedCheckLevel scope(CheckLevel::kAbort);
+  Example38 e = Example38::Make();
+  // Q itself plus its two-atom prefix R(x), S(x,y) — their bundle covers
+  // the engine's bundle path too.
+  std::vector<ConjunctiveQuery> queries = {
+      e.query, AtomPrefixQuery(e.query, 2)};
+  QP_ASSERT_OK_AND_ASSIGN(CrossSolverReport report,
+                          CrossValidate(*e.db, e.prices, queries));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.queries_checked, 2);
+  EXPECT_EQ(report.bundles_checked, 1);
+  EXPECT_EQ(report.skipped, 0);
+  EXPECT_EQ(CheckFailureCount(), 0u);
+}
+
+TEST(CrossSolverTest, HardQueriesAgreeWithOracle) {
+  ScopedCheckLevel scope(CheckLevel::kAbort);
+  for (HardQuery hq : {HardQuery::kH1, HardQuery::kH2, HardQuery::kH3}) {
+    for (uint64_t seed : {11u, 12u, 13u}) {
+      JoinWorkloadParams params;
+      params.column_size = 2;
+      params.tuple_density = 0.5;
+      params.min_price = 1;
+      params.max_price = 9;
+      params.seed = seed;
+      QP_ASSERT_OK_AND_ASSIGN(Workload w,
+                              MakeHardQueryWorkload(hq, params));
+      QP_ASSERT_OK_AND_ASSIGN(
+          CrossSolverReport report,
+          CrossValidate(*w.db, w.prices, {w.query}));
+      EXPECT_TRUE(report.ok())
+          << "hard query " << static_cast<int>(hq) << " seed " << seed
+          << ": " << report.Summary();
+    }
+  }
+  EXPECT_EQ(CheckFailureCount(), 0u);
+}
+
+TEST(CrossSolverTest, StarAndCycleWorkloadsAgreeWithOracle) {
+  ScopedCheckLevel scope(CheckLevel::kAbort);
+  JoinWorkloadParams params;
+  params.column_size = 2;
+  params.tuple_density = 0.6;
+  params.min_price = 1;
+  params.max_price = 5;
+  params.seed = 99;
+  QP_ASSERT_OK_AND_ASSIGN(Workload star, MakeStarWorkload(2, params));
+  QP_ASSERT_OK_AND_ASSIGN(
+      CrossSolverReport star_report,
+      CrossValidate(*star.db, star.prices, {star.query}));
+  EXPECT_TRUE(star_report.ok()) << star_report.Summary();
+
+  QP_ASSERT_OK_AND_ASSIGN(Workload cycle, MakeCycleWorkload(3, params));
+  QP_ASSERT_OK_AND_ASSIGN(
+      CrossSolverReport cycle_report,
+      CrossValidate(*cycle.db, cycle.prices, {cycle.query}));
+  EXPECT_TRUE(cycle_report.ok()) << cycle_report.Summary();
+  EXPECT_EQ(CheckFailureCount(), 0u);
+}
+
+TEST(CrossSolverTest, HundredRandomInstancesZeroMismatches) {
+  // The acceptance bar of the correctness-tooling issue: >= 100 randomized
+  // instances, every solver agrees with the oracle, no invariant trips.
+  ScopedCheckLevel scope(CheckLevel::kAbort);
+  QP_ASSERT_OK_AND_ASSIGN(CrossSolverReport report,
+                          CrossValidateRandom(100, /*seed=*/42));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.instances, 100);
+  EXPECT_GE(report.queries_checked, 150);
+  EXPECT_GE(report.bundles_checked, 50);
+  EXPECT_EQ(CheckFailureCount(), 0u);
+}
+
+TEST(CrossSolverTest, RandomValidationIsDeterministicInSeed) {
+  QP_ASSERT_OK_AND_ASSIGN(CrossSolverReport a, CrossValidateRandom(7, 5));
+  QP_ASSERT_OK_AND_ASSIGN(CrossSolverReport b, CrossValidateRandom(7, 5));
+  EXPECT_EQ(a.queries_checked, b.queries_checked);
+  EXPECT_EQ(a.bundles_checked, b.bundles_checked);
+  EXPECT_EQ(a.skipped, b.skipped);
+}
+
+TEST(CrossSolverTest, AtomPrefixQueryKeepsFullShape) {
+  Example38 e = Example38::Make();
+  ConjunctiveQuery prefix = AtomPrefixQuery(e.query, 2);
+  EXPECT_EQ(prefix.atoms().size(), 2u);
+  EXPECT_TRUE(prefix.IsFull());
+  EXPECT_EQ(prefix.name(), "Q_prefix2");
+}
+
+TEST(CrossSolverTest, MismatchReportingSurfacesInSummary) {
+  CrossSolverReport report;
+  report.instances = 1;
+  report.queries_checked = 1;
+  report.mismatches.push_back(
+      CrossSolverMismatch{"inst", "Q", "chain", 7, 6});
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.Summary().find("MISMATCH"), std::string::npos);
+  EXPECT_NE(report.mismatches[0].ToString().find("chain"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace qp

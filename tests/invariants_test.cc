@@ -1,0 +1,202 @@
+// Tests for the qp/check layer: the QP_ASSERT / QP_INVARIANT machinery and
+// every paper-invariant checker. Each checker has a negative test proving
+// it fires on corrupted data (at kLog, via the failure counter) and a
+// positive test proving it stays silent on the seed fixtures at kAbort.
+
+#include "qp/check/invariants.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "qp/check/check.h"
+#include "qp/pricing/engine.h"
+#include "qp/pricing/solution.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Macro machinery.
+
+TEST(CheckMachineryTest, OffLevelSkipsConditionEntirely) {
+  ScopedCheckLevel scope(CheckLevel::kOff);
+  int evaluations = 0;
+  QP_ASSERT((++evaluations, false), "must not be reported");
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(CheckFailureCount(), 0u);
+}
+
+TEST(CheckMachineryTest, LogLevelCountsAndRecordsFailures) {
+  ScopedCheckLevel scope(CheckLevel::kLog);
+  QP_INVARIANT(1 + 1 == 2, "fine");
+  EXPECT_EQ(CheckFailureCount(), 0u);
+  QP_INVARIANT(1 + 1 == 3, std::string("arithmetic is broken"));
+  QP_ASSERT(false, "second failure");
+  EXPECT_EQ(CheckFailureCount(), 2u);
+  EXPECT_NE(LastCheckFailure().find("second failure"), std::string::npos);
+  ResetCheckFailures();
+  EXPECT_EQ(CheckFailureCount(), 0u);
+  EXPECT_EQ(LastCheckFailure(), "");
+}
+
+TEST(CheckMachineryTest, ScopedLevelRestoresLevelAndCounters) {
+  const CheckLevel before = GetCheckLevel();
+  const uint64_t failures_before = CheckFailureCount();
+  {
+    ScopedCheckLevel scope(CheckLevel::kLog);
+    QP_INVARIANT(false, "tripped on purpose");
+    EXPECT_EQ(CheckFailureCount(), failures_before + 1);
+  }
+  EXPECT_EQ(GetCheckLevel(), before);
+  EXPECT_EQ(CheckFailureCount(), failures_before);
+}
+
+TEST(CheckMachineryDeathTest, AbortLevelAborts) {
+  EXPECT_DEATH(
+      {
+        SetCheckLevel(CheckLevel::kAbort);
+        QP_INVARIANT(false, "fatal by design");
+      },
+      "QP_INVARIANT");
+}
+
+// ---------------------------------------------------------------------------
+// Scalar checkers: one negative and one positive test each.
+
+TEST(InvariantCheckersTest, PriceNonNegative) {
+  ScopedCheckLevel scope(CheckLevel::kLog);
+  EXPECT_TRUE(CheckPriceNonNegative(0, "test"));
+  EXPECT_TRUE(CheckPriceNonNegative(kInfiniteMoney, "test"));
+  EXPECT_EQ(CheckFailureCount(), 0u);
+  EXPECT_FALSE(CheckPriceNonNegative(-1, "test"));
+  EXPECT_EQ(CheckFailureCount(), 1u);
+  EXPECT_NE(LastCheckFailure().find("test"), std::string::npos);
+}
+
+TEST(InvariantCheckersTest, PriceUpperBound) {
+  ScopedCheckLevel scope(CheckLevel::kLog);
+  EXPECT_TRUE(CheckPriceUpperBound(5, 5, "test"));
+  EXPECT_TRUE(CheckPriceUpperBound(5, kInfiniteMoney, "test"));
+  EXPECT_EQ(CheckFailureCount(), 0u);
+  EXPECT_FALSE(CheckPriceUpperBound(6, 5, "test"));
+  EXPECT_EQ(CheckFailureCount(), 1u);
+}
+
+TEST(InvariantCheckersTest, Subadditive) {
+  ScopedCheckLevel scope(CheckLevel::kLog);
+  EXPECT_TRUE(CheckSubadditive(7, 9, "test"));
+  EXPECT_TRUE(CheckSubadditive(9, 9, "test"));
+  EXPECT_EQ(CheckFailureCount(), 0u);
+  EXPECT_FALSE(CheckSubadditive(10, 9, "test"));
+  EXPECT_EQ(CheckFailureCount(), 1u);
+}
+
+TEST(InvariantCheckersTest, MonotoneReprice) {
+  ScopedCheckLevel scope(CheckLevel::kLog);
+  EXPECT_TRUE(CheckMonotoneReprice(4, 4, "test"));
+  EXPECT_TRUE(CheckMonotoneReprice(4, 9, "test"));
+  EXPECT_EQ(CheckFailureCount(), 0u);
+  EXPECT_FALSE(CheckMonotoneReprice(9, 4, "test"));
+  EXPECT_EQ(CheckFailureCount(), 1u);
+}
+
+TEST(InvariantCheckersTest, SolutionInvariantsComposite) {
+  ScopedCheckLevel scope(CheckLevel::kLog);
+  PricingSolution good;
+  good.price = 6;
+  EXPECT_TRUE(CheckSolutionInvariants(good, 10, "test"));
+  EXPECT_EQ(CheckFailureCount(), 0u);
+
+  PricingSolution negative;
+  negative.price = -2;
+  EXPECT_FALSE(CheckSolutionInvariants(negative, 10, "test"));
+
+  PricingSolution above_bound;
+  above_bound.price = 11;
+  EXPECT_FALSE(CheckSolutionInvariants(above_bound, 10, "test"));
+  EXPECT_EQ(CheckFailureCount(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Seller consistency (Theorem 2.15 / Proposition 3.2).
+
+TEST(InvariantCheckersTest, SellerConsistencyPassesOnExample38) {
+  ScopedCheckLevel scope(CheckLevel::kAbort);
+  Example38 e = Example38::Make();
+  EXPECT_TRUE(CheckSellerConsistency(*e.catalog, e.prices, "test"));
+}
+
+TEST(InvariantCheckersTest, SellerConsistencyFiresOnArbitragePricePoint) {
+  ScopedCheckLevel scope(CheckLevel::kLog);
+  Example38 e = Example38::Make();
+  // The full cover of S.X costs 4 and determines all of S, so any view on
+  // S priced above 4 is answerable more cheaply — internal arbitrage.
+  QP_ASSERT_OK(e.prices.Set(*e.catalog, "S", "Y", Value::Str("b1"), 100));
+  EXPECT_FALSE(CheckSellerConsistency(*e.catalog, e.prices, "test"));
+  EXPECT_GE(CheckFailureCount(), 1u);
+  EXPECT_NE(LastCheckFailure().find("test"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Support-cost equality (Equation 2).
+
+TEST(InvariantCheckersTest, SupportCostMatchesQuotedPrice) {
+  ScopedCheckLevel scope(CheckLevel::kAbort);
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(e.query));
+  ASSERT_EQ(quote.solution.price, 6);
+  EXPECT_TRUE(CheckSupportCost(quote.solution, e.prices, "test"));
+}
+
+TEST(InvariantCheckersTest, SupportCostFiresOnTamperedPrice) {
+  ScopedCheckLevel scope(CheckLevel::kLog);
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(e.query));
+  quote.solution.price += 1;  // support now costs less than the quote
+  EXPECT_FALSE(CheckSupportCost(quote.solution, e.prices, "test"));
+  EXPECT_EQ(CheckFailureCount(), 1u);
+}
+
+TEST(InvariantCheckersTest, SupportCostSkipsUntrackedAndInfinite) {
+  ScopedCheckLevel scope(CheckLevel::kLog);
+  SelectionPriceSet prices;
+  PricingSolution untracked;
+  untracked.price = 5;
+  untracked.support_tracked = false;
+  EXPECT_TRUE(CheckSupportCost(untracked, prices, "test"));
+  PricingSolution infinite;  // not-for-sale: nothing to reconcile
+  EXPECT_TRUE(CheckSupportCost(infinite, prices, "test"));
+  EXPECT_EQ(CheckFailureCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Determining-cover cost (Lemma 3.1) and the engine's return boundary.
+
+TEST(InvariantCheckersTest, DeterminingCoverCostOnExample38) {
+  Example38 e = Example38::Make();
+  // R: cover X at 4×1; S: min(4×1 on X, 3×1 on Y) = 3; T: 3×1.
+  Money cost = DeterminingCoverCost(*e.catalog, e.prices,
+                                    e.query.ReferencedRelations());
+  EXPECT_EQ(cost, 4 + 3 + 3);
+
+  SelectionPriceSet empty;
+  EXPECT_TRUE(IsInfinite(DeterminingCoverCost(
+      *e.catalog, empty, e.query.ReferencedRelations())));
+}
+
+TEST(InvariantCheckersTest, EnginePricesExample38UnderAbortLevel) {
+  // The flagship fixture prices cleanly with every return-boundary
+  // invariant live at the fatal level.
+  ScopedCheckLevel scope(CheckLevel::kAbort);
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(e.query));
+  EXPECT_EQ(quote.solution.price, 6);
+  EXPECT_EQ(CheckFailureCount(), 0u);
+}
+
+}  // namespace
+}  // namespace qp

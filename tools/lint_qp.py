@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Project-specific lint pass for the qp codebase.
+
+Enforces repo conventions that clang-tidy cannot express:
+
+  no-assert          src/ must not use <cassert>/assert(); contracts go
+                     through QP_ASSERT / QP_INVARIANT (qp/check/check.h)
+                     so they survive NDEBUG and respect QP_CHECK_LEVEL.
+  money-float        Money is integer cents; pricing code must never touch
+                     float/double (silent rounding breaks Equation 2).
+  quote-cache-lock   Every QuoteCache member function that touches entries_
+                     or stats_ must take std::lock_guard first — the cache
+                     is shared across BatchPricer worker threads.
+  unchecked-status   Status/Result returns must be consumed (assigned,
+                     returned, or passed through QP_RETURN_IF_ERROR /
+                     QP_ASSIGN_OR_RETURN / an assertion macro), never
+                     dropped as a bare statement.
+  header-guard       Include guards must be QP_<PATH>_H_ derived from the
+                     header's path under src/.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+Usage: tools/lint_qp.py [root]   (default root: src/)
+"""
+
+import os
+import re
+import sys
+
+# Functions returning Status/Result whose value must not be dropped.
+# Method names only — the linter matches `<expr>.Name(` and `Name(` calls
+# used as full statements.
+STATUS_RETURNING = {
+    "AddRelation",
+    "SetColumn",
+    "SetUniform",
+    "Insert",
+    "Set",
+    "Watch",
+    "Price",
+    "PriceBundle",
+    "PriceUnion",
+}
+
+# Macros / sinks that legitimately consume a Status or Result expression.
+CONSUMERS = re.compile(
+    r"QP_RETURN_IF_ERROR|QP_ASSIGN_OR_RETURN|QP_ASSERT_OK|ASSERT_OK|"
+    r"EXPECT_OK|ASSERT_TRUE|EXPECT_TRUE|ASSERT_FALSE|EXPECT_FALSE|"
+    r"QP_ASSERT|QP_INVARIANT|return |= |\breturn\b|<<"
+)
+
+STRING_OR_COMMENT = re.compile(r'"(?:[^"\\]|\\.)*"|//.*$')
+
+
+def strip_strings_and_comments(line: str) -> str:
+    return STRING_OR_COMMENT.sub('""', line)
+
+
+def iter_source_files(root):
+    for dirpath, _, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith((".cc", ".h")):
+                yield os.path.join(dirpath, name)
+
+
+def in_block_comment_mask(lines):
+    """Yields (line, inside_block_comment) pairs."""
+    inside = False
+    for line in lines:
+        yield line, inside
+        # Cheap state machine; good enough for this codebase's comment style.
+        stripped = strip_strings_and_comments(line)
+        i = 0
+        while i < len(stripped) - 1:
+            pair = stripped[i : i + 2]
+            if not inside and pair == "/*":
+                inside = True
+                i += 2
+            elif inside and pair == "*/":
+                inside = False
+                i += 2
+            else:
+                i += 1
+
+
+def check_no_assert(path, lines, findings):
+    for lineno, (line, in_comment) in enumerate(in_block_comment_mask(lines), 1):
+        if in_comment:
+            continue
+        code = strip_strings_and_comments(line)
+        if "<cassert>" in code or "<assert.h>" in code:
+            findings.append(
+                (path, lineno, "no-assert",
+                 "use qp/check/check.h instead of <cassert>"))
+        elif re.search(r"(^|[^\w.])assert\s*\(", code):
+            findings.append(
+                (path, lineno, "no-assert",
+                 "use QP_ASSERT/QP_INVARIANT instead of assert()"))
+
+
+def check_money_float(path, lines, findings):
+    if f"{os.sep}pricing{os.sep}" not in path:
+        return
+    pattern = re.compile(r"\b(float|double)\b")
+    for lineno, (line, in_comment) in enumerate(in_block_comment_mask(lines), 1):
+        if in_comment:
+            continue
+        code = strip_strings_and_comments(line)
+        if pattern.search(code):
+            findings.append(
+                (path, lineno, "money-float",
+                 "pricing code must stay in integer Money (cents); "
+                 "no float/double"))
+
+
+def check_quote_cache_lock(path, lines, findings):
+    if not path.endswith(os.sep + "quote_cache.cc"):
+        return
+    # Walk function bodies at brace depth; inside each QuoteCache:: body,
+    # any touch of entries_/stats_ must be preceded by a lock_guard.
+    depth = 0
+    body_start = None
+    locked = False
+    for lineno, line in enumerate(lines, 1):
+        code = strip_strings_and_comments(line)
+        if depth == 0 and "QuoteCache::" in code and "{" in code:
+            body_start = lineno
+            locked = False
+        if body_start is not None:
+            if "std::lock_guard" in code or "std::unique_lock" in code:
+                locked = True
+            if re.search(r"\b(entries_|stats_)\b", code) and not locked:
+                findings.append(
+                    (path, lineno, "quote-cache-lock",
+                     "QuoteCache state touched before taking mu_"))
+        depth += code.count("{") - code.count("}")
+        if depth == 0 and body_start is not None and "}" in code:
+            body_start = None
+
+
+def check_unchecked_status(path, lines, findings):
+    names = "|".join(sorted(STATUS_RETURNING))
+    # A full-statement call: optional receiver chain, a known name, balanced
+    # up to the trailing `;` on the same line, nothing consuming the value.
+    call = re.compile(
+        r"^\s*(?:[A-Za-z_][\w]*(?:\.|->|::))*(" + names + r")\s*\(.*\)\s*;\s*$")
+    for lineno, (line, in_comment) in enumerate(in_block_comment_mask(lines), 1):
+        if in_comment:
+            continue
+        code = strip_strings_and_comments(line)
+        m = call.match(code)
+        if not m:
+            continue
+        # A continuation of a consumer macro spanning lines has surplus
+        # closing parens; a self-contained statement balances.
+        if code.count("(") != code.count(")"):
+            continue
+        if CONSUMERS.search(code):
+            continue
+        # `.status()`, `.ok()`, `.value()` etc. consume the Result in place.
+        if re.search(r"\)\s*\.\s*\w+\s*\(", code):
+            continue
+        findings.append(
+            (path, lineno, "unchecked-status",
+             f"result of {m.group(1)}() is dropped; assign it or wrap in "
+             "QP_RETURN_IF_ERROR"))
+
+
+def check_header_guard(path, lines, findings):
+    if not path.endswith(".h"):
+        return
+    rel = path
+    marker = "src" + os.sep
+    idx = rel.find(marker)
+    if idx >= 0:
+        rel = rel[idx + len(marker):]
+    expected = re.sub(r"[^\w]", "_", rel).upper() + "_"
+    if not expected.startswith("QP_"):
+        expected = "QP_" + expected  # project guards are QP_-prefixed
+    text = "\n".join(lines)
+    m = re.search(r"#ifndef\s+(\w+)", text)
+    if m is None:
+        findings.append((path, 1, "header-guard", "missing include guard"))
+        return
+    guard = m.group(1)
+    if guard != expected:
+        findings.append(
+            (path, m.string[: m.start()].count("\n") + 1, "header-guard",
+             f"guard {guard} should be {expected}"))
+        return
+    if f"#define {guard}" not in text or f"#endif  // {guard}" not in text:
+        findings.append(
+            (path, 1, "header-guard",
+             f"guard {guard} missing #define or '#endif  // {guard}' trailer"))
+
+
+CHECKS = (
+    check_no_assert,
+    check_money_float,
+    check_quote_cache_lock,
+    check_unchecked_status,
+    check_header_guard,
+)
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else "src"
+    if len(argv) > 2 or root in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    if not os.path.isdir(root):
+        print(f"lint_qp: no such directory: {root}", file=sys.stderr)
+        return 2
+    findings = []
+    files = 0
+    for path in iter_source_files(root):
+        files += 1
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        for check in CHECKS:
+            check(path, lines, findings)
+    for path, lineno, rule, msg in findings:
+        print(f"{path}:{lineno}: [{rule}] {msg}")
+    summary = f"lint_qp: {files} files, {len(findings)} finding(s)"
+    print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

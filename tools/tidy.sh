@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the library sources, driven by the repo's .clang-tidy
+# (bugprone / performance / concurrency / narrowing, warnings-as-errors).
+# Skips (exit 0 with a notice) when clang-tidy is not installed; CI installs
+# it and enforces. Extra arguments are forwarded to clang-tidy.
+set -u
+
+cd "$(dirname "$0")/.."
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" > /dev/null 2>&1; then
+  echo "tidy: $TIDY not installed; skipping (CI enforces)"
+  exit 0
+fi
+
+BUILD_DIR=${BUILD_DIR:-build}
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null \
+    || exit 1
+fi
+
+files=$(git ls-files 'src/**/*.cc')
+# shellcheck disable=SC2086
+"$TIDY" -p "$BUILD_DIR" --warnings-as-errors='*' --quiet "$@" $files
+status=$?
+if [ $status -eq 0 ]; then
+  echo "tidy: OK ($(echo "$files" | wc -l) files)"
+fi
+exit $status
