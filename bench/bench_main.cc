@@ -1,0 +1,10 @@
+// bench_main — the single benchmark binary. Every scenario in
+// bench/scenarios/ registers itself with the shared runner; this just
+// hands over to it. See bench/common/runner.h for the flags and the
+// BENCH_qpricer.json schema.
+
+#include "bench/common/runner.h"
+
+int main(int argc, char** argv) {
+  return qp::bench::RunBenchMain(argc, argv);
+}

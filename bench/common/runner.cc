@@ -1,0 +1,245 @@
+#include "bench/common/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+
+#include "qp/obs/metrics.h"
+
+namespace qp::bench {
+namespace {
+
+std::vector<ScenarioSpec>& AllScenarios() {
+  static auto* scenarios = new std::vector<ScenarioSpec>();
+  return *scenarios;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Nearest-rank percentile over the sorted per-iteration samples.
+uint64_t PercentileNs(const std::vector<uint64_t>& sorted_ns, int q) {
+  if (sorted_ns.empty()) return 0;
+  size_t rank = (sorted_ns.size() * static_cast<size_t>(q) + 99) / 100;
+  if (rank == 0) rank = 1;
+  if (rank > sorted_ns.size()) rank = sorted_ns.size();
+  return sorted_ns[rank - 1];
+}
+
+/// Resolution order: explicit env override, the CI-provided commit, a live
+/// checkout, then "unknown". Keeps the report attributable in all of
+/// dev-laptop, CI and detached-artifact settings.
+std::string ResolveGitSha() {
+  if (const char* sha = std::getenv("QP_GIT_SHA"); sha && *sha) return sha;
+  if (const char* sha = std::getenv("GITHUB_SHA"); sha && *sha) return sha;
+  if (FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    size_t n = fread(buf, 1, sizeof(buf) - 1, pipe);
+    int status = pclose(pipe);
+    if (status == 0 && n > 0) {
+      std::string sha(buf, n);
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+      if (!sha.empty()) return sha;
+    }
+  }
+  return "unknown";
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string ResultsToJson(const std::vector<ScenarioResult>& results,
+                          bool quick, const std::string& git_sha) {
+  std::string out = "{\n  \"git_sha\": ";
+  AppendJsonString(git_sha, &out);
+  out += ",\n  \"quick\": ";
+  out += quick ? "true" : "false";
+  out += ",\n  \"scenarios\": {";
+  bool first_scenario = true;
+  for (const ScenarioResult& r : results) {
+    if (!first_scenario) out += ",";
+    first_scenario = false;
+    out += "\n    ";
+    AppendJsonString(r.name, &out);
+    out += ": {\"iterations\": " + std::to_string(r.iterations) +
+           ", \"wall_ns\": " + std::to_string(r.wall_ns) +
+           ", \"p50_ns\": " + std::to_string(r.p50_ns) +
+           ", \"p95_ns\": " + std::to_string(r.p95_ns) +
+           ", \"p99_ns\": " + std::to_string(r.p99_ns) +
+           ", \"min_ns\": " + std::to_string(r.min_ns) +
+           ", \"max_ns\": " + std::to_string(r.max_ns) + ", \"counters\": {";
+    bool first_counter = true;
+    for (const auto& [name, value] : r.counters) {
+      if (!first_counter) out += ", ";
+      first_counter = false;
+      AppendJsonString(name, &out);
+      out += ": " + std::to_string(value);
+    }
+    out += "}}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+ScenarioResult RunScenario(const ScenarioSpec& spec, bool quick) {
+  ScenarioContext context;
+  std::function<void()> body = spec.make(context);
+  const int iters = std::max(1, quick ? spec.quick_iters : spec.full_iters);
+  const int warmup = std::max(1, iters / 10);
+  for (int i = 0; i < warmup; ++i) body();
+
+  // Counter deltas across the timed loop attribute the instrumented
+  // library's work (augmenting paths, cache hits...) to this scenario.
+  qp::MetricsSnapshot before = qp::MetricsRegistry::Global().Snapshot();
+  std::vector<uint64_t> samples_ns;
+  samples_ns.reserve(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    uint64_t start = NowNs();
+    body();
+    samples_ns.push_back(NowNs() - start);
+  }
+  qp::MetricsSnapshot after = qp::MetricsRegistry::Global().Snapshot();
+
+  ScenarioResult result;
+  result.name = spec.name;
+  result.iterations = static_cast<uint64_t>(iters);
+  for (uint64_t ns : samples_ns) result.wall_ns += ns;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  result.min_ns = samples_ns.front();
+  result.max_ns = samples_ns.back();
+  result.p50_ns = PercentileNs(samples_ns, 50);
+  result.p95_ns = PercentileNs(samples_ns, 95);
+  result.p99_ns = PercentileNs(samples_ns, 99);
+  result.counters = context.counters();
+  for (const qp::CounterSample& sample : after.counters) {
+    uint64_t prior = before.CounterValue(sample.name);
+    if (sample.value > prior) {
+      result.counters[sample.name] =
+          static_cast<int64_t>(sample.value - prior);
+    }
+  }
+  return result;
+}
+
+void PrintTable(const std::vector<ScenarioResult>& results) {
+  std::printf("%-28s %8s %14s %14s %14s %14s\n", "scenario", "iters",
+              "p50_ns", "p95_ns", "p99_ns", "wall_ns");
+  for (const ScenarioResult& r : results) {
+    std::printf("%-28s %8llu %14llu %14llu %14llu %14llu\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.iterations),
+                static_cast<unsigned long long>(r.p50_ns),
+                static_cast<unsigned long long>(r.p95_ns),
+                static_cast<unsigned long long>(r.p99_ns),
+                static_cast<unsigned long long>(r.wall_ns));
+  }
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--filter=SUBSTR] [--out=PATH] [--list]\n"
+               "  --quick          fewer iterations (CI smoke); workload\n"
+               "                   sizes are identical to the full run\n"
+               "  --filter=SUBSTR  run only scenarios whose name contains\n"
+               "                   SUBSTR\n"
+               "  --out=PATH       JSON report path (default\n"
+               "                   BENCH_qpricer.json)\n"
+               "  --list           print scenario names and exit\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int RegisterScenario(ScenarioSpec spec) {
+  AllScenarios().push_back(std::move(spec));
+  return static_cast<int>(AllScenarios().size());
+}
+
+int RunBenchMain(int argc, char** argv) {
+  RunOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--list") {
+      options.list_only = true;
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      options.filter = arg.substr(strlen("--filter="));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      options.out_path = arg.substr(strlen("--out="));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  std::vector<ScenarioSpec>& scenarios = AllScenarios();
+  std::sort(scenarios.begin(), scenarios.end(),
+            [](const ScenarioSpec& a, const ScenarioSpec& b) {
+              return a.name < b.name;
+            });
+  if (options.list_only) {
+    for (const ScenarioSpec& spec : scenarios) {
+      std::printf("%-28s %s\n", spec.name.c_str(), spec.description.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<ScenarioResult> results;
+  for (const ScenarioSpec& spec : scenarios) {
+    if (!options.filter.empty() &&
+        spec.name.find(options.filter) == std::string::npos) {
+      continue;
+    }
+    std::printf("running %s ...\n", spec.name.c_str());
+    std::fflush(stdout);
+    results.push_back(RunScenario(spec, options.quick));
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "no scenario matches filter '%s'\n",
+                 options.filter.c_str());
+    return 1;
+  }
+  PrintTable(results);
+
+  std::string json =
+      ResultsToJson(results, options.quick, ResolveGitSha());
+  std::ofstream out(options.out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", options.out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote %s (%zu scenarios)\n", options.out_path.c_str(),
+              results.size());
+  return 0;
+}
+
+}  // namespace qp::bench

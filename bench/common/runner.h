@@ -1,0 +1,76 @@
+// Shared benchmark runner: every bench scenario registers itself here and
+// bench_main drives them all through one timing loop and one reporter.
+// Replaces the per-binary google-benchmark harnesses and their hand-rolled
+// std::chrono series printers.
+//
+// A scenario is a named factory: untimed setup runs once, the returned
+// closure is the timed body. `--quick` shrinks only the iteration counts,
+// never the workload sizes, so BENCH_qpricer.json numbers from quick (CI)
+// and full (nightly) runs stay comparable per iteration.
+
+#ifndef QP_BENCH_COMMON_RUNNER_H_
+#define QP_BENCH_COMMON_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qp::bench {
+
+/// Per-scenario sink for domain counters reported next to the timings
+/// (prices, node counts, cache hits...). The runner also snapshots the
+/// process-wide metrics registry around the timed loop and merges the
+/// counter deltas in under their `qp.` names.
+class ScenarioContext {
+ public:
+  void SetCounter(const std::string& name, int64_t value) {
+    counters_[name] = value;
+  }
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, int64_t> counters_;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  int full_iters = 10;
+  int quick_iters = 3;
+  /// Untimed: builds the workload and returns the timed iteration body.
+  std::function<std::function<void()>(ScenarioContext&)> make;
+};
+
+/// Registers a scenario; call from a static initializer in a scenario
+/// translation unit. Returns an ignorable token so it can initialize a
+/// namespace-scope dummy.
+int RegisterScenario(ScenarioSpec spec);
+
+struct ScenarioResult {
+  std::string name;
+  uint64_t iterations = 0;
+  uint64_t wall_ns = 0;  // sum over timed iterations
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+  std::map<std::string, int64_t> counters;
+};
+
+struct RunOptions {
+  bool quick = false;
+  bool list_only = false;
+  std::string filter;  // substring match on scenario names
+  std::string out_path = "BENCH_qpricer.json";
+};
+
+/// Runs every registered scenario matching the options, prints a table and
+/// writes the JSON report. This is bench_main's whole main().
+int RunBenchMain(int argc, char** argv);
+
+}  // namespace qp::bench
+
+#endif  // QP_BENCH_COMMON_RUNNER_H_

@@ -1,0 +1,219 @@
+// Serving-path scenarios: PTIME determinacy (T3.3), price-point
+// consistency (P3.2), concurrent batch-quote throughput, warm quote-cache
+// latency, and dynamic repricing under insertions (Section 2.7). Ports
+// bench_determinacy, bench_consistency, bench_batch_throughput and
+// bench_dynamic_updates onto the shared runner.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common/runner.h"
+#include "qp/determinacy/selection_determinacy.h"
+#include "qp/pricing/batch_pricer.h"
+#include "qp/pricing/consistency.h"
+#include "qp/pricing/dynamic_pricer.h"
+#include "qp/query/parser.h"
+#include "qp/workload/business.h"
+#include "qp/workload/join_workloads.h"
+
+namespace qp::bench {
+namespace {
+
+qp::BusinessMarketParams BatchParams() {
+  qp::BusinessMarketParams params;
+  params.num_states = 8;
+  params.counties_per_state = 4;
+  params.num_businesses = 150;
+  return params;
+}
+
+/// The quote mix of a marketplace front page: per-state and per-county
+/// inquiries over every combination the catalog offers.
+std::vector<std::string> QuoteMix(const qp::BusinessMarketParams& params) {
+  std::vector<std::string> texts;
+  for (const std::string& state : qp::BusinessStates(params)) {
+    texts.push_back("QE(b) :- Email(b), InState(b,'" + state + "')");
+    texts.push_back("QB(b) :- Business(b), InState(b,'" + state + "')");
+    texts.push_back("QX() :- Email(b), InState(b,'" + state + "')");
+    for (int c = 0; c < params.counties_per_state; ++c) {
+      texts.push_back("QC(b) :- InState(b,'" + state + "'), InCounty(b,'" +
+                      state + "/c" + std::to_string(c) + "')");
+    }
+  }
+  return texts;
+}
+
+std::vector<qp::ConjunctiveQuery> ParseAll(
+    const qp::Schema& schema, const std::vector<std::string>& texts) {
+  std::vector<qp::ConjunctiveQuery> queries;
+  for (const std::string& text : texts) {
+    auto q = qp::ParseQuery(schema, text);
+    if (!q.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n",
+                   q.status().ToString().c_str());
+      std::exit(1);
+    }
+    queries.push_back(std::move(*q));
+  }
+  return queries;
+}
+
+struct BatchSetup {
+  qp::Seller seller{"bench-batch"};
+  std::unique_ptr<qp::PricingEngine> engine;
+  std::vector<qp::ConjunctiveQuery> queries;
+
+  BatchSetup() {
+    qp::BusinessMarketParams params = BatchParams();
+    if (!qp::PopulateBusinessMarket(&seller, params).ok()) std::exit(1);
+    engine = std::make_unique<qp::PricingEngine>(&seller.db(),
+                                                 &seller.prices());
+    queries = ParseAll(seller.catalog().schema(), QuoteMix(params));
+  }
+};
+
+const int kRegistered[] = {
+    RegisterScenario(
+        {"determinacy_n64",
+         "T3.3: PTIME instance-based determinacy (Dmin/Dmax), n=64",
+         /*full_iters=*/40, /*quick_iters=*/8,
+         [](ScenarioContext& context) {
+           qp::JoinWorkloadParams params;
+           params.column_size = 64;
+           params.tuple_density = 0.4;
+           params.seed = 11;
+           auto chain = qp::MakeChainWorkload(1, params);
+           if (!chain.ok()) std::exit(1);
+           auto w = std::make_shared<qp::Workload>(std::move(*chain));
+           // Half of the priced views, deterministically.
+           auto views = std::make_shared<std::vector<qp::SelectionView>>();
+           int i = 0;
+           for (const auto& [view, price] : w->prices.Sorted()) {
+             if (++i % 2 == 0) views->push_back(view);
+           }
+           auto determines =
+               qp::SelectionViewsDetermine(*w->db, *views, w->query);
+           context.SetCounter(
+               "determines",
+               determines.ok() ? static_cast<int64_t>(*determines) : -1);
+           return [w, views]() {
+             auto d = qp::SelectionViewsDetermine(*w->db, *views, w->query);
+             if (!d.ok()) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"consistency_b200",
+         "P3.2: arbitrage-consistency over the explicit price points, 200 "
+         "businesses",
+         /*full_iters=*/200, /*quick_iters=*/40,
+         [](ScenarioContext& context) {
+           auto seller = std::make_shared<qp::Seller>("bench-consistency");
+           qp::BusinessMarketParams params;
+           params.num_businesses = 200;
+           params.business_price = qp::Dollars(20);
+           if (!qp::PopulateBusinessMarket(seller.get(), params).ok()) {
+             std::exit(1);
+           }
+           auto report = qp::CheckSelectionConsistency(seller->catalog(),
+                                                       seller->prices());
+           context.SetCounter("price_points",
+                              static_cast<int64_t>(seller->prices().size()));
+           context.SetCounter("consistent", report.consistent ? 1 : 0);
+           return [seller]() {
+             auto r = qp::CheckSelectionConsistency(seller->catalog(),
+                                                    seller->prices());
+             if (!r.consistent) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"batch_throughput_t4",
+         "Concurrent quote serving: the front-page mix through a 4-thread "
+         "BatchPricer, no cache",
+         /*full_iters=*/10, /*quick_iters=*/3,
+         [](ScenarioContext& context) {
+           auto setup = std::make_shared<BatchSetup>();
+           context.SetCounter("queries",
+                              static_cast<int64_t>(setup->queries.size()));
+           return [setup]() {
+             qp::BatchPricer pricer(setup->engine.get(),
+                                    qp::BatchPricerOptions{4, nullptr});
+             auto quotes = pricer.PriceAll(setup->queries);
+             for (const auto& q : quotes) {
+               if (!q.ok()) std::exit(1);
+             }
+           };
+         }}),
+    RegisterScenario(
+        {"batch_warm_cache_t4",
+         "Warm quote-cache batch: same mix, every quote served from the "
+         "cache",
+         /*full_iters=*/60, /*quick_iters=*/15,
+         [](ScenarioContext& context) {
+           auto setup = std::make_shared<BatchSetup>();
+           auto cache = std::make_shared<qp::QuoteCache>();
+           auto pricer = std::make_shared<qp::BatchPricer>(
+               setup->engine.get(), qp::BatchPricerOptions{4, cache.get()});
+           // Prime the cache; the timed body then measures pure hits.
+           auto cold = pricer->PriceAll(setup->queries);
+           for (const auto& q : cold) {
+             if (!q.ok()) std::exit(1);
+           }
+           context.SetCounter("queries",
+                              static_cast<int64_t>(setup->queries.size()));
+           return [setup, cache, pricer]() {
+             auto quotes = pricer->PriceAll(setup->queries);
+             for (const auto& q : quotes) {
+               if (!q.ok()) std::exit(1);
+             }
+           };
+         }}),
+    RegisterScenario(
+        {"dynamic_update",
+         "Section 2.7: insertion + watched-query repricing (Email readers "
+         "re-solve, join quotes stay cached)",
+         /*full_iters=*/20, /*quick_iters=*/5,
+         [](ScenarioContext& context) {
+           qp::BusinessMarketParams params = BatchParams();
+           auto seller = std::make_shared<qp::Seller>("bench-dyn");
+           if (!qp::PopulateBusinessMarket(seller.get(), params).ok()) {
+             std::exit(1);
+           }
+           auto pricer = std::make_shared<qp::DynamicPricer>(
+               &seller->db(), &seller->prices(), qp::PricingEngine::Options{},
+               /*reprice_threads=*/4);
+           std::vector<qp::ConjunctiveQuery> watched =
+               ParseAll(seller->catalog().schema(), QuoteMix(params));
+           for (size_t i = 0; i < watched.size(); ++i) {
+             if (!pricer->Watch("q" + std::to_string(i), watched[i]).ok()) {
+               std::exit(1);
+             }
+           }
+           context.SetCounter("watched",
+                              static_cast<int64_t>(watched.size()));
+           // Each iteration registers one business in one more state,
+           // cycling deterministically through the (business, state)
+           // domain. A genuinely new InState row bumps the relation
+           // generation, so every watched join query goes stale and the
+           // iteration measures a real repricing wave (the occasional
+           // duplicate pair is a no-op and disappears into the p50).
+           auto states = std::make_shared<std::vector<std::string>>(
+               qp::BusinessStates(params));
+           auto next = std::make_shared<int>(0);
+           return [seller, pricer, states, next]() {
+             int i = (*next)++;
+             std::string bid = "biz" + std::to_string(i % 150);
+             const std::string& state =
+                 (*states)[static_cast<size_t>(i) % states->size()];
+             auto changes = pricer->Insert(
+                 "InState",
+                 {{qp::Value::Str(bid), qp::Value::Str(state)}});
+             if (!changes.ok()) std::exit(1);
+           };
+         }}),
+};
+
+}  // namespace
+}  // namespace qp::bench

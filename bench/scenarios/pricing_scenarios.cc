@@ -1,0 +1,360 @@
+// Solver-level scenarios: the Figure 1 reproduction, chain scaling
+// (T3.7/T3.13), hanging-variable stars (Section 3.1 Step 3), the
+// NP-complete side of the dichotomy (T3.5), cycles via the exact clause
+// solver (T3.15), the dichotomy crossover trio, and merged-cut bundles
+// (D3.9). Ports bench_fig1_example, bench_chain_scaling,
+// bench_hanging_vars, bench_nphard_growth, bench_cycle_pricing,
+// bench_dichotomy_crossover and bench_bundle_pricing onto the shared
+// runner.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common/runner.h"
+#include "qp/pricing/bundle_solver.h"
+#include "qp/pricing/clause_solver.h"
+#include "qp/pricing/engine.h"
+#include "qp/pricing/exhaustive_solver.h"
+#include "qp/pricing/gchq_solver.h"
+#include "qp/query/analysis.h"
+#include "qp/query/parser.h"
+#include "qp/util/random.h"
+#include "qp/workload/join_workloads.h"
+
+namespace qp::bench {
+namespace {
+
+qp::Workload MakeChain(int k, int n, uint64_t seed, double density = 0.3) {
+  qp::JoinWorkloadParams params;
+  params.column_size = n;
+  params.tuple_density = density;
+  params.seed = seed;
+  auto w = qp::MakeChainWorkload(k, params);
+  if (!w.ok()) {
+    std::fprintf(stderr, "workload: %s\n", w.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*w);
+}
+
+/// Figure 1 / Example 3.8: the paper's running example, price $6.
+struct Fig1 {
+  std::unique_ptr<qp::Catalog> catalog = std::make_unique<qp::Catalog>();
+  std::unique_ptr<qp::Instance> db;
+  qp::SelectionPriceSet prices;
+  qp::ConjunctiveQuery query;
+
+  Fig1() {
+    using qp::Value;
+    (void)catalog->AddRelation("R", {"X"});
+    (void)catalog->AddRelation("S", {"X", "Y"});
+    (void)catalog->AddRelation("T", {"Y"});
+    std::vector<Value> col_x = {Value::Str("a1"), Value::Str("a2"),
+                                Value::Str("a3"), Value::Str("a4")};
+    std::vector<Value> col_y = {Value::Str("b1"), Value::Str("b2"),
+                                Value::Str("b3")};
+    (void)catalog->SetColumn("R", "X", col_x);
+    (void)catalog->SetColumn("S", "X", col_x);
+    (void)catalog->SetColumn("S", "Y", col_y);
+    (void)catalog->SetColumn("T", "Y", col_y);
+    db = std::make_unique<qp::Instance>(catalog.get());
+    (void)db->Insert("R", {Value::Str("a1")});
+    (void)db->Insert("R", {Value::Str("a2")});
+    (void)db->Insert("S", {Value::Str("a1"), Value::Str("b1")});
+    (void)db->Insert("S", {Value::Str("a1"), Value::Str("b2")});
+    (void)db->Insert("S", {Value::Str("a2"), Value::Str("b2")});
+    (void)db->Insert("S", {Value::Str("a4"), Value::Str("b1")});
+    (void)db->Insert("T", {Value::Str("b1")});
+    (void)db->Insert("T", {Value::Str("b3")});
+    (void)prices.SetUniform(*catalog, "R", "X", 1);
+    (void)prices.SetUniform(*catalog, "S", "X", 1);
+    (void)prices.SetUniform(*catalog, "S", "Y", 1);
+    (void)prices.SetUniform(*catalog, "T", "Y", 1);
+    query = *qp::ParseQuery(catalog->schema(),
+                            "Q(x,y) :- R(x), S(x,y), T(y)");
+  }
+};
+
+/// U(x) -> {M1..Mm}(x,y) -> W(y): m chain queries sharing both endpoints
+/// (same construction the old bench_bundle_pricing used).
+struct FanBundle {
+  std::unique_ptr<qp::Catalog> catalog = std::make_unique<qp::Catalog>();
+  std::unique_ptr<qp::Instance> db;
+  qp::SelectionPriceSet prices;
+  std::vector<qp::ConjunctiveQuery> queries;
+
+  FanBundle(int middles, int n, uint64_t seed) {
+    using qp::Value;
+    qp::Rng rng(seed);
+    auto u = catalog->AddRelation("U", {"X"});
+    auto w = catalog->AddRelation("W", {"X"});
+    std::vector<qp::RelationId> mids;
+    for (int m = 1; m <= middles; ++m) {
+      mids.push_back(
+          *catalog->AddRelation("M" + std::to_string(m), {"X", "Y"}));
+    }
+    std::vector<Value> col_x, col_y;
+    for (int i = 0; i < n; ++i) {
+      col_x.push_back(Value::Str("x" + std::to_string(i)));
+      col_y.push_back(Value::Str("y" + std::to_string(i)));
+    }
+    (void)catalog->SetColumn(qp::AttrRef{*u, 0}, col_x);
+    (void)catalog->SetColumn(qp::AttrRef{*w, 0}, col_y);
+    for (auto m : mids) {
+      (void)catalog->SetColumn(qp::AttrRef{m, 0}, col_x);
+      (void)catalog->SetColumn(qp::AttrRef{m, 1}, col_y);
+    }
+    db = std::make_unique<qp::Instance>(catalog.get());
+    for (const Value& x : col_x) {
+      if (rng.NextBool(0.5)) (void)*db->Insert("U", {x});
+      for (auto m : mids) {
+        for (const Value& y : col_y) {
+          if (rng.NextBool(0.35)) {
+            (void)*db->Insert(catalog->schema().relation_name(m), {x, y});
+          }
+        }
+      }
+    }
+    for (const Value& y : col_y) {
+      if (rng.NextBool(0.5)) (void)*db->Insert("W", {y});
+    }
+    for (qp::RelationId rel = 0; rel < catalog->schema().num_relations();
+         ++rel) {
+      for (int p = 0; p < catalog->schema().arity(rel); ++p) {
+        for (qp::ValueId v : catalog->Column(qp::AttrRef{rel, p})) {
+          (void)prices.Set(qp::SelectionView{qp::AttrRef{rel, p}, v},
+                           rng.NextInRange(1, 9));
+        }
+      }
+    }
+    for (int m = 1; m <= middles; ++m) {
+      queries.push_back(*qp::ParseQuery(
+          catalog->schema(), "Q" + std::to_string(m) + "(x,y) :- U(x), M" +
+                                 std::to_string(m) + "(x,y), W(y)"));
+    }
+  }
+};
+
+const int kRegistered[] = {
+    RegisterScenario(
+        {"fig1_engine",
+         "Figure 1 / Example 3.8 end-to-end through PricingEngine "
+         "(expects price 6)",
+         /*full_iters=*/500, /*quick_iters=*/50,
+         [](ScenarioContext& context) {
+           auto fig1 = std::make_shared<Fig1>();
+           auto engine = std::make_shared<qp::PricingEngine>(fig1->db.get(),
+                                                             &fig1->prices);
+           auto quote = engine->Price(fig1->query);
+           context.SetCounter("price",
+                              quote.ok() ? quote->solution.price : -1);
+           return [fig1, engine]() {
+             auto q = engine->Price(fig1->query);
+             if (!q.ok()) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"chain_n64",
+         "T3.7/T3.13: three-atom chain min-cut, column size n=64",
+         /*full_iters=*/40, /*quick_iters=*/8,
+         [](ScenarioContext& context) {
+           auto w = std::make_shared<qp::Workload>(MakeChain(2, 64, 1));
+           auto order =
+               std::make_shared<std::vector<int>>(*qp::FindGChQOrder(w->query));
+           qp::GChQSolveStats stats;
+           auto solution = qp::PriceGChQQuery(*w->db, w->prices, w->query,
+                                              *order, {}, &stats);
+           context.SetCounter("price",
+                              solution.ok() ? solution->price : -1);
+           context.SetCounter("graph_edges", stats.total_edges);
+           return [w, order]() {
+             auto s = qp::PriceGChQQuery(*w->db, w->prices, w->query, *order);
+             if (!s.ok()) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"chain_k8_n32",
+         "T3.7/T3.13: long chain (k=8 links), column size n=32",
+         /*full_iters=*/20, /*quick_iters=*/5,
+         [](ScenarioContext& context) {
+           auto w = std::make_shared<qp::Workload>(MakeChain(8, 32, 2));
+           auto order =
+               std::make_shared<std::vector<int>>(*qp::FindGChQOrder(w->query));
+           auto solution =
+               qp::PriceGChQQuery(*w->db, w->prices, w->query, *order);
+           context.SetCounter("price",
+                              solution.ok() ? solution->price : -1);
+           return [w, order]() {
+             auto s = qp::PriceGChQQuery(*w->db, w->prices, w->query, *order);
+             if (!s.ok()) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"gchq_star_h6",
+         "Section 3.1 Step 3: star join with 6 hanging branches = 2^6 "
+         "chain solves",
+         /*full_iters=*/20, /*quick_iters=*/5,
+         [](ScenarioContext& context) {
+           qp::JoinWorkloadParams params;
+           params.column_size = 6;
+           params.tuple_density = 0.3;
+           params.seed = 5;
+           auto star = qp::MakeStarWorkload(6, params);
+           if (!star.ok()) std::exit(1);
+           auto w = std::make_shared<qp::Workload>(std::move(*star));
+           auto order =
+               std::make_shared<std::vector<int>>(*qp::FindGChQOrder(w->query));
+           qp::GChQSolveStats stats;
+           auto solution = qp::PriceGChQQuery(*w->db, w->prices, w->query,
+                                              *order, {}, &stats);
+           context.SetCounter("price",
+                              solution.ok() ? solution->price : -1);
+           context.SetCounter("chain_solves", stats.chain_solves);
+           return [w, order]() {
+             auto s = qp::PriceGChQQuery(*w->db, w->prices, w->query, *order);
+             if (!s.ok()) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"nphard_h2_n4",
+         "T3.5: NP-complete H2 priced exactly by the clause B&B solver, "
+         "n=4",
+         /*full_iters=*/200, /*quick_iters=*/40,
+         [](ScenarioContext& context) {
+           qp::JoinWorkloadParams params;
+           params.column_size = 4;
+           params.tuple_density = 0.4;
+           params.seed = 1;
+           auto hard = qp::MakeHardQueryWorkload(qp::HardQuery::kH2, params);
+           if (!hard.ok()) std::exit(1);
+           auto w = std::make_shared<qp::Workload>(std::move(*hard));
+           qp::ClauseSolverStats stats;
+           auto solution = qp::PriceFullQueryByClauses(*w->db, w->prices,
+                                                       w->query, {}, &stats);
+           context.SetCounter("price",
+                              solution.ok() ? solution->price : -1);
+           context.SetCounter("bnb_nodes", stats.nodes_expanded);
+           return [w]() {
+             auto s = qp::PriceFullQueryByClauses(*w->db, w->prices, w->query);
+             if (!s.ok()) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"cycle_c2_n8",
+         "T3.15: cycle C2 priced exactly via the clause formulation, n=8",
+         /*full_iters=*/20, /*quick_iters=*/5,
+         [](ScenarioContext& context) {
+           qp::JoinWorkloadParams params;
+           params.column_size = 8;
+           params.tuple_density = 0.4;
+           params.seed = 13;
+           auto cycle = qp::MakeCycleWorkload(2, params);
+           if (!cycle.ok()) std::exit(1);
+           auto w = std::make_shared<qp::Workload>(std::move(*cycle));
+           qp::ClauseSolverStats stats;
+           auto solution = qp::PriceFullQueryByClauses(*w->db, w->prices,
+                                                       w->query, {}, &stats);
+           context.SetCounter("price",
+                              solution.ok() ? solution->price : -1);
+           context.SetCounter("clauses", stats.clauses);
+           return [w]() {
+             auto s = qp::PriceFullQueryByClauses(*w->db, w->prices, w->query);
+             if (!s.ok()) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"cycle_c3_n6",
+         "T3.15: cycle C3 priced exactly via the clause formulation, n=6",
+         /*full_iters=*/30, /*quick_iters=*/10,
+         [](ScenarioContext& context) {
+           qp::JoinWorkloadParams params;
+           params.column_size = 6;
+           params.tuple_density = 0.4;
+           params.seed = 13;
+           auto cycle = qp::MakeCycleWorkload(3, params);
+           if (!cycle.ok()) std::exit(1);
+           auto w = std::make_shared<qp::Workload>(std::move(*cycle));
+           auto solution =
+               qp::PriceFullQueryByClauses(*w->db, w->prices, w->query);
+           context.SetCounter("price",
+                              solution.ok() ? solution->price : -1);
+           return [w]() {
+             auto s = qp::PriceFullQueryByClauses(*w->db, w->prices, w->query);
+             if (!s.ok()) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"clause_chain_n8",
+         "DICHO crossover: the exact clause solver on a PTIME chain "
+         "instance, n=8",
+         /*full_iters=*/100, /*quick_iters=*/20,
+         [](ScenarioContext& context) {
+           auto w = std::make_shared<qp::Workload>(MakeChain(1, 8, 7, 0.35));
+           auto solution =
+               qp::PriceFullQueryByClauses(*w->db, w->prices, w->query);
+           context.SetCounter("price",
+                              solution.ok() ? solution->price : -1);
+           return [w]() {
+             auto s = qp::PriceFullQueryByClauses(*w->db, w->prices, w->query);
+             if (!s.ok()) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"exhaustive_chain_n5",
+         "DICHO crossover: the exhaustive oracle search on the same chain "
+         "family, n=5",
+         /*full_iters=*/10, /*quick_iters=*/3,
+         [](ScenarioContext& context) {
+           auto w = std::make_shared<qp::Workload>(MakeChain(1, 5, 7, 0.35));
+           qp::ExhaustiveSolverOptions opts;
+           opts.max_views = 40;
+           auto mincut_order = qp::FindGChQOrder(w->query);
+           auto mincut = qp::PriceGChQQuery(*w->db, w->prices, w->query,
+                                            *mincut_order);
+           auto exhaustive =
+               qp::PriceByExhaustiveSearch(*w->db, w->prices, w->query, opts);
+           // The dichotomy agreement check the old bench printed per row.
+           if (!mincut.ok() || !exhaustive.ok() ||
+               mincut->price != exhaustive->price) {
+             std::fprintf(stderr,
+                          "exhaustive_chain_n5: solver disagreement\n");
+             std::exit(1);
+           }
+           context.SetCounter("price", exhaustive->price);
+           return [w, opts]() {
+             auto s =
+                 qp::PriceByExhaustiveSearch(*w->db, w->prices, w->query, opts);
+             if (!s.ok()) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"bundle_merged_m4_n16",
+         "D3.9: 4-member fan bundle priced in one merged min-cut, n=16",
+         /*full_iters=*/20, /*quick_iters=*/5,
+         [](ScenarioContext& context) {
+           auto fan = std::make_shared<FanBundle>(4, 16, 3);
+           qp::Money sum = 0;
+           for (const auto& q : fan->queries) {
+             auto order = qp::FindGChQOrder(q);
+             auto solo = qp::PriceGChQQuery(*fan->db, fan->prices, q, *order);
+             sum = qp::AddMoney(sum, solo.ok() ? solo->price : 0);
+           }
+           auto bundle = qp::PriceChainBundleByMergedCut(*fan->db, fan->prices,
+                                                         fan->queries);
+           context.SetCounter("bundle_price",
+                              bundle.ok() ? bundle->price : -1);
+           context.SetCounter("sum_of_parts", sum);
+           return [fan]() {
+             auto b = qp::PriceChainBundleByMergedCut(*fan->db, fan->prices,
+                                                      fan->queries);
+             if (!b.ok()) std::exit(1);
+           };
+         }}),
+};
+
+}  // namespace
+}  // namespace qp::bench

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "qp/check/check.h"
+#include "qp/obs/metrics.h"
 
 namespace qp {
 
@@ -24,6 +25,9 @@ FlowNetwork::NodeId FlowNetwork::AddNodes(int count) {
 }
 
 void FlowNetwork::Reset() {
+  // Each Reset is a rebuild that reused this network's buffers instead of
+  // allocating a fresh one (the GChQ Step-3 case-split path).
+  QP_METRIC_INCR("qp.flow.resets");
   num_nodes_ = 0;
   edges_.clear();
   original_capacity_.clear();
@@ -126,9 +130,15 @@ int64_t FlowNetwork::MaxFlow(NodeId source, NodeId sink) {
   source_ = source;
   sink_ = sink;
   int64_t total = 0;
+  // Local tallies, flushed to the metrics registry once per solve so the
+  // inner Dinic loops stay free of atomics.
+  uint64_t augmenting_paths = 0;
+  uint64_t bfs_rounds = 0;
   while (Bfs()) {
+    ++bfs_rounds;
     iter_.assign(static_cast<size_t>(num_nodes()), 0);
     while (int64_t pushed = Dfs(source_, kInfiniteCapacity)) {
+      ++augmenting_paths;
       total = SaturatingAddCapacity(total, pushed);
       if (total >= kInfiniteCapacity) {
         last_flow_ = kInfiniteCapacity;
@@ -136,6 +146,9 @@ int64_t FlowNetwork::MaxFlow(NodeId source, NodeId sink) {
       }
     }
   }
+  QP_METRIC_INCR("qp.flow.maxflow_runs");
+  QP_METRIC_COUNT("qp.flow.augmenting_paths", augmenting_paths);
+  QP_METRIC_COUNT("qp.flow.bfs_rounds", bfs_rounds);
   CheckFlowConservation(total);
   last_flow_ = total;
   return total;

@@ -10,6 +10,7 @@ Marketplace::Marketplace(Seller* seller)
     : seller_(seller), engine_(&seller->db(), &seller->prices()) {}
 
 Result<PriceQuote> Marketplace::Quote(std::string_view query_text) const {
+  QP_METRIC_INCR("qp.market.quotes");
   auto query = ParseQuery(seller_->catalog().schema(), query_text);
   if (!query.ok()) return query.status();
   BatchPricer pricer(&engine_,
@@ -19,6 +20,7 @@ Result<PriceQuote> Marketplace::Quote(std::string_view query_text) const {
 
 Result<std::vector<PriceQuote>> Marketplace::QuoteBatch(
     const std::vector<std::string>& query_texts, int num_threads) const {
+  QP_METRIC_COUNT("qp.market.quotes", query_texts.size());
   std::vector<ConjunctiveQuery> queries;
   queries.reserve(query_texts.size());
   for (const std::string& text : query_texts) {
@@ -70,11 +72,14 @@ Result<Marketplace::PurchaseResult> Marketplace::Purchase(
 
   revenue_ = AddMoney(revenue_, result.receipt.price);
   ledger_.push_back(result.receipt);
+  QP_METRIC_INCR("qp.market.purchases");
+  QP_METRIC_GAUGE_SET("qp.market.revenue_cents", revenue_);
   return result;
 }
 
 Result<PriceQuote> Marketplace::QuoteBundle(
     const std::vector<std::string>& query_texts) const {
+  QP_METRIC_INCR("qp.market.bundle_quotes");
   std::vector<ConjunctiveQuery> queries;
   for (const std::string& text : query_texts) {
     auto query = ParseQuery(seller_->catalog().schema(), text);
@@ -82,6 +87,10 @@ Result<PriceQuote> Marketplace::QuoteBundle(
     queries.push_back(std::move(*query));
   }
   return engine_.PriceBundle(queries);
+}
+
+qp::MetricsSnapshot Marketplace::MetricsSnapshot() const {
+  return MetricsRegistry::Global().Snapshot();
 }
 
 }  // namespace qp

@@ -7,6 +7,7 @@
 
 #include "qp/market/delivery.h"
 #include "qp/market/seller.h"
+#include "qp/obs/metrics.h"
 #include "qp/pricing/engine.h"
 #include "qp/pricing/quote_cache.h"
 #include "qp/util/result.h"
@@ -72,6 +73,11 @@ class Marketplace {
   Money total_revenue() const { return revenue_; }
   const std::vector<Receipt>& ledger() const { return ledger_; }
   const QuoteCache& quote_cache() const { return quote_cache_; }
+
+  /// Point-in-time snapshot of the process-wide metrics registry (counters,
+  /// gauges, latency histograms for every instrumented serving-path stage).
+  /// Empty when the library was built with QP_METRICS=OFF.
+  qp::MetricsSnapshot MetricsSnapshot() const;
 
  private:
   Seller* seller_;

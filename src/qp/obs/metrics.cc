@@ -1,0 +1,252 @@
+#include "qp/obs/metrics.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace qp {
+namespace {
+
+/// Upper edge of histogram bucket i: the largest value whose bit width is
+/// i (0 for the empty bucket 0).
+uint64_t BucketUpperEdge(int index) {
+  if (index <= 0) return 0;
+  if (index >= MetricHistogram::kNumBuckets - 1) return UINT64_MAX;
+  return (uint64_t{1} << index) - 1;
+}
+
+/// Relaxed atomic min/max via CAS; contention is rare (only ties for the
+/// extreme) so the loop almost always runs once.
+void AtomicMin(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t current = slot->load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t current = slot->load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void MetricHistogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+uint64_t MetricHistogram::Min() const {
+  uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+uint64_t MetricHistogram::Percentile(int q) const {
+  uint64_t count = Count();
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 100) q = 100;
+  // Nearest-rank (1-based): the smallest rank covering q% of samples.
+  uint64_t rank = (count * static_cast<uint64_t>(q) + 99) / 100;
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      return std::clamp(BucketUpperEdge(i), Min(), Max());
+    }
+  }
+  // Concurrent Record between count_ and bucket reads can leave the walk
+  // short; the max is the honest answer then.
+  return Max();
+}
+
+void MetricHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Stripe& MetricsRegistry::StripeFor(std::string_view name) {
+  return stripes_[std::hash<std::string_view>{}(name) % kStripes];
+}
+
+MetricCounter* MetricsRegistry::GetCounter(std::string_view name) {
+  Stripe& stripe = StripeFor(name);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto& slot = stripe.counters[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<MetricCounter>();
+  return slot.get();
+}
+
+MetricGauge* MetricsRegistry::GetGauge(std::string_view name) {
+  Stripe& stripe = StripeFor(name);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto& slot = stripe.gauges[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<MetricGauge>();
+  return slot.get();
+}
+
+MetricHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  Stripe& stripe = StripeFor(name);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto& slot = stripe.histograms[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<MetricHistogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [name, counter] : stripe.counters) {
+      snapshot.counters.push_back(CounterSample{name, counter->Value()});
+    }
+    for (const auto& [name, gauge] : stripe.gauges) {
+      snapshot.gauges.push_back(GaugeSample{name, gauge->Value()});
+    }
+    for (const auto& [name, hist] : stripe.histograms) {
+      snapshot.histograms.push_back(HistogramSample{
+          name, hist->Count(), hist->Sum(), hist->Min(), hist->Max(),
+          hist->Percentile(50), hist->Percentile(95), hist->Percentile(99)});
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto& [name, counter] : stripe.counters) counter->Reset();
+    for (auto& [name, gauge] : stripe.gauges) gauge->Reset();
+    for (auto& [name, hist] : stripe.histograms) hist->Reset();
+  }
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name,
+                                       uint64_t fallback) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return fallback;
+}
+
+int64_t MetricsSnapshot::GaugeValue(std::string_view name,
+                                    int64_t fallback) const {
+  for (const GaugeSample& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return fallback;
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsToText(const MetricsSnapshot& snapshot) {
+  if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+      snapshot.histograms.empty()) {
+    return "(no metrics recorded)\n";
+  }
+  std::string out;
+  for (const CounterSample& c : snapshot.counters) {
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    out += g.name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    out += h.name + " count=" + std::to_string(h.count) +
+           " sum=" + std::to_string(h.sum) + " min=" + std::to_string(h.min) +
+           " p50=" + std::to_string(h.p50) + " p95=" + std::to_string(h.p95) +
+           " p99=" + std::to_string(h.p99) + " max=" + std::to_string(h.max) +
+           "\n";
+  }
+  return out;
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const CounterSample& c : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    ";
+    AppendJsonString(&out, c.name);
+    out += ": " + std::to_string(c.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const GaugeSample& g : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    ";
+    AppendJsonString(&out, g.name);
+    out += ": " + std::to_string(g.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const HistogramSample& h : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    ";
+    AppendJsonString(&out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) +
+           ", \"min\": " + std::to_string(h.min) +
+           ", \"p50\": " + std::to_string(h.p50) +
+           ", \"p95\": " + std::to_string(h.p95) +
+           ", \"p99\": " + std::to_string(h.p99) +
+           ", \"max\": " + std::to_string(h.max) + "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace qp

@@ -1,0 +1,281 @@
+#ifndef QP_OBS_METRICS_H_
+#define QP_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace qp {
+
+/// Process-wide observability layer: monotonic counters, gauges and
+/// fixed-bucket latency histograms, registered by name in a lock-striped
+/// registry and read out as an immutable MetricsSnapshot.
+///
+/// Hot-path contract: instrumentation sites resolve their metric once
+/// (a function-local static holding the handle) and then touch only
+/// relaxed atomics — no locks, no allocation, no string hashing per
+/// event. When the library is configured with QP_METRICS=OFF (the
+/// QP_METRICS_DISABLED preprocessor define), every QP_METRIC_* macro
+/// expands to nothing and the serving path carries zero instrumentation.
+///
+/// Everything stays in integer arithmetic: histogram percentiles are the
+/// upper edge of the covering power-of-two bucket, clamped to the
+/// observed [min, max] (so a single-sample histogram reports that exact
+/// sample for every percentile). No float/double anywhere — the same
+/// discipline the pricing layer follows for Money.
+
+/// A monotonic counter. Increments are relaxed atomic adds; the total is
+/// read by MetricsRegistry::Snapshot.
+class MetricCounter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  /// Test-only: Snapshot deltas stay meaningful because instrument sites
+  /// cache the handle, which Reset never invalidates.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-write-wins gauge (cache sizes, revenue, pool depths).
+class MetricGauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A fixed-bucket histogram for non-negative values (by convention
+/// nanoseconds; name such metrics with an `_ns` suffix). Bucket i holds
+/// values whose bit width is i (i.e. v in [2^(i-1), 2^i - 1]), so Record
+/// is one std::bit_width plus relaxed atomics; quantiles are exact to the
+/// covering power of two and clamped to the observed min/max.
+class MetricHistogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  uint64_t Min() const;
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  /// The q-th percentile (q in [0, 100]) by cumulative bucket walk:
+  /// the upper edge of the bucket containing the rank, clamped to
+  /// [Min(), Max()]. 0 when empty.
+  uint64_t Percentile(int q) const;
+
+  void Reset();
+
+ private:
+  static int BucketIndex(uint64_t value) {
+    int width = std::bit_width(value);
+    return width < kNumBuckets ? width : kNumBuckets - 1;
+  }
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+/// A point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Value of a counter, or `fallback` when it was never registered.
+  uint64_t CounterValue(std::string_view name, uint64_t fallback = 0) const;
+  int64_t GaugeValue(std::string_view name, int64_t fallback = 0) const;
+  const HistogramSample* FindHistogram(std::string_view name) const;
+};
+
+/// Human-readable dump, one metric per line.
+std::string MetricsToText(const MetricsSnapshot& snapshot);
+
+/// Machine-readable dump:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// The name -> metric registry. Lookups are striped by name hash so
+/// concurrent registration from pool workers does not serialize; metric
+/// objects are heap-allocated once and their addresses stay stable for
+/// the process lifetime (Reset zeroes values, never frees), which is what
+/// lets instrument sites cache raw pointers in function-local statics.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every QP_METRIC_* macro records into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named metric. A name registered as one kind
+  /// must not be reused as another (checked: the mismatched kind gets its
+  /// own slot with a "!kind" suffix rather than aliasing).
+  MetricCounter* GetCounter(std::string_view name);
+  MetricGauge* GetGauge(std::string_view name);
+  MetricHistogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric without invalidating handles (test isolation).
+  void Reset();
+
+ private:
+  static constexpr size_t kStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<MetricCounter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<MetricGauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<MetricHistogram>>
+        histograms;
+  };
+
+  Stripe& StripeFor(std::string_view name);
+
+  Stripe stripes_[kStripes];
+};
+
+/// Monotonic clock in nanoseconds (steady_clock), the time base of every
+/// `_ns` histogram.
+inline uint64_t MetricClockNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII latency probe: records elapsed nanoseconds into a histogram on
+/// destruction. Null histogram = disarmed (records nothing).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(MetricHistogram* hist)
+      : hist_(hist), start_ns_(MetricClockNowNs()) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->Record(MetricClockNowNs() - start_ns_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricHistogram* hist_;
+  uint64_t start_ns_;
+};
+
+}  // namespace qp
+
+/// QP_METRICS_ENABLED is 1 unless the build sets QP_METRICS_DISABLED
+/// (cmake -DQP_METRICS=OFF). Instrument through the macros below, never
+/// through the registry directly, so the OFF build compiles the serving
+/// path with no trace of the instrumentation (arguments are not
+/// evaluated; sizeof keeps variables "used" for -Werror).
+#ifdef QP_METRICS_DISABLED
+#define QP_METRICS_ENABLED 0
+#else
+#define QP_METRICS_ENABLED 1
+#endif
+
+#define QP_METRIC_INTERNAL_CAT2(a, b) a##b
+#define QP_METRIC_INTERNAL_CAT(a, b) QP_METRIC_INTERNAL_CAT2(a, b)
+
+#if QP_METRICS_ENABLED
+
+/// Adds `delta` to the named monotonic counter.
+#define QP_METRIC_COUNT(name, delta)                                       \
+  do {                                                                     \
+    static ::qp::MetricCounter* qp_metric_counter =                        \
+        ::qp::MetricsRegistry::Global().GetCounter(name);                  \
+    qp_metric_counter->Add(static_cast<uint64_t>(delta));                  \
+  } while (0)
+
+/// Sets the named gauge to `value`.
+#define QP_METRIC_GAUGE_SET(name, value)                                   \
+  do {                                                                     \
+    static ::qp::MetricGauge* qp_metric_gauge =                            \
+        ::qp::MetricsRegistry::Global().GetGauge(name);                    \
+    qp_metric_gauge->Set(static_cast<int64_t>(value));                     \
+  } while (0)
+
+/// Records `value` into the named histogram.
+#define QP_METRIC_RECORD(name, value)                                      \
+  do {                                                                     \
+    static ::qp::MetricHistogram* qp_metric_hist =                         \
+        ::qp::MetricsRegistry::Global().GetHistogram(name);                \
+    qp_metric_hist->Record(static_cast<uint64_t>(value));                  \
+  } while (0)
+
+/// MetricClockNowNs(), or the constant 0 in the OFF build (so timestamp
+/// plumbing around QP_METRIC_RECORD also compiles out).
+#define QP_METRIC_NOW_NS() ::qp::MetricClockNowNs()
+
+/// Times the enclosing scope into the named `_ns` histogram.
+#define QP_METRIC_SCOPED_TIMER(name)                                       \
+  static ::qp::MetricHistogram* QP_METRIC_INTERNAL_CAT(                    \
+      qp_metric_timer_hist_, __LINE__) =                                   \
+      ::qp::MetricsRegistry::Global().GetHistogram(name);                  \
+  ::qp::ScopedTimer QP_METRIC_INTERNAL_CAT(qp_metric_timer_, __LINE__)(    \
+      QP_METRIC_INTERNAL_CAT(qp_metric_timer_hist_, __LINE__))
+
+#else  // !QP_METRICS_ENABLED
+
+#define QP_METRIC_COUNT(name, delta)                                       \
+  do {                                                                     \
+    (void)sizeof(delta);                                                   \
+  } while (0)
+#define QP_METRIC_GAUGE_SET(name, value)                                   \
+  do {                                                                     \
+    (void)sizeof(value);                                                   \
+  } while (0)
+#define QP_METRIC_RECORD(name, value)                                      \
+  do {                                                                     \
+    (void)sizeof(value);                                                   \
+  } while (0)
+#define QP_METRIC_NOW_NS() uint64_t{0}
+#define QP_METRIC_SCOPED_TIMER(name) ((void)0)
+
+#endif  // QP_METRICS_ENABLED
+
+/// One-increment shorthand.
+#define QP_METRIC_INCR(name) QP_METRIC_COUNT(name, 1)
+
+#endif  // QP_OBS_METRICS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "qp/check/invariants.h"
+#include "qp/obs/metrics.h"
 
 namespace qp {
 
@@ -21,6 +22,8 @@ Result<bool> ArbitragePricer::Determines(const QueryBundle& views,
 }
 
 Result<ArbitrageQuote> ArbitragePricer::Price(const QueryBundle& query) const {
+  QP_METRIC_INCR("qp.arbitrage.price.calls");
+  QP_METRIC_SCOPED_TIMER("qp.arbitrage.price_ns");
   const size_t n = points_.size();
   if (n > 20) {
     return Status::ResourceExhausted(

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "qp/check/invariants.h"
+#include "qp/obs/metrics.h"
 #include "qp/util/thread_pool.h"
 
 namespace qp {
@@ -16,6 +17,7 @@ BatchPricer::BatchPricer(const PricingEngine* engine,
                                             : options.num_threads) {}
 
 Result<PriceQuote> BatchPricer::Price(const ConjunctiveQuery& query) const {
+  QP_METRIC_SCOPED_TIMER("qp.batch.solve_ns");
   if (cache_ == nullptr) return engine_->Price(query);
   std::string fingerprint = query.Fingerprint();
   if (auto cached = cache_->Lookup(fingerprint, engine_->db())) {
@@ -38,13 +40,23 @@ std::vector<Result<PriceQuote>> BatchPricer::PriceAll(
   std::vector<Result<PriceQuote>> out(
       n, Result<PriceQuote>(Status::Internal("not priced")));
   if (n == 0) return out;
+  QP_METRIC_INCR("qp.batch.runs");
+  QP_METRIC_COUNT("qp.batch.queries", n);
   if (num_threads_ <= 1 || n == 1) {
     for (int i = 0; i < n; ++i) out[i] = Price(queries[i]);
     return out;
   }
   // No point spawning more workers than queries.
   ThreadPool pool(std::min(num_threads_, n));
-  pool.ParallelFor(n, [&](int i) { out[i] = Price(queries[i]); });
+  // Queue wait = batch submission to task start: how long a quote request
+  // sat behind other work before a worker picked it up (the serving-path
+  // saturation signal, as opposed to qp.batch.solve_ns, the solver time).
+  const uint64_t batch_start_ns = QP_METRIC_NOW_NS();
+  pool.ParallelFor(n, [&](int i) {
+    QP_METRIC_RECORD("qp.batch.queue_wait_ns",
+                     QP_METRIC_NOW_NS() - batch_start_ns);
+    out[i] = Price(queries[i]);
+  });
   return out;
 }
 

@@ -8,6 +8,7 @@
 
 #include "qp/check/invariants.h"
 #include "qp/flow/max_flow.h"
+#include "qp/obs/metrics.h"
 #include "qp/query/analysis.h"
 #include "qp/util/hash.h"
 
@@ -31,6 +32,8 @@ Result<PricingSolution> PriceChainBundleByMergedCut(
     const std::vector<ConjunctiveQuery>& queries,
     const ChainSolverOptions& options, ChainGraphStats* stats) {
   (void)options;  // the merged construction always uses hubs
+  QP_METRIC_INCR("qp.solver.bundle_merged.solves");
+  QP_METRIC_SCOPED_TIMER("qp.solver.bundle_merged_ns");
   if (queries.empty()) {
     PricingSolution empty;
     empty.price = 0;

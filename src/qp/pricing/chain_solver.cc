@@ -6,6 +6,7 @@
 
 #include "qp/check/invariants.h"
 #include "qp/flow/max_flow.h"
+#include "qp/obs/metrics.h"
 #include "qp/util/hash.h"
 
 namespace qp {
@@ -53,6 +54,8 @@ Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
                                          FlowNetwork* scratch) {
   const int num_links = static_cast<int>(links.size());
   if (num_links == 0) return Status::InvalidArgument("empty chain");
+  QP_METRIC_INCR("qp.solver.chain.solves");
+  QP_METRIC_SCOPED_TIMER("qp.solver.chain_ns");
 
   // Slot variables: slot i sits between link i-1 and link i.
   // slot_var[0] = entry var of link 0; slot_var[i+1] = exit var of link i.

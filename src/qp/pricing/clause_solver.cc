@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "qp/obs/metrics.h"
 #include "qp/pricing/hitting_set.h"
 
 namespace qp {
@@ -240,6 +241,8 @@ Result<PricingSolution> PriceFullQueryByClauses(
     const Instance& db, const SelectionPriceSet& prices,
     const ConjunctiveQuery& query, const ClauseSolverOptions& options,
     ClauseSolverStats* stats) {
+  QP_METRIC_INCR("qp.solver.clause.solves");
+  QP_METRIC_SCOPED_TIMER("qp.solver.clause_ns");
   return PriceFullBundleByClauses(db, prices, {query}, options, stats);
 }
 

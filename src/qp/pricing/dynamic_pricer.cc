@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "qp/check/invariants.h"
+#include "qp/obs/metrics.h"
 #include "qp/pricing/batch_pricer.h"
 
 namespace qp {
@@ -34,6 +35,9 @@ Result<PriceQuote> DynamicPricer::CurrentQuote(const std::string& name) const {
 
 Result<std::vector<DynamicPricer::PriceChange>> DynamicPricer::Insert(
     std::string_view rel, const std::vector<std::vector<Value>>& rows) {
+  QP_METRIC_INCR("qp.dynamic.insert_batches");
+  QP_METRIC_COUNT("qp.dynamic.inserted_rows", rows.size());
+  QP_METRIC_SCOPED_TIMER("qp.dynamic.insert_ns");
   for (const auto& row : rows) {
     auto inserted = db_->Insert(rel, row);
     if (!inserted.ok()) return inserted.status();
@@ -57,6 +61,11 @@ Result<std::vector<DynamicPricer::PriceChange>> DynamicPricer::Insert(
     }
     changes.push_back(std::move(change));
   }
+  // The incremental-repricing payoff: re-solved vs. served-from-cache
+  // watched-query counts per insert batch.
+  QP_METRIC_COUNT("qp.dynamic.repriced_queries", stale.size());
+  QP_METRIC_COUNT("qp.dynamic.cache_served_queries",
+                  changes.size() - stale.size());
   if (!stale.empty()) {
     std::vector<ConjunctiveQuery> queries;
     queries.reserve(stale.size());

@@ -7,6 +7,7 @@
 #include "qp/check/invariants.h"
 #include "qp/determinacy/selection_determinacy.h"
 #include "qp/eval/evaluator.h"
+#include "qp/obs/metrics.h"
 #include "qp/pricing/boolean_pricer.h"
 #include "qp/pricing/bundle_solver.h"
 #include "qp/pricing/gchq_solver.h"
@@ -74,7 +75,13 @@ bool PricingEngine::SellsWholeDatabase() const {
 }
 
 Result<PriceQuote> PricingEngine::Price(const ConjunctiveQuery& query) const {
+  // Counts every engine entry, including the recursive component and
+  // full-version prices a single top-level quote can trigger (see the
+  // metric catalog in DESIGN.md §9).
+  QP_METRIC_INCR("qp.engine.price.calls");
+  QP_METRIC_SCOPED_TIMER("qp.engine.price_ns");
   auto quote = PriceDispatch(query);
+  if (!quote.ok()) QP_METRIC_INCR("qp.engine.price.errors");
   // Return-boundary invariants (Prop 2.8 / Lemma 3.1): quoted prices are
   // non-negative and never exceed the cost of buying full covers of every
   // relation the query reads. Skipped entirely at QP_CHECK_LEVEL=off.
@@ -92,6 +99,7 @@ Result<PriceQuote> PricingEngine::PriceDispatch(
   if (components.size() <= 1) return PriceConnected(query);
 
   // Proposition 3.14: compose the component prices based on emptiness.
+  QP_METRIC_INCR("qp.engine.dispatch.component_composition");
   Evaluator eval(db_);
   std::vector<PriceQuote> quotes;
   std::vector<bool> empty;
@@ -144,6 +152,7 @@ Result<PriceQuote> PricingEngine::PriceBoolean(
   PriceQuote out;
   out.query_class = PricingClass::kBoolean;
   if (*satisfied) {
+    QP_METRIC_INCR("qp.engine.dispatch.boolean_witness");
     auto solution = PriceTrueBooleanQuery(*db_, *prices_, query);
     if (!solution.ok()) return solution.status();
     out.solution = std::move(*solution);
@@ -158,6 +167,7 @@ Result<PriceQuote> PricingEngine::PriceBoolean(
   ConjunctiveQuery full = FullVersionOf(query);
   if (full.IsBoolean()) {
     // Ground query: one candidate; the clause solver handles it directly.
+    QP_METRIC_INCR("qp.engine.dispatch.clause_ground");
     auto solution = PriceFullQueryByClauses(*db_, *prices_, query,
                                             options_.clause);
     if (!solution.ok()) return solution.status();
@@ -188,6 +198,7 @@ Result<PriceQuote> PricingEngine::PriceConnected(
 
   switch (cls.cls) {
     case PricingClass::kGChQ: {
+      QP_METRIC_INCR("qp.engine.dispatch.gchq");
       auto solution = PriceGChQQuery(*db_, *prices_, query, cls.gchq_order,
                                      options_.chain);
       if (!solution.ok()) return solution.status();
@@ -198,6 +209,7 @@ Result<PriceQuote> PricingEngine::PriceConnected(
     case PricingClass::kCycle:
     case PricingClass::kNPHardFull:
     case PricingClass::kOutsideDichotomy: {
+      QP_METRIC_INCR("qp.engine.dispatch.clause");
       auto solution = PriceFullQueryByClauses(*db_, *prices_, query,
                                               options_.clause);
       if (!solution.ok()) return solution.status();
@@ -206,6 +218,7 @@ Result<PriceQuote> PricingEngine::PriceConnected(
       return out;
     }
     case PricingClass::kNonFull: {
+      QP_METRIC_INCR("qp.engine.dispatch.exhaustive");
       auto solution = PriceByExhaustiveSearch(*db_, *prices_, query,
                                               options_.exhaustive);
       if (!solution.ok()) return solution.status();
@@ -223,6 +236,8 @@ Result<PriceQuote> PricingEngine::PriceConnected(
 
 Result<PriceQuote> PricingEngine::PriceUnion(const UnionQuery& query) const {
   if (query.disjuncts.size() == 1) return Price(query.disjuncts[0]);
+  QP_METRIC_INCR("qp.engine.dispatch.union_exhaustive");
+  QP_METRIC_SCOPED_TIMER("qp.engine.price_union_ns");
   auto solution = PriceUnionByExhaustiveSearch(*db_, *prices_, query,
                                                options_.exhaustive);
   if (!solution.ok()) return solution.status();
@@ -243,6 +258,8 @@ Result<PriceQuote> PricingEngine::PriceUnion(const UnionQuery& query) const {
 
 Result<PriceQuote> PricingEngine::PriceBundle(
     const std::vector<ConjunctiveQuery>& queries) const {
+  QP_METRIC_INCR("qp.engine.price_bundle.calls");
+  QP_METRIC_SCOPED_TIMER("qp.engine.price_bundle_ns");
   auto quote = PriceBundleDispatch(queries);
   if (quote.ok() && check_internal::CheckEnabled()) {
     Money bound =
@@ -270,6 +287,7 @@ Result<PriceQuote> PricingEngine::PriceBundleDispatch(
     auto merged = PriceChainBundleByMergedCut(*db_, *prices_, queries,
                                               options_.chain);
     if (merged.ok()) {
+      QP_METRIC_INCR("qp.engine.dispatch.bundle_merged_cut");
       out.solution = std::move(*merged);
       out.ptime = true;
       out.solver = "merged-min-cut(bundle)";
@@ -287,6 +305,7 @@ Result<PriceQuote> PricingEngine::PriceBundleDispatch(
       queries.begin(), queries.end(),
       [](const ConjunctiveQuery& q) { return q.IsFull(); });
   if (all_full) {
+    QP_METRIC_INCR("qp.engine.dispatch.bundle_clause");
     auto solution = PriceFullBundleByClauses(*db_, *prices_, queries,
                                              options_.clause);
     if (!solution.ok()) return solution.status();
@@ -295,6 +314,7 @@ Result<PriceQuote> PricingEngine::PriceBundleDispatch(
     out.explanation = "bundle of full CQs: union of determinacy clauses";
     return out;
   }
+  QP_METRIC_INCR("qp.engine.dispatch.bundle_exhaustive");
   auto solution = PriceByExhaustiveSearch(*db_, *prices_, queries,
                                           options_.exhaustive);
   if (!solution.ok()) return solution.status();

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "qp/determinacy/selection_determinacy.h"
+#include "qp/obs/metrics.h"
 
 namespace qp {
 namespace {
@@ -69,6 +70,8 @@ Result<PricingSolution> RunSearch(const Instance& db,
                                   const std::vector<RelationId>& relations,
                                   DeterminacyOracle oracle,
                                   const ExhaustiveSolverOptions& options) {
+  QP_METRIC_INCR("qp.solver.exhaustive.solves");
+  QP_METRIC_SCOPED_TIMER("qp.solver.exhaustive_ns");
   const Catalog& catalog = db.catalog();
   std::set<RelationId> relation_set(relations.begin(), relations.end());
 

@@ -5,6 +5,7 @@
 
 #include "qp/check/invariants.h"
 #include "qp/flow/max_flow.h"
+#include "qp/obs/metrics.h"
 
 namespace qp {
 namespace {
@@ -167,6 +168,8 @@ Result<PricingSolution> PriceGChQQuery(const Instance& db,
   if (gchq_order.size() != query.atoms().size()) {
     return Status::InvalidArgument("gchq_order size mismatch");
   }
+  QP_METRIC_INCR("qp.solver.gchq.solves");
+  QP_METRIC_SCOPED_TIMER("qp.solver.gchq_ns");
   // Reorder atoms into GChQ order.
   ConjunctiveQuery ordered(query.name());
   for (VarId v = 0; v < query.num_vars(); ++v) {

@@ -1,5 +1,7 @@
 #include "qp/pricing/quote_cache.h"
 
+#include "qp/obs/metrics.h"
+
 namespace qp {
 
 std::optional<PriceQuote> QuoteCache::Lookup(const std::string& fingerprint,
@@ -8,16 +10,20 @@ std::optional<PriceQuote> QuoteCache::Lookup(const std::string& fingerprint,
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
     ++stats_.misses;
+    QP_METRIC_INCR("qp.cache.misses");
     return std::nullopt;
   }
   for (const auto& [rel, generation] : it->second.deps) {
     if (db.generation(rel) != generation) {
       entries_.erase(it);
       ++stats_.invalidations;
+      QP_METRIC_INCR("qp.cache.invalidations");
+      QP_METRIC_GAUGE_SET("qp.cache.size", entries_.size());
       return std::nullopt;
     }
   }
   ++stats_.hits;
+  QP_METRIC_INCR("qp.cache.hits");
   return it->second.quote;
 }
 
@@ -32,11 +38,14 @@ void QuoteCache::Store(const std::string& fingerprint,
   std::lock_guard<std::mutex> lock(mu_);
   entries_[fingerprint] = std::move(entry);
   ++stats_.insertions;
+  QP_METRIC_INCR("qp.cache.insertions");
+  QP_METRIC_GAUGE_SET("qp.cache.size", entries_.size());
 }
 
 void QuoteCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  QP_METRIC_GAUGE_SET("qp.cache.size", 0);
 }
 
 size_t QuoteCache::size() const {

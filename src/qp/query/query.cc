@@ -211,10 +211,13 @@ std::string ConjunctiveQuery::Fingerprint() const {
           if (!a.args[p].is_var() || a.args[p].var != v) continue;
           std::string c = std::to_string(a.rel) + "." + std::to_string(p) +
                           ":";
+          // Append piecewise: `"r" + std::string{...}` trips GCC 12's
+          // spurious -Wrestrict (PR 105329) under -Werror.
           for (const Term& t : a.args) {
-            c += t.is_var() ? "r" + std::to_string(rank[t.var])
-                            : "c" + t.constant.ToString();
-            c += ",";
+            c += t.is_var() ? 'r' : 'c';
+            c += t.is_var() ? std::to_string(rank[t.var])
+                            : t.constant.ToString();
+            c += ',';
           }
           ctx.push_back(std::move(c));
         }
@@ -239,11 +242,17 @@ std::string ConjunctiveQuery::Fingerprint() const {
   for (int i = 0; i < n; ++i) canonical[order[i]] = i;
 
   auto term_str = [&](const Term& t) {
-    return t.is_var() ? "v" + std::to_string(canonical[t.var])
-                      : "c" + t.constant.ToString();
+    std::string s(1, t.is_var() ? 'v' : 'c');
+    s += t.is_var() ? std::to_string(canonical[t.var])
+                    : t.constant.ToString();
+    return s;
   };
   std::string out = "H:";
-  for (VarId v : head_) out += "v" + std::to_string(canonical[v]) + ",";
+  for (VarId v : head_) {
+    out += 'v';
+    out += std::to_string(canonical[v]);
+    out += ',';
+  }
   std::vector<std::string> atom_strs;
   for (const Atom& a : atoms_) {
     std::string s = std::to_string(a.rel) + "(";
@@ -256,8 +265,11 @@ std::string ConjunctiveQuery::Fingerprint() const {
   for (const std::string& s : atom_strs) out += s + ";";
   std::vector<std::string> pred_strs;
   for (const UnaryPredicate& p : predicates_) {
-    pred_strs.push_back("v" + std::to_string(canonical[p.var]) +
-                        std::string(CmpOpName(p.op)) + p.rhs.ToString());
+    std::string s(1, 'v');
+    s += std::to_string(canonical[p.var]);
+    s += CmpOpName(p.op);
+    s += p.rhs.ToString();
+    pred_strs.push_back(std::move(s));
   }
   std::sort(pred_strs.begin(), pred_strs.end());
   out += "|P:";
@@ -297,7 +309,9 @@ ConjunctiveQuery IdentityQuery(const Schema& schema, RelationId rel) {
   ConjunctiveQuery q(schema.relation_name(rel) + "_all");
   std::vector<Term> args;
   for (int p = 0; p < schema.arity(rel); ++p) {
-    VarId v = q.AddVar("x" + std::to_string(p));
+    std::string var_name = "x";
+    var_name += std::to_string(p);
+    VarId v = q.AddVar(std::move(var_name));
     q.AddHeadVar(v);
     args.push_back(Term::MakeVar(v));
   }

@@ -1,0 +1,236 @@
+// The observability layer (qp/obs/metrics.h): counter and histogram
+// correctness, percentile edge cases, concurrent increments from
+// ThreadPool workers (the TSan target), registry snapshot/reset
+// semantics, and the QP_METRICS compile switch.
+
+#include "qp/obs/metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/util/thread_pool.h"
+
+namespace qp {
+namespace {
+
+TEST(MetricCounter, AddAndReset) {
+  MetricCounter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(MetricGauge, SetAddReset) {
+  MetricGauge gauge;
+  gauge.Set(7);  // NOLINT(unchecked-status): MetricGauge::Set is void
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -3);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(MetricHistogram, EmptyHistogramReportsZeros) {
+  MetricHistogram hist;
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Sum(), 0u);
+  EXPECT_EQ(hist.Min(), 0u);
+  EXPECT_EQ(hist.Max(), 0u);
+  EXPECT_EQ(hist.Percentile(50), 0u);
+  EXPECT_EQ(hist.Percentile(99), 0u);
+}
+
+TEST(MetricHistogram, SingleSampleIsExactAtEveryPercentile) {
+  MetricHistogram hist;
+  hist.Record(12345);
+  EXPECT_EQ(hist.Count(), 1u);
+  EXPECT_EQ(hist.Sum(), 12345u);
+  EXPECT_EQ(hist.Min(), 12345u);
+  EXPECT_EQ(hist.Max(), 12345u);
+  // The covering bucket spans [8192, 16383], but min/max clamping makes a
+  // one-sample histogram exact.
+  EXPECT_EQ(hist.Percentile(0), 12345u);
+  EXPECT_EQ(hist.Percentile(50), 12345u);
+  EXPECT_EQ(hist.Percentile(100), 12345u);
+}
+
+TEST(MetricHistogram, PercentilesBracketTheDistribution) {
+  MetricHistogram hist;
+  // 90 cheap samples and 10 expensive ones: p50 must stay at the cheap
+  // end's covering bucket, p99 must land in the expensive range.
+  for (int i = 0; i < 90; ++i) hist.Record(100);
+  for (int i = 0; i < 10; ++i) hist.Record(1000000);
+  EXPECT_EQ(hist.Count(), 100u);
+  uint64_t p50 = hist.Percentile(50);
+  uint64_t p99 = hist.Percentile(99);
+  EXPECT_GE(p50, 100u);
+  EXPECT_LT(p50, 256u);  // upper edge of the bucket covering 100
+  EXPECT_GE(p99, 524288u);  // lower edge of the bucket covering 1e6
+  EXPECT_LE(p99, hist.Max());
+  EXPECT_LE(p50, p99);
+}
+
+TEST(MetricHistogram, ZeroValueLandsInBucketZero) {
+  MetricHistogram hist;
+  hist.Record(0);
+  EXPECT_EQ(hist.Count(), 1u);
+  EXPECT_EQ(hist.Min(), 0u);
+  EXPECT_EQ(hist.Max(), 0u);
+  EXPECT_EQ(hist.Percentile(50), 0u);
+}
+
+TEST(MetricHistogram, OverflowBucketClampsToMax) {
+  MetricHistogram hist;
+  // bit_width(UINT64_MAX) = 64 = kNumBuckets, so this must clamp into the
+  // last bucket instead of indexing out of range, and the percentile must
+  // come back as the observed max, not the bucket's UINT64_MAX edge.
+  hist.Record(UINT64_MAX - 1);
+  hist.Record(UINT64_MAX);
+  EXPECT_EQ(hist.Count(), 2u);
+  EXPECT_EQ(hist.Max(), UINT64_MAX);
+  EXPECT_EQ(hist.Percentile(50), UINT64_MAX);
+  EXPECT_EQ(hist.Min(), UINT64_MAX - 1);
+}
+
+TEST(MetricHistogram, ResetClearsEverything) {
+  MetricHistogram hist;
+  hist.Record(5);
+  hist.Record(500);
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Sum(), 0u);
+  EXPECT_EQ(hist.Min(), 0u);
+  EXPECT_EQ(hist.Max(), 0u);
+  EXPECT_EQ(hist.Percentile(95), 0u);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  MetricCounter* first = registry.GetCounter("test.counter");
+  MetricCounter* second = registry.GetCounter("test.counter");
+  EXPECT_EQ(first, second);
+  first->Add(3);
+  EXPECT_EQ(second->Value(), 3u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter")->Add(2);
+  registry.GetCounter("a.counter")->Add(1);
+  registry.GetGauge("g.gauge")->Set(-5);
+  registry.GetHistogram("h.hist")->Record(64);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.counter");
+  EXPECT_EQ(snapshot.counters[1].name, "b.counter");
+  EXPECT_EQ(snapshot.CounterValue("b.counter"), 2u);
+  EXPECT_EQ(snapshot.CounterValue("missing", 77), 77u);
+  EXPECT_EQ(snapshot.GaugeValue("g.gauge"), -5);
+  const HistogramSample* hist = snapshot.FindHistogram("h.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_EQ(snapshot.FindHistogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, ResetZeroesWithoutInvalidatingHandles) {
+  MetricsRegistry registry;
+  MetricCounter* counter = registry.GetCounter("r.counter");
+  MetricHistogram* hist = registry.GetHistogram("r.hist");
+  counter->Add(10);
+  hist->Record(10);
+  registry.Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(hist->Count(), 0u);
+  // The old handle still feeds the same registered metric.
+  counter->Add(4);
+  EXPECT_EQ(registry.Snapshot().CounterValue("r.counter"), 4u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsFromPoolWorkersAreExact) {
+  // The TSan target: many workers hammering one counter, one histogram
+  // and fresh registrations concurrently must be race-free and lose no
+  // increment.
+  MetricsRegistry registry;
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 250;
+  ThreadPool pool(8);
+  pool.ParallelFor(kTasks, [&registry](int task) {
+    MetricCounter* counter = registry.GetCounter("mt.counter");
+    MetricHistogram* hist = registry.GetHistogram("mt.hist");
+    MetricGauge* gauge = registry.GetGauge("mt.gauge." +
+                                           std::to_string(task % 4));
+    for (int i = 0; i < kPerTask; ++i) {
+      counter->Increment();
+      hist->Record(static_cast<uint64_t>(i));
+      gauge->Set(i);  // NOLINT(unchecked-status): void
+    }
+  });
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("mt.counter"),
+            static_cast<uint64_t>(kTasks) * kPerTask);
+  const HistogramSample* hist = snapshot.FindHistogram("mt.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, static_cast<uint64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(hist->min, 0u);
+  EXPECT_EQ(hist->max, static_cast<uint64_t>(kPerTask - 1));
+}
+
+TEST(MetricsMacros, CompileSwitchMatchesBuildConfiguration) {
+#if QP_METRICS_ENABLED
+  MetricsRegistry::Global().Reset();
+  QP_METRIC_INCR("macro.test.counter");
+  QP_METRIC_COUNT("macro.test.counter", 4);
+  QP_METRIC_GAUGE_SET("macro.test.gauge", 9);
+  QP_METRIC_RECORD("macro.test.hist", 100);
+  { QP_METRIC_SCOPED_TIMER("macro.test.timer_ns"); }
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("macro.test.counter"), 5u);
+  EXPECT_EQ(snapshot.GaugeValue("macro.test.gauge"), 9);
+  const HistogramSample* hist = snapshot.FindHistogram("macro.test.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  const HistogramSample* timer =
+      snapshot.FindHistogram("macro.test.timer_ns");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->count, 1u);
+#else
+  // QP_METRICS=OFF: macros must not evaluate arguments or register
+  // anything; a side-effecting argument proves non-evaluation.
+  int evaluations = 0;
+  QP_METRIC_INCR("macro.test.counter");
+  QP_METRIC_COUNT("macro.test.counter", ++evaluations);
+  QP_METRIC_GAUGE_SET("macro.test.gauge", ++evaluations);
+  QP_METRIC_RECORD("macro.test.hist", ++evaluations);
+  QP_METRIC_SCOPED_TIMER("macro.test.timer_ns");
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(QP_METRIC_NOW_NS(), 0u);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("macro.test.counter", 123), 123u);
+#endif
+}
+
+TEST(MetricsRendering, TextAndJsonContainEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("render.counter")->Add(3);
+  registry.GetGauge("render.gauge")->Set(-1);
+  registry.GetHistogram("render.hist_ns")->Record(1000);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  std::string text = MetricsToText(snapshot);
+  EXPECT_NE(text.find("render.counter"), std::string::npos);
+  EXPECT_NE(text.find("render.gauge"), std::string::npos);
+  EXPECT_NE(text.find("render.hist_ns"), std::string::npos);
+  std::string json = MetricsToJson(snapshot);
+  EXPECT_NE(json.find("\"render.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"render.gauge\": -1"), std::string::npos);
+  EXPECT_NE(json.find("\"render.hist_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qp

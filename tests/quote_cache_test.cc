@@ -6,6 +6,7 @@
 #include "qp/pricing/quote_cache.h"
 
 #include "gtest/gtest.h"
+#include "qp/obs/metrics.h"
 #include "qp/pricing/dynamic_pricer.h"
 #include "test_fixtures.h"
 
@@ -112,6 +113,34 @@ TEST(QuoteCache, HitUntilDependencyMutates) {
   EXPECT_EQ(stats.misses, 0u);
   EXPECT_EQ(cache.size(), 0u);
 }
+
+#if QP_METRICS_ENABLED
+TEST(QuoteCache, LookupAndStoreFeedGlobalMetricCounters) {
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  ConjunctiveQuery r_only = Parse(e.catalog->schema(), "Qr(x) :- R(x)");
+
+  MetricsRegistry::Global().Reset();
+  QuoteCache cache;
+  // Miss, store, two hits, then an invalidation via a mutated dependency.
+  EXPECT_FALSE(cache.Lookup(r_only.Fingerprint(), *e.db).has_value());
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(r_only));
+  cache.Store(r_only.Fingerprint(), r_only, *e.db, quote);
+  EXPECT_TRUE(cache.Lookup(r_only.Fingerprint(), *e.db).has_value());
+  EXPECT_TRUE(cache.Lookup(r_only.Fingerprint(), *e.db).has_value());
+  QP_ASSERT_OK_AND_ASSIGN(bool inserted,
+                          e.db->Insert("R", {Value::Str("a3")}));
+  EXPECT_TRUE(inserted);
+  EXPECT_FALSE(cache.Lookup(r_only.Fingerprint(), *e.db).has_value());
+
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("qp.cache.misses"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("qp.cache.hits"), 2u);
+  EXPECT_EQ(snapshot.CounterValue("qp.cache.insertions"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("qp.cache.invalidations"), 1u);
+  EXPECT_EQ(snapshot.GaugeValue("qp.cache.size"), 0);
+}
+#endif  // QP_METRICS_ENABLED
 
 TEST(QuoteCache, ServesAlphaRenamedQuery) {
   Example38 e = Example38::Make();

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_qpricer.json run against a checked-in baseline.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [--threshold=PCT] [--metric=M]
+  bench_compare.py --self-test
+
+Exits non-zero when any scenario regresses by more than the threshold
+(default 25%) on the compared metric (default p50_ns), or when a baseline
+scenario is missing from the current run. New scenarios (present only in
+the current run) are reported but do not fail the comparison — they have
+no baseline yet. `--self-test` injects a synthetic 2x slowdown and checks
+that the comparison catches it (also wired up as a ctest).
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+
+def load_scenarios(path):
+    with open(path) as f:
+        report = json.load(f)
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict):
+        raise ValueError(f"{path}: no 'scenarios' object")
+    return report, scenarios
+
+
+def compare(baseline, current, threshold_pct, metric):
+    """Returns (rows, failures); rows power the delta table."""
+    rows = []
+    failures = []
+    for name in sorted(baseline):
+        base_value = baseline[name].get(metric)
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            rows.append((name, base_value, None, None, "MISSING"))
+            continue
+        cur_value = current[name].get(metric)
+        if not base_value:
+            rows.append((name, base_value, cur_value, None, "no-baseline"))
+            continue
+        delta_pct = 100.0 * (cur_value - base_value) / base_value
+        status = "ok"
+        if delta_pct > threshold_pct:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {metric} {base_value} -> {cur_value} "
+                f"(+{delta_pct:.1f}% > {threshold_pct:.0f}%)"
+            )
+        rows.append((name, base_value, cur_value, delta_pct, status))
+    for name in sorted(set(current) - set(baseline)):
+        rows.append((name, None, current[name].get(metric), None, "new"))
+    return rows, failures
+
+
+def print_table(rows, metric):
+    print(f"{'scenario':<28} {'base ' + metric:>16} {'current':>16} "
+          f"{'delta':>9}  status")
+    for name, base_value, cur_value, delta_pct, status in rows:
+        base_text = str(base_value) if base_value is not None else "-"
+        cur_text = str(cur_value) if cur_value is not None else "-"
+        delta_text = f"{delta_pct:+.1f}%" if delta_pct is not None else "-"
+        print(f"{name:<28} {base_text:>16} {cur_text:>16} {delta_text:>9}  "
+              f"{status}")
+
+
+def self_test():
+    baseline = {
+        "steady": {"p50_ns": 1000, "p95_ns": 1500},
+        "slowed": {"p50_ns": 2000, "p95_ns": 2500},
+        "gone": {"p50_ns": 3000, "p95_ns": 3500},
+    }
+    # Injected 2x slowdown on one scenario, one missing scenario.
+    current = copy.deepcopy(baseline)
+    current["slowed"]["p50_ns"] = 4000
+    del current["gone"]
+
+    rows, failures = compare(baseline, current, 25.0, "p50_ns")
+    print_table(rows, "p50_ns")
+    assert any("slowed" in f for f in failures), "2x slowdown not flagged"
+    assert any("gone" in f for f in failures), "missing scenario not flagged"
+    assert len(failures) == 2, f"unexpected failures: {failures}"
+
+    # Within-threshold noise must pass.
+    noisy = copy.deepcopy(baseline)
+    noisy["slowed"]["p50_ns"] = 2400  # +20%
+    _, noise_failures = compare(baseline, noisy, 25.0, "p50_ns")
+    assert not noise_failures, f"noise flagged: {noise_failures}"
+
+    print("self-test: ok (2x slowdown and missing scenario both flagged)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_qpricer.json runs")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="max allowed regression, percent (default 25)")
+    parser.add_argument("--metric", default="p50_ns",
+                        help="scenario field to compare (default p50_ns)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify an injected 2x slowdown fails the "
+                             "comparison")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("baseline and current are required (or --self-test)")
+
+    _, baseline = load_scenarios(args.baseline)
+    _, current = load_scenarios(args.current)
+    rows, failures = compare(baseline, current, args.threshold, args.metric)
+    print_table(rows, args.metric)
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) over "
+              f"{args.threshold:.0f}% on {args.metric}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nok: no scenario regressed over {args.threshold:.0f}% on "
+          f"{args.metric}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 //                              set (why the query costs money at all)
 //   consistency                check the price points for arbitrage
 //   catalog                    list relations, columns and price points
+//   metrics [json]             dump serving-path metrics (text or JSON)
 //   save <path>                write the offering back to a file
 //   help, quit
 //
@@ -128,6 +129,15 @@ int RunCommand(qp::Seller& seller, qp::Marketplace& market,
     PrintCatalog(seller);
     return 0;
   }
+  if (command == "metrics") {
+    qp::MetricsSnapshot snapshot = market.MetricsSnapshot();
+    std::string rendered = (qp::Trim(args) == "json")
+                               ? qp::MetricsToJson(snapshot)
+                               : qp::MetricsToText(snapshot);
+    std::printf("%s", rendered.c_str());
+    if (!rendered.empty() && rendered.back() != '\n') std::printf("\n");
+    return 0;
+  }
   if (command == "ledger") {
     for (const qp::Receipt& r : market.ledger()) {
       std::printf("#%lld %s %s \"%s\"\n",
@@ -146,7 +156,7 @@ int RunCommand(qp::Seller& seller, qp::Marketplace& market,
   if (command == "help") {
     std::printf(
         "commands: price <q> | buy <buyer> <q> | explain <q> | consistency "
-        "| catalog | ledger | save <path> | quit\n");
+        "| catalog | ledger | metrics [json] | save <path> | quit\n");
     return 0;
   }
   std::printf("unknown command '%s' (try: help)\n", command.c_str());
