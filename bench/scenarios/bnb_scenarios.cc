@@ -1,0 +1,110 @@
+// NP-hard growth scenarios (T3.5): the branch-and-bound exhaustive solver
+// on H1–H3 at increasing view counts, with nodes-expanded / memo-hit /
+// oracle-eval counters, plus the legacy instance-oracle DFS on the largest
+// workload — the pair quantifies the coverage-bitset speedup.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "bench/common/runner.h"
+#include "qp/pricing/exhaustive_solver.h"
+#include "qp/workload/join_workloads.h"
+
+namespace qp::bench {
+namespace {
+
+using ScenarioBody = std::function<std::function<void()>(ScenarioContext&)>;
+
+qp::Workload MakeHard(qp::HardQuery which, int n, uint64_t seed) {
+  qp::JoinWorkloadParams params;
+  params.column_size = n;
+  params.tuple_density = 0.4;
+  params.seed = seed;
+  auto w = qp::MakeHardQueryWorkload(which, params);
+  if (!w.ok()) {
+    std::fprintf(stderr, "workload: %s\n", w.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*w);
+}
+
+/// Shared setup: solves once on the branch-and-bound path (for counters
+/// and a cross-check against the reference DFS), then returns the timed
+/// closure for whichever options the scenario measures.
+ScenarioBody HardScenario(qp::HardQuery which, int n, uint64_t seed,
+                          qp::ExhaustiveSolverOptions options) {
+  return [which, n, seed, options](ScenarioContext& context) {
+    auto w = std::make_shared<qp::Workload>(MakeHard(which, n, seed));
+    qp::ExhaustiveSolveStats stats;
+    auto solution =
+        qp::PriceByExhaustiveSearch(*w->db, w->prices, w->query, options,
+                                    &stats);
+    if (!solution.ok()) {
+      std::fprintf(stderr, "solve: %s\n",
+                   solution.status().ToString().c_str());
+      std::exit(1);
+    }
+    // The two paths must quote identically (DESIGN.md §10); a divergence
+    // here is a correctness bug, not a perf regression.
+    qp::ExhaustiveSolverOptions reference = options;
+    reference.force_reference = true;
+    auto check =
+        qp::PriceByExhaustiveSearch(*w->db, w->prices, w->query, reference);
+    if (!check.ok() || check->price != solution->price ||
+        !(check->support == solution->support)) {
+      std::fprintf(stderr, "nphard growth: B&B / reference disagreement\n");
+      std::exit(1);
+    }
+    context.SetCounter("price", solution->price);
+    context.SetCounter("nodes", stats.nodes);
+    context.SetCounter("memo_hits", stats.memo_hits);
+    context.SetCounter("oracle_evals", stats.oracle_evals);
+    context.SetCounter("dominated_views", stats.dominated_views);
+    return [w, options]() {
+      auto s =
+          qp::PriceByExhaustiveSearch(*w->db, w->prices, w->query, options);
+      if (!s.ok()) std::exit(1);
+    };
+  };
+}
+
+qp::ExhaustiveSolverOptions BnbOptions() {
+  qp::ExhaustiveSolverOptions options;
+  options.threads = 4;
+  return options;
+}
+
+qp::ExhaustiveSolverOptions ReferenceOptions() {
+  qp::ExhaustiveSolverOptions options;
+  options.force_reference = true;
+  return options;
+}
+
+const int kRegistered[] = {
+    RegisterScenario({"nphard_bnb_h1_n3",
+                      "T3.5 growth: H1 (18 views), coverage-bitset B&B, "
+                      "4 threads",
+                      /*full_iters=*/50, /*quick_iters=*/10,
+                      HardScenario(qp::HardQuery::kH1, 3, 17, BnbOptions())}),
+    RegisterScenario({"nphard_bnb_h2_n4",
+                      "T3.5 growth: H2 (20 views), coverage-bitset B&B, "
+                      "4 threads",
+                      /*full_iters=*/50, /*quick_iters=*/10,
+                      HardScenario(qp::HardQuery::kH2, 4, 17, BnbOptions())}),
+    RegisterScenario({"nphard_bnb_h3_n6",
+                      "T3.5 growth: H3 (18 views, self-join), coverage-"
+                      "bitset B&B, 4 threads",
+                      /*full_iters=*/50, /*quick_iters=*/10,
+                      HardScenario(qp::HardQuery::kH3, 6, 17, BnbOptions())}),
+    RegisterScenario({"nphard_ref_h2_n4",
+                      "T3.5 growth: the pre-B&B instance-oracle DFS on the "
+                      "largest workload (speedup denominator)",
+                      /*full_iters=*/5, /*quick_iters=*/2,
+                      HardScenario(qp::HardQuery::kH2, 4, 17,
+                                   ReferenceOptions())}),
+};
+
+}  // namespace
+}  // namespace qp::bench

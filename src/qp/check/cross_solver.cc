@@ -194,10 +194,11 @@ Result<CrossSolverReport> CrossValidateRandom(
     int num_instances, uint64_t seed, const CrossSolverOptions& options) {
   // Rotate through every solver-relevant shape: chains and stars exercise
   // the min-cut / GChQ pipeline, cycles and H1–H3 the clause solver, and
-  // the per-instance bundle the merged-min-cut / clause bundle paths.
+  // the per-instance bundle the merged-min-cut / clause bundle paths. H4
+  // is a projection, so it lands on the exhaustive branch-and-bound path.
   static constexpr const char* kShapes[] = {"chain1", "chain2", "star2",
-                                            "cycle3", "h1", "h2", "h3"};
-  constexpr int kNumShapes = 7;
+                                            "cycle3", "h1", "h2", "h3", "h4"};
+  constexpr int kNumShapes = 8;
   Rng rng(seed);
   CrossSolverReport report;
   for (int i = 0; i < num_instances; ++i) {
@@ -223,8 +224,10 @@ Result<CrossSolverReport> CrossValidateRandom(
       w = MakeHardQueryWorkload(HardQuery::kH1, params);
     } else if (std::string(shape) == "h2") {
       w = MakeHardQueryWorkload(HardQuery::kH2, params);
-    } else {
+    } else if (std::string(shape) == "h3") {
       w = MakeHardQueryWorkload(HardQuery::kH3, params);
+    } else {
+      w = MakeHardQueryWorkload(HardQuery::kH4, params);
     }
     if (!w.ok()) return w.status();
 

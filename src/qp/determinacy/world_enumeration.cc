@@ -1,21 +1,34 @@
 #include "qp/determinacy/world_enumeration.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <unordered_map>
 
 #include "qp/eval/evaluator.h"
+#include "qp/util/hash.h"
 
 namespace qp {
 namespace {
 
-/// Relations mentioned by a bundle.
-void CollectRelations(const QueryBundle& bundle, std::set<RelationId>* out) {
+/// Relations mentioned by a bundle, appended unsorted (callers sort and
+/// deduplicate the combined list once).
+void CollectRelations(const QueryBundle& bundle, std::vector<RelationId>* out) {
   for (const UnionQuery& uq : bundle.queries) {
     for (const ConjunctiveQuery& cq : uq.disjuncts) {
-      for (const Atom& a : cq.atoms()) out->insert(a.rel);
+      for (const Atom& a : cq.atoms()) out->push_back(a.rel);
     }
   }
+}
+
+/// Sorted, deduplicated relations of both bundles — a flat vector instead
+/// of a std::set; two bundles mention a handful of relations.
+std::vector<RelationId> RelationsOfBundles(const QueryBundle& views,
+                                           const QueryBundle& query) {
+  std::vector<RelationId> rels;
+  CollectRelations(views, &rels);
+  CollectRelations(query, &rels);
+  std::sort(rels.begin(), rels.end());
+  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+  return rels;
 }
 
 /// The answer of a bundle on an instance: one sorted answer list per
@@ -48,6 +61,12 @@ bool BundleImageSubset(const std::vector<std::vector<Tuple>>& a,
 /// Flattens a bundle image into a comparable key.
 std::vector<uint32_t> ImageKey(const std::vector<std::vector<Tuple>>& image) {
   std::vector<uint32_t> key;
+  size_t total = 0;
+  for (const auto& answers : image) {
+    total += 1 + answers.size();
+    for (const Tuple& t : answers) total += t.size();
+  }
+  key.reserve(total);
   for (const auto& answers : image) {
     key.push_back(0xfffffffeu);  // query separator
     for (const Tuple& t : answers) {
@@ -58,13 +77,19 @@ std::vector<uint32_t> ImageKey(const std::vector<std::vector<Tuple>>& image) {
   return key;
 }
 
+struct ImageKeyHasher {
+  size_t operator()(const std::vector<uint32_t>& key) const {
+    return HashRange(key);
+  }
+};
+
 struct CandidateSpace {
   std::vector<std::pair<RelationId, Tuple>> tuples;
 };
 
 /// All candidate tuples (column cross products) of the given relations.
 Result<CandidateSpace> BuildCandidateSpace(const Catalog& catalog,
-                                           const std::set<RelationId>& rels,
+                                           const std::vector<RelationId>& rels,
                                            size_t max_tuples) {
   CandidateSpace space;
   for (RelationId rel : rels) {
@@ -129,11 +154,7 @@ Result<bool> EnumerationDetermines(const Instance& db,
                                    const QueryBundle& views,
                                    const QueryBundle& query,
                                    const WorldEnumerationOptions& options) {
-  std::set<RelationId> rels;
-  CollectRelations(views, &rels);
-  CollectRelations(query, &rels);
-
-  auto space = BuildCandidateSpace(db.catalog(), rels,
+  auto space = BuildCandidateSpace(db.catalog(), RelationsOfBundles(views, query),
                                    options.max_candidate_tuples);
   if (!space.ok()) return space.status();
 
@@ -170,11 +191,7 @@ Result<bool> EnumerationDetermines(const Instance& db,
 Result<bool> RestrictedEnumerationDetermines(
     const Instance& db, const QueryBundle& views, const QueryBundle& query,
     const WorldEnumerationOptions& options) {
-  std::set<RelationId> rels;
-  CollectRelations(views, &rels);
-  CollectRelations(query, &rels);
-
-  auto space = BuildCandidateSpace(db.catalog(), rels,
+  auto space = BuildCandidateSpace(db.catalog(), RelationsOfBundles(views, query),
                                    options.max_candidate_tuples);
   if (!space.ok()) return space.status();
 
@@ -182,8 +199,12 @@ Result<bool> RestrictedEnumerationDetermines(
   if (!v_image.ok()) return v_image.status();
 
   // Group worlds by their view image. For every group whose image is
-  // contained in V(D), all members must agree on Q.
-  std::map<std::vector<uint32_t>, std::vector<std::vector<Tuple>>> groups;
+  // contained in V(D), all members must agree on Q. Only membership and
+  // the stored Q-image matter, so a hash map beats the ordered map this
+  // hot loop used to rebalance on every fresh image.
+  std::unordered_map<std::vector<uint32_t>, std::vector<std::vector<Tuple>>,
+                     ImageKeyHasher>
+      groups;
   bool determined = true;
   Status inner = Status::Ok();
   Status loop = ForEachWorld(db, *space, [&](const Instance& world) {

@@ -1,0 +1,112 @@
+#ifndef QP_PRICING_BNB_BITSET_H_
+#define QP_PRICING_BNB_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "qp/util/hash.h"
+
+namespace qp::bnb {
+
+/// A fixed-width dynamic bitset backed by uint64_t words: the currency of
+/// the branch-and-bound pricing engine. Coverage sets over candidate
+/// cells and decision vectors over view indexes both live here, so
+/// per-node determinacy and tie-breaking reduce to word-wise OR / compare
+/// (see DESIGN.md §10). Widths routinely exceed 64 (cells) and may exceed
+/// 64 (views when max_views is raised), hence no std::bitset.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t num_bits() const { return num_bits_; }
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+
+  void Clear() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  void OrWith(const Bitset& other) {
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  /// out = a | b without allocating; `out` must already have the width.
+  static void OrInto(const Bitset& a, const Bitset& b, Bitset* out) {
+    for (size_t w = 0; w < a.words_.size(); ++w) {
+      out->words_[w] = a.words_[w] | b.words_[w];
+    }
+  }
+
+  /// this ⊆ other, i.e. this & ~other == 0.
+  bool IsSubsetOf(const Bitset& other) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] & ~other.words_[w]) return false;
+    }
+    return true;
+  }
+
+  bool None() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// |a \ b| — how many bits a would newly contribute on top of b.
+  static size_t CountAndNot(const Bitset& a, const Bitset& b) {
+    size_t n = 0;
+    for (size_t w = 0; w < a.words_.size(); ++w) {
+      n += static_cast<size_t>(
+          __builtin_popcountll(a.words_[w] & ~b.words_[w]));
+    }
+    return n;
+  }
+
+  bool operator==(const Bitset& other) const {
+    return words_ == other.words_;
+  }
+  bool operator!=(const Bitset& other) const { return !(*this == other); }
+
+  size_t Hash() const { return HashRange(words_); }
+
+  /// Depth-first-search order of two decision vectors over the same view
+  /// list (bit i set = view i included; the DFS explores include before
+  /// exclude). Returns > 0 if `a` is visited earlier than `b`, < 0 if
+  /// later, 0 if equal: the first differing view index decides, and the
+  /// vector that *includes* that view is the earlier one.
+  static int CompareDfsOrder(const Bitset& a, const Bitset& b) {
+    for (size_t w = 0; w < a.words_.size(); ++w) {
+      uint64_t diff = a.words_[w] ^ b.words_[w];
+      if (diff == 0) continue;
+      uint64_t lowest = diff & (~diff + 1);
+      return (a.words_[w] & lowest) ? 1 : -1;
+    }
+    return 0;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+struct BitsetHasher {
+  size_t operator()(const Bitset& b) const { return b.Hash(); }
+};
+
+}  // namespace qp::bnb
+
+#endif  // QP_PRICING_BNB_BITSET_H_

@@ -1,0 +1,83 @@
+#ifndef QP_PRICING_BNB_BOUNDS_H_
+#define QP_PRICING_BNB_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qp/pricing/bnb/bitset.h"
+#include "qp/pricing/money.h"
+
+namespace qp::bnb {
+
+/// Admissible lower bound shared by the subset and hitting-set searchers:
+/// greedily pack item-disjoint "cells" (candidate cells there, clauses
+/// here) that still need an item; each packed cell contributes the
+/// cheapest weight among its available items, and all its available items
+/// are then consumed so later cells can't double-count them. Any feasible
+/// completion pays at least one item per packed cell and the packed cells
+/// share no items, so the sum never exceeds the true remaining cost.
+///
+/// `cell_items[c]` lists the item ids that can serve cell c; `skip_cell`
+/// filters cells already served; `item_available` filters items the
+/// current node may still pick. `used_stamp` is caller-owned scratch of
+/// size >= num items; entries equal to `epoch` mean "consumed" — bump the
+/// epoch per call instead of clearing (zero the vector when the epoch
+/// wraps to 0).
+template <typename SkipCellFn, typename ItemAvailableFn>
+Money DisjointPackingBound(const std::vector<std::vector<int>>& cell_items,
+                           const std::vector<Money>& weights,
+                           SkipCellFn skip_cell,
+                           ItemAvailableFn item_available,
+                           std::vector<uint32_t>* used_stamp,
+                           uint32_t epoch) {
+  Money bound = 0;
+  for (size_t c = 0; c < cell_items.size(); ++c) {
+    if (skip_cell(c)) continue;
+    bool disjoint = true;
+    Money min_w = kInfiniteMoney;
+    for (int item : cell_items[c]) {
+      if (!item_available(item)) continue;
+      if ((*used_stamp)[item] == epoch) disjoint = false;
+      if (weights[item] < min_w) min_w = weights[item];
+    }
+    if (!disjoint) continue;
+    if (IsInfinite(min_w)) continue;  // dead cell: caller detects infeasibility
+    bound = AddMoney(bound, min_w);
+    for (int item : cell_items[c]) {
+      if (item_available(item)) (*used_stamp)[item] = epoch;
+    }
+  }
+  return bound;
+}
+
+/// Strict dominance pre-pass shared by both searchers: item i is dominated
+/// when a *strictly cheaper* item j covers a superset of i's cells, or
+/// when i covers nothing yet costs anything. Dominated items appear in no
+/// optimal solution (swap i for j: coverage grows, cost strictly drops),
+/// so dropping them preserves both the optimum and the canonical
+/// (DFS-earliest) optimal support. Equal-price dominance is deliberately
+/// NOT pruned — it could remove the canonical support's own views and
+/// change which optimum is reported (DESIGN.md §10).
+inline std::vector<char> StrictlyDominatedItems(
+    const std::vector<Money>& weights, const std::vector<Bitset>& coverage) {
+  const size_t n = weights.size();
+  std::vector<char> dominated(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (weights[i] > 0 && coverage[i].None()) {
+      dominated[i] = 1;
+      continue;
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i || weights[j] >= weights[i]) continue;
+      if (coverage[i].IsSubsetOf(coverage[j])) {
+        dominated[i] = 1;
+        break;
+      }
+    }
+  }
+  return dominated;
+}
+
+}  // namespace qp::bnb
+
+#endif  // QP_PRICING_BNB_BOUNDS_H_

@@ -1,0 +1,157 @@
+#include "qp/pricing/bnb/coverage_oracle.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "qp/determinacy/selection_determinacy.h"
+#include "qp/eval/evaluator.h"
+
+namespace qp::bnb {
+
+Result<CoverageOracle> CoverageOracle::Build(
+    const Instance& db, const std::vector<RelationId>& relations,
+    const std::vector<ConjunctiveQuery>* bundle,
+    const UnionQuery* union_query, const Options& options) {
+  CoverageOracle oracle;
+  oracle.db_ = &db;
+  oracle.bundle_ = bundle;
+  oracle.union_query_ = union_query;
+  oracle.relations_ = relations;
+
+  const Catalog& catalog = db.catalog();
+  size_t total = 0;
+  for (RelationId rel : relations) {
+    const int arity = catalog.schema().arity(rel);
+    size_t count = 1;
+    for (int p = 0; p < arity; ++p) {
+      AttrRef attr{rel, p};
+      if (!catalog.HasColumn(attr)) {
+        return Status::FailedPrecondition(
+            "coverage oracle requires a column on " +
+            catalog.schema().AttrToString(attr));
+      }
+      count *= catalog.Column(attr).size();
+      if (count > options.max_cells) break;
+    }
+    total += count;
+    if (total > options.max_cells) {
+      return Status::ResourceExhausted(
+          "candidate cell universe exceeds max_cells (" +
+          std::to_string(options.max_cells) + ")");
+    }
+    // The coverage construction assumes D's tuples live inside the cell
+    // universe (the inclusion constraint). Tuples inserted before their
+    // column was declared would silently fall outside Dmin, so verify.
+    for (const Tuple& t : db.Relation(rel)) {
+      for (int p = 0; p < arity; ++p) {
+        if (!catalog.InColumn(AttrRef{rel, p}, t[p])) {
+          return Status::FailedPrecondition(
+              "instance tuple outside its declared columns; coverage "
+              "oracle unavailable");
+        }
+      }
+    }
+  }
+
+  oracle.cells_.reserve(total);
+  for (RelationId rel : relations) {
+    const size_t begin = oracle.cells_.size();
+    const int arity = catalog.schema().arity(rel);
+    std::vector<const std::vector<ValueId>*> cols(arity);
+    bool empty = false;
+    for (int p = 0; p < arity; ++p) {
+      cols[p] = &catalog.Column(AttrRef{rel, p});
+      if (cols[p]->empty()) empty = true;
+    }
+    if (!empty) {
+      Tuple tuple(arity);
+      std::vector<size_t> idx(arity, 0);
+      while (true) {
+        for (int p = 0; p < arity; ++p) tuple[p] = (*cols[p])[idx[p]];
+        oracle.cells_.push_back(Cell{rel, tuple});
+        int p = arity - 1;
+        while (p >= 0 && ++idx[p] == cols[p]->size()) idx[p--] = 0;
+        if (p < 0) break;
+      }
+    }
+    oracle.ranges_.emplace_back(begin, oracle.cells_.size());
+  }
+
+  oracle.in_db_.resize(oracle.cells_.size(), 0);
+  for (size_t i = 0; i < oracle.cells_.size(); ++i) {
+    oracle.in_db_[i] = db.Contains(oracle.cells_[i].rel, oracle.cells_[i].tuple);
+  }
+  return oracle;
+}
+
+Bitset CoverageOracle::CoverageOf(const SelectionView& view) const {
+  Bitset out(cells_.size());
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    if (relations_[r] != view.attr.rel) continue;
+    for (size_t i = ranges_[r].first; i < ranges_[r].second; ++i) {
+      if (cells_[i].tuple[view.attr.pos] == view.value) out.Set(i);
+    }
+  }
+  return out;
+}
+
+Result<bool> CoverageOracle::DeterminedFromCoverage(
+    const Bitset& covered) const {
+  Instance dmin(&db_->catalog());
+  Instance dmax(&db_->catalog());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (covered.Test(i)) {
+      if (in_db_[i]) {
+        auto r1 = dmin.Insert(cells_[i].rel, cells_[i].tuple);
+        if (!r1.ok()) return r1.status();
+        auto r2 = dmax.Insert(cells_[i].rel, cells_[i].tuple);
+        if (!r2.ok()) return r2.status();
+      }
+    } else {
+      auto r = dmax.Insert(cells_[i].rel, cells_[i].tuple);
+      if (!r.ok()) return r.status();
+    }
+  }
+  Evaluator min_eval(&dmin);
+  Evaluator max_eval(&dmax);
+  if (bundle_ != nullptr) {
+    for (const ConjunctiveQuery& q : *bundle_) {
+      auto lo = min_eval.EvalToSet(q);
+      if (!lo.ok()) return lo.status();
+      auto hi = max_eval.EvalToSet(q);
+      if (!hi.ok()) return hi.status();
+      if (*lo != *hi) return false;
+    }
+    return true;
+  }
+  auto lo = min_eval.EvalUnion(*union_query_);
+  if (!lo.ok()) return lo.status();
+  auto hi = max_eval.EvalUnion(*union_query_);
+  if (!hi.ok()) return hi.status();
+  return *lo == *hi;
+}
+
+Status CoverageOracle::ValidateAgainstInstanceOracle(
+    const std::vector<SelectionView>& views) const {
+  const std::vector<SelectionView> empty;
+  for (const std::vector<SelectionView>* subset : {&views, &empty}) {
+    Bitset covered(cells_.size());
+    for (const SelectionView& v : *subset) covered.OrWith(CoverageOf(v));
+    auto from_coverage = DeterminedFromCoverage(covered);
+    if (!from_coverage.ok()) return from_coverage.status();
+    auto from_instance =
+        bundle_ != nullptr
+            ? SelectionViewsDetermine(*db_, *subset, *bundle_)
+            : SelectionViewsDetermine(*db_, *subset, *union_query_);
+    if (!from_instance.ok()) return from_instance.status();
+    if (*from_coverage != *from_instance) {
+      return Status::Internal(
+          "coverage-bitset oracle disagrees with the instance-level "
+          "determinacy oracle (Theorem 3.3 reduction bug)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace qp::bnb

@@ -1,0 +1,82 @@
+#ifndef QP_PRICING_BNB_COVERAGE_ORACLE_H_
+#define QP_PRICING_BNB_COVERAGE_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qp/pricing/bnb/bitset.h"
+#include "qp/pricing/price_points.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp::bnb {
+
+/// Determinacy as a function of covered cells (DESIGN.md §10).
+///
+/// The candidate cells of a solve are the column cross products of the
+/// query's relations — exactly the tuples BuildDmax enumerates. For any
+/// selection-view set V, Theorem 3.3's worlds depend on V only through
+/// which cells V covers:
+///   Dmin = { cell : covered ∧ in D }      Dmax = Dmin ∪ { cell : ¬covered }
+/// so D ⊢ V ։ Q is a monotone function of the coverage bitset C(V). The
+/// branch-and-bound search exploits that: per-view bitsets are built once,
+/// per-node coverage is an OR over words, and the Theorem 3.3 evaluation
+/// runs only on memo misses. The instance-level oracle
+/// (SelectionViewsDetermine) is kept solely as a one-time validation.
+class CoverageOracle {
+ public:
+  struct Options {
+    /// Cap on the candidate-cell universe; beyond it the caller falls
+    /// back to the instance-level oracle (each evaluation materializes
+    /// up to this many tuples).
+    size_t max_cells = 4096;
+  };
+
+  /// Builds the cell universe for a bundle of CQs (pass `union_query ==
+  /// nullptr`) or a UCQ (pass `bundle == nullptr`). Fails with
+  /// ResourceExhausted / FailedPrecondition when the universe is too
+  /// large, a column is missing, or the instance holds tuples outside
+  /// its columns — callers treat those as "fall back", not as errors.
+  /// `db`, `bundle` / `union_query` must outlive the oracle.
+  static Result<CoverageOracle> Build(
+      const Instance& db, const std::vector<RelationId>& relations,
+      const std::vector<ConjunctiveQuery>* bundle,
+      const UnionQuery* union_query, const Options& options);
+
+  size_t num_cells() const { return cells_.size(); }
+
+  /// The cells selected by one view (cells of the view's relation whose
+  /// `pos` component equals the view's value).
+  Bitset CoverageOf(const SelectionView& view) const;
+
+  /// Theorem 3.3 on the worlds induced by a coverage set: builds Dmin and
+  /// Dmax from the bitset and compares the query images.
+  Result<bool> DeterminedFromCoverage(const Bitset& covered) const;
+
+  /// One-time validation of the construction: compares this oracle
+  /// against the instance-level SelectionViewsDetermine on the full view
+  /// set and on the empty set. Any disagreement is an Internal error (a
+  /// bug, never a fallback).
+  Status ValidateAgainstInstanceOracle(
+      const std::vector<SelectionView>& views) const;
+
+ private:
+  struct Cell {
+    RelationId rel;
+    Tuple tuple;
+  };
+
+  const Instance* db_ = nullptr;
+  const std::vector<ConjunctiveQuery>* bundle_ = nullptr;
+  const UnionQuery* union_query_ = nullptr;
+  std::vector<RelationId> relations_;
+  /// Per-relation [begin, end) ranges into cells_, parallel to relations_.
+  std::vector<std::pair<size_t, size_t>> ranges_;
+  std::vector<Cell> cells_;
+  std::vector<char> in_db_;
+};
+
+}  // namespace qp::bnb
+
+#endif  // QP_PRICING_BNB_COVERAGE_ORACLE_H_

@@ -1,0 +1,58 @@
+#ifndef QP_PRICING_BNB_MEMO_H_
+#define QP_PRICING_BNB_MEMO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "qp/pricing/bnb/bitset.h"
+
+namespace qp::bnb {
+
+/// Thread-safe memo of determinacy outcomes keyed by coverage bitset.
+/// Keying by coverage (rather than by view subset) collapses every view
+/// subset with the same covered-cell set into one entry: determinacy is a
+/// function of coverage alone (DESIGN.md §10), so the cache is exact, not
+/// heuristic. Lock striping keeps the parallel search off a single mutex.
+class CoverageMemo {
+ public:
+  std::optional<bool> Lookup(const Bitset& key) const {
+    const Stripe& stripe = stripes_[StripeOf(key)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.map.find(key);
+    if (it == stripe.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void Insert(const Bitset& key, bool determined) {
+    Stripe& stripe = stripes_[StripeOf(key)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.map.emplace(key, determined);
+  }
+
+  size_t Size() const {
+    size_t n = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      n += stripe.map.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr size_t kStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<Bitset, bool, BitsetHasher> map;
+  };
+
+  static size_t StripeOf(const Bitset& key) { return key.Hash() % kStripes; }
+
+  Stripe stripes_[kStripes];
+};
+
+}  // namespace qp::bnb
+
+#endif  // QP_PRICING_BNB_MEMO_H_

@@ -1,0 +1,406 @@
+#include "qp/pricing/bnb/subset_bnb.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "qp/pricing/bnb/bounds.h"
+#include "qp/pricing/bnb/memo.h"
+#include "qp/util/thread_pool.h"
+
+namespace qp::bnb {
+namespace {
+
+/// Per-task scratch: one coverage slot per depth for include children (the
+/// exclude child reuses the parent's slot by reference), the mutable
+/// decision vector, a feasibility temp, and the epoch-stamped "used" array
+/// of the packing bound. No allocation happens per node.
+struct TaskContext {
+  std::vector<Bitset> c_stack;
+  Bitset key;
+  Bitset tmp;
+  std::vector<uint32_t> lb_stamp;
+  uint32_t lb_epoch = 0;
+
+  TaskContext(size_t num_items, size_t num_cells)
+      : c_stack(num_items + 1, Bitset(num_cells)),
+        key(num_items),
+        tmp(num_cells),
+        lb_stamp(num_items, 0) {}
+};
+
+struct FrontierNode {
+  Money cost = 0;
+  Bitset coverage;
+  Bitset key;
+};
+
+class Solver {
+ public:
+  Solver(const std::vector<SubsetItem>& items, size_t num_cells,
+         const CoverageDeterminacyFn& oracle, const SubsetBnbOptions& options,
+         SubsetBnbStats* stats)
+      : num_cells_(num_cells),
+        oracle_(oracle),
+        options_(options),
+        stats_(stats),
+        required_(num_cells),
+        root_coverage_(num_cells) {
+    // Canonical order = caller order; dominated items are dropped but the
+    // relative order (and hence the DFS tie-break) of survivors is kept.
+    std::vector<Money> all_weights;
+    std::vector<Bitset> all_cov;
+    all_weights.reserve(items.size());
+    all_cov.reserve(items.size());
+    for (const SubsetItem& item : items) {
+      all_weights.push_back(item.weight);
+      all_cov.push_back(item.coverage);
+    }
+    std::vector<char> dominated = StrictlyDominatedItems(all_weights, all_cov);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (dominated[i]) continue;
+      original_index_.push_back(static_cast<int>(i));
+      weights_.push_back(all_weights[i]);
+      cov_.push_back(std::move(all_cov[i]));
+    }
+    if (stats_ != nullptr) {
+      stats_->dominated_items =
+          static_cast<int64_t>(items.size() - weights_.size());
+    }
+    m_ = weights_.size();
+
+    suffix_or_.assign(m_ + 1, Bitset(num_cells_));
+    for (size_t i = m_; i-- > 0;) {
+      suffix_or_[i] = suffix_or_[i + 1];
+      suffix_or_[i].OrWith(cov_[i]);
+    }
+  }
+
+  Result<SubsetBnbResult> Run() {
+    SubsetBnbResult result;
+
+    // Root feasibility: is the query determined with everything included?
+    // (Dominance preserves this: every dominated item's coverage is
+    // contained in a surviving dominator's.)
+    bool all_feasible = Determined(suffix_or_[0]);
+    if (!error_.ok()) return error_;
+    if (!all_feasible) {
+      result.found = false;
+      FillStats(0);
+      return result;
+    }
+
+    ProbeRequiredCells();
+    if (!error_.ok()) return error_;
+    BuildRequiredCellItems();
+    SeedGreedyUpperBound();
+    if (!error_.ok()) return error_;
+
+    int64_t tasks = RunSearch();
+    if (!error_.ok()) return error_;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    result.aborted = aborted_.load(std::memory_order_relaxed);
+    FillStats(tasks);
+    if (result.aborted) {
+      result.cost = best_.load(std::memory_order_relaxed);
+      return result;
+    }
+    if (!have_incumbent_) {
+      // The strict-pruning argument guarantees an incumbent whenever the
+      // root is feasible; reaching here means the bound or oracle broke
+      // its contract.
+      return Status::Internal(
+          "subset branch-and-bound terminated without an incumbent on a "
+          "feasible instance");
+    }
+    result.found = true;
+    result.cost = best_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < m_; ++i) {
+      if (incumbent_key_.Test(i)) result.chosen.push_back(original_index_[i]);
+    }
+    return result;
+  }
+
+ private:
+  /// Memoized determinacy of a coverage set. The required-cell mask gives
+  /// a word-compare fast path: a set missing any required cell is
+  /// undetermined without consulting the memo or the oracle.
+  bool Determined(const Bitset& c) {
+    if (!required_.IsSubsetOf(c)) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    auto cached = memo_.Lookup(c);
+    if (cached.has_value()) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *cached;
+    }
+    oracle_evals_.fetch_add(1, std::memory_order_relaxed);
+    auto r = oracle_(c);
+    if (!r.ok()) {
+      LatchError(r.status());
+      return false;
+    }
+    memo_.Insert(c, *r);  // void insert  NOLINT(unchecked-status)
+    return *r;
+  }
+
+  void LatchError(Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error_.ok()) error_ = std::move(status);
+    aborted_.store(true, std::memory_order_relaxed);
+  }
+
+  /// A cell is required iff dropping it from the full coverage breaks
+  /// determinacy; monotonicity then forces every determining set to
+  /// contain it. Probing is capped: unprobed cells just don't strengthen
+  /// the bound (still admissible).
+  void ProbeRequiredCells() {
+    const Bitset& all = suffix_or_[0];
+    Bitset probe(num_cells_);
+    size_t probes = 0;
+    for (size_t cell = 0; cell < num_cells_ && !aborted_.load(); ++cell) {
+      if (!all.Test(cell)) continue;
+      if (probes++ >= options_.max_probe_cells) break;
+      probe = all;
+      probe.Reset(cell);
+      bool det = Determined(probe);
+      if (!error_.ok()) return;
+      if (!det) {
+        required_.Set(cell);  // void bit set  NOLINT(unchecked-status)
+        required_cell_ids_.push_back(cell);
+      }
+    }
+    if (stats_ != nullptr) {
+      stats_->required_cells =
+          static_cast<int64_t>(required_cell_ids_.size());
+    }
+  }
+
+  void BuildRequiredCellItems() {
+    required_cell_items_.resize(required_cell_ids_.size());
+    for (size_t rc = 0; rc < required_cell_ids_.size(); ++rc) {
+      for (size_t i = 0; i < m_; ++i) {
+        if (cov_[i].Test(required_cell_ids_[rc])) {
+          required_cell_items_[rc].push_back(static_cast<int>(i));
+        }
+      }
+    }
+  }
+
+  /// Greedy set-cover pass (best new-cells-per-weight ratio) to seed the
+  /// incumbent *bound* — never the incumbent *solution*, which must stay
+  /// the canonical DFS-earliest optimum.
+  void SeedGreedyUpperBound() {
+    Bitset g(num_cells_);
+    Money cost = 0;
+    std::vector<char> picked(m_, 0);
+    while (true) {
+      bool det = Determined(g);
+      if (!error_.ok()) return;
+      if (det) {
+        best_.store(cost, std::memory_order_relaxed);
+        return;
+      }
+      size_t best_item = m_;
+      size_t best_new = 0;
+      for (size_t i = 0; i < m_; ++i) {
+        if (picked[i]) continue;
+        size_t fresh = Bitset::CountAndNot(cov_[i], g);
+        if (fresh == 0) continue;
+        if (best_item == m_) {
+          best_item = i;
+          best_new = fresh;
+          continue;
+        }
+        // Higher fresh/weight ratio wins; cross-multiply in 128-bit to
+        // stay in integers.
+        __int128 lhs = static_cast<__int128>(fresh) * weights_[best_item];
+        __int128 rhs = static_cast<__int128>(best_new) * weights_[i];
+        if (lhs > rhs || (lhs == rhs && weights_[i] < weights_[best_item])) {
+          best_item = i;
+          best_new = fresh;
+        }
+      }
+      if (best_item == m_) return;  // no progress possible
+      picked[best_item] = 1;
+      g.OrWith(cov_[best_item]);
+      cost = AddMoney(cost, weights_[best_item]);
+    }
+  }
+
+  bool CountNode() {
+    int64_t n = nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.node_limit >= 0 && n > options_.node_limit) {
+      aborted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  Money LowerBound(TaskContext& ctx, size_t idx, const Bitset& c) {
+    if (required_cell_ids_.empty()) return 0;
+    if (++ctx.lb_epoch == 0) {
+      std::fill(ctx.lb_stamp.begin(), ctx.lb_stamp.end(), 0);
+      ctx.lb_epoch = 1;
+    }
+    return DisjointPackingBound(
+        required_cell_items_, weights_,
+        [&](size_t rc) { return c.Test(required_cell_ids_[rc]); },
+        [&](int item) { return item >= static_cast<int>(idx); },
+        &ctx.lb_stamp, ctx.lb_epoch);
+  }
+
+  void TryAccept(Money cost, const Bitset& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Money cur = best_.load(std::memory_order_relaxed);
+    if (cost > cur) return;
+    if (cost == cur && have_incumbent_ &&
+        Bitset::CompareDfsOrder(key, incumbent_key_) <= 0) {
+      return;
+    }
+    best_.store(cost, std::memory_order_relaxed);
+    have_incumbent_ = true;
+    incumbent_key_ = key;
+  }
+
+  void Search(TaskContext& ctx, size_t idx, Money cost, const Bitset& c) {
+    if (collecting_ && idx == frontier_depth_) {
+      frontier_.push_back(FrontierNode{cost, c, ctx.key});
+      return;
+    }
+    if (aborted_.load(std::memory_order_relaxed)) return;
+    if (!CountNode()) return;
+
+    if (Determined(c)) {
+      TryAccept(cost, ctx.key);
+      return;  // supersets only cost more
+    }
+    if (aborted_.load(std::memory_order_relaxed) || idx == m_) return;
+
+    // Feasibility: with every remaining item included, is it determined?
+    Bitset::OrInto(c, suffix_or_[idx], &ctx.tmp);
+    if (!Determined(ctx.tmp)) {
+      infeasible_pruned_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    // Admissible bound. Strictly greater only: equal-cost completions may
+    // hold the canonical optimum, and pruning them would make the result
+    // depend on which thread found an incumbent first.
+    Money lb = LowerBound(ctx, idx, c);
+    if (AddMoney(cost, lb) > best_.load(std::memory_order_relaxed)) {
+      bound_pruned_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    // Include items[idx].
+    ctx.key.Set(idx);  // void bit set  NOLINT(unchecked-status)
+    Bitset::OrInto(c, cov_[idx], &ctx.c_stack[idx + 1]);
+    Search(ctx, idx + 1, AddMoney(cost, weights_[idx]), ctx.c_stack[idx + 1]);
+    ctx.key.Reset(idx);
+    // Exclude items[idx].
+    Search(ctx, idx + 1, cost, c);
+  }
+
+  /// Returns the number of parallel tasks run (1 when sequential).
+  int64_t RunSearch() {
+    size_t depth = 0;
+    if (options_.threads > 1 && m_ > 0) {
+      size_t target = static_cast<size_t>(options_.threads) *
+                      static_cast<size_t>(std::max(1, options_.tasks_per_thread));
+      while ((size_t{1} << depth) < target &&
+             depth < options_.max_frontier_depth) {
+        ++depth;
+      }
+      depth = std::min(depth, m_);
+    }
+
+    TaskContext root_ctx(m_, num_cells_);
+    if (depth == 0) {
+      collecting_ = false;
+      Search(root_ctx, 0, 0, root_coverage_);
+      return 1;
+    }
+
+    // Sequential expansion to the frontier depth, then one parallel sweep
+    // over the surviving subtrees. The shared incumbent is an atomic money
+    // value read relaxed in the bound test; the (cost, key) pair itself is
+    // mutex-guarded in TryAccept.
+    collecting_ = true;
+    frontier_depth_ = depth;
+    Search(root_ctx, 0, 0, root_coverage_);
+    collecting_ = false;
+    if (frontier_.empty() || aborted_.load(std::memory_order_relaxed)) {
+      return 1;
+    }
+    int workers = std::min<int>(options_.threads,
+                                static_cast<int>(frontier_.size()));
+    ThreadPool pool(workers);
+    pool.ParallelFor(static_cast<int>(frontier_.size()), [&](int i) {
+      TaskContext ctx(m_, num_cells_);
+      ctx.key = frontier_[i].key;
+      Search(ctx, frontier_depth_, frontier_[i].cost, frontier_[i].coverage);
+    });
+    return static_cast<int64_t>(frontier_.size());
+  }
+
+  void FillStats(int64_t tasks) {
+    if (stats_ == nullptr) return;
+    stats_->nodes = nodes_.load(std::memory_order_relaxed);
+    stats_->oracle_evals = oracle_evals_.load(std::memory_order_relaxed);
+    stats_->memo_hits = memo_hits_.load(std::memory_order_relaxed);
+    stats_->bound_pruned = bound_pruned_.load(std::memory_order_relaxed);
+    stats_->infeasible_pruned =
+        infeasible_pruned_.load(std::memory_order_relaxed);
+    stats_->tasks = tasks;
+  }
+
+  const size_t num_cells_;
+  const CoverageDeterminacyFn& oracle_;
+  const SubsetBnbOptions& options_;
+  SubsetBnbStats* stats_;
+
+  // Frozen before the parallel phase.
+  size_t m_ = 0;
+  std::vector<int> original_index_;
+  std::vector<Money> weights_;
+  std::vector<Bitset> cov_;
+  std::vector<Bitset> suffix_or_;  // suffix_or_[i] = OR of cov_[i..m)
+  Bitset required_;
+  std::vector<size_t> required_cell_ids_;
+  std::vector<std::vector<int>> required_cell_items_;
+  Bitset root_coverage_;
+  bool collecting_ = false;
+  size_t frontier_depth_ = 0;
+  std::vector<FrontierNode> frontier_;
+
+  // Shared search state.
+  CoverageMemo memo_;
+  std::atomic<Money> best_{kInfiniteMoney};
+  std::atomic<int64_t> nodes_{0};
+  std::atomic<bool> aborted_{false};
+  std::atomic<int64_t> oracle_evals_{0};
+  std::atomic<int64_t> memo_hits_{0};
+  std::atomic<int64_t> bound_pruned_{0};
+  std::atomic<int64_t> infeasible_pruned_{0};
+  std::mutex mu_;
+  bool have_incumbent_ = false;
+  Bitset incumbent_key_;
+  Status error_ = Status::Ok();
+};
+
+}  // namespace
+
+Result<SubsetBnbResult> SolveSubsetBnb(const std::vector<SubsetItem>& items,
+                                       size_t num_cells,
+                                       const CoverageDeterminacyFn& oracle,
+                                       const SubsetBnbOptions& options,
+                                       SubsetBnbStats* stats) {
+  Solver solver(items, num_cells, oracle, options, stats);
+  return solver.Run();
+}
+
+}  // namespace qp::bnb

@@ -1,0 +1,85 @@
+#ifndef QP_PRICING_BNB_SUBSET_BNB_H_
+#define QP_PRICING_BNB_SUBSET_BNB_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "qp/pricing/bnb/bitset.h"
+#include "qp/pricing/money.h"
+#include "qp/util/result.h"
+
+namespace qp::bnb {
+
+/// One selectable item of a subset search: a weight and the set of
+/// candidate cells it covers. Item order is the canonical decision order
+/// (the caller sorts; the exhaustive solver uses price-descending with
+/// view-ascending tie-break).
+struct SubsetItem {
+  Money weight = 0;
+  Bitset coverage;
+};
+
+/// Exact monotone predicate over coverage bitsets: "does covering exactly
+/// these cells determine the query?". Must be monotone (C ⊆ C' and
+/// determined(C) ⇒ determined(C')) and deterministic; the engine
+/// memoizes it and only calls through on cache misses.
+using CoverageDeterminacyFn = std::function<Result<bool>(const Bitset&)>;
+
+struct SubsetBnbOptions {
+  /// Worker threads for parallel subtree exploration (<= 1: sequential).
+  /// Results are bit-identical across thread counts: pruning is strict
+  /// (`cost + bound > best`), so every optimal subset is enumerated under
+  /// any schedule, and ties are broken by DFS order, not arrival order.
+  int threads = 1;
+  /// Cap on search nodes (< 0 = unlimited); setup probes don't count.
+  int64_t node_limit = -1;
+  /// Cap on required-cell probing during setup (each probe is one oracle
+  /// evaluation; cells beyond the cap simply don't strengthen the bound).
+  size_t max_probe_cells = 512;
+  /// Frontier sizing for the parallel phase.
+  int tasks_per_thread = 4;
+  size_t max_frontier_depth = 10;
+};
+
+struct SubsetBnbStats {
+  int64_t nodes = 0;
+  int64_t oracle_evals = 0;
+  /// Memo hits plus required-mask short-circuits (the word-compare fast
+  /// path that answers "undetermined" without any evaluation).
+  int64_t memo_hits = 0;
+  int64_t bound_pruned = 0;
+  int64_t infeasible_pruned = 0;
+  int64_t dominated_items = 0;
+  int64_t required_cells = 0;
+  int64_t tasks = 0;
+};
+
+struct SubsetBnbResult {
+  Money cost = kInfiniteMoney;
+  /// Indexes into the caller's item vector, ascending. Among equal-cost
+  /// optima this is always the DFS-earliest one (include explored before
+  /// exclude), independent of thread count.
+  std::vector<int> chosen;
+  /// False when no subset (not even all items) satisfies the oracle.
+  bool found = false;
+  /// True when the node limit aborted the search; cost/chosen are then
+  /// unreliable.
+  bool aborted = false;
+};
+
+/// Minimum-weight subset search: finds the cheapest item subset whose
+/// OR-ed coverage satisfies `oracle`, by branch-and-bound with dominated-
+/// item pruning, coverage-keyed memoization, an admissible disjoint-
+/// packing lower bound over probed required cells, and optional parallel
+/// subtree exploration (DESIGN.md §10). `num_cells` is the coverage
+/// width; every item's bitset must have it.
+Result<SubsetBnbResult> SolveSubsetBnb(const std::vector<SubsetItem>& items,
+                                       size_t num_cells,
+                                       const CoverageDeterminacyFn& oracle,
+                                       const SubsetBnbOptions& options = {},
+                                       SubsetBnbStats* stats = nullptr);
+
+}  // namespace qp::bnb
+
+#endif  // QP_PRICING_BNB_SUBSET_BNB_H_

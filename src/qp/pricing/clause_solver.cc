@@ -1,15 +1,26 @@
 #include "qp/pricing/clause_solver.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "qp/obs/metrics.h"
 #include "qp/pricing/hitting_set.h"
+#include "qp/util/hash.h"
 
 namespace qp {
 namespace {
+
+struct ClauseHasher {
+  size_t operator()(const std::vector<int>& clause) const {
+    return HashRange(clause);
+  }
+};
+
+/// Clause accumulator. An unordered set suffices for dedupe: the hitting-
+/// set solver re-sorts clauses deterministically, so insertion/iteration
+/// order here never reaches the search.
+using ClauseSet = std::unordered_set<std::vector<int>, ClauseHasher>;
 
 /// Shared view universe across the bundle's members.
 struct ViewUniverse {
@@ -42,7 +53,7 @@ Result<ClauseBuildOutcome> BuildClauses(const Instance& db,
                                         const ConjunctiveQuery& query,
                                         const ClauseSolverOptions& options,
                                         ViewUniverse* universe,
-                                        std::set<std::vector<int>>* clause_set,
+                                        ClauseSet* clause_set,
                                         int64_t* candidates_out) {
   const Catalog& catalog = db.catalog();
 
@@ -112,13 +123,22 @@ Result<ClauseBuildOutcome> BuildClauses(const Instance& db,
 
   std::vector<size_t> idx(query.num_vars(), 0);
   Tuple assignment(query.num_vars());
+  // Witness tuples of one candidate; a flat vector sorted per candidate —
+  // a handful of atoms doesn't justify a node-allocating std::map in this
+  // innermost loop.
+  struct Witness {
+    RelationId rel;
+    Tuple tuple;
+    bool present;
+  };
+  std::vector<Witness> witness;
+  witness.reserve(query.atoms().size());
   while (true) {
     ++*candidates_out;
     for (VarId v = 0; v < query.num_vars(); ++v) {
       assignment[v] = domain[v][idx[v]];
     }
-    // Witness tuples of this candidate (deduplicated for self-joins).
-    std::map<std::pair<RelationId, Tuple>, bool> witness;  // -> present
+    witness.clear();
     for (size_t a = 0; a < query.atoms().size(); ++a) {
       const Atom& atom = query.atoms()[a];
       Tuple t(atom.args.size());
@@ -127,18 +147,29 @@ Result<ClauseBuildOutcome> BuildClauses(const Instance& db,
                                      : const_ids[a][p];
       }
       bool present = db.Contains(atom.rel, t);
-      witness.emplace(std::make_pair(atom.rel, std::move(t)), present);
+      witness.push_back(Witness{atom.rel, std::move(t), present});
     }
+    // Deduplicate for self-joins (duplicates agree on `present`).
+    std::sort(witness.begin(), witness.end(),
+              [](const Witness& a, const Witness& b) {
+                if (a.rel != b.rel) return a.rel < b.rel;
+                return a.tuple < b.tuple;
+              });
+    witness.erase(std::unique(witness.begin(), witness.end(),
+                              [](const Witness& a, const Witness& b) {
+                                return a.rel == b.rel && a.tuple == b.tuple;
+                              }),
+                  witness.end());
     bool is_answer =
         std::all_of(witness.begin(), witness.end(),
-                    [](const auto& kv) { return kv.second; });
+                    [](const Witness& w) { return w.present; });
     if (is_answer) {
       // (A): every witness tuple individually covered.
-      for (const auto& [key, present] : witness) {
+      for (const Witness& w : witness) {
         std::vector<int> clause;
-        const auto& [rel, t] = key;
-        for (size_t p = 0; p < t.size(); ++p) {
-          int id = universe->IdOf(AttrRef{rel, static_cast<int>(p)}, t[p]);
+        for (size_t p = 0; p < w.tuple.size(); ++p) {
+          int id =
+              universe->IdOf(AttrRef{w.rel, static_cast<int>(p)}, w.tuple[p]);
           if (id >= 0) clause.push_back(id);
         }
         if (!add_clause(std::move(clause))) {
@@ -148,11 +179,11 @@ Result<ClauseBuildOutcome> BuildClauses(const Instance& db,
     } else {
       // (B): some absent witness tuple covered.
       std::vector<int> clause;
-      for (const auto& [key, present] : witness) {
-        if (present) continue;
-        const auto& [rel, t] = key;
-        for (size_t p = 0; p < t.size(); ++p) {
-          int id = universe->IdOf(AttrRef{rel, static_cast<int>(p)}, t[p]);
+      for (const Witness& w : witness) {
+        if (w.present) continue;
+        for (size_t p = 0; p < w.tuple.size(); ++p) {
+          int id =
+              universe->IdOf(AttrRef{w.rel, static_cast<int>(p)}, w.tuple[p]);
           if (id >= 0) clause.push_back(id);
         }
       }
@@ -188,7 +219,7 @@ Result<PricingSolution> PriceFullBundleByClauses(
   }
 
   ViewUniverse universe{prices, {}, {}};
-  std::set<std::vector<int>> clause_set;
+  ClauseSet clause_set;
   int64_t candidates = 0;
   bool infeasible = false;
   for (const ConjunctiveQuery& q : queries) {

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <functional>
-#include <set>
+#include <utility>
 
 #include "qp/determinacy/selection_determinacy.h"
 #include "qp/obs/metrics.h"
+#include "qp/pricing/bnb/coverage_oracle.h"
+#include "qp/pricing/bnb/subset_bnb.h"
 
 namespace qp {
 namespace {
@@ -13,7 +15,11 @@ namespace {
 using DeterminacyOracle =
     std::function<Result<bool>(const std::vector<SelectionView>&)>;
 
-struct Searcher {
+/// The pre-branch-and-bound DFS over view subsets, kept as the validated
+/// reference for the coverage-bitset engine (and the fallback when that
+/// engine can't build its cell universe). Still instance-level: one
+/// Theorem 3.3 evaluation per node.
+struct ReferenceSearcher {
   DeterminacyOracle oracle;
   std::vector<SelectionView> views;
   std::vector<Money> weights;
@@ -22,6 +28,7 @@ struct Searcher {
   Money best_cost = kInfiniteMoney;
   std::vector<SelectionView> best_set;
   std::vector<SelectionView> current;
+  std::vector<SelectionView> feasibility_scratch;  // reused across nodes
   int64_t nodes = 0;
   bool aborted = false;
   Status error = Status::Ok();
@@ -38,7 +45,8 @@ struct Searcher {
 
   void Search(size_t idx, Money cost) {
     if (aborted) return;
-    if (node_limit >= 0 && ++nodes > node_limit) {
+    ++nodes;
+    if (node_limit >= 0 && nodes > node_limit) {
       aborted = true;
       error = Status::ResourceExhausted("exhaustive solver node limit hit");
       return;
@@ -52,9 +60,11 @@ struct Searcher {
     if (aborted || idx == views.size()) return;
 
     // Feasibility: with everything remaining included, is it determined?
-    std::vector<SelectionView> all = current;
-    all.insert(all.end(), views.begin() + idx, views.end());
-    if (!Determines(all) || aborted) return;
+    // The scratch vector keeps its capacity, so no per-node allocation.
+    feasibility_scratch.assign(current.begin(), current.end());
+    feasibility_scratch.insert(feasibility_scratch.end(),
+                               views.begin() + idx, views.end());
+    if (!Determines(feasibility_scratch) || aborted) return;
 
     // Include views[idx].
     current.push_back(views[idx]);
@@ -65,20 +75,130 @@ struct Searcher {
   }
 };
 
+Result<PricingSolution> RunReferenceSearch(
+    const std::vector<std::pair<SelectionView, Money>>& relevant,
+    DeterminacyOracle oracle, const ExhaustiveSolverOptions& options,
+    ExhaustiveSolveStats* stats) {
+  ReferenceSearcher searcher;
+  searcher.oracle = std::move(oracle);
+  searcher.node_limit = options.node_limit;
+  searcher.views.reserve(relevant.size());
+  searcher.weights.reserve(relevant.size());
+  for (const auto& [view, price] : relevant) {
+    searcher.views.push_back(view);
+    searcher.weights.push_back(price);
+  }
+  searcher.Search(0, 0);
+  if (!searcher.error.ok()) return searcher.error;
+  if (stats != nullptr) {
+    stats->nodes = searcher.nodes;
+    stats->oracle_evals = searcher.nodes * 2;  // node + feasibility checks
+    stats->tasks = 1;
+  }
+
+  PricingSolution solution;
+  solution.price = searcher.best_cost;
+  solution.support = searcher.best_set;
+  std::sort(solution.support.begin(), solution.support.end());
+  return solution;
+}
+
+/// The default path: build the coverage-bitset oracle, validate it once
+/// against the instance-level oracle, then run the subset branch-and-bound
+/// (memoized, bounded, optionally parallel). Returns a non-ok status with
+/// code ResourceExhausted/FailedPrecondition when the cell universe is
+/// unavailable; the caller falls back to the reference search.
+Result<PricingSolution> RunCoverageSearch(
+    const Instance& db, const std::vector<RelationId>& relations,
+    const std::vector<std::pair<SelectionView, Money>>& relevant,
+    const std::vector<ConjunctiveQuery>* bundle, const UnionQuery* union_query,
+    const ExhaustiveSolverOptions& options, ExhaustiveSolveStats* stats,
+    bool* cell_universe_unavailable) {
+  bnb::CoverageOracle::Options oracle_options;
+  oracle_options.max_cells = options.max_cells;
+  auto oracle = bnb::CoverageOracle::Build(db, relations, bundle, union_query,
+                                           oracle_options);
+  if (!oracle.ok()) {
+    // Too many cells / missing columns: the reference path may still work.
+    *cell_universe_unavailable = true;
+    return oracle.status();
+  }
+
+  std::vector<SelectionView> views;
+  std::vector<bnb::SubsetItem> items;
+  views.reserve(relevant.size());
+  items.reserve(relevant.size());
+  for (const auto& [view, price] : relevant) {
+    views.push_back(view);
+    items.push_back(bnb::SubsetItem{price, oracle->CoverageOf(view)});
+  }
+  QP_RETURN_IF_ERROR(oracle->ValidateAgainstInstanceOracle(views));
+
+  bnb::SubsetBnbOptions bnb_options;
+  bnb_options.threads = options.threads;
+  bnb_options.node_limit = options.node_limit;
+  bnb_options.max_probe_cells = options.max_probe_cells;
+  bnb::SubsetBnbStats bnb_stats;
+  auto solve = bnb::SolveSubsetBnb(
+      items, oracle->num_cells(),
+      [&oracle](const bnb::Bitset& covered) {
+        return oracle->DeterminedFromCoverage(covered);
+      },
+      bnb_options, &bnb_stats);
+  if (!solve.ok()) return solve.status();
+  if (solve->aborted) {
+    return Status::ResourceExhausted("exhaustive solver node limit hit");
+  }
+  if (stats != nullptr) {
+    stats->nodes = bnb_stats.nodes;
+    stats->oracle_evals = bnb_stats.oracle_evals;
+    stats->memo_hits = bnb_stats.memo_hits;
+    stats->bound_pruned = bnb_stats.bound_pruned;
+    stats->infeasible_pruned = bnb_stats.infeasible_pruned;
+    stats->dominated_views = bnb_stats.dominated_items;
+    stats->required_cells = bnb_stats.required_cells;
+    stats->tasks = bnb_stats.tasks;
+    stats->used_coverage_oracle = true;
+  }
+  QP_METRIC_COUNT("qp.solver.exhaustive.bnb_nodes",
+                  static_cast<uint64_t>(bnb_stats.nodes));
+  QP_METRIC_COUNT("qp.solver.exhaustive.memo_hits",
+                  static_cast<uint64_t>(bnb_stats.memo_hits));
+  QP_METRIC_COUNT("qp.solver.exhaustive.oracle_evals",
+                  static_cast<uint64_t>(bnb_stats.oracle_evals));
+  QP_METRIC_COUNT("qp.solver.exhaustive.bound_pruned",
+                  static_cast<uint64_t>(bnb_stats.bound_pruned));
+  QP_METRIC_COUNT("qp.solver.exhaustive.dominated_views",
+                  static_cast<uint64_t>(bnb_stats.dominated_items));
+
+  PricingSolution solution;
+  solution.price = solve->cost;
+  for (int item : solve->chosen) solution.support.push_back(views[item]);
+  std::sort(solution.support.begin(), solution.support.end());
+  return solution;
+}
+
 Result<PricingSolution> RunSearch(const Instance& db,
                                   const SelectionPriceSet& prices,
                                   const std::vector<RelationId>& relations,
+                                  const std::vector<ConjunctiveQuery>* bundle,
+                                  const UnionQuery* union_query,
                                   DeterminacyOracle oracle,
-                                  const ExhaustiveSolverOptions& options) {
+                                  const ExhaustiveSolverOptions& options,
+                                  ExhaustiveSolveStats* stats) {
   QP_METRIC_INCR("qp.solver.exhaustive.solves");
   QP_METRIC_SCOPED_TIMER("qp.solver.exhaustive_ns");
   const Catalog& catalog = db.catalog();
-  std::set<RelationId> relation_set(relations.begin(), relations.end());
 
   // Relevant views: priced, on a query relation, value in the column.
+  // `relations` comes sorted from RelationsOf, so membership is a binary
+  // search on the flat vector.
   std::vector<std::pair<SelectionView, Money>> relevant;
   for (const auto& [view, price] : prices.Sorted()) {
-    if (relation_set.count(view.attr.rel) == 0) continue;
+    if (!std::binary_search(relations.begin(), relations.end(),
+                            view.attr.rel)) {
+      continue;
+    }
     if (!catalog.InColumn(view.attr, view.value)) continue;
     relevant.emplace_back(view, price);
   }
@@ -88,25 +208,24 @@ Result<PricingSolution> RunSearch(const Instance& db,
         std::to_string(relevant.size()) + " > " +
         std::to_string(options.max_views) + ")");
   }
-  // Decide expensive views first: earlier pruning.
+  // Decide expensive views first: earlier pruning. The view order breaks
+  // price ties so the canonical (DFS-earliest) optimal support is well
+  // defined across solvers and thread counts.
   std::sort(relevant.begin(), relevant.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
 
-  Searcher searcher;
-  searcher.oracle = std::move(oracle);
-  searcher.node_limit = options.node_limit;
-  for (const auto& [view, price] : relevant) {
-    searcher.views.push_back(view);
-    searcher.weights.push_back(price);
+  if (!options.force_reference) {
+    bool cell_universe_unavailable = false;
+    auto solution =
+        RunCoverageSearch(db, relations, relevant, bundle, union_query,
+                          options, stats, &cell_universe_unavailable);
+    if (solution.ok() || !cell_universe_unavailable) return solution;
+    QP_METRIC_INCR("qp.solver.exhaustive.reference_fallbacks");
   }
-  searcher.Search(0, 0);
-  if (!searcher.error.ok()) return searcher.error;
-
-  PricingSolution solution;
-  solution.price = searcher.best_cost;
-  solution.support = searcher.best_set;
-  std::sort(solution.support.begin(), solution.support.end());
-  return solution;
+  return RunReferenceSearch(relevant, std::move(oracle), options, stats);
 }
 
 }  // namespace
@@ -114,34 +233,36 @@ Result<PricingSolution> RunSearch(const Instance& db,
 Result<PricingSolution> PriceByExhaustiveSearch(
     const Instance& db, const SelectionPriceSet& prices,
     const std::vector<ConjunctiveQuery>& bundle,
-    const ExhaustiveSolverOptions& options) {
+    const ExhaustiveSolverOptions& options, ExhaustiveSolveStats* stats) {
   return RunSearch(
-      db, prices, RelationsOf(bundle),
+      db, prices, RelationsOf(bundle), &bundle, nullptr,
       [&db, &bundle](const std::vector<SelectionView>& subset) {
         return SelectionViewsDetermine(db, subset, bundle);
       },
-      options);
+      options, stats);
 }
 
 Result<PricingSolution> PriceByExhaustiveSearch(
     const Instance& db, const SelectionPriceSet& prices,
-    const ConjunctiveQuery& query, const ExhaustiveSolverOptions& options) {
+    const ConjunctiveQuery& query, const ExhaustiveSolverOptions& options,
+    ExhaustiveSolveStats* stats) {
   return PriceByExhaustiveSearch(
-      db, prices, std::vector<ConjunctiveQuery>{query}, options);
+      db, prices, std::vector<ConjunctiveQuery>{query}, options, stats);
 }
 
 Result<PricingSolution> PriceUnionByExhaustiveSearch(
     const Instance& db, const SelectionPriceSet& prices,
-    const UnionQuery& query, const ExhaustiveSolverOptions& options) {
+    const UnionQuery& query, const ExhaustiveSolverOptions& options,
+    ExhaustiveSolveStats* stats) {
   if (query.disjuncts.empty()) {
     return Status::InvalidArgument("union query has no disjuncts");
   }
   return RunSearch(
-      db, prices, RelationsOf(query.disjuncts),
+      db, prices, RelationsOf(query.disjuncts), nullptr, &query,
       [&db, &query](const std::vector<SelectionView>& subset) {
         return SelectionViewsDetermine(db, subset, query);
       },
-      options);
+      options, stats);
 }
 
 }  // namespace qp

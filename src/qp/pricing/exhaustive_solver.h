@@ -1,6 +1,8 @@
 #ifndef QP_PRICING_EXHAUSTIVE_SOLVER_H_
 #define QP_PRICING_EXHAUSTIVE_SOLVER_H_
 
+#include <cstdint>
+
 #include "qp/pricing/solution.h"
 #include "qp/query/query.h"
 #include "qp/relational/instance.h"
@@ -15,28 +17,62 @@ struct ExhaustiveSolverOptions {
   size_t max_views = 30;
   /// Cap on search nodes (< 0 = unlimited).
   int64_t node_limit = -1;
+  /// Worker threads for parallel subtree exploration (<= 1: sequential).
+  /// Quotes are bit-identical across thread counts (DESIGN.md §10).
+  int threads = 1;
+  /// Cap on the coverage-bitset cell universe; larger solves fall back to
+  /// the instance-level reference search.
+  size_t max_cells = 4096;
+  /// Cap on required-cell probes for the admissible lower bound.
+  size_t max_probe_cells = 512;
+  /// Pin the legacy instance-oracle DFS (the pre-branch-and-bound
+  /// baseline). Used by the differential selfcheck and the bench pair
+  /// that measures the speedup; quotes match the default path exactly.
+  bool force_reference = false;
+};
+
+/// Per-solve observability for the exhaustive solver (also exported as
+/// qp.solver.exhaustive.* metrics).
+struct ExhaustiveSolveStats {
+  int64_t nodes = 0;
+  int64_t oracle_evals = 0;
+  int64_t memo_hits = 0;
+  int64_t bound_pruned = 0;
+  int64_t infeasible_pruned = 0;
+  int64_t dominated_views = 0;
+  int64_t required_cells = 0;
+  int64_t tasks = 0;
+  /// False when the solve ran on the instance-level reference path
+  /// (forced, oversized cell universe, or missing columns).
+  bool used_coverage_oracle = false;
 };
 
 /// Exact arbitrage-price of a bundle of monotone CQs under selection-view
 /// price points, by branch-and-bound over subsets of the relevant explicit
 /// views with the Theorem 3.3 determinacy oracle. Handles any CQ shape
-/// (projections, self-joins, boolean) — the fully general, slow baseline.
+/// (projections, self-joins, boolean) — the fully general solver for the
+/// NP-hard side of the dichotomy. The default path runs on the coverage-
+/// bitset engine (qp/pricing/bnb/); the instance-level DFS remains as the
+/// validated reference and fallback.
 Result<PricingSolution> PriceByExhaustiveSearch(
     const Instance& db, const SelectionPriceSet& prices,
     const std::vector<ConjunctiveQuery>& bundle,
-    const ExhaustiveSolverOptions& options = {});
+    const ExhaustiveSolverOptions& options = {},
+    ExhaustiveSolveStats* stats = nullptr);
 
 /// Single-query convenience overload.
 Result<PricingSolution> PriceByExhaustiveSearch(
     const Instance& db, const SelectionPriceSet& prices,
-    const ConjunctiveQuery& query, const ExhaustiveSolverOptions& options = {});
+    const ConjunctiveQuery& query, const ExhaustiveSolverOptions& options = {},
+    ExhaustiveSolveStats* stats = nullptr);
 
 /// Union-of-CQs pricing (the paper's B(UCQ) setting, Corollary 3.4): UCQs
 /// are monotone, so the Theorem 3.3 oracle applies; the price computation
 /// is exact branch-and-bound (NP in general).
 Result<PricingSolution> PriceUnionByExhaustiveSearch(
     const Instance& db, const SelectionPriceSet& prices,
-    const UnionQuery& query, const ExhaustiveSolverOptions& options = {});
+    const UnionQuery& query, const ExhaustiveSolverOptions& options = {},
+    ExhaustiveSolveStats* stats = nullptr);
 
 }  // namespace qp
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "qp/pricing/bnb/bitset.h"
+#include "qp/pricing/bnb/bounds.h"
+
 namespace qp {
 namespace {
 
@@ -14,6 +17,8 @@ struct Searcher {
   std::vector<char> chosen;
   std::vector<char> banned;
   std::vector<int> satisfied_by;  // clause -> count of chosen items
+  std::vector<uint32_t> lb_stamp;
+  uint32_t lb_epoch = 0;
   Money best_cost = kInfiniteMoney;
   std::vector<int> best_set;
   Money current_cost = 0;
@@ -26,31 +31,17 @@ struct Searcher {
       : weights(instance.weights) {}
 
   /// Lower bound: greedily pack item-disjoint unsatisfied clauses; each
-  /// contributes the min weight among its available items.
-  Money LowerBound() const {
-    Money bound = 0;
-    std::vector<char> used(weights.size(), 0);
-    for (const auto& clause : clauses) {
-      bool satisfied = false;
-      bool disjoint = true;
-      Money min_w = kInfiniteMoney;
-      for (int item : clause) {
-        if (chosen[item]) {
-          satisfied = true;
-          break;
-        }
-        if (banned[item]) continue;
-        if (used[item]) disjoint = false;
-        if (weights[item] < min_w) min_w = weights[item];
-      }
-      if (satisfied || !disjoint) continue;
-      if (IsInfinite(min_w)) continue;  // dead clause handled elsewhere
-      bound = AddMoney(bound, min_w);
-      for (int item : clause) {
-        if (!banned[item]) used[item] = 1;
-      }
+  /// contributes the min weight among its available items (the shared
+  /// bnb::DisjointPackingBound, with epoch stamping instead of a fresh
+  /// "used" vector per call).
+  Money LowerBound() {
+    if (++lb_epoch == 0) {
+      std::fill(lb_stamp.begin(), lb_stamp.end(), 0);
+      lb_epoch = 1;
     }
-    return bound;
+    return bnb::DisjointPackingBound(
+        clauses, weights, [&](size_t c) { return satisfied_by[c] > 0; },
+        [&](int item) { return !banned[item]; }, &lb_stamp, lb_epoch);
   }
 
   void Search() {
@@ -87,13 +78,17 @@ struct Searcher {
     if (pick_avail == 0) return;  // dead branch
 
     // Branch over the clause's available items; ban each after exploring
-    // its inclusion so branches are disjoint.
+    // its inclusion so branches are disjoint. The index tie-break keeps
+    // the branching order (and hence the reported optimum among ties)
+    // deterministic — std::sort on weight alone leaves it unspecified.
     std::vector<int> branch_items;
     for (int item : clauses[pick]) {
       if (!banned[item]) branch_items.push_back(item);
     }
-    std::sort(branch_items.begin(), branch_items.end(),
-              [&](int a, int b) { return weights[a] < weights[b]; });
+    std::sort(branch_items.begin(), branch_items.end(), [&](int a, int b) {
+      if (weights[a] != weights[b]) return weights[a] < weights[b];
+      return a < b;
+    });
 
     std::vector<int> newly_banned;
     for (int item : branch_items) {
@@ -123,14 +118,22 @@ struct Searcher {
 HittingSetResult SolveMinWeightHittingSet(const HittingSetInstance& instance,
                                           int64_t node_limit) {
   HittingSetResult result;
+  const size_t num_items = instance.weights.size();
 
-  // Preprocess: dedupe and subsume clauses (c1 ⊆ c2 ⇒ drop c2).
+  // Preprocess: dedupe, then subsume (c1 ⊆ c2 ⇒ drop c2) via clause
+  // bitsets — word-wise subset tests instead of std::includes. Sorting by
+  // (size, lex) keeps the kept order deterministic whatever order the
+  // caller accumulated clauses in.
   std::set<std::vector<int>> unique(instance.clauses.begin(),
                                     instance.clauses.end());
   std::vector<std::vector<int>> clauses(unique.begin(), unique.end());
   std::sort(clauses.begin(), clauses.end(),
-            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
   std::vector<std::vector<int>> kept;
+  std::vector<bnb::Bitset> kept_bits;
   for (const auto& clause : clauses) {
     if (clause.empty()) {
       // Unsatisfiable clause: no hitting set exists.
@@ -138,28 +141,60 @@ HittingSetResult SolveMinWeightHittingSet(const HittingSetInstance& instance,
       result.optimal = true;
       return result;
     }
+    bnb::Bitset bits(num_items);
+    for (int item : clause) bits.Set(static_cast<size_t>(item));
     bool subsumed = false;
-    for (const auto& small : kept) {
-      if (std::includes(clause.begin(), clause.end(), small.begin(),
-                        small.end())) {
+    for (const bnb::Bitset& small : kept_bits) {
+      if (small.IsSubsetOf(bits)) {
         subsumed = true;
         break;
       }
     }
-    if (!subsumed) kept.push_back(clause);
+    if (subsumed) continue;
+    kept.push_back(clause);
+    kept_bits.push_back(std::move(bits));
+  }
+
+  // Dominance pre-pass on items (shared with the subset engine): an item
+  // whose clause set is covered by a strictly cheaper item's is in no
+  // optimal hitting set, so drop it from every clause before the search.
+  {
+    std::vector<bnb::Bitset> item_coverage(num_items,
+                                           bnb::Bitset(kept.size()));
+    for (size_t c = 0; c < kept.size(); ++c) {
+      for (int item : kept[c]) item_coverage[item].Set(c);
+    }
+    std::vector<char> dominated =
+        bnb::StrictlyDominatedItems(instance.weights, item_coverage);
+    // Items outside every clause have empty coverage; they were never
+    // pickable, so "dominated" is vacuous for them.
+    bool any = false;
+    for (size_t c = 0; c < kept.size() && !any; ++c) {
+      for (int item : kept[c]) any = any || dominated[item];
+    }
+    if (any) {
+      for (auto& clause : kept) {
+        clause.erase(std::remove_if(clause.begin(), clause.end(),
+                                    [&](int item) { return dominated[item]; }),
+                     clause.end());
+        // Every dominated item's dominator shares all its clauses, so no
+        // clause can empty out here.
+      }
+    }
   }
 
   Searcher searcher(instance);
   searcher.clauses = std::move(kept);
-  searcher.item_clauses.resize(instance.weights.size());
+  searcher.item_clauses.resize(num_items);
   for (size_t c = 0; c < searcher.clauses.size(); ++c) {
     for (int item : searcher.clauses[c]) {
       searcher.item_clauses[item].push_back(static_cast<int>(c));
     }
   }
-  searcher.chosen.assign(instance.weights.size(), 0);
-  searcher.banned.assign(instance.weights.size(), 0);
+  searcher.chosen.assign(num_items, 0);
+  searcher.banned.assign(num_items, 0);
   searcher.satisfied_by.assign(searcher.clauses.size(), 0);
+  searcher.lb_stamp.assign(num_items, 0);
   searcher.node_limit = node_limit;
   searcher.Search();
 

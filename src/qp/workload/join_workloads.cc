@@ -279,7 +279,7 @@ Result<Workload> MakeHardQueryWorkload(HardQuery which,
     QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*t, 0}, col_x));
     QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*t, 1}, col_y));
     query_text = "H2(x,y) :- R(x), S(x,y), T(x,y)";
-  } else {
+  } else if (which == HardQuery::kH3) {
     auto r = w.catalog->AddRelation("R", {"X"});
     auto s = w.catalog->AddRelation("S", {"X", "Y"});
     if (!r.ok() || !s.ok()) return Status::Internal("schema");
@@ -287,6 +287,13 @@ Result<Workload> MakeHardQueryWorkload(HardQuery which,
     QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*s, 0}, col_x));
     QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*s, 1}, col_x));
     query_text = "H3(x,y) :- R(x), S(x,y), R(y)";
+  } else {
+    // H4 is the paper's minimal non-full NP-hard query: a bare projection.
+    auto s = w.catalog->AddRelation("S", {"X", "Y"});
+    if (!s.ok()) return Status::Internal("schema");
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*s, 0}, col_x));
+    QP_RETURN_IF_ERROR(w.catalog->SetColumn(AttrRef{*s, 1}, col_y));
+    query_text = "H4(x) :- S(x,y)";
   }
 
   w.db = std::make_unique<Instance>(w.catalog.get());

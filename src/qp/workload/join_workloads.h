@@ -60,7 +60,8 @@ Result<Workload> MakeCycleWorkload(int k, const JoinWorkloadParams& params);
 ///   H1(x,y,z) = R(x,y,z), S(x), T(y), U(z)
 ///   H2(x,y)   = R(x), S(x,y), T(x,y)
 ///   H3(x,y)   = R(x), S(x,y), R(y)      (self-join)
-enum class HardQuery { kH1, kH2, kH3 };
+///   H4(x)     = S(x,y)                  (projection)
+enum class HardQuery { kH1, kH2, kH3, kH4 };
 Result<Workload> MakeHardQueryWorkload(HardQuery which,
                                        const JoinWorkloadParams& params);
 

@@ -1,0 +1,206 @@
+// Differential tests for the branch-and-bound exhaustive solver (ctest
+// label: selfcheck): the coverage-bitset engine must match the legacy
+// instance-oracle DFS bit for bit — same Money optimum AND same chosen
+// support under the canonical (price desc, view asc) tie-break — on the
+// Theorem 3.5 hard queries and on randomized selection-view instances,
+// at one thread and at several.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/pricing/exhaustive_solver.h"
+#include "qp/query/parser.h"
+#include "qp/util/random.h"
+#include "qp/workload/join_workloads.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+ExhaustiveSolverOptions Reference() {
+  ExhaustiveSolverOptions options;
+  options.force_reference = true;
+  return options;
+}
+
+ExhaustiveSolverOptions Threaded(int threads) {
+  ExhaustiveSolverOptions options;
+  options.threads = threads;
+  return options;
+}
+
+/// Prices `query` on the reference DFS, the sequential B&B, and the
+/// 4-thread B&B, and requires identical price and identical support.
+void ExpectAllPathsAgree(const Workload& w, const ConjunctiveQuery& query,
+                         const std::string& label) {
+  auto reference = PriceByExhaustiveSearch(*w.db, w.prices, query, Reference());
+  ASSERT_TRUE(reference.ok()) << label << ": " << reference.status().ToString();
+
+  ExhaustiveSolveStats sequential_stats;
+  auto sequential = PriceByExhaustiveSearch(*w.db, w.prices, query,
+                                            Threaded(1), &sequential_stats);
+  ASSERT_TRUE(sequential.ok()) << label << ": "
+                               << sequential.status().ToString();
+  auto parallel = PriceByExhaustiveSearch(*w.db, w.prices, query, Threaded(4));
+  ASSERT_TRUE(parallel.ok()) << label << ": " << parallel.status().ToString();
+
+  EXPECT_EQ(sequential->price, reference->price) << label;
+  EXPECT_EQ(parallel->price, reference->price) << label;
+  EXPECT_TRUE(sequential->support == reference->support)
+      << label << ": B&B support diverges from the reference DFS";
+  EXPECT_TRUE(parallel->support == reference->support)
+      << label << ": 4-thread support diverges (quotes must be "
+      << "bit-identical across thread counts)";
+  EXPECT_TRUE(sequential_stats.used_coverage_oracle)
+      << label << ": expected the coverage-bitset path, got the fallback";
+}
+
+TEST(BnbSolverTest, HardQueriesMatchReferenceDfs) {
+  for (HardQuery hq :
+       {HardQuery::kH1, HardQuery::kH2, HardQuery::kH3, HardQuery::kH4}) {
+    for (int column_size : {2, 3}) {
+      // H1 at column size 3 has 18 relevant views; the *reference* DFS is
+      // the slow side there, so keep H1 at size 2.
+      if (hq == HardQuery::kH1 && column_size == 3) continue;
+      for (uint64_t seed : {11u, 12u, 13u}) {
+        JoinWorkloadParams params;
+        params.column_size = column_size;
+        params.tuple_density = 0.5;
+        params.min_price = 1;
+        params.max_price = 9;
+        params.seed = seed;
+        QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeHardQueryWorkload(hq, params));
+        ExpectAllPathsAgree(
+            w, w.query,
+            "h" + std::to_string(static_cast<int>(hq) + 1) + " c" +
+                std::to_string(column_size) + " seed " + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(BnbSolverTest, RandomInstancesMatchReferenceDfs) {
+  Rng rng(20260805);
+  int checked = 0;
+  for (int i = 0; i < 100; ++i) {
+    JoinWorkloadParams params;
+    params.column_size = static_cast<int>(rng.NextInRange(2, 3));
+    params.tuple_density = 0.2 + 0.6 * rng.NextDouble();
+    params.priced_fraction = rng.NextBool(0.5) ? 1.0 : 0.7;
+    params.min_price = 1;
+    params.max_price = 9;
+    params.seed = rng.Next();
+
+    Result<Workload> w = Status::InvalidArgument("unset");
+    switch (i % 5) {
+      case 0:
+        w = MakeChainWorkload(1, params);
+        break;
+      case 1:
+        w = MakeStarWorkload(2, params);
+        break;
+      case 2:
+        w = MakeHardQueryWorkload(HardQuery::kH2, params);
+        break;
+      case 3:
+        w = MakeHardQueryWorkload(HardQuery::kH3, params);
+        break;
+      default:
+        w = MakeHardQueryWorkload(HardQuery::kH4, params);
+        break;
+    }
+    QP_ASSERT_OK(w.status());
+    ExpectAllPathsAgree(*w, w->query, "random#" + std::to_string(i));
+    ++checked;
+  }
+  EXPECT_EQ(checked, 100);
+}
+
+TEST(BnbSolverTest, UnionQueriesMatchReferenceDfs) {
+  JoinWorkloadParams params;
+  params.column_size = 3;
+  params.tuple_density = 0.5;
+  params.min_price = 1;
+  params.max_price = 9;
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    params.seed = seed;
+    QP_ASSERT_OK_AND_ASSIGN(Workload w,
+                            MakeHardQueryWorkload(HardQuery::kH4, params));
+    // A UCQ over S: the x-projection together with the y-projection.
+    UnionQuery u;
+    u.disjuncts.push_back(w.query);
+    QP_ASSERT_OK_AND_ASSIGN(
+        ConjunctiveQuery other,
+        ParseQuery(w.catalog->schema(), "Hy(y) :- S(x,y)"));
+    u.disjuncts.push_back(std::move(other));
+
+    auto reference =
+        PriceUnionByExhaustiveSearch(*w.db, w.prices, u, Reference());
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    auto sequential =
+        PriceUnionByExhaustiveSearch(*w.db, w.prices, u, Threaded(1));
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+    auto parallel =
+        PriceUnionByExhaustiveSearch(*w.db, w.prices, u, Threaded(4));
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+    EXPECT_EQ(sequential->price, reference->price) << "seed " << seed;
+    EXPECT_EQ(parallel->price, reference->price) << "seed " << seed;
+    EXPECT_TRUE(sequential->support == reference->support) << "seed " << seed;
+    EXPECT_TRUE(parallel->support == reference->support) << "seed " << seed;
+  }
+}
+
+TEST(BnbSolverTest, NodeLimitAbortsAcrossThreadCounts) {
+  // Example 3.8 needs far more than three nodes; the abort must surface as
+  // the same ResourceExhausted the reference DFS reports, sequentially and
+  // under the parallel frontier scheme.
+  Example38 e = Example38::Make();
+  for (int threads : {1, 4}) {
+    ExhaustiveSolverOptions options;
+    options.threads = threads;
+    options.node_limit = 3;
+    auto result = PriceByExhaustiveSearch(*e.db, e.prices, e.query, options);
+    ASSERT_FALSE(result.ok()) << "threads=" << threads;
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << "threads=" << threads;
+    EXPECT_NE(result.status().ToString().find("node limit"), std::string::npos)
+        << result.status().ToString();
+  }
+  // A generous limit must not trip, and must still find the known optimum.
+  ExhaustiveSolverOptions roomy;
+  roomy.threads = 4;
+  roomy.node_limit = 1 << 20;
+  QP_ASSERT_OK_AND_ASSIGN(PricingSolution solution,
+                          PriceByExhaustiveSearch(*e.db, e.prices, e.query,
+                                                  roomy));
+  EXPECT_EQ(solution.price, 6);
+}
+
+TEST(BnbSolverTest, StatsReportSearchWork) {
+  Example38 e = Example38::Make();
+  ExhaustiveSolveStats stats;
+  QP_ASSERT_OK_AND_ASSIGN(
+      PricingSolution solution,
+      PriceByExhaustiveSearch(*e.db, e.prices, e.query, Threaded(1), &stats));
+  EXPECT_EQ(solution.price, 6);
+  EXPECT_TRUE(stats.used_coverage_oracle);
+  EXPECT_GT(stats.nodes, 0);
+  EXPECT_GT(stats.oracle_evals, 0);
+  EXPECT_EQ(stats.tasks, 1);
+
+  // Forcing the reference path must yield the same quote without the
+  // coverage machinery.
+  ExhaustiveSolveStats reference_stats;
+  QP_ASSERT_OK_AND_ASSIGN(
+      PricingSolution reference,
+      PriceByExhaustiveSearch(*e.db, e.prices, e.query, Reference(),
+                              &reference_stats));
+  EXPECT_EQ(reference.price, 6);
+  EXPECT_FALSE(reference_stats.used_coverage_oracle);
+  EXPECT_TRUE(reference.support == solution.support);
+}
+
+}  // namespace
+}  // namespace qp

@@ -34,7 +34,8 @@ TEST(CrossSolverTest, Example38QueryAndPrefixBundleAgree) {
 
 TEST(CrossSolverTest, HardQueriesAgreeWithOracle) {
   ScopedCheckLevel scope(CheckLevel::kAbort);
-  for (HardQuery hq : {HardQuery::kH1, HardQuery::kH2, HardQuery::kH3}) {
+  for (HardQuery hq : {HardQuery::kH1, HardQuery::kH2, HardQuery::kH3,
+                       HardQuery::kH4}) {
     for (uint64_t seed : {11u, 12u, 13u}) {
       JoinWorkloadParams params;
       params.column_size = 2;

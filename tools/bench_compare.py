@@ -2,15 +2,19 @@
 """Compare a BENCH_qpricer.json run against a checked-in baseline.
 
 Usage:
-  bench_compare.py BASELINE.json CURRENT.json [--threshold=PCT] [--metric=M]
+  bench_compare.py BASELINE.json CURRENT.json [--threshold=PCT]
+                   [--p95-threshold=PCT] [--metric=M]
   bench_compare.py --self-test
 
-Exits non-zero when any scenario regresses by more than the threshold
-(default 25%) on the compared metric (default p50_ns), or when a baseline
-scenario is missing from the current run. New scenarios (present only in
-the current run) are reported but do not fail the comparison — they have
-no baseline yet. `--self-test` injects a synthetic 2x slowdown and checks
-that the comparison catches it (also wired up as a ctest).
+Exits non-zero when any scenario regresses by more than the threshold on
+the primary metric (default p50_ns, 25%), by more than the p95 threshold
+on p95_ns (default 60% — ten-sample quick-run tails are noisy, but an
+unbounded tail is exactly what the parallel solvers could grow), or when a
+baseline scenario is missing from the current run. New scenarios (present
+only in the current run) are reported but do not fail the comparison —
+they have no baseline yet. `--self-test` injects a synthetic 2x slowdown,
+a p95-only tail regression, and a missing scenario, and checks that the
+comparison catches all three (also wired up as a ctest).
 """
 
 import argparse
@@ -67,30 +71,58 @@ def print_table(rows, metric):
               f"{status}")
 
 
+def compare_both(baseline, current, threshold_pct, p95_threshold_pct, metric):
+    """Primary-metric gate plus the p95 tail gate. The p95 pass skips the
+    missing-scenario failures the primary pass already reported, so each
+    problem is counted once."""
+    rows, failures = compare(baseline, current, threshold_pct, metric)
+    print_table(rows, metric)
+    if metric != "p95_ns":
+        p95_rows, p95_failures = compare(baseline, current, p95_threshold_pct,
+                                         "p95_ns")
+        print()
+        print_table(p95_rows, "p95_ns")
+        failures += [f for f in p95_failures if "missing from" not in f]
+    return failures
+
+
 def self_test():
     baseline = {
         "steady": {"p50_ns": 1000, "p95_ns": 1500},
         "slowed": {"p50_ns": 2000, "p95_ns": 2500},
+        "tailed": {"p50_ns": 5000, "p95_ns": 6000},
         "gone": {"p50_ns": 3000, "p95_ns": 3500},
     }
-    # Injected 2x slowdown on one scenario, one missing scenario.
+    # Injected: a 2x p50 slowdown, a p95-only tail regression (p50 flat),
+    # and a missing scenario.
     current = copy.deepcopy(baseline)
     current["slowed"]["p50_ns"] = 4000
+    current["slowed"]["p95_ns"] = 5000
+    current["tailed"]["p95_ns"] = 12000
     del current["gone"]
 
-    rows, failures = compare(baseline, current, 25.0, "p50_ns")
-    print_table(rows, "p50_ns")
-    assert any("slowed" in f for f in failures), "2x slowdown not flagged"
-    assert any("gone" in f for f in failures), "missing scenario not flagged"
-    assert len(failures) == 2, f"unexpected failures: {failures}"
+    failures = compare_both(baseline, current, 25.0, 60.0, "p50_ns")
+    assert any("slowed" in f and "p50_ns" in f for f in failures), \
+        "2x p50 slowdown not flagged"
+    assert any("slowed" in f and "p95_ns" in f for f in failures), \
+        "2x p95 slowdown not flagged"
+    assert any("tailed" in f and "p95_ns" in f for f in failures), \
+        "p95-only tail regression not flagged"
+    assert not any("tailed" in f and "p50_ns" in f for f in failures), \
+        "flat p50 wrongly flagged"
+    assert sum("gone" in f for f in failures) == 1, \
+        "missing scenario must fail exactly once"
+    assert len(failures) == 4, f"unexpected failures: {failures}"
 
-    # Within-threshold noise must pass.
+    # Noise within both thresholds must pass: +20% on p50, +50% on p95.
     noisy = copy.deepcopy(baseline)
-    noisy["slowed"]["p50_ns"] = 2400  # +20%
-    _, noise_failures = compare(baseline, noisy, 25.0, "p50_ns")
+    noisy["slowed"]["p50_ns"] = 2400
+    noisy["tailed"]["p95_ns"] = 9000  # +50%, inside the tail gate
+    noise_failures = compare_both(baseline, noisy, 25.0, 60.0, "p50_ns")
     assert not noise_failures, f"noise flagged: {noise_failures}"
 
-    print("self-test: ok (2x slowdown and missing scenario both flagged)")
+    print("self-test: ok (p50 slowdown, p95 tail regression, and missing "
+          "scenario all flagged)")
     return 0
 
 
@@ -100,11 +132,16 @@ def main():
     parser.add_argument("baseline", nargs="?")
     parser.add_argument("current", nargs="?")
     parser.add_argument("--threshold", type=float, default=25.0,
-                        help="max allowed regression, percent (default 25)")
+                        help="max allowed regression on the primary metric, "
+                             "percent (default 25)")
+    parser.add_argument("--p95-threshold", type=float, default=60.0,
+                        help="max allowed p95_ns regression, percent "
+                             "(default 60)")
     parser.add_argument("--metric", default="p50_ns",
-                        help="scenario field to compare (default p50_ns)")
+                        help="primary scenario field to compare (default "
+                             "p50_ns); p95_ns is always gated too")
     parser.add_argument("--self-test", action="store_true",
-                        help="verify an injected 2x slowdown fails the "
+                        help="verify injected p50/p95 regressions fail the "
                              "comparison")
     args = parser.parse_args()
 
@@ -115,16 +152,15 @@ def main():
 
     _, baseline = load_scenarios(args.baseline)
     _, current = load_scenarios(args.current)
-    rows, failures = compare(baseline, current, args.threshold, args.metric)
-    print_table(rows, args.metric)
+    failures = compare_both(baseline, current, args.threshold,
+                            args.p95_threshold, args.metric)
     if failures:
-        print(f"\nFAIL: {len(failures)} regression(s) over "
-              f"{args.threshold:.0f}% on {args.metric}:")
+        print(f"\nFAIL: {len(failures)} regression(s):")
         for failure in failures:
             print(f"  {failure}")
         return 1
     print(f"\nok: no scenario regressed over {args.threshold:.0f}% on "
-          f"{args.metric}")
+          f"{args.metric} or {args.p95_threshold:.0f}% on p95_ns")
     return 0
 
 
