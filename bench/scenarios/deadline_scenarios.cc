@@ -1,0 +1,95 @@
+// Deadline-bounded serving scenario: an NP-hard workload (T3.5, H2/H3
+// shapes) priced under a 5 ms serving budget. Without a budget these
+// instances can burn an unbounded amount of branch-and-bound time; with
+// one, every quote must come back admissible (>= the exact price, flagged
+// approximate when degraded) and the p95 latency stays pinned near the
+// deadline — the tail-latency claim behind ServingOptions::deadline_ms.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "bench/common/runner.h"
+#include "qp/pricing/engine.h"
+#include "qp/util/search_budget.h"
+#include "qp/workload/join_workloads.h"
+
+namespace qp::bench {
+namespace {
+
+using ScenarioBody = std::function<std::function<void()>(ScenarioContext&)>;
+
+qp::Workload MakeHardDeadline(qp::HardQuery which, int n, uint64_t seed) {
+  qp::JoinWorkloadParams params;
+  params.column_size = n;
+  params.tuple_density = 0.4;
+  params.seed = seed;
+  auto w = qp::MakeHardQueryWorkload(which, params);
+  if (!w.ok()) {
+    std::fprintf(stderr, "workload: %s\n", w.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*w);
+}
+
+/// Setup prices the workload once exactly (unbudgeted) and once under the
+/// deadline, fails hard if the degraded quote undercuts the exact price
+/// (Lemma 3.1 admissibility), then returns the budgeted solve as the
+/// timed body.
+ScenarioBody DeadlineScenario(qp::HardQuery which, int n, uint64_t seed,
+                              int64_t deadline_ms) {
+  return [which, n, seed, deadline_ms](ScenarioContext& context) {
+    auto w =
+        std::make_shared<qp::Workload>(MakeHardDeadline(which, n, seed));
+    auto engine =
+        std::make_shared<qp::PricingEngine>(w->db.get(), &w->prices);
+    auto exact = engine->Price(w->query);
+    if (!exact.ok()) {
+      std::fprintf(stderr, "exact solve: %s\n",
+                   exact.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto budgeted = engine->Price(
+        w->query, qp::SearchBudget::Deadline(
+                      std::chrono::milliseconds(deadline_ms)));
+    if (!budgeted.ok()) {
+      std::fprintf(stderr, "budgeted solve: %s\n",
+                   budgeted.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (budgeted->solution.price < exact->solution.price) {
+      std::fprintf(stderr,
+                   "nphard_deadline: degraded quote undercuts the exact "
+                   "price (arbitrage bug)\n");
+      std::exit(1);
+    }
+    context.SetCounter("exact_price", exact->solution.price);
+    context.SetCounter("deadline_price", budgeted->solution.price);
+    context.SetCounter("approximate", budgeted->solution.approximate ? 1 : 0);
+    return [w, engine, deadline_ms]() {
+      auto s = engine->Price(
+          w->query, qp::SearchBudget::Deadline(
+                        std::chrono::milliseconds(deadline_ms)));
+      if (!s.ok()) std::exit(1);
+    };
+  };
+}
+
+const int kRegistered[] = {
+    RegisterScenario(
+        {"nphard_deadline_h2",
+         "deadline serving: H2 under a 5 ms budget — p95 must stay near "
+         "the deadline, quotes admissible",
+         /*full_iters=*/50, /*quick_iters=*/10,
+         DeadlineScenario(qp::HardQuery::kH2, 32, 17, /*deadline_ms=*/5)}),
+    RegisterScenario(
+        {"nphard_deadline_h3",
+         "deadline serving: H3 (self-join) under a 5 ms budget",
+         /*full_iters=*/50, /*quick_iters=*/10,
+         DeadlineScenario(qp::HardQuery::kH3, 96, 17, /*deadline_ms=*/5)}),
+};
+
+}  // namespace
+}  // namespace qp::bench

@@ -1,5 +1,6 @@
 #include "qp/check/cross_solver.h"
 
+#include <chrono>
 #include <map>
 #include <utility>
 
@@ -62,7 +63,11 @@ std::string CrossSolverReport::Summary() const {
                     std::to_string(bundles_checked) + " bundles, " +
                     std::to_string(pairs_checked) +
                     " subadditivity pairs, " + std::to_string(skipped) +
-                    " skipped: " +
+                    " skipped" +
+                    (approx_quotes > 0 ? ", " + std::to_string(approx_quotes) +
+                                             " approximate"
+                                       : "") +
+                    ": " +
                     (ok() ? "all solvers agree"
                           : std::to_string(mismatches.size()) +
                                 " MISMATCHES");
@@ -81,6 +86,13 @@ Status CrossValidateQueries(const Instance& db,
   PricingEngine engine(&db, &prices);
   ++report->instances;
   std::vector<Money> member_prices;
+  bool any_approximate = false;
+  auto make_budget = [&options]() {
+    return options.deadline_ms > 0
+               ? SearchBudget::Deadline(
+                     std::chrono::milliseconds(options.deadline_ms))
+               : SearchBudget();
+  };
 
   for (const ConjunctiveQuery& query : queries) {
     auto oracle =
@@ -92,11 +104,23 @@ Status CrossValidateQueries(const Instance& db,
       }
       return oracle.status();
     }
-    auto quote = engine.Price(query);
+    auto quote = engine.Price(query, make_budget());
     if (!quote.ok()) return quote.status();
     ++report->queries_checked;
     member_prices.push_back(quote->solution.price);
-    if (quote->solution.price != oracle->price) {
+    if (quote->solution.approximate) {
+      // Deadline mode: the degraded quote must never undercut the exact
+      // price (Lemma 3.1 admissibility); over-estimates are expected.
+      ++report->approx_quotes;
+      any_approximate = true;
+      if (quote->solution.price < oracle->price) {
+        RecordMismatch(report, options,
+                       CrossSolverMismatch{label, query.name() + " (approx)",
+                                           quote->solver,
+                                           quote->solution.price,
+                                           oracle->price});
+      }
+    } else if (quote->solution.price != oracle->price) {
       RecordMismatch(report, options,
                      CrossSolverMismatch{label, query.name(), quote->solver,
                                          quote->solution.price,
@@ -119,16 +143,26 @@ Status CrossValidateQueries(const Instance& db,
       }
       return oracle.status();
     }
-    auto bundle = engine.PriceBundle(queries);
+    auto bundle = engine.PriceBundle(queries, make_budget());
     if (!bundle.ok()) return bundle.status();
     ++report->bundles_checked;
-    if (bundle->solution.price != oracle->price) {
+    if (bundle->solution.approximate) {
+      ++report->approx_quotes;
+      any_approximate = true;
+      if (bundle->solution.price < oracle->price) {
+        RecordMismatch(report, options,
+                       CrossSolverMismatch{label, "bundle (approx)",
+                                           bundle->solver,
+                                           bundle->solution.price,
+                                           oracle->price});
+      }
+    } else if (bundle->solution.price != oracle->price) {
       RecordMismatch(report, options,
                      CrossSolverMismatch{label, "bundle", bundle->solver,
                                          bundle->solution.price,
                                          oracle->price});
     }
-    if (options.audit_invariants) {
+    if (options.audit_invariants && !any_approximate) {
       // Prop 2.8 subadditivity on the sampled pair, plus the dual lower
       // bound: the bundle determines every member, so it cannot be cheaper
       // than any one of them.

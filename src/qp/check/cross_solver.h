@@ -32,6 +32,14 @@ struct CrossSolverOptions {
   bool audit_invariants = true;
   /// Cap on recorded mismatch details (the counters keep counting).
   size_t max_recorded_mismatches = 32;
+  /// Per-query serving deadline for the *engine* side (0 = none). The
+  /// oracle always runs unbudgeted. With a deadline, engine quotes flagged
+  /// approximate are validated against the admissibility contract instead
+  /// of equality: approximate price >= exact oracle price (an approximate
+  /// quote may legitimately over-estimate, but undercutting the exact
+  /// price is an arbitrage bug). Subadditivity audits are skipped when any
+  /// involved quote is approximate.
+  int64_t deadline_ms = 0;
 };
 
 struct CrossSolverMismatch {
@@ -55,6 +63,9 @@ struct CrossSolverReport {
   int pairs_checked = 0;
   /// Oracle refused (view-count / node limits); not a failure.
   int skipped = 0;
+  /// Engine quotes that came back approximate (deadline mode only); these
+  /// were checked for admissibility (engine >= oracle), not equality.
+  int approx_quotes = 0;
   std::vector<CrossSolverMismatch> mismatches;
 
   bool ok() const { return mismatches.empty(); }

@@ -1,5 +1,6 @@
 #include "qp/check/invariants.h"
 
+#include <algorithm>
 #include <string>
 
 #include "qp/pricing/consistency.h"
@@ -102,6 +103,37 @@ Money DeterminingCoverCost(const Catalog& catalog,
     total = AddMoney(total, best);
   }
   return total;
+}
+
+PricingSolution DeterminingCoverSolution(
+    const Catalog& catalog, const SelectionPriceSet& prices,
+    const std::vector<RelationId>& relations) {
+  PricingSolution solution;
+  solution.price = 0;
+  solution.approximate = true;
+  for (RelationId rel : relations) {
+    Money best = kInfiniteMoney;
+    int best_pos = -1;
+    for (int pos = 0; pos < catalog.schema().arity(rel); ++pos) {
+      Money cover = prices.FullCoverCost(catalog, AttrRef{rel, pos});
+      if (cover < best) {
+        best = cover;
+        best_pos = pos;
+      }
+    }
+    solution.price = AddMoney(solution.price, best);
+    if (IsInfinite(solution.price)) {
+      solution.price = kInfiniteMoney;
+      solution.support.clear();
+      return solution;
+    }
+    AttrRef attr{rel, best_pos};
+    for (ValueId v : catalog.Column(attr)) {
+      solution.support.push_back(SelectionView{attr, v});
+    }
+  }
+  std::sort(solution.support.begin(), solution.support.end());
+  return solution;
 }
 
 }  // namespace qp

@@ -66,6 +66,16 @@ Money DeterminingCoverCost(const Catalog& catalog,
                            const SelectionPriceSet& prices,
                            const std::vector<RelationId>& relations);
 
+/// The determining cover itself, as a quotable solution: per relation the
+/// cheapest fully-priced attribute (lowest position on ties), with the
+/// covering views as support. This is the serving-budget fallback quote —
+/// feasible by Lemma 3.1, so always `approximate` and never below the
+/// exact price. Infinite when some relation has no fully priced attribute
+/// (support is then empty).
+PricingSolution DeterminingCoverSolution(const Catalog& catalog,
+                                         const SelectionPriceSet& prices,
+                                         const std::vector<RelationId>& relations);
+
 }  // namespace qp
 
 #endif  // QP_CHECK_INVARIANTS_H_

@@ -1,21 +1,26 @@
 #include "qp/market/marketplace.h"
 
+#include <chrono>
+
 #include "qp/eval/evaluator.h"
 #include "qp/pricing/batch_pricer.h"
 #include "qp/query/parser.h"
 
 namespace qp {
 
-Marketplace::Marketplace(Seller* seller)
-    : seller_(seller), engine_(&seller->db(), &seller->prices()) {}
+Marketplace::Marketplace(Seller* seller, ServingOptions serving)
+    : seller_(seller),
+      serving_(serving),
+      engine_(&seller->db(), &seller->prices()),
+      pricer_(&engine_,
+              BatchPricerOptions{serving.num_threads, &quote_cache_,
+                                 serving.deadline_ms, serving.admission_cap}) {}
 
 Result<PriceQuote> Marketplace::Quote(std::string_view query_text) const {
   QP_METRIC_INCR("qp.market.quotes");
   auto query = ParseQuery(seller_->catalog().schema(), query_text);
   if (!query.ok()) return query.status();
-  BatchPricer pricer(&engine_,
-                     BatchPricerOptions{/*num_threads=*/1, &quote_cache_});
-  return pricer.Price(*query);
+  return pricer_.Price(*query);
 }
 
 Result<std::vector<PriceQuote>> Marketplace::QuoteBatch(
@@ -28,7 +33,22 @@ Result<std::vector<PriceQuote>> Marketplace::QuoteBatch(
     if (!query.ok()) return query.status();
     queries.push_back(std::move(*query));
   }
-  BatchPricer pricer(&engine_, BatchPricerOptions{num_threads, &quote_cache_});
+  if (num_threads == 0) {
+    // Default thread count: the persistent serving pricer and its pool.
+    std::vector<Result<PriceQuote>> priced = pricer_.PriceAll(queries);
+    std::vector<PriceQuote> out;
+    out.reserve(priced.size());
+    for (Result<PriceQuote>& quote : priced) {
+      if (!quote.ok()) return quote.status();
+      out.push_back(std::move(*quote));
+    }
+    return out;
+  }
+  // Explicit thread override: an ad-hoc pricer with the same serving knobs.
+  BatchPricer pricer(&engine_,
+                     BatchPricerOptions{num_threads, &quote_cache_,
+                                        serving_.deadline_ms,
+                                        serving_.admission_cap});
   std::vector<Result<PriceQuote>> priced = pricer.PriceAll(queries);
   std::vector<PriceQuote> out;
   out.reserve(priced.size());
@@ -43,9 +63,7 @@ Result<Marketplace::PurchaseResult> Marketplace::Purchase(
     const std::string& buyer, const std::string& query_text) {
   auto query = ParseQuery(seller_->catalog().schema(), query_text);
   if (!query.ok()) return query.status();
-  BatchPricer pricer(&engine_,
-                     BatchPricerOptions{/*num_threads=*/1, &quote_cache_});
-  auto quote = pricer.Price(*query);
+  auto quote = pricer_.Price(*query);
   if (!quote.ok()) return quote.status();
   if (IsInfinite(quote->solution.price)) {
     return Status::FailedPrecondition(
@@ -85,6 +103,11 @@ Result<PriceQuote> Marketplace::QuoteBundle(
     auto query = ParseQuery(seller_->catalog().schema(), text);
     if (!query.ok()) return query.status();
     queries.push_back(std::move(*query));
+  }
+  if (serving_.deadline_ms > 0) {
+    return engine_.PriceBundle(
+        queries, SearchBudget::Deadline(
+                     std::chrono::milliseconds(serving_.deadline_ms)));
   }
   return engine_.PriceBundle(queries);
 }

@@ -8,6 +8,7 @@
 #include "qp/market/delivery.h"
 #include "qp/market/seller.h"
 #include "qp/obs/metrics.h"
+#include "qp/pricing/batch_pricer.h"
 #include "qp/pricing/engine.h"
 #include "qp/pricing/quote_cache.h"
 #include "qp/util/result.h"
@@ -33,9 +34,24 @@ struct Receipt {
 /// per Section 1), executes purchases and keeps a ledger.
 class Marketplace {
  public:
+  /// Serving-path knobs shared by Quote/QuoteBatch/Purchase.
+  struct ServingOptions {
+    /// Worker threads for QuoteBatch (0 = hardware concurrency).
+    int num_threads = 0;
+    /// Per-query serving deadline in milliseconds (0 = none). On expiry a
+    /// quote degrades to an admissible approximate price (flagged in
+    /// `PriceQuote::solution.approximate`) instead of erroring, so tail
+    /// latency stays bounded even for NP-hard queries.
+    int64_t deadline_ms = 0;
+    /// Queries admitted per QuoteBatch call (0 = unlimited); excess
+    /// requests are shed with ResourceExhausted.
+    int admission_cap = 0;
+  };
+
   /// The seller must outlive the marketplace and should be published
   /// (validated) first.
-  explicit Marketplace(Seller* seller);
+  explicit Marketplace(Seller* seller) : Marketplace(seller, ServingOptions{}) {}
+  Marketplace(Seller* seller, ServingOptions serving);
 
   /// Parses and prices a query without buying (users "may just inquire
   /// about the price, then decide not to buy", Section 2.6). Served from
@@ -45,7 +61,7 @@ class Marketplace {
 
   /// Prices a batch of independent quote requests concurrently (the
   /// high-traffic serving path: many buyers inquiring at once).
-  /// `num_threads` = 0 uses the hardware concurrency. Results are
+  /// `num_threads` = 0 uses the serving options' thread count. Results are
   /// bit-identical to issuing the Quote calls sequentially; the whole
   /// batch fails on the first query that fails to parse or price.
   Result<std::vector<PriceQuote>> QuoteBatch(
@@ -81,9 +97,14 @@ class Marketplace {
 
  private:
   Seller* seller_;
+  ServingOptions serving_;
   PricingEngine engine_;
   /// Mutable: caching is an implementation detail of the const Quote path.
   mutable QuoteCache quote_cache_;
+  /// Persistent serving pricer (single-threaded Quote/Purchase path plus
+  /// the default QuoteBatch pool), carrying the serving deadline and
+  /// admission cap. Mutable for the same reason as the cache.
+  mutable BatchPricer pricer_;
   std::vector<Receipt> ledger_;
   Money revenue_ = 0;
   int64_t next_order_id_ = 1;

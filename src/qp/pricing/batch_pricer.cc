@@ -1,6 +1,7 @@
 #include "qp/pricing/batch_pricer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "qp/check/invariants.h"
@@ -14,11 +15,28 @@ BatchPricer::BatchPricer(const PricingEngine* engine,
     : engine_(engine),
       cache_(options.cache),
       num_threads_(options.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                            : options.num_threads) {}
+                                            : options.num_threads),
+      deadline_ms_(options.deadline_ms),
+      admission_cap_(options.admission_cap) {}
+
+bool BatchPricer::pool_initialized() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pool_ != nullptr;
+}
 
 Result<PriceQuote> BatchPricer::Price(const ConjunctiveQuery& query) const {
   QP_METRIC_SCOPED_TIMER("qp.batch.solve_ns");
-  if (cache_ == nullptr) return engine_->Price(query);
+  // Each query gets a fresh budget: the deadline bounds one solve, not the
+  // whole batch. With no deadline the engine's own default budget (usually
+  // inactive) applies untouched — bit-identical to the unbudgeted engine.
+  auto price_one = [&]() {
+    return deadline_ms_ > 0
+               ? engine_->Price(query,
+                                SearchBudget::Deadline(
+                                    std::chrono::milliseconds(deadline_ms_)))
+               : engine_->Price(query);
+  };
+  if (cache_ == nullptr) return price_one();
   std::string fingerprint = query.Fingerprint();
   if (auto cached = cache_->Lookup(fingerprint, engine_->db())) {
     // Cache-served quotes bypass the engine's return-boundary checks, so
@@ -27,8 +45,11 @@ Result<PriceQuote> BatchPricer::Price(const ConjunctiveQuery& query) const {
     CheckPriceNonNegative(cached->solution.price, "BatchPricer::Price");
     return *std::move(cached);
   }
-  auto quote = engine_->Price(query);
-  if (quote.ok()) {
+  auto quote = price_one();
+  // Approximate (deadline-degraded) quotes stay out of the cache: a later
+  // request without time pressure should get the exact price, not a stale
+  // over-estimate.
+  if (quote.ok() && !quote->solution.approximate) {
     cache_->Store(fingerprint, query, engine_->db(), *quote);
   }
   return quote;
@@ -36,25 +57,42 @@ Result<PriceQuote> BatchPricer::Price(const ConjunctiveQuery& query) const {
 
 std::vector<Result<PriceQuote>> BatchPricer::PriceAll(
     const std::vector<ConjunctiveQuery>& queries) const {
-  const int n = static_cast<int>(queries.size());
+  const int total = static_cast<int>(queries.size());
   std::vector<Result<PriceQuote>> out(
-      n, Result<PriceQuote>(Status::Internal("not priced")));
-  if (n == 0) return out;
+      total, Result<PriceQuote>(Status::Internal("not priced")));
+  if (total == 0) return out;
   QP_METRIC_INCR("qp.batch.runs");
-  QP_METRIC_COUNT("qp.batch.queries", n);
+  QP_METRIC_COUNT("qp.batch.queries", total);
+  // Admission control: under overload, shed the tail of the batch instead
+  // of queuing it behind an unbounded backlog.
+  int n = total;
+  if (admission_cap_ > 0 && total > admission_cap_) {
+    n = admission_cap_;
+    QP_METRIC_COUNT("qp.batch.shed", static_cast<uint64_t>(total - n));
+    for (int i = n; i < total; ++i) {
+      out[i] = Status::ResourceExhausted(
+          "batch admission cap reached (" + std::to_string(admission_cap_) +
+          "); query shed");
+    }
+  }
   if (num_threads_ <= 1 || n == 1) {
     for (int i = 0; i < n; ++i) out[i] = Price(queries[i]);
     return out;
   }
-  // No point spawning more workers than queries.
-  ThreadPool pool(std::min(num_threads_, n));
-  // Queue wait = batch submission to task start: how long a quote request
-  // sat behind other work before a worker picked it up (the serving-path
+  // Persistent pool, built on first parallel batch and reused after: a
+  // fresh pool per batch charged worker startup to every batch's
+  // qp.batch.queue_wait_ns. Concurrent PriceAll calls serialize here.
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+  // Queue wait = enqueue to task start: how long a quote request sat
+  // behind other work before a worker picked it up (the serving-path
   // saturation signal, as opposed to qp.batch.solve_ns, the solver time).
-  const uint64_t batch_start_ns = QP_METRIC_NOW_NS();
-  pool.ParallelFor(n, [&](int i) {
+  const uint64_t enqueue_ns = QP_METRIC_NOW_NS();
+  pool_->ParallelFor(n, [&](int i) {
     QP_METRIC_RECORD("qp.batch.queue_wait_ns",
-                     QP_METRIC_NOW_NS() - batch_start_ns);
+                     QP_METRIC_NOW_NS() - enqueue_ns);
     out[i] = Price(queries[i]);
   });
   return out;

@@ -1,11 +1,16 @@
 #ifndef QP_PRICING_BATCH_PRICER_H_
 #define QP_PRICING_BATCH_PRICER_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "qp/pricing/engine.h"
 #include "qp/pricing/quote_cache.h"
 #include "qp/util/result.h"
+#include "qp/util/search_budget.h"
+#include "qp/util/thread_pool.h"
 
 namespace qp {
 
@@ -16,6 +21,16 @@ struct BatchPricerOptions {
   /// Optional shared quote cache consulted before and populated after each
   /// solver run. May be shared across pricers; must outlive this object.
   QuoteCache* cache = nullptr;
+  /// Per-query serving deadline in milliseconds (0 = none). Each query
+  /// gets its own SearchBudget; expiry degrades the quote to an
+  /// approximate over-estimate instead of an error, so a p95 latency
+  /// bound holds even on NP-hard instances. Approximate quotes are never
+  /// cached — a later unhurried request should get the exact price.
+  int64_t deadline_ms = 0;
+  /// Cap on queries admitted per PriceAll call (0 = unlimited). Excess
+  /// queries are shed with ResourceExhausted rather than queued, bounding
+  /// batch latency under overload.
+  int admission_cap = 0;
 };
 
 /// Prices many queries against one engine concurrently. Pricing is a pure
@@ -39,11 +54,24 @@ class BatchPricer {
 
   const PricingEngine& engine() const { return *engine_; }
   int num_threads() const { return num_threads_; }
+  int64_t deadline_ms() const { return deadline_ms_; }
+
+  /// True once PriceAll has built its persistent worker pool (test hook:
+  /// repeated batches must reuse one pool, not build one per call).
+  bool pool_initialized() const;
 
  private:
   const PricingEngine* engine_;
   QuoteCache* cache_;
   int num_threads_;
+  int64_t deadline_ms_;
+  int admission_cap_;
+  /// Lazily-built persistent pool, reused across PriceAll calls so worker
+  /// startup cost and queue-wait measurements aren't polluted by pool
+  /// construction. Guarded by `pool_mu_`; concurrent PriceAll calls on one
+  /// pricer serialize on it.
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace qp

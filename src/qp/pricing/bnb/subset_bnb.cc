@@ -104,7 +104,26 @@ class Solver {
     result.aborted = aborted_.load(std::memory_order_relaxed);
     FillStats(tasks);
     if (result.aborted) {
-      result.cost = best_.load(std::memory_order_relaxed);
+      result.budget_exhausted =
+          budget_exhausted_.load(std::memory_order_relaxed);
+      // Degrade instead of discarding: hand back the best feasible subset
+      // in hand (the incumbent, else the greedy seed) so a budget-bounded
+      // caller can quote it as an admissible over-estimate (Lemma 3.1).
+      if (have_incumbent_) {
+        result.found = true;
+        result.cost = best_.load(std::memory_order_relaxed);
+        for (size_t i = 0; i < m_; ++i) {
+          if (incumbent_key_.Test(i)) {
+            result.chosen.push_back(original_index_[i]);
+          }
+        }
+      } else if (!IsInfinite(greedy_cost_)) {
+        result.found = true;
+        result.cost = greedy_cost_;
+        result.chosen = greedy_chosen_;
+      } else {
+        result.cost = best_.load(std::memory_order_relaxed);
+      }
       return result;
     }
     if (!have_incumbent_) {
@@ -192,7 +211,8 @@ class Solver {
 
   /// Greedy set-cover pass (best new-cells-per-weight ratio) to seed the
   /// incumbent *bound* — never the incumbent *solution*, which must stay
-  /// the canonical DFS-earliest optimum.
+  /// the canonical DFS-earliest optimum. The greedy pick set is recorded
+  /// separately as the budget-abort fallback cover.
   void SeedGreedyUpperBound() {
     Bitset g(num_cells_);
     Money cost = 0;
@@ -202,6 +222,10 @@ class Solver {
       if (!error_.ok()) return;
       if (det) {
         best_.store(cost, std::memory_order_relaxed);
+        greedy_cost_ = cost;
+        for (size_t i = 0; i < m_; ++i) {
+          if (picked[i]) greedy_chosen_.push_back(original_index_[i]);
+        }
         return;
       }
       size_t best_item = m_;
@@ -234,6 +258,11 @@ class Solver {
   bool CountNode() {
     int64_t n = nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (options_.node_limit >= 0 && n > options_.node_limit) {
+      aborted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    if (options_.budget.ConsumeNode()) {
+      budget_exhausted_.store(true, std::memory_order_relaxed);
       aborted_.store(true, std::memory_order_relaxed);
       return false;
     }
@@ -377,11 +406,16 @@ class Solver {
   size_t frontier_depth_ = 0;
   std::vector<FrontierNode> frontier_;
 
+  // Budget-abort fallback: the greedy seed cover, in original item ids.
+  Money greedy_cost_ = kInfiniteMoney;
+  std::vector<int> greedy_chosen_;
+
   // Shared search state.
   CoverageMemo memo_;
   std::atomic<Money> best_{kInfiniteMoney};
   std::atomic<int64_t> nodes_{0};
   std::atomic<bool> aborted_{false};
+  std::atomic<bool> budget_exhausted_{false};
   std::atomic<int64_t> oracle_evals_{0};
   std::atomic<int64_t> memo_hits_{0};
   std::atomic<int64_t> bound_pruned_{0};

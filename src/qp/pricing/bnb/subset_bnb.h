@@ -8,6 +8,7 @@
 #include "qp/pricing/bnb/bitset.h"
 #include "qp/pricing/money.h"
 #include "qp/util/result.h"
+#include "qp/util/search_budget.h"
 
 namespace qp::bnb {
 
@@ -34,6 +35,11 @@ struct SubsetBnbOptions {
   int threads = 1;
   /// Cap on search nodes (< 0 = unlimited); setup probes don't count.
   int64_t node_limit = -1;
+  /// Shared serving budget (deadline / cancel / global node cap). Unlike
+  /// `node_limit` — whose exhaustion is an error to the caller — budget
+  /// exhaustion degrades: the result carries the best known feasible
+  /// subset (incumbent or greedy seed) with `budget_exhausted` set.
+  SearchBudget budget;
   /// Cap on required-cell probing during setup (each probe is one oracle
   /// evaluation; cells beyond the cap simply don't strengthen the bound).
   size_t max_probe_cells = 512;
@@ -59,13 +65,20 @@ struct SubsetBnbResult {
   Money cost = kInfiniteMoney;
   /// Indexes into the caller's item vector, ascending. Among equal-cost
   /// optima this is always the DFS-earliest one (include explored before
-  /// exclude), independent of thread count.
+  /// exclude), independent of thread count. On an aborted search this is
+  /// instead the best known *feasible* subset — the incumbent, or the
+  /// greedy upper-bound cover when no incumbent was accepted yet — and
+  /// `found` reports whether one exists; the cost is then an upper bound
+  /// on the optimum, not the optimum.
   std::vector<int> chosen;
-  /// False when no subset (not even all items) satisfies the oracle.
+  /// False when no subset (not even all items) satisfies the oracle, or
+  /// when an aborted search had no feasible subset in hand.
   bool found = false;
-  /// True when the node limit aborted the search; cost/chosen are then
-  /// unreliable.
+  /// True when the node limit or the serving budget aborted the search.
   bool aborted = false;
+  /// True when the abort came from `options.budget` (deadline / cancel /
+  /// global cap) rather than the per-solve `node_limit`.
+  bool budget_exhausted = false;
 };
 
 /// Minimum-weight subset search: finds the cheapest item subset whose

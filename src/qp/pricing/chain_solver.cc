@@ -54,6 +54,10 @@ Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
                                          FlowNetwork* scratch) {
   const int num_links = static_cast<int>(links.size());
   if (num_links == 0) return Status::InvalidArgument("empty chain");
+  if (options.budget.Exhausted()) {
+    return Status::DeadlineExceeded(
+        "chain min-cut solve exceeded the serving budget");
+  }
   QP_METRIC_INCR("qp.solver.chain.solves");
   QP_METRIC_SCOPED_TIMER("qp.solver.chain_ns");
 

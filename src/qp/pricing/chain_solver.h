@@ -6,6 +6,7 @@
 #include "qp/pricing/solution.h"
 #include "qp/pricing/work_problem.h"
 #include "qp/util/result.h"
+#include "qp/util/search_budget.h"
 
 namespace qp {
 
@@ -18,6 +19,10 @@ struct ChainSolverOptions {
   /// Both produce the same min-cut value (property-tested).
   enum class SkipMode { kHubs, kDirect };
   SkipMode skip_mode = SkipMode::kHubs;
+  /// Shared serving budget. Min-cut solves are PTIME, so the budget is
+  /// only consulted at entry (an already-expired deadline skips the solve
+  /// and lets the engine serve the full-cover fallback).
+  SearchBudget budget;
 };
 
 /// Size counters of the constructed flow graph (for the Figure 1

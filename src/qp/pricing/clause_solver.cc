@@ -91,6 +91,10 @@ Result<ClauseBuildOutcome> BuildClauses(const Instance& db,
     if (domain[v].empty()) return ClauseBuildOutcome::kTrivial;
     candidate_count *= domain[v].size();
     if (candidate_count > options.max_candidates) {
+      if (options.budget.active()) {
+        return Status::DeadlineExceeded(
+            "candidate space exceeds max_candidates");
+      }
       return Status::ResourceExhausted(
           "candidate space exceeds max_candidates");
     }
@@ -135,6 +139,12 @@ Result<ClauseBuildOutcome> BuildClauses(const Instance& db,
   witness.reserve(query.atoms().size());
   while (true) {
     ++*candidates_out;
+    if (options.budget.ConsumeNode()) {
+      // A partial clause set is NOT an admissible over-estimate; bail so
+      // the engine can fall back to the full-cover quote instead.
+      return Status::DeadlineExceeded(
+          "clause construction exceeded the serving budget");
+    }
     for (VarId v = 0; v < query.num_vars(); ++v) {
       assignment[v] = domain[v][idx[v]];
     }
@@ -248,11 +258,21 @@ Result<PricingSolution> PriceFullBundleByClauses(
   hs.clauses.assign(clause_set.begin(), clause_set.end());
 
   HittingSetResult hs_result =
-      SolveMinWeightHittingSet(hs, options.node_limit);
+      SolveMinWeightHittingSet(hs, options.node_limit, options.budget);
   if (!hs_result.optimal) {
-    return Status::ResourceExhausted(
-        "clause solver hit its node limit (price upper bound: " +
-        MoneyToString(hs_result.cost) + ")");
+    if (hs_result.budget_exhausted) {
+      if (IsInfinite(hs_result.cost)) {
+        return Status::DeadlineExceeded(
+            "clause solver exceeded the serving budget before finding any "
+            "feasible hitting set");
+      }
+      // Degrade: the incumbent/greedy hitting set is a feasible cover, so
+      // its cost is an admissible over-estimate of the exact price.
+    } else {
+      return Status::ResourceExhausted(
+          "clause solver hit its node limit (price upper bound: " +
+          MoneyToString(hs_result.cost) + ")");
+    }
   }
   if (stats != nullptr) {
     stats->candidates = candidates;
@@ -260,6 +280,7 @@ Result<PricingSolution> PriceFullBundleByClauses(
     stats->views = static_cast<int64_t>(universe.views.size());
     stats->nodes_expanded = hs_result.nodes_expanded;
   }
+  solution.approximate = !hs_result.optimal;
   solution.price = hs_result.cost;
   for (int item : hs_result.chosen) {
     solution.support.push_back(universe.views[item]);

@@ -5,6 +5,7 @@
 #include "qp/query/query.h"
 #include "qp/relational/instance.h"
 #include "qp/util/result.h"
+#include "qp/util/search_budget.h"
 
 namespace qp {
 
@@ -13,6 +14,12 @@ struct ClauseSolverOptions {
   size_t max_candidates = 4'000'000;
   /// Branch-and-bound node cap (< 0 = unlimited).
   int64_t node_limit = -1;
+  /// Shared serving budget. Exhaustion during the hitting-set search
+  /// degrades to the best known feasible cover (marked `approximate`);
+  /// exhaustion during clause *construction* returns DeadlineExceeded —
+  /// a partial clause set under-estimates the price (fewer clauses mean a
+  /// cheaper hitting set), which would undercut the seller.
+  SearchBudget budget;
 };
 
 struct ClauseSolverStats {

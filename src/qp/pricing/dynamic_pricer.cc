@@ -13,13 +13,30 @@ DynamicPricer::DynamicPricer(Instance* db, const SelectionPriceSet* prices,
                              int reprice_threads)
     : db_(db),
       engine_(db, prices, options),
-      reprice_threads_(std::max(1, reprice_threads)) {}
+      reprice_threads_(std::max(1, reprice_threads)),
+      repricer_(&engine_, BatchPricerOptions{reprice_threads_, nullptr}) {}
 
 Result<PriceQuote> DynamicPricer::Watch(const std::string& name,
                                         const ConjunctiveQuery& query) {
   auto quote = engine_.Price(query);
   if (!quote.ok()) return quote.status();
   std::string fingerprint = query.Fingerprint();
+  // Re-watching a name with a different query supersedes the old one; its
+  // cache entry would otherwise linger until a dependency relation mutates
+  // (or forever). Keep it only if another watched name still uses it.
+  auto existing = watched_.find(name);
+  if (existing != watched_.end() &&
+      existing->second.fingerprint != fingerprint) {
+    bool shared = false;
+    for (const auto& [other_name, other] : watched_) {
+      if (other_name != name &&
+          other.fingerprint == existing->second.fingerprint) {
+        shared = true;
+        break;
+      }
+    }
+    if (!shared) cache_.Evict(existing->second.fingerprint);
+  }
   cache_.Store(fingerprint, query, *db_, *quote);
   watched_[name] = Watched{query, std::move(fingerprint), *quote};
   return *quote;
@@ -38,9 +55,15 @@ Result<std::vector<DynamicPricer::PriceChange>> DynamicPricer::Insert(
   QP_METRIC_INCR("qp.dynamic.insert_batches");
   QP_METRIC_COUNT("qp.dynamic.inserted_rows", rows.size());
   QP_METRIC_SCOPED_TIMER("qp.dynamic.insert_ns");
+  // All-or-nothing: validate the whole batch before committing any row.
+  // A mid-loop failure used to leave a half-applied batch behind — earlier
+  // rows committed (and generations bumped) with no repricing pass.
+  for (const auto& row : rows) {
+    QP_RETURN_IF_ERROR(db_->ValidateInsert(rel, row));
+  }
   for (const auto& row : rows) {
     auto inserted = db_->Insert(rel, row);
-    if (!inserted.ok()) return inserted.status();
+    if (!inserted.ok()) return inserted.status();  // unreachable: validated
   }
   // Serve watched queries whose relations did not mutate straight from the
   // cache; collect the stale ones for (possibly parallel) re-solving.
@@ -70,15 +93,21 @@ Result<std::vector<DynamicPricer::PriceChange>> DynamicPricer::Insert(
     std::vector<ConjunctiveQuery> queries;
     queries.reserve(stale.size());
     for (const Watched* w : stale) queries.push_back(w->query);
-    BatchPricer pricer(&engine_,
-                       BatchPricerOptions{reprice_threads_, nullptr});
-    std::vector<Result<PriceQuote>> quotes = pricer.PriceAll(queries);
+    std::vector<Result<PriceQuote>> quotes = repricer_.PriceAll(queries);
     for (size_t i = 0; i < stale.size(); ++i) {
-      if (!quotes[i].ok()) return quotes[i].status();
+      PriceChange& change = changes[stale_change_idx[i]];
+      if (!quotes[i].ok()) {
+        // One failed re-solve no longer strands the rest of the batch:
+        // report it per-query, keep the (stale) pre-batch quote, and let
+        // every other watched query reprice normally.
+        QP_METRIC_INCR("qp.dynamic.reprice_failures");
+        change.status = quotes[i].status();
+        change.after = change.before;
+        continue;
+      }
       cache_.Store(stale[i]->fingerprint, stale[i]->query, *db_, *quotes[i]);
       stale[i]->last_quote = std::move(*quotes[i]);
-      changes[stale_change_idx[i]].after =
-          stale[i]->last_quote.solution.price;
+      change.after = stale[i]->last_quote.solution.price;
     }
   }
   // Return-boundary invariant (Prop 2.20 via Prop 2.22): full CQs over
@@ -87,6 +116,7 @@ Result<std::vector<DynamicPricer::PriceChange>> DynamicPricer::Insert(
   // paths.
   if (check_internal::CheckEnabled()) {
     for (const PriceChange& change : changes) {
+      if (!change.status.ok()) continue;  // stale quote, nothing to assert
       auto it = watched_.find(change.query);
       if (it != watched_.end() && MonotonicityGuaranteed(it->second.query)) {
         CheckMonotoneReprice(change.before, change.after,

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "qp/pricing/batch_pricer.h"
 #include "qp/pricing/engine.h"
 #include "qp/pricing/quote_cache.h"
+#include "qp/util/status.h"
 
 namespace qp {
 
@@ -38,6 +40,9 @@ class DynamicPricer {
                 PricingEngine::Options options = {}, int reprice_threads = 1);
 
   /// Registers a query for repricing. Returns its initial quote.
+  /// Re-watching an existing name with a different query evicts the old
+  /// query's cache entry (unless another watched name still shares it), so
+  /// superseded fingerprints don't linger in the cache.
   Result<PriceQuote> Watch(const std::string& name,
                            const ConjunctiveQuery& query);
 
@@ -51,10 +56,19 @@ class DynamicPricer {
     /// True if the quote survived the batch untouched (no relation of the
     /// query mutated) and was served from the cache without solver work.
     bool from_cache = false;
+    /// Per-query re-solve outcome. On failure the watched query keeps its
+    /// pre-batch quote (now stale), `after` repeats `before`, and the rest
+    /// of the batch still reprices — one hard query no longer strands
+    /// every other watched quote.
+    Status status = Status::Ok();
   };
 
-  /// Inserts tuples, then reprices every watched query. Returns the price
-  /// movements (after - before is >= 0 whenever MonotonicityGuaranteed).
+  /// Inserts tuples, then reprices every watched query. The whole row
+  /// batch is validated before any row is committed (all-or-nothing: a bad
+  /// row means no mutation and no repricing). Returns the price movements
+  /// (after - before is >= 0 whenever MonotonicityGuaranteed); per-query
+  /// re-solve failures are reported in PriceChange::status, not as a
+  /// batch-level error.
   Result<std::vector<PriceChange>> Insert(
       std::string_view rel, const std::vector<std::vector<Value>>& rows);
 
@@ -89,6 +103,9 @@ class DynamicPricer {
   PricingEngine engine_;
   QuoteCache cache_;
   int reprice_threads_;
+  /// Persistent repricer (and its worker pool) reused across Insert
+  /// batches instead of being rebuilt per batch.
+  BatchPricer repricer_;
   std::map<std::string, Watched> watched_;
 };
 

@@ -75,12 +75,60 @@ bool PricingEngine::SellsWholeDatabase() const {
 }
 
 Result<PriceQuote> PricingEngine::Price(const ConjunctiveQuery& query) const {
+  return Price(query, options_.budget);
+}
+
+Result<PriceQuote> PricingEngine::ApplyBudgetOutcome(
+    Result<PriceQuote> quote, const SearchBudget& budget,
+    const std::vector<RelationId>& rels, const char* context) const {
+  if (!budget.active()) return quote;
+  if (!quote.ok()) {
+    if (quote.status().code() != StatusCode::kDeadlineExceeded) return quote;
+    // Budget expired with nothing feasible in hand: serve the Lemma 3.1
+    // full-cover quote. Buying a full cover of every referenced relation
+    // determines any query over them, so this price is always >= exact.
+    PricingSolution cover =
+        DeterminingCoverSolution(db_->catalog(), *prices_, rels);
+    if (IsInfinite(cover.price)) return quote;  // nothing to fall back to
+    QP_METRIC_INCR("qp.engine.deadline_fallbacks");
+    PriceQuote out;
+    out.solution = std::move(cover);
+    out.ptime = true;
+    out.solver = "full-cover-fallback";
+    out.explanation =
+        std::string("serving budget expired before an exact solve; quoting "
+                    "the determining full cover (Lemma 3.1), an "
+                    "arbitrage-safe over-estimate [") +
+        context + "]";
+    return out;
+  }
+  if (!quote->solution.approximate) return quote;
+  // A solver handed back an incumbent/greedy cover. Greedy set covers can
+  // exceed the full-cover cost (the H(n) factor), which would violate the
+  // CheckPriceUpperBound envelope — cap at the cheaper of the two.
+  QP_METRIC_INCR("qp.engine.approx_quotes");
+  PricingSolution cover =
+      DeterminingCoverSolution(db_->catalog(), *prices_, rels);
+  if (cover.price < quote->solution.price) {
+    quote->solution = std::move(cover);
+    quote->solver += "+full-cover-cap";
+  }
+  quote->explanation +=
+      "; approximate: serving budget expired, price is an upper bound on "
+      "the exact Equation 2 price";
+  return quote;
+}
+
+Result<PriceQuote> PricingEngine::Price(const ConjunctiveQuery& query,
+                                        const SearchBudget& budget) const {
   // Counts every engine entry, including the recursive component and
   // full-version prices a single top-level quote can trigger (see the
   // metric catalog in DESIGN.md §9).
   QP_METRIC_INCR("qp.engine.price.calls");
   QP_METRIC_SCOPED_TIMER("qp.engine.price_ns");
-  auto quote = PriceDispatch(query);
+  auto quote = ApplyBudgetOutcome(PriceDispatch(query, budget), budget,
+                                  query.ReferencedRelations(),
+                                  "PricingEngine::Price");
   if (!quote.ok()) QP_METRIC_INCR("qp.engine.price.errors");
   // Return-boundary invariants (Prop 2.8 / Lemma 3.1): quoted prices are
   // non-negative and never exceed the cost of buying full covers of every
@@ -94,9 +142,9 @@ Result<PriceQuote> PricingEngine::Price(const ConjunctiveQuery& query) const {
 }
 
 Result<PriceQuote> PricingEngine::PriceDispatch(
-    const ConjunctiveQuery& query) const {
+    const ConjunctiveQuery& query, const SearchBudget& budget) const {
   std::vector<std::vector<int>> components = query.ConnectedComponents();
-  if (components.size() <= 1) return PriceConnected(query);
+  if (components.size() <= 1) return PriceConnected(query, budget);
 
   // Proposition 3.14: compose the component prices based on emptiness.
   QP_METRIC_INCR("qp.engine.dispatch.component_composition");
@@ -106,7 +154,7 @@ Result<PriceQuote> PricingEngine::PriceDispatch(
   for (size_t c = 0; c < components.size(); ++c) {
     ConjunctiveQuery sub = ComponentQuery(query, components[c],
                                           static_cast<int>(c));
-    auto quote = Price(sub);
+    auto quote = Price(sub, budget);
     if (!quote.ok()) return quote.status();
     auto satisfied = eval.IsSatisfied(sub);
     if (!satisfied.ok()) return satisfied.status();
@@ -124,6 +172,8 @@ Result<PriceQuote> PricingEngine::PriceDispatch(
     out.solution.price = 0;
     for (const PriceQuote& q : quotes) {
       out.solution.price = AddMoney(out.solution.price, q.solution.price);
+      // One approximate component makes the composed price approximate.
+      out.solution.approximate |= q.solution.approximate;
       MergeSupport(&out.solution, q.solution);
     }
     out.explanation = "disconnected, all components non-empty: price is "
@@ -144,7 +194,7 @@ Result<PriceQuote> PricingEngine::PriceDispatch(
 }
 
 Result<PriceQuote> PricingEngine::PriceBoolean(
-    const ConjunctiveQuery& query) const {
+    const ConjunctiveQuery& query, const SearchBudget& budget) const {
   Evaluator eval(db_);
   auto satisfied = eval.IsSatisfied(query);
   if (!satisfied.ok()) return satisfied.status();
@@ -168,8 +218,10 @@ Result<PriceQuote> PricingEngine::PriceBoolean(
   if (full.IsBoolean()) {
     // Ground query: one candidate; the clause solver handles it directly.
     QP_METRIC_INCR("qp.engine.dispatch.clause_ground");
+    ClauseSolverOptions clause_options = options_.clause;
+    clause_options.budget = budget;
     auto solution = PriceFullQueryByClauses(*db_, *prices_, query,
-                                            options_.clause);
+                                            clause_options);
     if (!solution.ok()) return solution.status();
     out.solution = std::move(*solution);
     out.solver = "clause-solver(ground)";
@@ -177,7 +229,7 @@ Result<PriceQuote> PricingEngine::PriceBoolean(
     out.explanation = "ground boolean query, Q(D) false";
     return out;
   }
-  auto quote = Price(full);
+  auto quote = Price(full, budget);
   if (!quote.ok()) return quote.status();
   out = std::move(*quote);
   out.query_class = PricingClass::kBoolean;
@@ -187,8 +239,8 @@ Result<PriceQuote> PricingEngine::PriceBoolean(
 }
 
 Result<PriceQuote> PricingEngine::PriceConnected(
-    const ConjunctiveQuery& query) const {
-  if (query.IsBoolean()) return PriceBoolean(query);
+    const ConjunctiveQuery& query, const SearchBudget& budget) const {
+  if (query.IsBoolean()) return PriceBoolean(query, budget);
 
   QueryClassification cls = ClassifyConnectedQuery(query);
   PriceQuote out;
@@ -199,8 +251,10 @@ Result<PriceQuote> PricingEngine::PriceConnected(
   switch (cls.cls) {
     case PricingClass::kGChQ: {
       QP_METRIC_INCR("qp.engine.dispatch.gchq");
+      ChainSolverOptions chain_options = options_.chain;
+      chain_options.budget = budget;
       auto solution = PriceGChQQuery(*db_, *prices_, query, cls.gchq_order,
-                                     options_.chain);
+                                     chain_options);
       if (!solution.ok()) return solution.status();
       out.solution = std::move(*solution);
       out.solver = "gchq-min-cut";
@@ -210,8 +264,10 @@ Result<PriceQuote> PricingEngine::PriceConnected(
     case PricingClass::kNPHardFull:
     case PricingClass::kOutsideDichotomy: {
       QP_METRIC_INCR("qp.engine.dispatch.clause");
+      ClauseSolverOptions clause_options = options_.clause;
+      clause_options.budget = budget;
       auto solution = PriceFullQueryByClauses(*db_, *prices_, query,
-                                              options_.clause);
+                                              clause_options);
       if (!solution.ok()) return solution.status();
       out.solution = std::move(*solution);
       out.solver = "clause-solver";
@@ -219,8 +275,10 @@ Result<PriceQuote> PricingEngine::PriceConnected(
     }
     case PricingClass::kNonFull: {
       QP_METRIC_INCR("qp.engine.dispatch.exhaustive");
+      ExhaustiveSolverOptions ex_options = options_.exhaustive;
+      ex_options.budget = budget;
       auto solution = PriceByExhaustiveSearch(*db_, *prices_, query,
-                                              options_.exhaustive);
+                                              ex_options);
       if (!solution.ok()) return solution.status();
       out.solution = std::move(*solution);
       out.solver = "exhaustive-search";
@@ -235,32 +293,53 @@ Result<PriceQuote> PricingEngine::PriceConnected(
 }
 
 Result<PriceQuote> PricingEngine::PriceUnion(const UnionQuery& query) const {
-  if (query.disjuncts.size() == 1) return Price(query.disjuncts[0]);
+  return PriceUnion(query, options_.budget);
+}
+
+Result<PriceQuote> PricingEngine::PriceUnion(const UnionQuery& query,
+                                             const SearchBudget& budget) const {
+  if (query.disjuncts.size() == 1) return Price(query.disjuncts[0], budget);
   QP_METRIC_INCR("qp.engine.dispatch.union_exhaustive");
   QP_METRIC_SCOPED_TIMER("qp.engine.price_union_ns");
-  auto solution = PriceUnionByExhaustiveSearch(*db_, *prices_, query,
-                                               options_.exhaustive);
-  if (!solution.ok()) return solution.status();
-  PriceQuote out;
-  out.solution = std::move(*solution);
-  out.query_class = PricingClass::kUnion;
-  out.ptime = false;
-  out.solver = "exhaustive-search(ucq)";
-  out.explanation = "union of CQs priced by exact search (Cor 3.4)";
-  if (check_internal::CheckEnabled()) {
+  ExhaustiveSolverOptions ex_options = options_.exhaustive;
+  ex_options.budget = budget;
+  auto run = [&]() -> Result<PriceQuote> {
+    auto solution =
+        PriceUnionByExhaustiveSearch(*db_, *prices_, query, ex_options);
+    if (!solution.ok()) return solution.status();
+    PriceQuote out;
+    out.solution = std::move(*solution);
+    out.query_class = PricingClass::kUnion;
+    out.ptime = false;
+    out.solver = "exhaustive-search(ucq)";
+    out.explanation = "union of CQs priced by exact search (Cor 3.4)";
+    return out;
+  };
+  auto quote = ApplyBudgetOutcome(run(), budget,
+                                  RelationsOf(query.disjuncts),
+                                  "PricingEngine::PriceUnion");
+  if (quote.ok() && check_internal::CheckEnabled()) {
     Money bound = DeterminingCoverCost(db_->catalog(), *prices_,
                                        RelationsOf(query.disjuncts));
-    CheckSolutionInvariants(out.solution, bound,
+    CheckSolutionInvariants(quote->solution, bound,
                             "PricingEngine::PriceUnion");
   }
-  return out;
+  return quote;
 }
 
 Result<PriceQuote> PricingEngine::PriceBundle(
     const std::vector<ConjunctiveQuery>& queries) const {
+  return PriceBundle(queries, options_.budget);
+}
+
+Result<PriceQuote> PricingEngine::PriceBundle(
+    const std::vector<ConjunctiveQuery>& queries,
+    const SearchBudget& budget) const {
   QP_METRIC_INCR("qp.engine.price_bundle.calls");
   QP_METRIC_SCOPED_TIMER("qp.engine.price_bundle_ns");
-  auto quote = PriceBundleDispatch(queries);
+  auto quote = ApplyBudgetOutcome(PriceBundleDispatch(queries, budget), budget,
+                                  RelationsOf(queries),
+                                  "PricingEngine::PriceBundle");
   if (quote.ok() && check_internal::CheckEnabled()) {
     Money bound =
         DeterminingCoverCost(db_->catalog(), *prices_, RelationsOf(queries));
@@ -271,7 +350,8 @@ Result<PriceQuote> PricingEngine::PriceBundle(
 }
 
 Result<PriceQuote> PricingEngine::PriceBundleDispatch(
-    const std::vector<ConjunctiveQuery>& queries) const {
+    const std::vector<ConjunctiveQuery>& queries,
+    const SearchBudget& budget) const {
   PriceQuote out;
   if (queries.empty()) {
     out.solution.price = 0;
@@ -280,12 +360,14 @@ Result<PriceQuote> PricingEngine::PriceBundleDispatch(
     out.explanation = "the empty bundle is free (Prop 2.8)";
     return out;
   }
-  if (queries.size() == 1) return Price(queries[0]);
+  if (queries.size() == 1) return Price(queries[0], budget);
 
   // Chain-query bundles (Definition 3.9): merged min-cut in PTIME.
   {
+    ChainSolverOptions chain_options = options_.chain;
+    chain_options.budget = budget;
     auto merged = PriceChainBundleByMergedCut(*db_, *prices_, queries,
-                                              options_.chain);
+                                              chain_options);
     if (merged.ok()) {
       QP_METRIC_INCR("qp.engine.dispatch.bundle_merged_cut");
       out.solution = std::move(*merged);
@@ -306,8 +388,10 @@ Result<PriceQuote> PricingEngine::PriceBundleDispatch(
       [](const ConjunctiveQuery& q) { return q.IsFull(); });
   if (all_full) {
     QP_METRIC_INCR("qp.engine.dispatch.bundle_clause");
+    ClauseSolverOptions clause_options = options_.clause;
+    clause_options.budget = budget;
     auto solution = PriceFullBundleByClauses(*db_, *prices_, queries,
-                                             options_.clause);
+                                             clause_options);
     if (!solution.ok()) return solution.status();
     out.solution = std::move(*solution);
     out.solver = "clause-solver(bundle)";
@@ -315,8 +399,10 @@ Result<PriceQuote> PricingEngine::PriceBundleDispatch(
     return out;
   }
   QP_METRIC_INCR("qp.engine.dispatch.bundle_exhaustive");
+  ExhaustiveSolverOptions ex_options = options_.exhaustive;
+  ex_options.budget = budget;
   auto solution = PriceByExhaustiveSearch(*db_, *prices_, queries,
-                                          options_.exhaustive);
+                                          ex_options);
   if (!solution.ok()) return solution.status();
   out.solution = std::move(*solution);
   out.solver = "exhaustive-search(bundle)";

@@ -13,6 +13,7 @@
 #include "qp/query/query.h"
 #include "qp/relational/instance.h"
 #include "qp/util/result.h"
+#include "qp/util/search_budget.h"
 
 namespace qp {
 
@@ -43,6 +44,10 @@ class PricingEngine {
     ChainSolverOptions chain;
     ClauseSolverOptions clause;
     ExhaustiveSolverOptions exhaustive;
+    /// Default serving budget for every Price* call (the per-call budget
+    /// overloads take precedence). Inactive by default: no deadline means
+    /// bit-identical quotes to an unbudgeted engine.
+    SearchBudget budget;
   };
 
   /// `db` and `prices` must outlive the engine.
@@ -52,15 +57,28 @@ class PricingEngine {
   /// Prices a single conjunctive query.
   Result<PriceQuote> Price(const ConjunctiveQuery& query) const;
 
+  /// Prices under an explicit serving budget. When the budget expires
+  /// before the exact optimum, the quote degrades instead of erroring:
+  /// the best feasible cover in hand — incumbent, greedy, or the Lemma 3.1
+  /// full-cover fallback — is returned with `solution.approximate` set.
+  /// Approximate prices are >= the exact price and are capped at the
+  /// determining-cover cost, so they stay arbitrage-safe for the seller.
+  Result<PriceQuote> Price(const ConjunctiveQuery& query,
+                           const SearchBudget& budget) const;
+
   /// Prices a bundle: the cheapest view set determining *every* member
   /// (Section 2.2; always subadditive by Proposition 2.8).
   Result<PriceQuote> PriceBundle(
       const std::vector<ConjunctiveQuery>& queries) const;
+  Result<PriceQuote> PriceBundle(const std::vector<ConjunctiveQuery>& queries,
+                                 const SearchBudget& budget) const;
 
   /// Prices a union of conjunctive queries (the paper's B(UCQ) language).
   /// A UCQ carries *less* information than the bundle of its disjuncts, so
   /// its price is at most the bundle price.
   Result<PriceQuote> PriceUnion(const UnionQuery& query) const;
+  Result<PriceQuote> PriceUnion(const UnionQuery& query,
+                                const SearchBudget& budget) const;
 
   /// Checks the seller's price points for arbitrage (Proposition 3.2).
   ConsistencyReport CheckConsistency() const;
@@ -73,11 +91,23 @@ class PricingEngine {
   const SelectionPriceSet& prices() const { return *prices_; }
 
  private:
-  Result<PriceQuote> PriceDispatch(const ConjunctiveQuery& query) const;
+  Result<PriceQuote> PriceDispatch(const ConjunctiveQuery& query,
+                                   const SearchBudget& budget) const;
   Result<PriceQuote> PriceBundleDispatch(
-      const std::vector<ConjunctiveQuery>& queries) const;
-  Result<PriceQuote> PriceConnected(const ConjunctiveQuery& query) const;
-  Result<PriceQuote> PriceBoolean(const ConjunctiveQuery& query) const;
+      const std::vector<ConjunctiveQuery>& queries,
+      const SearchBudget& budget) const;
+  Result<PriceQuote> PriceConnected(const ConjunctiveQuery& query,
+                                    const SearchBudget& budget) const;
+  Result<PriceQuote> PriceBoolean(const ConjunctiveQuery& query,
+                                  const SearchBudget& budget) const;
+  /// Budget post-processing shared by Price/PriceBundle/PriceUnion: turns
+  /// DeadlineExceeded into the full-cover fallback quote and caps
+  /// approximate prices at the determining-cover cost (Lemma 3.1), keeping
+  /// every budgeted quote inside the CheckPriceUpperBound envelope.
+  Result<PriceQuote> ApplyBudgetOutcome(Result<PriceQuote> quote,
+                                        const SearchBudget& budget,
+                                        const std::vector<RelationId>& rels,
+                                        const char* context) const;
 
   const Instance* db_;
   const SelectionPriceSet* prices_;

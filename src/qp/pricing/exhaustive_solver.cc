@@ -24,6 +24,7 @@ struct ReferenceSearcher {
   std::vector<SelectionView> views;
   std::vector<Money> weights;
   int64_t node_limit = -1;
+  SearchBudget budget;
 
   Money best_cost = kInfiniteMoney;
   std::vector<SelectionView> best_set;
@@ -31,6 +32,7 @@ struct ReferenceSearcher {
   std::vector<SelectionView> feasibility_scratch;  // reused across nodes
   int64_t nodes = 0;
   bool aborted = false;
+  bool budget_exhausted = false;
   Status error = Status::Ok();
 
   bool Determines(const std::vector<SelectionView>& subset) {
@@ -49,6 +51,11 @@ struct ReferenceSearcher {
     if (node_limit >= 0 && nodes > node_limit) {
       aborted = true;
       error = Status::ResourceExhausted("exhaustive solver node limit hit");
+      return;
+    }
+    if (budget.ConsumeNode()) {
+      aborted = true;
+      budget_exhausted = true;
       return;
     }
     if (cost >= best_cost) return;
@@ -82,6 +89,7 @@ Result<PricingSolution> RunReferenceSearch(
   ReferenceSearcher searcher;
   searcher.oracle = std::move(oracle);
   searcher.node_limit = options.node_limit;
+  searcher.budget = options.budget;
   searcher.views.reserve(relevant.size());
   searcher.weights.reserve(relevant.size());
   for (const auto& [view, price] : relevant) {
@@ -95,10 +103,16 @@ Result<PricingSolution> RunReferenceSearch(
     stats->oracle_evals = searcher.nodes * 2;  // node + feasibility checks
     stats->tasks = 1;
   }
+  if (searcher.budget_exhausted && IsInfinite(searcher.best_cost)) {
+    return Status::DeadlineExceeded(
+        "exhaustive solver exceeded the serving budget before finding any "
+        "feasible cover");
+  }
 
   PricingSolution solution;
   solution.price = searcher.best_cost;
   solution.support = searcher.best_set;
+  solution.approximate = searcher.budget_exhausted;
   std::sort(solution.support.begin(), solution.support.end());
   return solution;
 }
@@ -137,6 +151,7 @@ Result<PricingSolution> RunCoverageSearch(
   bnb::SubsetBnbOptions bnb_options;
   bnb_options.threads = options.threads;
   bnb_options.node_limit = options.node_limit;
+  bnb_options.budget = options.budget;
   bnb_options.max_probe_cells = options.max_probe_cells;
   bnb::SubsetBnbStats bnb_stats;
   auto solve = bnb::SolveSubsetBnb(
@@ -146,8 +161,13 @@ Result<PricingSolution> RunCoverageSearch(
       },
       bnb_options, &bnb_stats);
   if (!solve.ok()) return solve.status();
-  if (solve->aborted) {
+  if (solve->aborted && !solve->budget_exhausted) {
     return Status::ResourceExhausted("exhaustive solver node limit hit");
+  }
+  if (solve->budget_exhausted && !solve->found) {
+    return Status::DeadlineExceeded(
+        "exhaustive solver exceeded the serving budget before finding any "
+        "feasible cover");
   }
   if (stats != nullptr) {
     stats->nodes = bnb_stats.nodes;
@@ -173,6 +193,7 @@ Result<PricingSolution> RunCoverageSearch(
 
   PricingSolution solution;
   solution.price = solve->cost;
+  solution.approximate = solve->budget_exhausted;
   for (int item : solve->chosen) solution.support.push_back(views[item]);
   std::sort(solution.support.begin(), solution.support.end());
   return solution;
@@ -203,10 +224,13 @@ Result<PricingSolution> RunSearch(const Instance& db,
     relevant.emplace_back(view, price);
   }
   if (relevant.size() > options.max_views) {
-    return Status::ResourceExhausted(
-        "too many relevant views for exhaustive search (" +
-        std::to_string(relevant.size()) + " > " +
-        std::to_string(options.max_views) + ")");
+    std::string msg = "too many relevant views for exhaustive search (" +
+                      std::to_string(relevant.size()) + " > " +
+                      std::to_string(options.max_views) + ")";
+    // Under a serving budget this is a capacity miss the engine converts
+    // into the full-cover fallback; without one it stays a hard error.
+    if (options.budget.active()) return Status::DeadlineExceeded(std::move(msg));
+    return Status::ResourceExhausted(std::move(msg));
   }
   // Decide expensive views first: earlier pruning. The view order breaks
   // price ties so the canonical (DFS-earliest) optimal support is well

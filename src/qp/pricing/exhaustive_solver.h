@@ -7,6 +7,7 @@
 #include "qp/query/query.h"
 #include "qp/relational/instance.h"
 #include "qp/util/result.h"
+#include "qp/util/search_budget.h"
 
 namespace qp {
 
@@ -17,6 +18,10 @@ struct ExhaustiveSolverOptions {
   size_t max_views = 30;
   /// Cap on search nodes (< 0 = unlimited).
   int64_t node_limit = -1;
+  /// Shared serving budget. Exhaustion degrades to the best known feasible
+  /// cover (marked `approximate`) or DeadlineExceeded when none exists,
+  /// instead of the node-limit ResourceExhausted error.
+  SearchBudget budget;
   /// Worker threads for parallel subtree exploration (<= 1: sequential).
   /// Quotes are bit-identical across thread counts (DESIGN.md §10).
   int threads = 1;

@@ -51,6 +51,12 @@ Result<PricingSolution> SolveNormalized(const WorkProblem& problem,
                                         const ChainSolverOptions& options,
                                         GChQSolveStats* stats,
                                         FlowNetwork* scratch) {
+  // PTIME path: consult the budget only at entry to each normalization
+  // step; an expired deadline routes the engine to the full-cover fallback.
+  if (options.budget.Exhausted()) {
+    return Status::DeadlineExceeded(
+        "GChQ normalization exceeded the serving budget");
+  }
   // Trivial determinacy: a used variable with an empty domain means no
   // candidate answer can exist in any possible world.
   for (const WorkAtom& atom : problem.atoms) {

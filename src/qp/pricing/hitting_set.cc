@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "qp/pricing/bnb/bitset.h"
 #include "qp/pricing/bnb/bounds.h"
@@ -25,7 +26,9 @@ struct Searcher {
   std::vector<int> current_set;
   int64_t nodes = 0;
   int64_t node_limit = -1;
+  SearchBudget budget;
   bool aborted = false;
+  bool budget_exhausted = false;
 
   explicit Searcher(const HittingSetInstance& instance)
       : weights(instance.weights) {}
@@ -48,6 +51,11 @@ struct Searcher {
     ++nodes;
     if (node_limit >= 0 && nodes > node_limit) {
       aborted = true;
+      return;
+    }
+    if (budget.ConsumeNode()) {
+      aborted = true;
+      budget_exhausted = true;
       return;
     }
     if (AddMoney(current_cost, LowerBound()) >= best_cost) return;
@@ -113,10 +121,60 @@ struct Searcher {
   }
 };
 
+/// Deterministic greedy hitting set over the preprocessed clauses: pick
+/// the item hitting the most unsatisfied clauses per unit weight (cross-
+/// multiplied ratio compare, lowest index on ties) until all clauses are
+/// hit. Used only as the budget-abort fallback — it is an over-estimate,
+/// so quoting it is arbitrage-safe, but it never seeds the search bound.
+std::pair<Money, std::vector<int>> GreedyHittingSet(
+    const std::vector<Money>& weights,
+    const std::vector<std::vector<int>>& clauses) {
+  std::vector<char> hit(clauses.size(), 0);
+  size_t remaining = clauses.size();
+  Money cost = 0;
+  std::vector<int> chosen;
+  std::vector<int64_t> hits(weights.size(), 0);
+  while (remaining > 0) {
+    std::fill(hits.begin(), hits.end(), 0);
+    for (size_t c = 0; c < clauses.size(); ++c) {
+      if (hit[c]) continue;
+      for (int item : clauses[c]) ++hits[item];
+    }
+    int pick = -1;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (hits[i] == 0) continue;
+      if (pick < 0) {
+        pick = static_cast<int>(i);
+        continue;
+      }
+      // Prefer i over pick when hits[i]/weights[i] > hits[pick]/weights[pick].
+      __int128 lhs = static_cast<__int128>(hits[i]) * weights[pick];
+      __int128 rhs = static_cast<__int128>(hits[pick]) * weights[i];
+      if (lhs > rhs) pick = static_cast<int>(i);
+    }
+    if (pick < 0) return {kInfiniteMoney, {}};  // unsatisfiable remainder
+    chosen.push_back(pick);
+    cost = AddMoney(cost, weights[pick]);
+    for (size_t c = 0; c < clauses.size(); ++c) {
+      if (hit[c]) continue;
+      for (int item : clauses[c]) {
+        if (item == pick) {
+          hit[c] = 1;
+          --remaining;
+          break;
+        }
+      }
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return {cost, std::move(chosen)};
+}
+
 }  // namespace
 
 HittingSetResult SolveMinWeightHittingSet(const HittingSetInstance& instance,
-                                          int64_t node_limit) {
+                                          int64_t node_limit,
+                                          const SearchBudget& budget) {
   HittingSetResult result;
   const size_t num_items = instance.weights.size();
 
@@ -196,12 +254,25 @@ HittingSetResult SolveMinWeightHittingSet(const HittingSetInstance& instance,
   searcher.satisfied_by.assign(searcher.clauses.size(), 0);
   searcher.lb_stamp.assign(num_items, 0);
   searcher.node_limit = node_limit;
+  searcher.budget = budget;
   searcher.Search();
 
   result.cost = searcher.best_cost;
   result.chosen = searcher.best_set;
   result.optimal = !searcher.aborted;
+  result.budget_exhausted = searcher.budget_exhausted;
   result.nodes_expanded = searcher.nodes;
+  if (searcher.budget_exhausted) {
+    // Degrade: hand back the cheaper of the incumbent and a greedy cover
+    // (ties keep the incumbent) so the caller can quote an admissible
+    // over-estimate instead of erroring.
+    auto [greedy_cost, greedy_set] =
+        GreedyHittingSet(instance.weights, searcher.clauses);
+    if (greedy_cost < result.cost) {
+      result.cost = greedy_cost;
+      result.chosen = std::move(greedy_set);
+    }
+  }
   std::sort(result.chosen.begin(), result.chosen.end());
   return result;
 }

@@ -1,9 +1,11 @@
 #ifndef QP_PRICING_HITTING_SET_H_
 #define QP_PRICING_HITTING_SET_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "qp/pricing/money.h"
+#include "qp/util/search_budget.h"
 
 namespace qp {
 
@@ -21,15 +23,23 @@ struct HittingSetInstance {
 struct HittingSetResult {
   Money cost = kInfiniteMoney;
   std::vector<int> chosen;
-  /// False when the node limit was hit; `cost` is then an upper bound.
+  /// False when the node limit or serving budget was hit; `cost` is then
+  /// an upper bound (and `chosen` the best known feasible hitting set —
+  /// the incumbent or a post-abort greedy cover — when one exists).
   bool optimal = true;
+  /// True when the abort came from the serving budget (deadline / cancel /
+  /// global node cap) rather than `node_limit`.
+  bool budget_exhausted = false;
   int64_t nodes_expanded = 0;
 };
 
 /// Exact branch-and-bound solver with clause subsumption and a
-/// disjoint-clause lower bound. `node_limit < 0` means unlimited.
+/// disjoint-clause lower bound. `node_limit < 0` means unlimited. The
+/// budget is never used to seed the bound — pruning is `>=`, so a seeded
+/// bound could hide the canonical optimum.
 HittingSetResult SolveMinWeightHittingSet(const HittingSetInstance& instance,
-                                          int64_t node_limit = -1);
+                                          int64_t node_limit = -1,
+                                          const SearchBudget& budget = {});
 
 }  // namespace qp
 

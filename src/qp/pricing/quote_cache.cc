@@ -42,6 +42,15 @@ void QuoteCache::Store(const std::string& fingerprint,
   QP_METRIC_GAUGE_SET("qp.cache.size", entries_.size());
 }
 
+void QuoteCache::Evict(const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(fingerprint) > 0) {
+    ++stats_.evictions;
+    QP_METRIC_INCR("qp.cache.evictions");
+    QP_METRIC_GAUGE_SET("qp.cache.size", entries_.size());
+  }
+}
+
 void QuoteCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();

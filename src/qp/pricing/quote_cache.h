@@ -22,6 +22,7 @@ struct QuoteCacheStats {
   uint64_t misses = 0;          // lookups with no entry
   uint64_t invalidations = 0;   // lookups that found a stale entry
   uint64_t insertions = 0;
+  uint64_t evictions = 0;       // explicit Evict() removals
 };
 
 /// A versioned memo of priced quotes. The arbitrage-price (Equation 2) is
@@ -50,6 +51,12 @@ class QuoteCache {
   /// `db`, recording the generations of the query's relations.
   void Store(const std::string& fingerprint, const ConjunctiveQuery& query,
              const Instance& db, const PriceQuote& quote);
+
+  /// Drops the entry for `fingerprint`, if any. Used when a watcher stops
+  /// tracking a query: its entry would otherwise linger until the next
+  /// mutation of a dependency relation (or forever, for a never-mutated
+  /// relation).
+  void Evict(const std::string& fingerprint);
 
   void Clear();
   size_t size() const;

@@ -35,6 +35,12 @@ struct PricingSolution {
   /// Multi-attribute views in the support (chain queries with pair prices).
   std::vector<PairSelectionView> pair_support;
   bool support_tracked = true;
+  /// True when a serving budget expired before the exact optimum was
+  /// found and `price` is the best known *feasible* purchase instead — an
+  /// incumbent, greedy cover, or full-cover fallback. Still arbitrage-safe
+  /// for the seller: the support determines the query (Lemma 3.1), so
+  /// price >= the exact Equation 2 price never undercuts any view set.
+  bool approximate = false;
 
   bool IsSellable() const { return !IsInfinite(price); }
 };

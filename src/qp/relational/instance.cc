@@ -59,6 +59,35 @@ Result<bool> Instance::Insert(std::string_view rel,
   return Insert(*rel_id, std::move(tuple));
 }
 
+Status Instance::ValidateInsert(std::string_view rel,
+                                const std::vector<Value>& values) const {
+  const Schema& schema = catalog_->schema();
+  auto rel_id = schema.FindRelation(rel);
+  if (!rel_id.ok()) return rel_id.status();
+  if (static_cast<int>(values.size()) != schema.arity(*rel_id)) {
+    return Status::InvalidArgument(
+        "arity mismatch inserting into '" + schema.relation_name(*rel_id) +
+        "': got " + std::to_string(values.size()) + ", want " +
+        std::to_string(schema.arity(*rel_id)));
+  }
+  for (int p = 0; p < static_cast<int>(values.size()); ++p) {
+    auto id = catalog_->dict().Find(values[p]);
+    if (!id.has_value()) {
+      return Status::FailedPrecondition(
+          "value " + values[p].ToString() +
+          " is not in any declared column (columns must be declared before "
+          "inserting data)");
+    }
+    AttrRef attr{*rel_id, p};
+    if (catalog_->HasColumn(attr) && !catalog_->InColumn(attr, *id)) {
+      return Status::FailedPrecondition(
+          "value " + values[p].ToString() +
+          " violates column constraint on " + schema.AttrToString(attr));
+    }
+  }
+  return Status::Ok();
+}
+
 bool Instance::Erase(RelationId rel, const Tuple& tuple) {
   bool erased = relations_[rel].erase(tuple) > 0;
   if (erased) ++generations_[rel];

@@ -38,6 +38,13 @@ class Instance {
   /// Convenience: interns `values` and inserts into relation `rel`.
   Result<bool> Insert(std::string_view rel, const std::vector<Value>& values);
 
+  /// Checks every failure mode of Insert(rel, values) — unknown relation,
+  /// unknown value, arity mismatch, column-constraint violation — without
+  /// mutating anything. Lets batch writers validate a whole update before
+  /// committing any row of it (all-or-nothing semantics).
+  Status ValidateInsert(std::string_view rel,
+                        const std::vector<Value>& values) const;
+
   /// Removes a tuple; returns true if it was present.
   bool Erase(RelationId rel, const Tuple& tuple);
 

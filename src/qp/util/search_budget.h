@@ -1,0 +1,130 @@
+#ifndef QP_UTIL_SEARCH_BUDGET_H_
+#define QP_UTIL_SEARCH_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace qp {
+
+/// A shared, cooperative serving budget for solver searches: a wall-clock
+/// deadline, a node cap, and an explicit cancel flag behind one copyable
+/// handle. Generalizes the per-solver `node_limit` plumbing: the engine
+/// threads one budget through every solver a quote touches, so the
+/// NP-hard search (Theorem 3.5) and the PTIME min-cut pipelines check the
+/// same clock and the whole quote — not each solver separately — is
+/// bounded.
+///
+/// A default-constructed budget is *inactive*: it holds no state, every
+/// check is a null-pointer test, and solvers behave bit-identically to a
+/// build without budgets (the determinism contract of the batch pricer).
+///
+/// Thread-safety: handles may be copied freely and consumed from many
+/// worker threads; all state is atomic. The deadline is only read against
+/// the clock every `kDeadlineCheckInterval` consumed nodes, amortizing the
+/// steady_clock cost out of the search hot loop.
+class SearchBudget {
+ public:
+  /// Inactive budget: never exhausted, zero overhead.
+  SearchBudget() = default;
+
+  /// A budget that expires `timeout` from now (cooperatively: solvers
+  /// notice at their next check, so total latency is deadline + one node
+  /// batch).
+  static SearchBudget Deadline(std::chrono::milliseconds timeout) {
+    SearchBudget budget;
+    budget.state_ = std::make_shared<State>();
+    budget.state_->has_deadline = true;
+    budget.state_->deadline = std::chrono::steady_clock::now() + timeout;
+    return budget;
+  }
+
+  /// A budget that cancels after `cap` consumed nodes across every solver
+  /// sharing the handle (unlike per-solver `node_limit`, which each solver
+  /// counts from zero).
+  static SearchBudget NodeCap(int64_t cap) {
+    SearchBudget budget;
+    budget.state_ = std::make_shared<State>();
+    budget.state_->node_cap = cap;
+    return budget;
+  }
+
+  /// Both limits at once. `cap < 0` means no node cap.
+  static SearchBudget DeadlineAndNodeCap(std::chrono::milliseconds timeout,
+                                         int64_t cap) {
+    SearchBudget budget = Deadline(timeout);
+    budget.state_->node_cap = cap;
+    return budget;
+  }
+
+  /// True when the handle carries limits (i.e. was not default-built).
+  bool active() const { return state_ != nullptr; }
+
+  /// Requests cooperative cancellation (e.g. a disconnected client).
+  void Cancel() const {
+    if (state_ != nullptr) {
+      state_->cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// Counts one unit of search work and returns true when the budget is
+  /// exhausted (cancelled, over the node cap, or past the deadline). The
+  /// hot-loop check: one relaxed fetch_add; the clock is consulted every
+  /// kDeadlineCheckInterval nodes.
+  bool ConsumeNode() const {
+    if (state_ == nullptr) return false;
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    int64_t n = state_->nodes.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (state_->node_cap >= 0 && n > state_->node_cap) {
+      state_->cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (state_->has_deadline && n % kDeadlineCheckInterval == 1 &&
+        std::chrono::steady_clock::now() >= state_->deadline) {
+      state_->cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Non-consuming check for coarse-grained call sites (one per chain
+  /// solve / GChQ subproblem, not per node); always reads the clock.
+  bool Exhausted() const {
+    if (state_ == nullptr) return false;
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    if (state_->node_cap >= 0 &&
+        state_->nodes.load(std::memory_order_relaxed) > state_->node_cap) {
+      return true;
+    }
+    if (state_->has_deadline &&
+        std::chrono::steady_clock::now() >= state_->deadline) {
+      state_->cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Nodes consumed so far across every sharer of the handle.
+  int64_t nodes_consumed() const {
+    return state_ == nullptr ? 0
+                             : state_->nodes.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int64_t kDeadlineCheckInterval = 64;
+
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<int64_t> nodes{0};
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+    int64_t node_cap = -1;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace qp
+
+#endif  // QP_UTIL_SEARCH_BUDGET_H_

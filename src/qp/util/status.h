@@ -18,6 +18,7 @@ enum class StatusCode {
   kResourceExhausted = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// Human-readable name of a status code ("InvalidArgument", ...).
@@ -51,6 +52,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -39,9 +39,21 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
   // One task per index: pricing work items are heavy and heterogeneous
   // (micro- to milliseconds each), so per-index scheduling doubles as load
-  // balancing without chunking heuristics.
-  for (int i = 0; i < count; ++i) {
-    Submit([&fn, i] { fn(i); });
+  // balancing without chunking heuristics. The whole batch is enqueued
+  // under one lock with one wake pass: per-task Submit would pay a futex
+  // wake per index once the pool's workers are parked on the condition
+  // variable, which dominates batches of cache-hit-sized tasks.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (int i = 0; i < count; ++i) {
+      queue_.push_back([&fn, i] { fn(i); });
+    }
+    in_flight_ += count;
+  }
+  if (count >= static_cast<int>(workers_.size())) {
+    work_available_.notify_all();
+  } else {
+    for (int i = 0; i < count; ++i) work_available_.notify_one();
   }
   Wait();
 }

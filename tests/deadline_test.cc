@@ -1,0 +1,434 @@
+// Deadline-bounded serving tests: SearchBudget semantics, admissible
+// degradation (approximate quotes are >= the exact price with a feasible
+// support, Lemma 3.1), bit-identity of the unbudgeted path, and the
+// dynamic-repricing partial-failure fixes (all-or-nothing inserts,
+// per-query re-solve failures, rewatch cache eviction).
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/determinacy/selection_determinacy.h"
+#include "qp/pricing/batch_pricer.h"
+#include "qp/pricing/dynamic_pricer.h"
+#include "qp/pricing/engine.h"
+#include "qp/util/search_budget.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// One catalog with a query of every serving-relevant class: a chain
+/// (GChQ min-cut), a 3-cycle (clause solver), the NP-hard H2 shape
+/// (clause solver), a projection (exhaustive branch-and-bound), plus an
+/// entirely *unpriced* relation P whose queries have no finite full-cover
+/// fallback.
+struct DeadlineMarket {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<Instance> db;
+  SelectionPriceSet prices;
+
+  static DeadlineMarket Make() {
+    DeadlineMarket m;
+    m.catalog = std::make_unique<Catalog>();
+    EXPECT_TRUE(m.catalog->AddRelation("R", {"X"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("S", {"X", "Y"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("T", {"Y"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("E1", {"A", "B"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("E2", {"A", "B"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("E3", {"A", "B"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("U", {"X"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("V", {"X", "Y"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("W", {"X", "Y"}).ok());
+    EXPECT_TRUE(m.catalog->AddRelation("P", {"X"}).ok());
+
+    std::vector<Value> col3 = {Value::Int(1), Value::Int(2), Value::Int(3)};
+    std::vector<Value> col4 = {Value::Int(1), Value::Int(2), Value::Int(3),
+                               Value::Int(4)};
+    EXPECT_TRUE(m.catalog->SetColumn("R", "X", col4).ok());
+    EXPECT_TRUE(m.catalog->SetColumn("S", "X", col4).ok());
+    EXPECT_TRUE(m.catalog->SetColumn("S", "Y", col3).ok());
+    EXPECT_TRUE(m.catalog->SetColumn("T", "Y", col3).ok());
+    for (const char* rel : {"E1", "E2", "E3"}) {
+      EXPECT_TRUE(m.catalog->SetColumn(rel, "A", col3).ok());
+      EXPECT_TRUE(m.catalog->SetColumn(rel, "B", col3).ok());
+    }
+    EXPECT_TRUE(m.catalog->SetColumn("U", "X", col3).ok());
+    for (const char* rel : {"V", "W"}) {
+      EXPECT_TRUE(m.catalog->SetColumn(rel, "X", col3).ok());
+      EXPECT_TRUE(m.catalog->SetColumn(rel, "Y", col3).ok());
+    }
+    EXPECT_TRUE(m.catalog->SetColumn("P", "X", col3).ok());
+
+    m.db = std::make_unique<Instance>(m.catalog.get());
+    auto ins = [&](std::string_view rel,
+                   std::vector<std::vector<int64_t>> rows) {
+      for (const auto& row : rows) {
+        std::vector<Value> values;
+        for (int64_t v : row) values.push_back(Value::Int(v));
+        EXPECT_TRUE(m.db->Insert(rel, values).ok()) << rel;
+      }
+    };
+    ins("R", {{1}, {2}, {4}});
+    ins("S", {{1, 1}, {1, 2}, {2, 2}, {4, 1}});
+    ins("T", {{1}, {3}});
+    ins("E1", {{1, 2}, {2, 3}});
+    ins("E2", {{2, 3}, {3, 1}});
+    ins("E3", {{3, 1}, {1, 2}});
+    ins("U", {{1}, {2}});
+    ins("V", {{1, 1}, {2, 2}, {1, 3}});
+    ins("W", {{1, 1}, {2, 2}, {3, 3}});
+    ins("P", {{1}, {2}});
+
+    auto price = [&](std::string_view rel, std::string_view attr, Money p) {
+      EXPECT_TRUE(m.prices.SetUniform(*m.catalog, rel, attr, p).ok());
+    };
+    price("R", "X", 3);
+    price("S", "X", 2);
+    price("S", "Y", 2);
+    price("T", "Y", 1);
+    for (const char* rel : {"E1", "E2", "E3"}) {
+      price(rel, "A", 2);
+      price(rel, "B", 2);
+    }
+    price("U", "X", 1);
+    price("V", "X", 2);
+    price("V", "Y", 2);
+    price("W", "X", 2);
+    price("W", "Y", 3);
+    // P is deliberately unpriced: no finite full-cover fallback exists.
+    return m;
+  }
+
+  ConjunctiveQuery Parse(const std::string& text) const {
+    auto q = ParseQuery(catalog->schema(), text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(*q);
+  }
+};
+
+const char* const kChainText = "Qchain(x,y) :- R(x), S(x,y), T(y)";
+const char* const kCycleText = "Qcyc(x,y,z) :- E1(x,y), E2(y,z), E3(z,x)";
+const char* const kHardText = "Qhard(x,y) :- U(x), V(x,y), W(x,y)";
+const char* const kProjText = "Qproj(x) :- R(x), S(x,y)";
+
+TEST(SearchBudget, InactiveIsNeverExhausted) {
+  SearchBudget budget;
+  EXPECT_FALSE(budget.active());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(budget.ConsumeNode());
+  EXPECT_FALSE(budget.Exhausted());
+  EXPECT_EQ(budget.nodes_consumed(), 0);
+  budget.Cancel();  // no-op on an inactive handle
+  EXPECT_FALSE(budget.Exhausted());
+}
+
+TEST(SearchBudget, NodeCapExhausts) {
+  SearchBudget budget = SearchBudget::NodeCap(10);
+  EXPECT_TRUE(budget.active());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(budget.ConsumeNode()) << i;
+  EXPECT_FALSE(budget.Exhausted());
+  EXPECT_TRUE(budget.ConsumeNode());
+  EXPECT_TRUE(budget.Exhausted());
+}
+
+TEST(SearchBudget, ZeroDeadlineExhaustsImmediately) {
+  SearchBudget budget = SearchBudget::Deadline(milliseconds(0));
+  EXPECT_TRUE(budget.Exhausted());
+  SearchBudget fresh = SearchBudget::Deadline(milliseconds(0));
+  // The clock is only consulted every kDeadlineCheckInterval nodes, offset
+  // so the very first node notices an already-expired deadline.
+  EXPECT_TRUE(fresh.ConsumeNode());
+}
+
+TEST(SearchBudget, CancelIsSharedAcrossCopies) {
+  SearchBudget budget = SearchBudget::NodeCap(1'000'000);
+  SearchBudget copy = budget;
+  EXPECT_FALSE(copy.Exhausted());
+  budget.Cancel();
+  EXPECT_TRUE(copy.Exhausted());
+  EXPECT_TRUE(copy.ConsumeNode());
+}
+
+/// The admissibility contract on every solver path that can actually burn
+/// nodes: a budget-degraded quote still succeeds, is flagged approximate,
+/// never undercuts the exact price, and quotes a support that really
+/// determines the query (so the Equation 2 "savvy buyer" argument still
+/// upper-bounds what the buyer would pay elsewhere).
+TEST(DeadlineQuoting, ApproximateQuoteIsAdmissible) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  PricingEngine engine(m.db.get(), &m.prices);
+  for (const char* text : {kCycleText, kHardText, kProjText}) {
+    ConjunctiveQuery q = m.Parse(text);
+    QP_ASSERT_OK_AND_ASSIGN(PriceQuote exact, engine.Price(q));
+    ASSERT_FALSE(exact.solution.approximate) << text;
+    auto approx = engine.Price(q, SearchBudget::NodeCap(1));
+    ASSERT_TRUE(approx.ok()) << text << ": " << approx.status().ToString();
+    EXPECT_TRUE(approx->solution.approximate) << text;
+    EXPECT_GE(approx->solution.price, exact.solution.price) << text;
+    ASSERT_FALSE(IsInfinite(approx->solution.price)) << text;
+    QP_ASSERT_OK_AND_ASSIGN(
+        bool determines,
+        SelectionViewsDetermine(*m.db, approx->solution.support, q));
+    EXPECT_TRUE(determines) << text;
+  }
+}
+
+/// An already-expired deadline degrades *every* query class — including
+/// the PTIME min-cut paths, which only make coarse budget checks — to the
+/// Lemma 3.1 full-cover fallback instead of erroring.
+TEST(DeadlineQuoting, ExpiredDeadlineFallsBackToFullCover) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  PricingEngine engine(m.db.get(), &m.prices);
+  for (const char* text : {kChainText, kCycleText, kHardText, kProjText}) {
+    ConjunctiveQuery q = m.Parse(text);
+    QP_ASSERT_OK_AND_ASSIGN(PriceQuote exact, engine.Price(q));
+    auto quote = engine.Price(q, SearchBudget::Deadline(milliseconds(0)));
+    ASSERT_TRUE(quote.ok()) << text << ": " << quote.status().ToString();
+    EXPECT_TRUE(quote->solution.approximate) << text;
+    EXPECT_GE(quote->solution.price, exact.solution.price) << text;
+    QP_ASSERT_OK_AND_ASSIGN(
+        bool determines,
+        SelectionViewsDetermine(*m.db, quote->solution.support, q));
+    EXPECT_TRUE(determines) << text;
+  }
+}
+
+TEST(DeadlineQuoting, BundleDegradesAdmissibly) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  PricingEngine engine(m.db.get(), &m.prices);
+  std::vector<ConjunctiveQuery> bundle = {m.Parse(kChainText),
+                                          m.Parse(kCycleText)};
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote exact, engine.PriceBundle(bundle));
+  auto quote = engine.PriceBundle(
+      bundle, SearchBudget::Deadline(milliseconds(0)));
+  ASSERT_TRUE(quote.ok()) << quote.status().ToString();
+  EXPECT_TRUE(quote->solution.approximate);
+  EXPECT_GE(quote->solution.price, exact.solution.price);
+}
+
+/// When no fallback exists (a relation with no priced views), budget
+/// exhaustion remains an error: there is no admissible price to quote.
+TEST(DeadlineQuoting, InfeasibleFallbackStaysAnError) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  PricingEngine engine(m.db.get(), &m.prices);
+  ConjunctiveQuery q = m.Parse("Qmix(x,y) :- P(x), S(x,y)");
+  auto quote = engine.Price(q, SearchBudget::Deadline(milliseconds(0)));
+  ASSERT_FALSE(quote.ok());
+  EXPECT_EQ(quote.status().code(), StatusCode::kDeadlineExceeded)
+      << quote.status().ToString();
+}
+
+/// The determinism contract: without a deadline the budgeted plumbing is
+/// completely inert — quotes are bit-identical through the direct engine,
+/// an explicit inactive budget, and the batch pricer at 1 and 4 threads.
+TEST(DeadlineQuoting, NoBudgetIsBitIdentical) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  PricingEngine engine(m.db.get(), &m.prices);
+  std::vector<ConjunctiveQuery> queries;
+  std::vector<PriceQuote> expected;
+  for (const char* text : {kChainText, kCycleText, kHardText, kProjText}) {
+    ConjunctiveQuery q = m.Parse(text);
+    QP_ASSERT_OK_AND_ASSIGN(PriceQuote want, engine.Price(q));
+    queries.push_back(std::move(q));
+    expected.push_back(std::move(want));
+  }
+  auto expect_same = [](const PriceQuote& got, const PriceQuote& want,
+                        const std::string& label) {
+    EXPECT_EQ(got.solution.price, want.solution.price) << label;
+    EXPECT_EQ(got.solution.support, want.solution.support) << label;
+    EXPECT_EQ(got.solution.approximate, want.solution.approximate) << label;
+    EXPECT_EQ(got.solver, want.solver) << label;
+    EXPECT_EQ(got.explanation, want.explanation) << label;
+  };
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QP_ASSERT_OK_AND_ASSIGN(PriceQuote inert,
+                            engine.Price(queries[i], SearchBudget()));
+    expect_same(inert, expected[i], queries[i].name() + " inactive budget");
+    EXPECT_FALSE(inert.solution.approximate);
+  }
+  for (int threads : {1, 4}) {
+    BatchPricer pricer(&engine, BatchPricerOptions{threads, nullptr});
+    std::vector<Result<PriceQuote>> got = pricer.PriceAll(queries);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(got[i].ok()) << got[i].status().ToString();
+      expect_same(*got[i], expected[i],
+                  queries[i].name() + " @" + std::to_string(threads));
+    }
+  }
+}
+
+/// Approximate quotes must not be cached: a later request without time
+/// pressure should get the exact price, not a stale over-estimate.
+TEST(DeadlineQuoting, ApproximateQuotesAreNotCached) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  PricingEngine::Options options;
+  options.budget = SearchBudget::NodeCap(0);
+  PricingEngine degraded(m.db.get(), &m.prices, options);
+  QuoteCache cache;
+  BatchPricer pricer(&degraded, BatchPricerOptions{1, &cache});
+  std::vector<ConjunctiveQuery> queries = {m.Parse(kCycleText)};
+  std::vector<Result<PriceQuote>> got = pricer.PriceAll(queries);
+  ASSERT_TRUE(got[0].ok()) << got[0].status().ToString();
+  EXPECT_TRUE(got[0]->solution.approximate);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // The same query through an unbudgeted engine is exact and cacheable.
+  PricingEngine engine(m.db.get(), &m.prices);
+  BatchPricer exact_pricer(&engine, BatchPricerOptions{1, &cache});
+  got = exact_pricer.PriceAll(queries);
+  ASSERT_TRUE(got[0].ok());
+  EXPECT_FALSE(got[0]->solution.approximate);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(BatchServing, AdmissionCapShedsTail) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  PricingEngine engine(m.db.get(), &m.prices);
+  BatchPricer pricer(&engine, BatchPricerOptions{1, nullptr, 0, 2});
+  std::vector<ConjunctiveQuery> queries = {
+      m.Parse(kChainText), m.Parse(kCycleText), m.Parse(kHardText),
+      m.Parse(kProjText)};
+  std::vector<Result<PriceQuote>> got = pricer.PriceAll(queries);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_TRUE(got[0].ok());
+  EXPECT_TRUE(got[1].ok());
+  for (int i : {2, 3}) {
+    ASSERT_FALSE(got[i].ok()) << i;
+    EXPECT_EQ(got[i].status().code(), StatusCode::kResourceExhausted) << i;
+    EXPECT_NE(got[i].status().ToString().find("admission cap"),
+              std::string::npos)
+        << got[i].status().ToString();
+  }
+}
+
+TEST(BatchServing, WorkerPoolPersistsAcrossBatches) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  PricingEngine engine(m.db.get(), &m.prices);
+  BatchPricer pricer(&engine, BatchPricerOptions{4, nullptr});
+  EXPECT_FALSE(pricer.pool_initialized());
+  std::vector<ConjunctiveQuery> queries = {m.Parse(kChainText),
+                                           m.Parse(kCycleText)};
+  pricer.PriceAll(queries);
+  EXPECT_TRUE(pricer.pool_initialized());
+  pricer.PriceAll(queries);
+  EXPECT_TRUE(pricer.pool_initialized());
+
+  // The sequential path never pays for a pool.
+  BatchPricer sequential(&engine, BatchPricerOptions{1, nullptr});
+  sequential.PriceAll(queries);
+  EXPECT_FALSE(sequential.pool_initialized());
+}
+
+TEST(DynamicRepricing, InsertValidatesWholeBatchFirst) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  DynamicPricer dyn(m.db.get(), &m.prices);
+  ConjunctiveQuery q = m.Parse(kChainText);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote initial, dyn.Watch("chain", q));
+  const size_t tuples_before = m.db->TotalTuples();
+
+  // Row 1 is fine, row 2 has the wrong arity: nothing may commit.
+  auto arity = dyn.Insert(
+      "R", {{Value::Int(3)}, {Value::Int(3), Value::Int(1)}});
+  ASSERT_FALSE(arity.ok());
+  EXPECT_EQ(m.db->TotalTuples(), tuples_before);
+
+  // Row 2's value is outside the declared column: nothing may commit.
+  auto constraint = dyn.Insert("R", {{Value::Int(3)}, {Value::Int(99)}});
+  ASSERT_FALSE(constraint.ok());
+  EXPECT_EQ(m.db->TotalTuples(), tuples_before);
+
+  // No half-applied batch means no repricing happened either.
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote current, dyn.CurrentQuote("chain"));
+  EXPECT_EQ(current.solution.price, initial.solution.price);
+
+  // The same good row alone commits normally afterwards.
+  QP_ASSERT_OK_AND_ASSIGN(auto changes, dyn.Insert("R", {{Value::Int(3)}}));
+  EXPECT_EQ(m.db->TotalTuples(), tuples_before + 1);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_TRUE(changes[0].status.ok());
+}
+
+/// One watched query whose re-solve fails must not strand the rest of the
+/// batch: the failure is reported per-query in PriceChange::status, the
+/// failed query keeps its pre-batch quote, and every other watched query
+/// still reprices. The failure is forced deterministically by cancelling
+/// the engine's serving budget: Qmix touches the unpriced relation P, so
+/// it has no full-cover fallback and its re-solve errors, while Qchain
+/// degrades to an admissible approximate quote.
+TEST(DynamicRepricing, FailedRepriceIsReportedPerQuery) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  SearchBudget budget = SearchBudget::NodeCap(1'000'000'000);
+  PricingEngine::Options options;
+  options.budget = budget;
+  DynamicPricer dyn(m.db.get(), &m.prices, options);
+
+  ConjunctiveQuery mix = m.Parse("Qmix(x,y) :- P(x), S(x,y)");
+  ConjunctiveQuery chain = m.Parse(kChainText);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote mix_before, dyn.Watch("a_mix", mix));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote chain_before,
+                          dyn.Watch("b_chain", chain));
+
+  budget.Cancel();
+  // Both queries read S, so both re-solve after this insert.
+  QP_ASSERT_OK_AND_ASSIGN(auto changes,
+                          dyn.Insert("S", {{Value::Int(3), Value::Int(3)}}));
+  ASSERT_EQ(changes.size(), 2u);
+  const auto& mix_change = changes[0].query == "a_mix" ? changes[0]
+                                                       : changes[1];
+  const auto& chain_change = changes[0].query == "a_mix" ? changes[1]
+                                                         : changes[0];
+  ASSERT_EQ(mix_change.query, "a_mix");
+  ASSERT_EQ(chain_change.query, "b_chain");
+
+  // Qmix failed (no admissible fallback) and kept its stale quote.
+  EXPECT_FALSE(mix_change.status.ok());
+  EXPECT_EQ(mix_change.status.code(), StatusCode::kDeadlineExceeded)
+      << mix_change.status.ToString();
+  EXPECT_EQ(mix_change.after, mix_change.before);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote mix_now, dyn.CurrentQuote("a_mix"));
+  EXPECT_EQ(mix_now.solution.price, mix_before.solution.price);
+
+  // Qchain still repriced (degraded but admissible).
+  EXPECT_TRUE(chain_change.status.ok()) << chain_change.status.ToString();
+  EXPECT_GE(chain_change.after, chain_before.solution.price);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote chain_now,
+                          dyn.CurrentQuote("b_chain"));
+  EXPECT_TRUE(chain_now.solution.approximate);
+}
+
+TEST(DynamicRepricing, RewatchEvictsSupersededFingerprint) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  DynamicPricer dyn(m.db.get(), &m.prices);
+  ConjunctiveQuery q1 = m.Parse(kChainText);
+  ConjunctiveQuery q2 = m.Parse(kProjText);
+
+  QP_ASSERT_OK(dyn.Watch("n", q1).status());
+  EXPECT_EQ(dyn.cache().size(), 1u);
+  // Re-watching "n" with a different query evicts q1's now-orphaned entry.
+  QP_ASSERT_OK(dyn.Watch("n", q2).status());
+  EXPECT_EQ(dyn.cache().size(), 1u);
+  EXPECT_EQ(dyn.cache().stats().evictions, 1u);
+}
+
+TEST(DynamicRepricing, RewatchKeepsFingerprintsSharedByOtherWatchers) {
+  DeadlineMarket m = DeadlineMarket::Make();
+  DynamicPricer dyn(m.db.get(), &m.prices);
+  ConjunctiveQuery q1 = m.Parse(kChainText);
+  ConjunctiveQuery q2 = m.Parse(kProjText);
+
+  QP_ASSERT_OK(dyn.Watch("x", q1).status());
+  QP_ASSERT_OK(dyn.Watch("y", q1).status());
+  EXPECT_EQ(dyn.cache().size(), 1u);
+  // "y" still watches q1, so re-watching "x" must keep q1's entry.
+  QP_ASSERT_OK(dyn.Watch("x", q2).status());
+  EXPECT_EQ(dyn.cache().size(), 2u);
+  EXPECT_EQ(dyn.cache().stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace qp

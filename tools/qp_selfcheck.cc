@@ -8,6 +8,12 @@
 // gate and usable locally:
 //
 //   qp_selfcheck [--instances=N] [--seed=S] [--level=log|abort|off]
+//                [--deadline-ms=N]
+//
+// With --deadline-ms=N the engine side runs under an N-millisecond serving
+// budget per quote; approximate quotes are validated against the Lemma 3.1
+// admissibility contract (engine price >= exact oracle price) instead of
+// exact equality. This is the CI gate for the deadline-degradation path.
 
 #include <cstdio>
 #include <cstdlib>
@@ -86,16 +92,21 @@ Status CheckExample38() {
   return Status::Ok();
 }
 
-int Run(int instances, uint64_t seed) {
+int Run(int instances, uint64_t seed, int64_t deadline_ms) {
   std::printf("qp_selfcheck: Example 3.8 fixture...\n");
   Status example = CheckExample38();
   if (!example.ok()) {
     std::printf("FAILED: %s\n", example.ToString().c_str());
     return 1;
   }
-  std::printf("qp_selfcheck: %d randomized instances (seed %llu)...\n",
-              instances, static_cast<unsigned long long>(seed));
-  auto report = CrossValidateRandom(instances, seed);
+  CrossSolverOptions options;
+  options.deadline_ms = deadline_ms;
+  std::printf("qp_selfcheck: %d randomized instances (seed %llu%s)...\n",
+              instances, static_cast<unsigned long long>(seed),
+              deadline_ms > 0
+                  ? (", deadline " + std::to_string(deadline_ms) + "ms").c_str()
+                  : "");
+  auto report = CrossValidateRandom(instances, seed, options);
   if (!report.ok()) {
     std::printf("FAILED: %s\n", report.status().ToString().c_str());
     return 1;
@@ -119,6 +130,7 @@ int Run(int instances, uint64_t seed) {
 int main(int argc, char** argv) {
   int instances = 100;
   uint64_t seed = 42;
+  int64_t deadline_ms = 0;
   // `log` keeps counting past the first violation so one run reports the
   // full damage; pass --level=abort to die on the first one instead.
   qp::SetCheckLevel(qp::CheckLevel::kLog);
@@ -128,6 +140,8 @@ int main(int argc, char** argv) {
       instances = std::atoi(arg + 12);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::strtoll(arg + 14, nullptr, 10);
     } else if (std::strcmp(arg, "--level=abort") == 0) {
       qp::SetCheckLevel(qp::CheckLevel::kAbort);
     } else if (std::strcmp(arg, "--level=off") == 0) {
@@ -137,7 +151,7 @@ int main(int argc, char** argv) {
     } else {
       std::printf(
           "usage: qp_selfcheck [--instances=N] [--seed=S] "
-          "[--level=log|abort|off]\n");
+          "[--level=log|abort|off] [--deadline-ms=N]\n");
       return 2;
     }
   }
@@ -145,5 +159,9 @@ int main(int argc, char** argv) {
     std::printf("--instances must be positive\n");
     return 2;
   }
-  return qp::Run(instances, seed);
+  if (deadline_ms < 0) {
+    std::printf("--deadline-ms must be non-negative\n");
+    return 2;
+  }
+  return qp::Run(instances, seed, deadline_ms);
 }

@@ -1,8 +1,15 @@
 // qpricer_cli — command-line front end for the query-pricing marketplace.
 //
 // Usage:
-//   qpricer_cli <market-file> [command args...]
-//   qpricer_cli <market-file>            # interactive (reads stdin)
+//   qpricer_cli [serving flags] <market-file> [command args...]
+//   qpricer_cli [serving flags] <market-file>   # interactive (reads stdin)
+//
+// Serving flags (before the market file):
+//   --deadline-ms=N     per-quote serving deadline; on expiry quotes
+//                       degrade to an admissible approximate price
+//                       instead of erroring (0 = none, default)
+//   --threads=N         worker threads for batch quoting (0 = hardware)
+//   --admission-cap=N   max queries admitted per batch (0 = unlimited)
 //
 // Commands:
 //   price <datalog query>      quote the arbitrage-free price
@@ -19,6 +26,8 @@
 // examples/data/fig1.market for the paper's running example.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -166,25 +175,43 @@ int RunCommand(qp::Seller& seller, qp::Marketplace& market,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <market-file> [command args...]\n",
+  qp::Marketplace::ServingOptions serving;
+  int arg_index = 1;
+  while (arg_index < argc && std::strncmp(argv[arg_index], "--", 2) == 0) {
+    const char* arg = argv[arg_index];
+    if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      serving.deadline_ms = std::strtoll(arg + 14, nullptr, 10);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      serving.num_threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--admission-cap=", 16) == 0) {
+      serving.admission_cap = std::atoi(arg + 16);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg);
+      return 2;
+    }
+    ++arg_index;
+  }
+  if (arg_index >= argc) {
+    std::fprintf(stderr,
+                 "usage: %s [--deadline-ms=N] [--threads=N] "
+                 "[--admission-cap=N] <market-file> [command args...]\n",
                  argv[0]);
     return 2;
   }
   qp::Seller seller("cli");
-  qp::Status loaded = qp::LoadSellerFromFile(&seller, argv[1]);
+  qp::Status loaded = qp::LoadSellerFromFile(&seller, argv[arg_index]);
   if (!loaded.ok()) {
-    std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+    std::fprintf(stderr, "cannot load %s: %s\n", argv[arg_index],
                  loaded.ToString().c_str());
     return 2;
   }
-  qp::Marketplace market(&seller);
+  qp::Marketplace market(&seller, serving);
 
-  if (argc > 2) {
-    std::string command = argv[2];
+  if (arg_index + 1 < argc) {
+    std::string command = argv[arg_index + 1];
     std::string args;
-    for (int i = 3; i < argc; ++i) {
-      if (i > 3) args += " ";
+    for (int i = arg_index + 2; i < argc; ++i) {
+      if (i > arg_index + 2) args += " ";
       args += argv[i];
     }
     return RunCommand(seller, market, command, args);
