@@ -199,6 +199,15 @@ const int kRegistered[] = {
            // generation, so every watched join query goes stale and the
            // iteration measures a real repricing wave (the occasional
            // duplicate pair is a no-op and disappears into the p50).
+           //
+           // Counter attribution: the runner's metric deltas split the
+           // wave by tier — qp.dynamic.cache_served_queries (untouched
+           // quotes), qp.dynamic.warm_repriced_queries (incremental
+           // ResumeMaxFlow, counted under qp.flow.warm_starts), and
+           // qp.dynamic.cold_repriced_queries (full re-solves, the only
+           // path that still runs Reset(), counted under qp.flow.resets).
+           // Resets are no longer conflated across cache-hit and re-solve
+           // paths: a cache hit touches no flow state at all.
            auto states = std::make_shared<std::vector<std::string>>(
                qp::BusinessStates(params));
            auto next = std::make_shared<int>(0);

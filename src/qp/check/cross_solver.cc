@@ -1,11 +1,14 @@
 #include "qp/check/cross_solver.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "qp/check/invariants.h"
 #include "qp/determinacy/selection_determinacy.h"
+#include "qp/pricing/incremental_pricer.h"
 #include "qp/util/random.h"
 #include "qp/workload/join_workloads.h"
 
@@ -274,6 +277,130 @@ Result<CrossSolverReport> CrossValidateRandom(
         std::to_string(params.column_size) + ")";
     QP_RETURN_IF_ERROR(CrossValidateQueries(*w->db, w->prices, queries,
                                             options, label, &report));
+  }
+  return report;
+}
+
+Result<CrossSolverReport> CrossValidateFlowBackends(
+    int num_instances, uint64_t seed, int warm_updates,
+    const CrossSolverOptions& options) {
+  // Chains and stars land on the min-cut pipeline (both flow backends and
+  // the warm-start path); cycles go through the clause solver and pin down
+  // that the backend axis is a no-op off the flow path.
+  static constexpr const char* kShapes[] = {"chain1", "chain2", "chain3",
+                                            "star2", "cycle3"};
+  constexpr int kNumShapes = 5;
+  Rng rng(seed);
+  CrossSolverReport report;
+  for (int i = 0; i < num_instances; ++i) {
+    const char* shape = kShapes[i % kNumShapes];
+    JoinWorkloadParams params;
+    params.column_size = static_cast<int>(rng.NextInRange(2, 4));
+    params.tuple_density = 0.2 + 0.6 * rng.NextDouble();
+    params.priced_fraction = rng.NextBool(0.5) ? 1.0 : 0.7;
+    params.min_price = 1;
+    params.max_price = 9;
+    params.seed = rng.Next();
+
+    Result<Workload> w = Status::InvalidArgument("unset");
+    if (std::string(shape) == "chain1") {
+      w = MakeChainWorkload(1, params);
+    } else if (std::string(shape) == "chain2") {
+      w = MakeChainWorkload(2, params);
+    } else if (std::string(shape) == "chain3") {
+      w = MakeChainWorkload(3, params);
+    } else if (std::string(shape) == "star2") {
+      w = MakeStarWorkload(2, params);
+    } else {
+      w = MakeCycleWorkload(3, params);
+    }
+    if (!w.ok()) return w.status();
+    ++report.instances;
+    const std::string label = std::string(shape) + "#" + std::to_string(i) +
+                              "(c" + std::to_string(params.column_size) + ")";
+
+    // ---- Backend axis: Dinic vs highest-label push-relabel --------------
+    Money backend_price[2] = {0, 0};
+    for (int b = 0; b < 2; ++b) {
+      PricingEngine::Options eo;
+      eo.chain.flow_solver =
+          b == 0 ? FlowSolver::kDinic : FlowSolver::kPushRelabel;
+      PricingEngine engine(w->db.get(), &w->prices, eo);
+      auto quote = engine.Price(w->query);
+      if (!quote.ok()) return quote.status();
+      ++report.queries_checked;
+      backend_price[b] = quote->solution.price;
+      if (options.audit_invariants) {
+        QP_RETURN_IF_ERROR(AuditQuote(*w->db, w->prices, w->query, *quote,
+                                      "cross_solver flow backend"));
+      }
+    }
+    if (backend_price[0] != backend_price[1]) {
+      RecordMismatch(&report, options,
+                     CrossSolverMismatch{label, w->query.name(),
+                                         "dinic-vs-pushrelabel",
+                                         backend_price[0], backend_price[1]});
+    }
+
+    // ---- Warm-start axis: replay k held-out tuples into the frozen plan -
+    const std::vector<RelationId> query_rels = w->query.ReferencedRelations();
+    std::set<RelationId> rels(query_rels.begin(), query_rels.end());
+    std::vector<std::pair<RelationId, Tuple>> candidates;
+    for (RelationId rel : rels) {
+      for (const Tuple& t : w->db->Relation(rel)) candidates.emplace_back(rel, t);
+    }
+    std::vector<std::pair<RelationId, Tuple>> held_out;
+    const int k = std::min<int>(warm_updates,
+                                static_cast<int>(candidates.size()));
+    for (int j = 0; j < k; ++j) {
+      size_t pick = static_cast<size_t>(rng.NextInRange(
+          0, static_cast<int64_t>(candidates.size()) - 1));
+      held_out.push_back(std::move(candidates[pick]));
+      candidates.erase(candidates.begin() + static_cast<int64_t>(pick));
+    }
+    Instance partial = *w->db;
+    for (const auto& [rel, t] : held_out) partial.Erase(rel, t);
+
+    auto pricer = IncrementalGChQPricer::Build(partial, w->prices, w->query);
+    if (!pricer.ok()) {
+      if (pricer.status().code() == StatusCode::kUnimplemented) {
+        ++report.skipped;  // e.g. cycles: clause solver, nothing to warm
+        continue;
+      }
+      return pricer.status();
+    }
+    PricingEngine cold(&partial, &w->prices);
+    auto check_warm = [&](Money warm_price, const char* step) -> Status {
+      auto quote = cold.Price(w->query);
+      if (!quote.ok()) return quote.status();
+      ++report.queries_checked;
+      if (warm_price != quote->solution.price) {
+        RecordMismatch(&report, options,
+                       CrossSolverMismatch{
+                           label, w->query.name() + std::string(step),
+                           "warm-start", warm_price, quote->solution.price});
+      }
+      return Status::Ok();
+    };
+    QP_RETURN_IF_ERROR(
+        check_warm((*pricer)->solution().price, " (reduced)"));
+    for (const auto& [rel, t] : held_out) {
+      auto inserted = partial.Insert(rel, t);
+      if (!inserted.ok()) return inserted.status();
+      auto warm = (*pricer)->ApplyInsert(rel, t);
+      if (!warm.ok()) return warm.status();
+      QP_RETURN_IF_ERROR(check_warm(warm->price, " (replayed)"));
+    }
+    // The final warm support must still be a valid determining cut.
+    if (options.audit_invariants &&
+        !IsInfinite((*pricer)->solution().price)) {
+      auto determines = SelectionViewsDetermine(
+          partial, (*pricer)->solution().support, w->query);
+      if (!determines.ok()) return determines.status();
+      QP_INVARIANT(*determines,
+                   "cross_solver warm-start: warm support does not "
+                   "determine the query (Equation 2)");
+    }
   }
   return report;
 }

@@ -98,6 +98,22 @@ Result<CrossSolverReport> CrossValidate(
 Result<CrossSolverReport> CrossValidateRandom(
     int num_instances, uint64_t seed, const CrossSolverOptions& options = {});
 
+/// Differential validation of the flow-kernel backends on randomized
+/// chain/star/cycle instances: every instance's query is priced through
+/// the engine once per backend (Dinic, highest-label push-relabel) and the
+/// prices must be identical, with each quote's support audited as a valid
+/// determining cut (Equation 2). Additionally, up to `warm_updates` tuples
+/// are held out of a copy of the instance, an IncrementalGChQPricer is
+/// built on the reduced instance, and the held-out tuples are replayed
+/// one by one: after every replayed insert the warm (resumed-flow) price
+/// must equal a cold engine solve of the partial instance, and the final
+/// warm support must still determine the query. Instances outside the
+/// warm-startable class (e.g. cycles, priced by the clause solver) count
+/// as skipped on the warm axis, not failed. Deterministic in `seed`.
+Result<CrossSolverReport> CrossValidateFlowBackends(
+    int num_instances, uint64_t seed, int warm_updates = 3,
+    const CrossSolverOptions& options = {});
+
 /// The full sub-query over the first `num_atoms` body atoms of `q`: retained
 /// variables are remapped compactly, every retained variable is in the
 /// head, and predicates on retained variables are kept. Used to derive a

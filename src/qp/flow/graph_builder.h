@@ -1,0 +1,83 @@
+#ifndef QP_FLOW_GRAPH_BUILDER_H_
+#define QP_FLOW_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qp/flow/max_flow.h"
+
+namespace qp {
+
+/// Semantic origin of a flow edge, recorded at build time. Cut extraction
+/// maps min-cut edge ids back to pricing objects through a dense tag array
+/// (indexed by EdgeId) instead of per-solve hash maps, and the incremental
+/// repricing path uses the same ids to target UpdateEdgeCapacity at the
+/// edge a newly inserted tuple owns.
+struct FlowEdgeTag {
+  enum class Kind : uint8_t {
+    /// Plumbing (hub wiring, skip edges, infinite tuple edges): never part
+    /// of a support, ignored during cut extraction.
+    kStructural,
+    /// A priced selection view. `link` is the chain link (or a
+    /// solver-private index), `a` the side (0 = entry, 1 = exit), `b` the
+    /// dense domain index of the value.
+    kView,
+    /// A priced pair view (Section 4 multi-attribute selection). `a` / `b`
+    /// are dense domain indexes at the link's entry / exit slot.
+    kPair,
+  };
+  Kind kind = Kind::kStructural;
+  int32_t link = -1;
+  int32_t a = -1;
+  int32_t b = -1;
+};
+
+/// The one sanctioned way for solvers to assemble a FlowNetwork (enforced
+/// by the `flow-builder` lint rule): a thin wrapper owning the network plus
+/// one FlowEdgeTag per edge id. Edge ids are dense and sequential, so the
+/// tag array lines up with the arena and lookups are O(1) array reads.
+///
+/// Like FlowNetwork::Reset, Reset keeps every allocated buffer; callers
+/// that solve many graphs in a row (the GChQ case-split recursion) reuse
+/// one builder.
+class FlowGraphBuilder {
+ public:
+  using NodeId = FlowNetwork::NodeId;
+  using EdgeId = FlowNetwork::EdgeId;
+
+  void Reset() {
+    net_.Reset();
+    tags_.clear();
+  }
+
+  NodeId AddNode() { return net_.AddNode(); }
+  NodeId AddNodes(int count) { return net_.AddNodes(count); }
+
+  /// Adds a structural (untagged) edge.
+  EdgeId AddEdge(NodeId from, NodeId to, int64_t capacity) {
+    EdgeId e = net_.AddEdge(from, to, capacity);
+    tags_.emplace_back();
+    return e;
+  }
+
+  /// Adds an edge carrying its semantic origin.
+  EdgeId AddTaggedEdge(NodeId from, NodeId to, int64_t capacity,
+                       FlowEdgeTag tag) {
+    EdgeId e = net_.AddEdge(from, to, capacity);
+    tags_.push_back(tag);
+    return e;
+  }
+
+  const FlowEdgeTag& tag(EdgeId e) const { return tags_[e]; }
+
+  FlowNetwork& net() { return net_; }
+  const FlowNetwork& net() const { return net_; }
+
+ private:
+  FlowNetwork net_;
+  std::vector<FlowEdgeTag> tags_;
+};
+
+}  // namespace qp
+
+#endif  // QP_FLOW_GRAPH_BUILDER_H_

@@ -1,7 +1,7 @@
 #include "qp/flow/max_flow.h"
 
 #include <algorithm>
-#include <deque>
+#include <atomic>
 #include <limits>
 #include <string>
 
@@ -9,6 +9,37 @@
 #include "qp/obs/metrics.h"
 
 namespace qp {
+namespace {
+
+/// Test-only override of the half-edge arena limit (0 = the real int32
+/// bound). Atomic so a TSan run over the whole test binary stays clean.
+std::atomic<int64_t> g_half_edge_limit{0};
+
+int64_t EffectiveHalfEdgeLimit() {
+  int64_t limit = g_half_edge_limit.load(std::memory_order_relaxed);
+  return limit > 0 ? limit
+                   : static_cast<int64_t>(
+                         std::numeric_limits<int32_t>::max()) -
+                         1;
+}
+
+}  // namespace
+
+std::string_view FlowSolverName(FlowSolver solver) {
+  switch (solver) {
+    case FlowSolver::kAuto:
+      return "auto";
+    case FlowSolver::kDinic:
+      return "dinic";
+    case FlowSolver::kPushRelabel:
+      return "push-relabel";
+  }
+  return "unknown";
+}
+
+void FlowNetwork::SetHalfEdgeLimitForTesting(int64_t limit) {
+  g_half_edge_limit.store(limit, std::memory_order_relaxed);
+}
 
 FlowNetwork::NodeId FlowNetwork::AddNode() { return AddNodes(1); }
 
@@ -16,24 +47,23 @@ FlowNetwork::NodeId FlowNetwork::AddNodes(int count) {
   QP_ASSERT(count >= 0, "AddNodes called with negative count");
   NodeId first = num_nodes_;
   num_nodes_ += count;
-  if (static_cast<size_t>(num_nodes_) > adjacency_.size()) {
-    adjacency_.resize(static_cast<size_t>(num_nodes_));
-  }
-  // Slots recycled from a previous build keep their buffer capacity.
-  for (NodeId n = first; n < num_nodes_; ++n) adjacency_[n].clear();
+  csr_dirty_ = true;
   return first;
 }
 
 void FlowNetwork::Reset() {
-  // Each Reset is a rebuild that reused this network's buffers instead of
+  // Each Reset is a rebuild that reused this network's arena instead of
   // allocating a fresh one (the GChQ Step-3 case-split path).
   QP_METRIC_INCR("qp.flow.resets");
   num_nodes_ = 0;
-  edges_.clear();
-  original_capacity_.clear();
+  to_.clear();
+  cap_.clear();
+  capacity_.clear();
+  csr_dirty_ = true;
   source_ = -1;
   sink_ = -1;
   last_flow_ = -1;
+  resume_pending_ = false;
 }
 
 FlowNetwork::EdgeId FlowNetwork::AddEdge(NodeId from, NodeId to,
@@ -41,36 +71,70 @@ FlowNetwork::EdgeId FlowNetwork::AddEdge(NodeId from, NodeId to,
   QP_ASSERT(from >= 0 && from < num_nodes(),
             "AddEdge: 'from' node out of range");
   QP_ASSERT(to >= 0 && to < num_nodes(), "AddEdge: 'to' node out of range");
-  // Half-edge indexes are stored as int32_t in the adjacency lists; the
-  // graphs the solvers build are far below this, so an overflow means a
-  // runaway construction, not a legitimate workload.
-  QP_ASSERT(edges_.size() + 2 <
-                static_cast<size_t>(std::numeric_limits<int32_t>::max()),
-            "AddEdge: edge index would overflow int32");
+  // Half-edge ids are int32: a graph must stay under ~2^31 half edges. The
+  // solvers build far smaller graphs, so hitting the limit means a runaway
+  // construction (e.g. a catalog-scale all-pairs product), not a
+  // legitimate workload — flag it instead of corrupting the arena.
+  QP_INVARIANT(static_cast<int64_t>(to_.size()) + 2 <=
+                   EffectiveHalfEdgeLimit(),
+               "AddEdge: edge id would overflow the int32 half-edge arena");
   if (capacity > kInfiniteCapacity) capacity = kInfiniteCapacity;
   if (capacity < 0) capacity = 0;
-  EdgeId id = static_cast<EdgeId>(edges_.size() / 2);
-  original_capacity_.push_back(capacity);
-  adjacency_[from].push_back(static_cast<int32_t>(edges_.size()));
-  edges_.push_back(HalfEdge{to, capacity});
-  adjacency_[to].push_back(static_cast<int32_t>(edges_.size()));
-  edges_.push_back(HalfEdge{from, 0});
+  EdgeId id = static_cast<EdgeId>(capacity_.size());
+  capacity_.push_back(capacity);
+  // Forward half 2e, reverse half 2e+1; tails are recovered as to_[h ^ 1]
+  // when the CSR index is (re)built at the next solve.
+  to_.push_back(to);
+  cap_.push_back(capacity);
+  to_.push_back(from);
+  cap_.push_back(0);
+  csr_dirty_ = true;
+  // A new edge carries zero flow, so a previously computed flow stays
+  // feasible — it just may no longer be maximal. Keep it as a warm base
+  // and require a ResumeMaxFlow before the next cut extraction, exactly
+  // like UpdateEdgeCapacity. (The incremental chain state leans on this:
+  // an inserted tuple appends its hub-family edges instead of carrying a
+  // quadratic all-pairs edge arena from the start.)
+  if (last_flow_ >= 0) resume_pending_ = true;
   return id;
+}
+
+void FlowNetwork::BuildCsr() {
+  if (!csr_dirty_) return;
+  const size_t half_edges = to_.size();
+  start_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (size_t h = 0; h < half_edges; ++h) {
+    ++start_[static_cast<size_t>(to_[h ^ 1]) + 1];
+  }
+  for (size_t n = 0; n < static_cast<size_t>(num_nodes_); ++n) {
+    start_[n + 1] += start_[n];
+  }
+  csr_.resize(half_edges);
+  // iter_ doubles as the fill cursor; solves re-seed it from start_.
+  iter_.assign(start_.begin(), start_.end() - 1);
+  for (size_t h = 0; h < half_edges; ++h) {
+    csr_[static_cast<size_t>(iter_[to_[h ^ 1]]++)] =
+        static_cast<int32_t>(h);
+  }
+  csr_dirty_ = false;
 }
 
 bool FlowNetwork::Bfs() {
   level_.assign(static_cast<size_t>(num_nodes()), -1);
-  std::deque<NodeId> queue;
+  queue_.clear();
   level_[source_] = 0;
-  queue.push_back(source_);
-  while (!queue.empty()) {
-    NodeId u = queue.front();
-    queue.pop_front();
-    for (int32_t half : adjacency_[u]) {
-      const HalfEdge& e = edges_[half];
-      if (e.capacity > 0 && level_[e.to] < 0) {
-        level_[e.to] = level_[u] + 1;
-        queue.push_back(e.to);
+  queue_.push_back(source_);
+  for (size_t qi = 0; qi < queue_.size(); ++qi) {
+    NodeId u = queue_[qi];
+    // Nodes at or past the sink's level cannot lie on a shortest
+    // augmenting path; stop expanding the level graph there.
+    if (level_[sink_] >= 0 && level_[u] >= level_[sink_]) break;
+    for (int32_t i = start_[u]; i < start_[u + 1]; ++i) {
+      int32_t h = csr_[i];
+      NodeId v = to_[h];
+      if (cap_[h] > 0 && level_[v] < 0) {
+        level_[v] = level_[u] + 1;
+        queue_.push_back(v);
       }
     }
   }
@@ -79,18 +143,283 @@ bool FlowNetwork::Bfs() {
 
 int64_t FlowNetwork::Dfs(NodeId node, int64_t limit) {
   if (node == sink_) return limit;
-  for (size_t& i = iter_[node]; i < adjacency_[node].size(); ++i) {
-    int32_t half = adjacency_[node][i];
-    HalfEdge& e = edges_[half];
-    if (e.capacity <= 0 || level_[e.to] != level_[node] + 1) continue;
-    int64_t pushed = Dfs(e.to, std::min(limit, e.capacity));
+  for (int32_t& i = iter_[node]; i < start_[node + 1]; ++i) {
+    int32_t h = csr_[i];
+    NodeId v = to_[h];
+    if (cap_[h] <= 0 || level_[v] != level_[node] + 1) continue;
+    int64_t pushed = Dfs(v, std::min(limit, cap_[h]));
     if (pushed > 0) {
-      e.capacity -= pushed;
-      edges_[half ^ 1].capacity += pushed;
+      cap_[h] -= pushed;
+      cap_[h ^ 1] += pushed;
       return pushed;
     }
   }
   return 0;
+}
+
+int64_t FlowNetwork::AugmentToMax(int64_t base, uint64_t* augmenting_paths,
+                                  uint64_t* bfs_rounds) {
+  int64_t total = base;
+  while (Bfs()) {
+    ++*bfs_rounds;
+    iter_.assign(start_.begin(), start_.end() - 1);
+    while (int64_t pushed = Dfs(source_, kInfiniteCapacity)) {
+      ++*augmenting_paths;
+      total = SaturatingAddCapacity(total, pushed);
+      if (total >= kInfiniteCapacity) return kInfiniteCapacity;
+    }
+  }
+  return total;
+}
+
+bool FlowNetwork::HasInfiniteResidualPath() const {
+  // BFS from the source over infinite-capacity residual edges only; an
+  // all-infinite s-t path means every cut contains an infinite edge, i.e.
+  // the flow is unbounded in this model.
+  std::vector<char> seen(static_cast<size_t>(num_nodes()), 0);
+  std::vector<NodeId> queue;
+  seen[source_] = 1;
+  queue.push_back(source_);
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    NodeId u = queue[qi];
+    for (int32_t i = start_[u]; i < start_[u + 1]; ++i) {
+      int32_t h = csr_[i];
+      NodeId v = to_[h];
+      if (cap_[h] >= kInfiniteCapacity && !seen[v]) {
+        if (v == sink_) return true;
+        seen[v] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+int64_t FlowNetwork::RunPushRelabel() {
+  const int n = num_nodes();
+  uint64_t pushes = 0;
+  uint64_t relabels = 0;
+  // Clamp every working residual to cstar (a proven upper bound on the
+  // finite max flow: the infinite-reachability cut is all-finite and its
+  // capacity is at most the sum of all finite capacities). Keeps every
+  // excess within int64 range without saturating arithmetic in the hot
+  // loop. Viability (cstar small enough, no infinite s-t path) was checked
+  // by the caller.
+  int64_t cstar = 0;
+  for (int64_t c : capacity_) {
+    if (c < kInfiniteCapacity) cstar = SaturatingAddCapacity(cstar, c);
+  }
+  std::vector<EdgeId> clamped;
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    if (cap_[2 * e] > cstar) {
+      cap_[2 * e] = cstar;
+      clamped.push_back(e);
+    }
+  }
+
+  excess_.assign(static_cast<size_t>(n), 0);
+  height_.assign(static_cast<size_t>(n), 0);
+  height_count_.assign(static_cast<size_t>(2 * n + 1), 0);
+  active_.resize(static_cast<size_t>(2 * n + 1));
+  for (auto& bucket : active_) bucket.clear();
+  // Current-arc cursors into the CSR index.
+  iter_.assign(start_.begin(), start_.end() - 1);
+
+  height_[source_] = n;
+  height_count_[0] = n - 1;
+  ++height_count_[n];
+
+  int hi = 0;  // highest active height < n
+  auto activate = [&](NodeId v) {
+    if (v == source_ || v == sink_) return;
+    int h = height_[v];
+    if (h < n) {
+      active_[h].push_back(v);
+      if (h > hi) hi = h;
+    }
+  };
+
+  // Saturate the source's out-edges.
+  for (int32_t i = start_[source_]; i < start_[source_ + 1]; ++i) {
+    int32_t h = csr_[i];
+    int64_t d = cap_[h];
+    if (d <= 0) continue;
+    cap_[h] = 0;
+    cap_[h ^ 1] += d;
+    NodeId v = to_[h];
+    excess_[v] += d;
+    ++pushes;
+    activate(v);
+  }
+
+  // Phase 1 (highest-label): route as much preflow as possible to the
+  // sink. Nodes relabelled to height >= n can only return excess to the
+  // source; they park for phase 2.
+  while (hi >= 0) {
+    if (active_[hi].empty()) {
+      --hi;
+      continue;
+    }
+    NodeId u = active_[hi].back();
+    active_[hi].pop_back();
+    if (excess_[u] <= 0 || height_[u] != hi) continue;  // stale entry
+    // Discharge u.
+    while (excess_[u] > 0 && height_[u] < n) {
+      if (iter_[u] == start_[u + 1]) {
+        // Relabel: lift u to one above its lowest residual neighbor.
+        ++relabels;
+        int old_h = height_[u];
+        int new_h = 2 * n;
+        for (int32_t i = start_[u]; i < start_[u + 1]; ++i) {
+          int32_t a = csr_[i];
+          if (cap_[a] > 0) new_h = std::min(new_h, height_[to_[a]] + 1);
+        }
+        --height_count_[old_h];
+        height_[u] = new_h;
+        ++height_count_[std::min(new_h, 2 * n)];
+        iter_[u] = start_[u];
+        // Gap heuristic: if height old_h just emptied below n, no node at
+        // a height in (old_h, n) can ever reach the sink — lift them all
+        // past n in one sweep.
+        if (height_count_[old_h] == 0 && old_h < n) {
+          for (NodeId v = 0; v < n; ++v) {
+            if (height_[v] > old_h && height_[v] < n) {
+              --height_count_[height_[v]];
+              height_[v] = n + 1;
+              ++height_count_[n + 1];
+            }
+          }
+        }
+        continue;
+      }
+      int32_t h = csr_[iter_[u]];
+      NodeId v = to_[h];
+      if (cap_[h] > 0 && height_[u] == height_[v] + 1) {
+        int64_t d = std::min(excess_[u], cap_[h]);
+        cap_[h] -= d;
+        cap_[h ^ 1] += d;
+        excess_[u] -= d;
+        bool was_inactive = excess_[v] == 0;
+        excess_[v] += d;
+        ++pushes;
+        if (was_inactive) activate(v);
+      } else {
+        ++iter_[u];
+      }
+    }
+  }
+
+  int64_t total = excess_[sink_];
+
+  // Phase 2: convert the max preflow into a valid max flow by cancelling
+  // every stranded excess back to the source along flow-carrying edges.
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == source_ || v == sink_ || excess_[v] <= 0) continue;
+    DrainExcessToSource(v, excess_[v]);
+  }
+
+  // Undo the cstar clamp so EdgeFlow/residual reachability reflect the
+  // declared capacities again (flow values are unaffected: flow <= cstar).
+  for (EdgeId e : clamped) {
+    cap_[2 * e] += capacity_[e] - cstar;
+  }
+
+  QP_METRIC_COUNT("qp.flow.pr_pushes", pushes);
+  QP_METRIC_COUNT("qp.flow.pr_relabels", relabels);
+  return total;
+}
+
+void FlowNetwork::DrainExcessToSource(NodeId node, int64_t amount) {
+  int64_t drained = DrainAlongFlow(node, source_, amount, /*forward=*/false);
+  QP_ASSERT(drained == amount,
+            "push-relabel phase 2 failed to return stranded excess");
+}
+
+void FlowNetwork::DrainDeficitToSink(NodeId node, int64_t amount) {
+  int64_t drained = DrainAlongFlow(node, sink_, amount, /*forward=*/true);
+  QP_ASSERT(drained == amount,
+            "capacity decrease failed to cancel severed flow to the sink");
+}
+
+int64_t FlowNetwork::DrainAlongFlow(NodeId start, NodeId target,
+                                    int64_t amount, bool forward) {
+  // Cancels `amount` units of routed flow on a path from `start` to
+  // `target`, walking forward along flow-carrying edges (forward=true) or
+  // backward against them. Existence follows from flow/preflow
+  // conservation; encountered flow cycles are cancelled outright (each
+  // cancellation zeroes at least one edge's flow, so the walk terminates).
+  if (drain_mark_.size() < static_cast<size_t>(num_nodes())) {
+    drain_mark_.assign(static_cast<size_t>(num_nodes()), 0);
+    drain_pos_.assign(static_cast<size_t>(num_nodes()), 0);
+  }
+  const int parity = forward ? 0 : 1;
+  int64_t remaining = amount;
+  while (remaining > 0) {
+    if (drain_epoch_ == std::numeric_limits<int32_t>::max()) {
+      std::fill(drain_mark_.begin(), drain_mark_.end(), 0);
+      drain_epoch_ = 0;
+    }
+    ++drain_epoch_;
+    drain_path_.clear();
+    NodeId u = start;
+    drain_mark_[u] = drain_epoch_;
+    drain_pos_[u] = 0;
+    bool retry = false;
+    while (u != target) {
+      int32_t found = -1;
+      for (int32_t i = start_[u]; i < start_[u + 1]; ++i) {
+        int32_t h = csr_[i];
+        // The reverse residual of a flow-carrying edge equals its flow.
+        int32_t flow_half = forward ? (h ^ 1) : h;
+        if ((h & 1) == parity && cap_[flow_half] > 0) {
+          found = h;
+          break;
+        }
+      }
+      QP_ASSERT(found != -1,
+                "flow drain stuck at a node with no flow-carrying edge "
+                "(conservation violated)");
+      if (found == -1) return amount - remaining;
+      drain_path_.push_back(found);
+      NodeId w = to_[found];
+      if (w == target) {
+        u = w;
+        break;
+      }
+      if (drain_mark_[w] == drain_epoch_) {
+        // Flow cycle: cancel it entirely, then retry the walk.
+        size_t from = static_cast<size_t>(drain_pos_[w]);
+        int64_t bottleneck = kInfiniteCapacity;
+        for (size_t i = from; i < drain_path_.size(); ++i) {
+          int32_t fh = forward ? (drain_path_[i] ^ 1) : drain_path_[i];
+          bottleneck = std::min(bottleneck, cap_[fh]);
+        }
+        for (size_t i = from; i < drain_path_.size(); ++i) {
+          int32_t fh = forward ? (drain_path_[i] ^ 1) : drain_path_[i];
+          cap_[fh] -= bottleneck;
+          cap_[fh ^ 1] += bottleneck;
+        }
+        retry = true;
+        break;
+      }
+      drain_mark_[w] = drain_epoch_;
+      drain_pos_[w] = static_cast<int32_t>(drain_path_.size());
+      u = w;
+    }
+    if (retry || u != target) continue;
+    int64_t d = remaining;
+    for (int32_t h : drain_path_) {
+      int32_t fh = forward ? (h ^ 1) : h;
+      d = std::min(d, cap_[fh]);
+    }
+    for (int32_t h : drain_path_) {
+      int32_t fh = forward ? (h ^ 1) : h;
+      cap_[fh] -= d;
+      cap_[fh ^ 1] += d;
+    }
+    remaining -= d;
+  }
+  return amount;
 }
 
 void FlowNetwork::CheckFlowConservation(int64_t total) const {
@@ -98,15 +427,12 @@ void FlowNetwork::CheckFlowConservation(int64_t total) const {
   if (total < 0 || total >= kInfiniteCapacity) return;
   // Net outflow per node: +f on the tail, -f on the head of each edge.
   std::vector<int64_t> net(static_cast<size_t>(num_nodes()), 0);
-  for (size_t half = 0; half + 1 < edges_.size(); half += 2) {
-    size_t e = half / 2;
-    int64_t flow = original_capacity_[e] - edges_[half].capacity;
-    QP_ASSERT(flow >= 0 && flow <= original_capacity_[e],
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    int64_t flow = capacity_[e] - cap_[2 * e];
+    QP_ASSERT(flow >= 0 && flow <= capacity_[e],
               "edge flow outside [0, capacity] after MaxFlow");
-    NodeId from = edges_[half + 1].to;
-    NodeId to = edges_[half].to;
-    net[from] += flow;
-    net[to] -= flow;
+    net[to_[2 * e + 1]] += flow;
+    net[to_[2 * e]] -= flow;
   }
   for (NodeId v = 0; v < num_nodes(); ++v) {
     if (v == source_) {
@@ -122,71 +448,194 @@ void FlowNetwork::CheckFlowConservation(int64_t total) const {
   }
 }
 
-int64_t FlowNetwork::MaxFlow(NodeId source, NodeId sink) {
+int64_t FlowNetwork::MaxFlow(NodeId source, NodeId sink, FlowSolver solver) {
+  QP_METRIC_SCOPED_TIMER("qp.flow.maxflow_ns");
   QP_ASSERT(source >= 0 && source < num_nodes(),
             "MaxFlow: source out of range");
   QP_ASSERT(sink >= 0 && sink < num_nodes(), "MaxFlow: sink out of range");
   QP_ASSERT(source != sink, "MaxFlow: source equals sink");
   source_ = source;
   sink_ = sink;
-  int64_t total = 0;
-  // Local tallies, flushed to the metrics registry once per solve so the
-  // inner Dinic loops stay free of atomics.
-  uint64_t augmenting_paths = 0;
-  uint64_t bfs_rounds = 0;
-  while (Bfs()) {
-    ++bfs_rounds;
-    iter_.assign(static_cast<size_t>(num_nodes()), 0);
-    while (int64_t pushed = Dfs(source_, kInfiniteCapacity)) {
-      ++augmenting_paths;
-      total = SaturatingAddCapacity(total, pushed);
-      if (total >= kInfiniteCapacity) {
-        last_flow_ = kInfiniteCapacity;
-        return kInfiniteCapacity;
-      }
+  resume_pending_ = false;
+  BuildCsr();
+  // Re-arm residuals from the declared capacities.
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    cap_[2 * e] = capacity_[e];
+    cap_[2 * e + 1] = 0;
+  }
+
+  FlowSolver chosen = solver;
+  if (chosen == FlowSolver::kAuto) {
+    // Push-relabel wins on large dense graphs where Dinic's repeated
+    // level-graph rebuilds dominate. The chain-reduction graphs — even
+    // their densest variants before hub collapsing — stay below these
+    // thresholds, and measured Dinic beats push-relabel on them (few BFS
+    // phases, short augmenting paths), so the cutoffs are set well above
+    // that shape.
+    chosen = (num_nodes() > 4096 && num_edges() > 16 * num_nodes())
+                 ? FlowSolver::kPushRelabel
+                 : FlowSolver::kDinic;
+  }
+  if (chosen == FlowSolver::kPushRelabel) {
+    // Viability: an all-infinite s-t path means an unbounded flow (report
+    // it the way Dinic's saturating arithmetic would), and a finite-cap
+    // sum too close to kInfiniteCapacity would risk excess overflow — fall
+    // back to Dinic for those exotic graphs.
+    if (HasInfiniteResidualPath()) {
+      last_flow_ = kInfiniteCapacity;
+      QP_METRIC_INCR("qp.flow.maxflow_runs");
+      QP_METRIC_INCR("qp.flow.pushrelabel_runs");
+      return kInfiniteCapacity;
+    }
+    int64_t cstar = 0;
+    for (int64_t c : capacity_) {
+      if (c < kInfiniteCapacity) cstar = SaturatingAddCapacity(cstar, c);
+    }
+    int64_t safe = kInfiniteCapacity /
+                   std::max<int64_t>(1024, static_cast<int64_t>(num_nodes()));
+    if (cstar >= safe) {
+      chosen = FlowSolver::kDinic;
     }
   }
+
+  int64_t total;
+  if (chosen == FlowSolver::kPushRelabel) {
+    QP_METRIC_INCR("qp.flow.pushrelabel_runs");
+    total = RunPushRelabel();
+  } else {
+    // Local tallies, flushed to the metrics registry once per solve so the
+    // inner Dinic loops stay free of atomics.
+    uint64_t augmenting_paths = 0;
+    uint64_t bfs_rounds = 0;
+    total = AugmentToMax(0, &augmenting_paths, &bfs_rounds);
+    QP_METRIC_COUNT("qp.flow.augmenting_paths", augmenting_paths);
+    QP_METRIC_COUNT("qp.flow.bfs_rounds", bfs_rounds);
+  }
   QP_METRIC_INCR("qp.flow.maxflow_runs");
-  QP_METRIC_COUNT("qp.flow.augmenting_paths", augmenting_paths);
-  QP_METRIC_COUNT("qp.flow.bfs_rounds", bfs_rounds);
-  CheckFlowConservation(total);
   last_flow_ = total;
+  if (total < kInfiniteCapacity) CheckFlowConservation(total);
   return total;
 }
 
-std::vector<FlowNetwork::EdgeId> FlowNetwork::MinCutEdges() const {
-  // Nodes reachable from the source in the residual graph.
-  std::vector<bool> reachable(static_cast<size_t>(num_nodes()), false);
-  std::deque<NodeId> queue;
-  reachable[source_] = true;
+void FlowNetwork::UpdateEdgeCapacity(EdgeId e, int64_t capacity) {
+  QP_ASSERT(e >= 0 && e < num_edges(), "UpdateEdgeCapacity: edge out of range");
+  if (capacity > kInfiniteCapacity) capacity = kInfiniteCapacity;
+  if (capacity < 0) capacity = 0;
+  if (capacity == capacity_[e]) return;
+  if (last_flow_ < 0) {
+    // No solve yet: behave as if the edge had been added with this
+    // capacity.
+    capacity_[e] = capacity;
+    cap_[2 * e] = capacity;
+    return;
+  }
+  if (last_flow_ >= kInfiniteCapacity) {
+    // Residuals of a saturated (unbounded) run are meaningless; the next
+    // ResumeMaxFlow recomputes from scratch.
+    capacity_[e] = capacity;
+    resume_pending_ = true;
+    return;
+  }
+  int64_t flow = capacity_[e] - cap_[2 * e];
+  capacity_[e] = capacity;
+  if (capacity >= flow) {
+    // The routed flow still fits; only the headroom changes.
+    cap_[2 * e] = capacity - flow;
+  } else {
+    // The decrease severs `excess` units of routed flow: pin the edge's
+    // flow at the new capacity, then cancel the severed units along their
+    // original routes — back from the tail to the source and forward from
+    // the head to the sink — so conservation holds everywhere again.
+    int64_t excess = flow - capacity;
+    cap_[2 * e] = 0;
+    cap_[2 * e + 1] = capacity;
+    NodeId tail = EdgeFrom(e);
+    NodeId head = EdgeTo(e);
+    if (tail != source_) DrainExcessToSource(tail, excess);
+    if (head != sink_) DrainDeficitToSink(head, excess);
+    last_flow_ -= excess;
+  }
+  resume_pending_ = true;
+}
+
+Result<int64_t> FlowNetwork::ResumeMaxFlow() {
+  if (last_flow_ < 0) {
+    return Status::FailedPrecondition(
+        "ResumeMaxFlow called before any MaxFlow run");
+  }
+  QP_METRIC_SCOPED_TIMER("qp.flow.resume_ns");
+  BuildCsr();
+  uint64_t augmenting_paths = 0;
+  uint64_t bfs_rounds = 0;
+  if (last_flow_ >= kInfiniteCapacity) {
+    // A saturated run left no usable residual state; recompute fully.
+    QP_METRIC_INCR("qp.flow.resume_full_recomputes");
+    for (EdgeId e = 0; e < num_edges(); ++e) {
+      cap_[2 * e] = capacity_[e];
+      cap_[2 * e + 1] = 0;
+    }
+    last_flow_ = AugmentToMax(0, &augmenting_paths, &bfs_rounds);
+  } else {
+    // Warm start: the arena still holds a feasible flow of value
+    // last_flow_; Dinic phases from its residual graph augment only what
+    // the capacity updates made newly possible.
+    QP_METRIC_INCR("qp.flow.warm_starts");
+    last_flow_ = AugmentToMax(last_flow_, &augmenting_paths, &bfs_rounds);
+    QP_METRIC_COUNT("qp.flow.resumed_augmenting_paths", augmenting_paths);
+  }
+  resume_pending_ = false;
+  if (last_flow_ < kInfiniteCapacity) CheckFlowConservation(last_flow_);
+  return last_flow_;
+}
+
+Result<std::vector<FlowNetwork::EdgeId>> FlowNetwork::MinCutEdges() const {
+  QP_METRIC_SCOPED_TIMER("qp.flow.mincut_ns");
+  if (last_flow_ < 0) {
+    return Status::FailedPrecondition(
+        "MinCutEdges called before any MaxFlow run");
+  }
+  if (last_flow_ >= kInfiniteCapacity) {
+    return Status::FailedPrecondition(
+        "MinCutEdges called after an unbounded flow: no finite cut "
+        "separates source from sink");
+  }
+  if (resume_pending_) {
+    return Status::FailedPrecondition(
+        "MinCutEdges called with a capacity update pending; call "
+        "ResumeMaxFlow first");
+  }
+  // Nodes reachable from the source in the residual graph (scratch
+  // buffers are members so repeated cut extractions don't reallocate).
+  std::vector<char>& reachable = mincut_reach_;
+  std::vector<NodeId>& queue = mincut_queue_;
+  reachable.assign(static_cast<size_t>(num_nodes()), 0);
+  queue.clear();
+  reachable[source_] = 1;
   queue.push_back(source_);
-  while (!queue.empty()) {
-    NodeId u = queue.front();
-    queue.pop_front();
-    for (int32_t half : adjacency_[u]) {
-      const HalfEdge& e = edges_[half];
-      if (e.capacity > 0 && !reachable[e.to]) {
-        reachable[e.to] = true;
-        queue.push_back(e.to);
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    NodeId u = queue[qi];
+    for (int32_t i = start_[u]; i < start_[u + 1]; ++i) {
+      int32_t h = csr_[i];
+      NodeId v = to_[h];
+      if (cap_[h] > 0 && !reachable[v]) {
+        reachable[v] = 1;
+        queue.push_back(v);
       }
     }
   }
   std::vector<EdgeId> cut;
-  for (size_t half = 0; half < edges_.size(); half += 2) {
-    NodeId from = edges_[half + 1].to;
-    NodeId to = edges_[half].to;
-    if (reachable[from] && !reachable[to]) {
-      cut.push_back(static_cast<EdgeId>(half / 2));
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    if (reachable[to_[2 * e + 1]] && !reachable[to_[2 * e]]) {
+      cut.push_back(e);
     }
   }
   // Max-flow/min-cut duality (the exactness of the Theorem 3.13
-  // reduction): the cut's total original capacity equals the flow value
-  // MaxFlow just computed.
-  if (check_internal::CheckEnabled() && last_flow_ >= 0 &&
-      last_flow_ < kInfiniteCapacity) {
+  // reduction): the cut's total declared capacity equals the flow value of
+  // the most recent solve — whichever backend produced it.
+  if (check_internal::CheckEnabled()) {
     int64_t cut_capacity = 0;
     for (EdgeId e : cut) {
-      cut_capacity = SaturatingAddCapacity(cut_capacity, original_capacity_[e]);
+      cut_capacity = SaturatingAddCapacity(cut_capacity, capacity_[e]);
     }
     QP_INVARIANT(cut_capacity == last_flow_,
                  "min-cut capacity " + std::to_string(cut_capacity) +

@@ -4,7 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 #include <vector>
+
+#include "qp/util/result.h"
 
 namespace qp {
 
@@ -20,9 +23,37 @@ inline int64_t SaturatingAddCapacity(int64_t a, int64_t b) {
   return sum >= kInfiniteCapacity ? kInfiniteCapacity : sum;
 }
 
-/// A directed flow network with integer capacities and Dinic max-flow.
-/// The min s-t cut (the dual used by Theorem 3.13 of the paper) can be
-/// extracted after running MaxFlow.
+/// Max-flow algorithm selection. The min-cut value is algorithm-independent
+/// (property-tested by the cross-solver backend axis); the choice only
+/// affects runtime.
+enum class FlowSolver {
+  /// Pick per graph shape: Dinic for the sparse graphs the solvers usually
+  /// build, highest-label push-relabel for dense ones.
+  kAuto,
+  /// BFS level graph + blocking-flow DFS. Near-linear on the unit-ish
+  /// capacity graphs of the Theorem 3.13 reduction.
+  kDinic,
+  /// Highest-label push-relabel with the gap heuristic, plus a second
+  /// phase that converts the max preflow into a valid max flow so the
+  /// conservation and duality checkers apply to both backends.
+  kPushRelabel,
+};
+
+std::string_view FlowSolverName(FlowSolver solver);
+
+/// A directed flow network with integer capacities over a flat CSR arena.
+/// Half-edges live in struct-of-arrays storage (`to_` / `cap_` indexed by
+/// half-edge id); adjacency is a sorted-CSR index (`start_` / `csr_`,
+/// half-edge ids grouped by tail node, rebuilt lazily per topology) so a
+/// solve streams a few contiguous int32/int64 arrays instead of chasing
+/// per-node vectors or intrusive next-pointers.
+///
+/// Supports warm-started incremental re-solves: after a MaxFlow run,
+/// UpdateEdgeCapacity patches residuals in place (preserving the feasible
+/// flow) and ResumeMaxFlow re-augments from it, so repricing after a
+/// single-tuple insert costs time proportional to the change, not the
+/// graph. The min s-t cut (the dual used by Theorem 3.13 of the paper) can
+/// be extracted after any complete solve.
 class FlowNetwork {
  public:
   using NodeId = int32_t;
@@ -34,65 +65,144 @@ class FlowNetwork {
   /// Adds `count` nodes, returning the id of the first.
   NodeId AddNodes(int count);
 
-  /// Empties the network but keeps every allocated buffer (adjacency
-  /// lists, edge arrays, BFS/DFS scratch) for the next build. Solvers that
-  /// construct many flow graphs in a row (the GChQ pipeline solves one per
-  /// hanging-variable case split) reuse one network via Reset instead of
-  /// reallocating per graph.
+  /// Empties the network but keeps every allocated buffer (arena arrays,
+  /// BFS/DFS scratch) for the next build. Solvers that construct many flow
+  /// graphs in a row (the GChQ pipeline solves one per hanging-variable
+  /// case split) reuse one network via Reset instead of reallocating.
   void Reset();
 
   /// Adds a directed edge with the given capacity (clamped to
-  /// kInfiniteCapacity) and returns its id.
+  /// [0, kInfiniteCapacity]) and returns its id. Edge ids are dense and
+  /// sequential in insertion order. Adding an edge after a solve keeps the
+  /// computed flow as a feasible warm base (the new edge carries zero
+  /// flow) and puts the network in the resume-pending state: call
+  /// ResumeMaxFlow before the next MinCutEdges, as after
+  /// UpdateEdgeCapacity.
   EdgeId AddEdge(NodeId from, NodeId to, int64_t capacity);
 
   int num_nodes() const { return num_nodes_; }
-  int num_edges() const { return static_cast<int>(edges_.size()) / 2; }
+  int num_edges() const { return static_cast<int>(capacity_.size()); }
 
-  /// The capacity the edge was created with (MaxFlow mutates residuals,
-  /// not this).
-  int64_t EdgeCapacity(EdgeId e) const { return original_capacity_[e]; }
-  NodeId EdgeFrom(EdgeId e) const { return edges_[2 * e + 1].to; }
-  NodeId EdgeTo(EdgeId e) const { return edges_[2 * e].to; }
+  /// The capacity the edge was created with (or last set through
+  /// UpdateEdgeCapacity); solves mutate residuals, not this.
+  int64_t EdgeCapacity(EdgeId e) const { return capacity_[e]; }
+  NodeId EdgeFrom(EdgeId e) const { return to_[2 * e + 1]; }
+  NodeId EdgeTo(EdgeId e) const { return to_[2 * e]; }
+  /// Flow currently routed through edge `e` (0 before any solve).
+  int64_t EdgeFlow(EdgeId e) const { return capacity_[e] - cap_[2 * e]; }
 
-  /// Computes the maximum s-t flow. Returns kInfiniteCapacity if the flow
-  /// is unbounded (no finite cut separates s from t). Resets any previous
-  /// flow.
-  int64_t MaxFlow(NodeId source, NodeId sink);
+  /// Computes the maximum s-t flow with the selected backend. Returns
+  /// kInfiniteCapacity if the flow is unbounded (no finite cut separates s
+  /// from t). Discards any previous flow.
+  int64_t MaxFlow(NodeId source, NodeId sink,
+                  FlowSolver solver = FlowSolver::kAuto);
 
-  /// After MaxFlow: the edges of a minimum cut (source side -> sink side in
-  /// the residual graph). Only meaningful when MaxFlow returned a finite
-  /// value. Checks max-flow/min-cut duality (the exactness argument of
-  /// Theorem 3.13) when QP_CHECK_LEVEL enables invariants.
-  std::vector<EdgeId> MinCutEdges() const;
+  /// Changes the capacity of edge `e` in place. Before any MaxFlow run
+  /// this is equivalent to having added the edge with `capacity`. After a
+  /// run, the current flow is patched to stay feasible (a decrease below
+  /// the edge's flow drains the excess back to source/sink) and the next
+  /// ResumeMaxFlow re-augments incrementally; until then the network is in
+  /// a resume-pending state and MinCutEdges refuses to answer.
+  void UpdateEdgeCapacity(EdgeId e, int64_t capacity);
+
+  /// Re-augments from the current feasible flow after one or more
+  /// UpdateEdgeCapacity calls and returns the new max-flow value. Fails
+  /// with FailedPrecondition if no MaxFlow run has completed. After an
+  /// unbounded run the resume falls back to a full recompute (residuals of
+  /// a saturated run are meaningless).
+  Result<int64_t> ResumeMaxFlow();
+
+  /// True when a completed solve's flow is in the arena and no capacity
+  /// update has been applied since (i.e. MinCutEdges will answer).
+  bool HasCurrentFlow() const {
+    return last_flow_ >= 0 && last_flow_ < kInfiniteCapacity &&
+           !resume_pending_;
+  }
+
+  /// The edges of a minimum s-t cut (source side -> sink side in the
+  /// residual graph) of the most recent solve. Checked errors:
+  /// FailedPrecondition if called before MaxFlow, after an unbounded flow
+  /// (no finite cut exists), or while a capacity update awaits
+  /// ResumeMaxFlow. Checks max-flow/min-cut duality (the exactness
+  /// argument of Theorem 3.13) when QP_CHECK_LEVEL enables invariants.
+  Result<std::vector<EdgeId>> MinCutEdges() const;
+
+  /// Test hook: lowers the half-edge arena limit guarded by the AddEdge
+  /// overflow invariant (0 restores the real int32 limit). The real limit
+  /// cannot be reached in a unit test without allocating ~2^31 edges.
+  static void SetHalfEdgeLimitForTesting(int64_t limit);
 
  private:
-  struct HalfEdge {
-    NodeId to;
-    int64_t capacity;  // residual capacity
-  };
-
+  /// Rebuilds the start_/csr_ adjacency index (counting sort of half-edge
+  /// ids by tail node). Called by the solve entry points when the topology
+  /// changed since the last build.
+  void BuildCsr();
   bool Bfs();
   int64_t Dfs(NodeId node, int64_t limit);
+  /// Dinic phases from the current residual state; adds to `base` and
+  /// returns the new total (kInfiniteCapacity if it saturates).
+  int64_t AugmentToMax(int64_t base, uint64_t* augmenting_paths,
+                       uint64_t* bfs_rounds);
+  int64_t RunPushRelabel();
+  /// True if an s-t path of infinite-capacity residual edges exists (the
+  /// unbounded case push-relabel must reject up front).
+  bool HasInfiniteResidualPath() const;
+  /// Push-relabel phase 2: cancels flow cycles / stranded preflow so the
+  /// residual arrays encode a valid (conserving) max flow.
+  void DrainExcessToSource(NodeId node, int64_t amount);
+  /// Cancels `amount` units of flow currently routed out of `node` forward
+  /// to the sink (used when a capacity decrease severs routed flow).
+  void DrainDeficitToSink(NodeId node, int64_t amount);
+  int64_t DrainAlongFlow(NodeId from, NodeId target, int64_t amount,
+                         bool forward);
 
-  /// Invariant check after MaxFlow: per-edge flow within capacity and flow
-  /// conservation at every node except source/sink, with net outflow
-  /// `total` at the source. No-op at QP_CHECK_LEVEL=off or on unbounded
-  /// flows.
+  /// Invariant check after a complete solve: per-edge flow within capacity
+  /// and flow conservation at every node except source/sink, with net
+  /// outflow `total` at the source. No-op at QP_CHECK_LEVEL=off or on
+  /// unbounded flows.
   void CheckFlowConservation(int64_t total) const;
 
-  std::vector<HalfEdge> edges_;  // pairs: forward at 2e, backward at 2e+1
-  std::vector<int64_t> original_capacity_;
-  /// Slots [0, num_nodes_) are live; slots beyond are kept (with their
-  /// heap buffers) for reuse after Reset and cleared lazily on re-add.
-  std::vector<std::vector<int32_t>> adjacency_;  // indexes into edges_
+  // ---- CSR arena ----------------------------------------------------------
+  // Half-edge h = 2e is edge e forward, h = 2e+1 its reverse (h ^ 1 flips);
+  // the tail of h is to_[h ^ 1]. Adjacency is a counting-sorted index over
+  // the half-edge ids: node n's half-edges are csr_[start_[n]..start_[n+1])
+  // — contiguous, so traversal streams instead of pointer-chasing. The
+  // index is rebuilt lazily (BuildCsr) when the topology changed.
+  std::vector<NodeId> to_;    // target node per half-edge
+  std::vector<int64_t> cap_;  // residual capacity per half-edge
+  std::vector<int64_t> capacity_;  // declared capacity per edge id
+  std::vector<int32_t> start_;  // per-node CSR offsets (num_nodes_ + 1)
+  std::vector<int32_t> csr_;    // half-edge ids grouped by tail node
+  bool csr_dirty_ = true;
   NodeId num_nodes_ = 0;
+
+  // ---- Solver scratch (kept across Reset) ---------------------------------
   std::vector<int32_t> level_;
-  std::vector<std::size_t> iter_;
+  std::vector<int32_t> iter_;  // per-node cursor into the half-edge list
+  std::vector<NodeId> queue_;
+  // Push-relabel state.
+  std::vector<int64_t> excess_;
+  std::vector<int32_t> height_;
+  std::vector<int32_t> height_count_;
+  std::vector<std::vector<NodeId>> active_;
+  // Warm-start / phase-2 drain scratch.
+  std::vector<int32_t> drain_mark_;
+  std::vector<int32_t> drain_pos_;
+  std::vector<int32_t> drain_path_;
+  int32_t drain_epoch_ = 0;
+  // MinCutEdges reachability scratch (the method is const but reuses these
+  // across calls).
+  mutable std::vector<char> mincut_reach_;
+  mutable std::vector<NodeId> mincut_queue_;
+
   NodeId source_ = -1;
   NodeId sink_ = -1;
-  /// Value returned by the most recent MaxFlow (-1 before any run), used
-  /// by MinCutEdges to assert duality.
+  /// Value of the most recent complete solve (-1 before any run), used by
+  /// MinCutEdges to assert duality and by ResumeMaxFlow as the base.
   int64_t last_flow_ = -1;
+  /// Set by UpdateEdgeCapacity after a run; cleared by ResumeMaxFlow /
+  /// MaxFlow.
+  bool resume_pending_ = false;
 };
 
 }  // namespace qp

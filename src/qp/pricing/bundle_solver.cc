@@ -7,7 +7,7 @@
 #include <unordered_set>
 
 #include "qp/check/invariants.h"
-#include "qp/flow/max_flow.h"
+#include "qp/flow/graph_builder.h"
 #include "qp/obs/metrics.h"
 #include "qp/query/analysis.h"
 #include "qp/util/hash.h"
@@ -111,26 +111,34 @@ Result<PricingSolution> PriceChainBundleByMergedCut(
   }
 
   // ---- Shared nodes ---------------------------------------------------------
-  FlowNetwork net;
-  const auto s = net.AddNode();
-  const auto t = net.AddNode();
+  FlowGraphBuilder builder;
+
+  const auto s = builder.AddNode();
+  const auto t = builder.AddNode();
 
   struct NodePair {
     int32_t v = -1;
     int32_t w = -1;
   };
   std::unordered_map<SelectionView, NodePair, SelectionViewHasher> nodes;
-  std::unordered_map<int32_t, SelectionView> view_edge_to_view;
+  // kView tags carry an index into this list (`tag.link`), mapping cut
+  // edges back to the purchased view.
+  std::vector<SelectionView> cut_views;
   int64_t view_edge_count = 0;
   auto node_pair = [&](AttrRef attr, ValueId value) -> NodePair {
     SelectionView key{attr, value};
     auto it = nodes.find(key);
     if (it != nodes.end()) return it->second;
-    NodePair pair{net.AddNode(), net.AddNode()};
+    NodePair pair{builder.AddNode(), builder.AddNode()};
     Money capacity = prices.Get(key);
-    auto e = net.AddEdge(pair.v, pair.w, capacity);
-    if (!IsInfinite(capacity)) {
-      view_edge_to_view.emplace(e, key);
+    if (IsInfinite(capacity)) {
+      builder.AddEdge(pair.v, pair.w, capacity);
+    } else {
+      builder.AddTaggedEdge(
+          pair.v, pair.w, capacity,
+          FlowEdgeTag{FlowEdgeTag::Kind::kView,
+                      static_cast<int32_t>(cut_views.size()), 0, 0});
+      cut_views.push_back(key);
       ++view_edge_count;
     }
     nodes.emplace(key, pair);
@@ -148,7 +156,7 @@ Result<PricingSolution> PriceChainBundleByMergedCut(
       AttrRef exit = member.exit_attr[i];
       for (ValueId a : catalog.Column(entry)) {
         for (ValueId b : catalog.Column(exit)) {
-          net.AddEdge(node_pair(entry, a).w, node_pair(exit, b).v,
+          builder.AddEdge(node_pair(entry, a).w, node_pair(exit, b).v,
                       kInfiniteCapacity);
         }
       }
@@ -189,15 +197,15 @@ Result<PricingSolution> PriceChainBundleByMergedCut(
         mid_hub(num_links + 1, -1);
     for (int i = 0; i < num_links; ++i) {
       src_hub[i] =
-          net.AddNodes(static_cast<int>(member.slot_domain[i].size()));
+          builder.AddNodes(static_cast<int>(member.slot_domain[i].size()));
     }
     for (int i = 1; i <= num_links; ++i) {
       dst_hub[i] =
-          net.AddNodes(static_cast<int>(member.slot_domain[i].size()));
+          builder.AddNodes(static_cast<int>(member.slot_domain[i].size()));
     }
     for (int i = 1; i < num_links; ++i) {
       mid_hub[i] =
-          net.AddNodes(static_cast<int>(member.slot_domain[i].size()));
+          builder.AddNodes(static_cast<int>(member.slot_domain[i].size()));
     }
     auto entry_v = [&](int link, int idx) {
       return node_pair(member.entry_attr[link],
@@ -212,60 +220,60 @@ Result<PricingSolution> PriceChainBundleByMergedCut(
     };
 
     for (size_t a = 0; a < member.slot_domain[0].size(); ++a) {
-      net.AddEdge(s, src_hub[0] + static_cast<int>(a), kInfiniteCapacity);
+      builder.AddEdge(s, src_hub[0] + static_cast<int>(a), kInfiniteCapacity);
     }
     for (int i = 0; i + 1 < num_links; ++i) {
       for (const auto& [a, b] : present[i]) {
-        net.AddEdge(src_hub[i] + a, src_hub[i + 1] + b, kInfiniteCapacity);
+        builder.AddEdge(src_hub[i] + a, src_hub[i + 1] + b, kInfiniteCapacity);
       }
     }
     for (int m = 0; m < num_links; ++m) {
       for (size_t a = 0; a < member.slot_domain[m].size(); ++a) {
-        net.AddEdge(src_hub[m] + static_cast<int>(a),
+        builder.AddEdge(src_hub[m] + static_cast<int>(a),
                     entry_v(m, static_cast<int>(a)), kInfiniteCapacity);
       }
     }
     for (size_t b = 0; b < member.slot_domain[num_links].size(); ++b) {
-      net.AddEdge(dst_hub[num_links] + static_cast<int>(b), t,
+      builder.AddEdge(dst_hub[num_links] + static_cast<int>(b), t,
                   kInfiniteCapacity);
     }
     for (int i = 1; i < num_links; ++i) {
       for (const auto& [a, b] : present[i]) {
-        net.AddEdge(dst_hub[i] + a, dst_hub[i + 1] + b, kInfiniteCapacity);
+        builder.AddEdge(dst_hub[i] + a, dst_hub[i + 1] + b, kInfiniteCapacity);
       }
     }
     for (int l = 0; l < num_links; ++l) {
       for (size_t b = 0; b < member.slot_domain[l + 1].size(); ++b) {
-        net.AddEdge(exit_w(l, static_cast<int>(b)),
+        builder.AddEdge(exit_w(l, static_cast<int>(b)),
                     dst_hub[l + 1] + static_cast<int>(b),
                     kInfiniteCapacity);
       }
     }
     for (int l = 0; l + 1 < num_links; ++l) {
       for (size_t b = 0; b < member.slot_domain[l + 1].size(); ++b) {
-        net.AddEdge(exit_w(l, static_cast<int>(b)),
+        builder.AddEdge(exit_w(l, static_cast<int>(b)),
                     mid_hub[l + 1] + static_cast<int>(b),
                     kInfiniteCapacity);
       }
     }
     for (int i = 1; i + 1 < num_links; ++i) {
       for (const auto& [a, b] : present[i]) {
-        net.AddEdge(mid_hub[i] + a, mid_hub[i + 1] + b, kInfiniteCapacity);
+        builder.AddEdge(mid_hub[i] + a, mid_hub[i + 1] + b, kInfiniteCapacity);
       }
     }
     for (int m = 1; m < num_links; ++m) {
       for (size_t a = 0; a < member.slot_domain[m].size(); ++a) {
-        net.AddEdge(mid_hub[m] + static_cast<int>(a),
+        builder.AddEdge(mid_hub[m] + static_cast<int>(a),
                     entry_v(m, static_cast<int>(a)), kInfiniteCapacity);
       }
     }
   }
 
   // ---- Solve ----------------------------------------------------------------
-  int64_t flow = net.MaxFlow(s, t);
+  int64_t flow = builder.net().MaxFlow(s, t);
   if (stats != nullptr) {
-    stats->nodes = net.num_nodes();
-    stats->edges = net.num_edges();
+    stats->nodes = builder.net().num_nodes();
+    stats->edges = builder.net().num_edges();
     stats->view_edges = view_edge_count;
     stats->max_flow = flow;
   }
@@ -273,9 +281,13 @@ Result<PricingSolution> PriceChainBundleByMergedCut(
   solution.price = flow >= kInfiniteCapacity ? kInfiniteMoney : flow;
   if (!IsInfinite(solution.price)) {
     std::set<SelectionView> support;
-    for (auto e : net.MinCutEdges()) {
-      auto it = view_edge_to_view.find(e);
-      if (it != view_edge_to_view.end()) support.insert(it->second);
+    QP_ASSIGN_OR_RETURN(std::vector<FlowNetwork::EdgeId> cut,
+                        builder.net().MinCutEdges());
+    for (FlowNetwork::EdgeId e : cut) {
+      const FlowEdgeTag& tag = builder.tag(e);
+      if (tag.kind == FlowEdgeTag::Kind::kView) {
+        support.insert(cut_views[tag.link]);
+      }
     }
     solution.support.assign(support.begin(), support.end());
   }

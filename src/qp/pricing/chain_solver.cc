@@ -1,188 +1,199 @@
 #include "qp/pricing/chain_solver.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <array>
+#include <set>
+#include <utility>
 
 #include "qp/check/invariants.h"
-#include "qp/flow/max_flow.h"
 #include "qp/obs/metrics.h"
-#include "qp/util/hash.h"
+#include "qp/pricing/incremental_chain.h"
 
 namespace qp {
 namespace {
 
-/// Dense value indexing per variable domain.
+/// Dense value indexing per variable domain. Domains are sorted
+/// (WorkProblem contract); when the value range is compact an offset table
+/// gives O(1) lookups, otherwise binary search — either way no hashing on
+/// the per-tuple hot path.
 struct DomainIndex {
-  std::vector<ValueId> values;                     // sorted
-  std::unordered_map<ValueId, int> index_of;
+  const std::vector<ValueId>* values = nullptr;  // sorted, not owned
+  std::vector<int32_t> dense;  // offset table: value - base -> index
+  ValueId base = 0;
+  bool use_dense = false;
 
-  explicit DomainIndex(const std::vector<ValueId>& domain) : values(domain) {
-    for (size_t i = 0; i < values.size(); ++i) {
-      index_of.emplace(values[i], static_cast<int>(i));
+  void Init(const std::vector<ValueId>& domain) {
+    values = &domain;
+    dense.clear();
+    use_dense = false;
+    if (domain.empty()) return;
+    int64_t span = static_cast<int64_t>(domain.back()) - domain.front() + 1;
+    if (span <= std::max<int64_t>(1024, 8 * static_cast<int64_t>(
+                                            domain.size()))) {
+      use_dense = true;
+      base = domain.front();
+      dense.assign(static_cast<size_t>(span), -1);
+      for (size_t i = 0; i < domain.size(); ++i) {
+        dense[static_cast<size_t>(domain[i] - base)] =
+            static_cast<int32_t>(i);
+      }
     }
   }
-  int size() const { return static_cast<int>(values.size()); }
+  int Find(ValueId v) const {
+    if (use_dense) {
+      int64_t off = static_cast<int64_t>(v) - base;
+      if (off < 0 || off >= static_cast<int64_t>(dense.size())) return -1;
+      return dense[static_cast<size_t>(off)];
+    }
+    auto it = std::lower_bound(values->begin(), values->end(), v);
+    if (it == values->end() || *it != v) return -1;
+    return static_cast<int>(it - values->begin());
+  }
+  int size() const { return static_cast<int>(values->size()); }
+  ValueId value(int idx) const { return (*values)[idx]; }
 };
 
-/// Present tuples of one link as dense index pairs (entry_idx, exit_idx).
+/// Present tuples of one link as dense index pairs (entry_idx, exit_idx),
+/// deduplicated through a bitset over the domain product.
 struct PresentPairs {
-  std::vector<std::pair<int, int>> pairs;
-  std::unordered_set<uint64_t> member;
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  std::vector<uint64_t> bits;
+  size_t nb = 0;
 
-  void Add(int a, int b) {
-    if (member.insert(PackPair(static_cast<uint32_t>(a),
-                               static_cast<uint32_t>(b)))
-            .second) {
-      pairs.emplace_back(a, b);
-    }
+  void Init(int na, int nb_in) {
+    nb = static_cast<size_t>(nb_in);
+    bits.assign((static_cast<size_t>(na) * nb + 63) / 64, 0);
+    pairs.clear();
+  }
+  bool Add(int a, int b) {
+    size_t k = static_cast<size_t>(a) * nb + static_cast<size_t>(b);
+    uint64_t m = uint64_t{1} << (k & 63);
+    if ((bits[k >> 6] & m) != 0) return false;
+    bits[k >> 6] |= m;
+    pairs.emplace_back(a, b);
+    return true;
   }
   bool Has(int a, int b) const {
-    return member.count(PackPair(static_cast<uint32_t>(a),
-                                 static_cast<uint32_t>(b))) > 0;
+    size_t k = static_cast<size_t>(a) * nb + static_cast<size_t>(b);
+    return ((bits[k >> 6] >> (k & 63)) & 1) != 0;
   }
 };
 
-}  // namespace
+/// Slot layout + per-link present pairs shared by the one-shot solver and
+/// the incremental state. Slot i sits between link i-1 and link i:
+/// slot_var[0] = entry var of link 0, slot_var[i+1] = exit var of link i.
+struct ChainPrep {
+  int num_links = 0;
+  std::vector<VarId> slot_var;
+  std::vector<DomainIndex> slot_domain;
+  std::vector<PresentPairs> present;
+  /// Some slot domain is empty: no candidate answers exist in any possible
+  /// world, the price is trivially 0.
+  bool trivial = false;
+};
 
-Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
-                                         const std::vector<WorkLink>& links,
-                                         const ChainSolverOptions& options,
-                                         ChainGraphStats* stats,
-                                         const PairPriceFn* pair_prices,
-                                         std::vector<CutPairEdge>* cut_pairs,
-                                         FlowNetwork* scratch) {
+void PrepareChain(const WorkProblem& problem,
+                  const std::vector<WorkLink>& links, ChainPrep* prep) {
   const int num_links = static_cast<int>(links.size());
-  if (num_links == 0) return Status::InvalidArgument("empty chain");
-  if (options.budget.Exhausted()) {
-    return Status::DeadlineExceeded(
-        "chain min-cut solve exceeded the serving budget");
-  }
-  QP_METRIC_INCR("qp.solver.chain.solves");
-  QP_METRIC_SCOPED_TIMER("qp.solver.chain_ns");
-
-  // Slot variables: slot i sits between link i-1 and link i.
-  // slot_var[0] = entry var of link 0; slot_var[i+1] = exit var of link i.
-  std::vector<VarId> slot_var(num_links + 1);
-  slot_var[0] =
+  prep->num_links = num_links;
+  prep->slot_var.assign(num_links + 1, -1);
+  prep->slot_var[0] =
       problem.atoms[links[0].atom].positions[links[0].entry_pos].var;
   for (int i = 0; i < num_links; ++i) {
-    slot_var[i + 1] =
+    prep->slot_var[i + 1] =
         problem.atoms[links[i].atom].positions[links[i].exit_pos].var;
   }
-
-  // Empty domain anywhere: no candidate answers exist in any possible
-  // world, so the query is trivially determined — price 0.
   for (int i = 0; i <= num_links; ++i) {
-    if (problem.var_domain[slot_var[i]].empty()) {
-      PricingSolution trivial;
-      trivial.price = 0;
-      return trivial;
+    if (problem.var_domain[prep->slot_var[i]].empty()) {
+      prep->trivial = true;
+      return;
     }
   }
-
-  std::vector<DomainIndex> slot_domain;
-  slot_domain.reserve(num_links + 1);
+  prep->slot_domain.assign(num_links + 1, DomainIndex{});
   for (int i = 0; i <= num_links; ++i) {
-    slot_domain.emplace_back(problem.var_domain[slot_var[i]]);
+    prep->slot_domain[i].Init(problem.var_domain[prep->slot_var[i]]);
   }
-
-  // Present pairs per link, as dense (entry slot index, exit slot index).
-  std::vector<PresentPairs> present(num_links);
+  prep->present.assign(num_links, PresentPairs{});
   for (int i = 0; i < num_links; ++i) {
     const WorkLink& link = links[i];
     const WorkAtom& atom = problem.atoms[link.atom];
-    for (const Tuple& t : atom.tuples) {
-      ValueId a = t[link.entry_pos];
-      ValueId b = t[link.exit_pos];
-      auto ia = slot_domain[i].index_of.find(a);
-      auto ib = slot_domain[i + 1].index_of.find(b);
-      if (ia == slot_domain[i].index_of.end() ||
-          ib == slot_domain[i + 1].index_of.end()) {
-        continue;  // outside the harmonized domains
-      }
-      present[i].Add(ia->second, ib->second);
+    prep->present[i].Init(prep->slot_domain[i].size(),
+                          prep->slot_domain[i + 1].size());
+    const size_t num_rows = atom.num_tuples();
+    for (size_t r = 0; r < num_rows; ++r) {
+      const ValueId* t = atom.tuple(r);
+      int ia = prep->slot_domain[i].Find(t[link.entry_pos]);
+      int ib = prep->slot_domain[i + 1].Find(t[link.exit_pos]);
+      if (ia < 0 || ib < 0) continue;  // outside the harmonized domains
+      prep->present[i].Add(ia, ib);
     }
   }
+}
 
-  // Left partial answers Lt[i] ⊆ dom(slot i): values reachable through an
-  // all-present prefix of links 0..i-1 (Lt[0] = the whole column).
-  std::vector<std::vector<char>> lt(num_links + 1);
-  lt[0].assign(slot_domain[0].size(), 1);
-  for (int i = 0; i < num_links; ++i) {
-    lt[i + 1].assign(slot_domain[i + 1].size(), 0);
-    for (const auto& [a, b] : present[i].pairs) {
-      if (lt[i][a]) lt[i + 1][b] = 1;
-    }
-  }
-  // Right partial answers Rt[i] ⊆ dom(slot i): values from which links
-  // i..K-1 can be completed all-present (Rt[K] = the whole column).
-  std::vector<std::vector<char>> rt(num_links + 1);
-  rt[num_links].assign(slot_domain[num_links].size(), 1);
-  for (int i = num_links - 1; i >= 0; --i) {
-    rt[i].assign(slot_domain[i].size(), 0);
-    for (const auto& [a, b] : present[i].pairs) {
-      if (rt[i + 1][b]) rt[i][a] = 1;
-    }
-  }
-
-  // ---- Graph construction -------------------------------------------------
-  FlowNetwork local_net;
-  FlowNetwork& net = scratch != nullptr ? *scratch : local_net;
-  net.Reset();
-  const auto s = net.AddNode();
-  const auto t = net.AddNode();
-
-  // v/w node pairs per (link, side, value). Unary links have one side.
-  // side 0 = entry position, side 1 = exit position (binary only).
-  struct SideNodes {
-    int32_t v_base = -1;
-    int32_t w_base = -1;
-  };
-  std::vector<std::array<SideNodes, 2>> side_nodes(num_links);
-  for (int i = 0; i < num_links; ++i) {
-    int entry_n = slot_domain[i].size();
-    side_nodes[i][0].v_base = net.AddNodes(entry_n);
-    side_nodes[i][0].w_base = net.AddNodes(entry_n);
-    if (!links[i].unary) {
-      int exit_n = slot_domain[i + 1].size();
-      side_nodes[i][1].v_base = net.AddNodes(exit_n);
-      side_nodes[i][1].w_base = net.AddNodes(exit_n);
-    }
-  }
-  auto v_node = [&](int link, int side, int idx) {
-    return side_nodes[link][side].v_base + idx;
-  };
-  auto w_node = [&](int link, int side, int idx) {
-    return side_nodes[link][side].w_base + idx;
-  };
-  // Entry node of a link traversal and exit node.
-  auto entry_v = [&](int link, int idx) { return v_node(link, 0, idx); };
-  auto exit_w = [&](int link, int idx) {
-    return w_node(link, links[link].unary ? 0 : 1, idx);
-  };
-
-  // View edges: finite capacity = explicit price; mapping for support.
-  struct ViewEdgeInfo {
-    int link;
-    int side;
-    ValueId value;
-  };
-  std::unordered_map<int32_t, ViewEdgeInfo> view_edge_info;
+/// The solver-independent graph core: source/sink, the v/w node pair per
+/// (link, side, value), the priced view edges and the tuple edges.
+/// side 0 = entry position, side 1 = exit position (binary links only).
+struct SideNodes {
+  int32_t v_base = -1;
+  int32_t w_base = -1;
+};
+struct CoreGraph {
+  FlowNetwork::NodeId s = -1;
+  FlowNetwork::NodeId t = -1;
+  std::vector<std::array<SideNodes, 2>> side_nodes;
+  std::vector<char> unary;
   int64_t view_edge_count = 0;
+
+  int32_t v(int link, int side, int idx) const {
+    return side_nodes[link][side].v_base + idx;
+  }
+  int32_t w(int link, int side, int idx) const {
+    return side_nodes[link][side].w_base + idx;
+  }
+  int32_t entry_v(int link, int idx) const { return v(link, 0, idx); }
+  int32_t exit_w(int link, int idx) const {
+    return w(link, unary[link] ? 0 : 1, idx);
+  }
+};
+
+void AddCoreEdges(const ChainPrep& prep, const WorkProblem& problem,
+                  const std::vector<WorkLink>& links,
+                  const PairPriceFn* pair_prices, FlowGraphBuilder* builder,
+                  CoreGraph* core) {
+  const int num_links = prep.num_links;
+  core->s = builder->AddNode();
+  core->t = builder->AddNode();
+  core->side_nodes.assign(num_links, {});
+  core->unary.assign(num_links, 0);
+  for (int i = 0; i < num_links; ++i) {
+    core->unary[i] = links[i].unary ? 1 : 0;
+    int entry_n = prep.slot_domain[i].size();
+    core->side_nodes[i][0].v_base = builder->AddNodes(entry_n);
+    core->side_nodes[i][0].w_base = builder->AddNodes(entry_n);
+    if (!links[i].unary) {
+      int exit_n = prep.slot_domain[i + 1].size();
+      core->side_nodes[i][1].v_base = builder->AddNodes(exit_n);
+      core->side_nodes[i][1].w_base = builder->AddNodes(exit_n);
+    }
+  }
+
+  // View edges: finite capacity = explicit price, tagged for support
+  // extraction.
   auto add_view_edges = [&](int link, int side, int pos, int slot) {
     const WorkPosition& position =
         problem.atoms[links[link].atom].positions[pos];
-    for (int idx = 0; idx < slot_domain[slot].size(); ++idx) {
-      ValueId value = slot_domain[slot].values[idx];
-      auto it = position.cost.find(value);
-      Money capacity = (it == position.cost.end()) ? kInfiniteMoney
-                                                   : it->second;
-      auto e = net.AddEdge(v_node(link, side, idx), w_node(link, side, idx),
-                           capacity);
-      if (!IsInfinite(capacity)) {
-        view_edge_info.emplace(e, ViewEdgeInfo{link, side, value});
-        ++view_edge_count;
+    // slot_domain wraps var_domain of the slot's variable in order, so the
+    // slot index addresses the position's domain-aligned price directly.
+    for (int idx = 0; idx < prep.slot_domain[slot].size(); ++idx) {
+      Money capacity = position.cost[idx];
+      if (IsInfinite(capacity)) {
+        builder->AddEdge(core->v(link, side, idx), core->w(link, side, idx),
+                         capacity);
+      } else {
+        builder->AddTaggedEdge(
+            core->v(link, side, idx), core->w(link, side, idx), capacity,
+            FlowEdgeTag{FlowEdgeTag::Kind::kView, link, side, idx});
+        ++core->view_edge_count;
       }
     }
   };
@@ -193,77 +204,272 @@ Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
 
   // Tuple edges (binary links): w(entry) -> v(exit), one per potential
   // tuple. Capacity is infinite unless a multi-attribute price exists.
-  struct TupleEdgeInfo {
-    int link;
-    ValueId entry;
-    ValueId exit;
-  };
-  std::unordered_map<int32_t, TupleEdgeInfo> tuple_edge_info;
+  //
+  // Without pair prices every one of the na*nb potential-tuple edges is
+  // infinite — a complete bipartite block that can never contribute a cut
+  // edge. Collapse it to one intermediate node (na + nb edges instead of
+  // na * nb): reachability and every finite cut are unchanged, only the
+  // quadratic fan-out goes away. With pair prices the explicit per-pair
+  // edges must stay — a hub would hand every priced pair an infinite
+  // bypass and silently delete it from the cut space.
   for (int i = 0; i < num_links; ++i) {
     if (links[i].unary) continue;
-    for (int a = 0; a < slot_domain[i].size(); ++a) {
-      for (int b = 0; b < slot_domain[i + 1].size(); ++b) {
-        Money capacity = kInfiniteMoney;
-        if (pair_prices != nullptr) {
-          capacity = (*pair_prices)(i, slot_domain[i].values[a],
-                                    slot_domain[i + 1].values[b]);
-        }
-        auto e = net.AddEdge(w_node(i, 0, a), v_node(i, 1, b), capacity);
-        if (!IsInfinite(capacity)) {
-          tuple_edge_info.emplace(
-              e, TupleEdgeInfo{i, slot_domain[i].values[a],
-                               slot_domain[i + 1].values[b]});
+    if (pair_prices == nullptr) {
+      FlowNetwork::NodeId hub = builder->AddNode();
+      for (int a = 0; a < prep.slot_domain[i].size(); ++a) {
+        builder->AddEdge(core->w(i, 0, a), hub, kInfiniteCapacity);
+      }
+      for (int b = 0; b < prep.slot_domain[i + 1].size(); ++b) {
+        builder->AddEdge(hub, core->v(i, 1, b), kInfiniteCapacity);
+      }
+      continue;
+    }
+    for (int a = 0; a < prep.slot_domain[i].size(); ++a) {
+      for (int b = 0; b < prep.slot_domain[i + 1].size(); ++b) {
+        Money capacity = (*pair_prices)(i, prep.slot_domain[i].value(a),
+                                        prep.slot_domain[i + 1].value(b));
+        if (IsInfinite(capacity)) {
+          builder->AddEdge(core->w(i, 0, a), core->v(i, 1, b), capacity);
+        } else {
+          builder->AddTaggedEdge(
+              core->w(i, 0, a), core->v(i, 1, b), capacity,
+              FlowEdgeTag{FlowEdgeTag::Kind::kPair, i, a, b});
         }
       }
     }
   }
+}
 
-  // ---- Skip edges ----------------------------------------------------------
+/// First node id of each hub family per slot (-1 where the family has no
+/// nodes at that slot). The incremental state keeps these so a later
+/// insert can append the pair's family edges into the same arena.
+struct HubNodes {
+  std::vector<int32_t> src;  // size num_links, src_hub[i] for slot i
+  std::vector<int32_t> dst;  // size num_links + 1, defined for i >= 1
+  std::vector<int32_t> mid;  // size num_links + 1, defined 1..num_links-1
+};
+
+/// Hub construction. Three disjoint hub families so no all-infinite s-t
+/// path can bypass the view edges:
+///  * SrcHub(slot, a): reachable from s through an all-present prefix.
+///  * DstHub(slot, b): reaches t through an all-present suffix.
+///  * MidHub(slot, a): connects two absent-atom traversals through an
+///    all-present middle run.
+///
+/// Family edges are materialized for present pairs only; `hub_nodes`
+/// (optional) receives the node layout so the incremental state can
+/// append a newly inserted pair's family edges later.
+void BuildHubEdges(const ChainPrep& prep, FlowGraphBuilder* builder,
+                   const CoreGraph& core, HubNodes* hub_nodes = nullptr) {
+  const int num_links = prep.num_links;
+  std::vector<int32_t> src_hub(num_links), dst_hub(num_links + 1, -1),
+      mid_hub(num_links + 1, -1);
+  for (int i = 0; i < num_links; ++i) {
+    src_hub[i] = builder->AddNodes(prep.slot_domain[i].size());
+  }
+  for (int i = 1; i <= num_links; ++i) {
+    dst_hub[i] = builder->AddNodes(prep.slot_domain[i].size());
+  }
+  for (int i = 1; i < num_links; ++i) {
+    mid_hub[i] = builder->AddNodes(prep.slot_domain[i].size());
+  }
+
+  // One pair-family: edges from_base+a -> to_base+b across link i.
+  auto add_family = [&](int i, int32_t from_base, int32_t to_base) {
+    for (const auto& [a, b] : prep.present[i].pairs) {
+      builder->AddEdge(from_base + a, to_base + b, kInfiniteCapacity);
+    }
+  };
+
+  // Source side.
+  for (int a = 0; a < prep.slot_domain[0].size(); ++a) {
+    builder->AddEdge(core.s, src_hub[0] + a, kInfiniteCapacity);
+  }
+  for (int i = 0; i + 1 < num_links; ++i) {
+    add_family(i, src_hub[i], src_hub[i + 1]);
+  }
+  for (int m = 0; m < num_links; ++m) {
+    for (int a = 0; a < prep.slot_domain[m].size(); ++a) {
+      builder->AddEdge(src_hub[m] + a, core.entry_v(m, a),
+                       kInfiniteCapacity);
+    }
+  }
+  // Sink side.
+  for (int b = 0; b < prep.slot_domain[num_links].size(); ++b) {
+    builder->AddEdge(dst_hub[num_links] + b, core.t, kInfiniteCapacity);
+  }
+  for (int i = 1; i < num_links; ++i) {
+    add_family(i, dst_hub[i], dst_hub[i + 1]);
+  }
+  for (int l = 0; l < num_links; ++l) {
+    for (int b = 0; b < prep.slot_domain[l + 1].size(); ++b) {
+      builder->AddEdge(core.exit_w(l, b), dst_hub[l + 1] + b,
+                       kInfiniteCapacity);
+    }
+  }
+  // Middle runs.
+  for (int l = 0; l + 1 < num_links; ++l) {
+    for (int b = 0; b < prep.slot_domain[l + 1].size(); ++b) {
+      builder->AddEdge(core.exit_w(l, b), mid_hub[l + 1] + b,
+                       kInfiniteCapacity);
+    }
+  }
+  for (int i = 1; i + 1 < num_links; ++i) {
+    add_family(i, mid_hub[i], mid_hub[i + 1]);
+  }
+  for (int m = 1; m < num_links; ++m) {
+    for (int a = 0; a < prep.slot_domain[m].size(); ++a) {
+      builder->AddEdge(mid_hub[m] + a, core.entry_v(m, a),
+                       kInfiniteCapacity);
+    }
+  }
+  if (hub_nodes != nullptr) {
+    hub_nodes->src = std::move(src_hub);
+    hub_nodes->dst = std::move(dst_hub);
+    hub_nodes->mid = std::move(mid_hub);
+  }
+}
+
+/// Turns a finished solve (flow value + residual state in the builder's
+/// network) into a PricingSolution: the cut's tagged view edges become the
+/// support, tagged pair edges are reported through `cut_pairs`.
+Result<PricingSolution> ExtractSolution(const FlowGraphBuilder& builder,
+                                        const ChainPrep& prep,
+                                        const WorkProblem& problem,
+                                        const std::vector<WorkLink>& links,
+                                        int64_t flow,
+                                        std::vector<CutPairEdge>* cut_pairs,
+                                        const char* context) {
+  PricingSolution solution;
+  solution.price = flow;
+  if (IsInfinite(solution.price)) {
+    solution.price = kInfiniteMoney;
+    return solution;
+  }
+  std::set<SelectionView> support;
+  QP_ASSIGN_OR_RETURN(std::vector<FlowNetwork::EdgeId> cut,
+                      builder.net().MinCutEdges());
+  for (FlowNetwork::EdgeId e : cut) {
+    const FlowEdgeTag& tag = builder.tag(e);
+    if (tag.kind == FlowEdgeTag::Kind::kView) {
+      const WorkLink& link = links[tag.link];
+      int pos = tag.a == 0 ? link.entry_pos : link.exit_pos;
+      const WorkPosition& position =
+          problem.atoms[link.atom].positions[pos];
+      // tag.b is the slot-domain index, which is the domain-aligned index
+      // into the position's price table.
+      if (position.has_origin[tag.b]) support.insert(position.origin[tag.b]);
+    } else if (tag.kind == FlowEdgeTag::Kind::kPair &&
+               cut_pairs != nullptr) {
+      cut_pairs->push_back(
+          CutPairEdge{tag.link, prep.slot_domain[tag.link].value(tag.a),
+                      prep.slot_domain[tag.link + 1].value(tag.b)});
+    }
+  }
+  solution.support.assign(support.begin(), support.end());
+  // Return-boundary invariant (Prop 2.8): a min-cut value is a price and
+  // must be non-negative. Duality (cut == flow) is asserted inside
+  // FlowNetwork::MinCutEdges.
+  CheckPriceNonNegative(solution.price, context);
+  return solution;
+}
+
+}  // namespace
+
+Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
+                                         const std::vector<WorkLink>& links,
+                                         const ChainSolverOptions& options,
+                                         ChainGraphStats* stats,
+                                         const PairPriceFn* pair_prices,
+                                         std::vector<CutPairEdge>* cut_pairs,
+                                         FlowGraphBuilder* scratch) {
+  const int num_links = static_cast<int>(links.size());
+  if (num_links == 0) return Status::InvalidArgument("empty chain");
+  if (options.budget.Exhausted()) {
+    return Status::DeadlineExceeded(
+        "chain min-cut solve exceeded the serving budget");
+  }
+  QP_METRIC_INCR("qp.solver.chain.solves");
+  QP_METRIC_SCOPED_TIMER("qp.solver.chain_ns");
+
+  ChainPrep prep;
+  PrepareChain(problem, links, &prep);
+  if (prep.trivial) {
+    PricingSolution trivial;
+    trivial.price = 0;
+    return trivial;
+  }
+
+  FlowGraphBuilder local_builder;
+  FlowGraphBuilder& builder =
+      scratch != nullptr ? *scratch : local_builder;
+  builder.Reset();
+  CoreGraph core;
+  AddCoreEdges(prep, problem, links, pair_prices, &builder, &core);
+
   if (options.skip_mode == ChainSolverOptions::SkipMode::kDirect) {
-    // Literal construction: Md[i][j] = pairs (a at slot i, b at slot j)
-    // connected by an all-present run of links i..j-1.
+    // Literal construction of Section 3.1. Left partial answers
+    // Lt[i] ⊆ dom(slot i): values reachable through an all-present prefix
+    // of links 0..i-1 (Lt[0] = the whole column); Rt[i] symmetric from the
+    // right. Only this mode needs them — the hub wiring encodes both
+    // reachabilities implicitly through the present-pair edges.
+    std::vector<std::vector<char>> lt(num_links + 1);
+    lt[0].assign(prep.slot_domain[0].size(), 1);
+    for (int i = 0; i < num_links; ++i) {
+      lt[i + 1].assign(prep.slot_domain[i + 1].size(), 0);
+      for (const auto& [a, b] : prep.present[i].pairs) {
+        if (lt[i][a]) lt[i + 1][b] = 1;
+      }
+    }
+    std::vector<std::vector<char>> rt(num_links + 1);
+    rt[num_links].assign(prep.slot_domain[num_links].size(), 1);
+    for (int i = num_links - 1; i >= 0; --i) {
+      rt[i].assign(prep.slot_domain[i].size(), 0);
+      for (const auto& [a, b] : prep.present[i].pairs) {
+        if (rt[i + 1][b]) rt[i][a] = 1;
+      }
+    }
+    // Md[i][j] = pairs (a at slot i, b at slot j) connected by an
+    // all-present run of links i..j-1.
     // s -> v(entry m, a)            iff a ∈ Lt[m]
     // exit_w(l, b) -> v(entry m, a) iff (b,a) ∈ Md[l+1][m], l < m
     // exit_w(l, b) -> t             iff b ∈ Rt[l+1]
     for (int m = 0; m < num_links; ++m) {
-      for (int a = 0; a < slot_domain[m].size(); ++a) {
-        if (lt[m][a]) net.AddEdge(s, entry_v(m, a), kInfiniteCapacity);
+      for (int a = 0; a < prep.slot_domain[m].size(); ++a) {
+        if (lt[m][a]) {
+          builder.AddEdge(core.s, core.entry_v(m, a), kInfiniteCapacity);
+        }
       }
     }
     for (int l = 0; l < num_links; ++l) {
-      for (int b = 0; b < slot_domain[l + 1].size(); ++b) {
+      for (int b = 0; b < prep.slot_domain[l + 1].size(); ++b) {
         if (rt[l + 1][b]) {
-          net.AddEdge(exit_w(l, b), t, kInfiniteCapacity);
+          builder.AddEdge(core.exit_w(l, b), core.t, kInfiniteCapacity);
         }
       }
     }
     // Md via DP from each start slot.
     for (int start = 1; start < num_links; ++start) {
-      // reach[b] at the current slot; start with the diagonal.
-      std::vector<std::vector<char>> reach(num_links + 1);
-      reach[start].assign(slot_domain[start].size(), 0);
       // Md[start][start]: diagonal (empty middle run).
-      // Skip edges exit_w(start-1, b) -> entry_v(start, b).
-      for (int b = 0; b < slot_domain[start].size(); ++b) {
-        net.AddEdge(exit_w(start - 1, b), entry_v(start, b),
-                    kInfiniteCapacity);
+      for (int b = 0; b < prep.slot_domain[start].size(); ++b) {
+        builder.AddEdge(core.exit_w(start - 1, b), core.entry_v(start, b),
+                        kInfiniteCapacity);
       }
       // For longer runs we need per-source reachability; do a DP per
       // source value at slot `start`.
-      for (int src = 0; src < slot_domain[start].size(); ++src) {
-        std::vector<char> cur(slot_domain[start].size(), 0);
+      for (int src = 0; src < prep.slot_domain[start].size(); ++src) {
+        std::vector<char> cur(prep.slot_domain[start].size(), 0);
         cur[src] = 1;
         for (int j = start; j < num_links; ++j) {
-          std::vector<char> next(slot_domain[j + 1].size(), 0);
-          for (const auto& [a, b] : present[j].pairs) {
+          std::vector<char> next(prep.slot_domain[j + 1].size(), 0);
+          for (const auto& [a, b] : prep.present[j].pairs) {
             if (cur[a]) next[b] = 1;
           }
-          // Md[start][j+1] pairs (src, b): skip edges into link j+1.
           if (j + 1 < num_links) {
-            for (int b = 0; b < slot_domain[j + 1].size(); ++b) {
+            for (int b = 0; b < prep.slot_domain[j + 1].size(); ++b) {
               if (next[b]) {
-                net.AddEdge(exit_w(start - 1, src), entry_v(j + 1, b),
-                            kInfiniteCapacity);
+                builder.AddEdge(core.exit_w(start - 1, src),
+                                core.entry_v(j + 1, b), kInfiniteCapacity);
               }
             }
           }
@@ -272,110 +478,113 @@ Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
       }
     }
   } else {
-    // Hub construction. Three disjoint hub families so no all-infinite
-    // s-t path can bypass the view edges:
-    //  * SrcHub(slot, a): reachable from s through an all-present prefix.
-    //  * DstHub(slot, b): reaches t through an all-present suffix.
-    //  * MidHub(slot, a): connects two absent-atom traversals through an
-    //    all-present middle run.
-    std::vector<int32_t> src_hub(num_links), dst_hub(num_links + 1),
-        mid_hub(num_links + 1, -1);
-    for (int i = 0; i < num_links; ++i) {
-      src_hub[i] = net.AddNodes(slot_domain[i].size());
-    }
-    for (int i = 1; i <= num_links; ++i) {
-      dst_hub[i] = net.AddNodes(slot_domain[i].size());
-    }
-    for (int i = 1; i < num_links; ++i) {
-      mid_hub[i] = net.AddNodes(slot_domain[i].size());
-    }
-    // Source side.
-    for (int a = 0; a < slot_domain[0].size(); ++a) {
-      net.AddEdge(s, src_hub[0] + a, kInfiniteCapacity);
-    }
-    for (int i = 0; i + 1 < num_links; ++i) {
-      for (const auto& [a, b] : present[i].pairs) {
-        net.AddEdge(src_hub[i] + a, src_hub[i + 1] + b, kInfiniteCapacity);
-      }
-    }
-    for (int m = 0; m < num_links; ++m) {
-      for (int a = 0; a < slot_domain[m].size(); ++a) {
-        net.AddEdge(src_hub[m] + a, entry_v(m, a), kInfiniteCapacity);
-      }
-    }
-    // Sink side.
-    for (int b = 0; b < slot_domain[num_links].size(); ++b) {
-      net.AddEdge(dst_hub[num_links] + b, t, kInfiniteCapacity);
-    }
-    for (int i = 1; i < num_links; ++i) {
-      for (const auto& [a, b] : present[i].pairs) {
-        net.AddEdge(dst_hub[i] + a, dst_hub[i + 1] + b, kInfiniteCapacity);
-      }
-    }
-    for (int l = 0; l < num_links; ++l) {
-      for (int b = 0; b < slot_domain[l + 1].size(); ++b) {
-        net.AddEdge(exit_w(l, b), dst_hub[l + 1] + b, kInfiniteCapacity);
-      }
-    }
-    // Middle runs.
-    for (int l = 0; l + 1 < num_links; ++l) {
-      for (int b = 0; b < slot_domain[l + 1].size(); ++b) {
-        net.AddEdge(exit_w(l, b), mid_hub[l + 1] + b, kInfiniteCapacity);
-      }
-    }
-    for (int i = 1; i + 1 < num_links; ++i) {
-      for (const auto& [a, b] : present[i].pairs) {
-        net.AddEdge(mid_hub[i] + a, mid_hub[i + 1] + b, kInfiniteCapacity);
-      }
-    }
-    for (int m = 1; m < num_links; ++m) {
-      for (int a = 0; a < slot_domain[m].size(); ++a) {
-        net.AddEdge(mid_hub[m] + a, entry_v(m, a), kInfiniteCapacity);
-      }
-    }
+    BuildHubEdges(prep, &builder, core);
   }
 
-  // ---- Solve ----------------------------------------------------------------
-  int64_t flow = net.MaxFlow(s, t);
+  int64_t flow = builder.net().MaxFlow(core.s, core.t, options.flow_solver);
   if (stats != nullptr) {
-    stats->nodes = net.num_nodes();
-    stats->edges = net.num_edges();
-    stats->view_edges = view_edge_count;
+    stats->nodes = builder.net().num_nodes();
+    stats->edges = builder.net().num_edges();
+    stats->view_edges = core.view_edge_count;
     stats->max_flow = flow;
   }
+  return ExtractSolution(builder, prep, problem, links, flow, cut_pairs,
+                         "SolveChainMinCut");
+}
 
-  PricingSolution solution;
-  solution.price = flow;
-  if (IsInfinite(solution.price)) {
-    solution.price = kInfiniteMoney;
-    return solution;
+// ---- IncrementalChainState --------------------------------------------------
+
+struct IncrementalChainState::Impl {
+  WorkProblem problem;  // snapshot the prep indexes point into
+  FlowSolver solver = FlowSolver::kAuto;
+  FlowGraphBuilder builder;
+  ChainPrep prep;
+  CoreGraph core;
+  HubNodes hubs;
+  bool dirty = false;
+};
+
+IncrementalChainState::IncrementalChainState() = default;
+IncrementalChainState::~IncrementalChainState() = default;
+
+Result<std::unique_ptr<IncrementalChainState>> IncrementalChainState::Build(
+    const WorkProblem& problem, const std::vector<WorkLink>& links,
+    FlowSolver solver) {
+  if (links.empty()) return Status::InvalidArgument("empty chain");
+  QP_METRIC_INCR("qp.solver.chain.incremental_builds");
+  std::unique_ptr<IncrementalChainState> state(new IncrementalChainState());
+  state->links_ = links;
+  state->impl_ = std::make_unique<Impl>();
+  Impl& impl = *state->impl_;
+  impl.problem = problem;
+  impl.solver = solver;
+  PrepareChain(impl.problem, state->links_, &impl.prep);
+  if (impl.prep.trivial) {
+    // An empty slot domain stays empty under inserts (a value enters a
+    // domain only through a rebuild, which DynamicPricer triggers when
+    // the snapshot goes stale), so the price is 0 forever.
+    state->solution_.price = 0;
+    return state;
   }
-  // Support: views on the min cut.
-  std::set<SelectionView> support;
-  for (auto e : net.MinCutEdges()) {
-    auto view_it = view_edge_info.find(e);
-    if (view_it != view_edge_info.end()) {
-      const ViewEdgeInfo& info = view_it->second;
-      const WorkLink& link = links[info.link];
-      int pos = info.side == 0 ? link.entry_pos : link.exit_pos;
-      const WorkPosition& position =
-          problem.atoms[link.atom].positions[pos];
-      auto origin = position.origin.find(info.value);
-      if (origin != position.origin.end()) support.insert(origin->second);
-      continue;
-    }
-    auto tuple_it = tuple_edge_info.find(e);
-    if (tuple_it != tuple_edge_info.end() && cut_pairs != nullptr) {
-      const TupleEdgeInfo& info = tuple_it->second;
-      cut_pairs->push_back(CutPairEdge{info.link, info.entry, info.exit});
-    }
+  AddCoreEdges(impl.prep, impl.problem, state->links_,
+               /*pair_prices=*/nullptr, &impl.builder, &impl.core);
+  BuildHubEdges(impl.prep, &impl.builder, impl.core, &impl.hubs);
+  int64_t flow =
+      impl.builder.net().MaxFlow(impl.core.s, impl.core.t, impl.solver);
+  QP_ASSIGN_OR_RETURN(
+      state->solution_,
+      ExtractSolution(impl.builder, impl.prep, impl.problem, state->links_,
+                      flow, nullptr, "IncrementalChainState::Build"));
+  return state;
+}
+
+bool IncrementalChainState::InsertLinkPair(int link, ValueId entry,
+                                           ValueId exit) {
+  Impl& impl = *impl_;
+  if (impl.prep.trivial) return false;
+  int ia = impl.prep.slot_domain[link].Find(entry);
+  int ib = impl.prep.slot_domain[link + 1].Find(exit);
+  if (ia < 0 || ib < 0) return false;  // joins nothing within the snapshot
+  if (!impl.prep.present[link].Add(ia, ib)) return false;  // already present
+  // Append the pair's family edges through the builder (the ones
+  // BuildHubEdges would have added with the tuple present), keeping the
+  // tag table aligned. The previous flow stays feasible — new edges carry
+  // zero flow — so Refresh can re-augment warm.
+  const int nl = impl.prep.num_links;
+  if (link + 1 < nl) {
+    impl.builder.AddEdge(impl.hubs.src[link] + ia,
+                         impl.hubs.src[link + 1] + ib, kInfiniteCapacity);
   }
-  solution.support.assign(support.begin(), support.end());
-  // Return-boundary invariant (Prop 2.8): a min-cut value is a price and
-  // must be non-negative. Duality (cut == flow) is asserted inside
-  // FlowNetwork::MinCutEdges.
-  CheckPriceNonNegative(solution.price, "SolveChainMinCut");
-  return solution;
+  if (link >= 1) {
+    impl.builder.AddEdge(impl.hubs.dst[link] + ia,
+                         impl.hubs.dst[link + 1] + ib, kInfiniteCapacity);
+  }
+  if (link >= 1 && link + 1 < nl) {
+    impl.builder.AddEdge(impl.hubs.mid[link] + ia,
+                         impl.hubs.mid[link + 1] + ib, kInfiniteCapacity);
+  }
+  impl.dirty = true;
+  return true;
+}
+
+Status IncrementalChainState::Refresh() {
+  Impl& impl = *impl_;
+  if (!impl.dirty) return Status::Ok();
+  QP_METRIC_INCR("qp.solver.chain.warm_reprices");
+  QP_ASSIGN_OR_RETURN(int64_t flow, impl.builder.net().ResumeMaxFlow());
+  QP_ASSIGN_OR_RETURN(
+      solution_,
+      ExtractSolution(impl.builder, impl.prep, impl.problem, links_, flow,
+                      nullptr, "IncrementalChainState::Refresh"));
+  impl.dirty = false;
+  return Status::Ok();
+}
+
+int IncrementalChainState::LinkOfAtom(int atom_idx) const {
+  for (size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].atom == atom_idx) return static_cast<int>(i);
+  }
+  return -1;
 }
 
 }  // namespace qp

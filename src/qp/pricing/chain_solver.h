@@ -3,6 +3,7 @@
 
 #include <functional>
 
+#include "qp/flow/graph_builder.h"
 #include "qp/pricing/solution.h"
 #include "qp/pricing/work_problem.h"
 #include "qp/util/result.h"
@@ -19,6 +20,10 @@ struct ChainSolverOptions {
   /// Both produce the same min-cut value (property-tested).
   enum class SkipMode { kHubs, kDirect };
   SkipMode skip_mode = SkipMode::kHubs;
+  /// Max-flow backend for the Theorem 3.13 solve. All backends produce the
+  /// same min-cut value (property-tested by the cross-solver flow axis);
+  /// kAuto picks per graph shape.
+  FlowSolver flow_solver = FlowSolver::kAuto;
   /// Shared serving budget. Min-cut solves are PTIME, so the budget is
   /// only consulted at entry (an already-expired deadline skips the solve
   /// and lets the engine serve the full-cover fallback).
@@ -56,9 +61,9 @@ struct CutPairEdge {
 ///
 /// `links` must come from BuildWorkChain on the same problem.
 ///
-/// `scratch`, when given, is the flow network to build into (Reset is
+/// `scratch`, when given, is the graph builder to build into (Reset is
 /// called first): callers that solve many chains in a row reuse one
-/// network's buffers instead of reallocating per solve.
+/// arena's buffers instead of reallocating per solve.
 Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
                                          const std::vector<WorkLink>& links,
                                          const ChainSolverOptions& options = {},
@@ -67,7 +72,7 @@ Result<PricingSolution> SolveChainMinCut(const WorkProblem& problem,
                                              nullptr,
                                          std::vector<CutPairEdge>* cut_pairs =
                                              nullptr,
-                                         FlowNetwork* scratch = nullptr);
+                                         FlowGraphBuilder* scratch = nullptr);
 
 }  // namespace qp
 

@@ -38,8 +38,51 @@ Result<PriceQuote> DynamicPricer::Watch(const std::string& name,
     if (!shared) cache_.Evict(existing->second.fingerprint);
   }
   cache_.Store(fingerprint, query, *db_, *quote);
-  watched_[name] = Watched{query, std::move(fingerprint), *quote};
+  Watched& watched = watched_[name];
+  watched = Watched{query, std::move(fingerprint), *quote, nullptr, {}};
+  TryBuildIncremental(&watched);
   return *quote;
+}
+
+void DynamicPricer::TryBuildIncremental(Watched* watched) {
+  watched->incremental.reset();
+  watched->synced_gens.clear();
+  // Warm-start only the path whose plan structure is provably
+  // insert-stable: the engine routed this query to the gchq-min-cut solver
+  // (so no composition) and Prop 2.20 monotonicity applies. A budgeted
+  // engine stays cold: its quotes may be deadline-degraded fallbacks, and
+  // a warm resume would silently bypass the serving budget's semantics.
+  if (watched->last_quote.solver != "gchq-min-cut" ||
+      !MonotonicityGuaranteed(watched->query) ||
+      engine_.options().budget.active()) {
+    return;
+  }
+  auto inc = IncrementalGChQPricer::Build(
+      *db_, engine_.prices(), watched->query,
+      engine_.options().chain.flow_solver);
+  if (!inc.ok()) return;  // outside the warm-startable class: stay cold
+  // The warm plan must agree with the engine's quote on day one; if it
+  // does not, something is wrong with the mirror — fail safe to cold.
+  if ((*inc)->solution().price != watched->last_quote.solution.price) {
+    QP_METRIC_INCR("qp.dynamic.incremental_price_mismatch");
+    return;
+  }
+  watched->incremental = std::move(*inc);
+  for (RelationId rel : watched->incremental->relations()) {
+    watched->synced_gens.push_back(db_->generation(rel));
+  }
+}
+
+bool DynamicPricer::IncrementalInSync(const Watched& watched,
+                                      RelationId mutated,
+                                      uint64_t inserted_in_batch) const {
+  const std::vector<RelationId>& rels = watched.incremental->relations();
+  for (size_t i = 0; i < rels.size(); ++i) {
+    uint64_t expected = watched.synced_gens[i];
+    if (rels[i] == mutated) expected += inserted_in_batch;
+    if (db_->generation(rels[i]) != expected) return false;
+  }
+  return true;
 }
 
 Result<PriceQuote> DynamicPricer::CurrentQuote(const std::string& name) const {
@@ -61,15 +104,31 @@ Result<std::vector<DynamicPricer::PriceChange>> DynamicPricer::Insert(
   for (const auto& row : rows) {
     QP_RETURN_IF_ERROR(db_->ValidateInsert(rel, row));
   }
+  QP_ASSIGN_OR_RETURN(RelationId rel_id,
+                      db_->catalog().schema().FindRelation(rel));
+  // Commit, keeping the interned image of every *newly* inserted row.
+  // Duplicate rows do not bump the generation and must not reach the warm
+  // state either, or its generation bookkeeping would drift.
+  std::vector<Tuple> new_rows;
   for (const auto& row : rows) {
     auto inserted = db_->Insert(rel, row);
     if (!inserted.ok()) return inserted.status();  // unreachable: validated
+    if (!*inserted) continue;
+    Tuple interned;
+    interned.reserve(row.size());
+    for (const Value& v : row) {
+      interned.push_back(*db_->catalog().dict().Find(v));  // validated above
+    }
+    new_rows.push_back(std::move(interned));
   }
-  // Serve watched queries whose relations did not mutate straight from the
-  // cache; collect the stale ones for (possibly parallel) re-solving.
+  // Three repricing tiers per watched query: cache-served (no relation of
+  // the query mutated), warm (generation-synced incremental flow state
+  // absorbs the new rows), cold (engine re-solve, possibly in parallel).
   std::vector<PriceChange> changes;
   std::vector<Watched*> stale;
   std::vector<size_t> stale_change_idx;
+  std::vector<bool> stale_rebuild;
+  uint64_t warm_served = 0;
   for (auto& [name, watched] : watched_) {
     PriceChange change;
     change.query = name;
@@ -78,17 +137,55 @@ Result<std::vector<DynamicPricer::PriceChange>> DynamicPricer::Insert(
       watched.last_quote = *std::move(cached);
       change.after = watched.last_quote.solution.price;
       change.from_cache = true;
-    } else {
-      stale.push_back(&watched);
-      stale_change_idx.push_back(changes.size());
+      changes.push_back(std::move(change));
+      continue;
     }
+    bool needs_rebuild = false;
+    if (watched.incremental != nullptr) {
+      if (IncrementalInSync(watched, rel_id, new_rows.size())) {
+        bool warm_ok = true;
+        for (const Tuple& t : new_rows) {
+          if (!watched.incremental->ApplyInsert(rel_id, t).ok()) {
+            warm_ok = false;
+            break;
+          }
+        }
+        if (warm_ok) {
+          PriceQuote quote = watched.last_quote;
+          quote.solution = watched.incremental->solution();
+          cache_.Store(watched.fingerprint, watched.query, *db_, quote);
+          watched.last_quote = std::move(quote);
+          const std::vector<RelationId>& rels =
+              watched.incremental->relations();
+          for (size_t i = 0; i < rels.size(); ++i) {
+            watched.synced_gens[i] = db_->generation(rels[i]);
+          }
+          change.after = watched.last_quote.solution.price;
+          ++warm_served;
+          changes.push_back(std::move(change));
+          continue;
+        }
+        QP_METRIC_INCR("qp.dynamic.warm_reprice_failures");
+      }
+      // Out-of-band mutation (generation drift) or a failed warm resume:
+      // the flow state can no longer be trusted. Cold-solve, then rebuild.
+      watched.incremental.reset();
+      watched.synced_gens.clear();
+      needs_rebuild = true;
+    }
+    stale.push_back(&watched);
+    stale_change_idx.push_back(changes.size());
+    stale_rebuild.push_back(needs_rebuild);
     changes.push_back(std::move(change));
   }
-  // The incremental-repricing payoff: re-solved vs. served-from-cache
-  // watched-query counts per insert batch.
-  QP_METRIC_COUNT("qp.dynamic.repriced_queries", stale.size());
+  // The incremental-repricing payoff, separately attributable per tier:
+  // warm resumes and cold re-solves sum to the repriced total, the rest
+  // was served from the cache with no solver work at all.
+  QP_METRIC_COUNT("qp.dynamic.repriced_queries", stale.size() + warm_served);
+  QP_METRIC_COUNT("qp.dynamic.warm_repriced_queries", warm_served);
+  QP_METRIC_COUNT("qp.dynamic.cold_repriced_queries", stale.size());
   QP_METRIC_COUNT("qp.dynamic.cache_served_queries",
-                  changes.size() - stale.size());
+                  changes.size() - stale.size() - warm_served);
   if (!stale.empty()) {
     std::vector<ConjunctiveQuery> queries;
     queries.reserve(stale.size());
@@ -108,6 +205,10 @@ Result<std::vector<DynamicPricer::PriceChange>> DynamicPricer::Insert(
       cache_.Store(stale[i]->fingerprint, stale[i]->query, *db_, *quotes[i]);
       stale[i]->last_quote = std::move(*quotes[i]);
       change.after = stale[i]->last_quote.solution.price;
+      if (stale_rebuild[i]) {
+        QP_METRIC_INCR("qp.dynamic.incremental_rebuilds");
+        TryBuildIncremental(stale[i]);
+      }
     }
   }
   // Return-boundary invariant (Prop 2.20 via Prop 2.22): full CQs over

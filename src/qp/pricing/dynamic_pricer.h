@@ -2,11 +2,13 @@
 #define QP_PRICING_DYNAMIC_PRICER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "qp/pricing/batch_pricer.h"
 #include "qp/pricing/engine.h"
+#include "qp/pricing/incremental_pricer.h"
 #include "qp/pricing/quote_cache.h"
 #include "qp/util/status.h"
 
@@ -16,14 +18,21 @@ namespace qp {
 /// while the database grows by insertions; watched queries are repriced
 /// after every batch.
 ///
-/// Repricing is incremental: every quote is stored in a versioned
-/// QuoteCache keyed by the query fingerprint, and Instance bumps a
-/// per-relation generation counter on every insert. After a batch, only
-/// watched queries that read a mutated relation are re-solved; the rest
-/// are served from the cache with no solver work (observable through
-/// `cache().stats()`). Stale queries can be re-solved in parallel by
-/// passing `reprice_threads > 1` — results stay bit-identical because
-/// every query runs the exact sequential solver path.
+/// Repricing is incremental, with three tiers per watched query:
+///  1. *cache-served* — no relation of the query mutated; the versioned
+///     QuoteCache (keyed by query fingerprint + per-relation generation
+///     counters) returns the quote with no solver work;
+///  2. *warm* — the query is GChQ-routable and its IncrementalGChQPricer
+///     state is still generation-synced: each newly inserted row is
+///     replayed into the frozen plan as capacity flips and the flow is
+///     resumed (`qp.flow.warm_starts`) instead of re-solving from scratch;
+///  3. *cold* — everything else is re-solved through the engine, possibly
+///     in parallel via `reprice_threads > 1`; results stay bit-identical
+///     because every query runs the exact sequential solver path.
+/// Warm state is keyed to the instance's generation counters at the last
+/// sync; any out-of-band mutation (Erase, writes not routed through this
+/// pricer) invalidates it, forcing a cold re-solve plus a state rebuild
+/// (`qp.dynamic.incremental_rebuilds`).
 ///
 /// When all views are selection queries and a watched query is a full CQ,
 /// instance-based determinacy is monotone (Proposition 2.20), hence the
@@ -97,7 +106,22 @@ class DynamicPricer {
     ConjunctiveQuery query;
     std::string fingerprint;
     PriceQuote last_quote;
+    /// Warm-start state for GChQ-routable queries (null otherwise): the
+    /// frozen case-split plan with resumable flow leaves.
+    std::unique_ptr<IncrementalGChQPricer> incremental;
+    /// Instance generations of `incremental->relations()` at the last
+    /// sync. A mismatch beyond this batch's own inserts means someone
+    /// mutated the instance out-of-band: the warm state is stale.
+    std::vector<uint64_t> synced_gens;
   };
+
+  /// Builds (or rebuilds) `watched.incremental` when the quote came from
+  /// the gchq-min-cut solver; records synced generations.
+  void TryBuildIncremental(Watched* watched);
+  /// True when every tracked relation's generation matches the last sync,
+  /// allowing `inserted_in_batch` newly inserted rows in `mutated`.
+  bool IncrementalInSync(const Watched& watched, RelationId mutated,
+                         uint64_t inserted_in_batch) const;
 
   Instance* db_;
   PricingEngine engine_;

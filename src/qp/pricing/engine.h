@@ -89,6 +89,7 @@ class PricingEngine {
 
   const Instance& db() const { return *db_; }
   const SelectionPriceSet& prices() const { return *prices_; }
+  const Options& options() const { return options_; }
 
  private:
   Result<PriceQuote> PriceDispatch(const ConjunctiveQuery& query,

@@ -4,53 +4,16 @@
 #include <set>
 
 #include "qp/check/invariants.h"
-#include "qp/flow/max_flow.h"
+#include "qp/flow/graph_builder.h"
 #include "qp/obs/metrics.h"
 
 namespace qp {
 namespace {
 
-/// Projects position `pos` out of atom `atom_idx`: drops the position and
-/// its prices, projects and deduplicates the data.
-void ProjectOutPosition(WorkProblem* problem, int atom_idx, int pos) {
-  WorkAtom& atom = problem->atoms[atom_idx];
-  atom.positions.erase(atom.positions.begin() + pos);
-  std::vector<Tuple> projected;
-  projected.reserve(atom.tuples.size());
-  for (const Tuple& t : atom.tuples) {
-    Tuple out;
-    out.reserve(t.size() - 1);
-    for (size_t p = 0; p < t.size(); ++p) {
-      if (static_cast<int>(p) != pos) out.push_back(t[p]);
-    }
-    projected.push_back(std::move(out));
-  }
-  std::sort(projected.begin(), projected.end());
-  projected.erase(std::unique(projected.begin(), projected.end()),
-                  projected.end());
-  atom.tuples = std::move(projected);
-}
-
-/// Finds the (atom, position) of a hanging variable.
-bool FindVarPosition(const WorkProblem& problem, VarId var, int* atom_idx,
-                     int* pos) {
-  for (size_t a = 0; a < problem.atoms.size(); ++a) {
-    const WorkAtom& atom = problem.atoms[a];
-    for (size_t p = 0; p < atom.positions.size(); ++p) {
-      if (atom.positions[p].var == var) {
-        *atom_idx = static_cast<int>(a);
-        *pos = static_cast<int>(p);
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
 Result<PricingSolution> SolveNormalized(const WorkProblem& problem,
                                         const ChainSolverOptions& options,
                                         GChQSolveStats* stats,
-                                        FlowNetwork* scratch) {
+                                        FlowGraphBuilder* scratch) {
   // PTIME path: consult the budget only at entry to each normalization
   // step; an expired deadline routes the engine to the full-cover fallback.
   if (options.budget.Exhausted()) {
@@ -92,7 +55,7 @@ Result<PricingSolution> SolveNormalized(const WorkProblem& problem,
   VarId h = hanging[0];
   int atom_idx = -1;
   int pos = -1;
-  FindVarPosition(problem, h, &atom_idx, &pos);
+  WorkFindVarPosition(problem, h, &atom_idx, &pos);
   const WorkPosition& hanging_pos = problem.atoms[atom_idx].positions[pos];
 
   // Case (a): fully cover the hanging attribute. Its full-cover cost is the
@@ -101,16 +64,14 @@ Result<PricingSolution> SolveNormalized(const WorkProblem& problem,
   Money cover_cost = 0;
   std::vector<SelectionView> cover_views;
   bool cover_feasible = true;
-  for (ValueId value : problem.var_domain[h]) {
-    auto it = hanging_pos.cost.find(value);
-    if (it == hanging_pos.cost.end()) {
+  for (size_t i = 0; i < problem.var_domain[h].size(); ++i) {
+    if (IsInfinite(hanging_pos.cost[i])) {
       cover_feasible = false;
       break;
     }
-    cover_cost = AddMoney(cover_cost, it->second);
-    auto origin = hanging_pos.origin.find(value);
-    if (origin != hanging_pos.origin.end()) {
-      cover_views.push_back(origin->second);
+    cover_cost = AddMoney(cover_cost, hanging_pos.cost[i]);
+    if (hanging_pos.has_origin[i]) {
+      cover_views.push_back(hanging_pos.origin[i]);
     }
   }
 
@@ -119,17 +80,13 @@ Result<PricingSolution> SolveNormalized(const WorkProblem& problem,
 
   if (cover_feasible && !IsInfinite(cover_cost)) {
     WorkProblem covered = problem;
-    ProjectOutPosition(&covered, atom_idx, pos);
+    WorkProjectOutPosition(&covered, atom_idx, pos);
     // Give the projected relation out for free through its first remaining
     // position (Lemma 3.11 allows any).
     WorkAtom& atom = covered.atoms[atom_idx];
     if (!atom.positions.empty()) {
       WorkPosition& free_pos = atom.positions[0];
-      free_pos.cost.clear();
-      free_pos.origin.clear();
-      for (ValueId value : covered.var_domain[free_pos.var]) {
-        free_pos.cost[value] = 0;
-      }
+      free_pos.SetFree(covered.var_domain[free_pos.var].size());
     }
     auto sub = SolveNormalized(covered, options, stats, scratch);
     if (!sub.ok()) return sub.status();
@@ -148,10 +105,7 @@ Result<PricingSolution> SolveNormalized(const WorkProblem& problem,
   // and project it out.
   {
     WorkProblem uncovered = problem;
-    WorkPosition& p = uncovered.atoms[atom_idx].positions[pos];
-    p.cost.clear();
-    p.origin.clear();
-    ProjectOutPosition(&uncovered, atom_idx, pos);
+    WorkProjectOutPosition(&uncovered, atom_idx, pos);
     auto sub = SolveNormalized(uncovered, options, stats, scratch);
     if (!sub.ok()) return sub.status();
     if (sub->price < best.price) best = *sub;
@@ -193,8 +147,12 @@ Result<PricingSolution> PriceGChQQuery(const Instance& db,
   if (!problem.ok()) return problem.status();
   MergeRepeatedVarsInAtoms(&*problem);  // Step 2
   // One flow network reused across every chain solved by the
-  // hanging-variable case splits of Step 3 (up to 2^h of them).
-  FlowNetwork scratch;
+  // hanging-variable case splits of Step 3 (up to 2^h of them) — and, via
+  // thread_local, across successive Price calls on the same thread: the
+  // arena holds its buffers through Reset, so the steady-state serving
+  // path allocates nothing for graph storage. Each BatchPricer worker gets
+  // its own arena, keeping solves share-nothing.
+  thread_local FlowGraphBuilder scratch;
   auto solution = SolveNormalized(*problem, options, stats, &scratch);
   // Return-boundary invariant (Prop 2.8) on the Steps 3 + 4 result.
   if (solution.ok()) {

@@ -1,0 +1,76 @@
+#ifndef QP_PRICING_INCREMENTAL_CHAIN_H_
+#define QP_PRICING_INCREMENTAL_CHAIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "qp/flow/graph_builder.h"
+#include "qp/pricing/chain_solver.h"
+#include "qp/pricing/solution.h"
+#include "qp/pricing/work_problem.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Persistent chain min-cut state for warm repricing. Build constructs
+/// the same present-pairs hub graph the one-shot solver uses and
+/// cold-solves it, remembering the hub-node layout. A later single-tuple
+/// insert appends at most three infinite edges (the pair's src / dst /
+/// mid family copies) directly into the arena — a new edge carries zero
+/// flow, so the previous optimal flow stays feasible — and Refresh
+/// re-augments from it instead of rebuilding the graph. Repricing costs
+/// time proportional to the change (the tentpole warm-start path used by
+/// DynamicPricer), and the graph stays as small as the static solver's
+/// instead of carrying a quadratic all-pairs edge arena.
+///
+/// The appended edges are exactly the family edges the one-shot solver
+/// would have built with the tuple present, so the price always equals
+/// what SolveChainMinCut computes on the same problem with the tuple
+/// applied — property-tested by the cross-solver warm-start axis.
+///
+/// The state is a snapshot: it copies the problem and stays correct only
+/// for inserts routed through InsertLinkPair. Deletions or out-of-band
+/// instance changes require a rebuild (DynamicPricer keys validity on
+/// per-relation generation counters).
+class IncrementalChainState {
+ public:
+  /// Builds the graph and runs the cold solve. Fails only if the
+  /// underlying solve fails.
+  static Result<std::unique_ptr<IncrementalChainState>> Build(
+      const WorkProblem& problem, const std::vector<WorkLink>& links,
+      FlowSolver solver);
+
+  /// Marks the pair (entry value, exit value) of chain link `link` as
+  /// present. Returns false — changing nothing — when either value falls
+  /// outside the harmonized domains (the tuple joins nothing) or the pair
+  /// is already present. Capacities are patched immediately; call
+  /// Refresh() once per batch to re-augment.
+  bool InsertLinkPair(int link, ValueId entry, ValueId exit);
+
+  /// Re-augments from the previous flow after InsertLinkPair calls and
+  /// re-extracts price + support. No-op when no pair was flipped.
+  Status Refresh();
+
+  /// Chain link index owning atom `atom_idx` of the problem, or -1.
+  int LinkOfAtom(int atom_idx) const;
+
+  int num_links() const { return static_cast<int>(links_.size()); }
+  const std::vector<WorkLink>& links() const { return links_; }
+
+  /// Current price + support; valid after Build and after each Refresh.
+  const PricingSolution& solution() const { return solution_; }
+
+  ~IncrementalChainState();
+
+ private:
+  IncrementalChainState();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::vector<WorkLink> links_;
+  PricingSolution solution_;
+};
+
+}  // namespace qp
+
+#endif  // QP_PRICING_INCREMENTAL_CHAIN_H_

@@ -1,0 +1,248 @@
+#include "qp/pricing/incremental_pricer.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "qp/obs/metrics.h"
+#include "qp/pricing/classifier.h"
+#include "qp/pricing/incremental_chain.h"
+
+namespace qp {
+
+/// One node of the frozen Step 3 case-split tree. Internal nodes project
+/// out one hanging variable's position and fork into the Lemma 3.10/3.11
+/// cases; leaves hold the warm-startable chain state (or a constant 0 when
+/// some used domain is empty).
+struct IncrementalGChQPricer::PlanNode {
+  bool trivial_zero = false;
+  /// Leaf: the all-pairs chain flow state.
+  std::unique_ptr<IncrementalChainState> chain;
+
+  /// Internal: the projected (atom, position) — identical for both
+  /// children — and the case (a) cover terms.
+  int proj_atom = -1;
+  int proj_pos = -1;
+  Money cover_cost = 0;
+  std::vector<SelectionView> cover_views;
+  /// Case (a): cover the hanging attribute, then solve the projected
+  /// problem with the freed position zero-costed. Null when the cover is
+  /// infeasible (some domain value has no explicit price).
+  std::unique_ptr<PlanNode> covered;
+  /// Case (b): ignore the hanging attribute and project it out.
+  std::unique_ptr<PlanNode> uncovered;
+};
+
+IncrementalGChQPricer::IncrementalGChQPricer() = default;
+IncrementalGChQPricer::~IncrementalGChQPricer() = default;
+
+Status IncrementalGChQPricer::BuildNode(const WorkProblem& problem,
+                                        std::unique_ptr<PlanNode>* out) {
+  auto node = std::make_unique<PlanNode>();
+  // Trivial determinacy: a used variable with an empty domain means no
+  // candidate answer can exist in any possible world — and domains are
+  // catalog-derived, so inserts cannot change this verdict.
+  for (const WorkAtom& atom : problem.atoms) {
+    for (const WorkPosition& pos : atom.positions) {
+      if (problem.var_domain[pos.var].empty()) {
+        node->trivial_zero = true;
+        *out = std::move(node);
+        return Status::Ok();
+      }
+    }
+  }
+
+  std::vector<VarId> hanging = WorkHangingVars(problem);
+  if (hanging.empty()) {
+    // Step 4 leaf: the normalized problem is a chain.
+    auto links = BuildWorkChain(problem);
+    if (!links.ok()) return links.status();
+    QP_ASSIGN_OR_RETURN(node->chain,
+                        IncrementalChainState::Build(problem, *links,
+                                                     solver_));
+    *out = std::move(node);
+    return Status::Ok();
+  }
+
+  // Step 3 on the first hanging variable, mirroring SolveNormalized
+  // bit-for-bit so the warm price equals the cold one.
+  VarId h = hanging[0];
+  WorkFindVarPosition(problem, h, &node->proj_atom, &node->proj_pos);
+  const WorkPosition& hanging_pos =
+      problem.atoms[node->proj_atom].positions[node->proj_pos];
+
+  Money cover_cost = 0;
+  bool cover_feasible = true;
+  for (size_t i = 0; i < problem.var_domain[h].size(); ++i) {
+    if (IsInfinite(hanging_pos.cost[i])) {
+      cover_feasible = false;
+      break;
+    }
+    cover_cost = AddMoney(cover_cost, hanging_pos.cost[i]);
+    if (hanging_pos.has_origin[i]) {
+      node->cover_views.push_back(hanging_pos.origin[i]);
+    }
+  }
+  node->cover_cost = cover_cost;
+
+  if (cover_feasible && !IsInfinite(cover_cost)) {
+    WorkProblem covered = problem;
+    WorkProjectOutPosition(&covered, node->proj_atom, node->proj_pos);
+    WorkAtom& atom = covered.atoms[node->proj_atom];
+    if (!atom.positions.empty()) {
+      WorkPosition& free_pos = atom.positions[0];
+      free_pos.SetFree(covered.var_domain[free_pos.var].size());
+    }
+    QP_RETURN_IF_ERROR(BuildNode(covered, &node->covered));
+  }
+  {
+    WorkProblem uncovered = problem;
+    WorkProjectOutPosition(&uncovered, node->proj_atom, node->proj_pos);
+    QP_RETURN_IF_ERROR(BuildNode(uncovered, &node->uncovered));
+  }
+  *out = std::move(node);
+  return Status::Ok();
+}
+
+void IncrementalGChQPricer::ApplyToNode(PlanNode* node, int atom_idx,
+                                        Tuple row) {
+  if (node->trivial_zero) return;
+  if (node->chain != nullptr) {
+    int link_idx = node->chain->LinkOfAtom(atom_idx);
+    if (link_idx < 0) return;
+    const WorkLink& link = node->chain->links()[link_idx];
+    node->chain->InsertLinkPair(link_idx, row[link.entry_pos],
+                                row[link.exit_pos]);
+    return;
+  }
+  // Both children projected the same position out of this atom's rows.
+  if (node->proj_atom == atom_idx) {
+    row.erase(row.begin() + node->proj_pos);
+  }
+  if (node->covered != nullptr) ApplyToNode(node->covered.get(), atom_idx,
+                                            row);
+  if (node->uncovered != nullptr) {
+    ApplyToNode(node->uncovered.get(), atom_idx, std::move(row));
+  }
+}
+
+Result<IncrementalGChQPricer::Eval> IncrementalGChQPricer::EvaluateNode(
+    PlanNode* node) {
+  if (node->trivial_zero) return Eval{};
+  if (node->chain != nullptr) {
+    QP_RETURN_IF_ERROR(node->chain->Refresh());
+    Eval eval;
+    eval.price = node->chain->solution().price;
+    eval.support = node->chain->solution().support;
+    return eval;
+  }
+  Eval best;
+  best.price = kInfiniteMoney;
+  if (node->covered != nullptr) {
+    QP_ASSIGN_OR_RETURN(Eval sub, EvaluateNode(node->covered.get()));
+    Money total = AddMoney(node->cover_cost, sub.price);
+    if (total < best.price) {
+      best.price = total;
+      std::set<SelectionView> merged(sub.support.begin(),
+                                     sub.support.end());
+      merged.insert(node->cover_views.begin(), node->cover_views.end());
+      best.support.assign(merged.begin(), merged.end());
+    }
+  }
+  QP_ASSIGN_OR_RETURN(Eval sub, EvaluateNode(node->uncovered.get()));
+  if (sub.price < best.price) best = std::move(sub);
+  return best;
+}
+
+Result<std::unique_ptr<IncrementalGChQPricer>> IncrementalGChQPricer::Build(
+    const Instance& db, const SelectionPriceSet& prices,
+    const ConjunctiveQuery& query, FlowSolver solver) {
+  // Gate on exactly the shapes PricingEngine routes to gchq-min-cut, so a
+  // warm quote can never disagree with the dispatch the cold path took.
+  if (!query.IsFull() || query.IsBoolean()) {
+    return Status::Unimplemented(
+        "incremental repricing requires a full, non-boolean query");
+  }
+  if (query.ConnectedComponents().size() > 1) {
+    return Status::Unimplemented(
+        "incremental repricing requires a connected query");
+  }
+  QueryClassification cls = ClassifyConnectedQuery(query);
+  if (cls.cls != PricingClass::kGChQ) {
+    return Status::Unimplemented(
+        "incremental repricing covers GChQ queries only: " + cls.reason);
+  }
+  QP_METRIC_INCR("qp.incremental.builds");
+  QP_METRIC_SCOPED_TIMER("qp.incremental.build_ns");
+
+  std::unique_ptr<IncrementalGChQPricer> pricer(new IncrementalGChQPricer());
+  pricer->solver_ = solver;
+  // Reorder atoms into GChQ order (as PriceGChQQuery does).
+  ConjunctiveQuery ordered(query.name());
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    ordered.AddVar(query.var_name(v));
+  }
+  for (VarId v : query.head()) ordered.AddHeadVar(v);
+  for (int idx : cls.gchq_order) {
+    ordered.AddAtom(query.atoms()[idx].rel, query.atoms()[idx].args);
+    pricer->relations_.push_back(query.atoms()[idx].rel);
+  }
+  for (const UnaryPredicate& p : query.predicates()) {
+    ordered.AddPredicate(p);
+  }
+
+  QP_ASSIGN_OR_RETURN(WorkProblem problem,
+                      BuildWorkProblem(db, prices, ordered));
+  MergeRepeatedVarsInAtoms(&problem, &pricer->merge_specs_);
+  pricer->base_ = problem;
+  QP_RETURN_IF_ERROR(pricer->BuildNode(problem, &pricer->root_));
+  QP_ASSIGN_OR_RETURN(Eval eval, EvaluateNode(pricer->root_.get()));
+  pricer->solution_.price = eval.price;
+  pricer->solution_.support = std::move(eval.support);
+  return pricer;
+}
+
+Result<PricingSolution> IncrementalGChQPricer::ApplyInsert(RelationId rel,
+                                                           const Tuple& row) {
+  QP_METRIC_INCR("qp.incremental.apply_inserts");
+  QP_METRIC_SCOPED_TIMER("qp.incremental.apply_ns");
+  int atom_idx = -1;
+  for (size_t a = 0; a < relations_.size(); ++a) {
+    if (relations_[a] == rel) {
+      atom_idx = static_cast<int>(a);
+      break;
+    }
+  }
+  if (atom_idx >= 0) {
+    // Replay Step 2 on the raw row: merged positions must agree, then
+    // project to the kept positions.
+    const AtomMergeSpec& spec = merge_specs_[atom_idx];
+    bool keep_row = row.size() == spec.merged_into.size();
+    for (size_t p = 0; keep_row && p < row.size(); ++p) {
+      keep_row =
+          row[static_cast<size_t>(spec.keep[spec.merged_into[p]])] == row[p];
+    }
+    if (keep_row) {
+      Tuple merged;
+      merged.reserve(spec.keep.size());
+      for (int p : spec.keep) merged.push_back(row[p]);
+      // Replay the Step 1 domain filter. Domains are catalog-derived, so
+      // an out-of-domain value keeps the tuple filtered forever: a no-op.
+      const WorkAtom& atom = base_.atoms[atom_idx];
+      for (size_t i = 0; keep_row && i < merged.size(); ++i) {
+        const std::vector<ValueId>& domain =
+            base_.var_domain[atom.positions[i].var];
+        keep_row =
+            std::binary_search(domain.begin(), domain.end(), merged[i]);
+      }
+      if (keep_row) ApplyToNode(root_.get(), atom_idx, std::move(merged));
+    }
+  }
+  QP_ASSIGN_OR_RETURN(Eval eval, EvaluateNode(root_.get()));
+  solution_ = PricingSolution{};
+  solution_.price = eval.price;
+  solution_.support = std::move(eval.support);
+  return solution_;
+}
+
+}  // namespace qp

@@ -1,0 +1,89 @@
+#ifndef QP_PRICING_INCREMENTAL_PRICER_H_
+#define QP_PRICING_INCREMENTAL_PRICER_H_
+
+#include <memory>
+#include <vector>
+
+#include "qp/flow/max_flow.h"
+#include "qp/pricing/price_points.h"
+#include "qp/pricing/solution.h"
+#include "qp/pricing/work_problem.h"
+#include "qp/query/query.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Warm-started repricing for a watched GChQ query (the tentpole's
+/// incremental path). Build runs the Step 1-3 pipeline once and freezes
+/// its *structure* — the hanging-variable case-split tree with the
+/// projected problem at every node and an IncrementalChainState (all-pairs
+/// flow graph) at every chain leaf. A later single-tuple insert is then
+/// replayed through the same transformations (merge, domain filter, the
+/// projections along the tree) and lands as at most one capacity flip per
+/// leaf, after which each touched leaf resumes its previous max flow
+/// instead of rebuilding; untouched leaves return their cached solve.
+///
+/// Why the structure is insert-stable: variable domains come from the
+/// *catalog's* declared columns (and the query's predicates), and the
+/// inclusion constraint R^D.X ⊆ Col R.X means inserts can never extend
+/// them. With domains fixed, the hanging-variable order, the case-split
+/// cover costs (sums over domains) and every leaf's node layout are all
+/// invariants of the watched query; only the present-pair capacities
+/// change. Out-of-band mutations (Erase, direct Instance writes) are the
+/// caller's problem: DynamicPricer keys validity on per-relation
+/// generation counters and rebuilds on mismatch.
+///
+/// Prices are bit-equal to the cold PriceGChQQuery path (property-tested
+/// by the cross-solver warm-start axis); supports are an optimal min-cut
+/// support but may pick a different optimal cut than a cold solve.
+class IncrementalGChQPricer {
+ public:
+  /// Builds the plan and cold-solves every leaf. Returns Unimplemented
+  /// when the query is not one the engine routes to the gchq-min-cut
+  /// solver (not full, boolean, disconnected, or outside the GChQ class).
+  static Result<std::unique_ptr<IncrementalGChQPricer>> Build(
+      const Instance& db, const SelectionPriceSet& prices,
+      const ConjunctiveQuery& query, FlowSolver solver = FlowSolver::kAuto);
+
+  /// Applies one committed row of `rel` to every leaf and warm-reprices.
+  /// The returned solution's price equals PriceGChQQuery on the mutated
+  /// instance. Rows of relations the query does not read, rows dropped by
+  /// the Step 2 merge, and rows outside the harmonized domains are no-ops
+  /// (the price is simply re-served).
+  Result<PricingSolution> ApplyInsert(RelationId rel, const Tuple& row);
+
+  /// Current price + support (after Build, and after each ApplyInsert).
+  const PricingSolution& solution() const { return solution_; }
+
+  /// Relations the plan reads, in atom order (for generation tracking).
+  const std::vector<RelationId>& relations() const { return relations_; }
+
+  ~IncrementalGChQPricer();
+
+ private:
+  struct PlanNode;
+  struct Eval {
+    Money price = 0;
+    std::vector<SelectionView> support;
+  };
+
+  IncrementalGChQPricer();
+
+  Status BuildNode(const WorkProblem& problem,
+                   std::unique_ptr<PlanNode>* out);
+  static void ApplyToNode(PlanNode* node, int atom_idx, Tuple row);
+  static Result<Eval> EvaluateNode(PlanNode* node);
+
+  FlowSolver solver_ = FlowSolver::kAuto;
+  /// The post-merge Step 1+2 snapshot: domain filter + position vars.
+  WorkProblem base_;
+  std::vector<AtomMergeSpec> merge_specs_;
+  std::vector<RelationId> relations_;
+  std::unique_ptr<PlanNode> root_;
+  PricingSolution solution_;
+};
+
+}  // namespace qp
+
+#endif  // QP_PRICING_INCREMENTAL_PRICER_H_

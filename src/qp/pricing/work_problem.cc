@@ -1,9 +1,39 @@
 #include "qp/pricing/work_problem.h"
 
 #include <algorithm>
-#include <set>
+#include <cstdint>
 
 namespace qp {
+namespace {
+
+/// Lexicographically sorts and deduplicates the rows of a flattened
+/// row-major buffer with the given stride.
+void SortUniqueRows(std::vector<ValueId>* data, size_t arity) {
+  if (arity == 0 || data->empty()) return;
+  const size_t n = data->size() / arity;
+  std::vector<uint32_t> order(n);
+  for (size_t r = 0; r < n; ++r) order[r] = static_cast<uint32_t>(r);
+  const ValueId* base = data->data();
+  auto row_less = [&](uint32_t x, uint32_t y) {
+    return std::lexicographical_compare(
+        base + x * arity, base + (x + 1) * arity, base + y * arity,
+        base + (y + 1) * arity);
+  };
+  std::sort(order.begin(), order.end(), row_less);
+  std::vector<ValueId> out;
+  out.reserve(data->size());
+  for (size_t i = 0; i < n; ++i) {
+    const ValueId* row = base + order[i] * arity;
+    if (i > 0) {
+      const ValueId* prev = base + order[i - 1] * arity;
+      if (std::equal(row, row + arity, prev)) continue;
+    }
+    out.insert(out.end(), row, row + arity);
+  }
+  *data = std::move(out);
+}
+
+}  // namespace
 
 Result<WorkProblem> BuildWorkProblem(const Instance& db,
                                      const SelectionPriceSet& prices,
@@ -97,37 +127,51 @@ Result<WorkProblem> BuildWorkProblem(const Instance& db,
     for (size_t p = 0; p < work_atom.positions.size(); ++p) {
       WorkPosition& pos = work_atom.positions[p];
       AttrRef attr{query.atoms()[a].rel, static_cast<int>(p)};
-      for (ValueId value : problem.var_domain[pos.var]) {
-        SelectionView view{attr, value};
+      const std::vector<ValueId>& domain = problem.var_domain[pos.var];
+      pos.SetUnavailable(domain.size());
+      for (size_t i = 0; i < domain.size(); ++i) {
+        SelectionView view{attr, domain[i]};
         Money price = prices.Get(view);
         if (!IsInfinite(price)) {
-          pos.cost[value] = price;
-          pos.origin.emplace(value, view);
+          pos.cost[i] = price;
+          pos.origin[i] = view;
+          pos.has_origin[i] = 1;
         }
       }
     }
   }
 
-  // Data: tuples filtered to the (harmonized) domains.
+  // Data: tuples filtered to the (harmonized) domains. var_domain is
+  // sorted, so membership is a binary search on it directly — no per-call
+  // set materialization.
   for (size_t a = 0; a < problem.atoms.size(); ++a) {
     WorkAtom& work_atom = problem.atoms[a];
-    std::vector<std::set<ValueId>> domain_sets(work_atom.positions.size());
-    for (size_t p = 0; p < work_atom.positions.size(); ++p) {
-      const auto& d = problem.var_domain[work_atom.positions[p].var];
-      domain_sets[p] = std::set<ValueId>(d.begin(), d.end());
+    std::vector<const std::vector<ValueId>*> domains;
+    domains.reserve(work_atom.positions.size());
+    for (const WorkPosition& pos : work_atom.positions) {
+      domains.push_back(&problem.var_domain[pos.var]);
     }
-    for (const Tuple& t : db.Relation(query.atoms()[a].rel)) {
+    const auto& rel = db.Relation(query.atoms()[a].rel);
+    const size_t arity = work_atom.positions.size();
+    work_atom.tuple_data.reserve(rel.size() * arity);
+    for (const Tuple& t : rel) {
       bool keep = true;
-      for (size_t p = 0; p < t.size() && keep; ++p) {
-        keep = domain_sets[p].count(t[p]) > 0;
+      for (size_t p = 0; p < arity && keep; ++p) {
+        keep = std::binary_search(domains[p]->begin(), domains[p]->end(),
+                                  t[p]);
       }
-      if (keep) work_atom.tuples.push_back(t);
+      if (keep) {
+        work_atom.tuple_data.insert(work_atom.tuple_data.end(), t.begin(),
+                                    t.end());
+      }
     }
   }
   return problem;
 }
 
-void MergeRepeatedVarsInAtoms(WorkProblem* problem) {
+void MergeRepeatedVarsInAtoms(WorkProblem* problem,
+                              std::vector<AtomMergeSpec>* specs) {
+  if (specs != nullptr) specs->clear();
   for (WorkAtom& atom : problem->atoms) {
     // Map var -> first position index.
     std::vector<int> keep;
@@ -143,37 +187,37 @@ void MergeRepeatedVarsInAtoms(WorkProblem* problem) {
       } else {
         int target = static_cast<int>(it - seen_vars.begin());
         merged_into[p] = target;
-        // Merge prices: min of the two positions per value (Step 2).
+        // Merge prices: min of the two positions per value (Step 2). Both
+        // positions bind the same variable, so their tables are aligned.
         WorkPosition& dst = atom.positions[keep[target]];
         const WorkPosition& src = atom.positions[p];
-        for (const auto& [value, price] : src.cost) {
-          auto existing = dst.cost.find(value);
-          if (existing == dst.cost.end() || price < existing->second) {
-            dst.cost[value] = price;
-            dst.origin[value] = src.origin.at(value);
+        for (size_t i = 0; i < dst.cost.size(); ++i) {
+          if (src.cost[i] < dst.cost[i]) {
+            dst.cost[i] = src.cost[i];
+            dst.origin[i] = src.origin[i];
+            dst.has_origin[i] = src.has_origin[i];
           }
         }
       }
     }
+    if (specs != nullptr) specs->push_back(AtomMergeSpec{keep, merged_into});
     if (keep.size() == atom.positions.size()) continue;
 
     // Filter tuples: merged positions must agree; then project.
-    std::vector<Tuple> new_tuples;
-    for (const Tuple& t : atom.tuples) {
+    const size_t old_arity = atom.positions.size();
+    std::vector<ValueId> new_data;
+    new_data.reserve(atom.tuple_data.size());
+    for (size_t r = 0; r < atom.tuple_data.size(); r += old_arity) {
+      const ValueId* t = atom.tuple_data.data() + r;
       bool agree = true;
-      for (size_t p = 0; p < t.size() && agree; ++p) {
+      for (size_t p = 0; p < old_arity && agree; ++p) {
         agree = (t[keep[merged_into[p]]] == t[p]);
       }
       if (!agree) continue;
-      Tuple projected;
-      projected.reserve(keep.size());
-      for (int p : keep) projected.push_back(t[p]);
-      new_tuples.push_back(std::move(projected));
+      for (int p : keep) new_data.push_back(t[p]);
     }
-    std::sort(new_tuples.begin(), new_tuples.end());
-    new_tuples.erase(std::unique(new_tuples.begin(), new_tuples.end()),
-                     new_tuples.end());
-    atom.tuples = std::move(new_tuples);
+    SortUniqueRows(&new_data, keep.size());
+    atom.tuple_data = std::move(new_data);
 
     std::vector<WorkPosition> new_positions;
     new_positions.reserve(keep.size());
@@ -251,6 +295,38 @@ Result<std::vector<WorkLink>> BuildWorkChain(const WorkProblem& problem) {
         "last atom of a normalized chain must be unary");
   }
   return links;
+}
+
+
+void WorkProjectOutPosition(WorkProblem* problem, int atom_idx, int pos) {
+  WorkAtom& atom = problem->atoms[atom_idx];
+  const size_t old_arity = atom.positions.size();
+  atom.positions.erase(atom.positions.begin() + pos);
+  std::vector<ValueId> projected;
+  projected.reserve(atom.tuple_data.size());
+  for (size_t r = 0; r < atom.tuple_data.size(); r += old_arity) {
+    const ValueId* t = atom.tuple_data.data() + r;
+    for (size_t p = 0; p < old_arity; ++p) {
+      if (static_cast<int>(p) != pos) projected.push_back(t[p]);
+    }
+  }
+  SortUniqueRows(&projected, old_arity - 1);
+  atom.tuple_data = std::move(projected);
+}
+
+bool WorkFindVarPosition(const WorkProblem& problem, VarId var,
+                         int* atom_idx, int* pos) {
+  for (size_t a = 0; a < problem.atoms.size(); ++a) {
+    const WorkAtom& atom = problem.atoms[a];
+    for (size_t p = 0; p < atom.positions.size(); ++p) {
+      if (atom.positions[p].var == var) {
+        *atom_idx = static_cast<int>(a);
+        *pos = static_cast<int>(p);
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 }  // namespace qp

@@ -2,7 +2,6 @@
 #define QP_PRICING_WORK_PROBLEM_H_
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "qp/pricing/price_points.h"
@@ -30,20 +29,47 @@ namespace qp {
 struct WorkPosition {
   /// Variable bound at this position.
   VarId var = -1;
-  /// Price of the selection view on this position at each domain value
-  /// (absent entry = not for sale).
-  std::unordered_map<ValueId, Money> cost;
-  /// The explicit view a finite cost stands for. Zero-cost positions
-  /// created by Step 3 ("give the projected relation out for free") have
-  /// cost 0 and no origin.
-  std::unordered_map<ValueId, SelectionView> origin;
+  /// Domain-aligned price table: cost[i] is the price of the selection
+  /// view on this position at var_domain[var][i]; kInfiniteMoney = not for
+  /// sale. Aligned storage keeps the hot solver loops (view-edge
+  /// construction, hanging-variable cover sums) free of hash lookups — a
+  /// slot/domain index addresses the price directly.
+  std::vector<Money> cost;
+  /// origin[i] = the explicit view cost[i] stands for, valid only where
+  /// has_origin[i] is set. Zero-cost positions created by Step 3 ("give
+  /// the projected relation out for free") have cost 0 and no origin.
+  std::vector<SelectionView> origin;
+  std::vector<char> has_origin;
+
+  /// Marks the whole domain as free (Step 3 giveaway).
+  void SetFree(size_t domain_size) {
+    cost.assign(domain_size, 0);
+    origin.assign(domain_size, SelectionView{});
+    has_origin.assign(domain_size, 0);
+  }
+  /// Marks the whole domain as not for sale.
+  void SetUnavailable(size_t domain_size) {
+    cost.assign(domain_size, kInfiniteMoney);
+    origin.assign(domain_size, SelectionView{});
+    has_origin.assign(domain_size, 0);
+  }
 };
 
 struct WorkAtom {
   /// Positions (after Step 2 every position binds a distinct variable).
   std::vector<WorkPosition> positions;
-  /// Current (projected) data of this atom, aligned with `positions`.
-  std::vector<Tuple> tuples;
+  /// Current (projected) data of this atom, aligned with `positions`:
+  /// flattened row-major with stride positions.size(). One contiguous
+  /// buffer instead of a vector per tuple keeps the Step-1 data filter —
+  /// which copies thousands of rows per solve — allocation-free.
+  std::vector<ValueId> tuple_data;
+
+  size_t num_tuples() const {
+    return positions.empty() ? 0 : tuple_data.size() / positions.size();
+  }
+  const ValueId* tuple(size_t row) const {
+    return tuple_data.data() + row * positions.size();
+  }
 };
 
 struct WorkProblem {
@@ -64,14 +90,37 @@ Result<WorkProblem> BuildWorkProblem(const Instance& db,
                                      const SelectionPriceSet& prices,
                                      const ConjunctiveQuery& query);
 
+/// How Step 2 folded one atom's repeated variables: which original
+/// positions survived and where each original position went. Consumers
+/// (the incremental repricer) replay the merge on raw inserted rows:
+/// a row is dropped iff `t[keep[merged_into[p]]] != t[p]` for some p, and
+/// otherwise projects to the `keep` positions in order.
+struct AtomMergeSpec {
+  std::vector<int> keep;         // original position indexes kept, in order
+  std::vector<int> merged_into;  // original position -> index into keep
+};
+
 /// Step 2: merges repeated variables within an atom. The merged position's
 /// price is the min of the originals (with the argmin recorded as origin).
-/// Tuples that disagree on the merged positions are dropped.
-void MergeRepeatedVarsInAtoms(WorkProblem* problem);
+/// Tuples that disagree on the merged positions are dropped. When `specs`
+/// is given it receives one AtomMergeSpec per atom (identity when the atom
+/// had no repeats).
+void MergeRepeatedVarsInAtoms(WorkProblem* problem,
+                              std::vector<AtomMergeSpec>* specs = nullptr);
 
 /// Variables that occur at exactly one position across all atoms of the
 /// work problem, excluding atoms that would drop below one position.
 std::vector<VarId> WorkHangingVars(const WorkProblem& problem);
+
+/// Projects position `pos` out of atom `atom_idx`: drops the position and
+/// its prices, projects and deduplicates the data. Shared by the Step 3
+/// case-split recursion and the incremental plan builder, which must apply
+/// bit-identical projections to stay price-equal.
+void WorkProjectOutPosition(WorkProblem* problem, int atom_idx, int pos);
+
+/// Finds the (atom, position) of a variable's first occurrence.
+bool WorkFindVarPosition(const WorkProblem& problem, VarId var,
+                         int* atom_idx, int* pos);
 
 /// Chain structure of a normalized work problem (all atoms unary/binary).
 struct WorkLink {

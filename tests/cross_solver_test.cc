@@ -91,6 +91,35 @@ TEST(CrossSolverTest, HundredRandomInstancesZeroMismatches) {
   EXPECT_EQ(CheckFailureCount(), 0u);
 }
 
+TEST(CrossSolverTest, FlowBackendsAgreeOnHundredRandomInstances) {
+  // The flow-kernel acceptance bar: >= 100 randomized chain/star/cycle
+  // instances where Dinic, push-relabel and the warm-start path (built on
+  // a reduced instance, then fed the held-out tuples one at a time) all
+  // report the same price with duality-valid cut supports.
+  ScopedCheckLevel scope(CheckLevel::kAbort);
+  QP_ASSERT_OK_AND_ASSIGN(CrossSolverReport report,
+                          CrossValidateFlowBackends(100, /*seed=*/1234));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.instances, 100);
+  // Two backend solves per instance plus >= 1 warm/cold comparison on
+  // every warm-startable (non-cycle) instance.
+  EXPECT_GE(report.queries_checked, 250);
+  // Cycles (1 shape in 5) are expected to skip the warm axis; everything
+  // else must exercise it.
+  EXPECT_LE(report.skipped, 25);
+  EXPECT_EQ(CheckFailureCount(), 0u);
+}
+
+TEST(CrossSolverTest, FlowBackendValidationIsDeterministicInSeed) {
+  QP_ASSERT_OK_AND_ASSIGN(CrossSolverReport a,
+                          CrossValidateFlowBackends(10, 77));
+  QP_ASSERT_OK_AND_ASSIGN(CrossSolverReport b,
+                          CrossValidateFlowBackends(10, 77));
+  EXPECT_EQ(a.queries_checked, b.queries_checked);
+  EXPECT_EQ(a.skipped, b.skipped);
+  EXPECT_EQ(a.mismatches.size(), b.mismatches.size());
+}
+
 TEST(CrossSolverTest, RandomValidationIsDeterministicInSeed) {
   QP_ASSERT_OK_AND_ASSIGN(CrossSolverReport a, CrossValidateRandom(7, 5));
   QP_ASSERT_OK_AND_ASSIGN(CrossSolverReport b, CrossValidateRandom(7, 5));

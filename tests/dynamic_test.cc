@@ -5,6 +5,7 @@
 // arbitrage pricer with the restricted relation ։* (Proposition 2.24).
 
 #include "gtest/gtest.h"
+#include "qp/obs/metrics.h"
 #include "qp/pricing/arbitrage_pricer.h"
 #include "qp/pricing/dynamic_pricer.h"
 #include "qp/query/parser.h"
@@ -151,6 +152,176 @@ TEST(Example218Dynamic, S2PriceDropsWithoutRestriction) {
   QP_ASSERT_OK_AND_ASSIGN(ArbitrageQuote r2, p2r.Price(QueryBundle::Of(q2)));
   EXPECT_EQ(r1.price, Dollars(100));
   EXPECT_EQ(r2.price, Dollars(100));
+}
+
+// ---- Warm-started incremental repricing -------------------------------------
+
+/// Rows of `rel` allowed by the columns but absent from the instance, as
+/// insertable Value rows.
+std::vector<std::vector<Value>> MissingRows(const Workload& w,
+                                            std::string_view rel_name) {
+  RelationId rel = *w.catalog->schema().FindRelation(rel_name);
+  std::vector<std::vector<Value>> missing;
+  for (ValueId a : w.catalog->Column(AttrRef{rel, 0})) {
+    for (ValueId b : w.catalog->Column(AttrRef{rel, 1})) {
+      if (!w.db->Contains(rel, {a, b})) {
+        missing.push_back(
+            {w.catalog->dict().Get(a), w.catalog->dict().Get(b)});
+      }
+    }
+  }
+  return missing;
+}
+
+TEST(DynamicWarmRepricing, WarmQuotesMatchColdSolvesTupleByTuple) {
+  // The tentpole contract: a warm (resumed-flow) reprice after every
+  // single-tuple insert must be bit-equal in price to a from-scratch
+  // engine solve of the mutated instance.
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    JoinWorkloadParams params;
+    params.column_size = 3;
+    params.tuple_density = 0.3;
+    params.seed = seed;
+    params.min_price = 1;
+    params.max_price = 9;
+    QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(2, params));
+
+    DynamicPricer pricer(w.db.get(), &w.prices);
+    QP_ASSERT_OK(pricer.Watch("q", w.query).status());
+    PricingEngine fresh(w.db.get(), &w.prices);
+    for (const auto& row : MissingRows(w, "B1")) {
+      QP_ASSERT_OK_AND_ASSIGN(auto changes, pricer.Insert("B1", {row}));
+      ASSERT_EQ(changes.size(), 1u);
+      ASSERT_TRUE(changes[0].status.ok());
+      QP_ASSERT_OK_AND_ASSIGN(PriceQuote cold, fresh.Price(w.query));
+      EXPECT_EQ(changes[0].after, cold.solution.price)
+          << "warm price diverged from cold solve (seed " << seed << ")";
+    }
+  }
+}
+
+#if QP_METRICS_ENABLED
+TEST(DynamicWarmRepricing, WarmTierIsCountedSeparatelyFromCold) {
+  JoinWorkloadParams params;
+  params.column_size = 3;
+  params.tuple_density = 0.3;
+  params.seed = 31;
+  params.min_price = 1;
+  params.max_price = 9;
+  QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(1, params));
+
+  DynamicPricer pricer(w.db.get(), &w.prices);
+  QP_ASSERT_OK(pricer.Watch("q", w.query).status());
+  auto missing = MissingRows(w, "B1");
+  ASSERT_FALSE(missing.empty());
+
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  QP_ASSERT_OK(pricer.Insert("B1", {missing[0]}).status());
+  MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  // The chain query is GChQ-routable, so this reprice rode the warm tier —
+  // and the per-tier counters must attribute it there, not to cold.
+  EXPECT_EQ(after.CounterValue("qp.dynamic.warm_repriced_queries") -
+                before.CounterValue("qp.dynamic.warm_repriced_queries"),
+            1u);
+  EXPECT_EQ(after.CounterValue("qp.dynamic.cold_repriced_queries"),
+            before.CounterValue("qp.dynamic.cold_repriced_queries"));
+  EXPECT_EQ(after.CounterValue("qp.dynamic.repriced_queries") -
+                before.CounterValue("qp.dynamic.repriced_queries"),
+            1u);
+  // The warm tier resumes the leaf flows instead of resetting them.
+  EXPECT_GT(after.CounterValue("qp.flow.warm_starts"),
+            before.CounterValue("qp.flow.warm_starts"));
+}
+#endif  // QP_METRICS_ENABLED
+
+TEST(DynamicWarmRepricing, OutOfBandMutationFallsBackColdAndRebuilds) {
+  JoinWorkloadParams params;
+  params.column_size = 3;
+  params.tuple_density = 0.5;
+  params.seed = 32;
+  params.min_price = 1;
+  params.max_price = 9;
+  QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(1, params));
+
+  DynamicPricer pricer(w.db.get(), &w.prices);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote initial, pricer.Watch("q", w.query));
+
+  // Mutate the instance behind the pricer's back: erase one B1 tuple.
+  RelationId b1 = *w.catalog->schema().FindRelation("B1");
+  ASSERT_GT(w.db->NumTuples(b1), 0u);
+  Tuple erased = *w.db->Relation(b1).begin();
+  ASSERT_TRUE(w.db->Erase(b1, erased));
+
+  // Re-adding the same tuple through the pricer restores the original
+  // instance, but the generation drift must force the cold tier (the warm
+  // state can no longer be trusted) and a rebuild of the warm state.
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  QP_ASSERT_OK_AND_ASSIGN(
+      auto changes,
+      pricer.Insert("B1", {{w.catalog->dict().Get(erased[0]),
+                            w.catalog->dict().Get(erased[1])}}));
+  MetricsSnapshot mid = MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(changes.size(), 1u);
+  ASSERT_TRUE(changes[0].status.ok());
+  EXPECT_EQ(changes[0].after, initial.solution.price);
+#if QP_METRICS_ENABLED
+  EXPECT_EQ(mid.CounterValue("qp.dynamic.cold_repriced_queries") -
+                before.CounterValue("qp.dynamic.cold_repriced_queries"),
+            1u);
+  EXPECT_EQ(mid.CounterValue("qp.dynamic.warm_repriced_queries"),
+            before.CounterValue("qp.dynamic.warm_repriced_queries"));
+  EXPECT_EQ(mid.CounterValue("qp.dynamic.incremental_rebuilds") -
+                before.CounterValue("qp.dynamic.incremental_rebuilds"),
+            1u);
+#endif  // QP_METRICS_ENABLED
+
+  // After the rebuild the warm tier takes over again.
+  auto missing = MissingRows(w, "B1");
+  if (!missing.empty()) {
+    QP_ASSERT_OK(pricer.Insert("B1", {missing[0]}).status());
+    MetricsSnapshot final_snap = MetricsRegistry::Global().Snapshot();
+#if QP_METRICS_ENABLED
+    EXPECT_EQ(final_snap.CounterValue("qp.dynamic.warm_repriced_queries") -
+                  mid.CounterValue("qp.dynamic.warm_repriced_queries"),
+              1u);
+#endif  // QP_METRICS_ENABLED
+    (void)final_snap;
+  }
+}
+
+TEST(DynamicWarmRepricing, DuplicateRowsAreWarmNoOps) {
+  JoinWorkloadParams params;
+  params.column_size = 3;
+  params.tuple_density = 0.5;
+  params.seed = 33;
+  params.min_price = 1;
+  params.max_price = 9;
+  QP_ASSERT_OK_AND_ASSIGN(Workload w, MakeChainWorkload(1, params));
+
+  DynamicPricer pricer(w.db.get(), &w.prices);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote initial, pricer.Watch("q", w.query));
+  RelationId b1 = *w.catalog->schema().FindRelation("B1");
+  ASSERT_GT(w.db->NumTuples(b1), 0u);
+  Tuple existing = *w.db->Relation(b1).begin();
+
+  // Re-inserting a present row bumps no generation: the quote must come
+  // straight from the cache, and the warm state must stay in sync for the
+  // genuinely new row that follows.
+  QP_ASSERT_OK_AND_ASSIGN(
+      auto changes,
+      pricer.Insert("B1", {{w.catalog->dict().Get(existing[0]),
+                            w.catalog->dict().Get(existing[1])}}));
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_TRUE(changes[0].from_cache);
+  EXPECT_EQ(changes[0].after, initial.solution.price);
+
+  PricingEngine fresh(w.db.get(), &w.prices);
+  for (const auto& row : MissingRows(w, "B1")) {
+    QP_ASSERT_OK_AND_ASSIGN(auto more, pricer.Insert("B1", {row}));
+    ASSERT_EQ(more.size(), 1u);
+    QP_ASSERT_OK_AND_ASSIGN(PriceQuote cold, fresh.Price(w.query));
+    EXPECT_EQ(more[0].after, cold.solution.price);
+  }
 }
 
 TEST(ArbitragePricer, SupportNamesTheCheapestPoints) {

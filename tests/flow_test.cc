@@ -1,8 +1,13 @@
-// Unit tests for the Dinic max-flow / min-cut substrate.
+// Unit tests for the CSR-arena max-flow / min-cut substrate: both solver
+// backends (Dinic, highest-label push-relabel), the checked MinCutEdges
+// contract, the int32 half-edge overflow guard, and warm-started
+// incremental re-solves via UpdateEdgeCapacity + ResumeMaxFlow.
 
 #include <numeric>
+#include <vector>
 
 #include "gtest/gtest.h"
+#include "qp/check/check.h"
 #include "qp/flow/max_flow.h"
 #include "qp/util/random.h"
 
@@ -16,22 +21,31 @@ TEST(MaxFlow, SingleEdge) {
   net.AddEdge(s, t, 7);
   EXPECT_EQ(net.MaxFlow(s, t), 7);
   auto cut = net.MinCutEdges();
-  ASSERT_EQ(cut.size(), 1u);
+  ASSERT_TRUE(cut.ok()) << cut.status().message();
+  ASSERT_EQ(cut->size(), 1u);
 }
 
-TEST(MaxFlow, ClassicDiamond) {
+TEST(MaxFlow, ClassicDiamondBothBackends) {
   // s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (5).
-  FlowNetwork net;
-  auto s = net.AddNode();
-  auto a = net.AddNode();
-  auto b = net.AddNode();
-  auto t = net.AddNode();
-  net.AddEdge(s, a, 3);
-  net.AddEdge(s, b, 2);
-  net.AddEdge(a, t, 2);
-  net.AddEdge(b, t, 3);
-  net.AddEdge(a, b, 5);
-  EXPECT_EQ(net.MaxFlow(s, t), 5);
+  for (FlowSolver solver :
+       {FlowSolver::kAuto, FlowSolver::kDinic, FlowSolver::kPushRelabel}) {
+    FlowNetwork net;
+    auto s = net.AddNode();
+    auto a = net.AddNode();
+    auto b = net.AddNode();
+    auto t = net.AddNode();
+    net.AddEdge(s, a, 3);
+    net.AddEdge(s, b, 2);
+    net.AddEdge(a, t, 2);
+    net.AddEdge(b, t, 3);
+    net.AddEdge(a, b, 5);
+    EXPECT_EQ(net.MaxFlow(s, t, solver), 5) << FlowSolverName(solver);
+    auto cut = net.MinCutEdges();
+    ASSERT_TRUE(cut.ok()) << cut.status().message();
+    int64_t cut_capacity = 0;
+    for (auto e : *cut) cut_capacity += net.EdgeCapacity(e);
+    EXPECT_EQ(cut_capacity, 5) << FlowSolverName(solver);
+  }
 }
 
 TEST(MaxFlow, DisconnectedIsZero) {
@@ -40,17 +54,22 @@ TEST(MaxFlow, DisconnectedIsZero) {
   auto t = net.AddNode();
   net.AddNode();  // isolated
   EXPECT_EQ(net.MaxFlow(s, t), 0);
-  EXPECT_TRUE(net.MinCutEdges().empty());
+  auto cut = net.MinCutEdges();
+  ASSERT_TRUE(cut.ok());
+  EXPECT_TRUE(cut->empty());
 }
 
 TEST(MaxFlow, InfinitePathIsReportedInfinite) {
-  FlowNetwork net;
-  auto s = net.AddNode();
-  auto m = net.AddNode();
-  auto t = net.AddNode();
-  net.AddEdge(s, m, kInfiniteCapacity);
-  net.AddEdge(m, t, kInfiniteCapacity);
-  EXPECT_EQ(net.MaxFlow(s, t), kInfiniteCapacity);
+  for (FlowSolver solver : {FlowSolver::kDinic, FlowSolver::kPushRelabel}) {
+    FlowNetwork net;
+    auto s = net.AddNode();
+    auto m = net.AddNode();
+    auto t = net.AddNode();
+    net.AddEdge(s, m, kInfiniteCapacity);
+    net.AddEdge(m, t, kInfiniteCapacity);
+    EXPECT_EQ(net.MaxFlow(s, t, solver), kInfiniteCapacity)
+        << FlowSolverName(solver);
+  }
 }
 
 TEST(MaxFlow, MixedFiniteInfinite) {
@@ -63,43 +82,242 @@ TEST(MaxFlow, MixedFiniteInfinite) {
   auto bottleneck = net.AddEdge(m, t, 11);
   EXPECT_EQ(net.MaxFlow(s, t), 11);
   auto cut = net.MinCutEdges();
-  ASSERT_EQ(cut.size(), 1u);
-  EXPECT_EQ(cut[0], bottleneck);
+  ASSERT_TRUE(cut.ok());
+  ASSERT_EQ(cut->size(), 1u);
+  EXPECT_EQ((*cut)[0], bottleneck);
 }
 
-TEST(MaxFlow, MinCutCapacityEqualsFlowOnRandomGraphs) {
-  // Max-flow/min-cut duality checked on random layered graphs.
-  for (uint64_t seed = 1; seed <= 10; ++seed) {
-    Rng rng(seed);
-    FlowNetwork net;
-    auto s = net.AddNode();
-    auto t = net.AddNode();
-    const int layers = 3;
-    const int width = 4;
-    std::vector<std::vector<FlowNetwork::NodeId>> layer(layers);
-    for (int l = 0; l < layers; ++l) {
-      for (int i = 0; i < width; ++i) layer[l].push_back(net.AddNode());
-    }
-    std::vector<int64_t> capacities;
-    for (auto n : layer[0]) net.AddEdge(s, n, rng.NextInRange(1, 10));
-    for (int l = 0; l + 1 < layers; ++l) {
-      for (auto u : layer[l]) {
-        for (auto v : layer[l + 1]) {
-          if (rng.NextBool(0.6)) net.AddEdge(u, v, rng.NextInRange(1, 10));
+TEST(MaxFlow, MinCutBeforeAnyRunIsCheckedError) {
+  FlowNetwork net;
+  auto s = net.AddNode();
+  auto t = net.AddNode();
+  net.AddEdge(s, t, 3);
+  auto cut = net.MinCutEdges();
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MaxFlow, MinCutAfterUnboundedFlowIsCheckedError) {
+  FlowNetwork net;
+  auto s = net.AddNode();
+  auto t = net.AddNode();
+  net.AddEdge(s, t, kInfiniteCapacity);
+  EXPECT_EQ(net.MaxFlow(s, t), kInfiniteCapacity);
+  auto cut = net.MinCutEdges();
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MaxFlow, MinCutWithPendingUpdateIsCheckedError) {
+  FlowNetwork net;
+  auto s = net.AddNode();
+  auto t = net.AddNode();
+  auto e = net.AddEdge(s, t, 3);
+  EXPECT_EQ(net.MaxFlow(s, t), 3);
+  net.UpdateEdgeCapacity(e, 9);
+  // The network is mid-update: the last computed cut is stale.
+  auto cut = net.MinCutEdges();
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kFailedPrecondition);
+  auto resumed = net.ResumeMaxFlow();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(*resumed, 9);
+  cut = net.MinCutEdges();
+  ASSERT_TRUE(cut.ok());
+  ASSERT_EQ(cut->size(), 1u);
+  EXPECT_EQ(net.EdgeCapacity((*cut)[0]), 9);
+}
+
+TEST(MaxFlow, AddEdgeOverflowGuardFires) {
+  // Shrink the int32 half-edge arena to 2 edges (4 half-edges) and prove
+  // the QP_INVARIANT guard trips on the third AddEdge.
+  FlowNetwork::SetHalfEdgeLimitForTesting(4);
+  ScopedCheckLevel level(CheckLevel::kLog);
+  FlowNetwork net;
+  auto s = net.AddNode();
+  auto m = net.AddNode();
+  auto t = net.AddNode();
+  net.AddEdge(s, m, 1);
+  net.AddEdge(m, t, 1);
+  EXPECT_EQ(CheckFailureCount(), 0u);
+  net.AddEdge(s, t, 1);
+  EXPECT_EQ(CheckFailureCount(), 1u);
+  EXPECT_NE(LastCheckFailure().find("overflow"), std::string::npos)
+      << LastCheckFailure();
+  FlowNetwork::SetHalfEdgeLimitForTesting(0);
+}
+
+// Builds a random layered graph, remembering every edge id. Returns the
+// (s, t) pair through the out-params.
+std::vector<FlowNetwork::EdgeId> BuildRandomLayered(
+    Rng& rng, FlowNetwork* net, FlowNetwork::NodeId* s,
+    FlowNetwork::NodeId* t) {
+  std::vector<FlowNetwork::EdgeId> edges;
+  *s = net->AddNode();
+  *t = net->AddNode();
+  const int layers = 3;
+  const int width = 4;
+  std::vector<std::vector<FlowNetwork::NodeId>> layer(layers);
+  for (int l = 0; l < layers; ++l) {
+    for (int i = 0; i < width; ++i) layer[l].push_back(net->AddNode());
+  }
+  for (auto n : layer[0]) {
+    edges.push_back(net->AddEdge(*s, n, rng.NextInRange(1, 10)));
+  }
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (auto u : layer[l]) {
+      for (auto v : layer[l + 1]) {
+        if (rng.NextBool(0.6)) {
+          edges.push_back(net->AddEdge(u, v, rng.NextInRange(1, 10)));
         }
       }
     }
-    for (auto n : layer[layers - 1]) {
-      net.AddEdge(n, t, rng.NextInRange(1, 10));
-    }
-    int64_t flow = net.MaxFlow(s, t);
-    // Duality: the reported min cut's original capacity equals the flow.
-    auto cut = net.MinCutEdges();
-    int64_t cut_capacity = 0;
-    for (auto e : cut) cut_capacity += net.EdgeCapacity(e);
-    EXPECT_EQ(cut_capacity, flow) << "seed=" << seed;
-    EXPECT_EQ(cut.empty(), flow == 0);
   }
+  for (auto n : layer[layers - 1]) {
+    edges.push_back(net->AddEdge(n, *t, rng.NextInRange(1, 10)));
+  }
+  return edges;
+}
+
+TEST(MaxFlow, MinCutCapacityEqualsFlowOnRandomGraphs) {
+  // Max-flow/min-cut duality checked on random layered graphs, per backend.
+  for (FlowSolver solver : {FlowSolver::kDinic, FlowSolver::kPushRelabel}) {
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      Rng rng(seed);
+      FlowNetwork net;
+      FlowNetwork::NodeId s, t;
+      BuildRandomLayered(rng, &net, &s, &t);
+      int64_t flow = net.MaxFlow(s, t, solver);
+      auto cut = net.MinCutEdges();
+      ASSERT_TRUE(cut.ok()) << cut.status().message();
+      int64_t cut_capacity = 0;
+      for (auto e : *cut) cut_capacity += net.EdgeCapacity(e);
+      EXPECT_EQ(cut_capacity, flow)
+          << "seed=" << seed << " solver=" << FlowSolverName(solver);
+      EXPECT_EQ(cut->empty(), flow == 0);
+    }
+  }
+}
+
+TEST(MaxFlow, BackendsAgreeOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng1(seed), rng2(seed);
+    FlowNetwork dinic, push;
+    FlowNetwork::NodeId s1, t1, s2, t2;
+    BuildRandomLayered(rng1, &dinic, &s1, &t1);
+    BuildRandomLayered(rng2, &push, &s2, &t2);
+    EXPECT_EQ(dinic.MaxFlow(s1, t1, FlowSolver::kDinic),
+              push.MaxFlow(s2, t2, FlowSolver::kPushRelabel))
+        << "seed=" << seed;
+  }
+}
+
+TEST(MaxFlow, WarmResumeMatchesColdAfterRandomUpdates) {
+  // Apply k random capacity updates (increases and decreases, including
+  // to/from zero), resume the warm flow, and check it matches a cold
+  // solve of the final capacities — plus cut duality on the warm state.
+  for (FlowSolver solver : {FlowSolver::kDinic, FlowSolver::kPushRelabel}) {
+    for (uint64_t seed = 1; seed <= 15; ++seed) {
+      Rng rng(seed);
+      FlowNetwork warm;
+      FlowNetwork::NodeId s, t;
+      auto edges = BuildRandomLayered(rng, &warm, &s, &t);
+      warm.MaxFlow(s, t, solver);
+
+      std::vector<int64_t> final_caps(edges.size());
+      for (size_t i = 0; i < edges.size(); ++i) {
+        final_caps[i] = warm.EdgeCapacity(edges[i]);
+      }
+      const int updates = static_cast<int>(rng.NextInRange(1, 6));
+      for (int u = 0; u < updates; ++u) {
+        size_t pick = static_cast<size_t>(
+            rng.NextInRange(0, static_cast<int64_t>(edges.size()) - 1));
+        int64_t cap = rng.NextInRange(0, 12);
+        warm.UpdateEdgeCapacity(edges[pick], cap);
+        final_caps[pick] = cap;
+      }
+      auto resumed = warm.ResumeMaxFlow();
+      ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+
+      Rng rng_cold(seed);
+      FlowNetwork cold;
+      FlowNetwork::NodeId cs, ct;
+      auto cold_edges = BuildRandomLayered(rng_cold, &cold, &cs, &ct);
+      ASSERT_EQ(cold_edges.size(), edges.size());
+      for (size_t i = 0; i < cold_edges.size(); ++i) {
+        cold.UpdateEdgeCapacity(cold_edges[i], final_caps[i]);
+      }
+      int64_t cold_flow = cold.MaxFlow(cs, ct, solver);
+      EXPECT_EQ(*resumed, cold_flow)
+          << "seed=" << seed << " solver=" << FlowSolverName(solver);
+
+      auto cut = warm.MinCutEdges();
+      ASSERT_TRUE(cut.ok()) << cut.status().message();
+      int64_t cut_capacity = 0;
+      for (auto e : *cut) cut_capacity += warm.EdgeCapacity(e);
+      EXPECT_EQ(cut_capacity, *resumed) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(MaxFlow, RepeatedWarmResumesStayConsistent) {
+  // A long chain of update+resume cycles on one network must track the
+  // cold price at every step (this is the DynamicPricer usage pattern).
+  Rng rng(7);
+  FlowNetwork warm;
+  FlowNetwork::NodeId s, t;
+  auto edges = BuildRandomLayered(rng, &warm, &s, &t);
+  warm.MaxFlow(s, t);
+  std::vector<int64_t> caps(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    caps[i] = warm.EdgeCapacity(edges[i]);
+  }
+  for (int round = 0; round < 25; ++round) {
+    size_t pick = static_cast<size_t>(
+        rng.NextInRange(0, static_cast<int64_t>(edges.size()) - 1));
+    caps[pick] = rng.NextInRange(0, 12);
+    warm.UpdateEdgeCapacity(edges[pick], caps[pick]);
+    auto resumed = warm.ResumeMaxFlow();
+    ASSERT_TRUE(resumed.ok());
+
+    Rng rng_cold(7);
+    FlowNetwork cold;
+    FlowNetwork::NodeId cs, ct;
+    auto cold_edges = BuildRandomLayered(rng_cold, &cold, &cs, &ct);
+    for (size_t i = 0; i < cold_edges.size(); ++i) {
+      cold.UpdateEdgeCapacity(cold_edges[i], caps[i]);
+    }
+    EXPECT_EQ(*resumed, cold.MaxFlow(cs, ct)) << "round=" << round;
+  }
+}
+
+TEST(MaxFlow, WarmResumeAcrossInfiniteCapacityFlips) {
+  // The incremental chain state flips family edges between 0 and infinite
+  // capacity; an unbounded intermediate state must recover once the
+  // capacity drops back to finite.
+  FlowNetwork net;
+  auto s = net.AddNode();
+  auto m = net.AddNode();
+  auto t = net.AddNode();
+  auto top = net.AddEdge(s, m, 5);
+  auto bottom = net.AddEdge(m, t, 0);
+  EXPECT_EQ(net.MaxFlow(s, t), 0);
+  net.UpdateEdgeCapacity(bottom, kInfiniteCapacity);
+  auto resumed = net.ResumeMaxFlow();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(*resumed, 5);
+  net.UpdateEdgeCapacity(top, kInfiniteCapacity);
+  resumed = net.ResumeMaxFlow();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(*resumed, kInfiniteCapacity);
+  net.UpdateEdgeCapacity(top, 3);
+  resumed = net.ResumeMaxFlow();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(*resumed, 3);
+  auto cut = net.MinCutEdges();
+  ASSERT_TRUE(cut.ok());
+  ASSERT_EQ(cut->size(), 1u);
+  EXPECT_EQ((*cut)[0], top);
 }
 
 }  // namespace

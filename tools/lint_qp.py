@@ -17,6 +17,11 @@ Enforces repo conventions that clang-tidy cannot express:
                      dropped as a bare statement.
   header-guard       Include guards must be QP_<PATH>_H_ derived from the
                      header's path under src/.
+  flow-builder       Solver code (src/qp/pricing/) must not construct a
+                     FlowNetwork directly; graphs go through
+                     FlowGraphBuilder (qp/flow/graph_builder.h) so every
+                     edge carries a FlowEdgeTag and cut extraction cannot
+                     silently desynchronize from the edge layout.
 
 A line carrying `// NOLINT(<rule>)` is exempt from that rule (for the
 rare true negative, e.g. a void method that shares a name with a
@@ -199,12 +204,34 @@ def check_header_guard(path, lines, findings):
              f"guard {guard} missing #define or '#endif  // {guard}' trailer"))
 
 
+def check_flow_builder(path, lines, findings):
+    if f"{os.sep}pricing{os.sep}" not in path:
+        return
+    # Declaring a FlowNetwork value/member (or make_unique'ing one) in
+    # solver code bypasses the tag bookkeeping of FlowGraphBuilder.
+    pattern = re.compile(
+        r"\bFlowNetwork\s+\w+|\bmake_unique<\s*FlowNetwork\s*>|"
+        r"\bnew\s+FlowNetwork\b")
+    for lineno, (line, in_comment) in enumerate(in_block_comment_mask(lines), 1):
+        if in_comment:
+            continue
+        if "NOLINT(flow-builder)" in line:
+            continue
+        code = strip_strings_and_comments(line)
+        if pattern.search(code):
+            findings.append(
+                (path, lineno, "flow-builder",
+                 "solvers must build flow graphs through FlowGraphBuilder "
+                 "(qp/flow/graph_builder.h), not a raw FlowNetwork"))
+
+
 CHECKS = (
     check_no_assert,
     check_money_float,
     check_quote_cache_lock,
     check_unchecked_status,
     check_header_guard,
+    check_flow_builder,
 )
 
 

@@ -112,6 +112,19 @@ int Run(int instances, uint64_t seed, int64_t deadline_ms) {
     return 1;
   }
   std::printf("%s\n", report->Summary().c_str());
+  // Flow-kernel axis: Dinic vs push-relabel vs warm-start-after-k-updates
+  // on randomized chain/star/cycle instances (always unbudgeted — the warm
+  // path is never taken under a serving budget).
+  std::printf(
+      "qp_selfcheck: %d flow-backend instances "
+      "(dinic / push-relabel / warm-start)...\n",
+      instances);
+  auto flow_report = CrossValidateFlowBackends(instances, seed);
+  if (!flow_report.ok()) {
+    std::printf("FAILED: %s\n", flow_report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", flow_report->Summary().c_str());
   uint64_t invariant_failures = CheckFailureCount();
   if (invariant_failures > 0) {
     std::printf("FAILED: %llu invariant violations (last: %s)\n",
@@ -119,7 +132,7 @@ int Run(int instances, uint64_t seed, int64_t deadline_ms) {
                 LastCheckFailure().c_str());
     return 1;
   }
-  if (!report->ok()) return 1;
+  if (!report->ok() || !flow_report->ok()) return 1;
   std::printf("OK\n");
   return 0;
 }
