@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "qp/util/thread_annotations.h"
 
 namespace qp {
 namespace {
@@ -14,10 +15,12 @@ constexpr int kUninitialized = -1;
 std::atomic<int> g_level{kUninitialized};
 std::atomic<uint64_t> g_failures{0};
 
-std::mutex g_last_failure_mu;
-std::string& LastFailureStorage() {
-  static std::string* storage = new std::string();
-  return *storage;
+Mutex g_last_failure_mu;
+std::string* g_last_failure QP_GUARDED_BY(g_last_failure_mu) = nullptr;
+
+std::string& LastFailureStorage() QP_REQUIRES(g_last_failure_mu) {
+  if (g_last_failure == nullptr) g_last_failure = new std::string();
+  return *g_last_failure;
 }
 
 int LevelFromEnv() {
@@ -53,13 +56,13 @@ uint64_t CheckFailureCount() {
 }
 
 std::string LastCheckFailure() {
-  std::lock_guard<std::mutex> lock(g_last_failure_mu);
+  MutexLock lock(&g_last_failure_mu);
   return LastFailureStorage();
 }
 
 void ResetCheckFailures() {
   g_failures.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(g_last_failure_mu);
+  MutexLock lock(&g_last_failure_mu);
   LastFailureStorage().clear();
 }
 
@@ -84,7 +87,7 @@ void ReportFailure(const char* kind, const char* condition, const char* file,
                         detail;
   g_failures.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(g_last_failure_mu);
+    MutexLock lock(&g_last_failure_mu);
     LastFailureStorage() = message;
   }
   std::fprintf(stderr, "%s\n", message.c_str());

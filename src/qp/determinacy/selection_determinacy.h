@@ -4,7 +4,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "qp/pricing/price_points.h"
+#include "qp/query/selection_view.h"
 #include "qp/query/query.h"
 #include "qp/relational/instance.h"
 #include "qp/util/result.h"

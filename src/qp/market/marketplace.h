@@ -32,6 +32,13 @@ struct Receipt {
 /// The marketplace: fronts one seller's offering, quotes arbitrage-free
 /// prices for ad-hoc queries (the capability current marketplaces lack,
 /// per Section 1), executes purchases and keeps a ledger.
+///
+/// Threading contract (DESIGN.md §13): externally synchronized — a
+/// Marketplace is a single-owner object with no internal lock of its
+/// own; concurrent calls on one instance require the caller to
+/// serialize. Internally it *uses* thread-safe components: QuoteBatch
+/// fans out through BatchPricer/ThreadPool and the quote cache is safe
+/// under that internal concurrency, but the public API is not.
 class Marketplace {
  public:
   /// Serving-path knobs shared by Quote/QuoteBatch/Purchase.

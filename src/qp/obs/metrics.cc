@@ -109,7 +109,7 @@ MetricsRegistry::Stripe& MetricsRegistry::StripeFor(std::string_view name) {
 
 MetricCounter* MetricsRegistry::GetCounter(std::string_view name) {
   Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   auto& slot = stripe.counters[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<MetricCounter>();
   return slot.get();
@@ -117,7 +117,7 @@ MetricCounter* MetricsRegistry::GetCounter(std::string_view name) {
 
 MetricGauge* MetricsRegistry::GetGauge(std::string_view name) {
   Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   auto& slot = stripe.gauges[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<MetricGauge>();
   return slot.get();
@@ -125,7 +125,7 @@ MetricGauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 MetricHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
   Stripe& stripe = StripeFor(name);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   auto& slot = stripe.histograms[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<MetricHistogram>();
   return slot.get();
@@ -134,7 +134,7 @@ MetricHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     for (const auto& [name, counter] : stripe.counters) {
       snapshot.counters.push_back(CounterSample{name, counter->Value()});
     }
@@ -156,7 +156,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 
 void MetricsRegistry::Reset() {
   for (Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     for (auto& [name, counter] : stripe.counters) counter->Reset();
     for (auto& [name, gauge] : stripe.gauges) gauge->Reset();
     for (auto& [name, hist] : stripe.histograms) hist->Reset();

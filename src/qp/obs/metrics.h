@@ -6,11 +6,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "qp/util/thread_annotations.h"
 
 namespace qp {
 
@@ -164,11 +165,13 @@ class MetricsRegistry {
   static constexpr size_t kStripes = 16;
 
   struct Stripe {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, std::unique_ptr<MetricCounter>> counters;
-    std::unordered_map<std::string, std::unique_ptr<MetricGauge>> gauges;
+    mutable Mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<MetricCounter>> counters
+        QP_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::unique_ptr<MetricGauge>> gauges
+        QP_GUARDED_BY(mu);
     std::unordered_map<std::string, std::unique_ptr<MetricHistogram>>
-        histograms;
+        histograms QP_GUARDED_BY(mu);
   };
 
   Stripe& StripeFor(std::string_view name);

@@ -4,7 +4,7 @@
 #include <chrono>
 #include <string>
 
-#include "qp/check/invariants.h"
+#include "qp/pricing/invariants.h"
 #include "qp/obs/metrics.h"
 #include "qp/util/thread_pool.h"
 
@@ -20,7 +20,7 @@ BatchPricer::BatchPricer(const PricingEngine* engine,
       admission_cap_(options.admission_cap) {}
 
 bool BatchPricer::pool_initialized() const {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   return pool_ != nullptr;
 }
 
@@ -82,7 +82,7 @@ std::vector<Result<PriceQuote>> BatchPricer::PriceAll(
   // Persistent pool, built on first parallel batch and reused after: a
   // fresh pool per batch charged worker startup to every batch's
   // qp.batch.queue_wait_ns. Concurrent PriceAll calls serialize here.
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   if (pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(num_threads_);
   }

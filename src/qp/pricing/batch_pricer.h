@@ -3,13 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "qp/pricing/engine.h"
 #include "qp/pricing/quote_cache.h"
 #include "qp/util/result.h"
 #include "qp/util/search_budget.h"
+#include "qp/util/thread_annotations.h"
 #include "qp/util/thread_pool.h"
 
 namespace qp {
@@ -61,17 +61,17 @@ class BatchPricer {
   bool pool_initialized() const;
 
  private:
-  const PricingEngine* engine_;
-  QuoteCache* cache_;
-  int num_threads_;
-  int64_t deadline_ms_;
-  int admission_cap_;
+  const PricingEngine* const engine_;
+  QuoteCache* const cache_;
+  const int num_threads_;
+  const int64_t deadline_ms_;
+  const int admission_cap_;
   /// Lazily-built persistent pool, reused across PriceAll calls so worker
   /// startup cost and queue-wait measurements aren't polluted by pool
   /// construction. Guarded by `pool_mu_`; concurrent PriceAll calls on one
   /// pricer serialize on it.
-  mutable std::mutex pool_mu_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable Mutex pool_mu_;
+  mutable std::unique_ptr<ThreadPool> pool_ QP_GUARDED_BY(pool_mu_);
 };
 
 }  // namespace qp

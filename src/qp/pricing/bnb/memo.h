@@ -2,11 +2,11 @@
 #define QP_PRICING_BNB_MEMO_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "qp/pricing/bnb/bitset.h"
+#include "qp/util/thread_annotations.h"
 
 namespace qp::bnb {
 
@@ -19,7 +19,7 @@ class CoverageMemo {
  public:
   std::optional<bool> Lookup(const Bitset& key) const {
     const Stripe& stripe = stripes_[StripeOf(key)];
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     auto it = stripe.map.find(key);
     if (it == stripe.map.end()) return std::nullopt;
     return it->second;
@@ -27,14 +27,14 @@ class CoverageMemo {
 
   void Insert(const Bitset& key, bool determined) {
     Stripe& stripe = stripes_[StripeOf(key)];
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     stripe.map.emplace(key, determined);
   }
 
   size_t Size() const {
     size_t n = 0;
     for (const Stripe& stripe : stripes_) {
-      std::lock_guard<std::mutex> lock(stripe.mu);
+      MutexLock lock(&stripe.mu);
       n += stripe.map.size();
     }
     return n;
@@ -44,8 +44,8 @@ class CoverageMemo {
   static constexpr size_t kStripes = 16;
 
   struct Stripe {
-    mutable std::mutex mu;
-    std::unordered_map<Bitset, bool, BitsetHasher> map;
+    mutable Mutex mu;
+    std::unordered_map<Bitset, bool, BitsetHasher> map QP_GUARDED_BY(mu);
   };
 
   static size_t StripeOf(const Bitset& key) { return key.Hash() % kStripes; }

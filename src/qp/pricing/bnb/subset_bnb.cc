@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <utility>
 
 #include "qp/pricing/bnb/bounds.h"
 #include "qp/pricing/bnb/memo.h"
+#include "qp/util/thread_annotations.h"
 #include "qp/util/thread_pool.h"
 
 namespace qp::bnb {
@@ -84,7 +84,7 @@ class Solver {
     // (Dominance preserves this: every dominated item's coverage is
     // contained in a surviving dominator's.)
     bool all_feasible = Determined(suffix_or_[0]);
-    if (!error_.ok()) return error_;
+    if (Status err = CurrentError(); !err.ok()) return err;
     if (!all_feasible) {
       result.found = false;
       FillStats(0);
@@ -92,15 +92,15 @@ class Solver {
     }
 
     ProbeRequiredCells();
-    if (!error_.ok()) return error_;
+    if (Status err = CurrentError(); !err.ok()) return err;
     BuildRequiredCellItems();
     SeedGreedyUpperBound();
-    if (!error_.ok()) return error_;
+    if (Status err = CurrentError(); !err.ok()) return err;
 
     int64_t tasks = RunSearch();
-    if (!error_.ok()) return error_;
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    if (!error_.ok()) return error_;
     result.aborted = aborted_.load(std::memory_order_relaxed);
     FillStats(tasks);
     if (result.aborted) {
@@ -166,10 +166,17 @@ class Solver {
     return *r;
   }
 
-  void LatchError(Status status) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void LatchError(Status status) QP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (error_.ok()) error_ = std::move(status);
     aborted_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Locked copy of the latched error for the sequential phases; the
+  /// parallel search never reads it (workers poll `aborted_` instead).
+  Status CurrentError() QP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return error_;
   }
 
   /// A cell is required iff dropping it from the full coverage breaks
@@ -186,7 +193,7 @@ class Solver {
       probe = all;
       probe.Reset(cell);
       bool det = Determined(probe);
-      if (!error_.ok()) return;
+      if (!CurrentError().ok()) return;
       if (!det) {
         required_.Set(cell);  // void bit set  NOLINT(unchecked-status)
         required_cell_ids_.push_back(cell);
@@ -219,7 +226,7 @@ class Solver {
     std::vector<char> picked(m_, 0);
     while (true) {
       bool det = Determined(g);
-      if (!error_.ok()) return;
+      if (!CurrentError().ok()) return;
       if (det) {
         best_.store(cost, std::memory_order_relaxed);
         greedy_cost_ = cost;
@@ -282,8 +289,8 @@ class Solver {
         &ctx.lb_stamp, ctx.lb_epoch);
   }
 
-  void TryAccept(Money cost, const Bitset& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void TryAccept(Money cost, const Bitset& key) QP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     Money cur = best_.load(std::memory_order_relaxed);
     if (cost > cur) return;
     if (cost == cur && have_incumbent_ &&
@@ -390,9 +397,12 @@ class Solver {
   const size_t num_cells_;
   const CoverageDeterminacyFn& oracle_;
   const SubsetBnbOptions& options_;
-  SubsetBnbStats* stats_;
+  SubsetBnbStats* const stats_;
 
-  // Frozen before the parallel phase.
+  // Frozen before the parallel phase: written only while the search is
+  // still single-threaded, read-only once workers exist, so deliberately
+  // unguarded (guarding them would serialize the read-mostly hot path).
+  // NOLINTBEGIN(guarded-by-coverage)
   size_t m_ = 0;
   std::vector<int> original_index_;
   std::vector<Money> weights_;
@@ -409,9 +419,10 @@ class Solver {
   // Budget-abort fallback: the greedy seed cover, in original item ids.
   Money greedy_cost_ = kInfiniteMoney;
   std::vector<int> greedy_chosen_;
+  // NOLINTEND(guarded-by-coverage)
 
   // Shared search state.
-  CoverageMemo memo_;
+  CoverageMemo memo_;  // internally synchronized  NOLINT(guarded-by-coverage)
   std::atomic<Money> best_{kInfiniteMoney};
   std::atomic<int64_t> nodes_{0};
   std::atomic<bool> aborted_{false};
@@ -420,10 +431,10 @@ class Solver {
   std::atomic<int64_t> memo_hits_{0};
   std::atomic<int64_t> bound_pruned_{0};
   std::atomic<int64_t> infeasible_pruned_{0};
-  std::mutex mu_;
-  bool have_incumbent_ = false;
-  Bitset incumbent_key_;
-  Status error_ = Status::Ok();
+  Mutex mu_;
+  bool have_incumbent_ QP_GUARDED_BY(mu_) = false;
+  Bitset incumbent_key_ QP_GUARDED_BY(mu_);
+  Status error_ QP_GUARDED_BY(mu_) = Status::Ok();
 };
 
 }  // namespace

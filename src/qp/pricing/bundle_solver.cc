@@ -6,7 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "qp/check/invariants.h"
+#include "qp/pricing/invariants.h"
 #include "qp/flow/graph_builder.h"
 #include "qp/obs/metrics.h"
 #include "qp/query/analysis.h"

@@ -5,7 +5,7 @@
 #include <set>
 #include <utility>
 
-#include "qp/check/invariants.h"
+#include "qp/pricing/invariants.h"
 #include "qp/obs/metrics.h"
 #include "qp/pricing/incremental_chain.h"
 

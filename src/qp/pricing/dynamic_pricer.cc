@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "qp/check/invariants.h"
+#include "qp/pricing/invariants.h"
 #include "qp/obs/metrics.h"
 #include "qp/pricing/batch_pricer.h"
 

@@ -40,6 +40,12 @@ namespace qp {
 /// (Proposition 2.22) and consistency, once established, is preserved
 /// (Proposition 2.23). `MonotonicityGuaranteed` reports whether the
 /// guarantee applies to a given query.
+///
+/// Threading contract (DESIGN.md §13): externally synchronized. The
+/// pricer mutates the database and its own watch/warm state on Insert/
+/// Reprice, so exactly one thread may drive an instance at a time (its
+/// internal reprice_threads parallelism is self-contained). No internal
+/// lock, hence no capability annotations here.
 class DynamicPricer {
  public:
   /// `db` and `prices` must outlive the pricer. The pricer mutates `db`

@@ -4,7 +4,7 @@
 #include <map>
 #include <set>
 
-#include "qp/check/invariants.h"
+#include "qp/pricing/invariants.h"
 #include "qp/determinacy/selection_determinacy.h"
 #include "qp/eval/evaluator.h"
 #include "qp/obs/metrics.h"

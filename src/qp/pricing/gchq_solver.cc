@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <set>
 
-#include "qp/check/invariants.h"
+#include "qp/pricing/invariants.h"
 #include "qp/flow/graph_builder.h"
 #include "qp/obs/metrics.h"
 

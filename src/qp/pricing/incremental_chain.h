@@ -32,6 +32,11 @@ namespace qp {
 /// for inserts routed through InsertLinkPair. Deletions or out-of-band
 /// instance changes require a rebuild (DynamicPricer keys validity on
 /// per-relation generation counters).
+///
+/// Threading contract (DESIGN.md §13): externally synchronized — owned
+/// and driven by one thread at a time (in practice its owning
+/// DynamicPricer watch entry). The underlying flow arena is resumable
+/// but not concurrent; no internal lock, no capability annotations.
 class IncrementalChainState {
  public:
   /// Builds the graph and runs the cold solve. Fails only if the

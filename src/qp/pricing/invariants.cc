@@ -1,4 +1,4 @@
-#include "qp/check/invariants.h"
+#include "qp/pricing/invariants.h"
 
 #include <algorithm>
 #include <string>

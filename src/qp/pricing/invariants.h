@@ -1,5 +1,5 @@
-#ifndef QP_CHECK_INVARIANTS_H_
-#define QP_CHECK_INVARIANTS_H_
+#ifndef QP_PRICING_INVARIANTS_H_
+#define QP_PRICING_INVARIANTS_H_
 
 #include <vector>
 
@@ -78,4 +78,4 @@ PricingSolution DeterminingCoverSolution(const Catalog& catalog,
 
 }  // namespace qp
 
-#endif  // QP_CHECK_INVARIANTS_H_
+#endif  // QP_PRICING_INVARIANTS_H_

@@ -4,12 +4,6 @@
 
 namespace qp {
 
-std::string SelectionViewToString(const Catalog& catalog,
-                                  const SelectionView& view) {
-  return "σ" + catalog.schema().AttrToString(view.attr) + "=" +
-         catalog.dict().Get(view.value).ToString();
-}
-
 Status SelectionPriceSet::Set(SelectionView view, Money price) {
   if (price < 0) {
     return Status::InvalidArgument("price points must be non-negative");

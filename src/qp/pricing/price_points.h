@@ -7,36 +7,11 @@
 
 #include "qp/pricing/money.h"
 #include "qp/query/query.h"
+#include "qp/query/selection_view.h"
 #include "qp/relational/catalog.h"
 #include "qp/util/result.h"
 
 namespace qp {
-
-/// A selection view σ_{R.X=a} (Section 3 "The Views"): all tuples of
-/// relation R whose attribute X equals the constant a.
-struct SelectionView {
-  AttrRef attr;
-  ValueId value = 0;
-
-  bool operator==(const SelectionView& other) const {
-    return attr == other.attr && value == other.value;
-  }
-  bool operator<(const SelectionView& other) const {
-    if (!(attr == other.attr)) return attr < other.attr;
-    return value < other.value;
-  }
-};
-
-struct SelectionViewHasher {
-  size_t operator()(const SelectionView& v) const {
-    return HashCombine(AttrRefHasher{}(v.attr),
-                       static_cast<size_t>(v.value));
-  }
-};
-
-/// "σR.X='WA'" display form.
-std::string SelectionViewToString(const Catalog& catalog,
-                                  const SelectionView& view);
 
 /// The seller's explicit price points restricted to selection views:
 /// a partial function p : Σ -> Money (Section 3). Views without an explicit

@@ -6,7 +6,7 @@ namespace qp {
 
 std::optional<PriceQuote> QuoteCache::Lookup(const std::string& fingerprint,
                                              const Instance& db) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -35,7 +35,7 @@ void QuoteCache::Store(const std::string& fingerprint,
   for (RelationId rel : query.ReferencedRelations()) {
     entry.deps.emplace_back(rel, db.generation(rel));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_[fingerprint] = std::move(entry);
   ++stats_.insertions;
   QP_METRIC_INCR("qp.cache.insertions");
@@ -43,7 +43,7 @@ void QuoteCache::Store(const std::string& fingerprint,
 }
 
 void QuoteCache::Evict(const std::string& fingerprint) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (entries_.erase(fingerprint) > 0) {
     ++stats_.evictions;
     QP_METRIC_INCR("qp.cache.evictions");
@@ -52,18 +52,18 @@ void QuoteCache::Evict(const std::string& fingerprint) {
 }
 
 void QuoteCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.clear();
   QP_METRIC_GAUGE_SET("qp.cache.size", 0);
 }
 
 size_t QuoteCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 
 QuoteCacheStats QuoteCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -2,7 +2,6 @@
 #define QP_PRICING_QUOTE_CACHE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -12,6 +11,7 @@
 #include "qp/pricing/engine.h"
 #include "qp/query/query.h"
 #include "qp/relational/instance.h"
+#include "qp/util/thread_annotations.h"
 
 namespace qp {
 
@@ -69,9 +69,9 @@ class QuoteCache {
     std::vector<std::pair<RelationId, uint64_t>> deps;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  QuoteCacheStats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Entry> entries_ QP_GUARDED_BY(mu_);
+  QuoteCacheStats stats_ QP_GUARDED_BY(mu_);
 };
 
 }  // namespace qp

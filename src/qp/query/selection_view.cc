@@ -1,0 +1,11 @@
+#include "qp/query/selection_view.h"
+
+namespace qp {
+
+std::string SelectionViewToString(const Catalog& catalog,
+                                  const SelectionView& view) {
+  return "σ" + catalog.schema().AttrToString(view.attr) + "=" +
+         catalog.dict().Get(view.value).ToString();
+}
+
+}  // namespace qp

@@ -1,0 +1,42 @@
+#ifndef QP_QUERY_SELECTION_VIEW_H_
+#define QP_QUERY_SELECTION_VIEW_H_
+
+#include <string>
+
+#include "qp/relational/catalog.h"
+#include "qp/util/hash.h"
+
+namespace qp {
+
+/// A selection view σ_{R.X=a} (Section 3 "The Views"): all tuples of
+/// relation R whose attribute X equals the constant a. The view *identity*
+/// lives here in the query layer — determinacy reasons about which views a
+/// buyer holds without knowing what they cost; the seller's price map over
+/// these views is qp/pricing/price_points.h.
+struct SelectionView {
+  AttrRef attr;
+  ValueId value = 0;
+
+  bool operator==(const SelectionView& other) const {
+    return attr == other.attr && value == other.value;
+  }
+  bool operator<(const SelectionView& other) const {
+    if (!(attr == other.attr)) return attr < other.attr;
+    return value < other.value;
+  }
+};
+
+struct SelectionViewHasher {
+  size_t operator()(const SelectionView& v) const {
+    return HashCombine(AttrRefHasher{}(v.attr),
+                       static_cast<size_t>(v.value));
+  }
+};
+
+/// "σR.X='WA'" display form.
+std::string SelectionViewToString(const Catalog& catalog,
+                                  const SelectionView& view);
+
+}  // namespace qp
+
+#endif  // QP_QUERY_SELECTION_VIEW_H_

@@ -1,4 +1,4 @@
-#include "qp/check/cross_solver.h"
+#include "qp/selfcheck/cross_solver.h"
 
 #include <algorithm>
 #include <chrono>
@@ -6,7 +6,7 @@
 #include <set>
 #include <utility>
 
-#include "qp/check/invariants.h"
+#include "qp/pricing/invariants.h"
 #include "qp/determinacy/selection_determinacy.h"
 #include "qp/pricing/incremental_pricer.h"
 #include "qp/util/random.h"

@@ -1,5 +1,5 @@
-#ifndef QP_CHECK_CROSS_SOLVER_H_
-#define QP_CHECK_CROSS_SOLVER_H_
+#ifndef QP_SELFCHECK_CROSS_SOLVER_H_
+#define QP_SELFCHECK_CROSS_SOLVER_H_
 
 #include <string>
 #include <vector>
@@ -123,4 +123,4 @@ ConjunctiveQuery AtomPrefixQuery(const ConjunctiveQuery& q, int num_atoms);
 
 }  // namespace qp
 
-#endif  // QP_CHECK_CROSS_SOLVER_H_
+#endif  // QP_SELFCHECK_CROSS_SOLVER_H_

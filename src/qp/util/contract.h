@@ -1,0 +1,43 @@
+#ifndef QP_UTIL_CONTRACT_H_
+#define QP_UTIL_CONTRACT_H_
+
+#include <string>
+
+// Dependency-inversion seam for contracts stated inside qp/util itself.
+//
+// qp/util is the bottom code layer (tools/check_layering.py), so it cannot
+// include qp/check/check.h — yet Result's hard contracts (no OK status
+// without a value, no value() on an error) must go through the same
+// QP_CHECK_LEVEL machinery as every other contract in the tree. This
+// header declares that machinery's entry points; qp/check/check.cc
+// provides the definitions, and the static library links the seam shut.
+// QP_CONTRACT_ASSERT expands exactly like QP_ASSERT (qp/check/check.h) —
+// the two redeclarations below must stay signature-identical with it.
+//
+// Everything outside qp/util keeps using QP_ASSERT / QP_INVARIANT.
+
+namespace qp {
+namespace check_internal {
+
+/// True when checks should run (QP_CHECK_LEVEL != off). Defined in
+/// qp/check/check.cc.
+bool CheckEnabled();
+
+/// Records one failed check (log + count, abort at level kAbort). Defined
+/// in qp/check/check.cc.
+void ReportFailure(const char* kind, const char* condition, const char* file,
+                   int line, const std::string& detail);
+
+}  // namespace check_internal
+}  // namespace qp
+
+/// QP_ASSERT for the util layer: identical semantics, lower-layer header.
+#define QP_CONTRACT_ASSERT(cond, detail)                                   \
+  do {                                                                     \
+    if (::qp::check_internal::CheckEnabled() && !(cond)) {                 \
+      ::qp::check_internal::ReportFailure("QP_ASSERT", #cond, __FILE__,    \
+                                          __LINE__, (detail));             \
+    }                                                                      \
+  } while (0)
+
+#endif  // QP_UTIL_CONTRACT_H_

@@ -4,7 +4,7 @@
 #include <optional>
 #include <utility>
 
-#include "qp/check/check.h"
+#include "qp/util/contract.h"
 #include "qp/util/status.h"
 
 namespace qp {
@@ -20,7 +20,7 @@ class Result {
  public:
   /// Implicit construction from an error status. The status must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    QP_ASSERT(!status_.ok(),
+    QP_CONTRACT_ASSERT(!status_.ok(),
               "Result constructed from OK status without a value");
   }
   /// Implicit construction from a value.
@@ -30,15 +30,15 @@ class Result {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    QP_ASSERT(ok(), "value() called on error Result: " + status_.ToString());
+    QP_CONTRACT_ASSERT(ok(), "value() called on error Result: " + status_.ToString());
     return *value_;
   }
   T& value() & {
-    QP_ASSERT(ok(), "value() called on error Result: " + status_.ToString());
+    QP_CONTRACT_ASSERT(ok(), "value() called on error Result: " + status_.ToString());
     return *value_;
   }
   T&& value() && {
-    QP_ASSERT(ok(), "value() called on error Result: " + status_.ToString());
+    QP_CONTRACT_ASSERT(ok(), "value() called on error Result: " + status_.ToString());
     return std::move(*value_);
   }
 

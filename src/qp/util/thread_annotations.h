@@ -1,0 +1,163 @@
+#ifndef QP_UTIL_THREAD_ANNOTATIONS_H_
+#define QP_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis for the qp codebase, plus the annotated
+// mutex wrappers every concurrent subsystem locks through.
+//
+// The macros compile to Clang `thread_safety` attributes under Clang and
+// to nothing elsewhere, so GCC builds are unaffected while a Clang build
+// with -Wthread-safety -Werror proves the lock discipline at compile
+// time: a read or write of a QP_GUARDED_BY(mu) member outside a scope
+// that holds `mu` is a build error, not a TSan-if-the-test-hits-it race.
+//
+// Annotate state, not code paths:
+//
+//   class QP_CAPABILITY("mutex") ... is provided here as qp::Mutex.
+//
+//   class Cache {
+//    private:
+//     mutable qp::Mutex mu_;
+//     std::unordered_map<K, V> entries_ QP_GUARDED_BY(mu_);
+//   };
+//
+//   void Cache::Insert(...) {
+//     qp::MutexLock lock(&mu_);   // scoped acquire, RAII release
+//     entries_[k] = v;            // OK: mu_ held
+//   }
+//
+// Functions that require a lock already held take QP_REQUIRES(mu_);
+// functions that must not be called with it held take QP_EXCLUDES(mu_).
+// QP_NO_THREAD_SAFETY_ANALYSIS is the escape hatch of last resort and
+// needs a comment explaining why the analysis cannot see the invariant
+// (policy: DESIGN.md §13).
+//
+// This is the only file in the tree allowed to name std::mutex /
+// std::lock_guard / std::condition_variable; tools/lint_qp.py (raw-mutex)
+// enforces that everything else goes through qp::Mutex.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define QP_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define QP_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define QP_CAPABILITY(x) QP_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares a RAII class whose lifetime scopes a capability.
+#define QP_SCOPED_CAPABILITY QP_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Member data protected by the given capability.
+#define QP_GUARDED_BY(x) QP_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define QP_PT_GUARDED_BY(x) QP_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// The function must be called with the capability held (and does not
+/// release it).
+#define QP_REQUIRES(...) \
+  QP_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// The function must be called with the capability held in shared mode.
+#define QP_REQUIRES_SHARED(...) \
+  QP_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (its own `this` when empty).
+#define QP_ACQUIRE(...) \
+  QP_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability.
+#define QP_RELEASE(...) \
+  QP_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define QP_TRY_ACQUIRE(b, ...) \
+  QP_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(b, __VA_ARGS__))
+
+/// The function must be called with the capability NOT held.
+#define QP_EXCLUDES(...) \
+  QP_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define QP_ASSERT_CAPABILITY(x) \
+  QP_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define QP_RETURN_CAPABILITY(x) QP_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Last-resort opt-out; every use needs a justifying comment (DESIGN §13).
+#define QP_NO_THREAD_SAFETY_ANALYSIS \
+  QP_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace qp {
+
+/// An annotated exclusive mutex. A thin wrapper over std::mutex — Lock()
+/// and Unlock() inline to the std::mutex calls, so it costs exactly what
+/// std::mutex costs — whose capability attributes let Clang check every
+/// QP_GUARDED_BY member access against the locks actually held.
+class QP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() QP_ACQUIRE() { mu_.lock(); }
+  void Unlock() QP_RELEASE() { mu_.unlock(); }
+  bool TryLock() QP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// For contracts the analysis cannot derive (e.g. a lock handed across
+  /// a task boundary): tells the analysis the capability is held here.
+  void AssertHeld() const QP_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock with std::lock_guard semantics (acquire on construction,
+/// release on destruction, no unlock/relock surface), annotated as a
+/// scoped capability so the analysis tracks the region it covers.
+class QP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) QP_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() QP_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to qp::Mutex. Wait takes the mutex explicitly
+/// (QP_REQUIRES) so the analysis can match the capability the caller
+/// holds against the one the wait releases; the adopt/release dance keeps
+/// the fast std::condition_variable under the hood instead of the
+/// internally-locked std::condition_variable_any.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu`, blocks, and reacquires before returning.
+  /// Spurious wakeups happen: always wait in a predicate loop.
+  void Wait(Mutex* mu) QP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // MutexLock (or the caller) still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qp
+
+#endif  // QP_UTIL_THREAD_ANNOTATIONS_H_

@@ -14,25 +14,25 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) all_done_.Wait(&mu_);
 }
 
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
@@ -44,16 +44,16 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   // wake per index once the pool's workers are parked on the condition
   // variable, which dominates batches of cache-hit-sized tasks.
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (int i = 0; i < count; ++i) {
       queue_.push_back([&fn, i] { fn(i); });
     }
     in_flight_ += count;
   }
   if (count >= static_cast<int>(workers_.size())) {
-    work_available_.notify_all();
+    work_available_.NotifyAll();
   } else {
-    for (int i = 0; i < count; ++i) work_available_.notify_one();
+    for (int i = 0; i < count; ++i) work_available_.NotifyOne();
   }
   Wait();
 }
@@ -62,17 +62,16 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_available_.Wait(&mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(&mu_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -1,12 +1,12 @@
 #ifndef QP_UTIL_THREAD_POOL_H_
 #define QP_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "qp/util/thread_annotations.h"
 
 namespace qp {
 
@@ -29,14 +29,15 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) QP_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished running.
-  void Wait();
+  void Wait() QP_EXCLUDES(mu_);
 
   /// Runs fn(0) .. fn(count - 1) across the pool and blocks until all
   /// calls return. The caller must not touch the pool from inside `fn`.
-  void ParallelFor(int count, const std::function<void(int)>& fn);
+  void ParallelFor(int count, const std::function<void(int)>& fn)
+      QP_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -46,13 +47,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;  // queued + currently running tasks
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ QP_GUARDED_BY(mu_);
+  int in_flight_ QP_GUARDED_BY(mu_) = 0;  // queued + currently running
+  bool shutdown_ QP_GUARDED_BY(mu_) = false;
+  /// Written only during construction, joined only in the destructor; no
+  /// concurrent mutation, so deliberately unguarded.
+  std::vector<std::thread> workers_;  // NOLINT(guarded-by-coverage)
 };
 
 }  // namespace qp

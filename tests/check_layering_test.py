@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Golden self-tests for tools/check_layering.py.
+
+Writes miniature qp trees to a tempdir and runs the real CLI: a clean
+downward-only tree passes; a layer-skipping include, an unmapped module,
+and a synthetic header cycle are each rejected with the right rule tag.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER = os.path.join(REPO, "tools", "check_layering.py")
+
+
+def run_checker(tree):
+    """Writes `tree` ({relpath: contents}) to a tmpdir and checks it."""
+    with tempfile.TemporaryDirectory() as tmp:
+        for rel, contents in tree.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(contents)
+        proc = subprocess.run(
+            [sys.executable, CHECKER, tmp],
+            capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stdout
+
+
+class LayeringTest(unittest.TestCase):
+    def test_downward_includes_pass(self):
+        code, out = run_checker({
+            "qp/util/hash.h": "",
+            "qp/flow/max_flow.h": '#include "qp/util/hash.h"\n',
+            "qp/pricing/engine.h": ('#include "qp/flow/max_flow.h"\n'
+                                    '#include "qp/util/hash.h"\n'),
+        })
+        self.assertEqual(code, 0, out)
+
+    def test_same_module_includes_pass(self):
+        code, out = run_checker({
+            "qp/flow/network.h": "",
+            "qp/flow/max_flow.h": '#include "qp/flow/network.h"\n',
+        })
+        self.assertEqual(code, 0, out)
+
+    def test_upward_include_rejected(self):
+        code, out = run_checker({
+            "qp/pricing/engine.h": "",
+            "qp/util/hash.h": '#include "qp/pricing/engine.h"\n',
+        })
+        self.assertEqual(code, 1, out)
+        self.assertIn("[layer-violation]", out)
+
+    def test_same_layer_cross_module_rejected(self):
+        # qp/obs and qp/relational share layer 2; independent by design.
+        code, out = run_checker({
+            "qp/relational/catalog.h": "",
+            "qp/obs/metrics.h": '#include "qp/relational/catalog.h"\n',
+        })
+        self.assertEqual(code, 1, out)
+        self.assertIn("[layer-violation]", out)
+
+    def test_unknown_module_rejected(self):
+        code, out = run_checker({
+            "qp/gadgets/widget.h": "",
+        })
+        self.assertEqual(code, 1, out)
+        self.assertIn("[unknown-module]", out)
+
+    def test_unknown_include_target_rejected(self):
+        code, out = run_checker({
+            "qp/flow/max_flow.h": '#include "qp/gadgets/widget.h"\n',
+        })
+        self.assertEqual(code, 1, out)
+        self.assertIn("[unknown-module]", out)
+
+    def test_synthetic_cycle_rejected(self):
+        # Same-module cycle: invisible to the layer map, caught by the DFS.
+        code, out = run_checker({
+            "qp/flow/a.h": '#include "qp/flow/b.h"\n',
+            "qp/flow/b.h": '#include "qp/flow/c.h"\n',
+            "qp/flow/c.h": '#include "qp/flow/a.h"\n',
+        })
+        self.assertEqual(code, 1, out)
+        self.assertIn("[include-cycle]", out)
+        # The report names the full cycle path.
+        self.assertIn("qp/flow/a.h", out)
+        self.assertIn("qp/flow/b.h", out)
+        self.assertIn("qp/flow/c.h", out)
+
+    def test_repo_src_is_clean(self):
+        proc = subprocess.run(
+            [sys.executable, CHECKER, os.path.join(REPO, "src")],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -3,7 +3,7 @@
 // paper fixtures, the Theorem 3.5 hard queries, and randomized workloads.
 // Excludable in a hurry with `ctest -LE selfcheck`.
 
-#include "qp/check/cross_solver.h"
+#include "qp/selfcheck/cross_solver.h"
 
 #include <string>
 #include <vector>

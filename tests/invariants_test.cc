@@ -3,7 +3,7 @@
 // it fires on corrupted data (at kLog, via the failure counter) and a
 // positive test proving it stays silent on the seed fixtures at kAbort.
 
-#include "qp/check/invariants.h"
+#include "qp/pricing/invariants.h"
 
 #include <string>
 

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Golden self-tests for tools/lint_qp.py.
+
+One positive (rule fires) and one negative (clean code passes) fixture per
+rule, written to a temp tree and linted through the real CLI entry point —
+the same code path CI runs. Keeping these green is what lets the lint job
+gate on the linter itself.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO, "tools", "lint_qp.py")
+
+
+def run_lint(tree):
+    """Writes `tree` ({relpath: contents}) under a tmpdir/src and lints it.
+
+    Returns (exit_code, stdout). Fixtures live under a `src/` component so
+    the header-guard rule computes guards exactly as it does in the repo.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        root = os.path.join(tmp, "src")
+        for rel, contents in tree.items():
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(contents)
+        proc = subprocess.run(
+            [sys.executable, LINT, root],
+            capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stdout
+
+
+def guarded(rel, body):
+    """Wraps a header body in the include guard lint_qp expects for `rel`."""
+    guard = "QP_" + rel.replace("/", "_").replace(".", "_").upper() + "_"
+    if guard.startswith("QP_QP_"):
+        guard = guard[3:]
+    return (f"#ifndef {guard}\n#define {guard}\n{body}\n"
+            f"#endif  // {guard}\n")
+
+
+class LintRuleTest(unittest.TestCase):
+    def assert_fires(self, tree, rule, count=None):
+        code, out = run_lint(tree)
+        self.assertEqual(code, 1, f"expected findings, got none:\n{out}")
+        self.assertIn(f"[{rule}]", out)
+        if count is not None:
+            self.assertEqual(out.count(f"[{rule}]"), count, out)
+
+    def assert_clean(self, tree):
+        code, out = run_lint(tree)
+        self.assertEqual(code, 0, f"expected clean, got:\n{out}")
+
+    # ---- no-assert ----
+
+    def test_no_assert_fires(self):
+        self.assert_fires(
+            {"qp/util/a.cc": '#include <cassert>\nvoid F() { assert(1); }\n'},
+            "no-assert", count=2)
+
+    def test_no_assert_clean(self):
+        self.assert_clean(
+            {"qp/util/a.cc": 'void F() { QP_ASSERT(1, "ok"); }\n'})
+
+    # ---- money-float ----
+
+    def test_money_float_fires(self):
+        self.assert_fires(
+            {"qp/pricing/a.cc": "double Price() { return 1.5; }\n"},
+            "money-float")
+
+    def test_money_float_clean_outside_pricing(self):
+        # float is legal outside pricing (e.g. metrics percentiles).
+        self.assert_clean({"qp/obs/a.cc": "double P99() { return 0.0; }\n"})
+
+    # ---- quote-cache-lock ----
+
+    def test_quote_cache_lock_fires_on_multiline_signature(self):
+        self.assert_fires(
+            {"qp/pricing/quote_cache.cc":
+             "namespace qp {\n"
+             "int QuoteCache::Size(\n"
+             "    int unused) const {\n"
+             "  return entries_.size();\n"
+             "}\n"
+             "}  // namespace qp\n"},
+            "quote-cache-lock")
+
+    def test_quote_cache_lock_clean_with_mutex_lock(self):
+        self.assert_clean(
+            {"qp/pricing/quote_cache.cc":
+             "namespace qp {\n"
+             "int QuoteCache::Size() const {\n"
+             "  MutexLock lock(&mu_);\n"
+             "  return entries_.size();\n"
+             "}\n"
+             "}  // namespace qp\n"})
+
+    # ---- unchecked-status ----
+
+    def test_unchecked_status_fires(self):
+        self.assert_fires(
+            {"qp/relational/a.cc":
+             "void F(Db& db) {\n"
+             "  db.Insert(t);\n"
+             "  catalog->SetColumn(rel, attr, vals);\n"
+             "}\n"},
+            "unchecked-status", count=2)
+
+    def test_unchecked_status_fires_despite_consumer_tokens_in_args(self):
+        # Regression: `<<` or `=` inside the ARGUMENT list must not mask a
+        # dropped return (the old consumer scan searched the whole line).
+        self.assert_fires(
+            {"qp/relational/a.cc":
+             "void F(Db& db) {\n"
+             "  db.Insert(x << 2);\n"
+             "  db.Set(key, val = fallback);\n"
+             "}\n"},
+            "unchecked-status", count=2)
+
+    def test_unchecked_status_clean_when_consumed(self):
+        self.assert_clean(
+            {"qp/relational/a.cc":
+             "Status F(Db& db) {\n"
+             "  auto st = db.Insert(t);\n"
+             "  QP_RETURN_IF_ERROR(db.Insert(t));\n"
+             "  return db.Insert(t);\n"
+             "}\n"})
+
+    def test_unchecked_status_nolint(self):
+        self.assert_clean(
+            {"qp/relational/a.cc":
+             "void F(Db& db) { db.Insert(t); }"
+             "  // NOLINT(unchecked-status)\n"})
+
+    # ---- header-guard ----
+
+    def test_header_guard_fires(self):
+        self.assert_fires(
+            {"qp/util/a.h": "#ifndef WRONG_H\n#define WRONG_H\n#endif\n"},
+            "header-guard")
+
+    def test_header_guard_clean(self):
+        self.assert_clean({"qp/util/a.h": guarded("qp/util/a.h", "")})
+
+    # ---- flow-builder ----
+
+    def test_flow_builder_fires(self):
+        self.assert_fires(
+            {"qp/pricing/a.cc": "void F() { FlowNetwork net; }\n"},
+            "flow-builder")
+
+    def test_flow_builder_clean_via_builder(self):
+        self.assert_clean(
+            {"qp/pricing/a.cc": "void F() { FlowGraphBuilder builder; }\n"})
+
+    # ---- raw-mutex ----
+
+    def test_raw_mutex_fires(self):
+        self.assert_fires(
+            {"qp/flow/a.cc":
+             "#include <mutex>\n"
+             "std::mutex mu;\n"
+             "void F() { std::lock_guard<std::mutex> l(mu); }\n"},
+            "raw-mutex", count=3)
+
+    def test_raw_mutex_fires_on_condition_variable(self):
+        self.assert_fires(
+            {"qp/flow/a.cc": "#include <condition_variable>\n"},
+            "raw-mutex")
+
+    def test_raw_mutex_allowed_in_wrapper_header(self):
+        self.assert_clean(
+            {"qp/util/thread_annotations.h": guarded(
+                "qp/util/thread_annotations.h",
+                "#include <mutex>\nclass Mutex { std::mutex mu_; };")})
+
+    def test_raw_mutex_clean_with_wrapper(self):
+        self.assert_clean(
+            {"qp/flow/a.cc":
+             '#include "qp/util/thread_annotations.h"\n'
+             "qp::Mutex mu;\n"
+             "void F() { qp::MutexLock l(&mu); }\n"})
+
+    # ---- guarded-by-coverage ----
+
+    BAD_CLASS = (
+        "class Registry {\n"
+        " public:\n"
+        "  void Touch();\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "  int hits_ = 0;\n"  # <- unannotated, must fire
+        "};\n")
+
+    GOOD_CLASS = (
+        "class Registry {\n"
+        " public:\n"
+        "  void Touch();\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "  int hits_ QP_GUARDED_BY(mu_) = 0;\n"
+        "  std::atomic<int> live_{0};\n"
+        "  const int cap_ = 4;\n"
+        "  CondVar ready_;\n"
+        "};\n")
+
+    def test_guarded_by_coverage_fires(self):
+        self.assert_fires(
+            {"qp/obs/a.h": guarded("qp/obs/a.h", self.BAD_CLASS)},
+            "guarded-by-coverage", count=1)
+
+    def test_guarded_by_coverage_clean(self):
+        self.assert_clean(
+            {"qp/obs/a.h": guarded("qp/obs/a.h", self.GOOD_CLASS)})
+
+    def test_guarded_by_coverage_skips_mutexless_class(self):
+        # No Mutex member -> no guarding obligation.
+        self.assert_clean(
+            {"qp/obs/a.h": guarded(
+                "qp/obs/a.h", "class Plain {\n  int hits_ = 0;\n};\n")})
+
+    def test_guarded_by_coverage_nolint_region(self):
+        body = (
+            "class Registry {\n"
+            "  Mutex mu_;\n"
+            "  // Set once in the constructor, before any thread exists.\n"
+            "  // NOLINTBEGIN(guarded-by-coverage)\n"
+            "  int boot_a_ = 0;\n"
+            "  int boot_b_ = 0;\n"
+            "  // NOLINTEND(guarded-by-coverage)\n"
+            "  int hot_ QP_GUARDED_BY(mu_) = 0;\n"
+            "};\n")
+        self.assert_clean({"qp/obs/a.h": guarded("qp/obs/a.h", body)})
+
+    def test_guarded_by_coverage_nolint_line(self):
+        body = (
+            "class Registry {\n"
+            "  Mutex mu_;\n"
+            "  int boot_;  // NOLINT(guarded-by-coverage) ctor-only\n"
+            "};\n")
+        self.assert_clean({"qp/obs/a.h": guarded("qp/obs/a.h", body)})
+
+    # ---- the real tree stays clean ----
+
+    def test_repo_src_is_clean(self):
+        proc = subprocess.run(
+            [sys.executable, LINT, os.path.join(REPO, "src")],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

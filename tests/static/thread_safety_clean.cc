@@ -1,0 +1,71 @@
+// The compiling twin of thread_safety_violation.cc: the same class with
+// the locking done right. Must compile cleanly under BOTH
+//   clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror
+// and plain GCC (where the annotations expand to nothing) — proving the
+// annotation vocabulary itself introduces no false positives and costs
+// nothing off-Clang.
+
+#include "qp/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() QP_EXCLUDES(mu_) {
+    qp::MutexLock lock(&mu_);
+    ++counter_;
+  }
+
+  int Get() const QP_EXCLUDES(mu_) {
+    qp::MutexLock lock(&mu_);
+    return counter_;
+  }
+
+  void IncrementLocked() QP_REQUIRES(mu_) { ++counter_; }
+
+  void CallWithLock() QP_EXCLUDES(mu_) {
+    qp::MutexLock lock(&mu_);
+    IncrementLocked();
+  }
+
+  void BalancedManualLock(bool flag) QP_EXCLUDES(mu_) {
+    mu_.Lock();
+    if (flag) {
+      mu_.Unlock();
+      return;
+    }
+    ++counter_;
+    mu_.Unlock();
+  }
+
+  // CondVar wait contract: Wait() requires the mutex, reacquires before
+  // returning, so the predicate re-check is analyzed as guarded.
+  void WaitForPositive() QP_EXCLUDES(mu_) {
+    qp::MutexLock lock(&mu_);
+    while (counter_ <= 0) cv_.Wait(&mu_);
+  }
+
+  void Signal() QP_EXCLUDES(mu_) {
+    {
+      qp::MutexLock lock(&mu_);
+      ++counter_;
+    }
+    cv_.NotifyOne();
+  }
+
+ private:
+  mutable qp::Mutex mu_;
+  qp::CondVar cv_;
+  int counter_ QP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.CallWithLock();
+  c.BalancedManualLock(true);
+  c.Signal();
+  return c.Get() >= 0 ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Deliberate thread-safety violations. This file must NOT compile under
+// `clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror`;
+// the ctest registration (tests/CMakeLists.txt) runs exactly that and is
+// marked WILL_FAIL. If this file ever compiles cleanly, the annotation
+// macros have gone inert (e.g. someone broke the __clang__ gate in
+// qp/util/thread_annotations.h) and every annotation in the tree is
+// silently decorative — which is precisely the regression this fixture
+// exists to catch.
+//
+// Its compiling twin is thread_safety_clean.cc: same class, correct
+// locking. Keep the two in sync.
+
+#include "qp/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Violation 1: writes counter_ without holding mu_.
+  void IncrementUnlocked() { ++counter_; }
+
+  // Violation 2: reads counter_ without holding mu_.
+  int GetUnlocked() const { return counter_; }
+
+  // Violation 3: claims to need mu_ but callers below don't hold it.
+  void IncrementLocked() QP_REQUIRES(mu_) { ++counter_; }
+  void CallWithoutLock() { IncrementLocked(); }
+
+  // Violation 4: locks and never unlocks on one path.
+  void LeakLock(bool flag) {
+    mu_.Lock();
+    if (flag) return;  // mu_ still held
+    mu_.Unlock();
+  }
+
+ private:
+  mutable qp::Mutex mu_;
+  int counter_ QP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.IncrementUnlocked();
+  c.CallWithoutLock();
+  c.LeakLock(true);
+  return c.GetUnlocked();
+}

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Include-DAG layering checker for the qp codebase.
+
+The library is layered (DESIGN.md §13); an `#include` may only point at the
+same module or a module on a strictly lower layer:
+
+    layer 0   qp/util        (no qp dependencies at all)
+    layer 1   qp/check       (contract machinery; implements the
+                              qp/util/contract.h seam)
+    layer 2   qp/obs, qp/relational
+    layer 3   qp/query
+    layer 4   qp/eval
+    layer 5   qp/determinacy, qp/flow
+    layer 6   qp/pricing
+    layer 7   qp/market
+    layer 8   qp/workload
+    layer 9   qp/selfcheck
+    (top)     tools/, tests/, bench/, examples/ — may include anything
+
+Enforced per include edge, so a violation names the exact file and line:
+
+  * unknown-module   an #include "qp/..." pointing into a module not in the
+                     map above (adding a module means placing it here and in
+                     DESIGN.md §13, deliberately);
+  * layer-violation  an include of a module on the same or a higher layer
+                     (same-layer modules are independent by construction:
+                     qp/obs must not know about qp/relational);
+  * include-cycle    any cycle in the header include graph, reported with
+                     the full path (belt and braces: the layer map already
+                     rules out inter-module cycles, this also catches
+                     intra-module header cycles).
+
+Exit status: 0 clean, 1 violations, 2 usage error.
+Usage: tools/check_layering.py [root]   (default root: src/)
+"""
+
+import os
+import re
+import sys
+
+# module -> layer index. An include from module A into module B is legal
+# iff A == B or LAYER[B] < LAYER[A].
+LAYERS = {
+    "util": 0,
+    "check": 1,
+    "obs": 2,
+    "relational": 2,
+    "query": 3,
+    "eval": 4,
+    "determinacy": 5,
+    "flow": 5,
+    "pricing": 6,
+    "market": 7,
+    "workload": 8,
+    "selfcheck": 9,
+}
+
+INCLUDE = re.compile(r'^\s*#include\s+"(qp/([a-z_]+)/[^"]+)"')
+
+
+def iter_source_files(root):
+    for dirpath, _, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith((".cc", ".h")):
+                yield os.path.join(dirpath, name)
+
+
+def module_of(path, root):
+    """qp module name for a file under root, or None (e.g. a stray file)."""
+    rel = os.path.relpath(path, root)
+    parts = rel.split(os.sep)
+    if len(parts) >= 2 and parts[0] == "qp":
+        return parts[1]
+    return None
+
+
+def collect_edges(root):
+    """Returns (file_edges, findings) where file_edges maps an include path
+    like "qp/flow/max_flow.h" to the list of (lineno, target) includes."""
+    findings = []
+    file_edges = {}
+    for path in iter_source_files(root):
+        module = module_of(path, root)
+        if module is None:
+            continue
+        if module not in LAYERS:
+            findings.append(
+                (path, 1, "unknown-module",
+                 f"module qp/{module} is not in the layer map; place it in "
+                 "tools/check_layering.py and DESIGN.md §13"))
+            continue
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        edges = []
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                m = INCLUDE.match(line)
+                if m is None:
+                    continue
+                target, target_module = m.group(1), m.group(2)
+                edges.append((lineno, target))
+                if target_module == module:
+                    continue
+                target_layer = LAYERS.get(target_module)
+                if target_layer is None:
+                    findings.append(
+                        (path, lineno, "unknown-module",
+                         f"include of unmapped module qp/{target_module}"))
+                elif target_layer >= LAYERS[module]:
+                    findings.append(
+                        (path, lineno, "layer-violation",
+                         f"qp/{module} (layer {LAYERS[module]}) must not "
+                         f"include qp/{target_module} (layer "
+                         f"{target_layer}); the DAG points strictly "
+                         "downward"))
+        file_edges[rel] = edges
+    return file_edges, findings
+
+
+def find_include_cycle(file_edges):
+    """DFS over the header graph; returns one cycle as a path, or None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {}
+    stack = []
+
+    def visit(node):
+        color[node] = GREY
+        stack.append(node)
+        for _, target in file_edges.get(node, ()):
+            if target not in file_edges:
+                continue  # include of a file outside root; not our edge
+            state = color.get(target, WHITE)
+            if state == GREY:
+                return stack[stack.index(target):] + [target]
+            if state == WHITE:
+                cycle = visit(target)
+                if cycle is not None:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(file_edges):
+        if color.get(node, WHITE) == WHITE:
+            cycle = visit(node)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else "src"
+    if len(argv) > 2 or root in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    if not os.path.isdir(root):
+        print(f"check_layering: no such directory: {root}", file=sys.stderr)
+        return 2
+    file_edges, findings = collect_edges(root)
+    cycle = find_include_cycle(file_edges)
+    if cycle is not None:
+        findings.append(
+            (os.path.join(root, cycle[0]), 1, "include-cycle",
+             "header include cycle: " + " -> ".join(cycle)))
+    for path, lineno, rule, msg in sorted(findings):
+        print(f"{path}:{lineno}: [{rule}] {msg}")
+    summary = (f"check_layering: {len(file_edges)} files, "
+               f"{len(findings)} violation(s)")
+    print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

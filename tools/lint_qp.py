@@ -9,8 +9,8 @@ Enforces repo conventions that clang-tidy cannot express:
   money-float        Money is integer cents; pricing code must never touch
                      float/double (silent rounding breaks Equation 2).
   quote-cache-lock   Every QuoteCache member function that touches entries_
-                     or stats_ must take std::lock_guard first — the cache
-                     is shared across BatchPricer worker threads.
+                     or stats_ must take MutexLock first — the cache is
+                     shared across BatchPricer worker threads.
   unchecked-status   Status/Result returns must be consumed (assigned,
                      returned, or passed through QP_RETURN_IF_ERROR /
                      QP_ASSIGN_OR_RETURN / an assertion macro), never
@@ -22,10 +22,22 @@ Enforces repo conventions that clang-tidy cannot express:
                      FlowGraphBuilder (qp/flow/graph_builder.h) so every
                      edge carries a FlowEdgeTag and cut extraction cannot
                      silently desynchronize from the edge layout.
+  raw-mutex          qp/util/thread_annotations.h is the only file allowed
+                     to name std::mutex / std::lock_guard /
+                     std::condition_variable and friends; everything else
+                     locks through the annotated qp::Mutex / qp::MutexLock
+                     so Clang thread-safety analysis sees every lock.
+  guarded-by-coverage A class holding a qp::Mutex must say, member by
+                     member, what that mutex protects: every non-atomic,
+                     non-const data member needs QP_GUARDED_BY /
+                     QP_PT_GUARDED_BY (or a NOLINT with a justifying
+                     comment, e.g. written-before-threads-exist state).
 
 A line carrying `// NOLINT(<rule>)` is exempt from that rule (for the
 rare true negative, e.g. a void method that shares a name with a
-Status-returning one).
+Status-returning one). A region between `// NOLINTBEGIN(<rule>)` and
+`// NOLINTEND(<rule>)` is exempt as a block; every use must carry a
+comment justifying it.
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 Usage: tools/lint_qp.py [root]   (default root: src/)
@@ -50,14 +62,10 @@ STATUS_RETURNING = {
     "PriceUnion",
 }
 
-# Macros / sinks that legitimately consume a Status or Result expression.
-CONSUMERS = re.compile(
-    r"QP_RETURN_IF_ERROR|QP_ASSIGN_OR_RETURN|QP_ASSERT_OK|ASSERT_OK|"
-    r"EXPECT_OK|ASSERT_TRUE|EXPECT_TRUE|ASSERT_FALSE|EXPECT_FALSE|"
-    r"QP_ASSERT|QP_INVARIANT|return |= |\breturn\b|<<"
-)
-
 STRING_OR_COMMENT = re.compile(r'"(?:[^"\\]|\\.)*"|//.*$')
+
+NOLINT_BEGIN = re.compile(r"NOLINTBEGIN\((\w[\w-]*)\)")
+NOLINT_END = re.compile(r"NOLINTEND\((\w[\w-]*)\)")
 
 
 def strip_strings_and_comments(line: str) -> str:
@@ -89,6 +97,24 @@ def in_block_comment_mask(lines):
                 i += 2
             else:
                 i += 1
+
+
+def suppressed_lines(lines, rule):
+    """Line numbers (1-based) exempt from `rule` via NOLINT markers."""
+    out = set()
+    active = False
+    for lineno, line in enumerate(lines, 1):
+        begin = NOLINT_BEGIN.search(line)
+        if begin is not None and begin.group(1) == rule:
+            active = True
+        if active:
+            out.add(lineno)
+        end = NOLINT_END.search(line)
+        if end is not None and end.group(1) == rule:
+            active = False
+        if f"NOLINT({rule})" in line:
+            out.add(lineno)
+    return out
 
 
 def check_no_assert(path, lines, findings):
@@ -124,32 +150,44 @@ def check_money_float(path, lines, findings):
 def check_quote_cache_lock(path, lines, findings):
     if not path.endswith(os.sep + "quote_cache.cc"):
         return
-    # Walk function bodies at brace depth; inside each QuoteCache:: body,
-    # any touch of entries_/stats_ must be preceded by a lock_guard.
+    # Walk function bodies; inside each QuoteCache:: body, any touch of
+    # entries_/stats_ must be preceded by a MutexLock. A signature may span
+    # lines, so arm on `QuoteCache::` and start the body at the next `{`;
+    # depths are tracked relative to the enclosing namespace, not zero.
     depth = 0
-    body_start = None
+    pending = False
+    body_depth = None  # brace depth inside the current body, or None
     locked = False
     for lineno, line in enumerate(lines, 1):
         code = strip_strings_and_comments(line)
-        if depth == 0 and "QuoteCache::" in code and "{" in code:
-            body_start = lineno
+        if body_depth is None and not pending and "QuoteCache::" in code:
+            pending = True
             locked = False
-        if body_start is not None:
-            if "std::lock_guard" in code or "std::unique_lock" in code:
+        if pending and "{" in code:
+            pending = False
+            body_depth = depth + 1
+        if body_depth is not None and not pending:
+            if "MutexLock" in code:
                 locked = True
             if re.search(r"\b(entries_|stats_)\b", code) and not locked:
                 findings.append(
                     (path, lineno, "quote-cache-lock",
                      "QuoteCache state touched before taking mu_"))
         depth += code.count("{") - code.count("}")
-        if depth == 0 and body_start is not None and "}" in code:
-            body_start = None
+        if body_depth is not None and depth < body_depth:
+            body_depth = None
 
 
 def check_unchecked_status(path, lines, findings):
     names = "|".join(sorted(STATUS_RETURNING))
     # A full-statement call: optional receiver chain, a known name, balanced
-    # up to the trailing `;` on the same line, nothing consuming the value.
+    # up to the trailing `;` on the same line. By construction nothing
+    # consumes the value — an assignment (`x = db.Insert(...)`), a `return`,
+    # a `(void)` cast or a wrapping macro (`QP_RETURN_IF_ERROR(db.Insert(`)
+    # all break the receiver-chain anchor and cannot match. (A previous
+    # version additionally searched the whole line for consumer tokens like
+    # `= ` or `<<`, which let argument text — `db.Insert(rel, x << 2)`,
+    # `Set(key, val = fallback)` — mask genuinely dropped returns.)
     call = re.compile(
         r"^\s*(?:[A-Za-z_][\w]*(?:\.|->|::))*(" + names + r")\s*\(.*\)\s*;\s*$")
     for lineno, (line, in_comment) in enumerate(in_block_comment_mask(lines), 1):
@@ -164,8 +202,6 @@ def check_unchecked_status(path, lines, findings):
         # A continuation of a consumer macro spanning lines has surplus
         # closing parens; a self-contained statement balances.
         if code.count("(") != code.count(")"):
-            continue
-        if CONSUMERS.search(code):
             continue
         # `.status()`, `.ok()`, `.value()` etc. consume the Result in place.
         if re.search(r"\)\s*\.\s*\w+\s*\(", code):
@@ -225,6 +261,116 @@ def check_flow_builder(path, lines, findings):
                  "(qp/flow/graph_builder.h), not a raw FlowNetwork"))
 
 
+# The wrapper header itself; the one place raw std primitives may appear.
+RAW_MUTEX_ALLOWED = "qp/util/thread_annotations.h"
+
+RAW_MUTEX = re.compile(
+    r"std::(recursive_|shared_|timed_)?mutex\b|"
+    r"std::(lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+    r"std::condition_variable(_any)?\b|"
+    r"#include\s+<(mutex|shared_mutex|condition_variable)>")
+
+
+def check_raw_mutex(path, lines, findings):
+    if path.replace(os.sep, "/").endswith(RAW_MUTEX_ALLOWED):
+        return
+    exempt = suppressed_lines(lines, "raw-mutex")
+    for lineno, (line, in_comment) in enumerate(in_block_comment_mask(lines), 1):
+        if in_comment or lineno in exempt:
+            continue
+        code = strip_strings_and_comments(line)
+        if RAW_MUTEX.search(code):
+            findings.append(
+                (path, lineno, "raw-mutex",
+                 "lock through qp::Mutex/qp::MutexLock/qp::CondVar "
+                 "(qp/util/thread_annotations.h) so thread-safety analysis "
+                 "sees it; raw std mutexes are invisible to it"))
+
+
+# A qp::Mutex member: `Mutex mu_;` / `mutable Mutex mu;`.
+MUTEX_MEMBER = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+\w+\s*;")
+CLASS_OPEN = re.compile(r"^\s*(?:class|struct)\s+(?:QP_\w+(?:\(.*?\))?\s+)?"
+                        r"(\w+)[^;{]*\{")
+ANNOTATION = re.compile(r"QP_(?:PT_)?GUARDED_BY\s*\([^)]*\)")
+
+
+def _member_candidate(code):
+    """True if a (single) line inside a class body declares a data member
+    that guarded-by-coverage should inspect."""
+    stripped = ANNOTATION.sub("", code).strip()
+    if not stripped.endswith(";"):
+        return False
+    if "(" in stripped or ")" in stripped:
+        return False  # function declaration (or function-typed member)
+    if re.match(r"^(public|private|protected)\s*:", stripped):
+        return False
+    first = stripped.split()[0] if stripped.split() else ""
+    if first in ("using", "typedef", "friend", "static", "enum", "return",
+                 "break", "continue", "goto", "delete", "#include", "if",
+                 "else", "namespace"):
+        return False
+    # `name;` alone (e.g. `};`, labels) or expressions aren't declarations.
+    if not re.search(r"[\w>&*\]]\s+[\w\[\]]+\s*(?:=[^=].*)?;$", stripped):
+        return False
+    return True
+
+
+def check_guarded_by_coverage(path, lines, findings):
+    exempt = suppressed_lines(lines, "guarded-by-coverage")
+    masked = [
+        strip_strings_and_comments(line) if not in_c else ""
+        for line, in_c in in_block_comment_mask(lines)
+    ]
+    # Brace depth at the *start* of each line.
+    depth_at = []
+    depth = 0
+    for code in masked:
+        depth_at.append(depth)
+        depth += code.count("{") - code.count("}")
+    # Pass 1: find class bodies [open, close] holding a qp::Mutex member.
+    classes = []  # (name, open_lineno, close_lineno, body_depth)
+    stack = []
+    depth = 0
+    for lineno, code in enumerate(masked, 1):
+        m = CLASS_OPEN.match(code)
+        opens = code.count("{")
+        closes = code.count("}")
+        if m is not None and opens > 0:
+            stack.append((m.group(1), depth + 1, lineno))
+        depth += opens - closes
+        while stack and depth < stack[-1][1]:
+            name, body_depth, open_lineno = stack.pop()
+            classes.append((name, open_lineno, lineno, body_depth))
+    # Pass 2: per class, if it holds a Mutex, every candidate member must be
+    # annotated, atomic, const, or itself a synchronization object.
+    for name, open_lineno, close_lineno, body_depth in classes:
+        body = range(open_lineno, close_lineno + 1)
+        has_mutex = any(
+            MUTEX_MEMBER.match(masked[ln - 1]) for ln in body
+            if depth_at[ln - 1] == body_depth)
+        if not has_mutex:
+            continue
+        for ln in body:
+            if ln in exempt:
+                continue
+            code = masked[ln - 1]
+            if depth_at[ln - 1] != body_depth:
+                continue
+            if not _member_candidate(code):
+                continue
+            if ANNOTATION.search(strip_strings_and_comments(lines[ln - 1])):
+                continue
+            if re.search(r"\bstd::atomic\b|\bMutex\b|\bCondVar\b", code):
+                continue
+            if re.search(r"\bconst\b", code):
+                continue
+            findings.append(
+                (path, ln, "guarded-by-coverage",
+                 f"class {name} holds a qp::Mutex; member must be "
+                 "QP_GUARDED_BY(<mu>) (or const/atomic, or NOLINT with a "
+                 "reason)"))
+
+
 CHECKS = (
     check_no_assert,
     check_money_float,
@@ -232,6 +378,8 @@ CHECKS = (
     check_unchecked_status,
     check_header_guard,
     check_flow_builder,
+    check_raw_mutex,
+    check_guarded_by_coverage,
 )
 
 

@@ -22,8 +22,8 @@
 #include <string>
 
 #include "qp/check/check.h"
-#include "qp/check/cross_solver.h"
-#include "qp/check/invariants.h"
+#include "qp/selfcheck/cross_solver.h"
+#include "qp/pricing/invariants.h"
 #include "qp/pricing/engine.h"
 #include "qp/query/parser.h"
 #include "qp/relational/instance.h"
