@@ -1,0 +1,242 @@
+// qpricerd serving-loop scenarios: real PricingServer on an ephemeral
+// loopback port, driven through PricingClient over the wire protocol —
+// single-quote round-trip latency, 32-query batch frames, the 8-connection
+// mixed quote/insert load the CI serving gate replays, and snapshot
+// publish cost under the insert path. The runner's metric-delta merge
+// attributes qp.server.* counters to each scenario automatically.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common/runner.h"
+#include "qp/server/client.h"
+#include "qp/server/pricing_server.h"
+#include "qp/workload/business.h"
+
+namespace qp::bench {
+namespace {
+
+qp::BusinessMarketParams ServeParams() {
+  qp::BusinessMarketParams params;
+  params.num_states = 8;
+  params.counties_per_state = 4;
+  params.num_businesses = 150;
+  return params;
+}
+
+/// The front-page quote mix, addressed to one shard over the wire.
+std::vector<std::string> ServeMix(const qp::BusinessMarketParams& params) {
+  std::vector<std::string> texts;
+  for (const std::string& state : qp::BusinessStates(params)) {
+    texts.push_back("QE(b) :- Email(b), InState(b,'" + state + "')");
+    texts.push_back("QB(b) :- Business(b), InState(b,'" + state + "')");
+    texts.push_back("QC(b) :- InState(b,'" + state + "'), InCounty(b,'" +
+                    state + "/c0')");
+    texts.push_back("QX() :- Email(b), InState(b,'" + state + "')");
+  }
+  return texts;
+}
+
+/// A started server plus the params its shards were built from. Owned by
+/// the scenario closure via shared_ptr; the destructor stops the server.
+struct ServerSetup {
+  qp::BusinessMarketParams params = ServeParams();
+  qp::PricingServer server;
+
+  explicit ServerSetup(int shards,
+                       qp::PricingServerOptions options = {})
+      : server(MakeShards(shards, params), options) {
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "bench server failed to start\n");
+      std::exit(1);
+    }
+  }
+
+  static qp::ShardMap MakeShards(int count,
+                                 const qp::BusinessMarketParams& params) {
+    qp::ShardMap shards;
+    for (int i = 0; i < count; ++i) {
+      std::string name = "bench" + std::to_string(i);
+      auto seller = std::make_unique<qp::Seller>(name);
+      qp::BusinessMarketParams p = params;
+      p.seed = 7 + static_cast<uint64_t>(i);
+      if (!qp::PopulateBusinessMarket(seller.get(), p).ok()) std::exit(1);
+      if (!shards.AddShard(name, std::move(seller)).ok()) std::exit(1);
+    }
+    return shards;
+  }
+
+  qp::PricingClient Connect() {
+    auto client = qp::PricingClient::Connect("127.0.0.1", server.port());
+    if (!client.ok()) {
+      std::fprintf(stderr, "bench client connect failed: %s\n",
+                   client.status().ToString().c_str());
+      std::exit(1);
+    }
+    return *std::move(client);
+  }
+};
+
+const int kRegistered[] = {
+    RegisterScenario(
+        {"serve_quote_rt",
+         "qpricerd round trip: one QUOTE frame through the wire protocol, "
+         "warm shard cache",
+         /*full_iters=*/400, /*quick_iters=*/50,
+         [](ScenarioContext& context) {
+           auto setup = std::make_shared<ServerSetup>(1);
+           auto client =
+               std::make_shared<qp::PricingClient>(setup->Connect());
+           auto mix = std::make_shared<std::vector<std::string>>(
+               ServeMix(setup->params));
+           // Prime the shard cache so the timed body measures the serving
+           // loop (frame decode, snapshot acquire, cache hit, reply), not
+           // first-quote solver cost.
+           for (const std::string& text : *mix) {
+             if (!client->Quote(0, text).ok()) std::exit(1);
+           }
+           context.SetCounter("mix_size",
+                              static_cast<int64_t>(mix->size()));
+           auto next = std::make_shared<size_t>(0);
+           return [setup, client, mix, next]() {
+             const std::string& text = (*mix)[(*next)++ % mix->size()];
+             if (!client->Quote(0, text).ok()) std::exit(1);
+           };
+         }}),
+    RegisterScenario(
+        {"serve_batch32_rt",
+         "qpricerd round trip: one QUOTE_BATCH frame of 32 queries, warm "
+         "shard cache",
+         /*full_iters=*/120, /*quick_iters=*/20,
+         [](ScenarioContext& context) {
+           auto setup = std::make_shared<ServerSetup>(1);
+           auto client =
+               std::make_shared<qp::PricingClient>(setup->Connect());
+           std::vector<std::string> mix = ServeMix(setup->params);
+           auto batch = std::make_shared<std::vector<std::string>>();
+           for (size_t i = 0; i < 32; ++i) {
+             batch->push_back(mix[i % mix.size()]);
+           }
+           auto warm = client->QuoteBatch(0, *batch);
+           if (!warm.ok()) std::exit(1);
+           context.SetCounter("batch_size", 32);
+           return [setup, client, batch]() {
+             auto reply = client->QuoteBatch(0, *batch);
+             if (!reply.ok()) std::exit(1);
+             for (const auto& item : reply->items) {
+               if (item.status_code != 0) std::exit(1);
+             }
+           };
+         }}),
+    RegisterScenario(
+        {"serve_mixed_8conn",
+         "CI serving gate load: 8 connections quoting concurrently while "
+         "an insert stream publishes generations",
+         /*full_iters=*/12, /*quick_iters=*/3,
+         [](ScenarioContext& context) {
+           // One worker per persistent connection (8 quoters + the insert
+           // stream) plus slack: a connection pins a worker task for its
+           // lifetime, so fewer workers than connections starves the rest.
+           qp::PricingServerOptions options;
+           options.num_workers = 10;
+           auto setup = std::make_shared<ServerSetup>(1, options);
+           constexpr int kConnections = 8;
+           constexpr int kQuotesPerConn = 4;
+           auto clients =
+               std::make_shared<std::vector<qp::PricingClient>>();
+           for (int c = 0; c < kConnections; ++c) {
+             clients->push_back(setup->Connect());
+           }
+           auto inserter =
+               std::make_shared<qp::PricingClient>(setup->Connect());
+           auto mix = std::make_shared<std::vector<std::string>>(
+               ServeMix(setup->params));
+           for (const std::string& text : *mix) {
+             if (!(*clients)[0].Quote(0, text).ok()) std::exit(1);
+           }
+           auto states = std::make_shared<std::vector<std::string>>(
+               qp::BusinessStates(setup->params));
+           auto insert_cursor = std::make_shared<int>(0);
+           auto burst = [setup, clients, inserter, mix, states,
+                         insert_cursor]() {
+             std::vector<std::thread> threads;
+             for (int c = 0; c < kConnections; ++c) {
+               threads.emplace_back([&, c] {
+                 for (int i = 0; i < kQuotesPerConn; ++i) {
+                   size_t pick = (static_cast<size_t>(c) * 31 +
+                                  static_cast<size_t>(i)) %
+                                 mix->size();
+                   if (!(*clients)[static_cast<size_t>(c)]
+                            .Quote(0, (*mix)[pick])
+                            .ok()) {
+                     std::exit(1);
+                   }
+                 }
+               });
+             }
+             // One insert per burst on its own connection: publishes a
+             // fresh (business, state) pair so quotes race a real
+             // generation swap, exactly like the CI smoke trace.
+             int i = (*insert_cursor)++;
+             auto reply = inserter->Insert(
+                 0, "InState",
+                 {{qp::Value::Str("biz" + std::to_string(i % 150)),
+                   qp::Value::Str(
+                       (*states)[static_cast<size_t>(i) % states->size()])}});
+             if (!reply.ok()) std::exit(1);
+             for (std::thread& t : threads) t.join();
+           };
+           // Calibrate serve_qps from one measured burst so the report
+           // carries a throughput row next to the latency percentiles.
+           auto t0 = std::chrono::steady_clock::now();
+           burst();
+           auto t1 = std::chrono::steady_clock::now();
+           int64_t burst_ns =
+               std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                   .count();
+           constexpr int64_t kOps = kConnections * kQuotesPerConn + 1;
+           context.SetCounter("ops_per_iter", kOps);
+           if (burst_ns > 0) {
+             context.SetCounter("serve_qps",
+                                kOps * 1'000'000'000 / burst_ns);
+           }
+           return burst;
+         }}),
+    RegisterScenario(
+        {"serve_insert_publish",
+         "INSERT frame publishing a fresh snapshot generation (RCU clone + "
+         "validate + swap) per round trip",
+         /*full_iters=*/60, /*quick_iters=*/12,
+         [](ScenarioContext& context) {
+           auto setup = std::make_shared<ServerSetup>(1);
+           auto client =
+               std::make_shared<qp::PricingClient>(setup->Connect());
+           context.SetCounter(
+               "businesses",
+               static_cast<int64_t>(setup->params.num_businesses));
+           // Cycle the (business, state) domain deterministically: most
+           // pairs are genuinely new, so nearly every iteration pays for a
+           // full catalog clone + publish (the occasional duplicate is a
+           // no-op round trip and disappears into the p50).
+           auto states = std::make_shared<std::vector<std::string>>(
+               qp::BusinessStates(setup->params));
+           auto next = std::make_shared<int>(0);
+           return [setup, client, states, next]() {
+             int i = (*next)++;
+             auto reply = client->Insert(
+                 0, "InState",
+                 {{qp::Value::Str("biz" + std::to_string(i % 150)),
+                   qp::Value::Str((*states)[static_cast<size_t>(i / 150 + i) %
+                                            states->size()])}});
+             if (!reply.ok()) std::exit(1);
+           };
+         }}),
+};
+
+}  // namespace
+}  // namespace qp::bench

@@ -1,0 +1,117 @@
+#include "qp/market/snapshot.h"
+
+#include <utility>
+
+#include "qp/obs/metrics.h"
+
+namespace qp {
+
+CatalogSnapshot::CatalogSnapshot(uint64_t version, Instance db,
+                                 const SelectionPriceSet* prices,
+                                 PricingEngine::Options options)
+    : version_(version),
+      db_(std::move(db)),
+      engine_(&db_, prices, std::move(options)) {}
+
+CatalogSnapshot::~CatalogSnapshot() {
+  QP_METRIC_INCR("qp.market.snapshot_reclaims");
+}
+
+SnapshotStore::SnapshotStore(const Instance& initial,
+                             const SelectionPriceSet* prices,
+                             PricingEngine::Options options)
+    : prices_(prices), options_(options) {
+  MutexLock lock(&mu_);
+  head_ = std::make_shared<CatalogSnapshot>(0, initial, prices_, options_);
+}
+
+SnapshotRef SnapshotStore::Acquire() const {
+  MutexLock lock(&mu_);
+  return head_;
+}
+
+uint64_t SnapshotStore::version() const {
+  MutexLock lock(&mu_);
+  return head_->version();
+}
+
+Result<SnapshotStore::InsertOutcome> SnapshotStore::Insert(
+    std::string_view rel, const std::vector<std::vector<Value>>& rows) {
+  std::vector<RelationRows> batch(1);
+  batch[0].relation = std::string(rel);
+  batch[0].rows = rows;
+  return InsertBatch(batch);
+}
+
+Result<SnapshotStore::InsertOutcome> SnapshotStore::InsertBatch(
+    const std::vector<RelationRows>& batch) {
+  // Writers serialize here; readers keep Acquiring the old head the whole
+  // time, so a slow publish never stalls a quote.
+  MutexLock write_lock(&write_mu_);
+  SnapshotRef base = Acquire();
+
+  // Validate the entire batch against the base snapshot before copying
+  // anything: all-or-nothing, and the cheap path for a bad request.
+  for (const RelationRows& part : batch) {
+    for (const std::vector<Value>& row : part.rows) {
+      QP_RETURN_IF_ERROR(base->db().ValidateInsert(part.relation, row));
+    }
+  }
+
+  // Build the successor generation off to the side.
+  Instance next = base->db();
+  uint64_t rows_inserted = 0;
+  for (const RelationRows& part : batch) {
+    for (const std::vector<Value>& row : part.rows) {
+      QP_ASSIGN_OR_RETURN(bool fresh, next.Insert(part.relation, row));
+      if (fresh) ++rows_inserted;
+    }
+  }
+
+  InsertOutcome outcome;
+  if (rows_inserted == 0) {
+    // Pure duplicates: nothing changed, so publishing would only churn
+    // caches and snapshot refs. Report the unchanged head.
+    outcome.version = base->version();
+    return outcome;
+  }
+
+  auto next_snapshot = std::make_shared<CatalogSnapshot>(
+      base->version() + 1, std::move(next), prices_, options_);
+  outcome.version = next_snapshot->version();
+  outcome.rows_inserted = rows_inserted;
+  {
+    MutexLock lock(&mu_);
+    head_ = std::move(next_snapshot);
+  }
+  QP_METRIC_INCR("qp.market.snapshot_publishes");
+  QP_METRIC_GAUGE_SET("qp.market.snapshot_version", outcome.version);
+  return outcome;
+}
+
+Status ShardMap::AddShard(std::string name, std::unique_ptr<Seller> seller,
+                          PricingEngine::Options options) {
+  if (seller == nullptr) {
+    return Status::InvalidArgument("shard '" + name + "' has no seller");
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->name = std::move(name);
+  shard->store = std::make_unique<SnapshotStore>(
+      seller->db(), &seller->prices(), std::move(options));
+  shard->cache = std::make_unique<QuoteCache>();
+  shard->seller = std::move(seller);
+  shards_.push_back(std::move(shard));
+  return Status::Ok();
+}
+
+ShardMap::Shard* ShardMap::shard(uint32_t id) {
+  if (id >= shards_.size()) return nullptr;
+  return shards_[id].get();
+}
+
+const ShardMap::Shard* ShardMap::shard(uint32_t id) const {
+  if (id >= shards_.size()) return nullptr;
+  return shards_[id].get();
+}
+
+}  // namespace qp

@@ -1,0 +1,153 @@
+#ifndef QP_MARKET_SNAPSHOT_H_
+#define QP_MARKET_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qp/market/seller.h"
+#include "qp/pricing/engine.h"
+#include "qp/pricing/quote_cache.h"
+#include "qp/relational/instance.h"
+#include "qp/util/result.h"
+#include "qp/util/thread_annotations.h"
+
+namespace qp {
+
+/// Multi-version snapshot isolation for a served catalog (DESIGN.md §14).
+///
+/// A `CatalogSnapshot` is one immutable generation of a seller's database
+/// plus a pricing engine bound to it. The `SnapshotStore` publishes
+/// snapshots RCU-style: readers Acquire() the head shared_ptr (two
+/// pointer copies under a lock held for nanoseconds) and then price
+/// against their pinned snapshot for as long as they like; a writer
+/// builds the successor off to the side — copy the instance, apply the
+/// whole validated batch, wrap a fresh engine — and swings the head
+/// pointer. In-flight quotes therefore always see one self-consistent
+/// generation, never a torn mix, and Insert never blocks behind them.
+/// Old generations are reclaimed by shared_ptr when the last pinned
+/// reader drops out (`qp.market.snapshot_reclaims` counts them).
+
+/// One immutable published generation. `version` increases by exactly 1
+/// per publish; the per-relation Instance::generation counters inside
+/// `db` advance with it and are what pins QuoteCache entries
+/// (generation-pinned reads: Lookup/Store against this snapshot's `db`
+/// can neither see nor clobber another generation's quotes).
+class CatalogSnapshot {
+ public:
+  CatalogSnapshot(uint64_t version, Instance db,
+                  const SelectionPriceSet* prices,
+                  PricingEngine::Options options);
+  ~CatalogSnapshot();
+
+  CatalogSnapshot(const CatalogSnapshot&) = delete;
+  CatalogSnapshot& operator=(const CatalogSnapshot&) = delete;
+
+  uint64_t version() const { return version_; }
+  const Instance& db() const { return db_; }
+  const PricingEngine& engine() const { return engine_; }
+
+ private:
+  const uint64_t version_;
+  const Instance db_;
+  /// Bound to `db_` and the seller's (fixed) price points; safe because
+  /// both the snapshot and the seller outlive every acquired reference.
+  const PricingEngine engine_;
+};
+
+/// Handle to a published, immutable snapshot; copyable and cheap.
+using SnapshotRef = std::shared_ptr<const CatalogSnapshot>;
+
+/// The publish/acquire hinge of one shard. Thread-safe: any number of
+/// concurrent Acquire()s (server workers) against any number of
+/// concurrent Insert()s (writers serialize among themselves on
+/// `write_mu_`, never blocking readers).
+class SnapshotStore {
+ public:
+  /// Seeds version 0 with a copy of `initial`. `prices` must outlive the
+  /// store and stay fixed (the standing assumption of Section 2.7
+  /// dynamic pricing: the explicit price points do not move while the
+  /// database grows).
+  SnapshotStore(const Instance& initial, const SelectionPriceSet* prices,
+                PricingEngine::Options options = {});
+
+  /// The current head snapshot, pinned until the returned ref drops.
+  SnapshotRef Acquire() const QP_EXCLUDES(mu_);
+
+  /// Version of the head snapshot.
+  uint64_t version() const QP_EXCLUDES(mu_);
+
+  struct InsertOutcome {
+    /// Head version after the call (unchanged when nothing was inserted).
+    uint64_t version = 0;
+    /// Rows that were actually new (duplicates insert as no-ops).
+    uint64_t rows_inserted = 0;
+  };
+
+  /// Validates the whole batch against the head snapshot, then publishes
+  /// one successor generation containing every row (all-or-nothing: a
+  /// bad row means no publish). A batch of pure duplicates publishes
+  /// nothing and reports the unchanged head version.
+  Result<InsertOutcome> Insert(std::string_view rel,
+                               const std::vector<std::vector<Value>>& rows)
+      QP_EXCLUDES(write_mu_, mu_);
+
+  /// Multi-relation atomic variant: all relations' rows land in the same
+  /// published generation, so no reader can observe one relation's half
+  /// of the batch without the other's.
+  struct RelationRows {
+    std::string relation;
+    std::vector<std::vector<Value>> rows;
+  };
+  Result<InsertOutcome> InsertBatch(const std::vector<RelationRows>& batch)
+      QP_EXCLUDES(write_mu_, mu_);
+
+ private:
+  const SelectionPriceSet* const prices_;
+  const PricingEngine::Options options_;
+  /// Serializes writers (clone + validate + publish); never held while a
+  /// reader prices. Lock order: write_mu_ before mu_.
+  Mutex write_mu_;
+  mutable Mutex mu_;
+  SnapshotRef head_ QP_GUARDED_BY(mu_);
+};
+
+/// The daemon's shard table: one seller catalog + snapshot store + quote
+/// cache per shard, addressed by dense id (the wire protocol's `shard`
+/// field). The table itself is frozen before serving starts — AddShard
+/// during Start()-up only, no map-level lock — while each shard's store
+/// and cache are internally thread-safe under concurrent workers.
+class ShardMap {
+ public:
+  struct Shard {
+    std::string name;
+    /// Schema, columns and price points; fixed for the shard's lifetime.
+    /// The seller's own db() stays at the seed state — served data lives
+    /// in the store's snapshots.
+    std::unique_ptr<Seller> seller;
+    std::unique_ptr<SnapshotStore> store;
+    /// Shared across snapshots; entries are keyed by query fingerprint
+    /// and pinned to relation generations, so cross-generation reuse is
+    /// impossible by construction.
+    std::unique_ptr<QuoteCache> cache;
+  };
+
+  /// Takes ownership of a populated (and ideally Publish()-validated)
+  /// seller and seeds its snapshot store from the seller's database.
+  Status AddShard(std::string name, std::unique_ptr<Seller> seller,
+                  PricingEngine::Options options = {});
+
+  /// Shard by dense id; nullptr when out of range.
+  Shard* shard(uint32_t id);
+  const Shard* shard(uint32_t id) const;
+
+  size_t size() const { return shards_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qp
+
+#endif  // QP_MARKET_SNAPSHOT_H_

@@ -4,6 +4,22 @@
 
 namespace qp {
 
+bool QuoteCache::IsStaleAgainst(const Entry& candidate,
+                                const Entry& existing) {
+  // Stale iff the existing entry's generations dominate the candidate's:
+  // every shared dependency at least as new and one strictly newer.
+  // Incomparable or equal generation vectors keep last-write-wins.
+  bool strictly_newer = false;
+  for (const auto& [rel, generation] : candidate.deps) {
+    for (const auto& [existing_rel, existing_generation] : existing.deps) {
+      if (existing_rel != rel) continue;
+      if (existing_generation < generation) return false;
+      if (existing_generation > generation) strictly_newer = true;
+    }
+  }
+  return strictly_newer;
+}
+
 std::optional<PriceQuote> QuoteCache::Lookup(const std::string& fingerprint,
                                              const Instance& db) {
   MutexLock lock(&mu_);
@@ -36,6 +52,17 @@ void QuoteCache::Store(const std::string& fingerprint,
     entry.deps.emplace_back(rel, db.generation(rel));
   }
   MutexLock lock(&mu_);
+  auto it = entries_.find(fingerprint);
+  if (it != entries_.end() && IsStaleAgainst(entry, it->second)) {
+    // Generation-pinned store: a quote computed against an older catalog
+    // snapshot (multi-version serving, DESIGN.md §14) must not clobber an
+    // entry computed against a strictly newer one. Without the guard an
+    // in-flight reader on snapshot v would overwrite the v+1 entry after
+    // a publish, and every v+1 lookup would re-solve.
+    ++stats_.stale_store_drops;
+    QP_METRIC_INCR("qp.cache.stale_store_drops");
+    return;
+  }
   entries_[fingerprint] = std::move(entry);
   ++stats_.insertions;
   QP_METRIC_INCR("qp.cache.insertions");

@@ -23,6 +23,10 @@ struct QuoteCacheStats {
   uint64_t invalidations = 0;   // lookups that found a stale entry
   uint64_t insertions = 0;
   uint64_t evictions = 0;       // explicit Evict() removals
+  /// Stores dropped because the cache already held the same fingerprint
+  /// computed against strictly newer relation generations (a quote from
+  /// an older catalog snapshot arriving after a publish).
+  uint64_t stale_store_drops = 0;
 };
 
 /// A versioned memo of priced quotes. The arbitrage-price (Equation 2) is
@@ -48,7 +52,11 @@ class QuoteCache {
                                    const Instance& db);
 
   /// Stores a quote computed for `query` against the current state of
-  /// `db`, recording the generations of the query's relations.
+  /// `db`, recording the generations of the query's relations. The store
+  /// is generation-pinned: when the cache already holds this fingerprint
+  /// computed against strictly newer generations (an old-snapshot reader
+  /// finishing after a publish), the stale quote is dropped instead of
+  /// clobbering the fresher entry.
   void Store(const std::string& fingerprint, const ConjunctiveQuery& query,
              const Instance& db, const PriceQuote& quote);
 
@@ -68,6 +76,11 @@ class QuoteCache {
     /// (relation, generation at compute time), one per referenced relation.
     std::vector<std::pair<RelationId, uint64_t>> deps;
   };
+
+  /// True when `existing` was computed against generations that dominate
+  /// `candidate`'s (all >=, at least one >): storing `candidate` would
+  /// replace a fresher quote with a staler one.
+  static bool IsStaleAgainst(const Entry& candidate, const Entry& existing);
 
   mutable Mutex mu_;
   std::unordered_map<std::string, Entry> entries_ QP_GUARDED_BY(mu_);

@@ -1,0 +1,115 @@
+#include "qp/server/client.h"
+
+#include <utility>
+
+namespace qp {
+
+namespace {
+
+/// Rehydrates the server's Status from an ErrorReply's wire code.
+Status StatusFromWire(uint8_t code, std::string message) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return Status::Ok();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case StatusCode::kInternal:
+      break;
+  }
+  return Status::Internal(std::move(message));
+}
+
+}  // namespace
+
+Result<PricingClient> PricingClient::Connect(const std::string& host,
+                                             uint16_t port,
+                                             uint32_t max_frame_bytes) {
+  QP_ASSIGN_OR_RETURN(Socket socket, TcpConnect(host, port));
+  return PricingClient(std::move(socket), max_frame_bytes);
+}
+
+Result<Frame> PricingClient::RoundTrip(FrameType request,
+                                       std::string payload,
+                                       FrameType expected_reply) {
+  QP_RETURN_IF_ERROR(WriteFrame(socket_, static_cast<uint8_t>(request),
+                                payload, max_frame_bytes_));
+  QP_ASSIGN_OR_RETURN(auto frame, ReadFrame(socket_, max_frame_bytes_));
+  if (!frame.has_value()) {
+    return Status::Internal("server closed the connection mid-request");
+  }
+  if (frame->type == static_cast<uint8_t>(FrameType::kError)) {
+    QP_ASSIGN_OR_RETURN(ErrorReply error, DecodeErrorReply(frame->payload));
+    return StatusFromWire(error.status_code, "server: " + error.message);
+  }
+  if (frame->type != static_cast<uint8_t>(expected_reply)) {
+    return Status::Internal("unexpected reply frame type " +
+                            std::to_string(frame->type));
+  }
+  return *std::move(frame);
+}
+
+Result<QuoteReply> PricingClient::Quote(uint32_t shard,
+                                        std::string_view query_text) {
+  QuoteRequest request;
+  request.shard = shard;
+  request.query_text = std::string(query_text);
+  QP_ASSIGN_OR_RETURN(
+      Frame reply, RoundTrip(FrameType::kQuote, EncodeQuoteRequest(request),
+                             FrameType::kQuoteReply));
+  return DecodeQuoteReply(reply.payload);
+}
+
+Result<QuoteBatchReply> PricingClient::QuoteBatch(
+    uint32_t shard, const std::vector<std::string>& query_texts) {
+  QuoteBatchRequest request;
+  request.shard = shard;
+  request.query_texts = query_texts;
+  QP_ASSIGN_OR_RETURN(
+      Frame reply,
+      RoundTrip(FrameType::kQuoteBatch, EncodeQuoteBatchRequest(request),
+                FrameType::kQuoteBatchReply));
+  return DecodeQuoteBatchReply(reply.payload);
+}
+
+Result<InsertReply> PricingClient::Insert(
+    uint32_t shard, std::string_view relation,
+    const std::vector<std::vector<Value>>& rows) {
+  InsertRequest request;
+  request.shard = shard;
+  request.relation = std::string(relation);
+  request.rows = rows;
+  QP_ASSIGN_OR_RETURN(
+      Frame reply,
+      RoundTrip(FrameType::kInsert, EncodeInsertRequest(request),
+                FrameType::kInsertReply));
+  return DecodeInsertReply(reply.payload);
+}
+
+Result<MetricsReply> PricingClient::Metrics() {
+  QP_ASSIGN_OR_RETURN(Frame reply,
+                      RoundTrip(FrameType::kMetrics, std::string(),
+                                FrameType::kMetricsReply));
+  return DecodeMetricsReply(reply.payload);
+}
+
+Status PricingClient::Shutdown() {
+  QP_ASSIGN_OR_RETURN(Frame reply,
+                      RoundTrip(FrameType::kShutdown, std::string(),
+                                FrameType::kShutdownReply));
+  (void)reply;
+  return Status::Ok();
+}
+
+}  // namespace qp

@@ -1,0 +1,52 @@
+#ifndef QP_SERVER_CLIENT_H_
+#define QP_SERVER_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "qp/server/wire.h"
+#include "qp/util/net.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Blocking client for one qpricerd connection: one request frame out,
+/// one reply frame in, in order. A kError reply is surfaced as the
+/// server's Status (same code, message prefixed "server: "); transport
+/// failures surface as the underlying net error. Move-only (owns the
+/// socket); not thread-safe — use one client per thread, which is also
+/// how the server counts connections for admission control.
+class PricingClient {
+ public:
+  static Result<PricingClient> Connect(
+      const std::string& host, uint16_t port,
+      uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  PricingClient(PricingClient&&) = default;
+  PricingClient& operator=(PricingClient&&) = default;
+
+  Result<QuoteReply> Quote(uint32_t shard, std::string_view query_text);
+  Result<QuoteBatchReply> QuoteBatch(
+      uint32_t shard, const std::vector<std::string>& query_texts);
+  Result<InsertReply> Insert(uint32_t shard, std::string_view relation,
+                             const std::vector<std::vector<Value>>& rows);
+  Result<MetricsReply> Metrics();
+  /// Asks the daemon to stop serving; Ok once the ack frame arrives.
+  Status Shutdown();
+
+ private:
+  explicit PricingClient(Socket socket, uint32_t max_frame_bytes)
+      : socket_(std::move(socket)), max_frame_bytes_(max_frame_bytes) {}
+
+  /// Sends one frame and reads the reply, mapping kError to a Status and
+  /// checking the reply type tag.
+  Result<Frame> RoundTrip(FrameType request, std::string payload,
+                          FrameType expected_reply);
+
+  Socket socket_;
+  uint32_t max_frame_bytes_;
+};
+
+}  // namespace qp
+
+#endif  // QP_SERVER_CLIENT_H_

@@ -1,0 +1,278 @@
+#include "qp/server/pricing_server.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qp/obs/metrics.h"
+#include "qp/pricing/batch_pricer.h"
+#include "qp/query/parser.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+namespace {
+
+/// How often blocked loops re-check the stop flag.
+constexpr int kAcceptPollMs = 100;
+constexpr int kConnectionPollMs = 50;
+
+Frame ErrorFrame(const Status& status) {
+  ErrorReply reply;
+  reply.status_code = static_cast<uint8_t>(status.code());
+  reply.message = status.ToString();
+  Frame frame;
+  frame.type = static_cast<uint8_t>(FrameType::kError);
+  frame.payload = EncodeErrorReply(reply);
+  return frame;
+}
+
+Frame ReplyFrame(FrameType type, std::string payload) {
+  Frame frame;
+  frame.type = static_cast<uint8_t>(type);
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+}  // namespace
+
+PricingServer::PricingServer(ShardMap shards, Options options)
+    : options_(options), shards_(std::move(shards)) {}
+
+PricingServer::~PricingServer() { Stop(); }
+
+Status PricingServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (shards_.size() == 0) {
+    return Status::FailedPrecondition("server has no shards");
+  }
+  QP_ASSIGN_OR_RETURN(listener_, TcpListen(options_.port));
+  QP_ASSIGN_OR_RETURN(port_, LocalPort(listener_));
+  workers_ = std::make_unique<ThreadPool>(
+      options_.num_workers > 0 ? options_.num_workers : 1);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  QP_METRIC_GAUGE_SET("qp.server.shards", shards_.size());
+  return Status::Ok();
+}
+
+void PricingServer::Stop() {
+  RequestStop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // ThreadPool's destructor drains the queue and joins; handlers notice
+  // the stop flag at their next poll tick and unwind first.
+  workers_.reset();
+  listener_.Close();
+}
+
+void PricingServer::AcceptLoop() {
+  while (!stop_requested()) {
+    auto readable = WaitReadable(listener_, kAcceptPollMs);
+    if (!readable.ok()) break;  // listener closed or failed
+    if (!*readable) continue;
+    auto accepted = Accept(listener_);
+    if (!accepted.ok()) continue;
+    QP_METRIC_INCR("qp.server.connections");
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      // Shed at the door: an error frame is more useful to the client
+      // than a connection that sits unserved behind saturated workers.
+      QP_METRIC_INCR("qp.server.connections_shed");
+      Frame frame = ErrorFrame(Status::ResourceExhausted(
+          "server at max_connections (" +
+          std::to_string(options_.max_connections) + "); connection shed"));
+      Socket shed = *std::move(accepted);
+      (void)WriteFrame(shed, frame.type, frame.payload,
+                       options_.max_frame_bytes);
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    QP_METRIC_GAUGE_SET(
+        "qp.server.active_connections",
+        active_connections_.load(std::memory_order_relaxed));
+    // shared_ptr because std::function requires copyable callables.
+    auto conn = std::make_shared<Socket>(*std::move(accepted));
+    workers_->Submit([this, conn] {
+      HandleConnection(std::move(*conn));
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      QP_METRIC_GAUGE_SET(
+          "qp.server.active_connections",
+          active_connections_.load(std::memory_order_relaxed));
+    });
+  }
+}
+
+void PricingServer::HandleConnection(Socket conn) {
+  while (!stop_requested()) {
+    auto readable = WaitReadable(conn, kConnectionPollMs);
+    if (!readable.ok()) return;
+    if (!*readable) continue;
+    auto frame = ReadFrame(conn, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // Oversized or truncated frame: tell the peer why, then hang up
+      // (the stream is unframed from here on).
+      Frame reply = ErrorFrame(frame.status());
+      (void)WriteFrame(conn, reply.type, reply.payload,
+                       options_.max_frame_bytes);
+      return;
+    }
+    if (!frame->has_value()) return;  // clean EOF between frames
+    QP_METRIC_INCR("qp.server.frames");
+    QP_METRIC_SCOPED_TIMER("qp.server.request_ns");
+    Frame reply = HandleFrame(**frame);
+    if (!WriteFrame(conn, reply.type, reply.payload, options_.max_frame_bytes)
+             .ok()) {
+      return;
+    }
+    if ((*frame)->type == static_cast<uint8_t>(FrameType::kShutdown)) {
+      return;
+    }
+  }
+}
+
+Frame PricingServer::HandleFrame(const Frame& frame) {
+  switch (static_cast<FrameType>(frame.type)) {
+    case FrameType::kQuote:
+      return HandleQuote(frame.payload);
+    case FrameType::kQuoteBatch:
+      return HandleQuoteBatch(frame.payload);
+    case FrameType::kInsert:
+      return HandleInsert(frame.payload);
+    case FrameType::kMetrics:
+      return HandleMetrics();
+    case FrameType::kShutdown:
+      // Ack first; HandleConnection closes after writing the reply and
+      // the daemon's owner thread runs Stop() once it sees the flag.
+      RequestStop();
+      QP_METRIC_INCR("qp.server.shutdown_requests");
+      return ReplyFrame(FrameType::kShutdownReply, std::string());
+    default:
+      return ErrorFrame(Status::InvalidArgument(
+          "unknown frame type " + std::to_string(frame.type)));
+  }
+}
+
+Frame PricingServer::HandleQuote(std::string_view payload) {
+  auto request = DecodeQuoteRequest(payload);
+  if (!request.ok()) return ErrorFrame(request.status());
+  ShardMap::Shard* shard = shards_.shard(request->shard);
+  if (shard == nullptr) {
+    return ErrorFrame(Status::NotFound("unknown shard " +
+                                       std::to_string(request->shard)));
+  }
+  auto query =
+      ParseQuery(shard->seller->catalog().schema(), request->query_text);
+  if (!query.ok()) return ErrorFrame(query.status());
+
+  // Pin one generation for the whole quote. The store may publish newer
+  // snapshots underneath us; this quote stays internally consistent and
+  // its cache entry stays pinned to the pinned generation's counters.
+  SnapshotRef snapshot = shard->store->Acquire();
+  QP_METRIC_RECORD("qp.server.snapshot_age",
+                   shard->store->version() - snapshot->version());
+  BatchPricerOptions pricer_options;
+  pricer_options.num_threads = 1;  // concurrency comes from connections
+  pricer_options.cache = shard->cache.get();
+  pricer_options.deadline_ms = options_.deadline_ms;
+  BatchPricer pricer(&snapshot->engine(), pricer_options);
+  auto quote = pricer.Price(*query);
+  if (!quote.ok()) {
+    QP_METRIC_INCR("qp.server.quotes_failed");
+    return ErrorFrame(quote.status());
+  }
+  QP_METRIC_INCR("qp.server.quotes_ok");
+  QuoteReply reply;
+  reply.snapshot_version = snapshot->version();
+  reply.price = quote->solution.price;
+  reply.approximate = quote->solution.approximate;
+  reply.solver = quote->solver;
+  return ReplyFrame(FrameType::kQuoteReply, EncodeQuoteReply(reply));
+}
+
+Frame PricingServer::HandleQuoteBatch(std::string_view payload) {
+  auto request = DecodeQuoteBatchRequest(payload);
+  if (!request.ok()) return ErrorFrame(request.status());
+  ShardMap::Shard* shard = shards_.shard(request->shard);
+  if (shard == nullptr) {
+    return ErrorFrame(Status::NotFound("unknown shard " +
+                                       std::to_string(request->shard)));
+  }
+  SnapshotRef snapshot = shard->store->Acquire();
+  QP_METRIC_RECORD("qp.server.snapshot_age",
+                   shard->store->version() - snapshot->version());
+
+  QuoteBatchReply reply;
+  reply.snapshot_version = snapshot->version();
+  // Parse failures become per-item errors, not a frame error: one typo
+  // must not void the rest of the batch.
+  std::vector<ConjunctiveQuery> queries;
+  std::vector<int> query_slot(request->query_texts.size(), -1);
+  reply.items.resize(request->query_texts.size());
+  const Schema& schema = shard->seller->catalog().schema();
+  for (size_t i = 0; i < request->query_texts.size(); ++i) {
+    auto query = ParseQuery(schema, request->query_texts[i]);
+    if (!query.ok()) {
+      reply.items[i].status_code =
+          static_cast<uint8_t>(query.status().code());
+      reply.items[i].message = query.status().ToString();
+      continue;
+    }
+    query_slot[i] = static_cast<int>(queries.size());
+    queries.push_back(*std::move(query));
+  }
+
+  BatchPricerOptions pricer_options;
+  pricer_options.num_threads = 1;  // concurrency comes from connections
+  pricer_options.cache = shard->cache.get();
+  pricer_options.deadline_ms = options_.deadline_ms;
+  pricer_options.admission_cap = options_.admission_cap;
+  BatchPricer pricer(&snapshot->engine(), pricer_options);
+  std::vector<Result<PriceQuote>> quotes = pricer.PriceAll(queries);
+
+  for (size_t i = 0; i < reply.items.size(); ++i) {
+    if (query_slot[i] < 0) continue;  // parse failure already recorded
+    const Result<PriceQuote>& quote = quotes[query_slot[i]];
+    if (!quote.ok()) {
+      QP_METRIC_INCR("qp.server.quotes_failed");
+      reply.items[i].status_code =
+          static_cast<uint8_t>(quote.status().code());
+      reply.items[i].message = quote.status().ToString();
+      continue;
+    }
+    QP_METRIC_INCR("qp.server.quotes_ok");
+    reply.items[i].price = quote->solution.price;
+    reply.items[i].approximate = quote->solution.approximate;
+    reply.items[i].solver = quote->solver;
+  }
+  return ReplyFrame(FrameType::kQuoteBatchReply,
+                    EncodeQuoteBatchReply(reply));
+}
+
+Frame PricingServer::HandleInsert(std::string_view payload) {
+  auto request = DecodeInsertRequest(payload);
+  if (!request.ok()) return ErrorFrame(request.status());
+  ShardMap::Shard* shard = shards_.shard(request->shard);
+  if (shard == nullptr) {
+    return ErrorFrame(Status::NotFound("unknown shard " +
+                                       std::to_string(request->shard)));
+  }
+  auto outcome = shard->store->Insert(request->relation, request->rows);
+  if (!outcome.ok()) {
+    QP_METRIC_INCR("qp.server.inserts_failed");
+    return ErrorFrame(outcome.status());
+  }
+  QP_METRIC_INCR("qp.server.inserts_ok");
+  QP_METRIC_COUNT("qp.server.rows_inserted", outcome->rows_inserted);
+  InsertReply reply;
+  reply.snapshot_version = outcome->version;
+  reply.rows_inserted = static_cast<uint32_t>(outcome->rows_inserted);
+  return ReplyFrame(FrameType::kInsertReply, EncodeInsertReply(reply));
+}
+
+Frame PricingServer::HandleMetrics() {
+  MetricsReply reply;
+  reply.json = MetricsToJson(MetricsRegistry::Global().Snapshot());
+  return ReplyFrame(FrameType::kMetricsReply, EncodeMetricsReply(reply));
+}
+
+}  // namespace qp

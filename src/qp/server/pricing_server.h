@@ -1,0 +1,120 @@
+#ifndef QP_SERVER_PRICING_SERVER_H_
+#define QP_SERVER_PRICING_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "qp/market/snapshot.h"
+#include "qp/server/wire.h"
+#include "qp/util/net.h"
+#include "qp/util/status.h"
+#include "qp/util/thread_pool.h"
+
+namespace qp {
+
+/// qpricerd's serving core: an accept loop feeding a worker pool, one
+/// task per connection, each connection a sequence of request frames
+/// answered in order (DESIGN.md §14).
+///
+/// Thread model:
+///   * Start() binds the listener and spawns the accept thread; the
+///     accept thread polls WaitReadable (so it notices stop_ within
+///     ~100ms), admits or sheds each connection, and hands admitted
+///     sockets to the ThreadPool.
+///   * Workers run HandleConnection: poll-read a frame, dispatch, reply.
+///     Quotes Acquire() the shard's head snapshot per frame and price
+///     against it — a concurrent INSERT publishes a new generation
+///     without ever blocking or being blocked by in-flight quotes.
+///   * Stop() (owner thread only) flips the stop flag, joins the accept
+///     thread, then drains the pool; handlers observe the flag at their
+///     next poll tick and unwind. A SHUTDOWN frame acks, then requests
+///     stop — the owner still runs Stop() (qpricerd polls
+///     stop_requested()).
+///
+/// The server owns its ShardMap. Per-frame pricing goes through a
+/// single-threaded BatchPricer (no nested pool): concurrency comes from
+/// connection-level parallelism, and the shard's QuoteCache plus
+/// generation-pinned entries make hits cross-connection.
+struct PricingServerOptions {
+  /// 0 = ephemeral; read the bound port back with port().
+  uint16_t port = 0;
+  /// Worker tasks = concurrent connections being served.
+  int num_workers = 8;
+  /// Admission limit: connections beyond this are shed with an error
+  /// frame instead of queuing behind busy workers.
+  int max_connections = 64;
+  /// Per-quote serving deadline (0 = none); expiry degrades to an
+  /// admissible approximate quote, never an error.
+  int64_t deadline_ms = 0;
+  /// Per-QUOTE_BATCH admission cap (0 = unlimited).
+  int admission_cap = 0;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class PricingServer {
+ public:
+  using Options = PricingServerOptions;
+
+  PricingServer(ShardMap shards, Options options = {});
+
+  /// Runs Stop().
+  ~PricingServer();
+
+  PricingServer(const PricingServer&) = delete;
+  PricingServer& operator=(const PricingServer&) = delete;
+
+  /// Binds, listens, and starts serving. Call once.
+  Status Start();
+
+  /// Asks the serving threads to unwind (safe from any thread, including
+  /// a worker handling a SHUTDOWN frame).
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Joins the accept thread and worker pool. Owner thread only; also run
+  /// by the destructor. Idempotent, but must not race itself.
+  void Stop();
+
+  /// The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  const ShardMap& shards() const { return shards_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(Socket conn);
+  /// Dispatches one request frame to its handler; the returned frame is
+  /// the reply to write (kError carries an ErrorReply payload).
+  Frame HandleFrame(const Frame& frame);
+
+  Frame HandleQuote(std::string_view payload);
+  Frame HandleQuoteBatch(std::string_view payload);
+  Frame HandleInsert(std::string_view payload);
+  Frame HandleMetrics();
+
+  const Options options_;
+  /// Frozen after construction (table-level); per-shard stores and caches
+  /// are internally thread-safe. NOLINT(guarded-by-coverage)
+  ShardMap shards_;
+
+  std::atomic<bool> stop_{false};
+  /// Connections currently owned by a worker task (admission control).
+  std::atomic<int> active_connections_{0};
+
+  // Written by Start() before the accept thread exists, then only read
+  // (listener_, port_) or touched by Stop() after joining (accept_thread_,
+  // workers_); no concurrent mutation, so deliberately unguarded.
+  Socket listener_;                       // NOLINT(guarded-by-coverage)
+  uint16_t port_ = 0;                     // NOLINT(guarded-by-coverage)
+  std::thread accept_thread_;             // NOLINT(guarded-by-coverage)
+  std::unique_ptr<ThreadPool> workers_;   // NOLINT(guarded-by-coverage)
+  bool started_ = false;                  // NOLINT(guarded-by-coverage)
+};
+
+}  // namespace qp
+
+#endif  // QP_SERVER_PRICING_SERVER_H_

@@ -1,0 +1,294 @@
+#include "qp/server/wire.h"
+
+namespace qp {
+
+namespace {
+
+/// Caps the element count a decoder will allocate for up front. The frame
+/// transport already bounds total payload bytes; this bounds a lying
+/// count prefix (e.g. "4 billion rows" in a 20-byte payload).
+constexpr uint32_t kMaxWireElements = 1 << 20;
+
+constexpr uint8_t kValueTagInt = 0;
+constexpr uint8_t kValueTagStr = 1;
+
+}  // namespace
+
+void WireWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+void WireWriter::Val(const Value& v) {
+  if (v.is_int()) {
+    U8(kValueTagInt);
+    I64(v.as_int());
+  } else {
+    U8(kValueTagStr);
+    Str(v.as_str());
+  }
+}
+
+bool WireReader::Need(size_t bytes, const char* what) {
+  if (!ok()) return false;
+  if (data_.size() - pos_ < bytes) {
+    error_ = std::string("truncated payload reading ") + what;
+    return false;
+  }
+  return true;
+}
+
+uint8_t WireReader::U8() {
+  if (!Need(1, "u8")) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t WireReader::U32() {
+  if (!Need(4, "u32")) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t WireReader::U64() {
+  if (!Need(8, "u64")) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+std::string WireReader::Str() {
+  uint32_t size = U32();
+  if (!Need(size, "string body")) return std::string();
+  std::string s(data_.substr(pos_, size));
+  pos_ += size;
+  return s;
+}
+
+Value WireReader::Val() {
+  uint8_t tag = U8();
+  if (tag == kValueTagInt) return Value::Int(I64());
+  if (tag == kValueTagStr) return Value::Str(Str());
+  if (ok()) error_ = "unknown value tag " + std::to_string(tag);
+  return Value();
+}
+
+Status WireReader::status() const {
+  if (ok()) return Status::Ok();
+  return Status::InvalidArgument(error_);
+}
+
+namespace {
+
+/// Shared epilogue: the reader must have consumed the payload exactly.
+Status FinishDecode(const WireReader& reader) {
+  QP_RETURN_IF_ERROR(reader.status());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after message");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeQuoteRequest(const QuoteRequest& msg) {
+  WireWriter w;
+  w.U32(msg.shard);
+  w.Str(msg.query_text);
+  return std::move(w).payload();
+}
+
+Result<QuoteRequest> DecodeQuoteRequest(std::string_view payload) {
+  WireReader r(payload);
+  QuoteRequest msg;
+  msg.shard = r.U32();
+  msg.query_text = r.Str();
+  QP_RETURN_IF_ERROR(FinishDecode(r));
+  return msg;
+}
+
+std::string EncodeQuoteBatchRequest(const QuoteBatchRequest& msg) {
+  WireWriter w;
+  w.U32(msg.shard);
+  w.U32(static_cast<uint32_t>(msg.query_texts.size()));
+  for (const std::string& text : msg.query_texts) w.Str(text);
+  return std::move(w).payload();
+}
+
+Result<QuoteBatchRequest> DecodeQuoteBatchRequest(std::string_view payload) {
+  WireReader r(payload);
+  QuoteBatchRequest msg;
+  msg.shard = r.U32();
+  uint32_t count = r.U32();
+  if (r.ok() && count > kMaxWireElements) {
+    return Status::InvalidArgument("batch count " + std::to_string(count) +
+                                   " exceeds the element limit");
+  }
+  for (uint32_t i = 0; r.ok() && i < count; ++i) {
+    msg.query_texts.push_back(r.Str());
+  }
+  QP_RETURN_IF_ERROR(FinishDecode(r));
+  return msg;
+}
+
+std::string EncodeInsertRequest(const InsertRequest& msg) {
+  WireWriter w;
+  w.U32(msg.shard);
+  w.Str(msg.relation);
+  w.U32(static_cast<uint32_t>(msg.rows.size()));
+  for (const std::vector<Value>& row : msg.rows) {
+    w.U32(static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) w.Val(v);
+  }
+  return std::move(w).payload();
+}
+
+Result<InsertRequest> DecodeInsertRequest(std::string_view payload) {
+  WireReader r(payload);
+  InsertRequest msg;
+  msg.shard = r.U32();
+  msg.relation = r.Str();
+  uint32_t rows = r.U32();
+  if (r.ok() && rows > kMaxWireElements) {
+    return Status::InvalidArgument("row count " + std::to_string(rows) +
+                                   " exceeds the element limit");
+  }
+  for (uint32_t i = 0; r.ok() && i < rows; ++i) {
+    uint32_t arity = r.U32();
+    if (r.ok() && arity > kMaxWireElements) {
+      return Status::InvalidArgument("row arity " + std::to_string(arity) +
+                                     " exceeds the element limit");
+    }
+    std::vector<Value> row;
+    for (uint32_t j = 0; r.ok() && j < arity; ++j) row.push_back(r.Val());
+    msg.rows.push_back(std::move(row));
+  }
+  QP_RETURN_IF_ERROR(FinishDecode(r));
+  return msg;
+}
+
+std::string EncodeQuoteReply(const QuoteReply& msg) {
+  WireWriter w;
+  w.U64(msg.snapshot_version);
+  w.I64(msg.price);
+  w.U8(msg.approximate ? 1 : 0);
+  w.Str(msg.solver);
+  return std::move(w).payload();
+}
+
+Result<QuoteReply> DecodeQuoteReply(std::string_view payload) {
+  WireReader r(payload);
+  QuoteReply msg;
+  msg.snapshot_version = r.U64();
+  msg.price = r.I64();
+  msg.approximate = r.U8() != 0;
+  msg.solver = r.Str();
+  QP_RETURN_IF_ERROR(FinishDecode(r));
+  return msg;
+}
+
+std::string EncodeQuoteBatchReply(const QuoteBatchReply& msg) {
+  WireWriter w;
+  w.U64(msg.snapshot_version);
+  w.U32(static_cast<uint32_t>(msg.items.size()));
+  for (const QuoteBatchReply::Item& item : msg.items) {
+    w.U8(item.status_code);
+    if (item.status_code != 0) {
+      w.Str(item.message);
+    } else {
+      w.I64(item.price);
+      w.U8(item.approximate ? 1 : 0);
+      w.Str(item.solver);
+    }
+  }
+  return std::move(w).payload();
+}
+
+Result<QuoteBatchReply> DecodeQuoteBatchReply(std::string_view payload) {
+  WireReader r(payload);
+  QuoteBatchReply msg;
+  msg.snapshot_version = r.U64();
+  uint32_t count = r.U32();
+  if (r.ok() && count > kMaxWireElements) {
+    return Status::InvalidArgument("batch count " + std::to_string(count) +
+                                   " exceeds the element limit");
+  }
+  for (uint32_t i = 0; r.ok() && i < count; ++i) {
+    QuoteBatchReply::Item item;
+    item.status_code = r.U8();
+    if (item.status_code != 0) {
+      item.message = r.Str();
+    } else {
+      item.price = r.I64();
+      item.approximate = r.U8() != 0;
+      item.solver = r.Str();
+    }
+    msg.items.push_back(std::move(item));
+  }
+  QP_RETURN_IF_ERROR(FinishDecode(r));
+  return msg;
+}
+
+std::string EncodeInsertReply(const InsertReply& msg) {
+  WireWriter w;
+  w.U64(msg.snapshot_version);
+  w.U32(msg.rows_inserted);
+  return std::move(w).payload();
+}
+
+Result<InsertReply> DecodeInsertReply(std::string_view payload) {
+  WireReader r(payload);
+  InsertReply msg;
+  msg.snapshot_version = r.U64();
+  msg.rows_inserted = r.U32();
+  QP_RETURN_IF_ERROR(FinishDecode(r));
+  return msg;
+}
+
+std::string EncodeMetricsReply(const MetricsReply& msg) {
+  WireWriter w;
+  w.Str(msg.json);
+  return std::move(w).payload();
+}
+
+Result<MetricsReply> DecodeMetricsReply(std::string_view payload) {
+  WireReader r(payload);
+  MetricsReply msg;
+  msg.json = r.Str();
+  QP_RETURN_IF_ERROR(FinishDecode(r));
+  return msg;
+}
+
+std::string EncodeErrorReply(const ErrorReply& msg) {
+  WireWriter w;
+  w.U8(msg.status_code);
+  w.Str(msg.message);
+  return std::move(w).payload();
+}
+
+Result<ErrorReply> DecodeErrorReply(std::string_view payload) {
+  WireReader r(payload);
+  ErrorReply msg;
+  msg.status_code = r.U8();
+  msg.message = r.Str();
+  QP_RETURN_IF_ERROR(FinishDecode(r));
+  return msg;
+}
+
+}  // namespace qp

@@ -1,0 +1,178 @@
+#ifndef QP_SERVER_WIRE_H_
+#define QP_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qp/relational/value.h"
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// The qpricerd wire protocol: what goes inside a transport frame
+/// (qp/util/net.h moves the frames themselves). Requests name a shard by
+/// dense id; every reply carries the snapshot version it was served
+/// against, so a client can observe the monotone publish order.
+///
+/// Payload encoding is little-endian fixed-width integers plus
+/// length-prefixed strings; values are tagged (int64 | string), mirroring
+/// qp::Value. Decoding is bounds-checked: a truncated or oversized field
+/// yields InvalidArgument, never a wild read.
+
+/// Frame type tags. Requests are < 0x80; each reply is request | 0x80.
+enum class FrameType : uint8_t {
+  kQuote = 0x01,
+  kQuoteBatch = 0x02,
+  kInsert = 0x03,
+  kMetrics = 0x04,
+  kShutdown = 0x05,
+  kQuoteReply = 0x81,
+  kQuoteBatchReply = 0x82,
+  kInsertReply = 0x83,
+  kMetricsReply = 0x84,
+  kShutdownReply = 0x85,
+  /// Reply to any request the server refused (unknown shard, parse
+  /// failure, malformed payload, shutdown in progress...).
+  kError = 0xff,
+};
+
+/// Appends fixed-width little-endian fields onto a payload string.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  /// uint32 byte length + raw bytes.
+  void Str(std::string_view s);
+  void Val(const Value& v);
+
+  const std::string& payload() const& { return out_; }
+  std::string&& payload() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a payload. Reads past the end (or a string
+/// length past the remaining bytes) latch an error; check status() after
+/// the field reads — every accessor returns a zero value once failed.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view payload) : data_(payload) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  std::string Str();
+  Value Val();
+
+  /// True when every read so far was in bounds and the caller may keep
+  /// decoding.
+  bool ok() const { return error_.empty(); }
+  /// All payload consumed (trailing garbage means a version mismatch).
+  bool AtEnd() const { return pos_ == data_.size(); }
+  /// InvalidArgument naming the first out-of-bounds read, or Ok.
+  Status status() const;
+
+ private:
+  bool Need(size_t bytes, const char* what);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---- Requests ----
+
+struct QuoteRequest {
+  uint32_t shard = 0;
+  std::string query_text;
+};
+
+struct QuoteBatchRequest {
+  uint32_t shard = 0;
+  std::vector<std::string> query_texts;
+};
+
+struct InsertRequest {
+  uint32_t shard = 0;
+  std::string relation;
+  std::vector<std::vector<Value>> rows;
+};
+
+// METRICS and SHUTDOWN carry empty payloads.
+
+// ---- Replies ----
+
+struct QuoteReply {
+  uint64_t snapshot_version = 0;
+  /// Money in cents; kInfiniteMoney when the query is not for sale.
+  int64_t price = 0;
+  /// Deadline-degraded admissible over-estimate (PricingSolution::
+  /// approximate), never cached server-side.
+  bool approximate = false;
+  std::string solver;
+};
+
+struct QuoteBatchReply {
+  uint64_t snapshot_version = 0;
+  struct Item {
+    /// 0 = ok (price/approximate/solver valid); nonzero = qp::StatusCode
+    /// of the per-query failure (message set, price fields zero).
+    uint8_t status_code = 0;
+    std::string message;
+    int64_t price = 0;
+    bool approximate = false;
+    std::string solver;
+  };
+  std::vector<Item> items;
+};
+
+struct InsertReply {
+  /// Version of the snapshot published by this insert; unchanged when
+  /// every row was already present (no publish).
+  uint64_t snapshot_version = 0;
+  uint32_t rows_inserted = 0;
+};
+
+struct MetricsReply {
+  std::string json;
+};
+
+struct ErrorReply {
+  uint8_t status_code = 0;
+  std::string message;
+};
+
+// ---- Encode / decode (one pair per message) ----
+
+std::string EncodeQuoteRequest(const QuoteRequest& msg);
+Result<QuoteRequest> DecodeQuoteRequest(std::string_view payload);
+
+std::string EncodeQuoteBatchRequest(const QuoteBatchRequest& msg);
+Result<QuoteBatchRequest> DecodeQuoteBatchRequest(std::string_view payload);
+
+std::string EncodeInsertRequest(const InsertRequest& msg);
+Result<InsertRequest> DecodeInsertRequest(std::string_view payload);
+
+std::string EncodeQuoteReply(const QuoteReply& msg);
+Result<QuoteReply> DecodeQuoteReply(std::string_view payload);
+
+std::string EncodeQuoteBatchReply(const QuoteBatchReply& msg);
+Result<QuoteBatchReply> DecodeQuoteBatchReply(std::string_view payload);
+
+std::string EncodeInsertReply(const InsertReply& msg);
+Result<InsertReply> DecodeInsertReply(std::string_view payload);
+
+std::string EncodeMetricsReply(const MetricsReply& msg);
+Result<MetricsReply> DecodeMetricsReply(std::string_view payload);
+
+std::string EncodeErrorReply(const ErrorReply& msg);
+Result<ErrorReply> DecodeErrorReply(std::string_view payload);
+
+}  // namespace qp
+
+#endif  // QP_SERVER_WIRE_H_

@@ -1,0 +1,204 @@
+#include "qp/util/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qp {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> TcpListen(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, backlog) != 0) return Errno("listen");
+  return sock;
+}
+
+Result<uint16_t> LocalPort(const Socket& socket) {
+  sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> TcpConnect(const std::string& host, uint16_t port) {
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  // Quotes are small request/response frames; coalescing them behind
+  // Nagle's algorithm would serialize round trips at ~40ms.
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return sock;
+}
+
+Result<Socket> Accept(const Socket& listener) {
+  int fd;
+  do {
+    fd = ::accept(listener.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("accept");
+  Socket sock(fd);
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return sock;
+}
+
+Result<bool> WaitReadable(const Socket& socket, int timeout_ms) {
+  pollfd pfd = {};
+  pfd.fd = socket.fd();
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  return rc > 0;
+}
+
+Status WriteFull(const Socket& socket, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = ::send(socket.fd(), p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<bool> ReadFull(const Socket& socket, void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::recv(socket.fd(), p + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (done == 0) return false;  // clean EOF at a message boundary
+      return Status::Internal("connection truncated mid-message");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Status WriteFrame(const Socket& socket, uint8_t type, std::string_view payload,
+                  uint32_t max_frame_bytes) {
+  if (payload.size() + 1 > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the frame limit of " +
+        std::to_string(max_frame_bytes));
+  }
+  uint32_t length = static_cast<uint32_t>(payload.size()) + 1;
+  unsigned char header[5];
+  header[0] = static_cast<unsigned char>(length >> 24);
+  header[1] = static_cast<unsigned char>(length >> 16);
+  header[2] = static_cast<unsigned char>(length >> 8);
+  header[3] = static_cast<unsigned char>(length);
+  header[4] = type;
+  QP_RETURN_IF_ERROR(WriteFull(socket, header, sizeof(header)));
+  if (!payload.empty()) {
+    QP_RETURN_IF_ERROR(WriteFull(socket, payload.data(), payload.size()));
+  }
+  return Status::Ok();
+}
+
+Result<std::optional<Frame>> ReadFrame(const Socket& socket,
+                                       uint32_t max_frame_bytes) {
+  unsigned char header[4];
+  auto got = ReadFull(socket, header, sizeof(header));
+  if (!got.ok()) return got.status();
+  if (!*got) return std::optional<Frame>();  // peer closed cleanly
+  uint32_t length = (static_cast<uint32_t>(header[0]) << 24) |
+                    (static_cast<uint32_t>(header[1]) << 16) |
+                    (static_cast<uint32_t>(header[2]) << 8) |
+                    static_cast<uint32_t>(header[3]);
+  if (length == 0) {
+    return Status::InvalidArgument("frame with zero length (no type byte)");
+  }
+  if (length > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(length) +
+        " bytes exceeds the frame limit of " +
+        std::to_string(max_frame_bytes));
+  }
+  Frame frame;
+  auto type_got = ReadFull(socket, &frame.type, 1);
+  if (!type_got.ok()) return type_got.status();
+  if (!*type_got) return Status::Internal("connection truncated mid-frame");
+  frame.payload.resize(length - 1);
+  if (length > 1) {
+    auto body = ReadFull(socket, frame.payload.data(), frame.payload.size());
+    if (!body.ok()) return body.status();
+    if (!*body) return Status::Internal("connection truncated mid-frame");
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace qp

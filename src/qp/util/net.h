@@ -1,0 +1,98 @@
+#ifndef QP_UTIL_NET_H_
+#define QP_UTIL_NET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "qp/util/result.h"
+
+namespace qp {
+
+/// Minimal POSIX TCP layer for the pricing server: an RAII socket, the
+/// listen/connect/accept trio, interruptible readiness polling, and the
+/// length-prefixed frame transport qpricerd speaks (qp/server/wire.h
+/// defines what goes *inside* a frame; this file only moves bytes).
+///
+/// Blocking I/O throughout. Concurrency comes from the server's worker
+/// pool (one connection per task), not from nonblocking multiplexing; a
+/// handler that must also watch a stop flag polls with WaitReadable
+/// before committing to a blocking read. All calls retry EINTR
+/// internally and never raise SIGPIPE (sends use MSG_NOSIGNAL).
+
+/// Move-only owner of a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Closes the descriptor now (idempotent; also run by the destructor).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a listening IPv4 socket on 127.0.0.1:`port` (0 = ephemeral;
+/// LocalPort reports the bound port). SO_REUSEADDR is set so a restarted
+/// daemon does not trip over TIME_WAIT.
+Result<Socket> TcpListen(uint16_t port, int backlog = 64);
+
+/// The port a socket is bound to (resolves port 0 after TcpListen).
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Connects to `host`:`port` (numeric IPv4 dotted quad, e.g. "127.0.0.1").
+Result<Socket> TcpConnect(const std::string& host, uint16_t port);
+
+/// Accepts one pending connection from a listening socket (blocking; poll
+/// with WaitReadable first to keep an accept loop interruptible).
+Result<Socket> Accept(const Socket& listener);
+
+/// True when `socket` has readable data (or a pending EOF / error) within
+/// `timeout_ms`; false on timeout. For a listener, "readable" means a
+/// connection is waiting to be accepted.
+Result<bool> WaitReadable(const Socket& socket, int timeout_ms);
+
+/// Writes all `size` bytes, looping over partial writes.
+Status WriteFull(const Socket& socket, const void* data, size_t size);
+
+/// Reads exactly `size` bytes. Returns false on a clean EOF *before the
+/// first byte* (peer closed between messages); EOF mid-buffer is an error
+/// (truncated stream).
+Result<bool> ReadFull(const Socket& socket, void* data, size_t size);
+
+/// One transport frame: a type tag and an opaque payload. On the wire:
+///
+///   uint32  length   (big-endian; counts the type byte + payload)
+///   uint8   type
+///   bytes   payload  (length - 1 bytes)
+struct Frame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// Frames larger than this are refused on read (a garbage length prefix
+/// must not allocate gigabytes) and on write (the peer would refuse them).
+inline constexpr uint32_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// Writes one frame.
+Status WriteFrame(const Socket& socket, uint8_t type,
+                  std::string_view payload,
+                  uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Reads one frame; nullopt on clean EOF at a frame boundary.
+Result<std::optional<Frame>> ReadFrame(
+    const Socket& socket, uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+}  // namespace qp
+
+#endif  // QP_UTIL_NET_H_

@@ -64,6 +64,23 @@ class LayeringTest(unittest.TestCase):
         self.assertEqual(code, 1, out)
         self.assertIn("[layer-violation]", out)
 
+    def test_server_is_the_top_layer(self):
+        # qp/server sits above everything (it composes market, pricing and
+        # util into the daemon); nothing below may include it.
+        code, out = run_checker({
+            "qp/market/snapshot.h": "",
+            "qp/server/pricing_server.h": (
+                '#include "qp/market/snapshot.h"\n'
+                '#include "qp/util/net.h"\n'),
+        })
+        self.assertEqual(code, 0, out)
+        code, out = run_checker({
+            "qp/server/wire.h": "",
+            "qp/market/snapshot.h": '#include "qp/server/wire.h"\n',
+        })
+        self.assertEqual(code, 1, out)
+        self.assertIn("[layer-violation]", out)
+
     def test_unknown_module_rejected(self):
         code, out = run_checker({
             "qp/gadgets/widget.h": "",

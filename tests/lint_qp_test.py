@@ -247,6 +247,40 @@ class LintRuleTest(unittest.TestCase):
             "};\n")
         self.assert_clean({"qp/obs/a.h": guarded("qp/obs/a.h", body)})
 
+    def test_guarded_by_coverage_on_server_state(self):
+        # The qpricerd serving state is the newest concurrent surface:
+        # a SnapshotStore-shaped class (two mutexes, RCU head pointer)
+        # must annotate the head; dropping the annotation fires.
+        bad = (
+            "class SnapshotStore {\n"
+            "  Mutex write_mu_;\n"
+            "  Mutex mu_;\n"
+            "  std::shared_ptr<const CatalogSnapshot> head_;\n"
+            "};\n")
+        self.assert_fires(
+            {"qp/server/store.h": guarded("qp/server/store.h", bad)},
+            "guarded-by-coverage", count=1)
+        good = (
+            "class SnapshotStore {\n"
+            "  Mutex write_mu_;\n"
+            "  Mutex mu_;\n"
+            "  std::shared_ptr<const CatalogSnapshot> head_"
+            " QP_GUARDED_BY(mu_);\n"
+            "};\n")
+        self.assert_clean(
+            {"qp/server/store.h": guarded("qp/server/store.h", good)})
+
+    def test_guarded_by_coverage_skips_atomic_server_state(self):
+        # PricingServer itself holds no Mutex: its cross-thread state is
+        # atomics, which carry their own ordering and need no annotation.
+        body = (
+            "class PricingServer {\n"
+            "  std::atomic<bool> stop_{false};\n"
+            "  std::atomic<int> active_connections_{0};\n"
+            "};\n")
+        self.assert_clean(
+            {"qp/server/server.h": guarded("qp/server/server.h", body)})
+
     # ---- the real tree stays clean ----
 
     def test_repo_src_is_clean(self):

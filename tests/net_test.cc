@@ -1,0 +1,162 @@
+// Tests for the TCP + length-prefixed frame transport under qpricerd:
+// listen/connect/accept round trips, frame framing edge cases (clean EOF,
+// truncation, oversize and zero-length frames), and readiness polling.
+
+#include "qp/util/net.h"
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+struct Loop {
+  Socket listener;
+  Socket client;
+  Socket server;
+};
+
+/// A connected loopback pair plus its listener.
+Loop MakeLoop() {
+  Loop loop;
+  auto listener = TcpListen(0);
+  EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+  loop.listener = *std::move(listener);
+  auto port = LocalPort(loop.listener);
+  EXPECT_TRUE(port.ok());
+  auto client = TcpConnect("127.0.0.1", *port);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  loop.client = *std::move(client);
+  auto server = Accept(loop.listener);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  loop.server = *std::move(server);
+  return loop;
+}
+
+TEST(Net, FrameRoundTrip) {
+  Loop loop = MakeLoop();
+  QP_ASSERT_OK(WriteFrame(loop.client, 0x42, "hello frames"));
+  QP_ASSERT_OK_AND_ASSIGN(auto frame, ReadFrame(loop.server));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, 0x42);
+  EXPECT_EQ(frame->payload, "hello frames");
+}
+
+TEST(Net, EmptyPayloadFrame) {
+  Loop loop = MakeLoop();
+  QP_ASSERT_OK(WriteFrame(loop.client, 0x05, ""));
+  QP_ASSERT_OK_AND_ASSIGN(auto frame, ReadFrame(loop.server));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, 0x05);
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(Net, ManyFramesInOrder) {
+  Loop loop = MakeLoop();
+  for (int i = 0; i < 50; ++i) {
+    QP_ASSERT_OK(WriteFrame(loop.client, static_cast<uint8_t>(i),
+                            std::string(i, 'x')));
+  }
+  for (int i = 0; i < 50; ++i) {
+    QP_ASSERT_OK_AND_ASSIGN(auto frame, ReadFrame(loop.server));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, static_cast<uint8_t>(i));
+    EXPECT_EQ(frame->payload.size(), static_cast<size_t>(i));
+  }
+}
+
+TEST(Net, CleanEofBetweenFrames) {
+  Loop loop = MakeLoop();
+  QP_ASSERT_OK(WriteFrame(loop.client, 1, "last"));
+  loop.client.Close();
+  QP_ASSERT_OK_AND_ASSIGN(auto frame, ReadFrame(loop.server));
+  ASSERT_TRUE(frame.has_value());
+  QP_ASSERT_OK_AND_ASSIGN(auto eof, ReadFrame(loop.server));
+  EXPECT_FALSE(eof.has_value());
+}
+
+TEST(Net, TruncatedFrameIsAnError) {
+  Loop loop = MakeLoop();
+  // Length prefix promises 100 bytes (99 payload) but only 3 arrive.
+  const unsigned char raw[] = {0, 0, 0, 100, 0x01, 'a', 'b'};
+  QP_ASSERT_OK(WriteFull(loop.client, raw, sizeof(raw)));
+  loop.client.Close();
+  auto frame = ReadFrame(loop.server);
+  EXPECT_FALSE(frame.ok());
+}
+
+TEST(Net, ZeroLengthFrameIsAnError) {
+  Loop loop = MakeLoop();
+  // A frame length of 0 cannot even hold the type byte.
+  const unsigned char raw[] = {0, 0, 0, 0};
+  QP_ASSERT_OK(WriteFull(loop.client, raw, sizeof(raw)));
+  auto frame = ReadFrame(loop.server);
+  EXPECT_FALSE(frame.ok());
+}
+
+TEST(Net, OversizeFrameRefusedOnRead) {
+  Loop loop = MakeLoop();
+  // Garbage length prefix far above the limit: must fail before
+  // allocating anything of that size.
+  const unsigned char raw[] = {0x7f, 0xff, 0xff, 0xff, 0x01};
+  QP_ASSERT_OK(WriteFull(loop.client, raw, sizeof(raw)));
+  auto frame = ReadFrame(loop.server, /*max_frame_bytes=*/1024);
+  EXPECT_FALSE(frame.ok());
+}
+
+TEST(Net, OversizeFrameRefusedOnWrite) {
+  Loop loop = MakeLoop();
+  std::string big(2048, 'x');
+  EXPECT_FALSE(WriteFrame(loop.client, 1, big, /*max_frame_bytes=*/1024).ok());
+}
+
+TEST(Net, WaitReadableTimesOutThenSeesData) {
+  Loop loop = MakeLoop();
+  QP_ASSERT_OK_AND_ASSIGN(bool readable, WaitReadable(loop.server, 20));
+  EXPECT_FALSE(readable);
+  QP_ASSERT_OK(WriteFrame(loop.client, 1, "ping"));
+  QP_ASSERT_OK_AND_ASSIGN(readable, WaitReadable(loop.server, 1000));
+  EXPECT_TRUE(readable);
+}
+
+TEST(Net, WaitReadableSeesPendingConnection) {
+  auto listener = TcpListen(0);
+  ASSERT_TRUE(listener.ok());
+  QP_ASSERT_OK_AND_ASSIGN(bool pending, WaitReadable(*listener, 20));
+  EXPECT_FALSE(pending);
+  QP_ASSERT_OK_AND_ASSIGN(uint16_t port, LocalPort(*listener));
+  auto client = TcpConnect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  QP_ASSERT_OK_AND_ASSIGN(pending, WaitReadable(*listener, 1000));
+  EXPECT_TRUE(pending);
+}
+
+TEST(Net, ConnectToClosedPortFails) {
+  uint16_t dead_port;
+  {
+    auto listener = TcpListen(0);
+    ASSERT_TRUE(listener.ok());
+    QP_ASSERT_OK_AND_ASSIGN(dead_port, LocalPort(*listener));
+  }  // listener closed; nothing is bound there now
+  auto client = TcpConnect("127.0.0.1", dead_port);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(Net, SocketMoveTransfersOwnership) {
+  Loop loop = MakeLoop();
+  int fd = loop.client.fd();
+  Socket moved = std::move(loop.client);
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_FALSE(loop.client.valid());  // NOLINT(bugprone-use-after-move)
+  QP_ASSERT_OK(WriteFrame(moved, 9, "still works"));
+  QP_ASSERT_OK_AND_ASSIGN(auto frame, ReadFrame(loop.server));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "still works");
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,173 @@
+// Tests for the qpricerd message codec: encode/decode round trips for
+// every frame body, and the decoder's refusal of truncated payloads,
+// trailing bytes, lying count prefixes and unknown value tags.
+
+#include "qp/server/wire.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(Wire, QuoteRequestRoundTrip) {
+  QuoteRequest msg;
+  msg.shard = 3;
+  msg.query_text = "Q(b) :- Email(b), InState(b,'WA')";
+  QP_ASSERT_OK_AND_ASSIGN(QuoteRequest back,
+                          DecodeQuoteRequest(EncodeQuoteRequest(msg)));
+  EXPECT_EQ(back.shard, 3u);
+  EXPECT_EQ(back.query_text, msg.query_text);
+}
+
+TEST(Wire, QuoteBatchRequestRoundTrip) {
+  QuoteBatchRequest msg;
+  msg.shard = 1;
+  msg.query_texts = {"Q(x) :- R(x)", "", "Q() :- S(x,y)"};
+  QP_ASSERT_OK_AND_ASSIGN(
+      QuoteBatchRequest back,
+      DecodeQuoteBatchRequest(EncodeQuoteBatchRequest(msg)));
+  EXPECT_EQ(back.shard, 1u);
+  EXPECT_EQ(back.query_texts, msg.query_texts);
+}
+
+TEST(Wire, InsertRequestRoundTrip) {
+  InsertRequest msg;
+  msg.shard = 2;
+  msg.relation = "Email";
+  msg.rows = {{Value::Str("biz7")},
+              {Value::Str("biz9")},
+              {Value::Int(42), Value::Str("mixed")}};
+  QP_ASSERT_OK_AND_ASSIGN(InsertRequest back,
+                          DecodeInsertRequest(EncodeInsertRequest(msg)));
+  EXPECT_EQ(back.shard, 2u);
+  EXPECT_EQ(back.relation, "Email");
+  ASSERT_EQ(back.rows.size(), 3u);
+  EXPECT_EQ(back.rows[0][0], Value::Str("biz7"));
+  EXPECT_EQ(back.rows[2][0], Value::Int(42));
+  EXPECT_EQ(back.rows[2][1], Value::Str("mixed"));
+}
+
+TEST(Wire, QuoteReplyRoundTrip) {
+  QuoteReply msg;
+  msg.snapshot_version = 17;
+  msg.price = 60000;
+  msg.approximate = true;
+  msg.solver = "chain-mincut";
+  QP_ASSERT_OK_AND_ASSIGN(QuoteReply back,
+                          DecodeQuoteReply(EncodeQuoteReply(msg)));
+  EXPECT_EQ(back.snapshot_version, 17u);
+  EXPECT_EQ(back.price, 60000);
+  EXPECT_TRUE(back.approximate);
+  EXPECT_EQ(back.solver, "chain-mincut");
+}
+
+TEST(Wire, NegativePriceSurvivesRoundTrip) {
+  // The wire must not mangle the sign bit (prices are int64 cents; the
+  // infinite sentinel is a large positive value, but the codec itself is
+  // sign-preserving).
+  QuoteReply msg;
+  msg.price = -1;
+  QP_ASSERT_OK_AND_ASSIGN(QuoteReply back,
+                          DecodeQuoteReply(EncodeQuoteReply(msg)));
+  EXPECT_EQ(back.price, -1);
+}
+
+TEST(Wire, QuoteBatchReplyMixedItems) {
+  QuoteBatchReply msg;
+  msg.snapshot_version = 4;
+  QuoteBatchReply::Item ok_item;
+  ok_item.price = 19900;
+  ok_item.solver = "selection";
+  QuoteBatchReply::Item bad_item;
+  bad_item.status_code = 1;
+  bad_item.message = "InvalidArgument: no such relation";
+  msg.items = {ok_item, bad_item};
+  QP_ASSERT_OK_AND_ASSIGN(
+      QuoteBatchReply back,
+      DecodeQuoteBatchReply(EncodeQuoteBatchReply(msg)));
+  ASSERT_EQ(back.items.size(), 2u);
+  EXPECT_EQ(back.items[0].status_code, 0);
+  EXPECT_EQ(back.items[0].price, 19900);
+  EXPECT_EQ(back.items[0].solver, "selection");
+  EXPECT_EQ(back.items[1].status_code, 1);
+  EXPECT_EQ(back.items[1].message, "InvalidArgument: no such relation");
+}
+
+TEST(Wire, InsertReplyRoundTrip) {
+  InsertReply msg;
+  msg.snapshot_version = 9;
+  msg.rows_inserted = 5;
+  QP_ASSERT_OK_AND_ASSIGN(InsertReply back,
+                          DecodeInsertReply(EncodeInsertReply(msg)));
+  EXPECT_EQ(back.snapshot_version, 9u);
+  EXPECT_EQ(back.rows_inserted, 5u);
+}
+
+TEST(Wire, MetricsAndErrorRoundTrip) {
+  MetricsReply metrics;
+  metrics.json = "{\"counters\": {}}";
+  QP_ASSERT_OK_AND_ASSIGN(MetricsReply m,
+                          DecodeMetricsReply(EncodeMetricsReply(metrics)));
+  EXPECT_EQ(m.json, metrics.json);
+
+  ErrorReply error;
+  error.status_code = 5;
+  error.message = "shed";
+  QP_ASSERT_OK_AND_ASSIGN(ErrorReply e,
+                          DecodeErrorReply(EncodeErrorReply(error)));
+  EXPECT_EQ(e.status_code, 5);
+  EXPECT_EQ(e.message, "shed");
+}
+
+TEST(Wire, TruncatedPayloadRejected) {
+  std::string full = EncodeQuoteRequest(
+      {.shard = 1, .query_text = "Q(x) :- R(x)"});
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    auto result = DecodeQuoteRequest(full.substr(0, cut));
+    EXPECT_FALSE(result.ok()) << "decoded a " << cut << "-byte prefix";
+  }
+}
+
+TEST(Wire, TrailingBytesRejected) {
+  std::string full = EncodeInsertReply({.snapshot_version = 1});
+  auto result = DecodeInsertReply(full + "x");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Wire, LyingCountPrefixRejected) {
+  // A batch request claiming 2^30 queries in a few bytes must fail
+  // without any giant allocation.
+  WireWriter w;
+  w.U32(0);            // shard
+  w.U32(1u << 30);     // query count
+  auto result = DecodeQuoteBatchRequest(std::move(w).payload());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Wire, UnknownValueTagRejected) {
+  WireWriter w;
+  w.U32(0);      // shard
+  w.Str("R");    // relation
+  w.U32(1);      // one row
+  w.U32(1);      // arity 1
+  w.U8(99);      // bogus value tag
+  w.U64(0);
+  auto result = DecodeInsertRequest(std::move(w).payload());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Wire, StringLengthPastEndRejected) {
+  WireWriter w;
+  w.U32(0);
+  w.U32(1000);  // string length prefix with only 2 bytes following
+  w.U8('a');
+  w.U8('b');
+  auto result = DecodeQuoteRequest(std::move(w).payload());
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,255 @@
+// Tests for multi-version snapshot isolation (qp/market/snapshot.h):
+// RCU-style publish semantics, all-or-nothing batches, reader pinning,
+// reclamation of old generations, the concurrent reader/writer hammer the
+// TSan CI job runs, and the quote cache's generation-pinned store guard.
+
+#include "qp/market/snapshot.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/pricing/quote_cache.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+TEST(SnapshotStore, SeedsVersionZeroFromInitialInstance) {
+  Example38 e = Example38::Make();
+  SnapshotStore store(*e.db, &e.prices);
+  EXPECT_EQ(store.version(), 0u);
+  SnapshotRef snapshot = store.Acquire();
+  EXPECT_EQ(snapshot->version(), 0u);
+  EXPECT_EQ(snapshot->db().TotalTuples(), e.db->TotalTuples());
+}
+
+TEST(SnapshotStore, InsertPublishesSuccessorWithoutTouchingPinnedReader) {
+  Example38 e = Example38::Make();
+  SnapshotStore store(*e.db, &e.prices);
+  SnapshotRef pinned = store.Acquire();
+  size_t tuples_before = pinned->db().TotalTuples();
+
+  QP_ASSERT_OK_AND_ASSIGN(auto outcome,
+                          store.Insert("R", {{Value::Str("a3")}}));
+  EXPECT_EQ(outcome.version, 1u);
+  EXPECT_EQ(outcome.rows_inserted, 1u);
+  EXPECT_EQ(store.version(), 1u);
+
+  // The pinned snapshot is immutable: same contents as before the insert.
+  EXPECT_EQ(pinned->version(), 0u);
+  EXPECT_EQ(pinned->db().TotalTuples(), tuples_before);
+  EXPECT_EQ(store.Acquire()->db().TotalTuples(), tuples_before + 1);
+}
+
+TEST(SnapshotStore, PinnedSnapshotPricesBitIdenticallyAcrossPublishes) {
+  Example38 e = Example38::Make();
+  SnapshotStore store(*e.db, &e.prices);
+  SnapshotRef pinned = store.Acquire();
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote before, pinned->engine().Price(e.query));
+  EXPECT_EQ(before.solution.price, 6);  // Example 3.8's known price
+
+  QP_ASSERT_OK_AND_ASSIGN(auto outcome,
+                          store.Insert("R", {{Value::Str("a3")}}));
+  EXPECT_EQ(outcome.version, 1u);
+
+  // Repricing on the pinned generation is unaffected by the publish.
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote after, pinned->engine().Price(e.query));
+  EXPECT_EQ(after.solution.price, 6);
+}
+
+TEST(SnapshotStore, DuplicateRowsDoNotPublish) {
+  Example38 e = Example38::Make();
+  SnapshotStore store(*e.db, &e.prices);
+  QP_ASSERT_OK_AND_ASSIGN(auto outcome,
+                          store.Insert("R", {{Value::Str("a1")}}));
+  EXPECT_EQ(outcome.version, 0u);
+  EXPECT_EQ(outcome.rows_inserted, 0u);
+  EXPECT_EQ(store.version(), 0u);
+}
+
+TEST(SnapshotStore, BatchIsAllOrNothing) {
+  Example38 e = Example38::Make();
+  SnapshotStore store(*e.db, &e.prices);
+  // "zz" violates Col R.X, so the whole batch — including the valid a3
+  // row — must be refused without publishing.
+  auto outcome = store.Insert(
+      "R", {{Value::Str("a3")}, {Value::Str("zz")}});
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(store.version(), 0u);
+  SnapshotRef head = store.Acquire();
+  EXPECT_EQ(head->db().TotalTuples(), e.db->TotalTuples());
+}
+
+TEST(SnapshotStore, MultiRelationBatchLandsInOneGeneration) {
+  Example38 e = Example38::Make();
+  SnapshotStore store(*e.db, &e.prices);
+  std::vector<SnapshotStore::RelationRows> batch(2);
+  batch[0].relation = "R";
+  batch[0].rows = {{Value::Str("a3")}};
+  batch[1].relation = "T";
+  batch[1].rows = {{Value::Str("b2")}};
+  QP_ASSERT_OK_AND_ASSIGN(auto outcome, store.InsertBatch(batch));
+  EXPECT_EQ(outcome.version, 1u);
+  EXPECT_EQ(outcome.rows_inserted, 2u);
+  // One publish: both rows visible at version 1, no intermediate state.
+  EXPECT_EQ(store.version(), 1u);
+}
+
+TEST(SnapshotStore, OldGenerationsAreReclaimedWhenUnpinned) {
+  Example38 e = Example38::Make();
+  SnapshotStore store(*e.db, &e.prices);
+  SnapshotRef pinned = store.Acquire();
+  std::weak_ptr<const CatalogSnapshot> watch = pinned;
+
+  QP_ASSERT_OK(store.Insert("R", {{Value::Str("a3")}}).status());
+  // Still pinned by our ref even though the head moved on.
+  EXPECT_FALSE(watch.expired());
+  pinned.reset();
+  // Last reference gone: the old generation is gone with it.
+  EXPECT_TRUE(watch.expired());
+}
+
+// The TSan target: readers acquire and inspect snapshots as fast as they
+// can while a writer publishes multi-relation batches. Every acquired
+// snapshot must be internally consistent — the writer only ever inserts
+// into R and S *together*, so |R| == |S| in every published generation; a
+// torn read (seeing one relation's half of a batch without the other)
+// would break the equality. Versions must also be monotone per reader.
+TEST(SnapshotStore, ConcurrentReadersNeverSeeTornBatches) {
+  Catalog catalog;
+  QP_ASSERT_OK_AND_ASSIGN(RelationId r, catalog.AddRelation("R", {"X"}));
+  QP_ASSERT_OK_AND_ASSIGN(RelationId s, catalog.AddRelation("S", {"X"}));
+  std::vector<Value> col;
+  constexpr int kRows = 200;
+  for (int i = 0; i < kRows; ++i) col.push_back(Value::Int(i));
+  QP_ASSERT_OK(catalog.SetColumn("R", "X", col));
+  QP_ASSERT_OK(catalog.SetColumn("S", "X", col));
+  SelectionPriceSet prices;
+  Instance initial(&catalog);
+  SnapshotStore store(initial, &prices);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> version_regressions{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      uint64_t last_version = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        SnapshotRef snapshot = store.Acquire();
+        if (snapshot->db().NumTuples(r) != snapshot->db().NumTuples(s)) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (snapshot->version() < last_version) {
+          version_regressions.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_version = snapshot->version();
+      }
+    });
+  }
+
+  for (int i = 0; i < kRows; ++i) {
+    std::vector<SnapshotStore::RelationRows> batch(2);
+    batch[0].relation = "R";
+    batch[0].rows = {{Value::Int(i)}};
+    batch[1].relation = "S";
+    batch[1].rows = {{Value::Int(i)}};
+    QP_ASSERT_OK_AND_ASSIGN(auto outcome, store.InsertBatch(batch));
+    EXPECT_EQ(outcome.rows_inserted, 2u);
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(version_regressions.load(), 0);
+  EXPECT_EQ(store.version(), static_cast<uint64_t>(kRows));
+  SnapshotRef head = store.Acquire();
+  EXPECT_EQ(head->db().NumTuples(r), static_cast<size_t>(kRows));
+  EXPECT_EQ(head->db().NumTuples(s), static_cast<size_t>(kRows));
+}
+
+TEST(ShardMap, AddressesShardsByDenseId) {
+  ShardMap shards;
+  auto seller = std::make_unique<Seller>("alpha");
+  QP_ASSERT_OK(seller->DeclareRelation("R", {"X"}, {{Value::Str("a")}}));
+  QP_ASSERT_OK(seller->Load("R", {{Value::Str("a")}}));
+  QP_ASSERT_OK(seller->SetUniformPrice("R", "X", Dollars(1)));
+  QP_ASSERT_OK(shards.AddShard("alpha", std::move(seller)));
+  EXPECT_EQ(shards.size(), 1u);
+  ASSERT_NE(shards.shard(0), nullptr);
+  EXPECT_EQ(shards.shard(0)->name, "alpha");
+  EXPECT_EQ(shards.shard(0)->store->version(), 0u);
+  EXPECT_EQ(shards.shard(1), nullptr);
+  EXPECT_EQ(shards.AddShard("null", nullptr).ok(), false);
+}
+
+// ---- QuoteCache generation-pinned stores (the serving-path guard) ----
+
+TEST(QuoteCacheGenerations, StaleStoreFromOldSnapshotIsDropped) {
+  Example38 e = Example38::Make();
+  std::string fp = e.query.Fingerprint();
+  Instance old_db = *e.db;  // generation vector frozen pre-mutation
+  QP_ASSERT_OK_AND_ASSIGN(bool fresh, e.db->Insert("R", {Value::Str("a3")}));
+  ASSERT_TRUE(fresh);
+
+  QuoteCache cache;
+  PriceQuote new_quote;
+  new_quote.solution.price = 7;
+  cache.Store(fp, e.query, *e.db, new_quote);
+
+  // An in-flight reader that priced against the old generation finishes
+  // late and tries to store: the fresher entry must survive.
+  PriceQuote old_quote;
+  old_quote.solution.price = 6;
+  cache.Store(fp, e.query, old_db, old_quote);
+
+  EXPECT_EQ(cache.stats().stale_store_drops, 1u);
+  auto hit = cache.Lookup(fp, *e.db);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->solution.price, 7);
+}
+
+TEST(QuoteCacheGenerations, SameGenerationStoreOverwrites) {
+  Example38 e = Example38::Make();
+  std::string fp = e.query.Fingerprint();
+  QuoteCache cache;
+  PriceQuote first;
+  first.solution.price = 6;
+  cache.Store(fp, e.query, *e.db, first);
+  PriceQuote second;
+  second.solution.price = 6;
+  second.solver = "rerun";
+  cache.Store(fp, e.query, *e.db, second);
+
+  EXPECT_EQ(cache.stats().stale_store_drops, 0u);
+  auto hit = cache.Lookup(fp, *e.db);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->solver, "rerun");
+}
+
+TEST(QuoteCacheGenerations, NewerStoreReplacesOlderEntry) {
+  Example38 e = Example38::Make();
+  std::string fp = e.query.Fingerprint();
+  Instance old_db = *e.db;
+  QuoteCache cache;
+  PriceQuote old_quote;
+  old_quote.solution.price = 6;
+  cache.Store(fp, e.query, old_db, old_quote);
+
+  QP_ASSERT_OK_AND_ASSIGN(bool fresh, e.db->Insert("R", {Value::Str("a3")}));
+  ASSERT_TRUE(fresh);
+  PriceQuote new_quote;
+  new_quote.solution.price = 8;
+  cache.Store(fp, e.query, *e.db, new_quote);
+
+  EXPECT_EQ(cache.stats().stale_store_drops, 0u);
+  auto hit = cache.Lookup(fp, *e.db);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->solution.price, 8);
+}
+
+}  // namespace
+}  // namespace qp

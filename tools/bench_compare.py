@@ -3,7 +3,7 @@
 
 Usage:
   bench_compare.py BASELINE.json CURRENT.json [--threshold=PCT]
-                   [--p95-threshold=PCT] [--metric=M]
+                   [--p95-threshold=PCT] [--metric=M] [--filter=SUBSTR]
   bench_compare.py --self-test
 
 Exits non-zero when any scenario regresses by more than the threshold on
@@ -15,7 +15,10 @@ current run. The p95 gate is skipped when the current report was a
 "p95" is just the slowest sample, and gating a max against a full-run
 percentile is pure noise — the nightly full bench still gates tails. New
 scenarios (present only in the current run) are reported but do not fail
-the comparison — they have no baseline yet. `--self-test` injects a
+the comparison — they have no baseline yet. `--filter=SUBSTR` restricts
+the comparison to scenarios whose name contains SUBSTR, on both sides —
+that is how a partial run (e.g. the server-e2e job's `serve_`-only bench)
+is gated without the full suite's rows counting as missing. `--self-test` injects a
 synthetic 2x slowdown, a p95-only tail regression, and a missing
 scenario, and checks that the comparison catches all three and that a
 quick run's tail is exempt (also wired up as a ctest).
@@ -34,6 +37,13 @@ def load_scenarios(path):
     if not isinstance(scenarios, dict):
         raise ValueError(f"{path}: no 'scenarios' object")
     return report, scenarios
+
+
+def filter_scenarios(scenarios, substring):
+    """Scenario-name substring filter, applied to both sides so a partial
+    current run is never charged for rows it was not asked to produce."""
+    return {name: value for name, value in scenarios.items()
+            if substring in name}
 
 
 def compare(baseline, current, threshold_pct, metric):
@@ -146,8 +156,27 @@ def self_test():
     assert any("slowed" in f and "p50_ns" in f for f in quick_failures), \
         "quick-run p50 slowdown not flagged"
 
+    # The filter scopes both sides: a current run holding only the
+    # filtered scenarios must pass even though the rest of the baseline is
+    # absent from it, while a regression inside the filter still fails.
+    partial = {"slowed": copy.deepcopy(baseline["slowed"])}
+    filtered_failures = compare_both(
+        filter_scenarios(baseline, "slow"), filter_scenarios(partial, "slow"),
+        25.0, 60.0, "p50_ns")
+    assert not filtered_failures, \
+        f"filtered partial run wrongly failed: {filtered_failures}"
+    partial["slowed"]["p50_ns"] = 4000
+    filtered_failures = compare_both(
+        filter_scenarios(baseline, "slow"), filter_scenarios(partial, "slow"),
+        25.0, 60.0, "p50_ns")
+    assert any("slowed" in f and "p50_ns" in f for f in filtered_failures), \
+        "regression inside the filter not flagged"
+    assert not any("gone" in f for f in filtered_failures), \
+        "filtered-out scenario wrongly counted as missing"
+
     print("self-test: ok (p50 slowdown, p95 tail regression, and missing "
-          "scenario all flagged; quick-run tail exempt)")
+          "scenario all flagged; quick-run tail exempt; filter scopes "
+          "both sides)")
     return 0
 
 
@@ -165,6 +194,10 @@ def main():
     parser.add_argument("--metric", default="p50_ns",
                         help="primary scenario field to compare (default "
                              "p50_ns); p95_ns is always gated too")
+    parser.add_argument("--filter", default="",
+                        help="only compare scenarios whose name contains "
+                             "this substring (applied to baseline and "
+                             "current)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify injected p50/p95 regressions fail the "
                              "comparison")
@@ -177,6 +210,12 @@ def main():
 
     _, baseline = load_scenarios(args.baseline)
     current_report, current = load_scenarios(args.current)
+    if args.filter:
+        baseline = filter_scenarios(baseline, args.filter)
+        current = filter_scenarios(current, args.filter)
+        if not baseline and not current:
+            print(f"FAIL: --filter={args.filter!r} matched no scenarios")
+            return 1
     quick = bool(current_report.get("quick"))
     failures = compare_both(baseline, current, args.threshold,
                             args.p95_threshold, args.metric,

@@ -15,6 +15,8 @@ same module or a module on a strictly lower layer:
     layer 7   qp/market
     layer 8   qp/workload
     layer 9   qp/selfcheck
+    layer 10  qp/server      (the qpricerd serving core: wire protocol,
+                              shard map, connection handling)
     (top)     tools/, tests/, bench/, examples/ — may include anything
 
 Enforced per include edge, so a violation names the exact file and line:
@@ -53,6 +55,7 @@ LAYERS = {
     "market": 7,
     "workload": 8,
     "selfcheck": 9,
+    "server": 10,
 }
 
 INCLUDE = re.compile(r'^\s*#include\s+"(qp/([a-z_]+)/[^"]+)"')

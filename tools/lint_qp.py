@@ -362,7 +362,14 @@ def check_guarded_by_coverage(path, lines, findings):
                 continue
             if re.search(r"\bstd::atomic\b|\bMutex\b|\bCondVar\b", code):
                 continue
-            if re.search(r"\bconst\b", code):
+            # Const exempts the *member*, not a template argument: a
+            # shared_ptr<const T> is still a mutable pointer (the RCU head
+            # in qp/market/snapshot.h is exactly this shape and must be
+            # guarded). Strip <...> before looking for const.
+            outside_args = code
+            while re.search(r"<[^<>]*>", outside_args):
+                outside_args = re.sub(r"<[^<>]*>", "", outside_args)
+            if re.search(r"\bconst\b", outside_args):
                 continue
             findings.append(
                 (path, ln, "guarded-by-coverage",

@@ -1,0 +1,266 @@
+// qpricer_load — closed-loop load client for qpricerd: N concurrent
+// connections, each issuing a mixed QUOTE / QUOTE_BATCH / INSERT trace
+// against the daemon's generated business-market shards, reporting
+// end-to-end throughput and latency percentiles.
+//
+// Usage:
+//   qpricer_load --port=N [flags]
+//
+// Flags:
+//   --host=A           server address (default 127.0.0.1)
+//   --port=N           server port (required)
+//   --connections=N    concurrent client connections (default 8)
+//   --requests=N       requests per connection (default 200)
+//   --shards=N         shards to spread load across (default 2; must not
+//                      exceed the daemon's shard count)
+//   --insert-every=N   every Nth request is an INSERT (default 8;
+//                      0 = quotes only)
+//   --batch-every=N    every Nth request is a QUOTE_BATCH of 8 queries
+//                      (default 16; 0 = none)
+//   --smoke            CI smoke mode: assert nonzero quote and insert
+//                      successes and zero failures, print "SMOKE OK"
+//   --shutdown         send a SHUTDOWN frame after the run
+//   --out=PATH         write a JSON result row (qps, p50_ns, p95_ns)
+//
+// Exit status: 0 on success; 1 when any request failed (or a --smoke
+// assertion does not hold).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qp/server/client.h"
+
+namespace {
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  long port = 0;
+  int connections = 8;
+  int requests = 200;
+  int shards = 2;
+  int insert_every = 8;
+  int batch_every = 16;
+  bool smoke = false;
+  bool shutdown = false;
+  std::string out;
+};
+
+bool ParseIntFlag(const char* arg, const char* name, long* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtol(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+/// The quote mix: selection-heavy conjunctive queries over the generated
+/// business market (Business/Email/InState/InCounty), a boolean probe,
+/// and one join that exercises the non-trivial solver paths.
+const char* kQuoteMix[] = {
+    "Q(b) :- Email(b), InState(b,'WA')",
+    "Q(b) :- Business(b), InState(b,'OR')",
+    "Q(b) :- Email(b), InCounty(b,'WA/c0')",
+    "Q(b) :- InState(b,'S2')",
+    "Q() :- Email(x), InState(x,'WA')",
+    "Q(b) :- Business(b), Email(b), InState(b,'S3')",
+};
+constexpr int kQuoteMixSize = 6;
+
+struct WorkerResult {
+  uint64_t quotes_ok = 0;
+  uint64_t inserts_ok = 0;
+  uint64_t rows_inserted = 0;
+  uint64_t failures = 0;
+  std::vector<uint64_t> latencies_ns;
+  std::string first_error;
+};
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Fail(WorkerResult* result, const qp::Status& status) {
+  ++result->failures;
+  if (result->first_error.empty()) result->first_error = status.ToString();
+}
+
+void RunWorker(const Flags& flags, int worker_id, WorkerResult* result) {
+  auto client = qp::PricingClient::Connect(
+      flags.host, static_cast<uint16_t>(flags.port));
+  if (!client.ok()) {
+    Fail(result, client.status());
+    return;
+  }
+  uint32_t shard = static_cast<uint32_t>(
+      flags.shards > 0 ? worker_id % flags.shards : 0);
+  for (int i = 0; i < flags.requests; ++i) {
+    uint64_t start = NowNs();
+    if (flags.insert_every > 0 && i % flags.insert_every == 1) {
+      // Spread inserts over distinct businesses per worker so most are
+      // fresh rows; duplicates are valid no-op inserts either way.
+      int bid = (worker_id * flags.requests + i * 7) % 120;
+      auto reply = client->Insert(
+          shard, "Email",
+          {{qp::Value::Str("biz" + std::to_string(bid))}});
+      if (!reply.ok()) {
+        Fail(result, reply.status());
+      } else {
+        ++result->inserts_ok;
+        result->rows_inserted += reply->rows_inserted;
+      }
+    } else if (flags.batch_every > 0 && i % flags.batch_every == 2) {
+      std::vector<std::string> texts;
+      for (int q = 0; q < 8; ++q) {
+        texts.push_back(kQuoteMix[(i + q) % kQuoteMixSize]);
+      }
+      auto reply = client->QuoteBatch(shard, texts);
+      if (!reply.ok()) {
+        Fail(result, reply.status());
+      } else {
+        bool all_ok = true;
+        for (const auto& item : reply->items) {
+          if (item.status_code != 0) {
+            all_ok = false;
+            Fail(result, qp::Status::Internal("batch item: " + item.message));
+          }
+        }
+        if (all_ok) result->quotes_ok += reply->items.size();
+      }
+    } else {
+      auto reply = client->Quote(shard, kQuoteMix[i % kQuoteMixSize]);
+      if (!reply.ok()) {
+        Fail(result, reply.status());
+      } else {
+        ++result->quotes_ok;
+      }
+    }
+    result->latencies_ns.push_back(NowNs() - start);
+  }
+  if (flags.shutdown && worker_id == 0) {
+    qp::Status status = client->Shutdown();
+    if (!status.ok()) Fail(result, status);
+  }
+}
+
+uint64_t Percentile(std::vector<uint64_t>* sorted, double q) {
+  if (sorted->empty()) return 0;
+  size_t rank = static_cast<size_t>(q * (sorted->size() - 1));
+  return (*sorted)[rank];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    long v = 0;
+    if (ParseIntFlag(argv[i], "--port", &v)) {
+      flags.port = v;
+    } else if (ParseIntFlag(argv[i], "--connections", &v)) {
+      flags.connections = static_cast<int>(v);
+    } else if (ParseIntFlag(argv[i], "--requests", &v)) {
+      flags.requests = static_cast<int>(v);
+    } else if (ParseIntFlag(argv[i], "--shards", &v)) {
+      flags.shards = static_cast<int>(v);
+    } else if (ParseIntFlag(argv[i], "--insert-every", &v)) {
+      flags.insert_every = static_cast<int>(v);
+    } else if (ParseIntFlag(argv[i], "--batch-every", &v)) {
+      flags.batch_every = static_cast<int>(v);
+    } else if (std::strncmp(argv[i], "--host=", 7) == 0) {
+      flags.host = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      flags.smoke = true;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      flags.shutdown = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      flags.out = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "qpricer_load: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (flags.port <= 0 || flags.port > 65535) {
+    std::fprintf(stderr, "qpricer_load: --port=N is required\n");
+    return 2;
+  }
+  if (flags.smoke) {
+    flags.connections = std::max(flags.connections, 8);
+    flags.requests = std::min(flags.requests, 50);
+  }
+
+  std::vector<WorkerResult> results(flags.connections);
+  std::vector<std::thread> threads;
+  uint64_t wall_start = NowNs();
+  for (int c = 0; c < flags.connections; ++c) {
+    threads.emplace_back(RunWorker, flags, c, &results[c]);
+  }
+  for (std::thread& t : threads) t.join();
+  uint64_t wall_ns = NowNs() - wall_start;
+
+  uint64_t quotes_ok = 0, inserts_ok = 0, rows = 0, failures = 0, ops = 0;
+  std::vector<uint64_t> latencies;
+  std::string first_error;
+  for (const WorkerResult& r : results) {
+    quotes_ok += r.quotes_ok;
+    inserts_ok += r.inserts_ok;
+    rows += r.rows_inserted;
+    failures += r.failures;
+    ops += r.latencies_ns.size();
+    latencies.insert(latencies.end(), r.latencies_ns.begin(),
+                     r.latencies_ns.end());
+    if (first_error.empty()) first_error = r.first_error;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  uint64_t p50 = Percentile(&latencies, 0.50);
+  uint64_t p95 = Percentile(&latencies, 0.95);
+  // qps counts request round-trips per second (a batch is one request).
+  double qps = wall_ns > 0 ? static_cast<double>(ops) * 1e9 /
+                                 static_cast<double>(wall_ns)
+                           : 0.0;
+
+  std::printf(
+      "qpricer_load: %d connections, %llu requests in %.1f ms\n",
+      flags.connections, static_cast<unsigned long long>(ops),
+      static_cast<double>(wall_ns) / 1e6);
+  std::printf(
+      "  quotes_ok=%llu inserts_ok=%llu rows_inserted=%llu failures=%llu\n",
+      static_cast<unsigned long long>(quotes_ok),
+      static_cast<unsigned long long>(inserts_ok),
+      static_cast<unsigned long long>(rows),
+      static_cast<unsigned long long>(failures));
+  std::printf("  qps=%.0f p50=%.3f ms p95=%.3f ms\n", qps,
+              static_cast<double>(p50) / 1e6,
+              static_cast<double>(p95) / 1e6);
+  if (failures > 0) {
+    std::printf("  first error: %s\n", first_error.c_str());
+  }
+
+  if (!flags.out.empty()) {
+    std::ofstream out(flags.out);
+    out << "{\"connections\": " << flags.connections
+        << ", \"requests\": " << ops << ", \"quotes_ok\": " << quotes_ok
+        << ", \"inserts_ok\": " << inserts_ok
+        << ", \"failures\": " << failures << ", \"qps\": " << qps
+        << ", \"p50_ns\": " << p50 << ", \"p95_ns\": " << p95 << "}\n";
+  }
+
+  if (flags.smoke) {
+    if (failures == 0 && quotes_ok > 0 && inserts_ok > 0) {
+      std::printf("SMOKE OK\n");
+      return 0;
+    }
+    std::printf("SMOKE FAILED\n");
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,177 @@
+// qpricerd — the pricing daemon: serves arbitrage-free quotes over the
+// length-prefixed binary protocol of qp/server/wire.h, one catalog shard
+// per seller, with multi-version snapshot isolation (an INSERT publishes
+// a new catalog generation without blocking in-flight quotes).
+//
+// Usage:
+//   qpricerd [flags]
+//
+// Flags:
+//   --port=N             listen port (default 0 = ephemeral; the bound
+//                        port is printed on the "listening" line)
+//   --shards=N           generated business-market shards (default 2)
+//   --businesses=N       businesses per generated shard (default 120)
+//   --market=PATH        serve a single shard loaded from a market file
+//                        (qp/market/catalog_io.h format) instead
+//   --workers=N          connection worker threads (default 8)
+//   --max-connections=N  admission limit before shedding (default 64)
+//   --deadline-ms=N      per-quote serving deadline (default 0 = none)
+//   --admission-cap=N    per-batch admission cap (default 0 = unlimited)
+//
+// On startup the daemon prints exactly one line
+//   qpricerd listening on 127.0.0.1:<port> (<k> shards)
+// to stdout and serves until SIGTERM/SIGINT or a SHUTDOWN frame, then
+// drains and exits 0. CI greps that line for the port, runs the load
+// client, and asserts the clean exit.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "qp/market/catalog_io.h"
+#include "qp/server/pricing_server.h"
+#include "qp/workload/business.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void HandleSignal(int sig) { g_signal = sig; }
+
+struct Flags {
+  uint16_t port = 0;
+  int shards = 2;
+  int businesses = 120;
+  std::string market_file;
+  int workers = 8;
+  int max_connections = 64;
+  int64_t deadline_ms = 0;
+  int admission_cap = 0;
+};
+
+bool ParseIntFlag(const char* arg, const char* name, long* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtol(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+int Usage(const char* msg) {
+  std::fprintf(stderr, "qpricerd: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: qpricerd [--port=N] [--shards=N] [--businesses=N] "
+               "[--market=PATH]\n"
+               "                [--workers=N] [--max-connections=N] "
+               "[--deadline-ms=N] [--admission-cap=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    long v = 0;
+    if (ParseIntFlag(argv[i], "--port", &v)) {
+      flags.port = static_cast<uint16_t>(v);
+    } else if (ParseIntFlag(argv[i], "--shards", &v)) {
+      flags.shards = static_cast<int>(v);
+    } else if (ParseIntFlag(argv[i], "--businesses", &v)) {
+      flags.businesses = static_cast<int>(v);
+    } else if (ParseIntFlag(argv[i], "--workers", &v)) {
+      flags.workers = static_cast<int>(v);
+    } else if (ParseIntFlag(argv[i], "--max-connections", &v)) {
+      flags.max_connections = static_cast<int>(v);
+    } else if (ParseIntFlag(argv[i], "--deadline-ms", &v)) {
+      flags.deadline_ms = v;
+    } else if (ParseIntFlag(argv[i], "--admission-cap", &v)) {
+      flags.admission_cap = static_cast<int>(v);
+    } else if (std::strncmp(argv[i], "--market=", 9) == 0) {
+      flags.market_file = argv[i] + 9;
+    } else {
+      return Usage((std::string("unknown flag ") + argv[i]).c_str());
+    }
+  }
+  if (flags.shards < 1 && flags.market_file.empty()) {
+    return Usage("--shards must be >= 1");
+  }
+
+  qp::ShardMap shards;
+  if (!flags.market_file.empty()) {
+    auto seller = std::make_unique<qp::Seller>("market");
+    qp::Status status =
+        qp::LoadSellerFromFile(seller.get(), flags.market_file);
+    if (!status.ok()) {
+      std::fprintf(stderr, "qpricerd: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    auto report = seller->Publish();
+    if (!report.ok() || !report->consistent) {
+      std::fprintf(stderr, "qpricerd: market file fails publish checks\n");
+      return 1;
+    }
+    status = shards.AddShard("market", std::move(seller));
+    if (!status.ok()) {
+      std::fprintf(stderr, "qpricerd: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  } else {
+    for (int i = 0; i < flags.shards; ++i) {
+      std::string name = "shard" + std::to_string(i);
+      auto seller = std::make_unique<qp::Seller>(name);
+      qp::BusinessMarketParams params;
+      params.num_businesses = flags.businesses;
+      params.seed = 7 + static_cast<uint64_t>(i);
+      qp::Status status = qp::PopulateBusinessMarket(seller.get(), params);
+      if (!status.ok()) {
+        std::fprintf(stderr, "qpricerd: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      auto report = seller->Publish();
+      if (!report.ok() || !report->consistent) {
+        std::fprintf(stderr, "qpricerd: shard %s fails publish checks\n",
+                     name.c_str());
+        return 1;
+      }
+      status = shards.AddShard(name, std::move(seller));
+      if (!status.ok()) {
+        std::fprintf(stderr, "qpricerd: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  size_t num_shards = shards.size();
+
+  qp::PricingServerOptions options;
+  options.port = flags.port;
+  options.num_workers = flags.workers;
+  options.max_connections = flags.max_connections;
+  options.deadline_ms = flags.deadline_ms;
+  options.admission_cap = flags.admission_cap;
+  qp::PricingServer server(std::move(shards), options);
+  qp::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "qpricerd: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  std::printf("qpricerd listening on 127.0.0.1:%u (%zu shards)\n",
+              static_cast<unsigned>(server.port()), num_shards);
+  std::fflush(stdout);
+
+  // Serve until a signal lands or a SHUTDOWN frame flips the stop flag.
+  while (g_signal == 0 && !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  std::printf("qpricerd shut down cleanly\n");
+  return 0;
+}
