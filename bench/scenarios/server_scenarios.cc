@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -82,6 +83,68 @@ struct ServerSetup {
   }
 };
 
+/// Shared setup for the serve_churn pair (see the registrations below):
+/// the returned body runs publish → gap → serial hot-set quote pass.
+std::function<void()> MakeChurnBody(ScenarioContext& context,
+                                    bool warm_on_publish) {
+  qp::PricingServerOptions options;
+  // One worker: on the 1-core CI runner, extra workers woken for warm
+  // tasks preempt the worker still writing the insert reply and push the
+  // warming cost onto the seller's round trip. A single worker finishes
+  // the frame, parks the connection, then drains the background lane
+  // during the gap — which is the deployment-shaped behavior (workers
+  // sized to cores).
+  options.num_workers = 1;
+  options.warm_on_publish = warm_on_publish;
+  options.hot_set_size = 16;
+  auto setup = std::make_shared<ServerSetup>(1, options);
+  auto client = std::make_shared<qp::PricingClient>(setup->Connect());
+
+  // The hot set: 12 quote shapes, all reading InState (so every publish
+  // below invalidates all of them). Quoting each 3x primes the cache and
+  // pushes them to the top of the hot tracker.
+  auto hot = std::make_shared<std::vector<std::string>>();
+  {
+    std::vector<std::string> mix = ServeMix(setup->params);
+    for (size_t i = 0; i < 12 && i < mix.size(); ++i) {
+      hot->push_back(mix[i]);
+    }
+  }
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const std::string& text : *hot) {
+      if (!client->Quote(0, text).ok()) std::exit(1);
+    }
+  }
+  context.SetCounter("hot_set", static_cast<int64_t>(hot->size()));
+
+  auto states = std::make_shared<std::vector<std::string>>(
+      qp::BusinessStates(setup->params));
+  auto next = std::make_shared<int>(0);
+  return [setup, client, hot, states, next]() {
+    // Publish: cycle mostly-fresh (business, state) pairs so nearly every
+    // iteration swaps a real generation (duplicates are no-op inserts and
+    // leave the hot entries valid — harmless p50 noise).
+    int i = (*next)++;
+    auto reply = client->Insert(
+        0, "InState",
+        {{qp::Value::Str("biz" + std::to_string(i % 150)),
+          qp::Value::Str((*states)[static_cast<size_t>(i / 150 + i) %
+                                   states->size()])}});
+    if (!reply.ok()) std::exit(1);
+    // The publish→re-ask gap. Buyers do not re-quote the instant a seller
+    // publishes; the warmer uses exactly this window (on the background
+    // lane, while the client sleeps) to re-price the hot set. 10ms is
+    // sized so the full hot set (~5ms of solver work) fits inside the gap
+    // on a single-core runner — shorter gaps leave background solves
+    // contending with the quote pass and wash out the A/B.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // The buyer's critical path: re-quote the whole hot set serially.
+    for (const std::string& text : *hot) {
+      if (!client->Quote(0, text).ok()) std::exit(1);
+    }
+  };
+}
+
 const int kRegistered[] = {
     RegisterScenario(
         {"serve_quote_rt",
@@ -139,9 +202,11 @@ const int kRegistered[] = {
          "an insert stream publishes generations",
          /*full_iters=*/12, /*quick_iters=*/3,
          [](ScenarioContext& context) {
-           // One worker per persistent connection (8 quoters + the insert
-           // stream) plus slack: a connection pins a worker task for its
-           // lifetime, so fewer workers than connections starves the rest.
+           // The reactor parks idle connections, but these clients are
+           // closed-loop: during a burst every connection streams frames
+           // back-to-back, so each one holds a worker via the serving
+           // grace. One worker per active connection (8 quoters + the
+           // insert stream) plus slack keeps bursts contention-free.
            qp::PricingServerOptions options;
            options.num_workers = 10;
            auto setup = std::make_shared<ServerSetup>(1, options);
@@ -206,6 +271,31 @@ const int kRegistered[] = {
                                 kOps * 1'000'000'000 / burst_ns);
            }
            return burst;
+         }}),
+    // The publish-churn pair: identical trace, warming A/B'd via
+    // PricingServerOptions::warm_on_publish. Each iteration publishes a
+    // generation (invalidating every hot entry — they all read InState),
+    // waits out a short publish→re-ask gap, then re-quotes the hot set on
+    // the buyer's critical path. With warming on, the background lane
+    // re-prices the hot set during the gap and the quote pass is cache
+    // hits; invalidate-only pays the re-solves inline. The runner's
+    // qp.cache.* / qp.server.warm_* metric deltas carry the hit-rate half
+    // of the comparison.
+    RegisterScenario(
+        {"serve_churn_warm",
+         "post-publish hot-set re-quote latency with speculative warming "
+         "on: publish, 10ms gap, then 12 hot quotes",
+         /*full_iters=*/40, /*quick_iters=*/8,
+         [](ScenarioContext& context) {
+           return MakeChurnBody(context, /*warm_on_publish=*/true);
+         }}),
+    RegisterScenario(
+        {"serve_churn_cold",
+         "post-publish hot-set re-quote latency with warming off "
+         "(invalidate-only baseline): publish, 10ms gap, 12 hot quotes",
+         /*full_iters=*/40, /*quick_iters=*/8,
+         [](ScenarioContext& context) {
+           return MakeChurnBody(context, /*warm_on_publish=*/false);
          }}),
     RegisterScenario(
         {"serve_insert_publish",

@@ -61,10 +61,19 @@ Result<SnapshotStore::InsertOutcome> SnapshotStore::InsertBatch(
   // Build the successor generation off to the side.
   Instance next = base->db();
   uint64_t rows_inserted = 0;
+  std::vector<RelationId> mutated;
   for (const RelationRows& part : batch) {
+    uint64_t fresh_in_part = 0;
     for (const std::vector<Value>& row : part.rows) {
       QP_ASSIGN_OR_RETURN(bool fresh, next.Insert(part.relation, row));
-      if (fresh) ++rows_inserted;
+      if (fresh) ++fresh_in_part;
+    }
+    rows_inserted += fresh_in_part;
+    if (fresh_in_part > 0) {
+      // Validated above, so the name resolves; the id list tells the
+      // publish listener which quotes a warming pass could rescue.
+      auto rel_id = next.catalog().schema().FindRelation(part.relation);
+      if (rel_id.ok()) mutated.push_back(*rel_id);
     }
   }
 
@@ -82,11 +91,20 @@ Result<SnapshotStore::InsertOutcome> SnapshotStore::InsertBatch(
   outcome.rows_inserted = rows_inserted;
   {
     MutexLock lock(&mu_);
-    head_ = std::move(next_snapshot);
+    head_ = next_snapshot;
   }
   QP_METRIC_INCR("qp.market.snapshot_publishes");
   QP_METRIC_GAUGE_SET("qp.market.snapshot_version", outcome.version);
+  // Notify after the head swap, still under write_mu_: listeners observe
+  // publishes in order, and the ref they get *is* the new head (or an
+  // even newer one was already queued behind this writer).
+  if (publish_listener_) publish_listener_(next_snapshot, mutated);
   return outcome;
+}
+
+void SnapshotStore::SetPublishListener(PublishListener listener) {
+  MutexLock lock(&write_mu_);
+  publish_listener_ = std::move(listener);
 }
 
 Status ShardMap::AddShard(std::string name, std::unique_ptr<Seller> seller,

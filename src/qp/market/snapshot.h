@@ -1,6 +1,7 @@
 #ifndef QP_MARKET_SNAPSHOT_H_
 #define QP_MARKET_SNAPSHOT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -65,6 +66,15 @@ using SnapshotRef = std::shared_ptr<const CatalogSnapshot>;
 /// `write_mu_`, never blocking readers).
 class SnapshotStore {
  public:
+  /// Invoked after a publish with the freshly published snapshot and the
+  /// ids of the relations the batch mutated. Runs under `write_mu_` (so
+  /// notifications arrive in publish order and never interleave) but not
+  /// under `mu_` — the listener may Acquire(). It must be fast and must
+  /// not call Insert/InsertBatch on the same store (deadlock); the
+  /// serving layer uses it to hand warming work to a background lane.
+  using PublishListener =
+      std::function<void(const SnapshotRef&, const std::vector<RelationId>&)>;
+
   /// Seeds version 0 with a copy of `initial`. `prices` must outlive the
   /// store and stay fixed (the standing assumption of Section 2.7
   /// dynamic pricing: the explicit price points do not move while the
@@ -103,6 +113,13 @@ class SnapshotStore {
   Result<InsertOutcome> InsertBatch(const std::vector<RelationRows>& batch)
       QP_EXCLUDES(write_mu_, mu_);
 
+  /// Installs (or clears, with nullptr) the publish listener. Serialized
+  /// with publishes on `write_mu_`, so it is safe to call while writers
+  /// are active; the new listener sees every publish that starts after
+  /// the call returns.
+  void SetPublishListener(PublishListener listener)
+      QP_EXCLUDES(write_mu_, mu_);
+
  private:
   const SelectionPriceSet* const prices_;
   const PricingEngine::Options options_;
@@ -111,6 +128,7 @@ class SnapshotStore {
   Mutex write_mu_;
   mutable Mutex mu_;
   SnapshotRef head_ QP_GUARDED_BY(mu_);
+  PublishListener publish_listener_ QP_GUARDED_BY(write_mu_);
 };
 
 /// The daemon's shard table: one seller catalog + snapshot store + quote

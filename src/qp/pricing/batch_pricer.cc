@@ -24,7 +24,18 @@ bool BatchPricer::pool_initialized() const {
   return pool_ != nullptr;
 }
 
+void BatchPricer::Rebind(const PricingEngine* engine, QuoteCache* cache) {
+  engine_ = engine;
+  cache_ = cache;
+}
+
 Result<PriceQuote> BatchPricer::Price(const ConjunctiveQuery& query) const {
+  if (cache_ == nullptr) return Price(query, std::string());
+  return Price(query, query.Fingerprint());
+}
+
+Result<PriceQuote> BatchPricer::Price(const ConjunctiveQuery& query,
+                                      const std::string& fingerprint) const {
   QP_METRIC_SCOPED_TIMER("qp.batch.solve_ns");
   // Each query gets a fresh budget: the deadline bounds one solve, not the
   // whole batch. With no deadline the engine's own default budget (usually
@@ -37,7 +48,6 @@ Result<PriceQuote> BatchPricer::Price(const ConjunctiveQuery& query) const {
                : engine_->Price(query);
   };
   if (cache_ == nullptr) return price_one();
-  std::string fingerprint = query.Fingerprint();
   if (auto cached = cache_->Lookup(fingerprint, engine_->db())) {
     // Cache-served quotes bypass the engine's return-boundary checks, so
     // re-assert Prop 2.8 non-negativity here (guards against a corrupted

@@ -52,6 +52,21 @@ class BatchPricer {
   /// Cache-aware single-query pricing on the calling thread.
   Result<PriceQuote> Price(const ConjunctiveQuery& query) const;
 
+  /// Same, with the query's fingerprint already in hand (the server's
+  /// parse memo caches fingerprints alongside parsed queries, so the hot
+  /// path never recomputes them). `fingerprint` must equal
+  /// query.Fingerprint().
+  Result<PriceQuote> Price(const ConjunctiveQuery& query,
+                           const std::string& fingerprint) const;
+
+  /// Repoints the pricer at a different engine/cache pair without
+  /// rebuilding it. Lets a server connection keep one BatchPricer (and
+  /// its lazily-built pool) across frames that address different shards
+  /// and snapshot generations. Not thread-safe against concurrent
+  /// Price/PriceAll on the same pricer — the caller serializes use, as a
+  /// connection's single in-flight frame does.
+  void Rebind(const PricingEngine* engine, QuoteCache* cache);
+
   const PricingEngine& engine() const { return *engine_; }
   int num_threads() const { return num_threads_; }
   int64_t deadline_ms() const { return deadline_ms_; }
@@ -61,8 +76,11 @@ class BatchPricer {
   bool pool_initialized() const;
 
  private:
-  const PricingEngine* const engine_;
-  QuoteCache* const cache_;
+  /// Mutable only through Rebind, which the caller serializes against
+  /// Price/PriceAll (a connection has one in-flight frame); deliberately
+  /// unguarded.
+  const PricingEngine* engine_;  // NOLINT(guarded-by-coverage)
+  QuoteCache* cache_;            // NOLINT(guarded-by-coverage)
   const int num_threads_;
   const int64_t deadline_ms_;
   const int admission_cap_;

@@ -1,5 +1,7 @@
 #include "qp/pricing/quote_cache.h"
 
+#include <algorithm>
+
 #include "qp/obs/metrics.h"
 
 namespace qp {
@@ -18,6 +20,37 @@ bool QuoteCache::IsStaleAgainst(const Entry& candidate,
     }
   }
   return strictly_newer;
+}
+
+void QuoteCache::TrackHot(const std::string& fingerprint,
+                          const ConjunctiveQuery* query) {
+  auto it = hot_.find(fingerprint);
+  if (it != hot_.end()) {
+    ++it->second.hits;
+    return;
+  }
+  // Admission needs the parsed query (the warmer re-prices it); a lookup
+  // on a never-stored fingerprint has nothing to admit.
+  if (query == nullptr) return;
+  if (hot_.size() >= kMaxTrackedFingerprints) {
+    // Evict the coldest tracked entry (fewest hits; oldest admission on a
+    // tie). O(n), but n is bounded and admissions of brand-new shapes are
+    // rare once a workload's hot set is resident.
+    auto coldest = hot_.begin();
+    for (auto cand = hot_.begin(); cand != hot_.end(); ++cand) {
+      if (cand->second.hits < coldest->second.hits ||
+          (cand->second.hits == coldest->second.hits &&
+           cand->second.first_seen < coldest->second.first_seen)) {
+        coldest = cand;
+      }
+    }
+    hot_.erase(coldest);
+  }
+  HotEntry entry;
+  entry.query = *query;
+  entry.hits = 1;
+  entry.first_seen = ++hot_admissions_;
+  hot_.emplace(fingerprint, std::move(entry));
 }
 
 std::optional<PriceQuote> QuoteCache::Lookup(const std::string& fingerprint,
@@ -40,14 +73,34 @@ std::optional<PriceQuote> QuoteCache::Lookup(const std::string& fingerprint,
   }
   ++stats_.hits;
   QP_METRIC_INCR("qp.cache.hits");
+  if (it->second.warmed) {
+    ++stats_.warm_hits;
+    // Named qp.server.* because the warmer that installs these entries
+    // lives in the serving layer; the cache is just where the hit is
+    // observable. Keeping the mandated name beats inventing a synonym.
+    QP_METRIC_INCR("qp.server.warm_hits");
+  }
+  TrackHot(fingerprint, nullptr);
   return it->second.quote;
+}
+
+bool QuoteCache::HasFresh(const std::string& fingerprint,
+                          const Instance& db) const {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return false;
+  for (const auto& [rel, generation] : it->second.deps) {
+    if (db.generation(rel) != generation) return false;
+  }
+  return true;
 }
 
 void QuoteCache::Store(const std::string& fingerprint,
                        const ConjunctiveQuery& query, const Instance& db,
-                       const PriceQuote& quote) {
+                       const PriceQuote& quote, bool warmed) {
   Entry entry;
   entry.quote = quote;
+  entry.warmed = warmed;
   for (RelationId rel : query.ReferencedRelations()) {
     entry.deps.emplace_back(rel, db.generation(rel));
   }
@@ -58,7 +111,9 @@ void QuoteCache::Store(const std::string& fingerprint,
     // snapshot (multi-version serving, DESIGN.md §14) must not clobber an
     // entry computed against a strictly newer one. Without the guard an
     // in-flight reader on snapshot v would overwrite the v+1 entry after
-    // a publish, and every v+1 lookup would re-solve.
+    // a publish, and every v+1 lookup would re-solve. The same guard
+    // makes warming safe against publish races: a warmer still pricing
+    // generation g cannot overwrite an entry already priced at g+1.
     ++stats_.stale_store_drops;
     QP_METRIC_INCR("qp.cache.stale_store_drops");
     return;
@@ -66,7 +121,33 @@ void QuoteCache::Store(const std::string& fingerprint,
   entries_[fingerprint] = std::move(entry);
   ++stats_.insertions;
   QP_METRIC_INCR("qp.cache.insertions");
+  if (warmed) {
+    ++stats_.warmed_entries;
+    QP_METRIC_INCR("qp.cache.warmed_entries");
+  }
   QP_METRIC_GAUGE_SET("qp.cache.size", entries_.size());
+  TrackHot(fingerprint, &query);
+}
+
+std::vector<HotQuery> QuoteCache::HotQueries(size_t k) const {
+  std::vector<HotQuery> out;
+  {
+    MutexLock lock(&mu_);
+    out.reserve(hot_.size());
+    for (const auto& [fingerprint, entry] : hot_) {
+      HotQuery hot;
+      hot.fingerprint = fingerprint;
+      hot.query = entry.query;
+      hot.hits = entry.hits;
+      out.push_back(std::move(hot));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const HotQuery& a, const HotQuery& b) {
+    if (a.hits != b.hits) return a.hits > b.hits;
+    return a.fingerprint < b.fingerprint;  // deterministic tie-break
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
 }
 
 void QuoteCache::Evict(const std::string& fingerprint) {
@@ -81,6 +162,7 @@ void QuoteCache::Evict(const std::string& fingerprint) {
 void QuoteCache::Clear() {
   MutexLock lock(&mu_);
   entries_.clear();
+  hot_.clear();
   QP_METRIC_GAUGE_SET("qp.cache.size", 0);
 }
 

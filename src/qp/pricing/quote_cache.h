@@ -27,6 +27,20 @@ struct QuoteCacheStats {
   /// computed against strictly newer relation generations (a quote from
   /// an older catalog snapshot arriving after a publish).
   uint64_t stale_store_drops = 0;
+  /// Hits served from an entry installed by the speculative warmer (a
+  /// publish re-priced it before any buyer asked).
+  uint64_t warm_hits = 0;
+  /// Entries installed by the warmer (Store with warmed = true).
+  uint64_t warmed_entries = 0;
+};
+
+/// One hot query as tracked by the cache: the parsed query (the warmer
+/// needs it to re-price — a fingerprint alone cannot be priced) plus its
+/// observed popularity.
+struct HotQuery {
+  std::string fingerprint;
+  ConjunctiveQuery query;
+  uint64_t hits = 0;
 };
 
 /// A versioned memo of priced quotes. The arbitrage-price (Equation 2) is
@@ -37,11 +51,23 @@ struct QuoteCacheStats {
 /// Instance::generation of those relations at compute time; a lookup whose
 /// recorded generations no longer match is treated as stale and evicted.
 ///
+/// The cache also tracks the *hot set*: a bounded hit-count map of the
+/// most-requested fingerprints (queries captured at Store time, counts
+/// bumped on every Lookup). HotQueries(k) feeds the publish-triggered
+/// speculative warmer (DESIGN.md §15), which re-prices the top-k against
+/// a freshly published snapshot and installs the entries — marked
+/// `warmed` — before buyers ask.
+///
 /// The cache assumes the price points it serves under are fixed (the
 /// standing setup of Section 2.7 dynamic pricing); call Clear() if they
 /// change. Thread-safe: BatchPricer workers share one instance.
 class QuoteCache {
  public:
+  /// Bound on the hot-fingerprint tracker. When full, a new fingerprint
+  /// evicts the tracked entry with the fewest hits (oldest wins ties) —
+  /// an LRU-flavored floor that keeps genuinely hot shapes resident.
+  static constexpr size_t kMaxTrackedFingerprints = 512;
+
   QuoteCache() = default;
   QuoteCache(const QuoteCache&) = delete;
   QuoteCache& operator=(const QuoteCache&) = delete;
@@ -51,14 +77,26 @@ class QuoteCache {
   std::optional<PriceQuote> Lookup(const std::string& fingerprint,
                                    const Instance& db);
 
+  /// True when the cache holds a fresh entry for `fingerprint` against
+  /// `db`'s generations. A pure peek for the warmer's pre-check: touches
+  /// no stats, no hot counts, and never evicts.
+  bool HasFresh(const std::string& fingerprint, const Instance& db) const;
+
   /// Stores a quote computed for `query` against the current state of
   /// `db`, recording the generations of the query's relations. The store
   /// is generation-pinned: when the cache already holds this fingerprint
   /// computed against strictly newer generations (an old-snapshot reader
   /// finishing after a publish), the stale quote is dropped instead of
-  /// clobbering the fresher entry.
+  /// clobbering the fresher entry. `warmed` marks entries installed by
+  /// the speculative warmer (counted separately; hits on them count as
+  /// warm_hits until a buyer-path store overwrites the entry).
   void Store(const std::string& fingerprint, const ConjunctiveQuery& query,
-             const Instance& db, const PriceQuote& quote);
+             const Instance& db, const PriceQuote& quote,
+             bool warmed = false);
+
+  /// The top-`k` hot queries by hit count (ties broken by fingerprint,
+  /// so the order is deterministic).
+  std::vector<HotQuery> HotQueries(size_t k) const;
 
   /// Drops the entry for `fingerprint`, if any. Used when a watcher stops
   /// tracking a query: its entry would otherwise linger until the next
@@ -75,6 +113,14 @@ class QuoteCache {
     PriceQuote quote;
     /// (relation, generation at compute time), one per referenced relation.
     std::vector<std::pair<RelationId, uint64_t>> deps;
+    /// Installed by the speculative warmer, not a buyer request.
+    bool warmed = false;
+  };
+
+  struct HotEntry {
+    ConjunctiveQuery query;
+    uint64_t hits = 0;
+    uint64_t first_seen = 0;  // tracker admission order, for tie-breaks
   };
 
   /// True when `existing` was computed against generations that dominate
@@ -82,8 +128,15 @@ class QuoteCache {
   /// replace a fresher quote with a staler one.
   static bool IsStaleAgainst(const Entry& candidate, const Entry& existing);
 
+  /// Admits `fingerprint` to the hot tracker (evicting the coldest
+  /// tracked entry at capacity) or bumps its count.
+  void TrackHot(const std::string& fingerprint, const ConjunctiveQuery* query)
+      QP_REQUIRES(mu_);
+
   mutable Mutex mu_;
   std::unordered_map<std::string, Entry> entries_ QP_GUARDED_BY(mu_);
+  std::unordered_map<std::string, HotEntry> hot_ QP_GUARDED_BY(mu_);
+  uint64_t hot_admissions_ QP_GUARDED_BY(mu_) = 0;
   QuoteCacheStats stats_ QP_GUARDED_BY(mu_);
 };
 

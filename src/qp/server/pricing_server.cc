@@ -1,11 +1,11 @@
 #include "qp/server/pricing_server.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "qp/obs/metrics.h"
-#include "qp/pricing/batch_pricer.h"
 #include "qp/query/parser.h"
 #include "qp/util/result.h"
 
@@ -15,24 +15,14 @@ namespace {
 
 /// How often blocked loops re-check the stop flag.
 constexpr int kAcceptPollMs = 100;
-constexpr int kConnectionPollMs = 50;
-
-Frame ErrorFrame(const Status& status) {
-  ErrorReply reply;
-  reply.status_code = static_cast<uint8_t>(status.code());
-  reply.message = status.ToString();
-  Frame frame;
-  frame.type = static_cast<uint8_t>(FrameType::kError);
-  frame.payload = EncodeErrorReply(reply);
-  return frame;
-}
-
-Frame ReplyFrame(FrameType type, std::string payload) {
-  Frame frame;
-  frame.type = static_cast<uint8_t>(type);
-  frame.payload = std::move(payload);
-  return frame;
-}
+constexpr int kReactorPollMs = 50;
+/// After answering a frame, how long a worker lingers on the connection
+/// waiting for the next request before parking it back with the reactor.
+/// Long enough that a closed-loop client's next frame (already in flight
+/// on loopback) keeps the same worker — round trips never pay the
+/// reactor's poll tick — and short enough that an idle connection frees
+/// its worker almost immediately.
+constexpr int kServeGraceMs = 1;
 
 }  // namespace
 
@@ -48,9 +38,37 @@ Status PricingServer::Start() {
   }
   QP_ASSIGN_OR_RETURN(listener_, TcpListen(options_.port));
   QP_ASSIGN_OR_RETURN(port_, LocalPort(listener_));
+  QP_RETURN_IF_ERROR(OpenWakePipe(&wake_reader_, &wake_writer_));
+  memos_.clear();
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    memos_.push_back(std::make_unique<QueryMemo>(
+        &shards_.shard(s)->seller->catalog().schema()));
+  }
   workers_ = std::make_unique<ThreadPool>(
       options_.num_workers > 0 ? options_.num_workers : 1);
+#if QP_METRICS_ENABLED
+  // The pool (qp/util, layer 0) cannot see qp/obs; the server exports
+  // its lane-wait measurements instead.
+  workers_->SetLaneWaitObserver([](ThreadPool::Lane lane, uint64_t wait_ns) {
+    if (lane == ThreadPool::Lane::kInteractive) {
+      QP_METRIC_RECORD("qp.pool.lane_wait_ns.interactive", wait_ns);
+    } else {
+      QP_METRIC_RECORD("qp.pool.lane_wait_ns.background", wait_ns);
+    }
+  });
+#endif  // QP_METRICS_ENABLED
+  if (options_.warm_on_publish) {
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      ShardMap::Shard* shard = shards_.shard(s);
+      shard->store->SetPublishListener(
+          [this, shard](const SnapshotRef& snapshot,
+                        const std::vector<RelationId>& mutated) {
+            ScheduleWarming(shard, snapshot, mutated);
+          });
+    }
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  reactor_thread_ = std::thread([this] { ReactorLoop(); });
   started_ = true;
   QP_METRIC_GAUGE_SET("qp.server.shards", shards_.size());
   return Status::Ok();
@@ -59,9 +77,26 @@ Status PricingServer::Start() {
 void PricingServer::Stop() {
   RequestStop();
   if (accept_thread_.joinable()) accept_thread_.join();
-  // ThreadPool's destructor drains the queue and joins; handlers notice
-  // the stop flag at their next poll tick and unwind first.
+  if (reactor_thread_.joinable()) {
+    WakePipe(wake_writer_);  // unblock the reactor's poll promptly
+    reactor_thread_.join();
+  }
+  // Detach the publish listeners before draining the pool: an in-flight
+  // INSERT may still publish while workers unwind, and it must not hand
+  // warming work to a pool that is being torn down. SetPublishListener
+  // serializes with the listener on write_mu_.
+  if (started_) {
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      shards_.shard(s)->store->SetPublishListener(nullptr);
+    }
+  }
+  // ThreadPool's destructor drains both lanes and joins; in-flight
+  // ServeFrames tasks notice the stop flag and unwind first.
   workers_.reset();
+  {
+    MutexLock lock(&conns_mu_);
+    connections_.clear();
+  }
   listener_.Close();
 }
 
@@ -78,91 +113,211 @@ void PricingServer::AcceptLoop() {
       // Shed at the door: an error frame is more useful to the client
       // than a connection that sits unserved behind saturated workers.
       QP_METRIC_INCR("qp.server.connections_shed");
-      Frame frame = ErrorFrame(Status::ResourceExhausted(
-          "server at max_connections (" +
-          std::to_string(options_.max_connections) + "); connection shed"));
+      ErrorReply reply;
+      reply.status_code = static_cast<uint8_t>(StatusCode::kResourceExhausted);
+      reply.message = Status::ResourceExhausted(
+                          "server at max_connections (" +
+                          std::to_string(options_.max_connections) +
+                          "); connection shed")
+                          .ToString();
       Socket shed = *std::move(accepted);
-      (void)WriteFrame(shed, frame.type, frame.payload,
-                       options_.max_frame_bytes);
+      (void)WriteFrame(shed, static_cast<uint8_t>(FrameType::kError),
+                       EncodeErrorReply(reply), options_.max_frame_bytes);
       continue;
+    }
+    auto conn = std::make_shared<Connection>(*std::move(accepted));
+    {
+      MutexLock lock(&conns_mu_);
+      connections_.push_back(std::move(conn));
     }
     active_connections_.fetch_add(1, std::memory_order_relaxed);
     QP_METRIC_GAUGE_SET(
         "qp.server.active_connections",
         active_connections_.load(std::memory_order_relaxed));
-    // shared_ptr because std::function requires copyable callables.
-    auto conn = std::make_shared<Socket>(*std::move(accepted));
-    workers_->Submit([this, conn] {
-      HandleConnection(std::move(*conn));
-      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    // The reactor may be mid-poll on the old connection set; make it
+    // re-arm with the new one included.
+    WakePipe(wake_writer_);
+  }
+}
+
+void PricingServer::ReactorLoop() {
+  std::vector<std::shared_ptr<Connection>> idle;
+  std::vector<const Socket*> pollset;
+  while (!stop_requested()) {
+    idle.clear();
+    pollset.clear();
+    pollset.push_back(&wake_reader_);
+    {
+      MutexLock lock(&conns_mu_);
+      // Reap finished connections (closed and no task in flight), then
+      // snapshot the idle ones for this poll round. Busy connections are
+      // owned by their ServeFrames task; polling them too would race the
+      // task's reads and double-dispatch.
+      size_t kept = 0;
+      for (std::shared_ptr<Connection>& conn : connections_) {
+        if (conn->closed.load(std::memory_order_relaxed) &&
+            !conn->busy.load(std::memory_order_acquire)) {
+          active_connections_.fetch_sub(1, std::memory_order_relaxed);
+          continue;  // dropped: the socket closes with the last ref
+        }
+        connections_[kept++] = std::move(conn);
+      }
+      connections_.resize(kept);
       QP_METRIC_GAUGE_SET(
           "qp.server.active_connections",
           active_connections_.load(std::memory_order_relaxed));
-    });
+      for (const std::shared_ptr<Connection>& conn : connections_) {
+        if (!conn->busy.load(std::memory_order_acquire) &&
+            !conn->closed.load(std::memory_order_relaxed)) {
+          idle.push_back(conn);
+        }
+      }
+    }
+    for (const std::shared_ptr<Connection>& conn : idle) {
+      pollset.push_back(&conn->socket);
+    }
+    auto ready = WaitAnyReadable(pollset, kReactorPollMs);
+    if (!ready.ok()) break;
+    for (size_t idx : *ready) {
+      if (idx == 0) {
+        DrainWakePipe(wake_reader_);
+        continue;
+      }
+      const std::shared_ptr<Connection>& conn = idle[idx - 1];
+      // One in-flight task per connection: `busy` flips here and only
+      // ServeFrames clears it, so replies stay in request order.
+      conn->busy.store(true, std::memory_order_relaxed);
+      workers_->Submit(ThreadPool::Lane::kInteractive,
+                       [this, conn] { ServeFrames(conn.get()); });
+    }
   }
 }
 
-void PricingServer::HandleConnection(Socket conn) {
+void PricingServer::ServeFrames(Connection* conn) {
   while (!stop_requested()) {
-    auto readable = WaitReadable(conn, kConnectionPollMs);
-    if (!readable.ok()) return;
-    if (!*readable) continue;
-    auto frame = ReadFrame(conn, options_.max_frame_bytes);
-    if (!frame.ok()) {
+    auto got =
+        ReadFrameInto(conn->socket, options_.max_frame_bytes, &conn->request);
+    if (!got.ok()) {
       // Oversized or truncated frame: tell the peer why, then hang up
       // (the stream is unframed from here on).
-      Frame reply = ErrorFrame(frame.status());
-      (void)WriteFrame(conn, reply.type, reply.payload,
+      ErrorReply reply;
+      reply.status_code = static_cast<uint8_t>(got.status().code());
+      reply.message = got.status().ToString();
+      conn->reply.type = static_cast<uint8_t>(FrameType::kError);
+      EncodeErrorReplyInto(reply, &conn->reply.payload);
+      (void)WriteFrame(conn->socket, conn->reply.type, conn->reply.payload,
                        options_.max_frame_bytes);
-      return;
+      conn->closed.store(true, std::memory_order_relaxed);
+      break;
     }
-    if (!frame->has_value()) return;  // clean EOF between frames
+    if (!*got) {  // clean EOF between frames
+      conn->closed.store(true, std::memory_order_relaxed);
+      break;
+    }
     QP_METRIC_INCR("qp.server.frames");
-    QP_METRIC_SCOPED_TIMER("qp.server.request_ns");
-    Frame reply = HandleFrame(**frame);
-    if (!WriteFrame(conn, reply.type, reply.payload, options_.max_frame_bytes)
+    const bool is_shutdown =
+        conn->request.type == static_cast<uint8_t>(FrameType::kShutdown);
+    {
+      QP_METRIC_SCOPED_TIMER("qp.server.request_ns");
+      HandleFrame(conn);
+    }
+    if (!WriteFrame(conn->socket, conn->reply.type, conn->reply.payload,
+                    options_.max_frame_bytes)
              .ok()) {
-      return;
+      conn->closed.store(true, std::memory_order_relaxed);
+      break;
     }
-    if ((*frame)->type == static_cast<uint8_t>(FrameType::kShutdown)) {
-      return;
+    if (is_shutdown) {
+      conn->closed.store(true, std::memory_order_relaxed);
+      break;
     }
+    // Linger briefly for the client's next frame; park with the reactor
+    // once the connection goes quiet.
+    auto more = WaitReadable(conn->socket, kServeGraceMs);
+    if (!more.ok()) {
+      conn->closed.store(true, std::memory_order_relaxed);
+      break;
+    }
+    if (!*more) break;
   }
+  // Release ownership last: after this store the reactor may hand the
+  // connection (and its scratch state) to another worker.
+  conn->busy.store(false, std::memory_order_release);
+  WakePipe(wake_writer_);
 }
 
-Frame PricingServer::HandleFrame(const Frame& frame) {
-  switch (static_cast<FrameType>(frame.type)) {
+void PricingServer::HandleFrame(Connection* conn) {
+  switch (static_cast<FrameType>(conn->request.type)) {
     case FrameType::kQuote:
-      return HandleQuote(frame.payload);
+      return HandleQuote(conn);
     case FrameType::kQuoteBatch:
-      return HandleQuoteBatch(frame.payload);
+      return HandleQuoteBatch(conn);
     case FrameType::kInsert:
-      return HandleInsert(frame.payload);
+      return HandleInsert(conn);
     case FrameType::kMetrics:
-      return HandleMetrics();
+      return HandleMetrics(conn);
     case FrameType::kShutdown:
-      // Ack first; HandleConnection closes after writing the reply and
-      // the daemon's owner thread runs Stop() once it sees the flag.
+      // Ack first; ServeFrames closes after writing the reply and the
+      // daemon's owner thread runs Stop() once it sees the flag.
       RequestStop();
       QP_METRIC_INCR("qp.server.shutdown_requests");
-      return ReplyFrame(FrameType::kShutdownReply, std::string());
+      conn->reply.type = static_cast<uint8_t>(FrameType::kShutdownReply);
+      conn->reply.payload.clear();
+      return;
     default:
-      return ErrorFrame(Status::InvalidArgument(
-          "unknown frame type " + std::to_string(frame.type)));
+      return SetError(conn,
+                      Status::InvalidArgument("unknown frame type " +
+                                              std::to_string(
+                                                  conn->request.type)));
   }
 }
 
-Frame PricingServer::HandleQuote(std::string_view payload) {
-  auto request = DecodeQuoteRequest(payload);
-  if (!request.ok()) return ErrorFrame(request.status());
-  ShardMap::Shard* shard = shards_.shard(request->shard);
-  if (shard == nullptr) {
-    return ErrorFrame(Status::NotFound("unknown shard " +
-                                       std::to_string(request->shard)));
+void PricingServer::SetError(Connection* conn, const Status& status) {
+  ErrorReply reply;
+  reply.status_code = static_cast<uint8_t>(status.code());
+  reply.message = status.ToString();
+  conn->reply.type = static_cast<uint8_t>(FrameType::kError);
+  EncodeErrorReplyInto(reply, &conn->reply.payload);
+}
+
+BatchPricer* PricingServer::PricerFor(Connection* conn,
+                                      const ShardMap::Shard* shard,
+                                      const SnapshotRef& snapshot) {
+  if (conn->pricer == nullptr) {
+    BatchPricerOptions pricer_options;
+    pricer_options.num_threads = 1;  // concurrency comes from connections
+    pricer_options.cache = shard->cache.get();
+    pricer_options.deadline_ms = options_.deadline_ms;
+    pricer_options.admission_cap = options_.admission_cap;
+    conn->pricer =
+        std::make_unique<BatchPricer>(&snapshot->engine(), pricer_options);
   }
-  auto query =
-      ParseQuery(shard->seller->catalog().schema(), request->query_text);
-  if (!query.ok()) return ErrorFrame(query.status());
+  // Cheap per frame (two pointer stores): the connection's next frame may
+  // address a different shard or a newer snapshot generation.
+  conn->pricer->Rebind(&snapshot->engine(), shard->cache.get());
+  return conn->pricer.get();
+}
+
+void PricingServer::HandleQuote(Connection* conn) {
+  // Decoded in place — the request payload outlives this handler, so the
+  // query text never leaves the read buffer until the memo needs a key.
+  WireReader reader(conn->request.payload);
+  const uint32_t shard_id = reader.U32();
+  const std::string_view text = reader.StrView();
+  if (!reader.ok()) return SetError(conn, reader.status());
+  if (!reader.AtEnd()) {
+    return SetError(conn,
+                    Status::InvalidArgument("trailing bytes after message"));
+  }
+  ShardMap::Shard* shard = shards_.shard(shard_id);
+  if (shard == nullptr) {
+    return SetError(conn, Status::NotFound("unknown shard " +
+                                           std::to_string(shard_id)));
+  }
+  conn->text_scratch.assign(text.data(), text.size());
+  auto parsed = memos_[shard_id]->Get(conn->text_scratch,
+                                      &conn->parse_scratch);
+  if (!parsed.ok()) return SetError(conn, parsed.status());
 
   // Pin one generation for the whole quote. The store may publish newer
   // snapshots underneath us; this quote stays internally consistent and
@@ -170,15 +325,11 @@ Frame PricingServer::HandleQuote(std::string_view payload) {
   SnapshotRef snapshot = shard->store->Acquire();
   QP_METRIC_RECORD("qp.server.snapshot_age",
                    shard->store->version() - snapshot->version());
-  BatchPricerOptions pricer_options;
-  pricer_options.num_threads = 1;  // concurrency comes from connections
-  pricer_options.cache = shard->cache.get();
-  pricer_options.deadline_ms = options_.deadline_ms;
-  BatchPricer pricer(&snapshot->engine(), pricer_options);
-  auto quote = pricer.Price(*query);
+  BatchPricer* pricer = PricerFor(conn, shard, snapshot);
+  auto quote = pricer->Price((*parsed)->query, (*parsed)->fingerprint);
   if (!quote.ok()) {
     QP_METRIC_INCR("qp.server.quotes_failed");
-    return ErrorFrame(quote.status());
+    return SetError(conn, quote.status());
   }
   QP_METRIC_INCR("qp.server.quotes_ok");
   QuoteReply reply;
@@ -186,16 +337,17 @@ Frame PricingServer::HandleQuote(std::string_view payload) {
   reply.price = quote->solution.price;
   reply.approximate = quote->solution.approximate;
   reply.solver = quote->solver;
-  return ReplyFrame(FrameType::kQuoteReply, EncodeQuoteReply(reply));
+  conn->reply.type = static_cast<uint8_t>(FrameType::kQuoteReply);
+  EncodeQuoteReplyInto(reply, &conn->reply.payload);
 }
 
-Frame PricingServer::HandleQuoteBatch(std::string_view payload) {
-  auto request = DecodeQuoteBatchRequest(payload);
-  if (!request.ok()) return ErrorFrame(request.status());
+void PricingServer::HandleQuoteBatch(Connection* conn) {
+  auto request = DecodeQuoteBatchRequest(conn->request.payload);
+  if (!request.ok()) return SetError(conn, request.status());
   ShardMap::Shard* shard = shards_.shard(request->shard);
   if (shard == nullptr) {
-    return ErrorFrame(Status::NotFound("unknown shard " +
-                                       std::to_string(request->shard)));
+    return SetError(conn, Status::NotFound("unknown shard " +
+                                           std::to_string(request->shard)));
   }
   SnapshotRef snapshot = shard->store->Acquire();
   QP_METRIC_RECORD("qp.server.snapshot_age",
@@ -208,26 +360,21 @@ Frame PricingServer::HandleQuoteBatch(std::string_view payload) {
   std::vector<ConjunctiveQuery> queries;
   std::vector<int> query_slot(request->query_texts.size(), -1);
   reply.items.resize(request->query_texts.size());
-  const Schema& schema = shard->seller->catalog().schema();
+  QueryMemo* memo = memos_[request->shard].get();
   for (size_t i = 0; i < request->query_texts.size(); ++i) {
-    auto query = ParseQuery(schema, request->query_texts[i]);
-    if (!query.ok()) {
+    auto parsed = memo->Get(request->query_texts[i], &conn->parse_scratch);
+    if (!parsed.ok()) {
       reply.items[i].status_code =
-          static_cast<uint8_t>(query.status().code());
-      reply.items[i].message = query.status().ToString();
+          static_cast<uint8_t>(parsed.status().code());
+      reply.items[i].message = parsed.status().ToString();
       continue;
     }
     query_slot[i] = static_cast<int>(queries.size());
-    queries.push_back(*std::move(query));
+    queries.push_back((*parsed)->query);
   }
 
-  BatchPricerOptions pricer_options;
-  pricer_options.num_threads = 1;  // concurrency comes from connections
-  pricer_options.cache = shard->cache.get();
-  pricer_options.deadline_ms = options_.deadline_ms;
-  pricer_options.admission_cap = options_.admission_cap;
-  BatchPricer pricer(&snapshot->engine(), pricer_options);
-  std::vector<Result<PriceQuote>> quotes = pricer.PriceAll(queries);
+  BatchPricer* pricer = PricerFor(conn, shard, snapshot);
+  std::vector<Result<PriceQuote>> quotes = pricer->PriceAll(queries);
 
   for (size_t i = 0; i < reply.items.size(); ++i) {
     if (query_slot[i] < 0) continue;  // parse failure already recorded
@@ -244,35 +391,78 @@ Frame PricingServer::HandleQuoteBatch(std::string_view payload) {
     reply.items[i].approximate = quote->solution.approximate;
     reply.items[i].solver = quote->solver;
   }
-  return ReplyFrame(FrameType::kQuoteBatchReply,
-                    EncodeQuoteBatchReply(reply));
+  conn->reply.type = static_cast<uint8_t>(FrameType::kQuoteBatchReply);
+  EncodeQuoteBatchReplyInto(reply, &conn->reply.payload);
 }
 
-Frame PricingServer::HandleInsert(std::string_view payload) {
-  auto request = DecodeInsertRequest(payload);
-  if (!request.ok()) return ErrorFrame(request.status());
+void PricingServer::HandleInsert(Connection* conn) {
+  auto request = DecodeInsertRequest(conn->request.payload);
+  if (!request.ok()) return SetError(conn, request.status());
   ShardMap::Shard* shard = shards_.shard(request->shard);
   if (shard == nullptr) {
-    return ErrorFrame(Status::NotFound("unknown shard " +
-                                       std::to_string(request->shard)));
+    return SetError(conn, Status::NotFound("unknown shard " +
+                                           std::to_string(request->shard)));
   }
+  // A publish fires the shard's listener (ScheduleWarming) on this
+  // thread, which only enqueues background-lane tasks — the insert reply
+  // is not delayed by any re-pricing.
   auto outcome = shard->store->Insert(request->relation, request->rows);
   if (!outcome.ok()) {
     QP_METRIC_INCR("qp.server.inserts_failed");
-    return ErrorFrame(outcome.status());
+    return SetError(conn, outcome.status());
   }
   QP_METRIC_INCR("qp.server.inserts_ok");
   QP_METRIC_COUNT("qp.server.rows_inserted", outcome->rows_inserted);
   InsertReply reply;
   reply.snapshot_version = outcome->version;
   reply.rows_inserted = static_cast<uint32_t>(outcome->rows_inserted);
-  return ReplyFrame(FrameType::kInsertReply, EncodeInsertReply(reply));
+  conn->reply.type = static_cast<uint8_t>(FrameType::kInsertReply);
+  EncodeInsertReplyInto(reply, &conn->reply.payload);
 }
 
-Frame PricingServer::HandleMetrics() {
+void PricingServer::HandleMetrics(Connection* conn) {
   MetricsReply reply;
   reply.json = MetricsToJson(MetricsRegistry::Global().Snapshot());
-  return ReplyFrame(FrameType::kMetricsReply, EncodeMetricsReply(reply));
+  conn->reply.type = static_cast<uint8_t>(FrameType::kMetricsReply);
+  EncodeMetricsReplyInto(reply, &conn->reply.payload);
+}
+
+void PricingServer::ScheduleWarming(ShardMap::Shard* shard,
+                                    const SnapshotRef& snapshot,
+                                    const std::vector<RelationId>& mutated) {
+  (void)snapshot;  // warmers Acquire() the head themselves: never older
+  if (stop_requested() || options_.hot_set_size <= 0) return;
+  std::vector<HotQuery> hot =
+      shard->cache->HotQueries(static_cast<size_t>(options_.hot_set_size));
+  for (HotQuery& h : hot) {
+    // Only queries reading a mutated relation lost their entries; the
+    // rest are still generation-fresh and need no work.
+    bool affected = false;
+    for (RelationId rel : h.query.ReferencedRelations()) {
+      if (std::find(mutated.begin(), mutated.end(), rel) != mutated.end()) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) continue;
+    QP_METRIC_INCR("qp.server.warm_tasks");
+    workers_->Submit(
+        ThreadPool::Lane::kBackground, [this, shard, h = std::move(h)] {
+          if (stop_requested()) return;
+          // Re-acquire the head: if more publishes landed while this task
+          // queued, warm straight to the newest generation (the cache's
+          // generation-pinned Store makes racing an in-flight publish
+          // harmless — the staler quote is dropped).
+          SnapshotRef snap = shard->store->Acquire();
+          if (shard->cache->HasFresh(h.fingerprint, snap->db())) return;
+          auto quote = snap->engine().Price(h.query);
+          // Exact solves only: a warmed entry must be bit-identical to a
+          // cold re-solve, and approximate quotes are never cached.
+          if (!quote.ok() || quote->solution.approximate) return;
+          shard->cache->Store(h.fingerprint, h.query, snap->db(), *quote,
+                              /*warmed=*/true);
+        });
+  }
 }
 
 }  // namespace qp

@@ -5,8 +5,11 @@
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "qp/market/snapshot.h"
+#include "qp/pricing/batch_pricer.h"
+#include "qp/server/query_memo.h"
 #include "qp/server/wire.h"
 #include "qp/util/net.h"
 #include "qp/util/status.h"
@@ -14,33 +17,51 @@
 
 namespace qp {
 
-/// qpricerd's serving core: an accept loop feeding a worker pool, one
-/// task per connection, each connection a sequence of request frames
-/// answered in order (DESIGN.md §14).
+/// qpricerd's serving core: an accept thread, a reactor thread
+/// multiplexing idle connections, and a two-lane worker pool serving
+/// frames on the interactive lane while publish-triggered cache warming
+/// runs on the background lane (DESIGN.md §14–15).
 ///
 /// Thread model:
 ///   * Start() binds the listener and spawns the accept thread; the
 ///     accept thread polls WaitReadable (so it notices stop_ within
-///     ~100ms), admits or sheds each connection, and hands admitted
-///     sockets to the ThreadPool.
-///   * Workers run HandleConnection: poll-read a frame, dispatch, reply.
-///     Quotes Acquire() the shard's head snapshot per frame and price
-///     against it — a concurrent INSERT publishes a new generation
-///     without ever blocking or being blocked by in-flight quotes.
+///     ~100ms), admits or sheds each connection at the door, registers
+///     admitted connections, and wakes the reactor.
+///   * The reactor thread polls every idle connection plus a self-wake
+///     pipe in one WaitAnyReadable call. A readable connection is marked
+///     busy and handed to the pool's *interactive* lane as a ServeFrames
+///     task; at most one task per connection is ever in flight, which
+///     preserves per-connection reply order without any per-connection
+///     lock.
+///   * ServeFrames reads and answers frames back-to-back while the
+///     client keeps the pipe full (a ~1ms readability grace keeps
+///     closed-loop clients on one worker, off the reactor's poll tick),
+///     then parks the connection back with the reactor. Quotes Acquire()
+///     the shard's head snapshot per frame and price against it — a
+///     concurrent INSERT publishes a new generation without ever
+///     blocking or being blocked by in-flight quotes.
+///   * After a publish, the shard's SnapshotStore listener asks the
+///     server to re-price the cache's hot queries against the new
+///     snapshot on the *background* lane — warmed entries land before
+///     buyers re-ask, and never delay an interactive frame.
 ///   * Stop() (owner thread only) flips the stop flag, joins the accept
-///     thread, then drains the pool; handlers observe the flag at their
-///     next poll tick and unwind. A SHUTDOWN frame acks, then requests
-///     stop — the owner still runs Stop() (qpricerd polls
-///     stop_requested()).
+///     and reactor threads, detaches the publish listeners, then drains
+///     the pool; in-flight tasks observe the flag and unwind. A SHUTDOWN
+///     frame acks, then requests stop — the owner still runs Stop()
+///     (qpricerd polls stop_requested()).
 ///
-/// The server owns its ShardMap. Per-frame pricing goes through a
-/// single-threaded BatchPricer (no nested pool): concurrency comes from
+/// The server owns its ShardMap. Per-frame pricing goes through each
+/// connection's own single-threaded BatchPricer (no nested pool),
+/// rebound to the frame's snapshot engine: concurrency comes from
 /// connection-level parallelism, and the shard's QuoteCache plus
-/// generation-pinned entries make hits cross-connection.
+/// generation-pinned entries make hits cross-connection. Parsed queries
+/// come from a per-shard QueryMemo, so steady-state quote frames do not
+/// allocate for parsing, fingerprinting, or reply encoding.
 struct PricingServerOptions {
   /// 0 = ephemeral; read the bound port back with port().
   uint16_t port = 0;
-  /// Worker tasks = concurrent connections being served.
+  /// Worker threads shared by frame serving (interactive lane) and cache
+  /// warming (background lane).
   int num_workers = 8;
   /// Admission limit: connections beyond this are shed with an error
   /// frame instead of queuing behind busy workers.
@@ -51,6 +72,12 @@ struct PricingServerOptions {
   /// Per-QUOTE_BATCH admission cap (0 = unlimited).
   int admission_cap = 0;
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Re-price hot cached queries on the background lane after each
+  /// publish (off = invalidate-only, the pre-warming behavior; the
+  /// serve_churn benches A/B exactly this switch).
+  bool warm_on_publish = true;
+  /// How many of the cache's hottest queries each publish re-prices.
+  int hot_set_size = 16;
 };
 
 class PricingServer {
@@ -75,8 +102,9 @@ class PricingServer {
     return stop_.load(std::memory_order_relaxed);
   }
 
-  /// Joins the accept thread and worker pool. Owner thread only; also run
-  /// by the destructor. Idempotent, but must not race itself.
+  /// Joins the accept and reactor threads and the worker pool. Owner
+  /// thread only; also run by the destructor. Idempotent, but must not
+  /// race itself.
   void Stop();
 
   /// The bound port (valid after Start).
@@ -85,32 +113,85 @@ class PricingServer {
   const ShardMap& shards() const { return shards_; }
 
  private:
-  void AcceptLoop();
-  void HandleConnection(Socket conn);
-  /// Dispatches one request frame to its handler; the returned frame is
-  /// the reply to write (kError carries an ErrorReply payload).
-  Frame HandleFrame(const Frame& frame);
+  /// One accepted connection and its per-connection scratch state. The
+  /// `busy` flag is the ownership token: while a ServeFrames task holds
+  /// it, that task is the sole user of the socket and every scratch
+  /// member, so none of them need a lock.
+  struct Connection {
+    explicit Connection(Socket s) : socket(std::move(s)) {}
 
-  Frame HandleQuote(std::string_view payload);
-  Frame HandleQuoteBatch(std::string_view payload);
-  Frame HandleInsert(std::string_view payload);
-  Frame HandleMetrics();
+    Socket socket;  // NOLINT(guarded-by-coverage)
+    /// A ServeFrames task owns the connection (reactor must not poll it).
+    std::atomic<bool> busy{false};
+    /// Finished (EOF / error / shutdown); the reactor reaps it.
+    std::atomic<bool> closed{false};
+
+    // Scratch reused across this connection's frames; touched only by
+    // the owning ServeFrames task (see `busy` above).
+    Frame request;                        // NOLINT(guarded-by-coverage)
+    Frame reply;                          // NOLINT(guarded-by-coverage)
+    std::string text_scratch;             // NOLINT(guarded-by-coverage)
+    QueryMemo::Parsed parse_scratch;      // NOLINT(guarded-by-coverage)
+    std::unique_ptr<BatchPricer> pricer;  // NOLINT(guarded-by-coverage)
+  };
+
+  void AcceptLoop();
+  void ReactorLoop();
+  /// Serves frames until the connection goes quiet, closes, or the
+  /// server stops; then returns the connection to the reactor.
+  void ServeFrames(Connection* conn);
+  /// Dispatches one request frame (conn->request) to its handler, which
+  /// encodes the reply into conn->reply.
+  void HandleFrame(Connection* conn);
+
+  void HandleQuote(Connection* conn);
+  void HandleQuoteBatch(Connection* conn);
+  void HandleInsert(Connection* conn);
+  void HandleMetrics(Connection* conn);
+
+  /// Encodes `status` as conn's kError reply.
+  static void SetError(Connection* conn, const Status& status);
+
+  /// The per-frame pricer: conn's own BatchPricer rebound to this
+  /// frame's snapshot engine and shard cache.
+  BatchPricer* PricerFor(Connection* conn, const ShardMap::Shard* shard,
+                         const SnapshotRef& snapshot);
+
+  /// Publish listener body: fan the shard's hot queries affected by
+  /// `mutated` out to the background lane for re-pricing against (at
+  /// least) `snapshot`.
+  void ScheduleWarming(ShardMap::Shard* shard, const SnapshotRef& snapshot,
+                       const std::vector<RelationId>& mutated);
 
   const Options options_;
   /// Frozen after construction (table-level); per-shard stores and caches
-  /// are internally thread-safe. NOLINT(guarded-by-coverage)
-  ShardMap shards_;
+  /// are internally thread-safe.
+  ShardMap shards_;  // NOLINT(guarded-by-coverage)
+  /// One parse memo per shard (schema is per-shard and frozen); built in
+  /// Start(), then only read.
+  std::vector<std::unique_ptr<QueryMemo>> memos_;  // NOLINT(guarded-by-coverage)
 
   std::atomic<bool> stop_{false};
-  /// Connections currently owned by a worker task (admission control).
+  /// Connections currently registered with the reactor (admission
+  /// control; decremented when the reactor reaps a closed connection).
   std::atomic<int> active_connections_{0};
 
-  // Written by Start() before the accept thread exists, then only read
-  // (listener_, port_) or touched by Stop() after joining (accept_thread_,
-  // workers_); no concurrent mutation, so deliberately unguarded.
+  /// Connection registry, shared by the accept thread (push) and the
+  /// reactor (snapshot + reap).
+  Mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_
+      QP_GUARDED_BY(conns_mu_);
+
+  // Written by Start() before the serving threads exist, then only read
+  // (listener_, port_, wake pipe) or touched by Stop() after joining
+  // (threads, workers_); no concurrent mutation, so deliberately
+  // unguarded.
   Socket listener_;                       // NOLINT(guarded-by-coverage)
+  Socket wake_reader_;                    // NOLINT(guarded-by-coverage)
+  Socket wake_writer_;                    // NOLINT(guarded-by-coverage)
   uint16_t port_ = 0;                     // NOLINT(guarded-by-coverage)
   std::thread accept_thread_;             // NOLINT(guarded-by-coverage)
+  std::thread reactor_thread_;            // NOLINT(guarded-by-coverage)
   std::unique_ptr<ThreadPool> workers_;   // NOLINT(guarded-by-coverage)
   bool started_ = false;                  // NOLINT(guarded-by-coverage)
 };

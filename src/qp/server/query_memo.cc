@@ -1,0 +1,47 @@
+#include "qp/server/query_memo.h"
+
+#include <utility>
+
+#include "qp/obs/metrics.h"
+
+namespace qp {
+
+Result<const QueryMemo::Parsed*> QueryMemo::Get(const std::string& text,
+                                                Parsed* scratch) {
+  {
+    MutexLock lock(&mu_);
+    auto it = entries_.find(text);
+    if (it != entries_.end()) {
+      QP_METRIC_INCR("qp.server.parse_memo_hits");
+      // Stable across rehash and never erased, so handing the pointer out
+      // from under the lock is safe.
+      return &it->second;
+    }
+  }
+  QP_METRIC_INCR("qp.server.parse_memo_misses");
+  // Parse outside the lock: a slow parse of a novel query must not stall
+  // every other connection's memo hits.
+  QP_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseQuery(*schema_, text));
+  Parsed parsed;
+  parsed.fingerprint = query.Fingerprint();
+  parsed.query = std::move(query);
+  MutexLock lock(&mu_);
+  if (entries_.size() >= capacity_) {
+    // Full: serve this one from the caller's scratch without admitting
+    // it. Eviction is deliberately absent — entries must stay pointer-
+    // stable — and a workload with >capacity distinct hot shapes has
+    // bigger problems than parse cost.
+    *scratch = std::move(parsed);
+    return scratch;
+  }
+  auto [it, inserted] = entries_.emplace(text, std::move(parsed));
+  (void)inserted;  // a racing Get may have admitted the same text: fine
+  return &it->second;
+}
+
+size_t QueryMemo::size() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+}  // namespace qp

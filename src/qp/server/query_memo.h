@@ -1,0 +1,63 @@
+#ifndef QP_SERVER_QUERY_MEMO_H_
+#define QP_SERVER_QUERY_MEMO_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "qp/query/parser.h"
+#include "qp/query/query.h"
+#include "qp/relational/schema.h"
+#include "qp/util/result.h"
+#include "qp/util/thread_annotations.h"
+
+namespace qp {
+
+/// A thread-safe memo of parsed queries for one shard: query text →
+/// (ConjunctiveQuery, fingerprint). Buyers re-issue a small set of hot
+/// query shapes, so on the serving hot path both ParseQuery and
+/// Fingerprint() are pure per-text constants — this takes them off the
+/// per-frame cost entirely (qp.server.parse_memo_hits counts the wins).
+///
+/// Keying: conceptually (schema version, query text), but a shard's
+/// schema is frozen for the server's lifetime (ShardMap docs), so one
+/// memo per shard keys by text alone — a schema change would be a new
+/// shard and a new memo.
+///
+/// Only successful parses are memoized (a garbage query must not occupy
+/// capacity), and entries are never erased: the map is node-based, so
+/// returned pointers stay valid across rehashes and for the memo's whole
+/// lifetime. When full, new texts just parse unmemoized.
+class QueryMemo {
+ public:
+  struct Parsed {
+    ConjunctiveQuery query;
+    std::string fingerprint;
+  };
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  /// `schema` must outlive the memo.
+  explicit QueryMemo(const Schema* schema, size_t capacity = kDefaultCapacity)
+      : schema_(schema), capacity_(capacity) {}
+
+  QueryMemo(const QueryMemo&) = delete;
+  QueryMemo& operator=(const QueryMemo&) = delete;
+
+  /// Parses (or recalls) `text`. The returned pointer is owned by the
+  /// memo and valid for its lifetime — or, past capacity, by `scratch`,
+  /// which must outlive the caller's use of the result.
+  Result<const Parsed*> Get(const std::string& text, Parsed* scratch)
+      QP_EXCLUDES(mu_);
+
+  size_t size() const QP_EXCLUDES(mu_);
+
+ private:
+  const Schema* const schema_;
+  const size_t capacity_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Parsed> entries_ QP_GUARDED_BY(mu_);
+};
+
+}  // namespace qp
+
+#endif  // QP_SERVER_QUERY_MEMO_H_

@@ -16,19 +16,19 @@ constexpr uint8_t kValueTagStr = 1;
 
 void WireWriter::U32(uint32_t v) {
   for (int i = 0; i < 4; ++i) {
-    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    out_->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
   }
 }
 
 void WireWriter::U64(uint64_t v) {
   for (int i = 0; i < 8; ++i) {
-    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    out_->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
   }
 }
 
 void WireWriter::Str(std::string_view s) {
   U32(static_cast<uint32_t>(s.size()));
-  out_.append(s.data(), s.size());
+  out_->append(s.data(), s.size());
 }
 
 void WireWriter::Val(const Value& v) {
@@ -73,10 +73,12 @@ uint64_t WireReader::U64() {
   return v;
 }
 
-std::string WireReader::Str() {
+std::string WireReader::Str() { return std::string(StrView()); }
+
+std::string_view WireReader::StrView() {
   uint32_t size = U32();
-  if (!Need(size, "string body")) return std::string();
-  std::string s(data_.substr(pos_, size));
+  if (!Need(size, "string body")) return std::string_view();
+  std::string_view s = data_.substr(pos_, size);
   pos_ += size;
   return s;
 }
@@ -183,13 +185,55 @@ Result<InsertRequest> DecodeInsertRequest(std::string_view payload) {
   return msg;
 }
 
-std::string EncodeQuoteReply(const QuoteReply& msg) {
-  WireWriter w;
+namespace {
+
+void WriteQuoteReply(WireWriter& w, const QuoteReply& msg) {
   w.U64(msg.snapshot_version);
   w.I64(msg.price);
   w.U8(msg.approximate ? 1 : 0);
   w.Str(msg.solver);
+}
+
+void WriteQuoteBatchReply(WireWriter& w, const QuoteBatchReply& msg) {
+  w.U64(msg.snapshot_version);
+  w.U32(static_cast<uint32_t>(msg.items.size()));
+  for (const QuoteBatchReply::Item& item : msg.items) {
+    w.U8(item.status_code);
+    if (item.status_code != 0) {
+      w.Str(item.message);
+    } else {
+      w.I64(item.price);
+      w.U8(item.approximate ? 1 : 0);
+      w.Str(item.solver);
+    }
+  }
+}
+
+void WriteInsertReply(WireWriter& w, const InsertReply& msg) {
+  w.U64(msg.snapshot_version);
+  w.U32(msg.rows_inserted);
+}
+
+void WriteMetricsReply(WireWriter& w, const MetricsReply& msg) {
+  w.Str(msg.json);
+}
+
+void WriteErrorReply(WireWriter& w, const ErrorReply& msg) {
+  w.U8(msg.status_code);
+  w.Str(msg.message);
+}
+
+}  // namespace
+
+std::string EncodeQuoteReply(const QuoteReply& msg) {
+  WireWriter w;
+  WriteQuoteReply(w, msg);
   return std::move(w).payload();
+}
+
+void EncodeQuoteReplyInto(const QuoteReply& msg, std::string* out) {
+  WireWriter w(out);
+  WriteQuoteReply(w, msg);
 }
 
 Result<QuoteReply> DecodeQuoteReply(std::string_view payload) {
@@ -205,19 +249,13 @@ Result<QuoteReply> DecodeQuoteReply(std::string_view payload) {
 
 std::string EncodeQuoteBatchReply(const QuoteBatchReply& msg) {
   WireWriter w;
-  w.U64(msg.snapshot_version);
-  w.U32(static_cast<uint32_t>(msg.items.size()));
-  for (const QuoteBatchReply::Item& item : msg.items) {
-    w.U8(item.status_code);
-    if (item.status_code != 0) {
-      w.Str(item.message);
-    } else {
-      w.I64(item.price);
-      w.U8(item.approximate ? 1 : 0);
-      w.Str(item.solver);
-    }
-  }
+  WriteQuoteBatchReply(w, msg);
   return std::move(w).payload();
+}
+
+void EncodeQuoteBatchReplyInto(const QuoteBatchReply& msg, std::string* out) {
+  WireWriter w(out);
+  WriteQuoteBatchReply(w, msg);
 }
 
 Result<QuoteBatchReply> DecodeQuoteBatchReply(std::string_view payload) {
@@ -247,9 +285,13 @@ Result<QuoteBatchReply> DecodeQuoteBatchReply(std::string_view payload) {
 
 std::string EncodeInsertReply(const InsertReply& msg) {
   WireWriter w;
-  w.U64(msg.snapshot_version);
-  w.U32(msg.rows_inserted);
+  WriteInsertReply(w, msg);
   return std::move(w).payload();
+}
+
+void EncodeInsertReplyInto(const InsertReply& msg, std::string* out) {
+  WireWriter w(out);
+  WriteInsertReply(w, msg);
 }
 
 Result<InsertReply> DecodeInsertReply(std::string_view payload) {
@@ -263,8 +305,13 @@ Result<InsertReply> DecodeInsertReply(std::string_view payload) {
 
 std::string EncodeMetricsReply(const MetricsReply& msg) {
   WireWriter w;
-  w.Str(msg.json);
+  WriteMetricsReply(w, msg);
   return std::move(w).payload();
+}
+
+void EncodeMetricsReplyInto(const MetricsReply& msg, std::string* out) {
+  WireWriter w(out);
+  WriteMetricsReply(w, msg);
 }
 
 Result<MetricsReply> DecodeMetricsReply(std::string_view payload) {
@@ -277,9 +324,13 @@ Result<MetricsReply> DecodeMetricsReply(std::string_view payload) {
 
 std::string EncodeErrorReply(const ErrorReply& msg) {
   WireWriter w;
-  w.U8(msg.status_code);
-  w.Str(msg.message);
+  WriteErrorReply(w, msg);
   return std::move(w).payload();
+}
+
+void EncodeErrorReplyInto(const ErrorReply& msg, std::string* out) {
+  WireWriter w(out);
+  WriteErrorReply(w, msg);
 }
 
 Result<ErrorReply> DecodeErrorReply(std::string_view payload) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "qp/relational/value.h"
@@ -37,10 +38,19 @@ enum class FrameType : uint8_t {
   kError = 0xff,
 };
 
-/// Appends fixed-width little-endian fields onto a payload string.
+/// Appends fixed-width little-endian fields onto a payload string —
+/// either its own (default) or a caller-provided scratch buffer whose
+/// capacity survives across messages (the serving hot path encodes
+/// thousands of replies per connection; see the Encode*Into variants).
 class WireWriter {
  public:
-  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  WireWriter() : out_(&owned_) {}
+  /// Writes into `*out`, which is cleared first but keeps its capacity.
+  /// `out` must outlive the writer; payload()&& is not meaningful in
+  /// this mode (the caller already owns the buffer).
+  explicit WireWriter(std::string* out) : out_(out) { out_->clear(); }
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
   void U32(uint32_t v);
   void U64(uint64_t v);
   void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
@@ -48,11 +58,12 @@ class WireWriter {
   void Str(std::string_view s);
   void Val(const Value& v);
 
-  const std::string& payload() const& { return out_; }
-  std::string&& payload() && { return std::move(out_); }
+  const std::string& payload() const& { return *out_; }
+  std::string&& payload() && { return std::move(owned_); }
 
  private:
-  std::string out_;
+  std::string owned_;
+  std::string* out_;
 };
 
 /// Bounds-checked reader over a payload. Reads past the end (or a string
@@ -67,6 +78,9 @@ class WireReader {
   uint64_t U64();
   int64_t I64() { return static_cast<int64_t>(U64()); }
   std::string Str();
+  /// Zero-copy Str: a view into the payload, valid while the payload
+  /// outlives the reader (the server decodes hot requests in place).
+  std::string_view StrView();
   Value Val();
 
   /// True when every read so far was in bounds and the caller may keep
@@ -172,6 +186,16 @@ Result<MetricsReply> DecodeMetricsReply(std::string_view payload);
 
 std::string EncodeErrorReply(const ErrorReply& msg);
 Result<ErrorReply> DecodeErrorReply(std::string_view payload);
+
+// Allocation-free reply encoders for the serving hot path: write into a
+// reused per-connection scratch buffer (cleared, capacity kept) instead
+// of returning a fresh string per frame.
+
+void EncodeQuoteReplyInto(const QuoteReply& msg, std::string* out);
+void EncodeQuoteBatchReplyInto(const QuoteBatchReply& msg, std::string* out);
+void EncodeInsertReplyInto(const InsertReply& msg, std::string* out);
+void EncodeMetricsReplyInto(const MetricsReply& msg, std::string* out);
+void EncodeErrorReplyInto(const ErrorReply& msg, std::string* out);
 
 }  // namespace qp
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -115,6 +116,63 @@ Result<bool> WaitReadable(const Socket& socket, int timeout_ms) {
   return rc > 0;
 }
 
+Result<std::vector<size_t>> WaitAnyReadable(
+    const std::vector<const Socket*>& sockets, int timeout_ms) {
+  std::vector<pollfd> pfds(sockets.size());
+  for (size_t i = 0; i < sockets.size(); ++i) {
+    pfds[i].fd = sockets[i]->fd();
+    pfds[i].events = POLLIN;
+    pfds[i].revents = 0;
+  }
+  int rc;
+  do {
+    rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  std::vector<size_t> ready;
+  if (rc > 0) {
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      // POLLHUP/POLLERR surface as "readable": the subsequent read
+      // observes the EOF or error and the caller closes the connection.
+      if (pfds[i].revents != 0) ready.push_back(i);
+    }
+  }
+  return ready;
+}
+
+Status OpenWakePipe(Socket* reader, Socket* writer) {
+  int fds[2];
+  if (::pipe(fds) != 0) return Errno("pipe");
+  // Nonblocking read end: DrainWakePipe must never stall, and a spurious
+  // drain with no pending byte must return immediately.
+  int flags = ::fcntl(fds[0], F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK) != 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  *reader = Socket(fds[0]);
+  *writer = Socket(fds[1]);
+  return Status::Ok();
+}
+
+void WakePipe(const Socket& writer) {
+  char byte = 1;
+  ssize_t n;
+  do {
+    n = ::write(writer.fd(), &byte, 1);
+  } while (n < 0 && errno == EINTR);
+  // EAGAIN (pipe full) is fine: the reader already has a wake pending.
+}
+
+void DrainWakePipe(const Socket& reader) {
+  char buf[64];
+  ssize_t n;
+  do {
+    n = ::read(reader.fd(), buf, sizeof(buf));
+  } while (n > 0 || (n < 0 && errno == EINTR));
+}
+
 Status WriteFull(const Socket& socket, const void* data, size_t size) {
   const char* p = static_cast<const char*>(data);
   while (size > 0) {
@@ -169,12 +227,12 @@ Status WriteFrame(const Socket& socket, uint8_t type, std::string_view payload,
   return Status::Ok();
 }
 
-Result<std::optional<Frame>> ReadFrame(const Socket& socket,
-                                       uint32_t max_frame_bytes) {
+Result<bool> ReadFrameInto(const Socket& socket, uint32_t max_frame_bytes,
+                           Frame* out) {
   unsigned char header[4];
   auto got = ReadFull(socket, header, sizeof(header));
   if (!got.ok()) return got.status();
-  if (!*got) return std::optional<Frame>();  // peer closed cleanly
+  if (!*got) return false;  // peer closed cleanly
   uint32_t length = (static_cast<uint32_t>(header[0]) << 24) |
                     (static_cast<uint32_t>(header[1]) << 16) |
                     (static_cast<uint32_t>(header[2]) << 8) |
@@ -188,16 +246,26 @@ Result<std::optional<Frame>> ReadFrame(const Socket& socket,
         " bytes exceeds the frame limit of " +
         std::to_string(max_frame_bytes));
   }
-  Frame frame;
-  auto type_got = ReadFull(socket, &frame.type, 1);
+  auto type_got = ReadFull(socket, &out->type, 1);
   if (!type_got.ok()) return type_got.status();
   if (!*type_got) return Status::Internal("connection truncated mid-frame");
-  frame.payload.resize(length - 1);
+  // resize() keeps the existing capacity, so a connection's read buffer
+  // stops allocating once it has seen its largest frame.
+  out->payload.resize(length - 1);
   if (length > 1) {
-    auto body = ReadFull(socket, frame.payload.data(), frame.payload.size());
+    auto body = ReadFull(socket, out->payload.data(), out->payload.size());
     if (!body.ok()) return body.status();
     if (!*body) return Status::Internal("connection truncated mid-frame");
   }
+  return true;
+}
+
+Result<std::optional<Frame>> ReadFrame(const Socket& socket,
+                                       uint32_t max_frame_bytes) {
+  Frame frame;
+  auto got = ReadFrameInto(socket, max_frame_bytes, &frame);
+  if (!got.ok()) return got.status();
+  if (!*got) return std::optional<Frame>();
   return std::optional<Frame>(std::move(frame));
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "qp/util/result.h"
 
@@ -62,6 +63,28 @@ Result<Socket> Accept(const Socket& listener);
 /// connection is waiting to be accepted.
 Result<bool> WaitReadable(const Socket& socket, int timeout_ms);
 
+/// Polls every socket in `sockets` at once and returns the indices (into
+/// `sockets`) that are readable within `timeout_ms`; empty on timeout.
+/// The reactor's primitive: one poll(2) call watches every idle
+/// connection plus the wake pipe.
+Result<std::vector<size_t>> WaitAnyReadable(
+    const std::vector<const Socket*>& sockets, int timeout_ms);
+
+/// Creates a self-wake pipe: writing a byte to `writer` makes `reader`
+/// readable, which unblocks a WaitAnyReadable that includes `reader`.
+/// The read end is nonblocking so DrainWakePipe can swallow any number of
+/// coalesced wakes without stalling.
+Status OpenWakePipe(Socket* reader, Socket* writer);
+
+/// Makes the paired reader readable. Uses plain write(2) — the wake pipe
+/// is not a socket, so send(MSG_NOSIGNAL) would fail with ENOTSOCK.
+/// Dropping the wake on a full pipe is fine: the reader is already
+/// pending wake-up.
+void WakePipe(const Socket& writer);
+
+/// Consumes all pending wake bytes (nonblocking).
+void DrainWakePipe(const Socket& reader);
+
 /// Writes all `size` bytes, looping over partial writes.
 Status WriteFull(const Socket& socket, const void* data, size_t size);
 
@@ -92,6 +115,13 @@ Status WriteFrame(const Socket& socket, uint8_t type,
 /// Reads one frame; nullopt on clean EOF at a frame boundary.
 Result<std::optional<Frame>> ReadFrame(
     const Socket& socket, uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Reads one frame into `out`, reusing its payload capacity (the serving
+/// hot path reads thousands of frames per connection; reallocating the
+/// payload each time shows up in the profile). Returns false on clean EOF
+/// at a frame boundary, true when `out` holds a frame.
+Result<bool> ReadFrameInto(const Socket& socket, uint32_t max_frame_bytes,
+                           Frame* out);
 
 }  // namespace qp
 

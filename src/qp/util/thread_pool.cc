@@ -1,8 +1,20 @@
 #include "qp/util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 namespace qp {
+namespace {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   int n = std::max(1, num_threads);
@@ -22,9 +34,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Submit(Lane::kInteractive, std::move(task));
+}
+
+void ThreadPool::Submit(Lane lane, std::function<void()> task) {
+  Task item{std::move(task),
+            lane_wait_observer_ ? MonotonicNowNs() : uint64_t{0}};
   {
     MutexLock lock(&mu_);
-    queue_.push_back(std::move(task));
+    queues_[static_cast<int>(lane)].push_back(std::move(item));
     ++in_flight_;
   }
   work_available_.NotifyOne();
@@ -36,6 +54,11 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
+  ParallelFor(Lane::kInteractive, count, fn);
+}
+
+void ThreadPool::ParallelFor(Lane lane, int count,
+                             const std::function<void(int)>& fn) {
   if (count <= 0) return;
   // One task per index: pricing work items are heavy and heterogeneous
   // (micro- to milliseconds each), so per-index scheduling doubles as load
@@ -43,10 +66,13 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   // under one lock with one wake pass: per-task Submit would pay a futex
   // wake per index once the pool's workers are parked on the condition
   // variable, which dominates batches of cache-hit-sized tasks.
+  const uint64_t enqueue_ns =
+      lane_wait_observer_ ? MonotonicNowNs() : uint64_t{0};
   {
     MutexLock lock(&mu_);
+    std::deque<Task>& queue = queues_[static_cast<int>(lane)];
     for (int i = 0; i < count; ++i) {
-      queue_.push_back([&fn, i] { fn(i); });
+      queue.push_back(Task{[&fn, i] { fn(i); }, enqueue_ns});
     }
     in_flight_ += count;
   }
@@ -58,17 +84,38 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   Wait();
 }
 
+void ThreadPool::SetLaneWaitObserver(LaneWaitObserver observer) {
+  lane_wait_observer_ = std::move(observer);
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    Lane lane = Lane::kInteractive;
     {
       MutexLock lock(&mu_);
-      while (!shutdown_ && queue_.empty()) work_available_.Wait(&mu_);
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      while (!shutdown_ && queues_[0].empty() && queues_[1].empty()) {
+        work_available_.Wait(&mu_);
+      }
+      // Interactive first; background only when the interactive lane is
+      // drained. Shutdown still drains both lanes before workers exit.
+      if (!queues_[0].empty()) {
+        lane = Lane::kInteractive;
+      } else if (!queues_[1].empty()) {
+        lane = Lane::kBackground;
+      } else {
+        return;  // shutdown with both lanes drained
+      }
+      std::deque<Task>& queue = queues_[static_cast<int>(lane)];
+      task = std::move(queue.front());
+      queue.pop_front();
     }
-    task();
+    if (lane_wait_observer_ && task.enqueue_ns != 0) {
+      uint64_t now = MonotonicNowNs();
+      lane_wait_observer_(lane,
+                          now > task.enqueue_ns ? now - task.enqueue_ns : 0);
+    }
+    task.fn();
     {
       MutexLock lock(&mu_);
       if (--in_flight_ == 0) all_done_.NotifyAll();

@@ -1,6 +1,7 @@
 #ifndef QP_UTIL_THREAD_POOL_H_
 #define QP_UTIL_THREAD_POOL_H_
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -10,34 +11,68 @@
 
 namespace qp {
 
-/// A fixed-size thread pool with a single shared FIFO queue (no work
-/// stealing: pricing tasks are coarse enough that a shared queue never
-/// becomes the bottleneck). Tasks must not throw.
+/// A fixed-size thread pool with two priority lanes sharing one worker
+/// set. `kInteractive` work (cached quotes, PTIME solves, frame serving)
+/// always runs before `kBackground` work (speculative cache warming,
+/// NP-hard batch fills): workers drain the interactive deque first and
+/// only pop background tasks when no interactive task is queued. Both
+/// lanes are plain FIFO within themselves — no work stealing; pricing
+/// tasks are coarse enough that the shared two-lane queue never becomes
+/// the bottleneck. Tasks must not throw.
+///
+/// Lane state lives in `queues_[2]`, indexed by `Lane`, guarded by `mu_`
+/// together with `in_flight_` (which counts both lanes — `Wait()` blocks
+/// until *all* lanes drain) and `shutdown_`.
 ///
 /// Usage:
 ///   ThreadPool pool(8);
 ///   pool.ParallelFor(n, [&](int i) { out[i] = Price(queries[i]); });
+///   pool.Submit(ThreadPool::Lane::kBackground, [&] { WarmCache(); });
 class ThreadPool {
  public:
+  /// Scheduling priority. Interactive tasks preempt queued background
+  /// tasks (but never a background task already running — lanes order
+  /// dequeues, they do not interrupt).
+  enum class Lane : int { kInteractive = 0, kBackground = 1 };
+
+  /// Called (outside the pool lock) with the lane and the nanoseconds a
+  /// task spent queued before a worker picked it up. This layer (qp/util)
+  /// cannot depend on qp/obs, so metric export is the observer's job.
+  using LaneWaitObserver = std::function<void(Lane, uint64_t)>;
+
   /// Spawns `num_threads` workers (clamped to >= 1).
   explicit ThreadPool(int num_threads);
 
-  /// Drains the queue, then joins the workers.
+  /// Drains both lanes, then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution on the interactive lane.
   void Submit(std::function<void()> task) QP_EXCLUDES(mu_);
 
-  /// Blocks until every submitted task has finished running.
+  /// Enqueues a task on the given lane.
+  void Submit(Lane lane, std::function<void()> task) QP_EXCLUDES(mu_);
+
+  /// Blocks until every submitted task — both lanes — has finished.
   void Wait() QP_EXCLUDES(mu_);
 
-  /// Runs fn(0) .. fn(count - 1) across the pool and blocks until all
-  /// calls return. The caller must not touch the pool from inside `fn`.
+  /// Runs fn(0) .. fn(count - 1) across the pool on the interactive lane
+  /// and blocks until all calls return. The caller must not touch the
+  /// pool from inside `fn`.
   void ParallelFor(int count, const std::function<void(int)>& fn)
       QP_EXCLUDES(mu_);
+
+  /// Lane-aware ParallelFor. Background batches still block the caller,
+  /// but queued interactive tasks run first.
+  void ParallelFor(Lane lane, int count, const std::function<void(int)>& fn)
+      QP_EXCLUDES(mu_);
+
+  /// Installs the lane-wait observer. Must be called before any Submit /
+  /// ParallelFor (frozen once workers may read it); not thread-safe
+  /// against concurrent task execution.
+  void SetLaneWaitObserver(LaneWaitObserver observer);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -45,14 +80,24 @@ class ThreadPool {
   static int DefaultThreads();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
+  static constexpr int kNumLanes = 2;
+
   void WorkerLoop();
 
   Mutex mu_;
   CondVar work_available_;
   CondVar all_done_;
-  std::deque<std::function<void()>> queue_ QP_GUARDED_BY(mu_);
-  int in_flight_ QP_GUARDED_BY(mu_) = 0;  // queued + currently running
+  std::deque<Task> queues_[kNumLanes] QP_GUARDED_BY(mu_);
+  int in_flight_ QP_GUARDED_BY(mu_) = 0;  // queued + running, both lanes
   bool shutdown_ QP_GUARDED_BY(mu_) = false;
+  /// Set once before the pool is used, read-only afterwards (invoked
+  /// outside the lock); deliberately unguarded.
+  LaneWaitObserver lane_wait_observer_;  // NOLINT(guarded-by-coverage)
   /// Written only during construction, joined only in the destructor; no
   /// concurrent mutation, so deliberately unguarded.
   std::vector<std::thread> workers_;  // NOLINT(guarded-by-coverage)

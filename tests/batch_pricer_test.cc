@@ -6,6 +6,7 @@
 #include "qp/pricing/batch_pricer.h"
 
 #include <atomic>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -201,6 +202,79 @@ TEST(ThreadPool, WaitDrainsSubmittedTasks) {
   }
   pool.Wait();
   EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, InteractiveLaneDequeuesBeforeBackground) {
+  // One worker, held at a gate while both lanes fill up: on release, the
+  // worker must drain every queued interactive task before touching the
+  // background lane, regardless of submission order.
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  pool.Submit([opened] { opened.wait(); });
+
+  std::vector<int> order;
+  Mutex order_mu;
+  auto record = [&](int tag) {
+    MutexLock lock(&order_mu);
+    order.push_back(tag);
+  };
+  // Background first, interactive second — execution must invert that.
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(ThreadPool::Lane::kBackground, [&record] { record(1); });
+  }
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(ThreadPool::Lane::kInteractive, [&record] { record(0); });
+  }
+  gate.set_value();
+  pool.Wait();
+
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(std::vector<int>(order.begin(), order.begin() + 3),
+            (std::vector<int>{0, 0, 0}));
+  EXPECT_EQ(std::vector<int>(order.begin() + 3, order.end()),
+            (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPool, WaitCoversBothLanes) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit(ThreadPool::Lane::kInteractive, [&done] { done.fetch_add(1); });
+    pool.Submit(ThreadPool::Lane::kBackground, [&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, BackgroundParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<int> counts(500, 0);
+  pool.ParallelFor(ThreadPool::Lane::kBackground,
+                   static_cast<int>(counts.size()),
+                   [&](int i) { counts[i]++; });
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ThreadPool, LaneWaitObserverSeesBothLanes) {
+  ThreadPool pool(2);
+  std::atomic<int> interactive_waits{0};
+  std::atomic<int> background_waits{0};
+  pool.SetLaneWaitObserver([&](ThreadPool::Lane lane, uint64_t wait_ns) {
+    (void)wait_ns;  // queue wait can legitimately round to 0ns
+    if (lane == ThreadPool::Lane::kInteractive) {
+      interactive_waits.fetch_add(1);
+    } else {
+      background_waits.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit(ThreadPool::Lane::kInteractive, [] {});
+    pool.Submit(ThreadPool::Lane::kBackground, [] {});
+  }
+  pool.Wait();
+  EXPECT_EQ(interactive_waits.load(), 8);
+  EXPECT_EQ(background_waits.load(), 8);
 }
 
 }  // namespace

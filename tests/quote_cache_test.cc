@@ -157,6 +157,120 @@ TEST(QuoteCache, ServesAlphaRenamedQuery) {
   EXPECT_EQ(hit->solution.price, 6);  // the Example 3.8 price
 }
 
+TEST(QuoteCache, HotQueriesRankByHitCount) {
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  const Schema& s = e.catalog->schema();
+  ConjunctiveQuery r_only = Parse(s, "Qr(x) :- R(x)");
+  ConjunctiveQuery t_only = Parse(s, "Qt(y) :- T(y)");
+  ConjunctiveQuery chain = Parse(s, "Qc(x,y) :- R(x), S(x,y), T(y)");
+
+  QuoteCache cache;
+  for (const ConjunctiveQuery* q : {&r_only, &t_only, &chain}) {
+    QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(*q));
+    cache.Store(q->Fingerprint(), *q, *e.db, quote);
+  }
+  // Each Store admits its fingerprint at 1 hit; 3 extra lookups for the
+  // chain and 1 for T-only leave the counts at 4 / 2 / 1.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cache.Lookup(chain.Fingerprint(), *e.db).has_value());
+  }
+  EXPECT_TRUE(cache.Lookup(t_only.Fingerprint(), *e.db).has_value());
+
+  std::vector<HotQuery> top = cache.HotQueries(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].fingerprint, chain.Fingerprint());
+  EXPECT_EQ(top[0].hits, 4u);
+  EXPECT_EQ(top[1].fingerprint, t_only.Fingerprint());
+  // The returned query must be priceable as-is (the warmer depends on it).
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote reprice, engine.Price(top[0].query));
+  EXPECT_GT(reprice.solution.price, 0);
+  // Asking for more than tracked returns everything, hottest first.
+  EXPECT_EQ(cache.HotQueries(10).size(), 3u);
+}
+
+TEST(QuoteCache, WarmedStoresAndHitsAreCountedSeparately) {
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  ConjunctiveQuery r_only = Parse(e.catalog->schema(), "Qr(x) :- R(x)");
+
+  QuoteCache cache;
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(r_only));
+  cache.Store(r_only.Fingerprint(), r_only, *e.db, quote, /*warmed=*/true);
+  auto hit = cache.Lookup(r_only.Fingerprint(), *e.db);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->solution.price, quote.solution.price);
+
+  QuoteCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.warmed_entries, 1u);
+  EXPECT_EQ(stats.warm_hits, 1u);
+  EXPECT_EQ(stats.hits, 1u);  // a warm hit is still a hit
+
+  // A buyer-path Store overwrites the entry; later hits are plain hits.
+  cache.Store(r_only.Fingerprint(), r_only, *e.db, quote);
+  EXPECT_TRUE(cache.Lookup(r_only.Fingerprint(), *e.db).has_value());
+  stats = cache.stats();
+  EXPECT_EQ(stats.warm_hits, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST(QuoteCache, HasFreshIsAStatFreePeek) {
+  Example38 e = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  ConjunctiveQuery r_only = Parse(e.catalog->schema(), "Qr(x) :- R(x)");
+
+  QuoteCache cache;
+  EXPECT_FALSE(cache.HasFresh(r_only.Fingerprint(), *e.db));
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote quote, engine.Price(r_only));
+  cache.Store(r_only.Fingerprint(), r_only, *e.db, quote);
+  EXPECT_TRUE(cache.HasFresh(r_only.Fingerprint(), *e.db));
+
+  // Mutate R: the entry is stale. HasFresh says so but must not evict —
+  // Lookup still sees the entry and records the invalidation itself.
+  QP_ASSERT_OK_AND_ASSIGN(bool inserted,
+                          e.db->Insert("R", {Value::Str("a3")}));
+  EXPECT_TRUE(inserted);
+  EXPECT_FALSE(cache.HasFresh(r_only.Fingerprint(), *e.db));
+  EXPECT_EQ(cache.size(), 1u);
+
+  QuoteCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.invalidations, 0u);
+}
+
+TEST(QuoteCache, StaleWarmStoreIsDroppedNotServed) {
+  // The publish-race guard: a warmer that priced against generation g
+  // must not clobber an entry already computed against g+1. A second
+  // Example38 instance has the same schema with all generations at 0, so
+  // it stands in for the warmer's old snapshot view.
+  Example38 e = Example38::Make();
+  Example38 old_snapshot = Example38::Make();
+  PricingEngine engine(e.db.get(), &e.prices);
+  ConjunctiveQuery r_only = Parse(e.catalog->schema(), "Qr(x) :- R(x)");
+  const std::string fp = r_only.Fingerprint();
+
+  // Advance R past the old snapshot's generation and cache the fresh quote.
+  QP_ASSERT_OK_AND_ASSIGN(bool inserted,
+                          e.db->Insert("R", {Value::Str("a3")}));
+  EXPECT_TRUE(inserted);
+  QuoteCache cache;
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote fresh_quote, engine.Price(r_only));
+  cache.Store(fp, r_only, *e.db, fresh_quote);
+
+  // The late warmer stores a quote computed against the older generation:
+  // dropped, counted, and the fresh entry keeps serving.
+  PricingEngine old_engine(old_snapshot.db.get(), &old_snapshot.prices);
+  QP_ASSERT_OK_AND_ASSIGN(PriceQuote stale_quote, old_engine.Price(r_only));
+  cache.Store(fp, r_only, *old_snapshot.db, stale_quote, /*warmed=*/true);
+  EXPECT_EQ(cache.stats().stale_store_drops, 1u);
+  EXPECT_EQ(cache.stats().warmed_entries, 0u);
+  auto hit = cache.Lookup(fp, *e.db);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->solution.price, fresh_quote.solution.price);
+  EXPECT_EQ(cache.stats().warm_hits, 0u);
+}
+
 TEST(DynamicPricer, InsertInvalidatesOnlyTouchedQueries) {
   Example38 e = Example38::Make();
   DynamicPricer pricer(e.db.get(), &e.prices);

@@ -10,7 +10,10 @@
 //   --host=A           server address (default 127.0.0.1)
 //   --port=N           server port (required)
 //   --connections=N    concurrent client connections (default 8)
-//   --requests=N       requests per connection (default 200)
+//   --requests=N       requests per connection (default 200; ignored
+//                      when --duration-s is set)
+//   --duration-s=N     run for N seconds of wall clock instead of a fixed
+//                      request count (each worker stops at the deadline)
 //   --shards=N         shards to spread load across (default 2; must not
 //                      exceed the daemon's shard count)
 //   --insert-every=N   every Nth request is an INSERT (default 8;
@@ -20,7 +23,9 @@
 //   --smoke            CI smoke mode: assert nonzero quote and insert
 //                      successes and zero failures, print "SMOKE OK"
 //   --shutdown         send a SHUTDOWN frame after the run
-//   --out=PATH         write a JSON result row (qps, p50_ns, p95_ns)
+//   --out=PATH         write a JSON result row: overall qps / p50_ns /
+//                      p95_ns plus per-op-type {count, p50_ns, p95_ns}
+//                      blocks for quote, insert, and batch round-trips
 //
 // Exit status: 0 on success; 1 when any request failed (or a --smoke
 // assertion does not hold).
@@ -45,6 +50,7 @@ struct Flags {
   long port = 0;
   int connections = 8;
   int requests = 200;
+  long duration_s = 0;
   int shards = 2;
   int insert_every = 8;
   int batch_every = 16;
@@ -59,6 +65,13 @@ bool ParseIntFlag(const char* arg, const char* name, long* out) {
   *out = std::strtol(arg + len + 1, nullptr, 10);
   return true;
 }
+
+/// Round-trip types tracked separately in the latency report: a warm
+/// cache moves quote latency without touching insert latency, and the
+/// aggregate would hide exactly that split.
+enum OpType { kOpQuote = 0, kOpInsert = 1, kOpBatch = 2, kNumOpTypes = 3 };
+
+const char* kOpNames[kNumOpTypes] = {"quote", "insert", "batch"};
 
 /// The quote mix: selection-heavy conjunctive queries over the generated
 /// business market (Business/Email/InState/InCounty), a boolean probe,
@@ -78,7 +91,7 @@ struct WorkerResult {
   uint64_t inserts_ok = 0;
   uint64_t rows_inserted = 0;
   uint64_t failures = 0;
-  std::vector<uint64_t> latencies_ns;
+  std::vector<uint64_t> latencies_ns[kNumOpTypes];
   std::string first_error;
 };
 
@@ -103,9 +116,17 @@ void RunWorker(const Flags& flags, int worker_id, WorkerResult* result) {
   }
   uint32_t shard = static_cast<uint32_t>(
       flags.shards > 0 ? worker_id % flags.shards : 0);
-  for (int i = 0; i < flags.requests; ++i) {
+  // Fixed request count, or open-ended until the wall-clock deadline.
+  const uint64_t deadline_ns =
+      flags.duration_s > 0
+          ? NowNs() + static_cast<uint64_t>(flags.duration_s) * 1000000000ull
+          : 0;
+  for (int i = 0;
+       deadline_ns > 0 ? NowNs() < deadline_ns : i < flags.requests; ++i) {
+    OpType op = kOpQuote;
     uint64_t start = NowNs();
     if (flags.insert_every > 0 && i % flags.insert_every == 1) {
+      op = kOpInsert;
       // Spread inserts over distinct businesses per worker so most are
       // fresh rows; duplicates are valid no-op inserts either way.
       int bid = (worker_id * flags.requests + i * 7) % 120;
@@ -119,6 +140,7 @@ void RunWorker(const Flags& flags, int worker_id, WorkerResult* result) {
         result->rows_inserted += reply->rows_inserted;
       }
     } else if (flags.batch_every > 0 && i % flags.batch_every == 2) {
+      op = kOpBatch;
       std::vector<std::string> texts;
       for (int q = 0; q < 8; ++q) {
         texts.push_back(kQuoteMix[(i + q) % kQuoteMixSize]);
@@ -144,7 +166,7 @@ void RunWorker(const Flags& flags, int worker_id, WorkerResult* result) {
         ++result->quotes_ok;
       }
     }
-    result->latencies_ns.push_back(NowNs() - start);
+    result->latencies_ns[op].push_back(NowNs() - start);
   }
   if (flags.shutdown && worker_id == 0) {
     qp::Status status = client->Shutdown();
@@ -170,6 +192,8 @@ int main(int argc, char** argv) {
       flags.connections = static_cast<int>(v);
     } else if (ParseIntFlag(argv[i], "--requests", &v)) {
       flags.requests = static_cast<int>(v);
+    } else if (ParseIntFlag(argv[i], "--duration-s", &v)) {
+      flags.duration_s = v;
     } else if (ParseIntFlag(argv[i], "--shards", &v)) {
       flags.shards = static_cast<int>(v);
     } else if (ParseIntFlag(argv[i], "--insert-every", &v)) {
@@ -209,20 +233,32 @@ int main(int argc, char** argv) {
 
   uint64_t quotes_ok = 0, inserts_ok = 0, rows = 0, failures = 0, ops = 0;
   std::vector<uint64_t> latencies;
+  std::vector<uint64_t> op_latencies[kNumOpTypes];
   std::string first_error;
   for (const WorkerResult& r : results) {
     quotes_ok += r.quotes_ok;
     inserts_ok += r.inserts_ok;
     rows += r.rows_inserted;
     failures += r.failures;
-    ops += r.latencies_ns.size();
-    latencies.insert(latencies.end(), r.latencies_ns.begin(),
-                     r.latencies_ns.end());
+    for (int op = 0; op < kNumOpTypes; ++op) {
+      ops += r.latencies_ns[op].size();
+      latencies.insert(latencies.end(), r.latencies_ns[op].begin(),
+                       r.latencies_ns[op].end());
+      op_latencies[op].insert(op_latencies[op].end(),
+                              r.latencies_ns[op].begin(),
+                              r.latencies_ns[op].end());
+    }
     if (first_error.empty()) first_error = r.first_error;
   }
   std::sort(latencies.begin(), latencies.end());
   uint64_t p50 = Percentile(&latencies, 0.50);
   uint64_t p95 = Percentile(&latencies, 0.95);
+  uint64_t op_p50[kNumOpTypes], op_p95[kNumOpTypes];
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    std::sort(op_latencies[op].begin(), op_latencies[op].end());
+    op_p50[op] = Percentile(&op_latencies[op], 0.50);
+    op_p95[op] = Percentile(&op_latencies[op], 0.95);
+  }
   // qps counts request round-trips per second (a batch is one request).
   double qps = wall_ns > 0 ? static_cast<double>(ops) * 1e9 /
                                  static_cast<double>(wall_ns)
@@ -241,6 +277,13 @@ int main(int argc, char** argv) {
   std::printf("  qps=%.0f p50=%.3f ms p95=%.3f ms\n", qps,
               static_cast<double>(p50) / 1e6,
               static_cast<double>(p95) / 1e6);
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    if (op_latencies[op].empty()) continue;
+    std::printf("  %s: n=%zu p50=%.3f ms p95=%.3f ms\n", kOpNames[op],
+                op_latencies[op].size(),
+                static_cast<double>(op_p50[op]) / 1e6,
+                static_cast<double>(op_p95[op]) / 1e6);
+  }
   if (failures > 0) {
     std::printf("  first error: %s\n", first_error.c_str());
   }
@@ -251,7 +294,13 @@ int main(int argc, char** argv) {
         << ", \"requests\": " << ops << ", \"quotes_ok\": " << quotes_ok
         << ", \"inserts_ok\": " << inserts_ok
         << ", \"failures\": " << failures << ", \"qps\": " << qps
-        << ", \"p50_ns\": " << p50 << ", \"p95_ns\": " << p95 << "}\n";
+        << ", \"p50_ns\": " << p50 << ", \"p95_ns\": " << p95;
+    for (int op = 0; op < kNumOpTypes; ++op) {
+      out << ", \"" << kOpNames[op] << "\": {\"count\": "
+          << op_latencies[op].size() << ", \"p50_ns\": " << op_p50[op]
+          << ", \"p95_ns\": " << op_p95[op] << "}";
+    }
+    out << "}\n";
   }
 
   if (flags.smoke) {

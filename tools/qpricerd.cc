@@ -17,6 +17,10 @@
 //   --max-connections=N  admission limit before shedding (default 64)
 //   --deadline-ms=N      per-quote serving deadline (default 0 = none)
 //   --admission-cap=N    per-batch admission cap (default 0 = unlimited)
+//   --no-warm            disable publish-triggered cache warming
+//                        (invalidate-only; the serve_churn A/B baseline)
+//   --hot-set-size=N     hottest cached queries re-priced per publish
+//                        (default 16; 0 also disables warming)
 //
 // On startup the daemon prints exactly one line
 //   qpricerd listening on 127.0.0.1:<port> (<k> shards)
@@ -52,6 +56,8 @@ struct Flags {
   int max_connections = 64;
   int64_t deadline_ms = 0;
   int admission_cap = 0;
+  bool warm_on_publish = true;
+  int hot_set_size = 16;
 };
 
 bool ParseIntFlag(const char* arg, const char* name, long* out) {
@@ -67,7 +73,8 @@ int Usage(const char* msg) {
                "usage: qpricerd [--port=N] [--shards=N] [--businesses=N] "
                "[--market=PATH]\n"
                "                [--workers=N] [--max-connections=N] "
-               "[--deadline-ms=N] [--admission-cap=N]\n");
+               "[--deadline-ms=N] [--admission-cap=N]\n"
+               "                [--no-warm] [--hot-set-size=N]\n");
   return 2;
 }
 
@@ -91,6 +98,10 @@ int main(int argc, char** argv) {
       flags.deadline_ms = v;
     } else if (ParseIntFlag(argv[i], "--admission-cap", &v)) {
       flags.admission_cap = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--no-warm") == 0) {
+      flags.warm_on_publish = false;
+    } else if (ParseIntFlag(argv[i], "--hot-set-size", &v)) {
+      flags.hot_set_size = static_cast<int>(v);
     } else if (std::strncmp(argv[i], "--market=", 9) == 0) {
       flags.market_file = argv[i] + 9;
     } else {
@@ -153,6 +164,8 @@ int main(int argc, char** argv) {
   options.max_connections = flags.max_connections;
   options.deadline_ms = flags.deadline_ms;
   options.admission_cap = flags.admission_cap;
+  options.warm_on_publish = flags.warm_on_publish;
+  options.hot_set_size = flags.hot_set_size;
   qp::PricingServer server(std::move(shards), options);
   qp::Status status = server.Start();
   if (!status.ok()) {
