@@ -7,6 +7,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <thread>
 
 #include "qp/obs/metrics.h"
 
@@ -221,6 +222,11 @@ int RunBenchMain(int argc, char** argv) {
     std::printf("running %s ...\n", spec.name.c_str());
     std::fflush(stdout);
     results.push_back(RunScenario(spec, options.quick));
+    // Cooldown between scenarios: a saturating scenario (the serve_overload
+    // pair pins every core for seconds) leaves scheduler and CPU-bandwidth
+    // hangover that inflates whatever runs next; an idle beat lets cgroup
+    // quota refill so each scenario is measured from the same calm start.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
   }
   if (results.empty()) {
     std::fprintf(stderr, "no scenario matches filter '%s'\n",

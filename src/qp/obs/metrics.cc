@@ -6,14 +6,6 @@
 namespace qp {
 namespace {
 
-/// Upper edge of histogram bucket i: the largest value whose bit width is
-/// i (0 for the empty bucket 0).
-uint64_t BucketUpperEdge(int index) {
-  if (index <= 0) return 0;
-  if (index >= MetricHistogram::kNumBuckets - 1) return UINT64_MAX;
-  return (uint64_t{1} << index) - 1;
-}
-
 /// Relaxed atomic min/max via CAS; contention is rare (only ties for the
 /// extreme) so the loop almost always runs once.
 void AtomicMin(std::atomic<uint64_t>* slot, uint64_t value) {
@@ -63,6 +55,12 @@ void MetricHistogram::Record(uint64_t value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
   AtomicMin(&min_, value);
   AtomicMax(&max_, value);
+}
+
+uint64_t MetricHistogram::BucketUpperEdge(int index) {
+  if (index <= 0) return 0;
+  if (index >= kNumBuckets - 1) return UINT64_MAX;
+  return (uint64_t{1} << index) - 1;
 }
 
 uint64_t MetricHistogram::Min() const {

@@ -80,6 +80,16 @@ class MetricHistogram {
   /// [Min(), Max()]. 0 when empty.
   uint64_t Percentile(int q) const;
 
+  /// Raw count of bucket `index` (relaxed read). Powers windowed readers
+  /// (qp/obs/window.h) that diff bucket snapshots between ticks.
+  uint64_t BucketCount(int index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  /// Upper edge of bucket `index`: the largest value whose bit width is
+  /// `index` (0 for bucket 0, UINT64_MAX for the top bucket).
+  static uint64_t BucketUpperEdge(int index);
+
   void Reset();
 
  private:

@@ -1,0 +1,50 @@
+#include "qp/obs/window.h"
+
+namespace qp {
+
+uint64_t NearestRankPercentile(const std::vector<uint64_t>& sorted, int q) {
+  if (sorted.empty()) return 0;
+  if (q < 0) q = 0;
+  if (q > 100) q = 100;
+  const uint64_t count = sorted.size();
+  uint64_t rank = (count * static_cast<uint64_t>(q) + 99) / 100;
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+WindowedPercentile::WindowedPercentile(const MetricHistogram* hist)
+    : hist_(hist) {
+  // Baseline at construction: the first Advance() must not report the
+  // histogram's whole cumulative history as one giant window.
+  for (int i = 0; i < MetricHistogram::kNumBuckets; ++i) {
+    prev_[i] = hist_->BucketCount(i);
+  }
+}
+
+void WindowedPercentile::Advance() {
+  window_count_ = 0;
+  for (int i = 0; i < MetricHistogram::kNumBuckets; ++i) {
+    // Bucket counts are monotone, so cur >= prev even against racing
+    // writers; the guard only covers a torn relaxed read ordering.
+    uint64_t cur = hist_->BucketCount(i);
+    window_[i] = cur >= prev_[i] ? cur - prev_[i] : 0;
+    window_count_ += window_[i];
+    prev_[i] = cur;
+  }
+}
+
+uint64_t WindowedPercentile::Percentile(int q) const {
+  if (window_count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 100) q = 100;
+  uint64_t rank = (window_count_ * static_cast<uint64_t>(q) + 99) / 100;
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < MetricHistogram::kNumBuckets; ++i) {
+    seen += window_[i];
+    if (seen >= rank) return MetricHistogram::BucketUpperEdge(i);
+  }
+  return MetricHistogram::BucketUpperEdge(MetricHistogram::kNumBuckets - 1);
+}
+
+}  // namespace qp

@@ -1,0 +1,59 @@
+#ifndef QP_OBS_WINDOW_H_
+#define QP_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qp/obs/metrics.h"
+
+namespace qp {
+
+/// Exact nearest-rank percentile over an ascending-sorted sample vector:
+/// rank = ceil(count * q / 100), clamped to [1, count]; returns
+/// sorted[rank - 1] (0 when empty). This is the reference semantics every
+/// percentile reporter in the tree follows — MetricHistogram::Percentile
+/// is the same rank rule quantized to power-of-two bucket edges, and the
+/// load client's report uses this helper directly, so the two can only
+/// disagree by bucket rounding, never by rank convention.
+uint64_t NearestRankPercentile(const std::vector<uint64_t>& sorted, int q);
+
+/// A windowed reader over a cumulative MetricHistogram: Advance()
+/// snapshots the bucket counts, and Percentile() answers over only the
+/// samples recorded since the *previous* Advance. The process histograms
+/// are lifetime-cumulative — after an hour of calm traffic a burst barely
+/// moves their p99 — so a feedback controller that wants "tail latency
+/// over the last tick" diffs bucket snapshots instead.
+///
+/// Not thread-safe: one owner advances and reads (the overload
+/// controller's ticks are serialized). The underlying histogram may be
+/// written concurrently — bucket counts are monotone relaxed atomics, so
+/// a racing Record lands in either this window or the next, never lost.
+class WindowedPercentile {
+ public:
+  /// `hist` must outlive this reader (registry histograms live for the
+  /// process). The window starts empty; the first Advance() baselines
+  /// against the histogram's current state.
+  explicit WindowedPercentile(const MetricHistogram* hist);
+
+  /// Closes the current window: samples recorded since the previous
+  /// Advance become the window Percentile()/Count() answer over.
+  void Advance();
+
+  /// Samples in the closed window.
+  uint64_t Count() const { return window_count_; }
+
+  /// Nearest-rank percentile over the window, as the upper edge of the
+  /// covering power-of-two bucket (same quantization as
+  /// MetricHistogram::Percentile). 0 when the window is empty.
+  uint64_t Percentile(int q) const;
+
+ private:
+  const MetricHistogram* hist_;
+  uint64_t prev_[MetricHistogram::kNumBuckets] = {};
+  uint64_t window_[MetricHistogram::kNumBuckets] = {};
+  uint64_t window_count_ = 0;
+};
+
+}  // namespace qp
+
+#endif  // QP_OBS_WINDOW_H_

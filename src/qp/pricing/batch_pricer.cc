@@ -17,7 +17,8 @@ BatchPricer::BatchPricer(const PricingEngine* engine,
       num_threads_(options.num_threads == 0 ? ThreadPool::DefaultThreads()
                                             : options.num_threads),
       deadline_ms_(options.deadline_ms),
-      admission_cap_(options.admission_cap) {}
+      admission_cap_(options.admission_cap),
+      controls_(options.controls) {}
 
 bool BatchPricer::pool_initialized() const {
   MutexLock lock(&pool_mu_);
@@ -40,11 +41,14 @@ Result<PriceQuote> BatchPricer::Price(const ConjunctiveQuery& query,
   // Each query gets a fresh budget: the deadline bounds one solve, not the
   // whole batch. With no deadline the engine's own default budget (usually
   // inactive) applies untouched — bit-identical to the unbudgeted engine.
+  // Snapshotted once per call: the overload controller may retune the
+  // controls concurrently, and this quote must run under one deadline.
+  const int64_t deadline = deadline_ms();
   auto price_one = [&]() {
-    return deadline_ms_ > 0
+    return deadline > 0
                ? engine_->Price(query,
                                 SearchBudget::Deadline(
-                                    std::chrono::milliseconds(deadline_ms_)))
+                                    std::chrono::milliseconds(deadline)))
                : engine_->Price(query);
   };
   if (cache_ == nullptr) return price_one();
@@ -74,14 +78,16 @@ std::vector<Result<PriceQuote>> BatchPricer::PriceAll(
   QP_METRIC_INCR("qp.batch.runs");
   QP_METRIC_COUNT("qp.batch.queries", total);
   // Admission control: under overload, shed the tail of the batch instead
-  // of queuing it behind an unbounded backlog.
+  // of queuing it behind an unbounded backlog. One snapshot of the live
+  // cap per batch — the whole frame is admitted under the same rule.
+  const int cap = admission_cap();
   int n = total;
-  if (admission_cap_ > 0 && total > admission_cap_) {
-    n = admission_cap_;
+  if (cap > 0 && total > cap) {
+    n = cap;
     QP_METRIC_COUNT("qp.batch.shed", static_cast<uint64_t>(total - n));
     for (int i = n; i < total; ++i) {
       out[i] = Status::ResourceExhausted(
-          "batch admission cap reached (" + std::to_string(admission_cap_) +
+          "batch admission cap reached (" + std::to_string(cap) +
           "); query shed");
     }
   }

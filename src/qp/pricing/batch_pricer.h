@@ -7,6 +7,7 @@
 
 #include "qp/pricing/engine.h"
 #include "qp/pricing/quote_cache.h"
+#include "qp/pricing/serving_controls.h"
 #include "qp/util/result.h"
 #include "qp/util/search_budget.h"
 #include "qp/util/thread_annotations.h"
@@ -31,6 +32,13 @@ struct BatchPricerOptions {
   /// queries are shed with ResourceExhausted rather than queued, bounding
   /// batch latency under overload.
   int admission_cap = 0;
+  /// Optional live knob source. When set, `deadline_ms` / `admission_cap`
+  /// above become fallbacks: each Price / PriceAll call snapshots the
+  /// controls' current values instead, so a feedback controller can
+  /// tighten or relax serving between frames without rebuilding pricers.
+  /// Must outlive this object. Each call reads each knob exactly once —
+  /// a concurrent adjustment lands on frame boundaries, never mid-batch.
+  const ServingControls* controls = nullptr;
 };
 
 /// Prices many queries against one engine concurrently. Pricing is a pure
@@ -69,7 +77,16 @@ class BatchPricer {
 
   const PricingEngine& engine() const { return *engine_; }
   int num_threads() const { return num_threads_; }
-  int64_t deadline_ms() const { return deadline_ms_; }
+  /// The deadline a Price call issued right now would run under: the
+  /// controls' live value when controls are wired, else the fixed option.
+  int64_t deadline_ms() const {
+    return controls_ != nullptr ? controls_->DeadlineMs() : deadline_ms_;
+  }
+  /// Same for the per-batch admission cap.
+  int admission_cap() const {
+    return controls_ != nullptr ? static_cast<int>(controls_->AdmissionCap())
+                                : admission_cap_;
+  }
 
   /// True once PriceAll has built its persistent worker pool (test hook:
   /// repeated batches must reuse one pool, not build one per call).
@@ -84,6 +101,7 @@ class BatchPricer {
   const int num_threads_;
   const int64_t deadline_ms_;
   const int admission_cap_;
+  const ServingControls* const controls_;
   /// Lazily-built persistent pool, reused across PriceAll calls so worker
   /// startup cost and queue-wait measurements aren't polluted by pool
   /// construction. Guarded by `pool_mu_`; concurrent PriceAll calls on one

@@ -1,0 +1,49 @@
+#ifndef QP_PRICING_SERVING_CONTROLS_H_
+#define QP_PRICING_SERVING_CONTROLS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace qp {
+
+/// The runtime-adjustable serving knobs, shared between the serving path
+/// (readers: every BatchPricer frame, the accept loop) and the overload
+/// controller (sole writer once serving starts). Before this struct the
+/// knobs were fixed at construction — a CLI flag chosen at boot had to
+/// cover both the quiet Tuesday and the burst — and the feedback loop of
+/// ROADMAP item 5 had nothing to actuate.
+///
+/// All members are relaxed atomics: a reader takes one snapshot per
+/// frame (never mid-frame re-reads), so a concurrent adjustment lands on
+/// frame boundaries; there is no invariant coupling the knobs that would
+/// need a lock. Zero keeps each knob's historical meaning: no deadline,
+/// unlimited batch admission, and (for max_connections, which the server
+/// seeds from its configured limit) "admit nothing".
+struct ServingControls {
+  /// Per-quote serving deadline in milliseconds (0 = none). Tightened
+  /// first under pressure: expiry degrades quotes to admissible
+  /// approximations (price >= exact, flagged approximate, never cached)
+  /// instead of refusing anything.
+  std::atomic<int64_t> deadline_ms{0};
+  /// Per-QUOTE_BATCH admission cap (0 = unlimited). Second lever: excess
+  /// batch queries are shed with ResourceExhausted.
+  std::atomic<int64_t> admission_cap{0};
+  /// Connection admission limit (0 = admit nothing, matching the
+  /// server's historical max_connections semantics). Last lever:
+  /// connections beyond it are shed at the accept door.
+  std::atomic<int64_t> max_connections{0};
+
+  int64_t DeadlineMs() const {
+    return deadline_ms.load(std::memory_order_relaxed);
+  }
+  int64_t AdmissionCap() const {
+    return admission_cap.load(std::memory_order_relaxed);
+  }
+  int64_t MaxConnections() const {
+    return max_connections.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace qp
+
+#endif  // QP_PRICING_SERVING_CONTROLS_H_

@@ -1,0 +1,232 @@
+#include "qp/server/overload_controller.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "qp/obs/metrics.h"
+
+namespace qp {
+
+namespace {
+
+/// Pressure ladder depth. Levels 1-2 tighten only the deadline, 3-4 add
+/// the batch admission cap, 5-6 add connection shedding — refusal levers
+/// engage only after the degrade-gracefully lever is exhausted.
+constexpr int kMaxLevel = 6;
+constexpr int kCapLevel = 3;
+constexpr int kConnLevel = 5;
+
+/// How often the timer re-checks the stop flag while sleeping out a tick.
+constexpr int64_t kStopPollMs = 5;
+
+/// Calm threshold as a fraction of the target (7/10): the dead band
+/// between "calm" and "hot" is where the controller holds its level, so
+/// a signal hovering near the target does not whipsaw the knobs.
+constexpr uint64_t CalmThresholdNs(uint64_t target_ns) {
+  return target_ns * 7 / 10;
+}
+
+}  // namespace
+
+OverloadController::OverloadController(
+    const OverloadControllerOptions& options, ServingControls* controls,
+    ThreadPool* pool, InFlightFn in_flight)
+    : options_(options),
+      controls_(controls),
+      pool_(pool),
+      in_flight_(std::move(in_flight)),
+      base_deadline_ms_(controls->DeadlineMs()),
+      base_admission_cap_(controls->AdmissionCap()),
+      base_max_connections_(controls->MaxConnections()),
+      request_window_(
+          MetricsRegistry::Global().GetHistogram("qp.server.request_ns")),
+      lane_wait_window_(MetricsRegistry::Global().GetHistogram(
+          "qp.pool.lane_wait_ns.interactive")),
+      calm_dwell_(options.relax_after_calm_ticks) {}
+
+OverloadController::~OverloadController() { Stop(); }
+
+void OverloadController::Start() {
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+void OverloadController::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (timer_.joinable()) timer_.join();
+}
+
+void OverloadController::TimerLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Sleep out one tick in short slices so Stop() is never waiting on a
+    // long tick period.
+    for (int64_t slept = 0;
+         slept < options_.tick_ms && !stop_.load(std::memory_order_relaxed);
+         slept += kStopPollMs) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kStopPollMs));
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    const uint64_t seq = scheduled_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // The tick body belongs on the background lane so it never delays an
+    // interactive frame — but under overload that lane starves, which is
+    // exactly when control matters. A fire that finds the previous tick
+    // still queued runs inline on this thread instead; the starvation
+    // itself is exported as an overload symptom.
+    const bool lane_starved =
+        completed_.load(std::memory_order_acquire) + 1 < seq;
+    if (pool_ == nullptr || lane_starved) {
+      if (lane_starved) QP_METRIC_INCR("qp.server.ctl.starved_ticks");
+      RunTick(seq);
+    } else {
+      pool_->Submit(ThreadPool::Lane::kBackground,
+                    [this, seq] { RunTick(seq); });
+    }
+  }
+}
+
+void OverloadController::RunTick(uint64_t seq) {
+  if (stop_.load(std::memory_order_relaxed)) return;
+  MutexLock lock(&tick_mu_);
+  // A queued tick that an inline tick already overtook is a no-op; its
+  // window was consumed by the newer tick.
+  if (seq <= last_run_seq_) {
+    if (seq > completed_.load(std::memory_order_relaxed)) {
+      completed_.store(seq, std::memory_order_release);
+    }
+    return;
+  }
+  last_run_seq_ = seq;
+  request_window_.Advance();
+  lane_wait_window_.Advance();
+  Signals signals;
+  signals.request_p99_ns = request_window_.Percentile(99);
+  signals.request_p95_ns = request_window_.Percentile(95);
+  signals.lane_wait_p95_ns = lane_wait_window_.Percentile(95);
+  signals.window_count = request_window_.Count();
+  signals.in_flight_connections = in_flight_ ? in_flight_() : 0;
+  DecideAndActuate(signals);
+  completed_.store(seq, std::memory_order_release);
+}
+
+void OverloadController::TickForTesting(const Signals& signals) {
+  MutexLock lock(&tick_mu_);
+  DecideAndActuate(signals);
+}
+
+void OverloadController::DecideAndActuate(const Signals& signals) {
+  QP_METRIC_INCR("qp.server.ctl.ticks");
+  const uint64_t target_ns =
+      static_cast<uint64_t>(options_.target_p99_ms) * 1000000ull;
+  // Hot on either signal: a blown handler p99, or interactive tasks
+  // queueing in front of the workers longer than the whole objective
+  // (request_ns cannot see queue time — the client does).
+  const bool hot =
+      (signals.window_count > 0 && signals.request_p99_ns > target_ns) ||
+      signals.lane_wait_p95_ns > target_ns;
+  // Calm only comfortably below the target; the band in between holds.
+  const bool calm =
+      !hot && (signals.window_count == 0 ||
+               (signals.request_p99_ns <= CalmThresholdNs(target_ns) &&
+                signals.lane_wait_p95_ns <= CalmThresholdNs(target_ns)));
+  // Resolve an open relax probe before anything else acts on it. A hot
+  // tick inside the window convicts the probe — the calm streak that
+  // justified it was stale telemetry — and doubles the dwell; surviving
+  // the window acquits it and halves the dwell back toward the base.
+  if (probe_open_) {
+    ++probe_age_ticks_;
+    if (hot && probe_age_ticks_ <= options_.probe_fail_ticks) {
+      probe_open_ = false;
+      QP_METRIC_INCR("qp.server.ctl.probe_failures");
+      calm_dwell_ = std::min(
+          calm_dwell_ * 2, options_.relax_after_calm_ticks *
+                               options_.max_calm_dwell_multiplier);
+    } else if (probe_age_ticks_ > options_.probe_fail_ticks) {
+      probe_open_ = false;
+      calm_dwell_ = std::max(options_.relax_after_calm_ticks,
+                             calm_dwell_ / 2);
+    }
+  }
+  if (hot) {
+    calm_ticks_ = 0;
+    if (level_ < kMaxLevel) {
+      ++level_;
+      QP_METRIC_INCR("qp.server.ctl.tightenings");
+      ApplyLevel(level_);
+    }
+  } else if (calm) {
+    ++calm_ticks_;
+    // One probe at a time: a second relaxation before the first resolves
+    // would climb the ladder faster than its consequences can surface in
+    // the windows (the frames admitted under the relaxed knobs are still
+    // in flight).
+    if (level_ > 0 && !probe_open_ && calm_ticks_ >= calm_dwell_) {
+      calm_ticks_ = 0;
+      --level_;
+      probe_open_ = true;
+      probe_age_ticks_ = 0;
+      QP_METRIC_INCR("qp.server.ctl.relaxations");
+      ApplyLevel(level_);
+    }
+  } else {
+    calm_ticks_ = 0;  // in the dead band: hold the level, restart the streak
+  }
+  level_gauge_.store(level_, std::memory_order_relaxed);
+  QP_METRIC_GAUGE_SET("qp.server.ctl.calm_dwell_ticks", calm_dwell_);
+  QP_METRIC_GAUGE_SET("qp.server.ctl.level", level_);
+  QP_METRIC_GAUGE_SET("qp.server.ctl.window_p99_ns", signals.request_p99_ns);
+  QP_METRIC_GAUGE_SET("qp.server.ctl.window_p95_ns", signals.request_p95_ns);
+  QP_METRIC_GAUGE_SET("qp.server.ctl.lane_wait_p95_ns",
+                      signals.lane_wait_p95_ns);
+  QP_METRIC_GAUGE_SET("qp.server.ctl.window_count", signals.window_count);
+  QP_METRIC_GAUGE_SET("qp.server.ctl.inflight",
+                      signals.in_flight_connections);
+}
+
+void OverloadController::ApplyLevel(int level) {
+  const int64_t deadline = DeadlineForLevel(level);
+  const int64_t cap = CapForLevel(level);
+  const int64_t conns = ConnectionsForLevel(level);
+  if (controls_->DeadlineMs() != deadline) {
+    QP_METRIC_INCR("qp.server.ctl.deadline_actuations");
+    controls_->deadline_ms.store(deadline, std::memory_order_relaxed);
+  }
+  if (controls_->AdmissionCap() != cap) {
+    QP_METRIC_INCR("qp.server.ctl.cap_actuations");
+    controls_->admission_cap.store(cap, std::memory_order_relaxed);
+  }
+  if (controls_->MaxConnections() != conns) {
+    QP_METRIC_INCR("qp.server.ctl.conn_actuations");
+    controls_->max_connections.store(conns, std::memory_order_relaxed);
+  }
+  QP_METRIC_GAUGE_SET("qp.server.ctl.deadline_ms", deadline);
+  QP_METRIC_GAUGE_SET("qp.server.ctl.admission_cap", cap);
+  QP_METRIC_GAUGE_SET("qp.server.ctl.max_connections", conns);
+}
+
+int64_t OverloadController::DeadlineForLevel(int level) const {
+  if (level <= 0) return base_deadline_ms_;
+  // First actuation pins the deadline at the configured value, or — when
+  // serving ran deadline-free — at the p99 target itself; each further
+  // level halves it down to the floor.
+  const int64_t ceiling =
+      base_deadline_ms_ > 0 ? base_deadline_ms_ : options_.target_p99_ms;
+  const int64_t halved = ceiling >> (level - 1);
+  return std::max(options_.deadline_floor_ms, halved);
+}
+
+int64_t OverloadController::CapForLevel(int level) const {
+  if (level < kCapLevel) return base_admission_cap_;
+  const int64_t base = base_admission_cap_ > 0
+                           ? base_admission_cap_
+                           : options_.fallback_admission_cap;
+  return std::max(int64_t{1}, base >> (level - kCapLevel));
+}
+
+int64_t OverloadController::ConnectionsForLevel(int level) const {
+  if (level < kConnLevel || base_max_connections_ <= 0) {
+    return base_max_connections_;
+  }
+  const int64_t shrunk = base_max_connections_ >> (level - kConnLevel + 1);
+  return std::max(options_.min_connections, shrunk);
+}
+
+}  // namespace qp

@@ -1,0 +1,195 @@
+#ifndef QP_SERVER_OVERLOAD_CONTROLLER_H_
+#define QP_SERVER_OVERLOAD_CONTROLLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "qp/obs/window.h"
+#include "qp/pricing/serving_controls.h"
+#include "qp/util/thread_annotations.h"
+#include "qp/util/thread_pool.h"
+
+namespace qp {
+
+/// Tuning for the feedback loop; the defaults match the qpricerd flags.
+struct OverloadControllerOptions {
+  /// The request-latency objective the controller defends, in
+  /// milliseconds. Must be > 0 (a zero target means "no controller" and
+  /// the server never constructs one).
+  int64_t target_p99_ms = 50;
+  /// Control period. Each tick closes the telemetry window opened by the
+  /// previous tick, so this is also the averaging horizon of the signals.
+  int64_t tick_ms = 50;
+  /// The deadline lever never tightens below this (a quote must keep
+  /// enough budget to parse, hit the cache, or emit the Lemma 3.1
+  /// full-cover fallback).
+  int64_t deadline_floor_ms = 2;
+  /// Consecutive calm ticks required before relaxing one level — the
+  /// hysteresis that stops a brief lull mid-burst from whipsawing the
+  /// knobs (tightening needs just one bad tick; relaxing needs a streak).
+  /// This is the *base* dwell: every relaxation is a probe, and a probe
+  /// that gets re-tightened within probe_fail_ticks doubles the required
+  /// streak (up to relax_after_calm_ticks * max_calm_dwell_multiplier)
+  /// while a probe that survives halves it back toward the base.
+  int relax_after_calm_ticks = 3;
+  /// A relaxation is judged for this many ticks: re-tightening inside the
+  /// window means the probe failed (pressure was still there, the calm
+  /// windows were just stale — frames admitted under the relaxed knobs
+  /// had not completed yet). No further relaxation fires until the probe
+  /// resolves, so the ladder steps down at most one level per window and
+  /// the telemetry can catch up with each step.
+  int probe_fail_ticks = 8;
+  /// Upper bound on the adaptive dwell, as a multiple of
+  /// relax_after_calm_ticks.
+  int max_calm_dwell_multiplier = 32;
+  /// Admission-cap value used when the configured cap is 0 (unlimited)
+  /// and the ladder reaches the cap rung.
+  int64_t fallback_admission_cap = 32;
+  /// Connection floor: shedding never cuts below this many connections.
+  int64_t min_connections = 2;
+};
+
+/// The adaptive-serving feedback loop (ROADMAP item 5, DESIGN.md §16):
+/// watches recent tail latency through windowed histogram readers and
+/// walks a pressure ladder that actuates the ServingControls knobs —
+/// deadline first (quotes degrade to admissible approximations), then
+/// the batch admission cap (excess batch queries shed), then the
+/// connection limit (whole connections shed at the door) — and relaxes
+/// back level by level once the burst passes.
+///
+/// Signals, sampled per tick over the window since the previous tick:
+///   * qp.server.request_ns p99/p95 — handler latency (the objective);
+///   * qp.pool.lane_wait_ns.interactive p95 — queueing delay in front of
+///     the workers, which request_ns cannot see (a saturated pool shows
+///     up here first);
+///   * in-flight connection count, via the callback the server provides.
+///
+/// Scheduling: a dedicated timer thread fires every tick and submits the
+/// tick body to the worker pool's *background* lane, so controller work
+/// never preempts an interactive frame. Under overload that lane is
+/// starved — exactly when control matters most — so a fire that finds
+/// the previous tick still queued runs the tick inline on the timer
+/// thread instead and counts qp.server.ctl.starved_ticks: lane
+/// starvation is itself an overload signal, and the controller must not
+/// depend on the resource it is trying to protect. Ticks serialize on
+/// tick_mu_ whichever thread runs them.
+///
+/// Relaxing is probing: the windows only show frames that *completed*
+/// under the old knobs, so right after a relaxation they are stale —
+/// optimistically calm — for as long as the relaxed frames take to come
+/// back. Each relaxation therefore opens a probe: no further relaxation
+/// fires until the probe resolves, either by a hot tick inside
+/// probe_fail_ticks (probe failed: the calm was stale; the required calm
+/// streak doubles, AIMD-style, up to the configured cap and
+/// qp.server.ctl.probe_failures increments) or by surviving the window
+/// (streak halves back toward relax_after_calm_ticks). Under sustained
+/// overload the controller settles at the working level and re-probes
+/// geometrically rarely instead of sawtoothing through expensive levels.
+///
+/// Telemetry (all under qp.server.ctl.*): counters ticks, tightenings,
+/// relaxations, starved_ticks, probe_failures, and per-knob
+/// *_actuations; gauges level, deadline_ms, admission_cap,
+/// max_connections, window_p99_ns, window_count, lane_wait_p95_ns,
+/// inflight, calm_dwell_ticks. In a QP_METRICS=OFF build the histograms
+/// receive no samples, so the controller idles at level 0 (documented:
+/// adaptive serving requires metrics on).
+class OverloadController {
+ public:
+  /// Everything the tick decision consumes, bundled so tests can drive
+  /// the ladder deterministically through TickForTesting.
+  struct Signals {
+    uint64_t request_p99_ns = 0;
+    uint64_t request_p95_ns = 0;
+    uint64_t lane_wait_p95_ns = 0;
+    uint64_t window_count = 0;
+    int64_t in_flight_connections = 0;
+  };
+
+  using InFlightFn = std::function<int64_t()>;
+
+  /// `controls` is the shared knob block (the controller becomes its sole
+  /// writer; current values are captured as the level-0 baseline) and
+  /// must outlive the controller. `pool` receives the background tick
+  /// tasks; it may be null (tests), in which case every tick runs on the
+  /// timer thread. `in_flight` reports the current connection count (may
+  /// be empty).
+  OverloadController(const OverloadControllerOptions& options,
+                     ServingControls* controls, ThreadPool* pool,
+                     InFlightFn in_flight);
+
+  /// Stops the timer thread (pending background ticks become no-ops).
+  ~OverloadController();
+
+  OverloadController(const OverloadController&) = delete;
+  OverloadController& operator=(const OverloadController&) = delete;
+
+  /// Starts the timer thread. Call at most once.
+  void Start();
+
+  /// Stops and joins the timer thread. Safe to call repeatedly. The
+  /// owner must keep this object alive until the worker pool has drained
+  /// (queued tick tasks capture `this`).
+  void Stop();
+
+  /// Runs one decision + actuation round with the given signals,
+  /// bypassing the windows and the pool. Test-only by convention.
+  void TickForTesting(const Signals& signals);
+
+  /// Current pressure level (0 = knobs at their configured baseline).
+  int level() const { return level_gauge_.load(std::memory_order_relaxed); }
+
+ private:
+  void TimerLoop();
+  /// Runs tick `seq` if no later tick has already run: closes the
+  /// telemetry windows, builds Signals, and decides.
+  void RunTick(uint64_t seq);
+  /// The ladder: one step up on a hot tick, one step down after enough
+  /// calm ones, then knob application + telemetry.
+  void DecideAndActuate(const Signals& signals) QP_REQUIRES(tick_mu_);
+  /// Applies the knob values for `level` to the ServingControls.
+  void ApplyLevel(int level) QP_REQUIRES(tick_mu_);
+
+  int64_t DeadlineForLevel(int level) const;
+  int64_t CapForLevel(int level) const;
+  int64_t ConnectionsForLevel(int level) const;
+
+  const OverloadControllerOptions options_;
+  ServingControls* const controls_;
+  ThreadPool* const pool_;
+  const InFlightFn in_flight_;
+
+  // Level-0 baseline: the statically configured knob values, captured at
+  // construction so relaxing fully restores them.
+  const int64_t base_deadline_ms_;
+  const int64_t base_admission_cap_;
+  const int64_t base_max_connections_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> scheduled_{0};
+  std::atomic<uint64_t> completed_{0};
+  /// Mirrors `level_` for lock-free readers (tests, logging).
+  std::atomic<int> level_gauge_{0};
+
+  Mutex tick_mu_;
+  WindowedPercentile request_window_ QP_GUARDED_BY(tick_mu_);
+  WindowedPercentile lane_wait_window_ QP_GUARDED_BY(tick_mu_);
+  uint64_t last_run_seq_ QP_GUARDED_BY(tick_mu_) = 0;
+  int level_ QP_GUARDED_BY(tick_mu_) = 0;
+  int calm_ticks_ QP_GUARDED_BY(tick_mu_) = 0;
+  /// Adaptive relax hysteresis (see the class comment): the calm streak
+  /// currently required to relax, the open-probe flag, and the tick
+  /// count since the probe opened.
+  int calm_dwell_ QP_GUARDED_BY(tick_mu_);
+  bool probe_open_ QP_GUARDED_BY(tick_mu_) = false;
+  int probe_age_ticks_ QP_GUARDED_BY(tick_mu_) = 0;
+
+  /// Joined by Stop(); written before the timer exists. Deliberately
+  /// unguarded: Start/Stop are owner-thread-only, like the server's.
+  std::thread timer_;  // NOLINT(guarded-by-coverage)
+};
+
+}  // namespace qp
+
+#endif  // QP_SERVER_OVERLOAD_CONTROLLER_H_

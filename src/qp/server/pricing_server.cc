@@ -16,6 +16,11 @@ namespace {
 /// How often blocked loops re-check the stop flag.
 constexpr int kAcceptPollMs = 100;
 constexpr int kReactorPollMs = 50;
+/// Grace period for a shed socket's lingering close: long enough for a
+/// localhost peer to read the error frame and hang up, short enough that
+/// deaf peers cannot accumulate (the reactor holds one fd per lingerer,
+/// nothing else).
+constexpr int kShedDrainMs = 1000;
 /// After answering a frame, how long a worker lingers on the connection
 /// waiting for the next request before parking it back with the reactor.
 /// Long enough that a closed-loop client's next frame (already in flight
@@ -27,7 +32,15 @@ constexpr int kServeGraceMs = 1;
 }  // namespace
 
 PricingServer::PricingServer(ShardMap shards, Options options)
-    : options_(options), shards_(std::move(shards)) {}
+    : options_(options), shards_(std::move(shards)) {
+  // Seed the live knobs from the static flags; the overload controller
+  // captures these as its level-0 baseline.
+  controls_.deadline_ms.store(options_.deadline_ms, std::memory_order_relaxed);
+  controls_.admission_cap.store(options_.admission_cap,
+                                std::memory_order_relaxed);
+  controls_.max_connections.store(options_.max_connections,
+                                  std::memory_order_relaxed);
+}
 
 PricingServer::~PricingServer() { Stop(); }
 
@@ -67,6 +80,17 @@ Status PricingServer::Start() {
           });
     }
   }
+  if (options_.target_p99_ms > 0) {
+    OverloadControllerOptions ctl;
+    ctl.target_p99_ms = options_.target_p99_ms;
+    ctl.tick_ms = options_.controller_tick_ms > 0 ? options_.controller_tick_ms
+                                                  : int64_t{50};
+    controller_ = std::make_unique<OverloadController>(
+        ctl, &controls_, workers_.get(), [this]() -> int64_t {
+          return active_connections_.load(std::memory_order_relaxed);
+        });
+    controller_->Start();
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   reactor_thread_ = std::thread([this] { ReactorLoop(); });
   started_ = true;
@@ -76,6 +100,11 @@ Status PricingServer::Start() {
 
 void PricingServer::Stop() {
   RequestStop();
+  // Stop the controller's timer before draining the pool: ticks already
+  // queued on the background lane capture the controller and must find it
+  // alive (they observe the stop flag and return). Destruction waits
+  // until after workers_.reset() for the same reason.
+  if (controller_ != nullptr) controller_->Stop();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (reactor_thread_.joinable()) {
     WakePipe(wake_writer_);  // unblock the reactor's poll promptly
@@ -93,9 +122,11 @@ void PricingServer::Stop() {
   // ThreadPool's destructor drains both lanes and joins; in-flight
   // ServeFrames tasks notice the stop flag and unwind first.
   workers_.reset();
+  controller_.reset();
   {
     MutexLock lock(&conns_mu_);
     connections_.clear();
+    draining_.clear();
   }
   listener_.Close();
 }
@@ -108,21 +139,49 @@ void PricingServer::AcceptLoop() {
     auto accepted = Accept(listener_);
     if (!accepted.ok()) continue;
     QP_METRIC_INCR("qp.server.connections");
-    if (active_connections_.load(std::memory_order_relaxed) >=
-        options_.max_connections) {
+    // Bound every write on this socket: a peer that connects but never
+    // reads must not park the accept thread (shed frame below) or a
+    // worker (reply frames later) on a full send buffer forever.
+    if (options_.send_timeout_ms > 0) {
+      (void)SetSendTimeout(*accepted, options_.send_timeout_ms);
+    }
+    // The admission limit is a live knob: under pressure the controller
+    // lowers it below the configured value, and those extra sheds are
+    // controller actuations, counted separately. (0 admits nothing, as
+    // it always has.)
+    const int64_t max_conns = controls_.MaxConnections();
+    if (active_connections_.load(std::memory_order_relaxed) >= max_conns) {
       // Shed at the door: an error frame is more useful to the client
       // than a connection that sits unserved behind saturated workers.
       QP_METRIC_INCR("qp.server.connections_shed");
+      if (max_conns < options_.max_connections) {
+        QP_METRIC_INCR("qp.server.ctl.connections_shed");
+      }
       ErrorReply reply;
       reply.status_code = static_cast<uint8_t>(StatusCode::kResourceExhausted);
       reply.message = Status::ResourceExhausted(
                           "server at max_connections (" +
-                          std::to_string(options_.max_connections) +
+                          std::to_string(max_conns) +
                           "); connection shed")
                           .ToString();
       Socket shed = *std::move(accepted);
       (void)WriteFrame(shed, static_cast<uint8_t>(FrameType::kError),
                        EncodeErrorReply(reply), options_.max_frame_bytes);
+      // Lingering close: the peer's request is usually already in our
+      // receive buffer, and close(2) over unread data answers with RST —
+      // destroying the error frame we just sent before the peer reads
+      // it. FIN the write side instead and let the reactor drain the
+      // socket until the peer closes (or a deadline passes), so the shed
+      // frame always survives and the accept thread never waits.
+      (void)ShutdownWrite(shed);
+      auto draining = std::make_shared<DrainingShed>(std::move(shed));
+      draining->deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(kShedDrainMs);
+      {
+        MutexLock lock(&conns_mu_);
+        draining_.push_back(std::move(draining));
+      }
+      WakePipe(wake_writer_);
       continue;
     }
     auto conn = std::make_shared<Connection>(*std::move(accepted));
@@ -142,13 +201,28 @@ void PricingServer::AcceptLoop() {
 
 void PricingServer::ReactorLoop() {
   std::vector<std::shared_ptr<Connection>> idle;
+  std::vector<std::shared_ptr<DrainingShed>> draining;
   std::vector<const Socket*> pollset;
   while (!stop_requested()) {
     idle.clear();
+    draining.clear();
     pollset.clear();
     pollset.push_back(&wake_reader_);
     {
       MutexLock lock(&conns_mu_);
+      // Reap shed sockets whose peer finished or whose grace period
+      // expired; snapshot the rest for this poll round (shared_ptrs keep
+      // them alive while we poll outside the lock).
+      const auto now = std::chrono::steady_clock::now();
+      size_t kept_shed = 0;
+      for (std::shared_ptr<DrainingShed>& shed : draining_) {
+        if (shed->done || now >= shed->deadline) {
+          continue;  // dropped: the socket closes with the last ref
+        }
+        draining_[kept_shed++] = std::move(shed);
+      }
+      draining_.resize(kept_shed);
+      draining.assign(draining_.begin(), draining_.end());
       // Reap finished connections (closed and no task in flight), then
       // snapshot the idle ones for this poll round. Busy connections are
       // owned by their ServeFrames task; polling them too would race the
@@ -176,11 +250,23 @@ void PricingServer::ReactorLoop() {
     for (const std::shared_ptr<Connection>& conn : idle) {
       pollset.push_back(&conn->socket);
     }
+    for (const std::shared_ptr<DrainingShed>& shed : draining) {
+      pollset.push_back(&shed->socket);
+    }
     auto ready = WaitAnyReadable(pollset, kReactorPollMs);
     if (!ready.ok()) break;
     for (size_t idx : *ready) {
       if (idx == 0) {
         DrainWakePipe(wake_reader_);
+        continue;
+      }
+      if (idx > idle.size()) {
+        // A lingering shed socket: swallow late request bytes; EOF (or
+        // a hard error) means the peer has its error frame and the next
+        // round reaps the entry. Only this thread touches `done`.
+        DrainingShed* shed = draining[idx - 1 - idle.size()].get();
+        auto finished = DrainReadable(shed->socket);
+        shed->done = finished.ok() && *finished;
         continue;
       }
       const std::shared_ptr<Connection>& conn = idle[idx - 1];
@@ -287,8 +373,12 @@ BatchPricer* PricingServer::PricerFor(Connection* conn,
     BatchPricerOptions pricer_options;
     pricer_options.num_threads = 1;  // concurrency comes from connections
     pricer_options.cache = shard->cache.get();
+    // Fallback values; the live controls below take precedence. Each
+    // frame snapshots the controls once, so a controller actuation lands
+    // on a frame boundary, never mid-quote.
     pricer_options.deadline_ms = options_.deadline_ms;
     pricer_options.admission_cap = options_.admission_cap;
+    pricer_options.controls = &controls_;
     conn->pricer =
         std::make_unique<BatchPricer>(&snapshot->engine(), pricer_options);
   }

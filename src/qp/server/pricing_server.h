@@ -2,6 +2,7 @@
 #define QP_SERVER_PRICING_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -9,6 +10,8 @@
 
 #include "qp/market/snapshot.h"
 #include "qp/pricing/batch_pricer.h"
+#include "qp/pricing/serving_controls.h"
+#include "qp/server/overload_controller.h"
 #include "qp/server/query_memo.h"
 #include "qp/server/wire.h"
 #include "qp/util/net.h"
@@ -78,6 +81,19 @@ struct PricingServerOptions {
   bool warm_on_publish = true;
   /// How many of the cache's hottest queries each publish re-prices.
   int hot_set_size = 16;
+  /// Request-latency objective for the overload controller, in
+  /// milliseconds (0 = no controller; the knobs above stay static).
+  /// When set, deadline_ms / admission_cap / max_connections become the
+  /// *baseline* the controller tightens from under pressure and relaxes
+  /// back to after it (DESIGN.md §16).
+  int64_t target_p99_ms = 0;
+  /// Controller tick period (also its telemetry window).
+  int64_t controller_tick_ms = 50;
+  /// Bounds every reply write (shed frames and served frames alike) so a
+  /// client that connects but never reads can only stall one write for
+  /// this long, never wedge the accept thread or a worker forever
+  /// (0 = unbounded).
+  int send_timeout_ms = 5000;
 };
 
 class PricingServer {
@@ -164,6 +180,11 @@ class PricingServer {
                        const std::vector<RelationId>& mutated);
 
   const Options options_;
+  /// Live serving knobs, seeded from options_ at construction. Every
+  /// frame snapshots them through its connection's BatchPricer and the
+  /// accept thread reads the connection limit per accept; the overload
+  /// controller (when enabled) is their only writer. All-atomic members.
+  ServingControls controls_;  // NOLINT(guarded-by-coverage)
   /// Frozen after construction (table-level); per-shard stores and caches
   /// are internally thread-safe.
   ShardMap shards_;  // NOLINT(guarded-by-coverage)
@@ -176,10 +197,28 @@ class PricingServer {
   /// control; decremented when the reactor reaps a closed connection).
   std::atomic<int> active_connections_{0};
 
+  /// A shed socket lingering until the peer finishes. The error frame
+  /// has been written and the write side FIN'd (ShutdownWrite); the
+  /// reactor drains any late request bytes and closes on EOF or at
+  /// `deadline` — closing immediately would RST away the unread error
+  /// frame whenever the peer's request was already in our receive
+  /// buffer. `done` is the reactor's private bookkeeping (single
+  /// thread): set when the peer EOF'd and the entry can be reaped.
+  struct DrainingShed {
+    explicit DrainingShed(Socket s) : socket(std::move(s)) {}
+
+    Socket socket;  // NOLINT(guarded-by-coverage)
+    std::chrono::steady_clock::time_point deadline;  // NOLINT(guarded-by-coverage)
+    bool done = false;  // NOLINT(guarded-by-coverage)
+  };
+
   /// Connection registry, shared by the accept thread (push) and the
   /// reactor (snapshot + reap).
   Mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> connections_
+      QP_GUARDED_BY(conns_mu_);
+  /// Shed sockets lingering for a graceful close (see DrainingShed).
+  std::vector<std::shared_ptr<DrainingShed>> draining_
       QP_GUARDED_BY(conns_mu_);
 
   // Written by Start() before the serving threads exist, then only read
@@ -193,6 +232,11 @@ class PricingServer {
   std::thread accept_thread_;             // NOLINT(guarded-by-coverage)
   std::thread reactor_thread_;            // NOLINT(guarded-by-coverage)
   std::unique_ptr<ThreadPool> workers_;   // NOLINT(guarded-by-coverage)
+  /// Built by Start() when target_p99_ms > 0. Stop() order matters: the
+  /// controller's timer stops before the pool drains (queued tick tasks
+  /// capture the controller and become no-ops once stopped), and the
+  /// controller is destroyed only after workers_.reset() returns.
+  std::unique_ptr<OverloadController> controller_;  // NOLINT(guarded-by-coverage)
   bool started_ = false;                  // NOLINT(guarded-by-coverage)
 };
 

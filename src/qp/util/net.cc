@@ -8,6 +8,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace qp {
@@ -102,6 +103,37 @@ Result<Socket> Accept(const Socket& listener) {
     return Errno("setsockopt(TCP_NODELAY)");
   }
   return sock;
+}
+
+Status SetSendTimeout(const Socket& socket, int timeout_ms) {
+  timeval tv = {};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) !=
+      0) {
+    return Errno("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::Ok();
+}
+
+Status ShutdownWrite(const Socket& socket) {
+  if (::shutdown(socket.fd(), SHUT_WR) != 0) {
+    return Errno("shutdown(SHUT_WR)");
+  }
+  return Status::Ok();
+}
+
+Result<bool> DrainReadable(const Socket& socket) {
+  char discard[4096];
+  while (true) {
+    const ssize_t n =
+        ::recv(socket.fd(), discard, sizeof(discard), MSG_DONTWAIT);
+    if (n > 0) continue;
+    if (n == 0) return true;  // clean EOF: the peer is done
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+    return true;  // hard error: nothing left worth waiting for
+  }
 }
 
 Result<bool> WaitReadable(const Socket& socket, int timeout_ms) {

@@ -58,6 +58,28 @@ Result<Socket> TcpConnect(const std::string& host, uint16_t port);
 /// with WaitReadable first to keep an accept loop interruptible).
 Result<Socket> Accept(const Socket& listener);
 
+/// Bounds every subsequent blocking send on `socket` to `timeout_ms`
+/// (SO_SNDTIMEO). A peer that connects but never reads eventually fills
+/// its receive window and our send buffer; with a timeout the stalled
+/// write fails instead of parking the writing thread forever — the
+/// server applies this to every accepted connection so one unresponsive
+/// client cannot wedge the accept thread or a worker.
+Status SetSendTimeout(const Socket& socket, int timeout_ms);
+
+/// Half-closes the write side (shutdown(SHUT_WR)): flushes buffered
+/// output and sends FIN while the read side stays open. The lingering
+/// close used on the shed path — close(2) on a socket whose receive
+/// buffer still holds the peer's unread request answers with RST, which
+/// can destroy the in-flight error frame before the peer reads it.
+/// After ShutdownWrite, drain with DrainReadable until EOF, then close.
+Status ShutdownWrite(const Socket& socket);
+
+/// Discards whatever is currently readable without blocking. Returns
+/// true when the peer is finished (clean EOF or a hard error — safe to
+/// close without risking an RST), false when the stream is merely idle
+/// and more bytes may still arrive.
+Result<bool> DrainReadable(const Socket& socket);
+
 /// True when `socket` has readable data (or a pending EOF / error) within
 /// `timeout_ms`; false on timeout. For a listener, "readable" means a
 /// connection is waiting to be accepted.

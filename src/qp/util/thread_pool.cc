@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "qp/util/contract.h"
+
 namespace qp {
 namespace {
 
@@ -38,11 +40,12 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Submit(Lane lane, std::function<void()> task) {
-  Task item{std::move(task),
-            lane_wait_observer_ ? MonotonicNowNs() : uint64_t{0}};
   {
     MutexLock lock(&mu_);
-    queues_[static_cast<int>(lane)].push_back(std::move(item));
+    work_ever_submitted_ = true;
+    queues_[static_cast<int>(lane)].push_back(
+        Task{std::move(task),
+             lane_wait_observer_ ? MonotonicNowNs() : uint64_t{0}});
     ++in_flight_;
   }
   work_available_.NotifyOne();
@@ -66,10 +69,11 @@ void ThreadPool::ParallelFor(Lane lane, int count,
   // under one lock with one wake pass: per-task Submit would pay a futex
   // wake per index once the pool's workers are parked on the condition
   // variable, which dominates batches of cache-hit-sized tasks.
-  const uint64_t enqueue_ns =
-      lane_wait_observer_ ? MonotonicNowNs() : uint64_t{0};
   {
     MutexLock lock(&mu_);
+    work_ever_submitted_ = true;
+    const uint64_t enqueue_ns =
+        lane_wait_observer_ ? MonotonicNowNs() : uint64_t{0};
     std::deque<Task>& queue = queues_[static_cast<int>(lane)];
     for (int i = 0; i < count; ++i) {
       queue.push_back(Task{[&fn, i] { fn(i); }, enqueue_ns});
@@ -85,6 +89,12 @@ void ThreadPool::ParallelFor(Lane lane, int count,
 }
 
 void ThreadPool::SetLaneWaitObserver(LaneWaitObserver observer) {
+  MutexLock lock(&mu_);
+  QP_CONTRACT_ASSERT(!work_ever_submitted_,
+                     "SetLaneWaitObserver after the first Submit / "
+                     "ParallelFor: workers may already be reading the "
+                     "observer outside the lock");
+  if (work_ever_submitted_) return;  // refused: too late to install safely
   lane_wait_observer_ = std::move(observer);
 }
 
@@ -92,6 +102,7 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     Lane lane = Lane::kInteractive;
+    const LaneWaitObserver* observer = nullptr;
     {
       MutexLock lock(&mu_);
       while (!shutdown_ && queues_[0].empty() && queues_[1].empty()) {
@@ -109,11 +120,15 @@ void ThreadPool::WorkerLoop() {
       std::deque<Task>& queue = queues_[static_cast<int>(lane)];
       task = std::move(queue.front());
       queue.pop_front();
+      // Capture the observer while holding mu_; invoking through the
+      // pointer outside the lock is safe because the observer is frozen
+      // before the first task was ever enqueued.
+      if (lane_wait_observer_) observer = &lane_wait_observer_;
     }
-    if (lane_wait_observer_ && task.enqueue_ns != 0) {
+    if (observer != nullptr && task.enqueue_ns != 0) {
       uint64_t now = MonotonicNowNs();
-      lane_wait_observer_(lane,
-                          now > task.enqueue_ns ? now - task.enqueue_ns : 0);
+      (*observer)(lane,
+                  now > task.enqueue_ns ? now - task.enqueue_ns : 0);
     }
     task.fn();
     {

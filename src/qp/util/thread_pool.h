@@ -70,9 +70,11 @@ class ThreadPool {
       QP_EXCLUDES(mu_);
 
   /// Installs the lane-wait observer. Must be called before any Submit /
-  /// ParallelFor (frozen once workers may read it); not thread-safe
-  /// against concurrent task execution.
-  void SetLaneWaitObserver(LaneWaitObserver observer);
+  /// ParallelFor: once a task has been enqueued, workers read the
+  /// observer outside the lock (set-once-before-work is what makes that
+  /// safe), so a late install is a contract violation — it is reported
+  /// through QP_CONTRACT_ASSERT and refused.
+  void SetLaneWaitObserver(LaneWaitObserver observer) QP_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -95,9 +97,14 @@ class ThreadPool {
   std::deque<Task> queues_[kNumLanes] QP_GUARDED_BY(mu_);
   int in_flight_ QP_GUARDED_BY(mu_) = 0;  // queued + running, both lanes
   bool shutdown_ QP_GUARDED_BY(mu_) = false;
-  /// Set once before the pool is used, read-only afterwards (invoked
-  /// outside the lock); deliberately unguarded.
-  LaneWaitObserver lane_wait_observer_;  // NOLINT(guarded-by-coverage)
+  /// Flipped by the first Submit / ParallelFor and never cleared; arms
+  /// the SetLaneWaitObserver set-once-before-work contract.
+  bool work_ever_submitted_ QP_GUARDED_BY(mu_) = false;
+  /// Written only under mu_ and only while `work_ever_submitted_` is
+  /// false; workers copy a pointer to it inside the dequeue critical
+  /// section and invoke through that copy outside the lock — safe because
+  /// every dequeue happens-after the install.
+  LaneWaitObserver lane_wait_observer_ QP_GUARDED_BY(mu_);
   /// Written only during construction, joined only in the destructor; no
   /// concurrent mutation, so deliberately unguarded.
   std::vector<std::thread> workers_;  // NOLINT(guarded-by-coverage)

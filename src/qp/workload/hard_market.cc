@@ -1,0 +1,109 @@
+#include "qp/workload/hard_market.h"
+
+namespace qp {
+
+namespace {
+
+std::vector<Value> MakeColumn(int n, const std::string& prefix) {
+  std::vector<Value> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Value::Str(prefix + std::to_string(i)));
+  }
+  return out;
+}
+
+/// Prices every value of `attr` independently in [min_price, max_price].
+Status PriceColumn(Seller* seller, const std::string& rel,
+                   const std::string& attr, const std::vector<Value>& column,
+                   const HardMarketParams& params, Rng* rng) {
+  for (const Value& v : column) {
+    QP_RETURN_IF_ERROR(seller->SetPrice(
+        rel, attr, v, rng->NextInRange(params.min_price, params.max_price)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status PopulateHardJoinMarket(Seller* seller,
+                              const HardMarketParams& params) {
+  if (params.column_size < 2) {
+    return Status::InvalidArgument("hard market needs column_size >= 2");
+  }
+  if (params.num_query_sets < 1) {
+    return Status::InvalidArgument("hard market needs >= 1 query set");
+  }
+  Rng rng(params.seed);
+  for (int s = 0; s < params.num_query_sets; ++s) {
+    const std::string suffix = std::to_string(s);
+    const std::string r_name = "R" + suffix;
+    const std::string s_name = "S" + suffix;
+    const std::string t_name = "T" + suffix;
+    std::vector<Value> col_x =
+        MakeColumn(params.column_size, "x" + suffix + "_");
+    std::vector<Value> col_y =
+        MakeColumn(params.column_size, "y" + suffix + "_");
+
+    QP_RETURN_IF_ERROR(seller->DeclareRelation(r_name, {"X"}, {col_x}));
+    QP_RETURN_IF_ERROR(
+        seller->DeclareRelation(s_name, {"X", "Y"}, {col_x, col_y}));
+    QP_RETURN_IF_ERROR(
+        seller->DeclareRelation(t_name, {"X", "Y"}, {col_x, col_y}));
+
+    // Data: unary R at density over x; binary S, T at density over the
+    // x × y cross product.
+    for (int i = 0; i < params.column_size; ++i) {
+      if (rng.NextBool(params.tuple_density)) {
+        QP_RETURN_IF_ERROR(seller->Load(r_name, {{col_x[i]}}));
+      }
+    }
+    for (int i = 0; i < params.column_size; ++i) {
+      for (int j = 0; j < params.column_size; ++j) {
+        if (rng.NextBool(params.tuple_density)) {
+          QP_RETURN_IF_ERROR(
+              seller->Load(s_name, {{col_x[i], col_y[j]}}));
+        }
+        if (rng.NextBool(params.tuple_density)) {
+          QP_RETURN_IF_ERROR(
+              seller->Load(t_name, {{col_x[i], col_y[j]}}));
+        }
+      }
+    }
+
+    // Prices: every attribute fully covered per value, so every relation
+    // is for sale at per-value granularity (Lemma 3.1 coverage) and the
+    // B&B solver faces a large, non-degenerate candidate set.
+    QP_RETURN_IF_ERROR(PriceColumn(seller, r_name, "X", col_x, params, &rng));
+    QP_RETURN_IF_ERROR(PriceColumn(seller, s_name, "X", col_x, params, &rng));
+    QP_RETURN_IF_ERROR(PriceColumn(seller, s_name, "Y", col_y, params, &rng));
+    QP_RETURN_IF_ERROR(PriceColumn(seller, t_name, "X", col_x, params, &rng));
+    QP_RETURN_IF_ERROR(PriceColumn(seller, t_name, "Y", col_y, params, &rng));
+  }
+  return Status::Ok();
+}
+
+std::string HardJoinQueryText(int set) {
+  const std::string s = std::to_string(set);
+  return "H" + s + "(x,y) :- R" + s + "(x), S" + s + "(x,y), T" + s +
+         "(x,y)";
+}
+
+std::string HardJoinInsertRelation(int set) {
+  return "S" + std::to_string(set);
+}
+
+std::vector<std::vector<Value>> HardJoinInsertRows(
+    int set, int step, const HardMarketParams& params) {
+  const std::string suffix = std::to_string(set);
+  // Stride 7 through the tuple grid: coprime with any column size not
+  // divisible by 7, so the walk visits many distinct (x, y) pairs before
+  // repeating.
+  const int n = params.column_size;
+  const int i = (step * 7) % n;
+  const int j = (step * 7 / n + step) % n;
+  return {{Value::Str("x" + suffix + "_" + std::to_string(i)),
+           Value::Str("y" + suffix + "_" + std::to_string(j))}};
+}
+
+}  // namespace qp

@@ -1,0 +1,67 @@
+#ifndef QP_WORKLOAD_HARD_MARKET_H_
+#define QP_WORKLOAD_HARD_MARKET_H_
+
+#include <string>
+#include <vector>
+
+#include "qp/market/seller.h"
+#include "qp/util/random.h"
+
+namespace qp {
+
+/// Parameters for a seller catalog whose quotes are genuinely expensive:
+/// `num_query_sets` independent copies of the paper's NP-hard H2 shape
+/// (Theorem 3.5), each with its own relations, sized so a cold exact
+/// solve takes the branch-and-bound solver multiple milliseconds. The
+/// overload benches and the open-loop load generator use this market to
+/// push a server past its capacity with a realistic (solver-bound, not
+/// I/O-bound) workload; the business market's sub-millisecond quotes
+/// cannot saturate a multi-worker server at achievable arrival rates.
+struct HardMarketParams {
+  /// Values per attribute column. Solve cost grows steeply with this
+  /// (the B&B subset search is exponential in the worst case); 28 lands
+  /// in the several-milliseconds range, matching the nphard_deadline
+  /// bench's calibration.
+  int column_size = 28;
+  /// Probability that a potential tuple is present.
+  double tuple_density = 0.4;
+  /// Independent H2 instances (distinct relations and fingerprints), so
+  /// a quote mix rotating across sets defeats the quote cache `n` ways.
+  int num_query_sets = 4;
+  /// Explicit per-value view prices are drawn from [min_price,
+  /// max_price]. The defaults keep the catalog trivially arbitrage-free:
+  /// every view costs <= 199 while any *set* of other views determining
+  /// it must include a whole column's worth (column_size values at >=
+  /// 100 each), so no explicit price can undercut another.
+  Money min_price = 100;
+  Money max_price = 199;
+  uint64_t seed = 17;
+};
+
+/// Declares, loads, and prices `params.num_query_sets` H2 instances on
+/// `seller`: relations R<s>(X), S<s>(X,Y), T<s>(X,Y) with column values
+/// x<s>_i / y<s>_j, random tuples at `tuple_density`, and a per-value
+/// price on every attribute (whole database for sale, Lemma 3.1). The
+/// caller publishes.
+Status PopulateHardJoinMarket(Seller* seller, const HardMarketParams& params);
+
+/// The NP-hard query of set `set`:
+///   H<set>(x,y) :- R<set>(x), S<set>(x,y), T<set>(x,y)
+std::string HardJoinQueryText(int set);
+
+/// The relation the load generator mutates to invalidate set `set`'s
+/// cached quotes ("S<set>"; S appears in the query body, so inserting
+/// into it voids the cached exact solution and forces a re-solve).
+std::string HardJoinInsertRelation(int set);
+
+/// Row `step` of the deterministic insert walk for set `set`: a valid
+/// (x, y) tuple for S<set> built from the declared column values. The
+/// walk's stride is coprime with typical column sizes so consecutive
+/// steps hit different tuples; duplicates of already-present tuples are
+/// harmless (the publish still fires and invalidates).
+std::vector<std::vector<Value>> HardJoinInsertRows(
+    int set, int step, const HardMarketParams& params);
+
+}  // namespace qp
+
+#endif  // QP_WORKLOAD_HARD_MARKET_H_

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "qp/check/check.h"
 #include "qp/util/thread_pool.h"
 #include "test_fixtures.h"
 
@@ -275,6 +276,30 @@ TEST(ThreadPool, LaneWaitObserverSeesBothLanes) {
   pool.Wait();
   EXPECT_EQ(interactive_waits.load(), 8);
   EXPECT_EQ(background_waits.load(), 8);
+}
+
+TEST(ThreadPool, LaneWaitObserverRefusedAfterFirstSubmit) {
+  // The observer is read by workers outside the pool lock, which is only
+  // safe because it is installed before any work exists. A late install
+  // is a contract violation: reported via QP_CONTRACT_ASSERT and refused
+  // outright — later tasks must never invoke the rejected observer.
+  ScopedCheckLevel scope(CheckLevel::kLog);
+  ResetCheckFailures();
+  ThreadPool pool(2);
+  pool.Submit([] {});
+  pool.Wait();
+
+  std::atomic<int> observer_calls{0};
+  pool.SetLaneWaitObserver(
+      [&](ThreadPool::Lane, uint64_t) { observer_calls.fetch_add(1); });
+  EXPECT_EQ(CheckFailureCount(), 1u);
+  EXPECT_NE(LastCheckFailure().find("SetLaneWaitObserver"),
+            std::string::npos);
+
+  pool.Submit([] {});
+  pool.Wait();
+  EXPECT_EQ(observer_calls.load(), 0);
+  ResetCheckFailures();
 }
 
 }  // namespace

@@ -1,0 +1,249 @@
+// OverloadController ladder tests: actuation order (deadline degrades
+// before the admission cap refuses, before connections shed), per-knob
+// floors, dead-band hold, relax hysteresis with probe backoff, and the
+// live-server integration (controller ticks visible through the METRICS
+// frame). The ladder is driven deterministically through TickForTesting
+// with hand-built Signals — no sleeping on real windows.
+
+#include "qp/server/overload_controller.h"
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "qp/obs/metrics.h"
+#include "qp/pricing/serving_controls.h"
+#include "qp/server/client.h"
+#include "qp/server/pricing_server.h"
+#include "qp/workload/business.h"
+#include "test_fixtures.h"
+
+namespace qp {
+namespace {
+
+constexpr uint64_t kMsNs = 1000000ull;
+
+OverloadController::Signals Hot() {
+  OverloadController::Signals s;
+  s.request_p99_ns = 120 * kMsNs;  // way past any target used below
+  s.request_p95_ns = 100 * kMsNs;
+  s.window_count = 50;
+  return s;
+}
+
+OverloadController::Signals Calm() {
+  OverloadController::Signals s;
+  s.request_p99_ns = 1 * kMsNs;
+  s.request_p95_ns = 1 * kMsNs;
+  s.window_count = 50;
+  return s;
+}
+
+/// In the dead band for a 50ms target: above calm (35ms), below hot.
+OverloadController::Signals DeadBand() {
+  OverloadController::Signals s;
+  s.request_p99_ns = 45 * kMsNs;
+  s.request_p95_ns = 40 * kMsNs;
+  s.window_count = 50;
+  return s;
+}
+
+struct LadderFixture {
+  ServingControls controls;
+  std::unique_ptr<OverloadController> controller;
+
+  explicit LadderFixture(OverloadControllerOptions options,
+                         int64_t deadline_ms = 0, int64_t cap = 0,
+                         int64_t max_conns = 64) {
+    controls.deadline_ms.store(deadline_ms);
+    controls.admission_cap.store(cap);
+    controls.max_connections.store(max_conns);
+    controller = std::make_unique<OverloadController>(options, &controls,
+                                                      /*pool=*/nullptr,
+                                                      /*in_flight=*/nullptr);
+  }
+};
+
+OverloadControllerOptions TestOptions() {
+  OverloadControllerOptions options;
+  options.target_p99_ms = 50;
+  options.relax_after_calm_ticks = 3;
+  options.probe_fail_ticks = 1;  // probes resolve fast in unit tests
+  return options;
+}
+
+TEST(OverloadController, TightensDeadlineBeforeCapBeforeConnections) {
+  LadderFixture f(TestOptions());
+  // Levels 1-2: only the deadline moves (halving from the target, since
+  // serving ran deadline-free). Cap and connections stay at baseline.
+  f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 1);
+  EXPECT_EQ(f.controls.DeadlineMs(), 50);
+  EXPECT_EQ(f.controls.AdmissionCap(), 0);
+  EXPECT_EQ(f.controls.MaxConnections(), 64);
+
+  f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 2);
+  EXPECT_EQ(f.controls.DeadlineMs(), 25);
+  EXPECT_EQ(f.controls.AdmissionCap(), 0);
+
+  // Level 3 engages the admission cap (fallback, since baseline is
+  // unlimited); connections still untouched.
+  f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 3);
+  EXPECT_EQ(f.controls.AdmissionCap(), 32);
+  EXPECT_EQ(f.controls.MaxConnections(), 64);
+
+  f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controls.AdmissionCap(), 16);
+  EXPECT_EQ(f.controls.MaxConnections(), 64);
+
+  // Level 5 finally sheds connections.
+  f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 5);
+  EXPECT_EQ(f.controls.MaxConnections(), 32);
+  f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 6);
+  EXPECT_EQ(f.controls.MaxConnections(), 16);
+
+  // The ladder tops out: more hot ticks change nothing.
+  f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 6);
+}
+
+TEST(OverloadController, RespectsFloorsAtMaxPressure) {
+  OverloadControllerOptions options = TestOptions();
+  options.deadline_floor_ms = 2;
+  options.min_connections = 2;
+  // Tight baselines so every floor is actually reachable in 6 levels.
+  LadderFixture f(options, /*deadline_ms=*/8, /*cap=*/4, /*max_conns=*/4);
+  for (int i = 0; i < 6; ++i) f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 6);
+  EXPECT_EQ(f.controls.DeadlineMs(), 2);       // 8 >> 5 = 0 -> floor
+  EXPECT_EQ(f.controls.AdmissionCap(), 1);     // 4 >> 3 = 0 -> floor 1
+  EXPECT_EQ(f.controls.MaxConnections(), 2);   // 4 >> 2 = 1 -> floor 2
+}
+
+TEST(OverloadController, DeadBandHoldsAndBreaksCalmStreaks) {
+  LadderFixture f(TestOptions());
+  f.controller->TickForTesting(Hot());
+  f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 2);
+
+  // Hovering near the target neither tightens nor relaxes.
+  for (int i = 0; i < 10; ++i) f.controller->TickForTesting(DeadBand());
+  EXPECT_EQ(f.controller->level(), 2);
+
+  // A dead-band tick resets the calm streak: calm-calm-deadband-calm-calm
+  // is not three consecutive calm ticks.
+  f.controller->TickForTesting(Calm());
+  f.controller->TickForTesting(Calm());
+  f.controller->TickForTesting(DeadBand());
+  f.controller->TickForTesting(Calm());
+  f.controller->TickForTesting(Calm());
+  EXPECT_EQ(f.controller->level(), 2);
+  f.controller->TickForTesting(Calm());
+  EXPECT_EQ(f.controller->level(), 1);
+}
+
+TEST(OverloadController, RelaxRestoresConfiguredBaseline) {
+  // Non-zero baselines: relaxing to level 0 must restore these exact
+  // values, not the controller's fallbacks.
+  LadderFixture f(TestOptions(), /*deadline_ms=*/40, /*cap=*/24,
+                  /*max_conns=*/16);
+  for (int i = 0; i < 6; ++i) f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 6);
+  EXPECT_NE(f.controls.DeadlineMs(), 40);
+  EXPECT_NE(f.controls.AdmissionCap(), 24);
+  EXPECT_NE(f.controls.MaxConnections(), 16);
+
+  for (int i = 0; i < 200 && f.controller->level() > 0; ++i) {
+    f.controller->TickForTesting(Calm());
+  }
+  EXPECT_EQ(f.controller->level(), 0);
+  EXPECT_EQ(f.controls.DeadlineMs(), 40);
+  EXPECT_EQ(f.controls.AdmissionCap(), 24);
+  EXPECT_EQ(f.controls.MaxConnections(), 16);
+}
+
+TEST(OverloadController, FailedProbeDoublesTheCalmDwell) {
+  OverloadControllerOptions options = TestOptions();
+  options.probe_fail_ticks = 2;
+  LadderFixture f(options);
+  f.controller->TickForTesting(Hot());
+  f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 2);
+
+  // Three calm ticks buy one relaxation (the probe)...
+  for (int i = 0; i < 3; ++i) f.controller->TickForTesting(Calm());
+  EXPECT_EQ(f.controller->level(), 1);
+  // ...which is immediately convicted by a hot tick: back to level 2,
+  // and the required streak doubles to 6.
+  f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 2);
+  for (int i = 0; i < 5; ++i) f.controller->TickForTesting(Calm());
+  EXPECT_EQ(f.controller->level(), 2);  // 5 < 6: backoff is holding
+  f.controller->TickForTesting(Calm());
+  EXPECT_EQ(f.controller->level(), 1);  // 6th calm tick relaxes again
+}
+
+TEST(OverloadController, OneProbeAtATime) {
+  OverloadControllerOptions options = TestOptions();
+  options.relax_after_calm_ticks = 1;  // no dwell: isolate the probe gate
+  options.probe_fail_ticks = 4;
+  LadderFixture f(options);
+  for (int i = 0; i < 3; ++i) f.controller->TickForTesting(Hot());
+  EXPECT_EQ(f.controller->level(), 3);
+
+  f.controller->TickForTesting(Calm());
+  EXPECT_EQ(f.controller->level(), 2);  // probe opens
+  // Even though every tick is calm and the dwell is 1, no further
+  // relaxation may fire until the open probe survives its 4-tick window
+  // — the windows cannot yet contain frames admitted under level 2.
+  for (int i = 0; i < 4; ++i) {
+    f.controller->TickForTesting(Calm());
+    EXPECT_EQ(f.controller->level(), 2) << "tick " << i;
+  }
+  f.controller->TickForTesting(Calm());  // probe resolved: next step down
+  EXPECT_EQ(f.controller->level(), 1);
+}
+
+TEST(OverloadController, LiveServerExportsControllerTelemetry) {
+  ShardMap shards;
+  auto seller = std::make_unique<Seller>("shard0");
+  BusinessMarketParams params;
+  params.seed = 7;
+  QP_ASSERT_OK(PopulateBusinessMarket(seller.get(), params));
+  QP_ASSERT_OK(shards.AddShard("shard0", std::move(seller)));
+
+  PricingServerOptions options;
+  options.target_p99_ms = 50;
+  options.controller_tick_ms = 10;
+  PricingServer server(std::move(shards), options);
+  QP_ASSERT_OK(server.Start());
+  auto client = PricingClient::Connect("127.0.0.1", server.port());
+  QP_ASSERT_OK(client.status());
+
+  QP_ASSERT_OK(
+      client->Quote(0, "Q(b) :- Email(b), InState(b,'WA')").status());
+  // A few control periods, then the ticks must be visible in the METRICS
+  // frame (same payload qpricer_cli metrics prints).
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  QP_ASSERT_OK_AND_ASSIGN(MetricsReply metrics, client->Metrics());
+#if QP_METRICS_ENABLED
+  EXPECT_NE(metrics.json.find("\"qp.server.ctl.ticks\""), std::string::npos);
+  EXPECT_NE(metrics.json.find("\"qp.server.ctl.level\""), std::string::npos);
+#else
+  // With metrics compiled out the controller still runs (its decisions
+  // read the windows, which degrade to empty); only the telemetry is
+  // gone. The METRICS frame must still round-trip.
+  EXPECT_FALSE(metrics.json.empty());
+#endif  // QP_METRICS_ENABLED
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace qp

@@ -8,6 +8,7 @@
 #include "qp/server/pricing_server.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "gtest/gtest.h"
 #include "qp/obs/metrics.h"
 #include "qp/server/client.h"
+#include "qp/util/net.h"
 #include "qp/workload/business.h"
 #include "test_fixtures.h"
 
@@ -192,6 +194,60 @@ TEST(ServerE2E, ConnectionsBeyondTheCapAreShed) {
   auto reply = client.Quote(0, kWaQuery);
   EXPECT_FALSE(reply.ok());
   EXPECT_EQ(reply.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ServerE2E, UnresponsiveClientsDoNotStallAccepts) {
+  // The shed-path regression: a peer that connects but never reads used
+  // to be able to park a server thread on an unbounded send. Every
+  // accepted socket now gets a short send timeout, so dead peers bound
+  // the damage: with the one admission slot held by a never-reading
+  // connection and several never-reading shed connections queued, a
+  // well-behaved client must still get its shed frame promptly — and be
+  // served once the slot frees.
+  PricingServerOptions options;
+  options.max_connections = 1;
+  options.send_timeout_ms = 200;
+  PricingServer server(MakeBusinessShards(1), options);
+  QP_ASSERT_OK(server.Start());
+
+  // Admitted, then silent forever. Accepts are FIFO on one thread, so
+  // this connection owns the slot before any later one is looked at.
+  QP_ASSERT_OK_AND_ASSIGN(Socket idle,
+                          TcpConnect("127.0.0.1", server.port()));
+
+  // Shed-path peers that never read their error frame.
+  std::vector<Socket> deaf;
+  for (int i = 0; i < 4; ++i) {
+    QP_ASSERT_OK_AND_ASSIGN(Socket s,
+                            TcpConnect("127.0.0.1", server.port()));
+    deaf.push_back(std::move(s));
+  }
+
+  // The well-behaved client behind all of them: sheds promptly (an error
+  // frame, not a hang) because no dead peer may stall the accept thread.
+  const auto t0 = std::chrono::steady_clock::now();
+  PricingClient client = ConnectTo(server);
+  auto reply = client.Quote(0, kWaQuery);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+
+  // Freeing the slot un-wedges admission: the reactor reaps the closed
+  // idle connection and a fresh client gets served.
+  idle.Close();
+  bool served = false;
+  for (int attempt = 0; attempt < 50 && !served; ++attempt) {
+    auto retry = PricingClient::Connect("127.0.0.1", server.port());
+    if (retry.ok()) {
+      auto quote = retry->Quote(0, kWaQuery);
+      served = quote.ok();
+    }
+    if (!served) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(served);
+  server.Stop();
 }
 
 TEST(ServerE2E, ShutdownFrameStopsTheServer) {

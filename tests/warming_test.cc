@@ -161,7 +161,9 @@ TEST(Warming, WarmingOffMeansNoWarmedEntries) {
 }
 
 // The TSan target: quote streams, an insert stream publishing new
-// generations, and background warmers all racing on one shard. Nothing
+// generations, background warmers, and the overload controller's ticks
+// (reading the serving knobs the frames snapshot, actuating them from
+// the background lane / timer thread) all racing on one shard. Nothing
 // may fail and no connection may ever observe the snapshot version move
 // backwards (a warmed entry served for generation g while the connection
 // already saw g+1 would surface here as a regression).
@@ -170,6 +172,11 @@ TEST(Warming, HammerWarmersAgainstPublishesAndQuotes) {
   options.num_workers = 6;
   options.warm_on_publish = true;
   options.hot_set_size = 8;
+  // Controller on, ticking fast: its knob stores race the per-frame
+  // snapshot loads in the pricers and the admission checks in the accept
+  // loop — exactly the interleavings TSan must bless.
+  options.target_p99_ms = 50;
+  options.controller_tick_ms = 5;
   PricingServer server(MakeBusinessShards(1), options);
   QP_ASSERT_OK(server.Start());
 

@@ -1,0 +1,114 @@
+// Windowed-percentile reader tests, plus the nearest-rank pinning
+// fixture shared by every percentile reporter in the tree. The load
+// client's report percentile once used floor rank (q * (size-1) / 100),
+// which under-reports the tail — p99 of 40 samples returned the 39th
+// value, not the 40th — while the histogram walk used nearest rank.
+// NearestRankPercentile is now the single reference both sides follow;
+// these tests pin the convention and the parity.
+
+#include "qp/obs/window.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qp/obs/metrics.h"
+
+namespace qp {
+namespace {
+
+TEST(NearestRankPercentile, RankConvention) {
+  EXPECT_EQ(NearestRankPercentile({}, 99), 0u);
+  EXPECT_EQ(NearestRankPercentile({7}, 0), 7u);
+  EXPECT_EQ(NearestRankPercentile({7}, 100), 7u);
+  const std::vector<uint64_t> sorted = {10, 20, 30, 40};
+  EXPECT_EQ(NearestRankPercentile(sorted, 1), 10u);   // rank ceil(0.04)=1
+  EXPECT_EQ(NearestRankPercentile(sorted, 50), 20u);  // rank 2
+  EXPECT_EQ(NearestRankPercentile(sorted, 75), 30u);  // rank 3
+  EXPECT_EQ(NearestRankPercentile(sorted, 99), 40u);  // rank 4 (clamped up)
+  EXPECT_EQ(NearestRankPercentile(sorted, 100), 40u);
+}
+
+TEST(NearestRankPercentile, FortySampleP99IsTheMaximum) {
+  // The load-client regression: with 40 samples, floor rank gave
+  // index 99*39/100 = 38 (the 39th value); nearest rank gives
+  // ceil(40*0.99) = 40 — the maximum. An under-sampled p99 IS the max,
+  // which is also why bench_compare only gates p99 at >= 100 iterations.
+  std::vector<uint64_t> sorted;
+  for (uint64_t i = 1; i <= 40; ++i) sorted.push_back(i * 1000);
+  EXPECT_EQ(NearestRankPercentile(sorted, 99), 40000u);
+  EXPECT_EQ(NearestRankPercentile(sorted, 95), 38000u);  // rank 38
+}
+
+TEST(NearestRankPercentile, AgreesWithHistogramOnBucketEdges) {
+  // Shared fixture: values of the form 2^k - 1 sit exactly on histogram
+  // bucket upper edges, so the histogram's bucket walk loses nothing to
+  // quantization and the two implementations must agree bit-for-bit at
+  // every percentile. Skewed multiplicities on purpose — equal counts
+  // would hide rank-convention mistakes.
+  MetricHistogram hist;
+  std::vector<uint64_t> sorted;
+  const struct {
+    uint64_t value;
+    int count;
+  } fixture[] = {{(1u << 10) - 1, 55},
+                 {(1u << 13) - 1, 30},
+                 {(1u << 16) - 1, 10},
+                 {(1u << 20) - 1, 4},
+                 {(1u << 24) - 1, 1}};
+  for (const auto& f : fixture) {
+    for (int i = 0; i < f.count; ++i) {
+      hist.Record(f.value);
+      sorted.push_back(f.value);
+    }
+  }
+  for (int q : {1, 10, 50, 55, 56, 85, 90, 95, 99, 100}) {
+    EXPECT_EQ(hist.Percentile(q), NearestRankPercentile(sorted, q))
+        << "q=" << q;
+  }
+}
+
+TEST(WindowedPercentile, ReportsOnlyTheLastWindow) {
+  MetricHistogram hist;
+  WindowedPercentile window(&hist);
+
+  for (int i = 0; i < 100; ++i) hist.Record((1u << 10) - 1);
+  window.Advance();
+  EXPECT_EQ(window.Count(), 100u);
+  EXPECT_EQ(window.Percentile(99), (1u << 10) - 1);
+
+  // A much slower second window: the cumulative histogram still answers
+  // from all 200 samples, the window only from the new 100.
+  for (int i = 0; i < 100; ++i) hist.Record((1u << 20) - 1);
+  window.Advance();
+  EXPECT_EQ(window.Count(), 100u);
+  EXPECT_EQ(window.Percentile(50), (1u << 20) - 1);
+  EXPECT_EQ(hist.Percentile(50), (1u << 10) - 1);
+}
+
+TEST(WindowedPercentile, EmptyWindowAnswersZero) {
+  MetricHistogram hist;
+  for (int i = 0; i < 10; ++i) hist.Record(12345);
+  // Construction baselines against the existing history: none of those
+  // 10 samples may leak into the first window.
+  WindowedPercentile window(&hist);
+  window.Advance();
+  EXPECT_EQ(window.Count(), 0u);
+  EXPECT_EQ(window.Percentile(99), 0u);
+}
+
+TEST(WindowedPercentile, MixedWindowHitsTheTailBucket) {
+  MetricHistogram hist;
+  WindowedPercentile window(&hist);
+  for (int i = 0; i < 99; ++i) hist.Record((1u << 8) - 1);
+  hist.Record((1u << 30) - 1);
+  window.Advance();
+  EXPECT_EQ(window.Count(), 100u);
+  EXPECT_EQ(window.Percentile(50), (1u << 8) - 1);
+  // rank ceil(100*0.99)=99 -> still the fast bucket; p100 is the outlier.
+  EXPECT_EQ(window.Percentile(99), (1u << 8) - 1);
+  EXPECT_EQ(window.Percentile(100), (1u << 30) - 1);
+}
+
+}  // namespace
+}  // namespace qp

@@ -9,19 +9,31 @@ Usage:
 Exits non-zero when any scenario regresses by more than the threshold on
 the primary metric (default p50_ns, 25%), by more than the p95 threshold
 on p95_ns (default 60% — an unbounded tail is exactly what the parallel
-solvers could grow), or when a baseline scenario is missing from the
-current run. The p95 gate is skipped when the current report was a
-`--quick` run (the report's own "quick" flag): with 3-10 iterations the
-"p95" is just the slowest sample, and gating a max against a full-run
-percentile is pure noise — the nightly full bench still gates tails. New
-scenarios (present only in the current run) are reported but do not fail
-the comparison — they have no baseline yet. `--filter=SUBSTR` restricts
-the comparison to scenarios whose name contains SUBSTR, on both sides —
-that is how a partial run (e.g. the server-e2e job's `serve_`-only bench)
-is gated without the full suite's rows counting as missing. `--self-test` injects a
-synthetic 2x slowdown, a p95-only tail regression, and a missing
-scenario, and checks that the comparison catches all three and that a
-quick run's tail is exempt (also wired up as a ctest).
+solvers could grow), by more than the p99 threshold on p99_ns (default
+150%), or when a baseline scenario is missing from the current run.
+
+Tail gates require sample support. A percentile q needs at least
+100/(100-q) samples before it is a percentile at all — below that the
+nearest-rank rank lands on the maximum, so "p99 regressed" just means
+"the single slowest iteration moved", which is noise, not a tail (a
+40-iteration run's recorded p99_ns literally equals its max_ns). Each
+scenario's recorded `iterations` drives this: p95_ns is gated only when
+both sides have >= 20 iterations, p99_ns only at >= 100; under-sampled
+rows are shown as "under-sampled" and never fail. Rows with no
+`iterations` field (older baselines) are gated as before. The blanket
+quick-run exemption (the report's own "quick" flag) still drops every
+tail gate: with 3-10 iterations even p95 is just the slowest sample.
+
+New scenarios (present only in the current run) are reported but do not
+fail the comparison — they have no baseline yet. `--filter=SUBSTR`
+restricts the comparison to scenarios whose name contains SUBSTR, on
+both sides — that is how a partial run (e.g. the server-e2e job's
+`serve_`-only bench) is gated without the full suite's rows counting as
+missing. `--self-test` injects a synthetic 2x slowdown, a p95-only tail
+regression, a missing scenario, and an under-sampled p99 spike, and
+checks that the comparison catches the first three, exempts the spike
+until the sample count supports a p99, and that a quick run's tail is
+exempt (also wired up as a ctest).
 """
 
 import argparse
@@ -46,8 +58,17 @@ def filter_scenarios(scenarios, substring):
             if substring in name}
 
 
-def compare(baseline, current, threshold_pct, metric):
-    """Returns (rows, failures); rows power the delta table."""
+def supports_percentile(scenario, min_iterations):
+    """True when the scenario's recorded iteration count can express the
+    percentile (or predates the iterations field and can't be checked)."""
+    iterations = scenario.get("iterations")
+    return iterations is None or iterations >= min_iterations
+
+
+def compare(baseline, current, threshold_pct, metric, min_iterations=0):
+    """Returns (rows, failures); rows power the delta table. Scenarios
+    where either side records fewer than `min_iterations` iterations are
+    shown but never gated — their `metric` is not a real percentile."""
     rows = []
     failures = []
     for name in sorted(baseline):
@@ -59,6 +80,11 @@ def compare(baseline, current, threshold_pct, metric):
         cur_value = current[name].get(metric)
         if not base_value:
             rows.append((name, base_value, cur_value, None, "no-baseline"))
+            continue
+        if not (supports_percentile(baseline[name], min_iterations)
+                and supports_percentile(current[name], min_iterations)):
+            rows.append((name, base_value, cur_value, None,
+                         f"under-sampled (<{min_iterations} iters)"))
             continue
         delta_pct = 100.0 * (cur_value - base_value) / base_value
         status = "ok"
@@ -85,24 +111,37 @@ def print_table(rows, metric):
               f"{status}")
 
 
+# A percentile q needs 100/(100-q) samples before the nearest-rank rank
+# moves off the maximum.
+P95_MIN_ITERATIONS = 20
+P99_MIN_ITERATIONS = 100
+
+
 def compare_both(baseline, current, threshold_pct, p95_threshold_pct, metric,
-                 gate_p95=True):
-    """Primary-metric gate plus the p95 tail gate. The p95 pass skips the
-    missing-scenario failures the primary pass already reported, so each
-    problem is counted once. `gate_p95=False` (quick runs) drops the tail
-    gate entirely: a quick scenario's p95 is its slowest of a handful of
-    samples, not a percentile."""
+                 gate_tails=True, p99_threshold_pct=150.0):
+    """Primary-metric gate plus the p95/p99 tail gates. The tail passes
+    skip the missing-scenario failures the primary pass already reported,
+    so each problem is counted once. Each tail gate additionally requires
+    both sides to record enough iterations to support the percentile.
+    `gate_tails=False` (quick runs) drops the tail gates entirely: a
+    quick scenario's p95 is its slowest of a handful of samples, not a
+    percentile."""
     rows, failures = compare(baseline, current, threshold_pct, metric)
     print_table(rows, metric)
-    if metric != "p95_ns" and gate_p95:
-        p95_rows, p95_failures = compare(baseline, current, p95_threshold_pct,
-                                         "p95_ns")
+    if not gate_tails:
+        print("\nquick run: p95_ns/p99_ns gates skipped (tail of <=10 "
+              "samples is a max, not a percentile)")
+        return failures
+    for tail_metric, tail_threshold, min_iters in (
+            ("p95_ns", p95_threshold_pct, P95_MIN_ITERATIONS),
+            ("p99_ns", p99_threshold_pct, P99_MIN_ITERATIONS)):
+        if metric == tail_metric:
+            continue
+        tail_rows, tail_failures = compare(baseline, current, tail_threshold,
+                                           tail_metric, min_iters)
         print()
-        print_table(p95_rows, "p95_ns")
-        failures += [f for f in p95_failures if "missing from" not in f]
-    elif not gate_p95:
-        print("\nquick run: p95_ns gate skipped (tail of <=10 samples is a "
-              "max, not a percentile)")
+        print_table(tail_rows, tail_metric)
+        failures += [f for f in tail_failures if "missing from" not in f]
     return failures
 
 
@@ -142,19 +181,53 @@ def self_test():
     assert not noise_failures, f"noise flagged: {noise_failures}"
 
     # A quick run's tail is exempt: the same p95-only regression that
-    # failed above must pass with gate_p95=False, while a p50 regression
+    # failed above must pass with gate_tails=False, while a p50 regression
     # still fails.
     quick = copy.deepcopy(baseline)
     quick["tailed"]["p95_ns"] = 12000
     quick_failures = compare_both(baseline, quick, 25.0, 60.0, "p50_ns",
-                                  gate_p95=False)
+                                  gate_tails=False)
     assert not quick_failures, \
         f"quick-run tail wrongly flagged: {quick_failures}"
     quick["slowed"]["p50_ns"] = 4000
     quick_failures = compare_both(baseline, quick, 25.0, 60.0, "p50_ns",
-                                  gate_p95=False)
+                                  gate_tails=False)
     assert any("slowed" in f and "p50_ns" in f for f in quick_failures), \
         "quick-run p50 slowdown not flagged"
+
+    # Sample-support gating. At 40 iterations a run's p99 is its max (the
+    # nearest-rank rank for q=99 sits on the last sample until n >= 100),
+    # so a "p99 spike" is one slow iteration and must not flake the gate
+    # — this reproduces the BENCH_qpricer.json rows where p99_ns ==
+    # max_ns. The same spike with 400-iteration support is a real tail
+    # regression and must fail. p95 needs only 20 samples, so a
+    # 40-iteration p95 regression still gates.
+    spiky_base = {
+        "spiky": {"p50_ns": 1000, "p95_ns": 1500, "p99_ns": 2000,
+                  "iterations": 40},
+    }
+    spiky = copy.deepcopy(spiky_base)
+    spiky["spiky"]["p99_ns"] = 20000  # 10x, but n=40: that's the max moving
+    spike_failures = compare_both(spiky_base, spiky, 25.0, 60.0, "p50_ns")
+    assert not spike_failures, \
+        f"under-sampled p99 spike wrongly flagged: {spike_failures}"
+    spiky["spiky"]["p95_ns"] = 6000  # 4x at n=40: p95 IS supported -> fails
+    spike_failures = compare_both(spiky_base, spiky, 25.0, 60.0, "p50_ns")
+    assert any("spiky" in f and "p95_ns" in f for f in spike_failures), \
+        "supported p95 regression not flagged at 40 iterations"
+    assert not any("p99_ns" in f for f in spike_failures), \
+        "under-sampled p99 still wrongly flagged"
+    for side in (spiky_base, spiky):
+        side["spiky"]["iterations"] = 400
+    spike_failures = compare_both(spiky_base, spiky, 25.0, 60.0, "p50_ns")
+    assert any("spiky" in f and "p99_ns" in f for f in spike_failures), \
+        "well-sampled p99 regression not flagged"
+    # One under-sampled side is enough to withhold the gate: a baseline
+    # re-recorded at full depth must not arm against a shallow current.
+    spiky["spiky"]["iterations"] = 40
+    spike_failures = compare_both(spiky_base, spiky, 25.0, 60.0, "p50_ns")
+    assert not any("p99_ns" in f for f in spike_failures), \
+        "mixed-support p99 wrongly gated"
 
     # The filter scopes both sides: a current run holding only the
     # filtered scenarios must pass even though the rest of the baseline is
@@ -175,8 +248,8 @@ def self_test():
         "filtered-out scenario wrongly counted as missing"
 
     print("self-test: ok (p50 slowdown, p95 tail regression, and missing "
-          "scenario all flagged; quick-run tail exempt; filter scopes "
-          "both sides)")
+          "scenario all flagged; quick-run tail exempt; under-sampled p99 "
+          "exempt until n >= 100; filter scopes both sides)")
     return 0
 
 
@@ -190,10 +263,15 @@ def main():
                              "percent (default 25)")
     parser.add_argument("--p95-threshold", type=float, default=60.0,
                         help="max allowed p95_ns regression, percent "
-                             "(default 60)")
+                             "(default 60; gated only at >= 20 iterations)")
+    parser.add_argument("--p99-threshold", type=float, default=150.0,
+                        help="max allowed p99_ns regression, percent "
+                             "(default 150; gated only at >= 100 "
+                             "iterations)")
     parser.add_argument("--metric", default="p50_ns",
                         help="primary scenario field to compare (default "
-                             "p50_ns); p95_ns is always gated too")
+                             "p50_ns); p95_ns and p99_ns are gated too, "
+                             "sample count permitting")
     parser.add_argument("--filter", default="",
                         help="only compare scenarios whose name contains "
                              "this substring (applied to baseline and "
@@ -219,14 +297,17 @@ def main():
     quick = bool(current_report.get("quick"))
     failures = compare_both(baseline, current, args.threshold,
                             args.p95_threshold, args.metric,
-                            gate_p95=not quick)
+                            gate_tails=not quick,
+                            p99_threshold_pct=args.p99_threshold)
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):")
         for failure in failures:
             print(f"  {failure}")
         return 1
     gated = (f"{args.metric}" if quick
-             else f"{args.metric} or {args.p95_threshold:.0f}% on p95_ns")
+             else f"{args.metric}, {args.p95_threshold:.0f}% on p95_ns, or "
+                  f"{args.p99_threshold:.0f}% on p99_ns (sample count "
+                  f"permitting)")
     print(f"\nok: no scenario regressed over {args.threshold:.0f}% on "
           f"{gated}")
     return 0

@@ -1,7 +1,12 @@
-// qpricer_load — closed-loop load client for qpricerd: N concurrent
-// connections, each issuing a mixed QUOTE / QUOTE_BATCH / INSERT trace
-// against the daemon's generated business-market shards, reporting
-// end-to-end throughput and latency percentiles.
+// qpricer_load — load client for qpricerd: N concurrent connections,
+// each issuing a mixed QUOTE / QUOTE_BATCH / INSERT trace against the
+// daemon's generated business-market shards, reporting end-to-end
+// throughput and latency percentiles. Closed-loop by default (each
+// worker's next request waits for the previous reply); --open-loop
+// switches to a fixed arrival schedule, the honest way to measure an
+// overloaded server — latency is then counted from the request's
+// *scheduled* arrival time, so server-side queueing cannot hide by
+// slowing the request stream down.
 //
 // Usage:
 //   qpricer_load --port=N [flags]
@@ -20,15 +25,32 @@
 //                      0 = quotes only)
 //   --batch-every=N    every Nth request is a QUOTE_BATCH of 8 queries
 //                      (default 16; 0 = none)
+//   --open-loop        arrivals on a fixed schedule instead of reply-
+//                      clocked; a worker that falls behind issues late
+//                      requests back-to-back and the backlog shows up as
+//                      latency (measured from the scheduled arrival)
+//   --rate=N           total open-loop arrivals per second across all
+//                      connections (default 200; requires --open-loop)
+//   --expect-controller  after the run, fetch METRICS and assert the
+//                      server's overload controller is ticking
+//                      (qp.server.ctl.ticks > 0); pairs with --smoke in
+//                      the CI live-daemon step
 //   --smoke            CI smoke mode: assert nonzero quote and insert
-//                      successes and zero failures, print "SMOKE OK"
+//                      successes and zero protocol failures (shed
+//                      requests are not failures), print "SMOKE OK"
 //   --shutdown         send a SHUTDOWN frame after the run
 //   --out=PATH         write a JSON result row: overall qps / p50_ns /
-//                      p95_ns plus per-op-type {count, p50_ns, p95_ns}
-//                      blocks for quote, insert, and batch round-trips
+//                      p95_ns / p99_ns, shed / approximate counts,
+//                      revenue_per_s, plus per-op-type {count, p50_ns,
+//                      p95_ns} blocks for quote, insert, and batch
 //
-// Exit status: 0 on success; 1 when any request failed (or a --smoke
-// assertion does not hold).
+// Shed vs failed: a ResourceExhausted reply (connection shed at the
+// door, batch query over the admission cap) is the server keeping its
+// latency objective under overload — counted separately as "shed",
+// never as a failure. Failures are protocol or server errors.
+//
+// Exit status: 0 on success; 1 when any request failed (or a --smoke /
+// --expect-controller assertion does not hold).
 
 #include <algorithm>
 #include <atomic>
@@ -41,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "qp/obs/window.h"
 #include "qp/server/client.h"
 
 namespace {
@@ -54,6 +77,9 @@ struct Flags {
   int shards = 2;
   int insert_every = 8;
   int batch_every = 16;
+  bool open_loop = false;
+  long rate = 200;
+  bool expect_controller = false;
   bool smoke = false;
   bool shutdown = false;
   std::string out;
@@ -91,6 +117,14 @@ struct WorkerResult {
   uint64_t inserts_ok = 0;
   uint64_t rows_inserted = 0;
   uint64_t failures = 0;
+  /// ResourceExhausted replies: the server shedding load on purpose.
+  uint64_t shed = 0;
+  /// Quotes served as deadline-degraded admissible over-estimates.
+  uint64_t approx_quotes = 0;
+  /// Sum of quoted prices (cents) across successful quotes — the
+  /// graceful-degradation metric: under overload revenue per second
+  /// should decay, not collapse.
+  uint64_t revenue = 0;
   std::vector<uint64_t> latencies_ns[kNumOpTypes];
   std::string first_error;
 };
@@ -102,7 +136,16 @@ uint64_t NowNs() {
           .count());
 }
 
+bool IsShed(const qp::Status& status) {
+  return status.code() == qp::StatusCode::kResourceExhausted;
+}
+
+/// Sheds are the server keeping its objective, not a client failure.
 void Fail(WorkerResult* result, const qp::Status& status) {
+  if (IsShed(status)) {
+    ++result->shed;
+    return;
+  }
   ++result->failures;
   if (result->first_error.empty()) result->first_error = status.ToString();
 }
@@ -112,19 +155,48 @@ void RunWorker(const Flags& flags, int worker_id, WorkerResult* result) {
       flags.host, static_cast<uint16_t>(flags.port));
   if (!client.ok()) {
     Fail(result, client.status());
-    return;
+    if (!flags.open_loop) return;
   }
   uint32_t shard = static_cast<uint32_t>(
       flags.shards > 0 ? worker_id % flags.shards : 0);
   // Fixed request count, or open-ended until the wall-clock deadline.
+  const uint64_t t0 = NowNs();
   const uint64_t deadline_ns =
       flags.duration_s > 0
-          ? NowNs() + static_cast<uint64_t>(flags.duration_s) * 1000000000ull
+          ? t0 + static_cast<uint64_t>(flags.duration_s) * 1000000000ull
           : 0;
+  // Open loop: this worker owns every `connections`-th arrival of the
+  // configured aggregate rate.
+  const uint64_t period_ns =
+      flags.rate > 0 ? static_cast<uint64_t>(flags.connections) *
+                           1000000000ull / static_cast<uint64_t>(flags.rate)
+                     : 0;
   for (int i = 0;
        deadline_ns > 0 ? NowNs() < deadline_ns : i < flags.requests; ++i) {
-    OpType op = kOpQuote;
     uint64_t start = NowNs();
+    if (flags.open_loop) {
+      // Latency runs from the scheduled arrival: if the previous reply
+      // made us late, the excess is queueing delay the server caused and
+      // must be charged to it, exactly what a reply-clocked loop hides.
+      const uint64_t scheduled =
+          t0 + static_cast<uint64_t>(i) * period_ns;
+      while (NowNs() < scheduled) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      start = scheduled;
+      if (!client.ok()) {
+        // The previous arrival's connection was shed or broken; each new
+        // arrival retries so the server is continuously re-offered load.
+        client = qp::PricingClient::Connect(
+            flags.host, static_cast<uint16_t>(flags.port));
+        if (!client.ok()) {
+          Fail(result, client.status());
+          continue;
+        }
+      }
+    }
+    OpType op = kOpQuote;
+    bool request_failed = false;
     if (flags.insert_every > 0 && i % flags.insert_every == 1) {
       op = kOpInsert;
       // Spread inserts over distinct businesses per worker so most are
@@ -135,6 +207,7 @@ void RunWorker(const Flags& flags, int worker_id, WorkerResult* result) {
           {{qp::Value::Str("biz" + std::to_string(bid))}});
       if (!reply.ok()) {
         Fail(result, reply.status());
+        request_failed = true;
       } else {
         ++result->inserts_ok;
         result->rows_inserted += reply->rows_inserted;
@@ -148,36 +221,56 @@ void RunWorker(const Flags& flags, int worker_id, WorkerResult* result) {
       auto reply = client->QuoteBatch(shard, texts);
       if (!reply.ok()) {
         Fail(result, reply.status());
+        request_failed = true;
       } else {
-        bool all_ok = true;
         for (const auto& item : reply->items) {
-          if (item.status_code != 0) {
-            all_ok = false;
-            Fail(result, qp::Status::Internal("batch item: " + item.message));
+          if (item.status_code ==
+              static_cast<uint8_t>(qp::StatusCode::kResourceExhausted)) {
+            ++result->shed;  // over the batch admission cap: on purpose
+            continue;
           }
+          if (item.status_code != 0) {
+            Fail(result, qp::Status::Internal("batch item: " + item.message));
+            continue;
+          }
+          ++result->quotes_ok;
+          result->revenue += static_cast<uint64_t>(item.price);
+          if (item.approximate) ++result->approx_quotes;
         }
-        if (all_ok) result->quotes_ok += reply->items.size();
       }
     } else {
       auto reply = client->Quote(shard, kQuoteMix[i % kQuoteMixSize]);
       if (!reply.ok()) {
         Fail(result, reply.status());
+        request_failed = true;
       } else {
         ++result->quotes_ok;
+        result->revenue += static_cast<uint64_t>(reply->price);
+        if (reply->approximate) ++result->approx_quotes;
       }
+    }
+    if (request_failed && flags.open_loop) {
+      // Shed connections are closed server-side; reconnect on the next
+      // scheduled arrival rather than spraying errors at a dead socket.
+      client = qp::Status::Internal("reconnect pending");
+      continue;
     }
     result->latencies_ns[op].push_back(NowNs() - start);
   }
-  if (flags.shutdown && worker_id == 0) {
+  if (flags.shutdown && worker_id == 0 && client.ok()) {
     qp::Status status = client->Shutdown();
     if (!status.ok()) Fail(result, status);
   }
 }
 
-uint64_t Percentile(std::vector<uint64_t>* sorted, double q) {
-  if (sorted->empty()) return 0;
-  size_t rank = static_cast<size_t>(q * (sorted->size() - 1));
-  return (*sorted)[rank];
+/// Nearest-rank percentile, `q` in percent. The previous in-tool
+/// implementation used the floor-interpolation rank q*(n-1), which reads
+/// one sample low on small n (e.g. p95 of 20 samples picked index 18,
+/// not 19) and disagreed with the server's histogram percentiles; the
+/// shared qp::NearestRankPercentile pins both to the same definition
+/// (obs/window_test.cc holds the two to the same answers on a fixture).
+uint64_t Percentile(const std::vector<uint64_t>& sorted, int q) {
+  return qp::NearestRankPercentile(sorted, q);
 }
 
 }  // namespace
@@ -200,6 +293,12 @@ int main(int argc, char** argv) {
       flags.insert_every = static_cast<int>(v);
     } else if (ParseIntFlag(argv[i], "--batch-every", &v)) {
       flags.batch_every = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--open-loop") == 0) {
+      flags.open_loop = true;
+    } else if (ParseIntFlag(argv[i], "--rate", &v)) {
+      flags.rate = v;
+    } else if (std::strcmp(argv[i], "--expect-controller") == 0) {
+      flags.expect_controller = true;
     } else if (std::strncmp(argv[i], "--host=", 7) == 0) {
       flags.host = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -217,6 +316,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "qpricer_load: --port=N is required\n");
     return 2;
   }
+  if (flags.open_loop && flags.rate <= 0) {
+    std::fprintf(stderr, "qpricer_load: --open-loop needs --rate > 0\n");
+    return 2;
+  }
   if (flags.smoke) {
     flags.connections = std::max(flags.connections, 8);
     flags.requests = std::min(flags.requests, 50);
@@ -232,6 +335,7 @@ int main(int argc, char** argv) {
   uint64_t wall_ns = NowNs() - wall_start;
 
   uint64_t quotes_ok = 0, inserts_ok = 0, rows = 0, failures = 0, ops = 0;
+  uint64_t shed = 0, approx = 0, revenue = 0;
   std::vector<uint64_t> latencies;
   std::vector<uint64_t> op_latencies[kNumOpTypes];
   std::string first_error;
@@ -240,6 +344,9 @@ int main(int argc, char** argv) {
     inserts_ok += r.inserts_ok;
     rows += r.rows_inserted;
     failures += r.failures;
+    shed += r.shed;
+    approx += r.approx_quotes;
+    revenue += r.revenue;
     for (int op = 0; op < kNumOpTypes; ++op) {
       ops += r.latencies_ns[op].size();
       latencies.insert(latencies.end(), r.latencies_ns[op].begin(),
@@ -251,32 +358,41 @@ int main(int argc, char** argv) {
     if (first_error.empty()) first_error = r.first_error;
   }
   std::sort(latencies.begin(), latencies.end());
-  uint64_t p50 = Percentile(&latencies, 0.50);
-  uint64_t p95 = Percentile(&latencies, 0.95);
+  uint64_t p50 = Percentile(latencies, 50);
+  uint64_t p95 = Percentile(latencies, 95);
+  uint64_t p99 = Percentile(latencies, 99);
   uint64_t op_p50[kNumOpTypes], op_p95[kNumOpTypes];
   for (int op = 0; op < kNumOpTypes; ++op) {
     std::sort(op_latencies[op].begin(), op_latencies[op].end());
-    op_p50[op] = Percentile(&op_latencies[op], 0.50);
-    op_p95[op] = Percentile(&op_latencies[op], 0.95);
+    op_p50[op] = Percentile(op_latencies[op], 50);
+    op_p95[op] = Percentile(op_latencies[op], 95);
   }
   // qps counts request round-trips per second (a batch is one request).
   double qps = wall_ns > 0 ? static_cast<double>(ops) * 1e9 /
                                  static_cast<double>(wall_ns)
                            : 0.0;
+  double revenue_per_s = wall_ns > 0 ? static_cast<double>(revenue) * 1e9 /
+                                           static_cast<double>(wall_ns)
+                                     : 0.0;
 
   std::printf(
-      "qpricer_load: %d connections, %llu requests in %.1f ms\n",
+      "qpricer_load: %d connections, %llu requests in %.1f ms%s\n",
       flags.connections, static_cast<unsigned long long>(ops),
-      static_cast<double>(wall_ns) / 1e6);
+      static_cast<double>(wall_ns) / 1e6,
+      flags.open_loop ? " (open loop)" : "");
   std::printf(
-      "  quotes_ok=%llu inserts_ok=%llu rows_inserted=%llu failures=%llu\n",
+      "  quotes_ok=%llu inserts_ok=%llu rows_inserted=%llu failures=%llu "
+      "shed=%llu approx=%llu\n",
       static_cast<unsigned long long>(quotes_ok),
       static_cast<unsigned long long>(inserts_ok),
       static_cast<unsigned long long>(rows),
-      static_cast<unsigned long long>(failures));
-  std::printf("  qps=%.0f p50=%.3f ms p95=%.3f ms\n", qps,
-              static_cast<double>(p50) / 1e6,
-              static_cast<double>(p95) / 1e6);
+      static_cast<unsigned long long>(failures),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(approx));
+  std::printf(
+      "  qps=%.0f p50=%.3f ms p95=%.3f ms p99=%.3f ms revenue/s=$%.2f\n",
+      qps, static_cast<double>(p50) / 1e6, static_cast<double>(p95) / 1e6,
+      static_cast<double>(p99) / 1e6, revenue_per_s / 100.0);
   for (int op = 0; op < kNumOpTypes; ++op) {
     if (op_latencies[op].empty()) continue;
     std::printf("  %s: n=%zu p50=%.3f ms p95=%.3f ms\n", kOpNames[op],
@@ -293,8 +409,11 @@ int main(int argc, char** argv) {
     out << "{\"connections\": " << flags.connections
         << ", \"requests\": " << ops << ", \"quotes_ok\": " << quotes_ok
         << ", \"inserts_ok\": " << inserts_ok
-        << ", \"failures\": " << failures << ", \"qps\": " << qps
-        << ", \"p50_ns\": " << p50 << ", \"p95_ns\": " << p95;
+        << ", \"failures\": " << failures << ", \"shed\": " << shed
+        << ", \"approximate\": " << approx << ", \"qps\": " << qps
+        << ", \"revenue_per_s\": " << revenue_per_s
+        << ", \"p50_ns\": " << p50 << ", \"p95_ns\": " << p95
+        << ", \"p99_ns\": " << p99;
     for (int op = 0; op < kNumOpTypes; ++op) {
       out << ", \"" << kOpNames[op] << "\": {\"count\": "
           << op_latencies[op].size() << ", \"p50_ns\": " << op_p50[op]
@@ -303,6 +422,31 @@ int main(int argc, char** argv) {
     out << "}\n";
   }
 
+  if (flags.expect_controller) {
+    // The controller proves itself through its own telemetry: a ticking
+    // qp.server.ctl.ticks counter in the METRICS frame.
+    bool ticking = false;
+    auto probe = qp::PricingClient::Connect(
+        flags.host, static_cast<uint16_t>(flags.port));
+    if (probe.ok()) {
+      auto metrics = probe->Metrics();
+      if (metrics.ok()) {
+        const std::string& json = metrics->json;
+        size_t pos = json.find("\"qp.server.ctl.ticks\": ");
+        if (pos != std::string::npos) {
+          long ticks = std::strtol(
+              json.c_str() + pos + std::strlen("\"qp.server.ctl.ticks\": "),
+              nullptr, 10);
+          std::printf("  controller ticks=%ld\n", ticks);
+          ticking = ticks > 0;
+        }
+      }
+    }
+    if (!ticking) {
+      std::printf("EXPECT-CONTROLLER FAILED (no qp.server.ctl.ticks)\n");
+      return 1;
+    }
+  }
   if (flags.smoke) {
     if (failures == 0 && quotes_ok > 0 && inserts_ok > 0) {
       std::printf("SMOKE OK\n");

@@ -21,6 +21,14 @@
 //                        (invalidate-only; the serve_churn A/B baseline)
 //   --hot-set-size=N     hottest cached queries re-priced per publish
 //                        (default 16; 0 also disables warming)
+//   --target-p99-ms=N    request-latency objective the overload
+//                        controller defends (default 50; the deadline /
+//                        admission-cap / max-connections flags become
+//                        the baseline it tightens from under pressure)
+//   --controller-tick-ms=N  control period and telemetry window
+//                        (default 50)
+//   --no-controller      static serving: knobs stay exactly at their
+//                        configured values (pre-controller behavior)
 //
 // On startup the daemon prints exactly one line
 //   qpricerd listening on 127.0.0.1:<port> (<k> shards)
@@ -58,6 +66,8 @@ struct Flags {
   int admission_cap = 0;
   bool warm_on_publish = true;
   int hot_set_size = 16;
+  int64_t target_p99_ms = 50;
+  int64_t controller_tick_ms = 50;
 };
 
 bool ParseIntFlag(const char* arg, const char* name, long* out) {
@@ -74,7 +84,9 @@ int Usage(const char* msg) {
                "[--market=PATH]\n"
                "                [--workers=N] [--max-connections=N] "
                "[--deadline-ms=N] [--admission-cap=N]\n"
-               "                [--no-warm] [--hot-set-size=N]\n");
+               "                [--no-warm] [--hot-set-size=N]\n"
+               "                [--target-p99-ms=N] [--controller-tick-ms=N] "
+               "[--no-controller]\n");
   return 2;
 }
 
@@ -102,6 +114,12 @@ int main(int argc, char** argv) {
       flags.warm_on_publish = false;
     } else if (ParseIntFlag(argv[i], "--hot-set-size", &v)) {
       flags.hot_set_size = static_cast<int>(v);
+    } else if (ParseIntFlag(argv[i], "--target-p99-ms", &v)) {
+      flags.target_p99_ms = v;
+    } else if (ParseIntFlag(argv[i], "--controller-tick-ms", &v)) {
+      flags.controller_tick_ms = v;
+    } else if (std::strcmp(argv[i], "--no-controller") == 0) {
+      flags.target_p99_ms = 0;
     } else if (std::strncmp(argv[i], "--market=", 9) == 0) {
       flags.market_file = argv[i] + 9;
     } else {
@@ -166,6 +184,8 @@ int main(int argc, char** argv) {
   options.admission_cap = flags.admission_cap;
   options.warm_on_publish = flags.warm_on_publish;
   options.hot_set_size = flags.hot_set_size;
+  options.target_p99_ms = flags.target_p99_ms;
+  options.controller_tick_ms = flags.controller_tick_ms;
   qp::PricingServer server(std::move(shards), options);
   qp::Status status = server.Start();
   if (!status.ok()) {
